@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures (or an
+ablation), prints the paper-shaped rows/series, and writes the rendering to
+``benchmarks/results/`` so EXPERIMENTS.md can quote it.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory collecting the rendered benchmark outputs."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print a rendering and persist it under ``benchmarks/results``."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

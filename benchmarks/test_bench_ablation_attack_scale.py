@@ -1,0 +1,52 @@
+"""Ablation benchmark: attack amplitude vs filter and baseline error.
+
+Gradient-reverse with amplification c: plain averaging's error grows with
+c (the Byzantine term enters the average linearly), while CGE's error is
+*non-monotone* — large amplitudes are trivially eliminated by the norm
+sort; the hard regime is c ≈ 1 where the reversed gradient blends in.
+"""
+
+from conftest import emit
+
+from repro.experiments import paper_problem
+from repro.experiments.ablations import attack_scale_sweep
+from repro.experiments.reporting import format_table
+
+
+def test_attack_scale_sweep(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: attack_scale_sweep(
+            scales=(0.5, 1.0, 2.0, 5.0, 20.0, 100.0), iterations=500, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    problem = paper_problem()
+    text = format_table(
+        headers=[
+            "reverse scale", "CGE dist", "mean dist",
+            "CGE < eps", "mean < eps",
+        ],
+        rows=[
+            [
+                r.scale, r.cge_distance, r.mean_distance,
+                r.cge_within_epsilon, r.mean_within_epsilon,
+            ]
+            for r in rows
+        ],
+        title=(
+            "Gradient-reverse amplification sweep "
+            f"(Appendix-J problem, eps = {problem.epsilon:g})"
+        ),
+    )
+    emit(results_dir, "ablation_attack_scale", text)
+
+    # CGE stays inside epsilon at EVERY amplification.
+    assert all(r.cge_within_epsilon for r in rows)
+    # Plain averaging leaves epsilon once the attack is amplified enough.
+    big = [r for r in rows if r.scale >= 5.0]
+    assert all(not r.mean_within_epsilon for r in big)
+    # Mean's error grows with the amplification (monotone on the sweep).
+    mean_errors = [r.mean_distance for r in rows]
+    assert all(b >= a - 1e-9 for a, b in zip(mean_errors, mean_errors[1:]))

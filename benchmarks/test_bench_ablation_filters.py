@@ -1,0 +1,51 @@
+"""Ablation benchmark: the full filter zoo on the Appendix-J problem.
+
+Extends Table 1 to every registered aggregation rule (the Section-2.2
+baselines: Krum, geometric median, Bulyan, clipping, ...) under four
+attacks.  Expected shape: the robust filters stay inside (or near) epsilon;
+plain averaging fails under at least one attack.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import paper_problem
+from repro.experiments.ablations import filter_zoo
+from repro.experiments.reporting import format_table
+
+ATTACKS = ("gradient_reverse", "random", "zero", "large_norm")
+
+
+def test_filter_zoo(benchmark, results_dir):
+    problem = paper_problem()
+
+    rows = benchmark.pedantic(
+        lambda: filter_zoo(problem, attacks=ATTACKS, iterations=500, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+    text = format_table(
+        headers=["filter", "attack", "dist(x_H, x_out)", "< eps", "note"],
+        rows=[
+            [r.aggregator, r.attack, r.distance, r.within_epsilon, r.error or ""]
+            for r in rows
+        ],
+        title=(
+            "Filter zoo on the Appendix-J regression problem "
+            f"(eps = {problem.epsilon:g})"
+        ),
+    )
+    emit(results_dir, "ablation_filters", text)
+
+    by_key = {(r.aggregator, r.attack): r for r in rows}
+    # The paper's two filters stay within epsilon under the paper's attacks.
+    for agg in ("cge", "cwtm"):
+        for attack in ("gradient_reverse", "random"):
+            assert by_key[(agg, attack)].within_epsilon
+    # Plain averaging fails under the random attack.
+    assert not by_key[("mean", "random")].within_epsilon
+    # Robust baselines survive the large-norm attack.
+    for agg in ("krum", "geomedian", "median"):
+        row = by_key[(agg, "large_norm")]
+        assert row.error or row.distance < 5 * problem.epsilon

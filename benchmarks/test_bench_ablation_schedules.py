@@ -1,0 +1,44 @@
+"""Ablation benchmark: Theorem 3's step-size hypothesis.
+
+Theorem 3 requires sum eta_t = inf and sum eta_t^2 < inf.  On the paper
+problem with CGE under gradient-reverse, the Robbins–Monro schedules land
+inside epsilon; an aggressive constant step does not settle.
+"""
+
+from conftest import emit
+
+from repro.experiments.ablations import schedule_sweep
+from repro.experiments.reporting import format_table
+
+
+def test_schedule_sweep(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: schedule_sweep(iterations=500, seed=0), rounds=1, iterations=1
+    )
+
+    text = format_table(
+        headers=[
+            "schedule", "Robbins-Monro", "dist @ t=100", "dist @ t=500",
+            "< eps",
+        ],
+        rows=[
+            [
+                r.label, r.robbins_monro, r.distance_at_100,
+                r.final_distance, r.within_epsilon,
+            ]
+            for r in rows
+        ],
+        title="Step-size schedules on the Appendix-J problem (CGE, grad-reverse)",
+    )
+    emit(results_dir, "ablation_schedules", text)
+
+    by_label = {r.label: r for r in rows}
+    # Every Robbins-Monro schedule converges inside epsilon.
+    for row in rows:
+        if row.robbins_monro:
+            assert row.within_epsilon, row.label
+    # The paper's schedule is the fastest of the diminishing family at t=100.
+    paper_row = by_label["paper 1.5/(t+1)"]
+    assert paper_row.distance_at_100 <= by_label["harmonic 0.5/(t+1)"].distance_at_100
+    # The unstable constant step never settles inside epsilon.
+    assert not by_label["constant 0.5 (unstable)"].within_epsilon

@@ -1,0 +1,53 @@
+"""Benchmark: regenerate Figure 2 (loss & distance trajectories, t <= 1500).
+
+Paper shape: fault-free, CGE and CWTM all converge to x_H (distance -> ~0,
+loss -> the minimum honest loss); plain averaging under attack does not —
+under the random attack its distance stays orders of magnitude above the
+filtered runs, and under gradient-reverse it is visibly worse.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import generate_figure2, paper_problem, render_figure
+
+
+def test_figure2(benchmark, results_dir):
+    problem = paper_problem()
+
+    panels = benchmark.pedantic(
+        lambda: generate_figure2(problem, iterations=1500, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+    from repro.experiments.reporting import write_csv
+
+    blocks = []
+    for attack, panel in panels.items():
+        blocks.append(render_figure(panel, "losses", stride=150))
+        blocks.append(render_figure(panel, "distances", stride=150))
+        finals = ", ".join(
+            f"{m}={panel.final_distances[m]:.3e}" for m in panel.method_names()
+        )
+        blocks.append(f"final ||x_1500 - x_H|| ({attack}): {finals}")
+        # Full-resolution series as CSV, ready for replotting.
+        for what in ("losses", "distances"):
+            write_csv(
+                results_dir / f"figure2_{attack}_{what}.csv",
+                {m: getattr(panel, what)[m] for m in panel.method_names()},
+            )
+    emit(results_dir, "figure2", "\n\n".join(blocks))
+
+    assert set(panels) == {"gradient_reverse", "random"}
+    for attack, panel in panels.items():
+        # Filtered methods practically converge (the paper: after ~400 it).
+        for method in ("fault-free", "cge", "cwtm"):
+            assert panel.final_distances[method] < problem.epsilon
+        # Plain averaging under the random attack fails dramatically.
+        if attack == "random":
+            assert panel.final_distances["plain"] > 10 * problem.epsilon
+        # Losses of filtered methods end near the honest minimum.
+        floor = problem.honest_aggregate_loss(problem.x_h)
+        for method in ("cge", "cwtm"):
+            assert panel.losses[method][-1] < floor + 0.05

@@ -1,0 +1,58 @@
+"""Benchmark: regenerate Figure 4 (distributed learning, MNIST-like).
+
+Paper setup: n = 10 agents, f = 3 Byzantine, D-SGD with batch 128, filters
+CGE and CWTM against label-flipping (LF) and gradient-reverse (GR), plus the
+fault-free baseline.  Offline substitution: synthetic MNIST-like data and an
+MLP (DESIGN.md).  Shape reproduced: filtered losses converge to within a
+close range of fault-free; accuracies are within a few points; unfiltered
+averaging under GR is clearly worse.
+"""
+
+from conftest import emit
+
+from repro.experiments import (
+    LearningExperimentConfig,
+    render_learning_panel,
+    run_learning_experiment,
+)
+
+
+def config() -> LearningExperimentConfig:
+    return LearningExperimentConfig(
+        variant="mnist_like",
+        n_train=1500,
+        n_test=400,
+        image_side=14,
+        hidden_dims=(64, 32),
+        batch_size=128,
+        step_size=0.05,
+        iterations=250,
+        eval_every=50,
+        seed=0,
+    )
+
+
+def test_figure4(benchmark, results_dir):
+    panel = benchmark.pedantic(
+        lambda: run_learning_experiment(config()), rounds=1, iterations=1
+    )
+
+    lines = [render_learning_panel(panel), ""]
+    for name, trace in panel.traces.items():
+        series = ", ".join(
+            f"t={t}: {a:.3f}"
+            for t, a in zip(trace.eval_iterations, trace.test_accuracies)
+        )
+        lines.append(f"accuracy[{name}]: {series}")
+    emit(results_dir, "figure4", "\n".join(lines))
+
+    finals = panel.final_accuracies()
+    # Fault-free learns the task.
+    assert finals["fault-free"] > 0.8
+    # Filtered runs converge to within a close range of fault-free.
+    for method in ("cge-lf", "cge-gr", "cwtm-lf", "cwtm-gr"):
+        assert finals[method] > finals["fault-free"] - 0.15
+    # Unfiltered averaging under gradient-reverse is the clear loser.
+    assert finals["mean-gr"] < min(
+        finals[m] for m in ("cge-gr", "cwtm-gr")
+    )

@@ -1,0 +1,46 @@
+"""Benchmark: regenerate Figure 5 (distributed learning, Fashion-MNIST-like).
+
+Same protocol as Figure 4 on the harder synthetic variant (correlated
+templates, heavier noise).  Paper shape: same ordering as Figure 4 with
+lower absolute accuracy — Fashion-MNIST is harder than MNIST, and the
+fashion_like synthetic variant preserves that relationship.
+"""
+
+from conftest import emit
+
+from repro.experiments import (
+    LearningExperimentConfig,
+    render_learning_panel,
+    run_learning_experiment,
+)
+
+
+def config() -> LearningExperimentConfig:
+    return LearningExperimentConfig(
+        variant="fashion_like",
+        n_train=1500,
+        n_test=400,
+        image_side=14,
+        hidden_dims=(64, 32),
+        batch_size=128,
+        step_size=0.05,
+        iterations=250,
+        eval_every=50,
+        seed=0,
+    )
+
+
+def test_figure5(benchmark, results_dir):
+    panel = benchmark.pedantic(
+        lambda: run_learning_experiment(config()), rounds=1, iterations=1
+    )
+
+    emit(results_dir, "figure5", render_learning_panel(panel))
+
+    finals = panel.final_accuracies()
+    # Learnable, but harder than the MNIST-like variant at equal budget.
+    assert finals["fault-free"] > 0.5
+    for method in ("cge-lf", "cge-gr", "cwtm-lf", "cwtm-gr"):
+        assert finals[method] > 0.3
+    # Filtered beats unfiltered under gradient-reverse.
+    assert finals["mean-gr"] < max(finals["cge-gr"], finals["cwtm-gr"])

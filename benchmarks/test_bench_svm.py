@@ -1,0 +1,34 @@
+"""Benchmark: the Section-5 / Appendix-K distributed SVM claim.
+
+"DGD with the said gradient-filters reaches comparable performance to the
+fault-free case, and DGD cannot reach convergence if it uses plain
+averaging to aggregate the gradients."
+"""
+
+from conftest import emit
+
+from repro.experiments.svm_experiment import (
+    SVMExperimentConfig,
+    render_svm_panel,
+    run_svm_experiment,
+)
+
+
+def test_svm_experiment(benchmark, results_dir):
+    panel = benchmark.pedantic(
+        lambda: run_svm_experiment(SVMExperimentConfig(iterations=400, seed=0)),
+        rounds=1,
+        iterations=1,
+    )
+
+    emit(results_dir, "svm_experiment", render_svm_panel(panel))
+
+    acc = panel.accuracies
+    # Fault-free learns the separator.
+    assert acc["fault-free"] > 0.95
+    # Filtered runs reach comparable performance to fault-free.
+    for method in ("cge", "cwtm"):
+        for attack in ("gradient_reverse", "large_norm"):
+            assert acc[f"{method}-{attack}"] > acc["fault-free"] - 0.05
+    # Plain averaging fails under the amplified gradient-reverse fault.
+    assert acc["mean-gradient_reverse"] < 0.6

@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Table 1 (Section 5 / Appendix J).
+
+Paper rows (distances dist(x_H, x_out), all below eps = 0.0890):
+
+                gradient-reverse   random
+    CGE         0.0239             4.72e-5
+    CWTM        0.0167             1.51e-3
+
+The reproduction must land every filtered run inside eps; exact distances
+differ (different RNG and elimination trajectories) but the headline claim
+and the ordering (random is easy for CGE) hold.
+"""
+
+from conftest import emit
+
+from repro.experiments import generate_table1, paper_problem, render_table1
+
+
+def test_table1(benchmark, results_dir):
+    problem = paper_problem()
+
+    rows = benchmark.pedantic(
+        lambda: generate_table1(problem, iterations=500, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+    emit(results_dir, "table1", render_table1(rows, epsilon=problem.epsilon))
+
+    assert len(rows) == 4
+    # The paper's headline: every filtered execution ends within epsilon.
+    for row in rows:
+        assert row.within_epsilon, (
+            f"{row.aggregator}/{row.attack}: {row.distance} >= {problem.epsilon}"
+        )
+    by_key = {(r.aggregator, r.attack): r.distance for r in rows}
+    # Shape: the random attack produces huge-norm gradients that CGE always
+    # eliminates, so CGE/random is (much) tighter than CGE/gradient-reverse.
+    assert by_key[("cge", "random")] <= by_key[("cge", "gradient_reverse")] + 1e-9

@@ -1,0 +1,62 @@
+"""Certify a distributed optimization system against the paper's theory.
+
+The workflow a practitioner wants before deploying robust DGD: measure the
+redundancy of the agents' costs, check which theorems apply, compute the
+guaranteed error radius, then stress-test the system under attacks and
+verify the Theorem-3 inner-product condition empirically.
+
+Run:  python examples/certify_system.py
+"""
+
+import numpy as np
+
+from repro.core import certify_system, fit_condition
+from repro.distsys import run_dgd
+from repro.functions import SquaredDistanceCost
+from repro.optim import BoxSet, paper_schedule
+
+
+def main() -> None:
+    rng = np.random.default_rng(10)
+    n, f = 8, 2
+    # Sensor-fusion style costs: honest targets cluster around the truth.
+    truth = np.array([3.0, -1.5])
+    targets = truth + 0.1 * rng.normal(size=(n, 2))
+    costs = [SquaredDistanceCost(t) for t in targets]
+
+    report = certify_system(
+        costs,
+        f=f,
+        stress_attacks=("gradient_reverse", "random", "zero", "cge_evasion"),
+        aggregators=("cge",),
+        iterations=400,
+    )
+    print(report.render())
+    print()
+
+    # Theorem-3 diagnostics on one of the stress runs.
+    from repro.aggregators import CGEAggregator
+    from repro.attacks import GradientReverseAttack
+
+    trace = run_dgd(
+        costs=costs,
+        faulty_ids=[n - 2, n - 1],
+        aggregator=CGEAggregator(f=f),
+        attack=GradientReverseAttack(),
+        constraint=BoxSet.symmetric(100.0, dim=2),
+        schedule=paper_schedule(),
+        initial_estimate=np.zeros(2),
+        iterations=400,
+        seed=1,
+    )
+    x_h = targets[: n - f].mean(axis=0)
+    diagnostics = fit_condition(trace, x_h)
+    print("Theorem-3 condition fit on the gradient-reverse run:")
+    print(f"  empirical D* = {diagnostics.d_star:.4g}")
+    print(f"  empirical xi = {diagnostics.xi:.4g}")
+    print(f"  condition held: {diagnostics.condition_held}")
+    print(f"  final distance: {diagnostics.final_distance:.4g}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: robust distributed optimization in ~40 lines.
+
+Five agents each want the team to meet at their own favourite location
+(the motivating example of the paper's introduction: ``Q_i(x)`` is the cost
+of travelling to ``x``).  One agent is Byzantine and sends an amplified
+reversed gradient; plain averaging gets dragged away, CGE does not.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    BoxSet,
+    CGEAggregator,
+    GradientReverseAttack,
+    MeanAggregator,
+    paper_schedule,
+    run_dgd,
+)
+from repro.functions import SquaredDistanceCost
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    # Honest favourite locations cluster near (1, 2); agent 4 is faulty.
+    locations = np.array([1.0, 2.0]) + 0.3 * rng.normal(size=(5, 2))
+    costs = [SquaredDistanceCost(loc) for loc in locations]
+    honest_mean = locations[:4].mean(axis=0)
+
+    common = dict(
+        costs=costs,
+        faulty_ids=[4],
+        attack=GradientReverseAttack(scale=10.0),
+        constraint=BoxSet.symmetric(100.0, dim=2),
+        schedule=paper_schedule(),
+        initial_estimate=np.zeros(2),
+        iterations=400,
+    )
+    robust = run_dgd(aggregator=CGEAggregator(f=1), **common)
+    naive = run_dgd(aggregator=MeanAggregator(), **common)
+
+    print(f"honest agents' meeting point : {honest_mean}")
+    print(
+        f"CGE  output                  : {robust.final_estimate}"
+        f"   (error {np.linalg.norm(robust.final_estimate - honest_mean):.4f})"
+    )
+    print(
+        f"mean output (no filter)      : {naive.final_estimate}"
+        f"   (error {np.linalg.norm(naive.final_estimate - honest_mean):.4f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Robust mean estimation as distributed optimization (Section 2.3).
+
+Each honest agent i holds a sample ``x_i ~ D`` and the cost
+``Q_i(x) = ||x - x_i||^2``; the honest aggregate minimizes at the honest
+sample mean.  We compare three estimators under a coordinated ALIE attack:
+
+* the Theorem-2 exact algorithm (on the received cost functions),
+* DGD + CGE, and
+* the naive mean including the poisoned samples.
+
+Run:  python examples/robust_mean_estimation.py
+"""
+
+import numpy as np
+
+from repro import BoxSet, CGEAggregator, paper_schedule, run_dgd
+from repro.attacks import ALIEAttack
+from repro.core import evaluate_resilience, exact_resilient_argmin, measure_redundancy
+from repro.functions import SquaredDistanceCost
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    n, f, d = 9, 2, 3
+    true_mean = np.array([1.0, -2.0, 0.5])
+    samples = true_mean + 0.2 * rng.normal(size=(n, d))
+    honest_samples = samples[: n - f]
+    honest_mean = honest_samples.mean(axis=0)
+
+    honest_costs = [SquaredDistanceCost(s) for s in honest_samples]
+    report = measure_redundancy(honest_costs, f=f)
+    print(f"honest sample mean        : {honest_mean}")
+    print(f"(2f, eps)-redundancy eps  : {report.epsilon:.4f}")
+
+    # -- Theorem-2 exact algorithm on received functions -------------------
+    # Byzantine agents submit innocent-looking quadratics centred far away.
+    poisoned = [
+        SquaredDistanceCost(true_mean + np.array([8.0, 8.0, 8.0]) + k)
+        for k in range(f)
+    ]
+    received = honest_costs + poisoned
+    exact = exact_resilient_argmin(received, f=f)
+    audit = evaluate_resilience(exact.output, honest_costs, n=n, f=f)
+    print(
+        f"Theorem-2 output          : {exact.output}"
+        f"   worst subset distance {audit.worst_distance:.4f}"
+        f" (guarantee: <= 2*eps = {2 * report.epsilon:.4f})"
+    )
+
+    # -- Iterative DGD + CGE under an omniscient ALIE attack ----------------
+    all_costs = honest_costs + poisoned  # faulty agents' reference costs
+    trace = run_dgd(
+        costs=all_costs,
+        faulty_ids=list(range(n - f, n)),
+        aggregator=CGEAggregator(f=f),
+        attack=ALIEAttack(z_max=1.0),
+        constraint=BoxSet.symmetric(100.0, dim=d),
+        schedule=paper_schedule(),
+        initial_estimate=np.zeros(d),
+        iterations=600,
+        seed=1,
+    )
+    cge_err = np.linalg.norm(trace.final_estimate - honest_mean)
+    print(f"DGD+CGE under ALIE        : {trace.final_estimate}   error {cge_err:.4f}")
+
+    # Naive baseline: averaging the submitted points, poison included.
+    poisoned_points = np.vstack([c.target for c in poisoned])
+    naive = np.vstack([honest_samples, poisoned_points]).mean(axis=0)
+    naive_err = np.linalg.norm(naive - honest_mean)
+    print(f"naive mean (poisoned)     : {naive}   error {naive_err:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Fault-tolerant distributed state estimation (Section 2.4).
+
+A sensor network observes a linear system: sensor i measures
+``B_i = A_i x* + noise`` where ``x*`` is the unknown state.  The paper notes
+that 2f-sparse observability — any n − 2f sensors suffice to reconstruct the
+state — is exactly 2f-redundancy of the quadratic costs
+``Q_i(x) = (B_i − A_i x)²``.  We build an observable 12-sensor network with
+2 compromised sensors and recover the state with DGD + CWTM.
+
+Run:  python examples/state_estimation.py
+"""
+
+import numpy as np
+
+from repro import BoxSet, CWTMAggregator, MeanAggregator, paper_schedule, run_dgd
+from repro.attacks import RandomGaussianAttack
+from repro.core import measure_redundancy
+from repro.functions import linear_regression_agents, stack_agents
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    n, f, d = 12, 2, 3
+    x_star = np.array([2.0, -1.0, 0.5])
+
+    # Sensor directions spread over the sphere: any >= 3 sensors observe x*.
+    design = rng.normal(size=(n, d))
+    design /= np.linalg.norm(design, axis=1, keepdims=True)
+    noise = 0.02 * rng.normal(size=n)
+    response = design @ x_star + noise
+
+    costs = linear_regression_agents(design, response)
+    honest_ids = list(range(n - f))
+    honest = [costs[i] for i in honest_ids]
+    x_h = stack_agents(honest).argmin_set().support_points()[0]
+
+    report = measure_redundancy(costs, f=f, inner_sizes="exact")
+    print(f"true state x*            : {x_star}")
+    print(f"honest LS estimate x_H   : {x_h}")
+    print(f"(2f, eps)-redundancy eps : {report.epsilon:.4f}")
+
+    common = dict(
+        costs=costs,
+        faulty_ids=[n - 2, n - 1],
+        attack=RandomGaussianAttack(standard_deviation=50.0),
+        constraint=BoxSet.symmetric(1000.0, dim=d),
+        schedule=paper_schedule(),
+        initial_estimate=np.zeros(d),
+        iterations=800,
+        seed=5,
+    )
+    robust = run_dgd(aggregator=CWTMAggregator(f=f), **common)
+    naive = run_dgd(aggregator=MeanAggregator(), **common)
+
+    err_robust = np.linalg.norm(robust.final_estimate - x_h)
+    err_naive = np.linalg.norm(naive.final_estimate - x_h)
+    print(f"CWTM estimate            : {robust.final_estimate}   error {err_robust:.4f}")
+    print(f"unfiltered estimate      : {naive.final_estimate}   error {err_naive:.4f}")
+    assert err_robust < err_naive, "robust filter should beat plain averaging"
+
+
+if __name__ == "__main__":
+    main()

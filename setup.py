@@ -1,0 +1,6 @@
+"""Setup shim: lets `python setup.py develop` work in offline environments
+where the `wheel` package (needed for PEP 660 editable installs) is absent.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,95 @@
+"""repro — Approximate Byzantine Fault-Tolerance in Distributed Optimization.
+
+A full reproduction of Liu, Gupta & Vaidya (PODC 2021): the (f, ε)-resilience
+/ (2f, ε)-redundancy theory, the Theorem-2 exact algorithm, the distributed
+gradient-descent method with CGE/CWTM gradient-filters, a synchronous
+server-based and peer-to-peer (Byzantine broadcast) system simulator, a
+Byzantine attack zoo, and the paper's evaluation workloads.
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        CGEAggregator, GradientReverseAttack, BoxSet, paper_schedule, run_dgd,
+    )
+    from repro.functions import SquaredDistanceCost
+
+    costs = [SquaredDistanceCost(np.array([float(i), 0.0])) for i in range(5)]
+    trace = run_dgd(
+        costs, faulty_ids=[4], aggregator=CGEAggregator(f=1),
+        attack=GradientReverseAttack(),
+        constraint=BoxSet.symmetric(100.0, dim=2),
+        schedule=paper_schedule(), initial_estimate=np.zeros(2),
+        iterations=300,
+    )
+    print(trace.final_estimate)
+"""
+
+from .aggregators import (
+    CGEAggregator,
+    CWTMAggregator,
+    GradientAggregator,
+    MeanAggregator,
+    available_aggregators,
+    make_aggregator,
+)
+from .attacks import (
+    ByzantineAttack,
+    GradientReverseAttack,
+    RandomGaussianAttack,
+    available_attacks,
+    make_attack,
+)
+from .core import (
+    cge_bound,
+    cge_bound_v2,
+    cwtm_bound,
+    evaluate_resilience,
+    exact_resilient_argmin,
+    hausdorff_distance,
+    measure_constants,
+    measure_redundancy,
+    resilience_is_feasible,
+)
+from .distsys import (
+    PeerToPeerSimulator,
+    SynchronousSimulator,
+    byzantine_broadcast,
+    run_dgd,
+)
+from .functions import CostFunction
+from .optim import BoxSet, HarmonicSchedule, paper_schedule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "CostFunction",
+    "GradientAggregator",
+    "MeanAggregator",
+    "CGEAggregator",
+    "CWTMAggregator",
+    "make_aggregator",
+    "available_aggregators",
+    "ByzantineAttack",
+    "GradientReverseAttack",
+    "RandomGaussianAttack",
+    "make_attack",
+    "available_attacks",
+    "measure_redundancy",
+    "evaluate_resilience",
+    "resilience_is_feasible",
+    "exact_resilient_argmin",
+    "hausdorff_distance",
+    "measure_constants",
+    "cge_bound",
+    "cge_bound_v2",
+    "cwtm_bound",
+    "SynchronousSimulator",
+    "run_dgd",
+    "PeerToPeerSimulator",
+    "byzantine_broadcast",
+    "BoxSet",
+    "HarmonicSchedule",
+    "paper_schedule",
+]

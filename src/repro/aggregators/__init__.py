@@ -1,0 +1,42 @@
+"""Gradient filters (robust aggregation rules) — Section 4.2 and baselines."""
+
+from .base import GradientAggregator, validate_gradients
+from .bulyan import BulyanAggregator
+from .cge import AveragedCGE, CGEAggregator, cge_selection
+from .clipping import CenteredClipAggregator, NormClipAggregator
+from .geometric_median import (
+    GeometricMedianAggregator,
+    MedianOfMeansAggregator,
+    geometric_median,
+)
+from .krum import KrumAggregator, MultiKrumAggregator, krum_scores
+from .meamed import MeaMedAggregator, SignMajorityAggregator
+from .mean import MeanAggregator, SumAggregator
+from .registry import available_aggregators, make_aggregator
+from .trimmed_mean import CoordinateWiseMedian, CWTMAggregator, trimmed_mean
+
+__all__ = [
+    "GradientAggregator",
+    "validate_gradients",
+    "MeanAggregator",
+    "SumAggregator",
+    "CGEAggregator",
+    "AveragedCGE",
+    "cge_selection",
+    "CWTMAggregator",
+    "CoordinateWiseMedian",
+    "trimmed_mean",
+    "KrumAggregator",
+    "MultiKrumAggregator",
+    "krum_scores",
+    "GeometricMedianAggregator",
+    "MedianOfMeansAggregator",
+    "geometric_median",
+    "BulyanAggregator",
+    "CenteredClipAggregator",
+    "NormClipAggregator",
+    "MeaMedAggregator",
+    "SignMajorityAggregator",
+    "make_aggregator",
+    "available_aggregators",
+]

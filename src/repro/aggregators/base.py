@@ -1,0 +1,62 @@
+"""Gradient-filter abstraction.
+
+Section 4 defines a gradient-filter as a map ``GradFilter : R^{d x n} -> R^d``
+applied by the server in step S2 of each iteration.  All filters in this
+package consume a row-stacked ``(n, d)`` array of received gradients (one row
+per agent, Byzantine rows included) and return a single ``(d,)`` vector.
+
+Filters are deterministic and stateless; the tolerated fault count ``f`` is a
+constructor argument where the rule needs it.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["GradientAggregator", "validate_gradients", "require_fault_capacity"]
+
+
+def validate_gradients(gradients: np.ndarray) -> np.ndarray:
+    """Coerce and validate a stack of gradients to an ``(n, d)`` array."""
+    arr = np.asarray(gradients, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(
+            f"expected an (n, d) stack of gradients, got shape {arr.shape}"
+        )
+    if arr.shape[0] == 0:
+        raise ValueError("cannot aggregate zero gradients")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("gradients contain non-finite entries")
+    return arr
+
+
+def require_fault_capacity(n: int, f: int, minimum_honest: int) -> None:
+    """Raise unless ``n`` agents leave ``minimum_honest`` after removing f."""
+    if n - f < minimum_honest:
+        raise ValueError(
+            f"{n} agents cannot tolerate f={f}: "
+            f"at least {minimum_honest} honest inputs are required"
+        )
+
+
+class GradientAggregator(abc.ABC):
+    """A Byzantine-robust gradient aggregation rule (gradient-filter)."""
+
+    #: short registry name, e.g. ``"cge"``
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def aggregate(self, gradients: np.ndarray) -> np.ndarray:
+        """Aggregate an ``(n, d)`` stack into a single ``(d,)`` vector."""
+
+    def __call__(self, gradients: np.ndarray) -> np.ndarray:
+        return self.aggregate(gradients)
+
+    def __repr__(self) -> str:
+        params = {
+            k: v for k, v in vars(self).items() if not k.startswith("_")
+        }
+        inner = ", ".join(f"{k}={v!r}" for k, v in params.items())
+        return f"{type(self).__name__}({inner})"

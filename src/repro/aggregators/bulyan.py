@@ -1,0 +1,53 @@
+"""Bulyan (El Mhamdi, Guerraoui & Rouault, ICML 2018 — reference [20]).
+
+Two stages: (1) recursively select ``n - 2f`` gradients by repeated Krum;
+(2) output the coordinate-wise ``beta``-trimmed mean of the selection with
+``beta = n - 4f`` retained entries (entries closest to the coordinate-wise
+median).  Requires ``n >= 4f + 3``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import GradientAggregator, validate_gradients
+from .krum import krum_scores
+
+__all__ = ["BulyanAggregator"]
+
+
+class BulyanAggregator(GradientAggregator):
+    """Krum-selection followed by median-centered coordinate trimming."""
+
+    name = "bulyan"
+
+    def __init__(self, f: int):
+        if f < 0:
+            raise ValueError("f must be non-negative")
+        self.f = int(f)
+
+    def aggregate(self, gradients: np.ndarray) -> np.ndarray:
+        arr = validate_gradients(gradients)
+        n = arr.shape[0]
+        if n < 4 * self.f + 3:
+            raise ValueError(
+                f"Bulyan requires n >= 4f + 3 (got n={n}, f={self.f})"
+            )
+        theta = n - 2 * self.f  # selection-set size
+        remaining = list(range(n))
+        selected: list = []
+        while len(selected) < theta:
+            scores = krum_scores(
+                arr[remaining], self.f, allow_zero_neighbours=True
+            )
+            winner_local = int(np.argmin(scores))
+            selected.append(remaining.pop(winner_local))
+        chosen = arr[selected]
+
+        beta = theta - 2 * self.f  # entries kept per coordinate
+        med = np.median(chosen, axis=0)
+        # Per coordinate, keep the beta entries closest to the median.
+        gaps = np.abs(chosen - med)
+        order = np.argsort(gaps, axis=0, kind="stable")[:beta]
+        kept = np.take_along_axis(chosen, order, axis=0)
+        return kept.mean(axis=0)

@@ -1,0 +1,80 @@
+"""Krum and Multi-Krum (Blanchard et al., NeurIPS 2017 — reference [6]).
+
+Krum scores each received gradient by the sum of its squared distances to its
+``n - f - 2`` nearest neighbours and outputs the gradient with the lowest
+score; Multi-Krum averages the ``m`` best-scored gradients.  Included as the
+best-known baseline filter the paper cites in Section 2.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import GradientAggregator, require_fault_capacity, validate_gradients
+
+__all__ = ["KrumAggregator", "MultiKrumAggregator", "krum_scores"]
+
+
+def krum_scores(
+    gradients: np.ndarray, f: int, allow_zero_neighbours: bool = False
+) -> np.ndarray:
+    """Krum score of each gradient (lower is more trustworthy).
+
+    The score of gradient ``i`` is the sum of squared Euclidean distances to
+    its ``n - f - 2`` closest other gradients.  ``allow_zero_neighbours``
+    permits ``n - f - 2 == 0`` (all scores zero) — needed by Bulyan's
+    recursive selection, whose final rounds shrink the candidate pool to
+    ``2f + 1`` gradients.
+    """
+    arr = validate_gradients(gradients)
+    n = arr.shape[0]
+    minimum = 2 if allow_zero_neighbours else 3
+    require_fault_capacity(n, f, minimum_honest=minimum)
+    neighbours = n - f - 2
+    if neighbours == 0:
+        return np.zeros(n)
+    diffs = arr[:, None, :] - arr[None, :, :]
+    sq_dists = np.einsum("ijk,ijk->ij", diffs, diffs)
+    np.fill_diagonal(sq_dists, np.inf)
+    nearest = np.sort(sq_dists, axis=1)[:, :neighbours]
+    return nearest.sum(axis=1)
+
+
+class KrumAggregator(GradientAggregator):
+    """Select the single gradient with the smallest Krum score."""
+
+    name = "krum"
+
+    def __init__(self, f: int):
+        if f < 0:
+            raise ValueError("f must be non-negative")
+        self.f = int(f)
+
+    def aggregate(self, gradients: np.ndarray) -> np.ndarray:
+        arr = validate_gradients(gradients)
+        scores = krum_scores(arr, self.f)
+        return arr[int(np.argmin(scores))].copy()
+
+
+class MultiKrumAggregator(GradientAggregator):
+    """Average the ``m`` gradients with the smallest Krum scores."""
+
+    name = "multikrum"
+
+    def __init__(self, f: int, m: int = 1):
+        if f < 0:
+            raise ValueError("f must be non-negative")
+        if m < 1:
+            raise ValueError("m must be at least 1")
+        self.f = int(f)
+        self.m = int(m)
+
+    def aggregate(self, gradients: np.ndarray) -> np.ndarray:
+        arr = validate_gradients(gradients)
+        if self.m > arr.shape[0]:
+            raise ValueError(
+                f"cannot select m={self.m} from {arr.shape[0]} gradients"
+            )
+        scores = krum_scores(arr, self.f)
+        best = np.argsort(scores, kind="stable")[: self.m]
+        return arr[best].mean(axis=0)

@@ -1,0 +1,64 @@
+"""Mean-around-median and sign-majority aggregators.
+
+Two more baselines from works the paper cites:
+
+* MeaMed (Xie, Koyejo & Gupta — "Generalized Byzantine-tolerant SGD",
+  reference [53]): per coordinate, average the ``n − f`` received entries
+  closest to the coordinate median — a cheaper cousin of the trimmed mean
+  that keeps exactly n − f values.
+* signSGD with majority vote (Bernstein et al., reference [3]): the server
+  outputs the coordinate-wise majority of gradient *signs*; magnitude
+  information is discarded, which makes the rule inherently bounded and
+  fault-tolerant at the cost of scale-free updates (pair with small
+  constant steps).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import GradientAggregator, require_fault_capacity, validate_gradients
+
+__all__ = ["MeaMedAggregator", "SignMajorityAggregator"]
+
+
+class MeaMedAggregator(GradientAggregator):
+    """Coordinate-wise mean of the ``n − f`` entries nearest the median."""
+
+    name = "meamed"
+
+    def __init__(self, f: int):
+        if f < 0:
+            raise ValueError("f must be non-negative")
+        self.f = int(f)
+
+    def aggregate(self, gradients: np.ndarray) -> np.ndarray:
+        arr = validate_gradients(gradients)
+        n = arr.shape[0]
+        require_fault_capacity(n, self.f, minimum_honest=1)
+        keep = n - self.f
+        median = np.median(arr, axis=0)
+        gaps = np.abs(arr - median)
+        order = np.argsort(gaps, axis=0, kind="stable")[:keep]
+        nearest = np.take_along_axis(arr, order, axis=0)
+        return nearest.mean(axis=0)
+
+
+class SignMajorityAggregator(GradientAggregator):
+    """Coordinate-wise sign of the sum of signs (majority vote).
+
+    Output entries are in {−1, 0, +1}; ties vote 0.  ``scale`` sets the
+    magnitude of the emitted step direction.
+    """
+
+    name = "sign_majority"
+
+    def __init__(self, scale: float = 1.0):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = float(scale)
+
+    def aggregate(self, gradients: np.ndarray) -> np.ndarray:
+        arr = validate_gradients(gradients)
+        votes = np.sign(arr).sum(axis=0)
+        return self.scale * np.sign(votes)

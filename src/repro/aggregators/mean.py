@@ -1,0 +1,35 @@
+"""Averaging aggregators — the non-robust baselines.
+
+Plain averaging is "technically a gradient-filter ... however, averaging is
+not quite robust against Byzantine faulty agents" (Section 4).  The paper's
+figures include plain gradient descent as the failure baseline; ``SumAggregator``
+matches the un-normalized sum the CGE analysis is written against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import GradientAggregator, validate_gradients
+
+__all__ = ["MeanAggregator", "SumAggregator"]
+
+
+class MeanAggregator(GradientAggregator):
+    """Coordinate-wise arithmetic mean of all received gradients."""
+
+    name = "mean"
+
+    def aggregate(self, gradients: np.ndarray) -> np.ndarray:
+        arr = validate_gradients(gradients)
+        return arr.mean(axis=0)
+
+
+class SumAggregator(GradientAggregator):
+    """Sum of all received gradients (the classic DGD aggregate)."""
+
+    name = "sum"
+
+    def aggregate(self, gradients: np.ndarray) -> np.ndarray:
+        arr = validate_gradients(gradients)
+        return arr.sum(axis=0)

@@ -1,0 +1,56 @@
+"""Name-based construction of gradient filters.
+
+The experiment harness and CLI refer to filters by short names ("cge",
+"cwtm", ...).  ``make_aggregator`` builds the filter, supplying ``n``/``f``
+context where the rule requires it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import GradientAggregator
+from .bulyan import BulyanAggregator
+from .cge import AveragedCGE, CGEAggregator
+from .clipping import CenteredClipAggregator, NormClipAggregator
+from .geometric_median import GeometricMedianAggregator, MedianOfMeansAggregator
+from .krum import KrumAggregator, MultiKrumAggregator
+from .meamed import MeaMedAggregator, SignMajorityAggregator
+from .mean import MeanAggregator, SumAggregator
+from .trimmed_mean import CoordinateWiseMedian, CWTMAggregator
+
+__all__ = ["make_aggregator", "available_aggregators"]
+
+_BUILDERS: Dict[str, Callable[[int, int], GradientAggregator]] = {
+    "mean": lambda n, f: MeanAggregator(),
+    "sum": lambda n, f: SumAggregator(),
+    "cge": lambda n, f: CGEAggregator(f),
+    "cge_mean": lambda n, f: AveragedCGE(f),
+    "cwtm": lambda n, f: CWTMAggregator(f),
+    "median": lambda n, f: CoordinateWiseMedian(),
+    "krum": lambda n, f: KrumAggregator(f),
+    "multikrum": lambda n, f: MultiKrumAggregator(f, m=max(1, n - 2 * f)),
+    "geomedian": lambda n, f: GeometricMedianAggregator(),
+    "gmom": lambda n, f: MedianOfMeansAggregator(groups=max(1, 2 * f + 1)),
+    "bulyan": lambda n, f: BulyanAggregator(f),
+    "centered_clip": lambda n, f: CenteredClipAggregator(),
+    "norm_clip": lambda n, f: NormClipAggregator(),
+    "meamed": lambda n, f: MeaMedAggregator(f),
+    "sign_majority": lambda n, f: SignMajorityAggregator(),
+}
+
+
+def available_aggregators() -> List[str]:
+    """Sorted registry names."""
+    return sorted(_BUILDERS)
+
+
+def make_aggregator(name: str, n: int, f: int) -> GradientAggregator:
+    """Build the filter ``name`` for a system of ``n`` agents, ``f`` faulty."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown aggregator {name!r}; known: {', '.join(available_aggregators())}"
+        ) from None
+    return builder(int(n), int(f))

@@ -1,0 +1,33 @@
+"""Byzantine fault behaviours — Section 5 and literature baselines."""
+
+from .adaptive import AlternatingAttack, CGEEvasionAttack, CoordinateShiftAttack
+from .base import AttackContext, ByzantineAttack
+from .colluding import ALIEAttack, InnerProductManipulationAttack, MimicAttack
+from .registry import available_attacks, make_attack
+from .simple import (
+    ConstantVectorAttack,
+    GradientReverseAttack,
+    LargeNormAttack,
+    RandomGaussianAttack,
+    SignFlipAttack,
+    ZeroGradientAttack,
+)
+
+__all__ = [
+    "AttackContext",
+    "ByzantineAttack",
+    "GradientReverseAttack",
+    "RandomGaussianAttack",
+    "ZeroGradientAttack",
+    "ConstantVectorAttack",
+    "SignFlipAttack",
+    "LargeNormAttack",
+    "ALIEAttack",
+    "InnerProductManipulationAttack",
+    "MimicAttack",
+    "CGEEvasionAttack",
+    "CoordinateShiftAttack",
+    "AlternatingAttack",
+    "make_attack",
+    "available_attacks",
+]

@@ -1,0 +1,101 @@
+"""Filter-aware adaptive attacks.
+
+These omniscient behaviours target the *specific* filters the paper
+analyzes, probing the edges of the Theorem-4/6 guarantees:
+
+* :class:`CGEEvasionAttack` — sends a vector pointed against the honest
+  descent direction with norm just *below* the smallest honest gradient
+  norm, so CGE's norm sort can never eliminate it (the worst case its
+  analysis must absorb: Theorem 4's proof charges each surviving Byzantine
+  gradient against an eliminated honest one).
+* :class:`CoordinateShiftAttack` — targets CWTM: shifts each coordinate to
+  sit just inside the honest coordinate range, maximally biasing the
+  trimmed mean without ever being trimmed.
+* :class:`AlternatingAttack` — switches between two behaviours on a fixed
+  period, defeating defenses that profile a static behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .base import AttackContext, ByzantineAttack
+
+__all__ = ["CGEEvasionAttack", "CoordinateShiftAttack", "AlternatingAttack"]
+
+
+class CGEEvasionAttack(ByzantineAttack):
+    """Anti-descent vector with a norm CGE will never eliminate."""
+
+    name = "cge_evasion"
+    requires_omniscience = True
+
+    def __init__(self, norm_fraction: float = 0.9):
+        if not 0 < norm_fraction <= 1:
+            raise ValueError("norm_fraction must be in (0, 1]")
+        self.norm_fraction = float(norm_fraction)
+
+    def fabricate(self, context: AttackContext) -> Dict[int, np.ndarray]:
+        honest = context.honest_stack()
+        norms = np.linalg.norm(honest, axis=1)
+        target_norm = self.norm_fraction * float(norms.min())
+        direction = -honest.mean(axis=0)
+        scale = float(np.linalg.norm(direction))
+        if scale < 1e-300 or target_norm == 0.0:
+            poisoned = np.zeros(context.dim)
+        else:
+            poisoned = direction * (target_norm / scale)
+        return {i: poisoned.copy() for i in context.faulty_ids}
+
+
+class CoordinateShiftAttack(ByzantineAttack):
+    """Per-coordinate extreme values that CWTM cannot trim away.
+
+    Sends, in each coordinate, the value ``fraction`` of the way from the
+    honest median to the honest minimum — inside the honest range, so with
+    ``f`` faulty agents the trimmed mean still averages over it.
+    """
+
+    name = "coordinate_shift"
+    requires_omniscience = True
+
+    def __init__(self, fraction: float = 1.0):
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        self.fraction = float(fraction)
+
+    def fabricate(self, context: AttackContext) -> Dict[int, np.ndarray]:
+        honest = context.honest_stack()
+        median = np.median(honest, axis=0)
+        low = honest.min(axis=0)
+        poisoned = median + self.fraction * (low - median)
+        return {i: poisoned.copy() for i in context.faulty_ids}
+
+
+class AlternatingAttack(ByzantineAttack):
+    """Alternate between two attacks with a fixed period."""
+
+    name = "alternating"
+
+    def __init__(
+        self,
+        first: ByzantineAttack,
+        second: ByzantineAttack,
+        period: int = 10,
+    ):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.first = first
+        self.second = second
+        self.period = int(period)
+
+    @property
+    def requires_omniscience(self) -> bool:  # type: ignore[override]
+        return self.first.requires_omniscience or self.second.requires_omniscience
+
+    def fabricate(self, context: AttackContext) -> Dict[int, np.ndarray]:
+        phase = (context.iteration // self.period) % 2
+        active = self.first if phase == 0 else self.second
+        return active.fabricate(context)

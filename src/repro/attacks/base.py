@@ -1,0 +1,81 @@
+"""Byzantine fault-behaviour abstraction.
+
+A Byzantine agent "may send arbitrary incorrect vectors as their gradients to
+the server" (Section 4).  Attacks in this package model that freedom: at each
+iteration the simulator hands the attack an :class:`AttackContext` describing
+everything a worst-case adversary may know — the current estimate, the true
+gradients of the compromised agents, and (for *omniscient* attacks) the
+honest agents' gradients — and receives one fabricated gradient per faulty
+agent.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["AttackContext", "ByzantineAttack"]
+
+
+@dataclass
+class AttackContext:
+    """Everything an adversary can observe at one iteration.
+
+    Attributes:
+        iteration: current iteration index ``t``.
+        estimate: the broadcast estimate ``x_t``, shape ``(d,)``.
+        faulty_ids: ids of the compromised agents, ascending.
+        true_gradients: each faulty agent's *correct* gradient at ``x_t``
+            (what the agent would send if honest), keyed by agent id.
+        honest_gradients: honest agents' gradients keyed by id — only
+            populated for omniscient attacks.
+        rng: deterministic per-run random generator.
+    """
+
+    iteration: int
+    estimate: np.ndarray
+    faulty_ids: Sequence[int]
+    true_gradients: Dict[int, np.ndarray]
+    honest_gradients: Optional[Dict[int, np.ndarray]] = None
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(0)
+    )
+
+    @property
+    def dim(self) -> int:
+        """Dimension of the optimization variable."""
+        return int(np.asarray(self.estimate).shape[0])
+
+    def honest_stack(self) -> np.ndarray:
+        """Honest gradients as an ``(h, d)`` array (omniscient attacks only)."""
+        if not self.honest_gradients:
+            raise RuntimeError(
+                "attack requires omniscient access to honest gradients; "
+                "enable it on the simulator"
+            )
+        ids = sorted(self.honest_gradients)
+        return np.vstack([self.honest_gradients[i] for i in ids])
+
+
+class ByzantineAttack(abc.ABC):
+    """A rule for fabricating faulty gradients each iteration."""
+
+    #: short registry name, e.g. ``"gradient_reverse"``
+    name: str = "abstract"
+
+    #: whether the attack needs honest agents' gradients
+    requires_omniscience: bool = False
+
+    @abc.abstractmethod
+    def fabricate(self, context: AttackContext) -> Dict[int, np.ndarray]:
+        """Gradient to send for every faulty agent id in the context."""
+
+    def __repr__(self) -> str:
+        params = {
+            k: v for k, v in vars(self).items() if not k.startswith("_")
+        }
+        inner = ", ".join(f"{k}={v!r}" for k, v in params.items())
+        return f"{type(self).__name__}({inner})"

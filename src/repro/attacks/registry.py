@@ -1,0 +1,51 @@
+"""Name-based construction of Byzantine attacks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from .adaptive import CGEEvasionAttack, CoordinateShiftAttack
+from .base import ByzantineAttack
+from .colluding import ALIEAttack, InnerProductManipulationAttack, MimicAttack
+from .simple import (
+    ConstantVectorAttack,
+    GradientReverseAttack,
+    LargeNormAttack,
+    RandomGaussianAttack,
+    SignFlipAttack,
+    ZeroGradientAttack,
+)
+
+__all__ = ["make_attack", "available_attacks"]
+
+_BUILDERS: Dict[str, Callable[[], ByzantineAttack]] = {
+    "gradient_reverse": lambda: GradientReverseAttack(),
+    "random": lambda: RandomGaussianAttack(standard_deviation=200.0),
+    "zero": lambda: ZeroGradientAttack(),
+    "sign_flip": lambda: SignFlipAttack(),
+    "large_norm": lambda: LargeNormAttack(),
+    "constant": lambda: ConstantVectorAttack(np.array([1.0])),
+    "alie": lambda: ALIEAttack(),
+    "ipm": lambda: InnerProductManipulationAttack(),
+    "mimic": lambda: MimicAttack(),
+    "cge_evasion": lambda: CGEEvasionAttack(),
+    "coordinate_shift": lambda: CoordinateShiftAttack(),
+}
+
+
+def available_attacks() -> List[str]:
+    """Sorted registry names."""
+    return sorted(_BUILDERS)
+
+
+def make_attack(name: str) -> ByzantineAttack:
+    """Build attack ``name`` with its paper-default parameters."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown attack {name!r}; known: {', '.join(available_attacks())}"
+        ) from None
+    return builder()

@@ -1,0 +1,130 @@
+"""Core contribution: resilience/redundancy theory of the paper."""
+
+from .bounds import (
+    ResilienceBound,
+    cge_bound,
+    cge_bound_v2,
+    cge_breakdown_fraction,
+    cwtm_bound,
+)
+from .certify import AttackOutcome, CertificationReport, certify_system
+from .construct import ConstructedInstance, make_instance_with_epsilon
+from .convergence import (
+    ConvergenceDiagnostics,
+    check_condition,
+    fit_condition,
+    phi_series,
+)
+from .exact_algorithm import ExactAlgorithmResult, exact_resilient_argmin
+from .forensics import (
+    CGEForensics,
+    CWTMForensics,
+    cge_forensics,
+    cwtm_forensics,
+)
+from .frontier import FrontierRow, render_frontier, resilience_frontier
+from .geometry import (
+    AffineSubspace,
+    BallSet,
+    FiniteSet,
+    PointSet,
+    SegmentSet,
+    SingletonSet,
+    diameter,
+    distance_to_set,
+    hausdorff_distance,
+    pairwise_distances,
+)
+from .redundancy import (
+    RedundancyReport,
+    estimate_or_measure_epsilon,
+    has_exact_redundancy,
+    has_redundancy,
+    honest_subset_epsilon,
+    measure_redundancy,
+    subset_argmin,
+)
+from .sampling import SampledRedundancy, estimate_redundancy
+from .resilience import (
+    ResilienceEvaluation,
+    evaluate_resilience,
+    is_resilient_output,
+    resilience_is_feasible,
+)
+from .weighted import (
+    WeightedCertificate,
+    cost_value_approximation,
+    gradient_value_approximation,
+    scaling_sensitivity_demo,
+    weighted_minimizer_certificate,
+)
+from .theory import (
+    AssumptionConstants,
+    check_lemma3,
+    gradient_dissimilarity,
+    measure_constants,
+    smoothness_constant,
+    strong_convexity_constant,
+    verify_lemma4,
+)
+
+__all__ = [
+    "PointSet",
+    "SingletonSet",
+    "FiniteSet",
+    "AffineSubspace",
+    "BallSet",
+    "SegmentSet",
+    "distance_to_set",
+    "hausdorff_distance",
+    "pairwise_distances",
+    "diameter",
+    "RedundancyReport",
+    "measure_redundancy",
+    "has_redundancy",
+    "has_exact_redundancy",
+    "honest_subset_epsilon",
+    "subset_argmin",
+    "SampledRedundancy",
+    "estimate_redundancy",
+    "estimate_or_measure_epsilon",
+    "AttackOutcome",
+    "CertificationReport",
+    "certify_system",
+    "ConstructedInstance",
+    "make_instance_with_epsilon",
+    "FrontierRow",
+    "resilience_frontier",
+    "render_frontier",
+    "ConvergenceDiagnostics",
+    "phi_series",
+    "check_condition",
+    "fit_condition",
+    "CGEForensics",
+    "cge_forensics",
+    "CWTMForensics",
+    "cwtm_forensics",
+    "WeightedCertificate",
+    "weighted_minimizer_certificate",
+    "gradient_value_approximation",
+    "cost_value_approximation",
+    "scaling_sensitivity_demo",
+    "ResilienceEvaluation",
+    "evaluate_resilience",
+    "is_resilient_output",
+    "resilience_is_feasible",
+    "ExactAlgorithmResult",
+    "exact_resilient_argmin",
+    "ResilienceBound",
+    "cge_bound",
+    "cge_bound_v2",
+    "cwtm_bound",
+    "cge_breakdown_fraction",
+    "AssumptionConstants",
+    "measure_constants",
+    "smoothness_constant",
+    "strong_convexity_constant",
+    "gradient_dissimilarity",
+    "check_lemma3",
+    "verify_lemma4",
+]

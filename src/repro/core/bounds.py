@@ -1,0 +1,139 @@
+"""Resilience bounds of Theorems 4, 5 and 6.
+
+These closed forms turn the measured problem constants (µ, γ, λ, ε) into the
+asymptotic error radii the paper guarantees:
+
+* CGE, Theorem 4:  α = 1 − (f/n)(1 + 2µ/γ),  D = 4µf / (αγ)
+  (limit ‖x_t − x_H‖ ≤ D·ε), requiring α > 0 — i.e. f/n < 1/(1 + 2µ/γ).
+* CGE, Theorem 5 (sharper, requires f ≤ n/3):
+  α = 1 − (f/n)(1 + µ/γ),  D = (1 + 2f)(n − 2f)µ / (αnγ).
+* CWTM, Theorem 6:  D' = 2√d·nµλ / (γ − √d·µλ), requiring λ < γ/(µ√d).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "ResilienceBound",
+    "cge_bound",
+    "cge_bound_v2",
+    "cwtm_bound",
+    "cge_breakdown_fraction",
+]
+
+
+@dataclass(frozen=True)
+class ResilienceBound:
+    """A filter's guaranteed asymptotic resilience radius per unit ε.
+
+    ``factor`` is D (or D'): the algorithm is asymptotically (f, D·ε)-
+    resilient.  ``applicable`` is False when the theorem's hypothesis fails
+    (α ≤ 0, f too large, or λ too large), in which case ``factor`` is NaN.
+    """
+
+    theorem: str
+    applicable: bool
+    factor: float
+    alpha: Optional[float] = None
+
+    def radius(self, epsilon: float) -> float:
+        """The guaranteed limit radius ``factor * epsilon``."""
+        if not self.applicable:
+            raise ValueError(f"{self.theorem} hypothesis not satisfied")
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        return self.factor * epsilon
+
+
+def _validate(n: int, f: int, mu: float, gamma: float) -> None:
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0 <= f < n:
+        raise ValueError(f"need 0 <= f < n (got n={n}, f={f})")
+    if mu <= 0 or gamma <= 0:
+        raise ValueError("mu and gamma must be positive")
+    if gamma > mu + 1e-9:
+        raise ValueError(
+            f"gamma <= mu must hold (Appendix C), got gamma={gamma}, mu={mu}"
+        )
+
+
+def cge_breakdown_fraction(mu: float, gamma: float) -> float:
+    """Largest f/n ratio with a Theorem-4 guarantee: 1 / (1 + 2µ/γ)."""
+    if mu <= 0 or gamma <= 0:
+        raise ValueError("mu and gamma must be positive")
+    return 1.0 / (1.0 + 2.0 * mu / gamma)
+
+
+def cge_bound(n: int, f: int, mu: float, gamma: float) -> ResilienceBound:
+    """Theorem 4: DGD + CGE is asymptotically (f, Dε)-resilient.
+
+    ``D = 4µf/(αγ)`` with ``α = 1 − (f/n)(1 + 2µ/γ)``; D = 0 when f = 0
+    (exact convergence in the fault-free case).
+    """
+    _validate(n, f, mu, gamma)
+    alpha = 1.0 - (f / n) * (1.0 + 2.0 * mu / gamma)
+    if alpha <= 0:
+        return ResilienceBound(
+            theorem="Theorem 4", applicable=False, factor=float("nan"), alpha=alpha
+        )
+    factor = 4.0 * mu * f / (alpha * gamma)
+    return ResilienceBound(
+        theorem="Theorem 4", applicable=True, factor=factor, alpha=alpha
+    )
+
+
+def cge_bound_v2(n: int, f: int, mu: float, gamma: float) -> ResilienceBound:
+    """Theorem 5: the alternative CGE bound exploiting 2f-redundancy.
+
+    ``D = (1 + 2f)(n − 2f)µ/(αnγ)`` with ``α = 1 − (f/n)(1 + µ/γ)``;
+    requires ``f <= n/3``.
+    """
+    _validate(n, f, mu, gamma)
+    if f > n / 3.0:
+        return ResilienceBound(
+            theorem="Theorem 5", applicable=False, factor=float("nan"), alpha=None
+        )
+    alpha = 1.0 - (f / n) * (1.0 + mu / gamma)
+    if alpha <= 0:
+        return ResilienceBound(
+            theorem="Theorem 5", applicable=False, factor=float("nan"), alpha=alpha
+        )
+    if f == 0:
+        factor = 0.0
+    else:
+        factor = (1.0 + 2.0 * f) * (n - 2.0 * f) * mu / (alpha * n * gamma)
+    return ResilienceBound(
+        theorem="Theorem 5", applicable=True, factor=factor, alpha=alpha
+    )
+
+
+def cwtm_bound(
+    n: int, d: int, mu: float, gamma: float, lam: float
+) -> ResilienceBound:
+    """Theorem 6: DGD + CWTM is asymptotically (f, D'ε)-resilient.
+
+    ``D' = 2√d·nµλ / (γ − √d·µλ)``; requires λ < γ/(µ√d) (Assumption 5
+    with a sufficiently small dissimilarity constant).  Note D' does not
+    depend on f directly.
+    """
+    if d <= 0:
+        raise ValueError("d must be positive")
+    if lam < 0:
+        raise ValueError("lambda must be non-negative")
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if mu <= 0 or gamma <= 0:
+        raise ValueError("mu and gamma must be positive")
+    root_d = math.sqrt(d)
+    if lam >= gamma / (mu * root_d):
+        return ResilienceBound(
+            theorem="Theorem 6", applicable=False, factor=float("nan"), alpha=None
+        )
+    factor = 2.0 * root_d * n * mu * lam / (gamma - root_d * mu * lam)
+    return ResilienceBound(
+        theorem="Theorem 6", applicable=True, factor=factor, alpha=None
+    )

@@ -1,0 +1,187 @@
+"""End-to-end resilience certification for a cost family.
+
+The workflow a downstream user actually wants: *given my agents' costs and
+a fault budget f, what does this paper guarantee, and does it hold when I
+run the system?*  :func:`certify_system` chains the library's pieces:
+
+1. feasibility (Lemma 1: f < n/2),
+2. redundancy measurement (Definition 3 — the exact enumeration, or the
+   sampled lower bound for large n),
+3. assumption constants µ, γ, λ (Assumptions 2/3/5),
+4. theory bounds (Theorems 4, 5, 6) with applicability flags,
+5. optional empirical stress runs of DGD under a battery of attacks, each
+   audited against Definition 2 and the theory envelopes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..functions.base import CostFunction
+from .bounds import ResilienceBound, cge_bound, cge_bound_v2, cwtm_bound
+from .redundancy import estimate_or_measure_epsilon
+from .resilience import resilience_is_feasible
+from .theory import measure_constants
+
+__all__ = ["AttackOutcome", "CertificationReport", "certify_system"]
+
+
+@dataclass
+class AttackOutcome:
+    """One empirical stress run inside a certification."""
+
+    aggregator: str
+    attack: str
+    distance: float
+    within_epsilon: bool
+    within_envelope: bool
+
+
+@dataclass
+class CertificationReport:
+    """Everything :func:`certify_system` establishes about a system."""
+
+    n: int
+    f: int
+    feasible: bool
+    epsilon: float
+    epsilon_is_exact: bool
+    mu: float
+    gamma: float
+    lam: float
+    bound_cge_thm4: ResilienceBound
+    bound_cge_thm5: ResilienceBound
+    bound_cwtm_thm6: ResilienceBound
+    outcomes: List[AttackOutcome] = field(default_factory=list)
+
+    @property
+    def best_cge_envelope(self) -> float:
+        """Tightest applicable CGE guarantee radius (D·ε), inf if none."""
+        radii = [
+            b.radius(self.epsilon)
+            for b in (self.bound_cge_thm4, self.bound_cge_thm5)
+            if b.applicable
+        ]
+        return min(radii) if radii else float("inf")
+
+    def render(self) -> str:
+        """Human-readable certification summary."""
+        lines = [
+            f"Resilience certification — n={self.n}, f={self.f}",
+            f"  Lemma-1 feasibility (f < n/2): {'OK' if self.feasible else 'FAIL'}",
+            (
+                f"  (2f, eps)-redundancy eps: {self.epsilon:.6g}"
+                f" ({'exact' if self.epsilon_is_exact else 'sampled lower bound'})"
+            ),
+            (
+                f"  constants: mu={self.mu:.4g}, gamma={self.gamma:.4g},"
+                f" lambda={self.lam:.4g}"
+            ),
+        ]
+        for bound in (
+            self.bound_cge_thm4,
+            self.bound_cge_thm5,
+            self.bound_cwtm_thm6,
+        ):
+            if bound.applicable:
+                lines.append(
+                    f"  {bound.theorem}: applicable,"
+                    f" guaranteed radius {bound.radius(self.epsilon):.6g}"
+                )
+            else:
+                lines.append(f"  {bound.theorem}: NOT applicable")
+        for outcome in self.outcomes:
+            verdict = "ok" if outcome.within_envelope else "VIOLATION"
+            lines.append(
+                f"  run {outcome.aggregator}/{outcome.attack}:"
+                f" dist={outcome.distance:.6g}"
+                f" (<eps: {outcome.within_epsilon}, envelope: {verdict})"
+            )
+        return "\n".join(lines)
+
+
+def certify_system(
+    costs: Sequence[CostFunction],
+    f: int,
+    stress_attacks: Sequence[str] = (),
+    aggregators: Sequence[str] = ("cge", "cwtm"),
+    iterations: int = 500,
+    exhaustive_limit: int = 10,
+    seed: int = 0,
+) -> CertificationReport:
+    """Certify a cost family against the paper's theory.
+
+    ``exhaustive_limit`` bounds the system size for which the Definition-3
+    enumeration is exhaustive; larger systems fall back to the sampled
+    lower bound of :mod:`repro.core.sampling`.  ``stress_attacks`` names
+    attacks from the registry; each is run through DGD with the last ``f``
+    agents Byzantine and audited against ε and the tightest applicable
+    envelope.
+    """
+    n = len(costs)
+    feasible = resilience_is_feasible(n, f)
+    if feasible:
+        epsilon, exact = estimate_or_measure_epsilon(
+            costs, f, exhaustive_limit=exhaustive_limit, seed=seed
+        )
+    else:
+        # Lemma 1: no deterministic algorithm exists; the redundancy
+        # parameter (which needs n - 2f >= 1) is undefined here.
+        epsilon, exact = float("nan"), False
+    constants = measure_constants(costs, f, rng=np.random.default_rng(seed))
+    report = CertificationReport(
+        n=n,
+        f=f,
+        feasible=feasible,
+        epsilon=epsilon,
+        epsilon_is_exact=exact,
+        mu=constants.mu,
+        gamma=constants.gamma,
+        lam=constants.lam,
+        bound_cge_thm4=cge_bound(n, f, constants.mu, constants.gamma),
+        bound_cge_thm5=cge_bound_v2(n, f, constants.mu, constants.gamma),
+        bound_cwtm_thm6=cwtm_bound(
+            n, costs[0].dim, constants.mu, constants.gamma, constants.lam
+        ),
+    )
+    if not stress_attacks or not feasible:
+        return report
+
+    from ..aggregators.registry import make_aggregator
+    from ..attacks.registry import make_attack
+    from ..distsys.simulator import run_dgd
+    from ..functions.sums import SumCost
+    from ..optim.argmin import resolve_argmin_set
+    from ..optim.projections import BoxSet
+    from ..optim.schedules import paper_schedule
+
+    honest = list(costs[: n - f])
+    x_h = resolve_argmin_set(SumCost(honest)).support_points()[0]
+    envelope = report.best_cge_envelope
+    for aggregator in aggregators:
+        for attack in stress_attacks:
+            trace = run_dgd(
+                costs=costs,
+                faulty_ids=list(range(n - f, n)),
+                aggregator=make_aggregator(aggregator, n, f),
+                attack=make_attack(attack),
+                constraint=BoxSet.symmetric(1000.0, dim=costs[0].dim),
+                schedule=paper_schedule(),
+                initial_estimate=np.zeros(costs[0].dim),
+                iterations=iterations,
+                seed=seed,
+            )
+            distance = float(np.linalg.norm(trace.final_estimate - x_h))
+            report.outcomes.append(
+                AttackOutcome(
+                    aggregator=aggregator,
+                    attack=attack,
+                    distance=distance,
+                    within_epsilon=distance < epsilon,
+                    within_envelope=distance <= envelope + 1e-9,
+                )
+            )
+    return report

@@ -1,0 +1,140 @@
+"""Construct cost families with a *requested* redundancy parameter.
+
+The experiments of Section 3 reason about "what if the costs satisfy
+(2f, ε)-redundancy for this particular ε?"  This module solves the inverse
+problem: given (n, f, ε*), build a concrete cost family whose measured
+Definition-3 parameter is ε* (to a tolerance).
+
+Two families are supported:
+
+* ``"mean"`` — squared-distance costs (robust-mean reduction, §2.3): the
+  argmin of any subset aggregate is the subset's target mean, so ε scales
+  *exactly linearly* in the spread of the targets — one measurement
+  calibrates the family;
+* ``"regression"`` — single-row least-squares agents with noisy responses
+  (the Appendix-J shape): ε is again positively homogeneous in the noise
+  scale, calibrated the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..functions.base import CostFunction
+from ..functions.least_squares import linear_regression_agents
+from ..functions.quadratic import SquaredDistanceCost
+from .redundancy import measure_redundancy
+
+__all__ = ["ConstructedInstance", "make_instance_with_epsilon"]
+
+
+@dataclass
+class ConstructedInstance:
+    """A cost family calibrated to a requested redundancy parameter."""
+
+    costs: List[CostFunction]
+    n: int
+    f: int
+    requested_epsilon: float
+    achieved_epsilon: float
+    scale: float           # the spread/noise scale that achieves it
+    kind: str
+
+    def __repr__(self) -> str:
+        return (
+            f"ConstructedInstance(kind={self.kind!r}, n={self.n}, f={self.f},"
+            f" eps={self.achieved_epsilon:.6g})"
+        )
+
+
+def _mean_family(
+    n: int, dim: int, scale: float, rng: np.random.Generator
+) -> List[CostFunction]:
+    directions = rng.normal(size=(n, dim))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    radii = rng.random(n)
+    center = rng.normal(size=dim)
+    targets = center + scale * radii[:, None] * directions
+    return [SquaredDistanceCost(t) for t in targets]
+
+
+def _regression_family(
+    n: int, dim: int, scale: float, rng: np.random.Generator
+) -> List[CostFunction]:
+    if dim != 2:
+        raise ValueError("the regression family is two-dimensional")
+    angles = np.pi * np.arange(n) / n
+    design = np.column_stack([np.cos(angles), np.sin(angles)])
+    x_star = np.array([1.0, -0.5])
+    noise = scale * rng.normal(size=n)
+    return linear_regression_agents(design, design @ x_star + noise)
+
+
+_FAMILIES = {"mean": _mean_family, "regression": _regression_family}
+
+
+def make_instance_with_epsilon(
+    n: int,
+    f: int,
+    epsilon: float,
+    kind: str = "mean",
+    dim: int = 2,
+    seed: int = 0,
+    tolerance: float = 1e-6,
+) -> ConstructedInstance:
+    """Build an n-agent family whose measured Definition-3 ε equals ``epsilon``.
+
+    Both supported families are positively homogeneous in their scale
+    parameter (scaling every target offset / every noise value by c scales
+    every subset argmin gap — hence ε — by exactly c), so a single
+    measurement at scale 1 calibrates the construction:
+    ``scale = epsilon / eps(1)``.  The achieved ε is re-measured and must
+    match to ``tolerance``.
+    """
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    if kind not in _FAMILIES:
+        raise ValueError(f"unknown kind {kind!r}; known: {sorted(_FAMILIES)}")
+    if n - 2 * f < 1:
+        raise ValueError(f"need n - 2f >= 1 (got n={n}, f={f})")
+    build = _FAMILIES[kind]
+
+    if epsilon == 0.0 or f == 0:
+        # Zero spread/noise gives identical (or noise-free) costs: eps = 0.
+        costs = build(n, dim, 0.0, np.random.default_rng(seed))
+        achieved = measure_redundancy(costs, f).epsilon if f > 0 else 0.0
+        return ConstructedInstance(
+            costs=costs,
+            n=n,
+            f=f,
+            requested_epsilon=epsilon,
+            achieved_epsilon=achieved,
+            scale=0.0,
+            kind=kind,
+        )
+
+    unit_costs = build(n, dim, 1.0, np.random.default_rng(seed))
+    unit_epsilon = measure_redundancy(unit_costs, f).epsilon
+    if unit_epsilon <= 0:
+        raise RuntimeError(
+            "degenerate draw: unit-scale instance has zero redundancy gap"
+        )
+    scale = epsilon / unit_epsilon
+    costs = build(n, dim, scale, np.random.default_rng(seed))
+    achieved = measure_redundancy(costs, f).epsilon
+    if abs(achieved - epsilon) > max(tolerance, 1e-9 * epsilon * 10):
+        raise RuntimeError(
+            f"calibration failed: requested {epsilon}, achieved {achieved}"
+        )
+    return ConstructedInstance(
+        costs=costs,
+        n=n,
+        f=f,
+        requested_epsilon=epsilon,
+        achieved_epsilon=achieved,
+        scale=scale,
+        kind=kind,
+    )

@@ -1,0 +1,129 @@
+"""Empirical diagnostics for the Theorem-3 convergence condition.
+
+Theorem 3 guarantees ``lim ||x_t − x*|| <= D*`` for the update rule (21)
+whenever the filtered aggregate satisfies the inner-product condition (22):
+
+    phi_t = <x_t − x*, GradFilter(g_1..g_n)>  >=  xi > 0
+    whenever ||x_t − x*|| >= D*.
+
+Given an :class:`~repro.distsys.trace.ExecutionTrace` and a reference point
+x*, this module computes the φ_t series and fits the smallest empirical
+``D*`` for which the condition held throughout the run, together with the
+corresponding ``ξ`` — turning the paper's proof device into an observable
+diagnostic (the Theorem-4/5/6 proofs are exactly derivations of (D*, ξ)
+pairs for CGE and CWTM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..distsys.trace import ExecutionTrace
+
+__all__ = [
+    "ConvergenceDiagnostics",
+    "phi_series",
+    "check_condition",
+    "fit_condition",
+]
+
+
+def phi_series(trace: ExecutionTrace, x_star: Sequence[float]) -> np.ndarray:
+    """The series ``phi_t = <x_t − x*, aggregate_t>`` along a trace."""
+    target = np.asarray(x_star, dtype=float)
+    return np.array(
+        [
+            float((record.estimate - target) @ record.aggregate)
+            for record in trace
+        ]
+    )
+
+
+def check_condition(
+    trace: ExecutionTrace,
+    x_star: Sequence[float],
+    d_star: float,
+    xi: float,
+) -> bool:
+    """Whether condition (22) held at every recorded iteration.
+
+    True iff ``phi_t >= xi`` for all t with ``||x_t − x*|| >= d_star``.
+    """
+    if d_star < 0 or xi <= 0:
+        raise ValueError("need d_star >= 0 and xi > 0")
+    target = np.asarray(x_star, dtype=float)
+    phis = phi_series(trace, target)
+    dists = np.array(
+        [float(np.linalg.norm(r.estimate - target)) for r in trace]
+    )
+    outside = dists >= d_star
+    return bool(np.all(phis[outside] >= xi)) if outside.any() else True
+
+
+@dataclass
+class ConvergenceDiagnostics:
+    """Empirical (D*, ξ) fit for one execution."""
+
+    d_star: float
+    xi: float
+    n_outside: int            # iterations with ||x_t − x*|| >= d_star
+    min_phi_outside: float    # == xi when n_outside > 0
+    final_distance: float
+    condition_held: bool
+
+    def __repr__(self) -> str:
+        return (
+            f"ConvergenceDiagnostics(d_star={self.d_star:.4g},"
+            f" xi={self.xi:.4g}, outside={self.n_outside},"
+            f" held={self.condition_held})"
+        )
+
+
+def fit_condition(
+    trace: ExecutionTrace,
+    x_star: Sequence[float],
+    quantile_grid: int = 50,
+) -> ConvergenceDiagnostics:
+    """The smallest empirical D* with positive φ_t outside its ball.
+
+    Scans candidate radii (the observed distance quantiles) from small to
+    large and returns the first D* such that every recorded iterate at
+    distance ≥ D* had φ_t > 0; ξ is the minimum φ over those iterates.
+    Theorem 3 then predicts ``lim ||x_t − x*|| <= D*`` for runs continued
+    with Robbins–Monro steps.
+    """
+    target = np.asarray(x_star, dtype=float)
+    phis = phi_series(trace, target)
+    dists = np.array(
+        [float(np.linalg.norm(r.estimate - target)) for r in trace]
+    )
+    final = float(np.linalg.norm(trace.final_estimate - target))
+    candidates = np.unique(
+        np.quantile(dists, np.linspace(0.0, 1.0, max(2, quantile_grid)))
+    )
+    for d_star in candidates:
+        outside = dists >= d_star
+        if not outside.any():
+            continue
+        min_phi = float(phis[outside].min())
+        if min_phi > 0.0:
+            return ConvergenceDiagnostics(
+                d_star=float(d_star),
+                xi=min_phi,
+                n_outside=int(outside.sum()),
+                min_phi_outside=min_phi,
+                final_distance=final,
+                condition_held=True,
+            )
+    # No radius worked: the condition failed even at the largest distances.
+    return ConvergenceDiagnostics(
+        d_star=float("inf"),
+        xi=0.0,
+        n_outside=0,
+        min_phi_outside=float(phis.min()) if len(phis) else 0.0,
+        final_distance=final,
+        condition_held=False,
+    )

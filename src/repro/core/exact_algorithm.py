@@ -1,0 +1,107 @@
+"""The constructive algorithm from the proof of Theorem 2.
+
+Under (2f, ε)-redundancy this three-step procedure is (f, 2ε)-resilient:
+
+  Step 1: every agent sends its full cost function to the server (Byzantine
+          agents may send arbitrary functions).
+  Step 2: for each candidate set T with |T| = n − f, the server picks a
+          minimizer ``x_T`` of the aggregate over T and computes
+          ``r_T = max over T̂ ⊂ T, |T̂| = n − 2f of dist(x_T, argmin_T̂)``
+          (equations (10)–(11)).
+  Step 3: output ``x_S`` for S minimizing ``r_T`` (equation (12)).
+
+The paper notes it "is not a very practical algorithm due to being
+computationally expensive" — the enumeration is Θ(C(n, f) · C(n−f, f));
+``bench_exact_algorithm`` measures that growth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..functions.base import CostFunction
+from ..functions.sums import SumCost
+from ..optim.argmin import resolve_argmin_set
+from .geometry import PointSet
+
+__all__ = ["ExactAlgorithmResult", "exact_resilient_argmin"]
+
+
+@dataclass
+class ExactAlgorithmResult:
+    """Output of the Theorem-2 procedure with its audit trail."""
+
+    output: np.ndarray
+    selected_set: Tuple[int, ...]
+    radius: float                       # r_S of the winning set
+    radii: Dict[Tuple[int, ...], float]  # r_T for every candidate T
+    candidates: Dict[Tuple[int, ...], np.ndarray]  # x_T for every T
+
+    def __repr__(self) -> str:
+        return (
+            f"ExactAlgorithmResult(selected={self.selected_set},"
+            f" radius={self.radius:.6g},"
+            f" candidates={len(self.candidates)})"
+        )
+
+
+def exact_resilient_argmin(
+    costs: Sequence[CostFunction], f: int
+) -> ExactAlgorithmResult:
+    """Run the Theorem-2 algorithm on the received cost functions.
+
+    ``costs`` are the n functions the server received — Byzantine agents'
+    entries may be arbitrary (that is the threat model; the algorithm never
+    learns which entries are faulty).  Requires ``0 < f < n/2`` as in the
+    paper (f = 0 reduces to plain aggregate minimization and is allowed).
+    """
+    n = len(costs)
+    if f < 0:
+        raise ValueError("f must be non-negative")
+    if 2 * f >= n and f > 0:
+        raise ValueError(
+            f"resilience is impossible for f >= n/2 (Lemma 1): n={n}, f={f}"
+        )
+
+    argmin_cache: Dict[Tuple[int, ...], PointSet] = {}
+
+    def cached_argmin(subset: Tuple[int, ...]) -> PointSet:
+        if subset not in argmin_cache:
+            aggregate = SumCost([costs[i] for i in subset])
+            argmin_cache[subset] = resolve_argmin_set(aggregate)
+        return argmin_cache[subset]
+
+    if f == 0:
+        full = tuple(range(n))
+        x_full = cached_argmin(full).support_points()[0]
+        return ExactAlgorithmResult(
+            output=np.asarray(x_full, dtype=float),
+            selected_set=full,
+            radius=0.0,
+            radii={full: 0.0},
+            candidates={full: np.asarray(x_full, dtype=float)},
+        )
+
+    radii: Dict[Tuple[int, ...], float] = {}
+    candidates: Dict[Tuple[int, ...], np.ndarray] = {}
+    for outer in combinations(range(n), n - f):
+        x_t = np.asarray(cached_argmin(outer).support_points()[0], dtype=float)
+        candidates[outer] = x_t
+        r_t = 0.0
+        for inner in combinations(outer, n - 2 * f):
+            inner_set = cached_argmin(inner)
+            r_t = max(r_t, inner_set.distance_to(x_t))  # equation (10)
+        radii[outer] = r_t                              # equation (11)
+
+    selected = min(radii, key=lambda key: (radii[key], key))  # equation (12)
+    return ExactAlgorithmResult(
+        output=candidates[selected],
+        selected_set=selected,
+        radius=radii[selected],
+        radii=radii,
+        candidates=candidates,
+    )

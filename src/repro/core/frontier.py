@@ -1,0 +1,129 @@
+"""Resilience frontier: how many faults can this system actually absorb?
+
+Capacity planning across the paper's conditions: for each fault budget
+f = 0, 1, ..., report which guarantees survive —
+
+* Lemma 1 feasibility (f < n/2) — below this, nothing is possible;
+* the p2p threshold (f < n/3) — needed to drop the trusted server (§1.4);
+* Theorem 4 / Theorem 5 applicability for CGE (α > 0, plus f ≤ n/3 for
+  Thm 5) and Theorem 6 for CWTM (λ < γ/(µ√d)), with the guaranteed radii
+  D·ε at the family's measured redundancy.
+
+The result is the table an operator reads to pick f: the largest fault
+budget with a finite radius, and how fast the radius blows up near the
+breakdown point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..functions.base import CostFunction
+from .bounds import cge_bound, cge_bound_v2, cwtm_bound
+from .redundancy import estimate_or_measure_epsilon
+from .resilience import resilience_is_feasible
+from .theory import measure_constants
+
+__all__ = ["FrontierRow", "resilience_frontier", "render_frontier"]
+
+
+@dataclass
+class FrontierRow:
+    """Guarantees surviving at one fault budget."""
+
+    f: int
+    feasible: bool                 # Lemma 1
+    p2p_possible: bool             # f < n/3 (Section 1.4)
+    epsilon: float                 # measured (2f, eps)-redundancy
+    epsilon_is_exact: bool
+    cge_radius: float              # best applicable CGE D*eps, inf if none
+    cge_theorem: Optional[str]     # which theorem supplies the radius
+    cwtm_radius: float             # Theorem-6 D'*eps, inf if not applicable
+
+
+def resilience_frontier(
+    costs: Sequence[CostFunction],
+    max_f: Optional[int] = None,
+    exhaustive_limit: int = 10,
+    seed: int = 0,
+) -> List[FrontierRow]:
+    """Sweep f and report the surviving guarantees at each budget."""
+    n = len(costs)
+    if n < 2:
+        raise ValueError("need at least two agents")
+    d = costs[0].dim
+    if max_f is None:
+        max_f = (n - 1) // 2
+    if max_f < 0:
+        raise ValueError("max_f must be non-negative")
+    rows: List[FrontierRow] = []
+    for f in range(max_f + 1):
+        feasible = resilience_is_feasible(n, f)
+        if feasible and n - 2 * f >= 1:
+            epsilon, exact = estimate_or_measure_epsilon(
+                costs, f, exhaustive_limit=exhaustive_limit, seed=seed
+            )
+        else:
+            epsilon, exact = float("nan"), False
+        constants = measure_constants(
+            costs, f if f < n else 0, rng=np.random.default_rng(seed)
+        )
+        b4 = cge_bound(n, f, constants.mu, constants.gamma)
+        b5 = cge_bound_v2(n, f, constants.mu, constants.gamma)
+        cge_radius = float("inf")
+        cge_theorem: Optional[str] = None
+        if feasible and np.isfinite(epsilon):
+            candidates = [
+                (b.radius(epsilon), b.theorem)
+                for b in (b4, b5)
+                if b.applicable
+            ]
+            if candidates:
+                cge_radius, cge_theorem = min(candidates)
+        b6 = cwtm_bound(n, d, constants.mu, constants.gamma, constants.lam)
+        cwtm_radius = (
+            b6.radius(epsilon)
+            if (feasible and b6.applicable and np.isfinite(epsilon))
+            else float("inf")
+        )
+        rows.append(
+            FrontierRow(
+                f=f,
+                feasible=feasible,
+                p2p_possible=(f == 0 or n > 3 * f),
+                epsilon=epsilon,
+                epsilon_is_exact=exact,
+                cge_radius=cge_radius,
+                cge_theorem=cge_theorem,
+                cwtm_radius=cwtm_radius,
+            )
+        )
+    return rows
+
+
+def render_frontier(rows: Sequence[FrontierRow], n: int) -> str:
+    """Text table of a resilience frontier."""
+    from ..experiments.reporting import format_table
+
+    return format_table(
+        headers=[
+            "f", "Lemma 1", "p2p (f<n/3)", "eps", "CGE radius",
+            "via", "CWTM radius",
+        ],
+        rows=[
+            [
+                r.f,
+                "ok" if r.feasible else "impossible",
+                "yes" if r.p2p_possible else "no",
+                r.epsilon,
+                r.cge_radius,
+                r.cge_theorem or "-",
+                r.cwtm_radius,
+            ]
+            for r in rows
+        ],
+        title=f"Resilience frontier (n = {n})",
+    )

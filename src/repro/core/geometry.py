@@ -1,0 +1,381 @@
+"""Geometric primitives used throughout the library.
+
+Implements the two distances the paper builds its definitions on:
+
+* the point-to-set Euclidean distance ``dist(x, X)`` of equation (3), and
+* the Hausdorff distance ``dist(X, Y)`` between sets of equation (4),
+
+together with explicit representations of the *argmin sets* that appear in
+Definitions 2 and 3.  Argmin sets of convex problems are closed convex sets;
+the representations below cover every case the library produces:
+
+``SingletonSet``
+    unique minimizer (strongly convex aggregate costs, full-rank least
+    squares),
+``FiniteSet``
+    a finite collection of minimizers (used by tests and the necessity
+    construction of Theorem 1),
+``AffineSubspace``
+    minimizers of rank-deficient least-squares problems,
+``BallSet``
+    a closed Euclidean ball (used to build synthetic redundancy instances).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "PointSet",
+    "SingletonSet",
+    "FiniteSet",
+    "AffineSubspace",
+    "BallSet",
+    "SegmentSet",
+    "as_point",
+    "distance_to_set",
+    "hausdorff_distance",
+    "pairwise_distances",
+    "diameter",
+]
+
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def as_point(x: ArrayLike) -> np.ndarray:
+    """Return ``x`` as a 1-D float64 vector, validating the shape."""
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D point, got shape {arr.shape}")
+    return arr
+
+
+class PointSet(abc.ABC):
+    """A non-empty closed subset of R^d (Assumption 1 of the paper)."""
+
+    #: dimension of the ambient space
+    dim: int
+
+    @abc.abstractmethod
+    def distance_to(self, x: ArrayLike) -> float:
+        """Euclidean distance from point ``x`` to this set (equation (3))."""
+
+    @abc.abstractmethod
+    def project(self, x: ArrayLike) -> np.ndarray:
+        """A point of the set attaining :meth:`distance_to` from ``x``."""
+
+    @abc.abstractmethod
+    def support_points(self) -> np.ndarray:
+        """Representative points of the set, shape ``(m, dim)``.
+
+        For bounded sets these witness the Hausdorff distance computation;
+        unbounded sets (affine subspaces) return their anchor point and the
+        Hausdorff computation treats them specially.
+        """
+
+    @abc.abstractmethod
+    def contains(self, x: ArrayLike, tol: float = 1e-9) -> bool:
+        """Whether ``x`` belongs to the set up to tolerance ``tol``."""
+
+    def __contains__(self, x: object) -> bool:
+        return self.contains(np.asarray(x, dtype=float))
+
+
+class SingletonSet(PointSet):
+    """The set ``{point}`` — the unique-minimizer case."""
+
+    def __init__(self, point: ArrayLike):
+        self.point = as_point(point)
+        self.dim = self.point.shape[0]
+
+    def distance_to(self, x: ArrayLike) -> float:
+        return float(np.linalg.norm(as_point(x) - self.point))
+
+    def project(self, x: ArrayLike) -> np.ndarray:
+        return self.point.copy()
+
+    def support_points(self) -> np.ndarray:
+        return self.point.reshape(1, -1)
+
+    def contains(self, x: ArrayLike, tol: float = 1e-9) -> bool:
+        return self.distance_to(x) <= tol
+
+    def __repr__(self) -> str:
+        return f"SingletonSet({np.array2string(self.point, precision=4)})"
+
+
+class FiniteSet(PointSet):
+    """A finite set of points, stored as rows of an ``(m, d)`` array."""
+
+    def __init__(self, points: ArrayLike):
+        arr = np.atleast_2d(np.asarray(points, dtype=float))
+        if arr.size == 0:
+            raise ValueError("FiniteSet must be non-empty")
+        self.points = arr
+        self.dim = arr.shape[1]
+
+    def distance_to(self, x: ArrayLike) -> float:
+        diffs = self.points - as_point(x)
+        return float(np.min(np.linalg.norm(diffs, axis=1)))
+
+    def project(self, x: ArrayLike) -> np.ndarray:
+        diffs = self.points - as_point(x)
+        idx = int(np.argmin(np.linalg.norm(diffs, axis=1)))
+        return self.points[idx].copy()
+
+    def support_points(self) -> np.ndarray:
+        return self.points.copy()
+
+    def contains(self, x: ArrayLike, tol: float = 1e-9) -> bool:
+        return self.distance_to(x) <= tol
+
+    def __repr__(self) -> str:
+        return f"FiniteSet({self.points.shape[0]} points, dim={self.dim})"
+
+
+class AffineSubspace(PointSet):
+    """The affine set ``{anchor + basis @ t : t in R^k}``.
+
+    ``basis`` has orthonormal columns spanning the subspace direction.  A
+    rank-deficient least-squares problem ``min ||b - A x||^2`` has argmin set
+    of exactly this form with ``basis`` spanning the null space of ``A``.
+    """
+
+    def __init__(self, anchor: ArrayLike, basis: ArrayLike):
+        self.anchor = as_point(anchor)
+        mat = np.asarray(basis, dtype=float)
+        if mat.ndim == 1:
+            mat = mat.reshape(-1, 1)
+        if mat.shape[0] != self.anchor.shape[0]:
+            raise ValueError("basis rows must match anchor dimension")
+        # Orthonormalize defensively so projection formulas are exact.
+        if mat.shape[1] > 0:
+            q, _ = np.linalg.qr(mat)
+            # Drop numerically-null directions.
+            norms = np.linalg.norm(q, axis=0)
+            q = q[:, norms > 1e-12]
+            self.basis = q
+        else:
+            self.basis = mat.reshape(self.anchor.shape[0], 0)
+        self.dim = self.anchor.shape[0]
+
+    @property
+    def subspace_dim(self) -> int:
+        """Dimension of the affine subspace (0 means a single point)."""
+        return self.basis.shape[1]
+
+    def distance_to(self, x: ArrayLike) -> float:
+        return float(np.linalg.norm(as_point(x) - self.project(x)))
+
+    def project(self, x: ArrayLike) -> np.ndarray:
+        xv = as_point(x)
+        if self.subspace_dim == 0:
+            return self.anchor.copy()
+        rel = xv - self.anchor
+        return self.anchor + self.basis @ (self.basis.T @ rel)
+
+    def support_points(self) -> np.ndarray:
+        return self.anchor.reshape(1, -1)
+
+    def contains(self, x: ArrayLike, tol: float = 1e-9) -> bool:
+        return self.distance_to(x) <= tol
+
+    def is_parallel_to(self, other: "AffineSubspace", tol: float = 1e-9) -> bool:
+        """Whether the two subspaces share the same direction space."""
+        if self.subspace_dim != other.subspace_dim:
+            return False
+        if self.subspace_dim == 0:
+            return True
+        proj = other.basis @ (other.basis.T @ self.basis)
+        return bool(np.allclose(proj, self.basis, atol=tol))
+
+    def __repr__(self) -> str:
+        return (
+            f"AffineSubspace(dim={self.dim}, subspace_dim={self.subspace_dim})"
+        )
+
+
+class BallSet(PointSet):
+    """The closed Euclidean ball ``{x : ||x - center|| <= radius}``."""
+
+    def __init__(self, center: ArrayLike, radius: float):
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        self.center = as_point(center)
+        self.radius = float(radius)
+        self.dim = self.center.shape[0]
+
+    def distance_to(self, x: ArrayLike) -> float:
+        return max(0.0, float(np.linalg.norm(as_point(x) - self.center)) - self.radius)
+
+    def project(self, x: ArrayLike) -> np.ndarray:
+        xv = as_point(x)
+        gap = np.linalg.norm(xv - self.center)
+        if gap <= self.radius:
+            return xv.copy()
+        return self.center + (xv - self.center) * (self.radius / gap)
+
+    def support_points(self) -> np.ndarray:
+        return self.center.reshape(1, -1)
+
+    def contains(self, x: ArrayLike, tol: float = 1e-9) -> bool:
+        return self.distance_to(x) <= tol
+
+    def __repr__(self) -> str:
+        return f"BallSet(radius={self.radius:.4g}, dim={self.dim})"
+
+
+class SegmentSet(PointSet):
+    """The closed line segment between two endpoints.
+
+    Arises as the argmin set of genuinely non-differentiable aggregates —
+    e.g. the Weber cost ``||x − a|| + ||x − b||`` of two agents minimizes on
+    the whole segment [a, b] — giving the library real non-singleton argmin
+    sets beyond affine subspaces (Definitions 2 and 3 are statements about
+    such sets).
+    """
+
+    def __init__(self, start: ArrayLike, end: ArrayLike):
+        self.start = as_point(start)
+        self.end = as_point(end)
+        if self.start.shape != self.end.shape:
+            raise ValueError("segment endpoints must share a dimension")
+        self.dim = self.start.shape[0]
+
+    @property
+    def length(self) -> float:
+        """Euclidean length of the segment."""
+        return float(np.linalg.norm(self.end - self.start))
+
+    def project(self, x: ArrayLike) -> np.ndarray:
+        xv = as_point(x)
+        direction = self.end - self.start
+        norm_sq = float(direction @ direction)
+        if norm_sq == 0.0:
+            return self.start.copy()
+        t = float((xv - self.start) @ direction) / norm_sq
+        t = min(1.0, max(0.0, t))
+        return self.start + t * direction
+
+    def distance_to(self, x: ArrayLike) -> float:
+        return float(np.linalg.norm(as_point(x) - self.project(x)))
+
+    def support_points(self) -> np.ndarray:
+        return np.vstack([self.start, self.end])
+
+    def contains(self, x: ArrayLike, tol: float = 1e-9) -> bool:
+        return self.distance_to(x) <= tol
+
+    def __repr__(self) -> str:
+        return f"SegmentSet(length={self.length:.4g}, dim={self.dim})"
+
+
+def distance_to_set(x: ArrayLike, target: Union[PointSet, ArrayLike]) -> float:
+    """Equation (3): ``dist(x, X) = inf_{y in X} ||x - y||``.
+
+    ``target`` may be a :class:`PointSet` or anything coercible to a point /
+    array of points.
+    """
+    if isinstance(target, PointSet):
+        return target.distance_to(x)
+    arr = np.asarray(target, dtype=float)
+    if arr.ndim == 1:
+        return SingletonSet(arr).distance_to(x)
+    return FiniteSet(arr).distance_to(x)
+
+
+def _segment_sup_distance(segment: "SegmentSet", target: PointSet) -> float:
+    """``sup_{x in segment} dist(x, target)`` — exact.
+
+    For convex targets the distance is convex along the segment, so the sup
+    sits at an endpoint.  For a ``FiniteSet`` target the distance is a min
+    of convex functions: piecewise convex with breakpoints where two target
+    points are equidistant; evaluating the endpoints plus every equidistance
+    parameter in (0, 1) is exact.
+    """
+    endpoints = [segment.start, segment.end]
+    if not isinstance(target, FiniteSet):
+        return float(max(target.distance_to(p) for p in endpoints))
+    direction = segment.end - segment.start
+    candidates = [0.0, 1.0]
+    pts = target.points
+    for i in range(pts.shape[0]):
+        for j in range(i + 1, pts.shape[0]):
+            # ||s(t) - p_i||^2 = ||s(t) - p_j||^2 is linear in t.
+            diff = pts[j] - pts[i]
+            denom = 2.0 * float(direction @ diff)
+            if abs(denom) < 1e-300:
+                continue
+            numer = float(pts[j] @ pts[j] - pts[i] @ pts[i]) - 2.0 * float(
+                segment.start @ diff
+            )
+            t = numer / denom
+            if 0.0 < t < 1.0:
+                candidates.append(t)
+    return float(
+        max(
+            target.distance_to(segment.start + t * direction)
+            for t in candidates
+        )
+    )
+
+
+def _directed_hausdorff(source: PointSet, target: PointSet) -> float:
+    """``sup_{x in source} dist(x, target)`` for the supported set types."""
+    if isinstance(source, (SingletonSet, FiniteSet)):
+        pts = source.support_points()
+        return float(max(target.distance_to(p) for p in pts))
+    if isinstance(source, SegmentSet):
+        return _segment_sup_distance(source, target)
+    if isinstance(source, BallSet):
+        # sup over the ball of the distance to ``target``: attained on the
+        # boundary, bounded by center-distance + radius; exact for convex
+        # targets (the ray away from the projection attains it); an upper
+        # bound for FiniteSet targets.
+        base = target.distance_to(source.center)
+        return base + source.radius
+    if isinstance(source, AffineSubspace):
+        if source.subspace_dim == 0:
+            return target.distance_to(source.anchor)
+        if isinstance(target, AffineSubspace) and source.is_parallel_to(target):
+            # Parallel affine subspaces: the directed distance is constant.
+            return target.distance_to(source.anchor)
+        # A genuinely unbounded source against a bounded (or non-parallel)
+        # target has infinite directed distance.
+        return float("inf")
+    raise TypeError(f"unsupported set type {type(source).__name__}")
+
+
+def hausdorff_distance(
+    first: Union[PointSet, ArrayLike], second: Union[PointSet, ArrayLike]
+) -> float:
+    """Equation (4): Euclidean Hausdorff distance between two closed sets."""
+    a = first if isinstance(first, PointSet) else _coerce(first)
+    b = second if isinstance(second, PointSet) else _coerce(second)
+    return max(_directed_hausdorff(a, b), _directed_hausdorff(b, a))
+
+
+def _coerce(value: ArrayLike) -> PointSet:
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim <= 1:
+        return SingletonSet(arr)
+    return FiniteSet(arr)
+
+
+def pairwise_distances(points: ArrayLike) -> np.ndarray:
+    """All-pairs Euclidean distances of row-stacked ``points``."""
+    arr = np.atleast_2d(np.asarray(points, dtype=float))
+    diff = arr[:, None, :] - arr[None, :, :]
+    return np.linalg.norm(diff, axis=2)
+
+
+def diameter(points: ArrayLike) -> float:
+    """Largest pairwise distance among row-stacked ``points``."""
+    dists = pairwise_distances(points)
+    return float(dists.max()) if dists.size else 0.0

@@ -1,0 +1,202 @@
+"""Redundancy properties of agents' cost functions (Definitions 1 and 3).
+
+``(2f, ε)-redundancy`` (Definition 3): for every S with |S| = n − f and every
+Ŝ ⊆ S with |Ŝ| = n − 2f, the Hausdorff distance between the argmin sets of
+the two aggregates is at most ε.  ``2f-redundancy`` (Definition 1) is the
+ε = 0 case.
+
+``measure_redundancy`` computes the *smallest* ε for which the property
+holds — exactly the ε = 0.0890 computation of Appendix J.2 (which enumerates
+|Ŝ| ≥ n − 2f; both conventions are offered, since for |Ŝ| strictly between
+n − 2f and n − f the Definition-3 statement follows from the boundary case
+only up to a constant, and the paper's own numeric recipe uses ≥).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..functions.base import CostFunction
+from ..functions.sums import SumCost
+from ..optim.argmin import resolve_argmin_set
+from .geometry import PointSet, hausdorff_distance
+
+__all__ = [
+    "RedundancyReport",
+    "measure_redundancy",
+    "has_redundancy",
+    "has_exact_redundancy",
+    "honest_subset_epsilon",
+    "estimate_or_measure_epsilon",
+    "subset_argmin",
+]
+
+
+def subset_argmin(
+    costs: Sequence[CostFunction], subset: Sequence[int]
+) -> PointSet:
+    """Argmin set of ``sum_{i in subset} Q_i`` as an explicit point set."""
+    if not subset:
+        raise ValueError("subset must be non-empty")
+    aggregate = SumCost([costs[i] for i in subset])
+    return resolve_argmin_set(aggregate)
+
+
+@dataclass
+class RedundancyReport:
+    """Outcome of a redundancy measurement.
+
+    ``epsilon`` is the smallest value for which (2f, ε)-redundancy holds;
+    ``witness`` is the pair of subsets (S, Ŝ) attaining it.
+    """
+
+    n: int
+    f: int
+    epsilon: float
+    witness: Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]]
+    pairs_checked: int
+
+    def holds_for(self, epsilon: float) -> bool:
+        """Whether (2f, ``epsilon``)-redundancy holds."""
+        return self.epsilon <= epsilon + 1e-12
+
+    def __repr__(self) -> str:
+        return (
+            f"RedundancyReport(n={self.n}, f={self.f},"
+            f" epsilon={self.epsilon:.6g}, pairs={self.pairs_checked})"
+        )
+
+
+def measure_redundancy(
+    costs: Sequence[CostFunction],
+    f: int,
+    inner_sizes: str = "paper",
+) -> RedundancyReport:
+    """Smallest ε such that the costs satisfy (2f, ε)-redundancy.
+
+    ``inner_sizes`` selects which Ŝ cardinalities are enumerated:
+
+    * ``"exact"`` — |Ŝ| = n − 2f only (the letter of Definition 3);
+    * ``"paper"`` — n − 2f ≤ |Ŝ| < n − f (the Appendix-J.2 recipe, which is
+      the convention used to report ε = 0.0890).
+
+    Exhaustive enumeration: cost grows combinatorially in n, matching the
+    paper's remark that the Theorem-2 machinery "is not a very practical
+    algorithm".
+    """
+    n = len(costs)
+    if f < 0:
+        raise ValueError("f must be non-negative")
+    if n - 2 * f < 1:
+        raise ValueError(
+            f"(2f, eps)-redundancy needs n - 2f >= 1 (got n={n}, f={f})"
+        )
+    if inner_sizes not in ("exact", "paper"):
+        raise ValueError("inner_sizes must be 'exact' or 'paper'")
+    if f == 0:
+        return RedundancyReport(n=n, f=0, epsilon=0.0, witness=None, pairs_checked=0)
+
+    worst = 0.0
+    witness: Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]] = None
+    pairs = 0
+    argmin_cache: dict = {}
+
+    def cached_argmin(subset: Tuple[int, ...]) -> PointSet:
+        if subset not in argmin_cache:
+            argmin_cache[subset] = subset_argmin(costs, subset)
+        return argmin_cache[subset]
+
+    if inner_sizes == "exact":
+        sizes = [n - 2 * f]
+    else:
+        sizes = list(range(n - 2 * f, n - f))
+
+    for outer in combinations(range(n), n - f):
+        outer_set = cached_argmin(outer)
+        for size in sizes:
+            for inner in combinations(outer, size):
+                inner_set = cached_argmin(inner)
+                gap = hausdorff_distance(outer_set, inner_set)
+                pairs += 1
+                if gap > worst:
+                    worst = gap
+                    witness = (outer, inner)
+    return RedundancyReport(
+        n=n, f=f, epsilon=float(worst), witness=witness, pairs_checked=pairs
+    )
+
+
+def has_redundancy(
+    costs: Sequence[CostFunction],
+    f: int,
+    epsilon: float,
+    inner_sizes: str = "paper",
+) -> bool:
+    """Whether the costs satisfy (2f, ``epsilon``)-redundancy."""
+    report = measure_redundancy(costs, f, inner_sizes=inner_sizes)
+    return report.holds_for(epsilon)
+
+
+def estimate_or_measure_epsilon(
+    costs: Sequence[CostFunction],
+    f: int,
+    exhaustive_limit: int = 10,
+    samples: int = 300,
+    seed: int = 0,
+) -> Tuple[float, bool]:
+    """ε by exhaustive enumeration when affordable, else a sampled bound.
+
+    Returns ``(epsilon, is_exact)``: exact Definition-3 measurement for
+    systems of at most ``exhaustive_limit`` agents, otherwise the
+    Monte-Carlo lower bound of :mod:`repro.core.sampling`.
+    """
+    import numpy as np
+
+    if len(costs) <= exhaustive_limit:
+        return measure_redundancy(costs, f).epsilon, True
+    from .sampling import estimate_redundancy
+
+    sampled = estimate_redundancy(
+        costs, f, samples=samples, rng=np.random.default_rng(seed)
+    )
+    return sampled.epsilon_lower_bound, False
+
+
+def honest_subset_epsilon(honest_costs: Sequence[CostFunction], f: int) -> float:
+    """The redundancy slack the Theorem-2 proof actually consumes.
+
+    Given the costs of an honest set H with |H| = n − f, the proof of
+    Theorem 2 (equations (13)–(19)) only invokes Definition 3 on pairs
+    (S = H, Ŝ ⊂ H with |Ŝ| = n − 2f).  This returns
+    ``max over Ŝ of hausdorff(argmin_H, argmin_Ŝ)`` — a lower bound on the
+    full Definition-3 ε and the tightest empirical input to the 2ε
+    guarantee when only the honest costs are known.
+    """
+    h = len(honest_costs)
+    if f < 0:
+        raise ValueError("f must be non-negative")
+    if f == 0:
+        return 0.0
+    if h - f < 1:
+        raise ValueError(
+            f"honest set of {h} cannot lose f={f} agents and stay non-empty"
+        )
+    full = tuple(range(h))
+    full_set = subset_argmin(honest_costs, full)
+    worst = 0.0
+    for inner in combinations(full, h - f):
+        inner_set = subset_argmin(honest_costs, inner)
+        worst = max(worst, hausdorff_distance(full_set, inner_set))
+    return float(worst)
+
+
+def has_exact_redundancy(
+    costs: Sequence[CostFunction], f: int, tolerance: float = 1e-9
+) -> bool:
+    """Whether the costs satisfy 2f-redundancy (Definition 1) up to ``tolerance``."""
+    report = measure_redundancy(costs, f, inner_sizes="exact")
+    return report.epsilon <= tolerance

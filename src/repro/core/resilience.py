@@ -1,0 +1,104 @@
+"""(f, ε)-resilience — Definition 2 — and Lemma-1 feasibility checks.
+
+An output point x̂ is (f, ε)-resilient for a ground-truth execution when,
+for *every* subset S of non-faulty agents with |S| = n − f,
+``dist(x̂, argmin sum_{i in S} Q_i) <= ε``.  These helpers evaluate that
+property for a candidate output (used to validate algorithms empirically and
+to build the necessity/sufficiency test fixtures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..functions.base import CostFunction
+from .redundancy import subset_argmin
+
+__all__ = [
+    "ResilienceEvaluation",
+    "evaluate_resilience",
+    "is_resilient_output",
+    "resilience_is_feasible",
+]
+
+
+def resilience_is_feasible(n: int, f: int) -> bool:
+    """Lemma 1: deterministic (f, ε)-resilience requires ``f < n/2``."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if f < 0:
+        raise ValueError("f must be non-negative")
+    return f < n / 2.0
+
+
+@dataclass
+class ResilienceEvaluation:
+    """Worst-case distance from an output to honest-subset argmin sets."""
+
+    output: np.ndarray
+    worst_distance: float
+    worst_subset: Optional[Tuple[int, ...]]
+    subsets_checked: int
+
+    def satisfies(self, epsilon: float) -> bool:
+        """Whether the output is within ε of every honest subset argmin."""
+        return self.worst_distance <= epsilon + 1e-12
+
+    def __repr__(self) -> str:
+        return (
+            f"ResilienceEvaluation(worst={self.worst_distance:.6g},"
+            f" subsets={self.subsets_checked})"
+        )
+
+
+def evaluate_resilience(
+    output: Sequence[float],
+    honest_costs: Sequence[CostFunction],
+    n: int,
+    f: int,
+) -> ResilienceEvaluation:
+    """Definition-2 audit of ``output`` against the honest costs.
+
+    ``honest_costs`` are the costs of the |H| ≥ n − f non-faulty agents in
+    the execution under evaluation; every size-(n − f) subset of them is
+    enumerated.  (When |H| = n − f there is exactly one subset.)
+    """
+    if not resilience_is_feasible(n, f):
+        raise ValueError(f"f={f} >= n/2 with n={n}: resilience vacuous (Lemma 1)")
+    h = len(honest_costs)
+    if h < n - f:
+        raise ValueError(
+            f"need at least n - f = {n - f} honest costs, got {h}"
+        )
+    point = np.asarray(output, dtype=float)
+    worst = 0.0
+    worst_subset: Optional[Tuple[int, ...]] = None
+    checked = 0
+    for subset in combinations(range(h), n - f):
+        target = subset_argmin(honest_costs, subset)
+        gap = target.distance_to(point)
+        checked += 1
+        if gap > worst:
+            worst = gap
+            worst_subset = subset
+    return ResilienceEvaluation(
+        output=point,
+        worst_distance=float(worst),
+        worst_subset=worst_subset,
+        subsets_checked=checked,
+    )
+
+
+def is_resilient_output(
+    output: Sequence[float],
+    honest_costs: Sequence[CostFunction],
+    n: int,
+    f: int,
+    epsilon: float,
+) -> bool:
+    """Whether ``output`` certifies (f, ε)-resilience for this execution."""
+    return evaluate_resilience(output, honest_costs, n, f).satisfies(epsilon)

@@ -1,0 +1,249 @@
+"""Numeric verification of the paper's assumptions and lemmas.
+
+Assumption 2 (µ-Lipschitz gradients), Assumption 3 (γ-strong convexity of
+every (n−f)-average), and Assumption 5 (λ gradient dissimilarity) are
+*inputs* to Theorems 4–6; this module measures them for concrete cost
+families — exactly (via Hessians, for quadratic-like costs) or by sampling.
+It also checks the Lemma-3/Lemma-4 inequalities used inside the proofs,
+which the property-based tests exercise directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..functions.base import CostFunction
+from ..functions.sums import MeanCost
+from ..optim.argmin import argmin_point
+
+__all__ = [
+    "AssumptionConstants",
+    "smoothness_constant",
+    "strong_convexity_constant",
+    "gradient_dissimilarity",
+    "measure_constants",
+    "check_lemma3",
+    "verify_lemma4",
+]
+
+
+def _sample_points(
+    dim: int,
+    rng: np.random.Generator,
+    samples: int,
+    radius: float,
+    center: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Uniform sample cloud in a ball, for sampling-based estimation."""
+    base = np.zeros(dim) if center is None else np.asarray(center, dtype=float)
+    directions = rng.normal(size=(samples, dim))
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    radii = radius * rng.random(size=(samples, 1)) ** (1.0 / dim)
+    return base + directions / np.maximum(norms, 1e-300) * radii
+
+
+def smoothness_constant(
+    costs: Sequence[CostFunction],
+    rng: Optional[np.random.Generator] = None,
+    samples: int = 200,
+    radius: float = 10.0,
+) -> float:
+    """Assumption-2 constant µ: max Lipschitz modulus across the costs.
+
+    Costs exposing ``smoothness_constant()`` (quadratics, least squares) are
+    measured exactly; others by sampling gradient difference quotients.
+    """
+    if not costs:
+        raise ValueError("need at least one cost")
+    rng = rng or np.random.default_rng(0)
+    worst = 0.0
+    for cost in costs:
+        exact = getattr(cost, "smoothness_constant", None)
+        if callable(exact):
+            worst = max(worst, float(exact()))
+            continue
+        pts = _sample_points(cost.dim, rng, samples, radius)
+        for a in range(0, samples - 1, 2):
+            x, y = pts[a], pts[a + 1]
+            gap = np.linalg.norm(x - y)
+            if gap < 1e-12:
+                continue
+            ratio = np.linalg.norm(cost.gradient(x) - cost.gradient(y)) / gap
+            worst = max(worst, float(ratio))
+    return worst
+
+
+def strong_convexity_constant(
+    costs: Sequence[CostFunction],
+    f: int,
+    rng: Optional[np.random.Generator] = None,
+    samples: int = 200,
+    radius: float = 10.0,
+) -> float:
+    """Assumption-3 constant γ: worst strong convexity over (n−f)-averages.
+
+    For every H with |H| = n − f the average cost Q_H must satisfy
+    ``<∇Q_H(x) − ∇Q_H(y), x − y> >= γ ||x − y||^2``; the reported γ is the
+    minimum over subsets.  Exact (smallest mean-Hessian eigenvalue) for
+    costs with constant Hessians, sampled otherwise.
+    """
+    n = len(costs)
+    if not 0 <= f < n:
+        raise ValueError(f"need 0 <= f < n (got n={n}, f={f})")
+    rng = rng or np.random.default_rng(0)
+    gamma = float("inf")
+    probe = np.zeros(costs[0].dim)
+    for subset in combinations(range(n), n - f):
+        mean = MeanCost([costs[i] for i in subset])
+        hess = mean.hessian(probe)
+        constant_hessian = hess is not None and all(
+            type(costs[i]).hessian is not CostFunction.hessian for i in subset
+        )
+        if constant_hessian and _hessian_is_constant(mean, rng, radius):
+            gamma = min(gamma, float(np.linalg.eigvalsh(hess).min()))
+            continue
+        pts = _sample_points(mean.dim, rng, samples, radius)
+        for a in range(0, samples - 1, 2):
+            x, y = pts[a], pts[a + 1]
+            gap_sq = float((x - y) @ (x - y))
+            if gap_sq < 1e-20:
+                continue
+            inner = float((mean.gradient(x) - mean.gradient(y)) @ (x - y))
+            gamma = min(gamma, inner / gap_sq)
+    return gamma
+
+
+def _hessian_is_constant(
+    cost: CostFunction, rng: np.random.Generator, radius: float
+) -> bool:
+    """Cheap probe: Hessian equal at two random points."""
+    a = _sample_points(cost.dim, rng, 1, radius)[0]
+    b = _sample_points(cost.dim, rng, 1, radius)[0]
+    ha, hb = cost.hessian(a), cost.hessian(b)
+    if ha is None or hb is None:
+        return False
+    return bool(np.allclose(ha, hb, atol=1e-10))
+
+
+def gradient_dissimilarity(
+    costs: Sequence[CostFunction],
+    rng: Optional[np.random.Generator] = None,
+    samples: int = 500,
+    radius: float = 10.0,
+    center: Optional[np.ndarray] = None,
+    norm_floor: float = 1e-9,
+) -> float:
+    """Assumption-5 constant λ, estimated by sampling.
+
+    λ is the smallest constant with
+    ``||∇Q_i(x) − ∇Q_j(x)|| <= λ max(||∇Q_i(x)||, ||∇Q_j(x)||)`` over the
+    probed region.  Points where both gradients are below ``norm_floor``
+    are skipped (the bound is vacuous there).  λ ≤ 2 always holds by the
+    triangle inequality.
+    """
+    if len(costs) < 2:
+        return 0.0
+    rng = rng or np.random.default_rng(0)
+    pts = _sample_points(costs[0].dim, rng, samples, radius, center=center)
+    lam = 0.0
+    for x in pts:
+        grads = [c.gradient(x) for c in costs]
+        norms = [float(np.linalg.norm(g)) for g in grads]
+        for i in range(len(costs)):
+            for j in range(i + 1, len(costs)):
+                scale = max(norms[i], norms[j])
+                if scale < norm_floor:
+                    continue
+                gap = float(np.linalg.norm(grads[i] - grads[j]))
+                lam = max(lam, gap / scale)
+    return lam
+
+
+@dataclass
+class AssumptionConstants:
+    """µ, γ, λ for a cost family, as fed to the Theorem-4/5/6 bounds."""
+
+    mu: float
+    gamma: float
+    lam: float
+    n: int
+    f: int
+
+    def __repr__(self) -> str:
+        return (
+            f"AssumptionConstants(mu={self.mu:.6g}, gamma={self.gamma:.6g},"
+            f" lambda={self.lam:.6g}, n={self.n}, f={self.f})"
+        )
+
+
+def measure_constants(
+    costs: Sequence[CostFunction],
+    f: int,
+    rng: Optional[np.random.Generator] = None,
+    samples: int = 200,
+    radius: float = 10.0,
+) -> AssumptionConstants:
+    """Measure (µ, γ, λ) for the cost family in one pass."""
+    rng = rng or np.random.default_rng(0)
+    mu = smoothness_constant(costs, rng=rng, samples=samples, radius=radius)
+    gamma = strong_convexity_constant(
+        costs, f, rng=rng, samples=samples, radius=radius
+    )
+    lam = gradient_dissimilarity(costs, rng=rng, samples=samples, radius=radius)
+    return AssumptionConstants(mu=mu, gamma=gamma, lam=lam, n=len(costs), f=f)
+
+
+def check_lemma3(vectors: np.ndarray, q: int, r: float) -> bool:
+    """Lemma 3 premise→conclusion check on concrete vectors.
+
+    Premise: every size-``q`` subset of the ``p`` rows sums to norm ≤ ``r``.
+    Conclusion: every row has norm ≤ ``2r``.  Returns True when either the
+    premise fails (vacuous) or the conclusion holds — i.e. the lemma is not
+    falsified by this instance.
+    """
+    arr = np.atleast_2d(np.asarray(vectors, dtype=float))
+    p = arr.shape[0]
+    if not 1 <= q <= p / 2.0:
+        raise ValueError(f"lemma requires 1 <= q <= p/2 (got p={p}, q={q})")
+    for subset in combinations(range(p), q):
+        if np.linalg.norm(arr[list(subset)].sum(axis=0)) > r + 1e-12:
+            return True  # premise violated: nothing to check
+    norms = np.linalg.norm(arr, axis=1)
+    return bool(np.all(norms <= 2.0 * r + 1e-9))
+
+
+def verify_lemma4(
+    costs: Sequence[CostFunction],
+    f: int,
+    epsilon: float,
+    mu: float,
+    honest: Optional[Sequence[int]] = None,
+) -> bool:
+    """Lemma 4: gradient-norm bounds at the honest minimizer x_H.
+
+    Checks ``||sum_{j in T} ∇Q_j(x_H)|| <= (n − 2f) µ ε`` for every T ⊂ H
+    with |T| = f, and ``||∇Q_j(x_H)|| <= 2 (n − 2f) µ ε`` for every j in H.
+    ``honest`` defaults to all agents (the fault-free reading with |H| = n − f
+    after removing f of them is covered by passing the actual honest set).
+    """
+    n = len(costs)
+    idx = list(range(n)) if honest is None else list(honest)
+    if f <= 0:
+        return True
+    from ..functions.sums import SumCost
+
+    x_h = argmin_point(SumCost([costs[i] for i in idx]))
+    bound_sum = (n - 2 * f) * mu * epsilon
+    bound_single = 2.0 * bound_sum
+    grads = {i: costs[i].gradient(x_h) for i in idx}
+    for subset in combinations(idx, f):
+        total = np.sum([grads[i] for i in subset], axis=0)
+        if np.linalg.norm(total) > bound_sum + 1e-7:
+            return False
+    return all(
+        np.linalg.norm(grads[i]) <= bound_single + 1e-7 for i in idx
+    )

@@ -1,0 +1,180 @@
+"""Alternate approximation notions of Section 2.1.
+
+Su & Vaidya (PODC 2016, reference [49]) measure approximate fault-tolerance
+through *non-uniformly weighted* aggregates: an algorithm's output x̂ is
+acceptable if it minimizes ``sum_i alpha_i Q_i`` for some convex weights
+``alpha`` over the honest agents, scored by
+
+1. how many weights are positive, and
+2. the smallest positive weight.
+
+For differentiable convex costs, x̂ minimizes the weighted aggregate iff
+``sum_i alpha_i grad Q_i(x̂) = 0`` — a linear feasibility problem in
+``alpha``, solved here with ``scipy.optimize.linprog``.
+
+The module also provides the *function-value / gradient-value* approximation
+measures the paper discusses (and criticizes: they are sensitive to cost
+rescaling, unlike the distance-based (f, ε)-resilience — see
+:func:`scaling_sensitivity_demo`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..functions.base import CostFunction
+
+__all__ = [
+    "WeightedCertificate",
+    "weighted_minimizer_certificate",
+    "gradient_value_approximation",
+    "cost_value_approximation",
+    "scaling_sensitivity_demo",
+]
+
+
+@dataclass
+class WeightedCertificate:
+    """Certificate that a point minimizes some weighted honest aggregate.
+
+    Attributes:
+        feasible: whether convex weights with (near-)zero weighted gradient
+            exist at the audited point.
+        weights: the maximizing weights (sum to 1), or None if infeasible.
+        min_positive_weight: Su–Vaidya metric (2) — the value of the
+            max-min LP; larger is better (1/h is the uniform ideal).
+        n_positive: Su–Vaidya metric (1) — number of weights above ``tol``.
+        residual_norm: ``||sum_i alpha_i grad Q_i(x)||`` at the solution.
+    """
+
+    feasible: bool
+    weights: Optional[np.ndarray]
+    min_positive_weight: float
+    n_positive: int
+    residual_norm: float
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightedCertificate(feasible={self.feasible},"
+            f" n_positive={self.n_positive},"
+            f" min_weight={self.min_positive_weight:.4g})"
+        )
+
+
+def weighted_minimizer_certificate(
+    costs: Sequence[CostFunction],
+    point: Sequence[float],
+    tolerance: float = 1e-8,
+) -> WeightedCertificate:
+    """Audit ``point`` as a weighted-aggregate minimizer of ``costs``.
+
+    Solves ``max t  s.t.  alpha_i >= t,  sum alpha = 1,
+    |sum_i alpha_i grad Q_i(point)| <= tolerance (per coordinate)`` — the
+    max-min-weight convex-combination certificate.  ``t* > 0`` means every
+    honest agent's cost genuinely influences the output (the strongest form
+    of the Su–Vaidya guarantee); ``t* = 0`` with feasibility means the point
+    minimizes a weighted aggregate that ignores some agents.
+    """
+    x = np.asarray(point, dtype=float)
+    h = len(costs)
+    if h == 0:
+        raise ValueError("need at least one cost")
+    gradients = np.column_stack([c.gradient(x) for c in costs])  # (d, h)
+    d = gradients.shape[0]
+
+    # Variables: alpha_1..alpha_h, t.  Objective: maximize t.
+    c_vec = np.zeros(h + 1)
+    c_vec[-1] = -1.0
+    # Equality: sum alpha = 1.
+    a_eq = np.zeros((1, h + 1))
+    a_eq[0, :h] = 1.0
+    b_eq = np.array([1.0])
+    # Inequalities: +-(G alpha) <= tolerance  and  t - alpha_i <= 0.
+    a_ub = np.zeros((2 * d + h, h + 1))
+    b_ub = np.zeros(2 * d + h)
+    a_ub[:d, :h] = gradients
+    b_ub[:d] = tolerance
+    a_ub[d : 2 * d, :h] = -gradients
+    b_ub[d : 2 * d] = tolerance
+    for i in range(h):
+        a_ub[2 * d + i, i] = -1.0
+        a_ub[2 * d + i, h] = 1.0
+    bounds = [(0.0, 1.0)] * h + [(0.0, 1.0)]
+
+    result = linprog(
+        c_vec, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds,
+        method="highs",
+    )
+    if not result.success:
+        return WeightedCertificate(
+            feasible=False,
+            weights=None,
+            min_positive_weight=0.0,
+            n_positive=0,
+            residual_norm=float("inf"),
+        )
+    weights = np.asarray(result.x[:h])
+    t_star = float(result.x[h])
+    residual = float(np.linalg.norm(gradients @ weights))
+    positive = int(np.sum(weights > max(tolerance, 1e-12)))
+    return WeightedCertificate(
+        feasible=True,
+        weights=weights,
+        min_positive_weight=t_star,
+        n_positive=positive,
+        residual_norm=residual,
+    )
+
+
+def gradient_value_approximation(
+    costs: Sequence[CostFunction], point: Sequence[float]
+) -> float:
+    """Section-2.1 gradient measure: ``max_k |sum_i grad Q_i(x)[k]|``.
+
+    The paper notes this measure is *not* scale-invariant: doubling every
+    cost doubles it while leaving the argmin (and hence any distance-based
+    measure) unchanged.
+    """
+    x = np.asarray(point, dtype=float)
+    total = np.sum([c.gradient(x) for c in costs], axis=0)
+    return float(np.max(np.abs(total)))
+
+
+def cost_value_approximation(
+    costs: Sequence[CostFunction],
+    point: Sequence[float],
+    minimum_value: float,
+) -> float:
+    """Section-2.1 value measure: aggregate cost above the true minimum."""
+    x = np.asarray(point, dtype=float)
+    value = float(sum(c.value(x) for c in costs))
+    return value - float(minimum_value)
+
+
+def scaling_sensitivity_demo(
+    costs: Sequence[CostFunction],
+    point: Sequence[float],
+    scale: float = 2.0,
+) -> dict:
+    """Numeric illustration of the paper's scale-sensitivity argument.
+
+    Returns the gradient-value measure before/after scaling every cost by
+    ``scale`` — the ratio equals ``scale`` — while the argmin of the
+    aggregate (and so any (f, ε)-style distance measure) is unchanged.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    base = gradient_value_approximation(costs, point)
+    scaled = gradient_value_approximation(
+        [scale * c for c in costs], point
+    )
+    return {
+        "gradient_measure": base,
+        "scaled_gradient_measure": scaled,
+        "ratio": scaled / base if base > 0 else float("nan"),
+        "scale": scale,
+    }

@@ -1,0 +1,46 @@
+"""Distributed-system substrate: synchronous server-based and peer-to-peer."""
+
+from .agents import Agent, ByzantineAgent, HonestAgent, StochasticAgent
+from .broadcast import (
+    BroadcastAdversary,
+    BroadcastStats,
+    EquivocatingAdversary,
+    SilentAdversary,
+    TruthfulAdversary,
+    byzantine_broadcast,
+    majority_value,
+    om_message_count,
+)
+from .messages import GradientReply, GradientRequest, Silence
+from .network import Envelope, MessagePassingDGD, SynchronousNetwork
+from .peer_to_peer import PeerToPeerSimulator
+from .server import RobustServer
+from .simulator import SynchronousSimulator, run_dgd
+from .trace import ExecutionTrace, IterationRecord
+
+__all__ = [
+    "GradientRequest",
+    "GradientReply",
+    "Silence",
+    "Agent",
+    "HonestAgent",
+    "ByzantineAgent",
+    "StochasticAgent",
+    "RobustServer",
+    "SynchronousSimulator",
+    "run_dgd",
+    "Envelope",
+    "SynchronousNetwork",
+    "MessagePassingDGD",
+    "ExecutionTrace",
+    "IterationRecord",
+    "byzantine_broadcast",
+    "majority_value",
+    "om_message_count",
+    "BroadcastStats",
+    "BroadcastAdversary",
+    "EquivocatingAdversary",
+    "SilentAdversary",
+    "TruthfulAdversary",
+    "PeerToPeerSimulator",
+]

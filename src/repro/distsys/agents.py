@@ -1,0 +1,135 @@
+"""Agent processes of the server-based architecture (Figure 1).
+
+``HonestAgent`` evaluates its local cost's gradient at the broadcast
+estimate.  ``ByzantineAgent`` defers to a :class:`~repro.attacks.base.ByzantineAttack`
+via the simulator (which supplies the attack context), and may also simulate
+crash-style silence.  ``StochasticAgent`` generalizes the honest agent to
+minibatch gradients for the D-SGD experiments of Appendix K.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Union
+
+import numpy as np
+
+from ..functions.base import CostFunction
+from .messages import GradientReply, GradientRequest, Silence
+
+__all__ = ["Agent", "HonestAgent", "ByzantineAgent", "StochasticAgent"]
+
+
+class Agent(abc.ABC):
+    """A participant identified by a non-negative integer id."""
+
+    def __init__(self, agent_id: int):
+        if agent_id < 0:
+            raise ValueError("agent id must be non-negative")
+        self.agent_id = int(agent_id)
+
+    @abc.abstractmethod
+    def handle_request(
+        self, request: GradientRequest
+    ) -> Union[GradientReply, Silence]:
+        """React to the server's broadcast for this iteration."""
+
+    @property
+    def is_byzantine(self) -> bool:
+        """Ground-truth fault flag (never consulted by the server logic)."""
+        return False
+
+
+class HonestAgent(Agent):
+    """Computes and truthfully reports ``grad Q_i(x_t)``."""
+
+    def __init__(self, agent_id: int, cost: CostFunction):
+        super().__init__(agent_id)
+        self.cost = cost
+
+    def handle_request(self, request: GradientRequest) -> GradientReply:
+        gradient = self.cost.gradient(request.estimate)
+        return GradientReply(
+            iteration=request.iteration,
+            sender=self.agent_id,
+            gradient=gradient,
+        )
+
+    def __repr__(self) -> str:
+        return f"HonestAgent(id={self.agent_id}, cost={self.cost!r})"
+
+
+class ByzantineAgent(Agent):
+    """A compromised agent.
+
+    The actual fabricated gradient is computed by the simulator (attacks may
+    collude across agents, so fabrication happens centrally); this class
+    carries the agent's *reference cost* — used for attacks defined relative
+    to the correct gradient, like gradient-reverse — and an optional
+    ``silent_after`` iteration from which the agent stops responding,
+    exercising the elimination rule of step S1.
+    """
+
+    def __init__(
+        self,
+        agent_id: int,
+        reference_cost: Optional[CostFunction] = None,
+        silent_after: Optional[int] = None,
+    ):
+        super().__init__(agent_id)
+        self.reference_cost = reference_cost
+        self.silent_after = silent_after
+
+    def true_gradient(self, estimate: np.ndarray) -> np.ndarray:
+        """The gradient this agent *would* send if it were honest."""
+        if self.reference_cost is None:
+            return np.zeros_like(np.asarray(estimate, dtype=float))
+        return self.reference_cost.gradient(estimate)
+
+    def is_silent(self, iteration: int) -> bool:
+        """Whether the agent crashes (sends nothing) at this iteration."""
+        return self.silent_after is not None and iteration >= self.silent_after
+
+    def handle_request(
+        self, request: GradientRequest
+    ) -> Union[GradientReply, Silence]:
+        # The simulator intercepts Byzantine agents and substitutes the
+        # attack's fabrication; reaching here means a mis-wired simulator.
+        raise RuntimeError(
+            "ByzantineAgent replies are fabricated by the simulator"
+        )
+
+    @property
+    def is_byzantine(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"ByzantineAgent(id={self.agent_id},"
+            f" silent_after={self.silent_after})"
+        )
+
+
+class StochasticAgent(Agent):
+    """Honest agent reporting minibatch stochastic gradients (Appendix K).
+
+    ``oracle`` maps ``(estimate, rng)`` to an unbiased gradient estimate; the
+    agent owns a deterministic per-agent generator so executions are
+    reproducible.
+    """
+
+    def __init__(self, agent_id: int, oracle, seed: int = 0):
+        super().__init__(agent_id)
+        self.oracle = oracle
+        self.rng = np.random.default_rng(seed)
+
+    def handle_request(self, request: GradientRequest) -> GradientReply:
+        gradient = self.oracle(request.estimate, self.rng)
+        return GradientReply(
+            iteration=request.iteration,
+            sender=self.agent_id,
+            gradient=np.asarray(gradient, dtype=float),
+        )
+
+    def __repr__(self) -> str:
+        return f"StochasticAgent(id={self.agent_id})"

@@ -1,0 +1,63 @@
+"""Message types exchanged in the synchronous server-based architecture.
+
+One DGD iteration (Section 4.1) is two half-rounds: the server broadcasts a
+:class:`GradientRequest` carrying the estimate ``x_t`` (step S1), each live
+agent answers with a :class:`GradientReply` (or stays silent — which, in a
+synchronous system, exposes it as faulty and triggers elimination), and the
+server applies the gradient-filter and the update rule (21) (step S2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["GradientRequest", "GradientReply", "Silence"]
+
+
+@dataclass(frozen=True)
+class GradientRequest:
+    """Server -> agents: request gradients at the current estimate."""
+
+    iteration: int
+    estimate: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.iteration < 0:
+            raise ValueError("iteration must be non-negative")
+        est = np.asarray(self.estimate, dtype=float)
+        if est.ndim != 1:
+            raise ValueError("estimate must be a 1-D vector")
+        object.__setattr__(self, "estimate", est)
+
+
+@dataclass(frozen=True)
+class GradientReply:
+    """Agent -> server: the (possibly fabricated) gradient at ``x_t``."""
+
+    iteration: int
+    sender: int
+    gradient: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.sender < 0:
+            raise ValueError("sender id must be non-negative")
+        grad = np.asarray(self.gradient, dtype=float)
+        if grad.ndim != 1:
+            raise ValueError("gradient must be a 1-D vector")
+        object.__setattr__(self, "gradient", grad)
+
+
+@dataclass(frozen=True)
+class Silence:
+    """Marker for an agent that sent nothing this round.
+
+    In the synchronous model a silent agent *must* be faulty; the server
+    "eliminates the agent i from the system, updates the values of n, f, and
+    re-assigns the agents indices" (step S1).
+    """
+
+    iteration: int
+    sender: int

@@ -1,0 +1,242 @@
+"""Message-level synchronous network substrate.
+
+:mod:`repro.distsys.simulator` drives agents by direct method calls — fast
+and convenient.  This module provides the *explicit* alternative a systems
+reader expects: processes exchange messages through per-round mailboxes
+managed by a :class:`SynchronousNetwork`, with delivery happening only at
+round boundaries (the lock-step synchronous model of Section 1.4).
+
+:class:`MessagePassingDGD` re-implements the server-based DGD loop on top
+of this substrate; ``tests/distsys/test_network.py`` proves it produces
+*bit-identical* traces to :class:`~repro.distsys.simulator.SynchronousSimulator`,
+so the direct simulator can be trusted as an optimization of the
+message-passing semantics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..aggregators.base import GradientAggregator
+from ..attacks.base import AttackContext, ByzantineAttack
+from ..functions.base import CostFunction
+from ..optim.projections import ConvexSet
+from ..optim.schedules import StepSchedule
+from .messages import GradientReply, GradientRequest
+from .server import RobustServer
+from .trace import ExecutionTrace, IterationRecord
+
+__all__ = ["Envelope", "SynchronousNetwork", "MessagePassingDGD"]
+
+#: Reserved address of the server process.
+SERVER_ADDRESS = -1
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A routed message: payload plus source/destination addresses."""
+
+    sender: int
+    recipient: int
+    payload: object
+
+
+class SynchronousNetwork:
+    """Per-round mailboxes with delivery at round boundaries.
+
+    Messages sent during round ``r`` become visible to recipients only when
+    :meth:`deliver_round` is called — enforcing the synchronous lock-step
+    the paper's algorithms assume.  The network also keeps a running
+    message count (useful for complexity accounting).
+    """
+
+    def __init__(self) -> None:
+        self._outbox: List[Envelope] = []
+        self._inboxes: Dict[int, List[Envelope]] = defaultdict(list)
+        self.messages_sent = 0
+        self.round = 0
+
+    def send(self, sender: int, recipient: int, payload: object) -> None:
+        """Queue a message for delivery at the next round boundary."""
+        self._outbox.append(Envelope(sender, recipient, payload))
+        self.messages_sent += 1
+
+    def broadcast(
+        self, sender: int, recipients: Sequence[int], payload: object
+    ) -> None:
+        """Queue the same payload to every recipient."""
+        for recipient in recipients:
+            self.send(sender, recipient, payload)
+
+    def deliver_round(self) -> None:
+        """Move every queued message into its recipient's inbox."""
+        for envelope in self._outbox:
+            self._inboxes[envelope.recipient].append(envelope)
+        self._outbox.clear()
+        self.round += 1
+
+    def receive(self, recipient: int) -> List[Envelope]:
+        """Drain and return the recipient's inbox (delivery order)."""
+        inbox = self._inboxes[recipient]
+        self._inboxes[recipient] = []
+        return inbox
+
+
+class MessagePassingDGD:
+    """The Section-4.1 loop implemented over explicit messages.
+
+    Each iteration is two network rounds:
+
+    1. the server broadcasts a :class:`GradientRequest` (step S1's ask),
+    2. agents reply with :class:`GradientReply` (Byzantine replies are
+       fabricated through the attack, silent agents send nothing and are
+       eliminated), after which the server applies step S2.
+    """
+
+    def __init__(
+        self,
+        costs: Sequence[CostFunction],
+        faulty_ids: Sequence[int],
+        aggregator: Union[GradientAggregator, str],
+        constraint: ConvexSet,
+        schedule: StepSchedule,
+        initial_estimate: Sequence[float],
+        attack: Optional[ByzantineAttack] = None,
+        silent_after: Optional[Dict[int, int]] = None,
+        seed: int = 0,
+    ):
+        self.costs = list(costs)
+        self.n_initial = len(self.costs)
+        self.faulty = frozenset(int(i) for i in faulty_ids)
+        if any(i < 0 or i >= self.n_initial for i in self.faulty):
+            raise ValueError("faulty id out of range")
+        if self.faulty and attack is None:
+            raise ValueError("faulty agents present but no attack given")
+        self.attack = attack
+        self.silent_after = dict(silent_after or {})
+        self.network = SynchronousNetwork()
+        self.rng = np.random.default_rng(seed)
+        self.server = RobustServer(
+            initial_estimate=np.asarray(initial_estimate, dtype=float),
+            aggregator=aggregator,
+            constraint=constraint,
+            schedule=schedule,
+            n=self.n_initial,
+            f=len(self.faulty),
+        )
+        self.active: List[int] = list(range(self.n_initial))
+        self.trace = ExecutionTrace()
+
+    # -- agent-side handlers ------------------------------------------------
+    def _honest_reply(self, agent_id: int, request: GradientRequest) -> None:
+        gradient = self.costs[agent_id].gradient(request.estimate)
+        self.network.send(
+            agent_id,
+            SERVER_ADDRESS,
+            GradientReply(
+                iteration=request.iteration,
+                sender=agent_id,
+                gradient=gradient,
+            ),
+        )
+
+    def _byzantine_replies(
+        self, live_faulty: List[int], request: GradientRequest,
+        honest_grads: Dict[int, np.ndarray],
+    ) -> None:
+        context = AttackContext(
+            iteration=request.iteration,
+            estimate=request.estimate,
+            faulty_ids=sorted(live_faulty),
+            true_gradients={
+                i: self.costs[i].gradient(request.estimate)
+                for i in live_faulty
+            },
+            honest_gradients=(
+                honest_grads if self.attack.requires_omniscience else None
+            ),
+            rng=self.rng,
+        )
+        fabricated = self.attack.fabricate(context)
+        for agent_id in sorted(live_faulty):
+            self.network.send(
+                agent_id,
+                SERVER_ADDRESS,
+                GradientReply(
+                    iteration=request.iteration,
+                    sender=agent_id,
+                    gradient=np.asarray(fabricated[agent_id], dtype=float),
+                ),
+            )
+
+    # -- one full iteration (two network rounds) ----------------------------
+    def step(self) -> IterationRecord:
+        """Run one DGD iteration through the network."""
+        t = self.server.iteration
+        estimate = self.server.estimate.copy()
+        request = GradientRequest(iteration=t, estimate=estimate)
+
+        # Round 1: server -> agents.
+        self.network.broadcast(SERVER_ADDRESS, self.active, request)
+        self.network.deliver_round()
+
+        # Agents process their inboxes; replies are queued for round 2.
+        honest_grads: Dict[int, np.ndarray] = {}
+        live_faulty: List[int] = []
+        silent: List[int] = []
+        for agent_id in self.active:
+            envelopes = self.network.receive(agent_id)
+            assert len(envelopes) == 1, "synchronous round delivers one request"
+            req = envelopes[0].payload
+            cutoff = self.silent_after.get(agent_id)
+            if cutoff is not None and t >= cutoff:
+                silent.append(agent_id)
+                continue
+            if agent_id in self.faulty:
+                live_faulty.append(agent_id)
+            else:
+                self._honest_reply(agent_id, req)
+                honest_grads[agent_id] = self.costs[agent_id].gradient(
+                    req.estimate
+                )
+        if live_faulty:
+            self._byzantine_replies(live_faulty, request, honest_grads)
+        self.network.deliver_round()
+
+        # Round 2 aftermath: server collects replies, eliminates the silent.
+        replies = self.network.receive(SERVER_ADDRESS)
+        gradients = {
+            env.payload.sender: env.payload.gradient for env in replies
+        }
+        eliminated = self.server.eliminate_silent(silent)
+        for agent_id in eliminated:
+            self.active.remove(agent_id)
+        aggregate = self.server.apply_update(gradients)
+        record = IterationRecord(
+            iteration=t,
+            estimate=estimate,
+            gradients=gradients,
+            aggregate=aggregate,
+            step_size=self.server.schedule(t),
+            next_estimate=self.server.estimate.copy(),
+            eliminated=eliminated,
+        )
+        self.trace.append(record)
+        return record
+
+    def run(self, iterations: int) -> ExecutionTrace:
+        """Run ``iterations`` full iterations; returns the trace."""
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        for _ in range(iterations):
+            self.step()
+        return self.trace
+
+    @property
+    def estimate(self) -> np.ndarray:
+        """Current server estimate."""
+        return self.server.estimate.copy()

@@ -1,0 +1,92 @@
+"""The trusted server of the server-based architecture (Figure 1).
+
+The server owns the estimate ``x_t``, applies the gradient-filter to the
+received gradients (step S2) and performs the projected update of equation
+(21).  It also implements the synchronous elimination rule of step S1: an
+agent that stays silent is removed, and ``n``/``f`` are updated — when the
+filter was registered by name, it is rebuilt for the reduced system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+import numpy as np
+
+from ..aggregators.base import GradientAggregator
+from ..aggregators.registry import make_aggregator
+from ..optim.projections import ConvexSet
+from ..optim.schedules import StepSchedule
+
+__all__ = ["RobustServer"]
+
+
+class RobustServer:
+    """Server state machine for robust distributed gradient descent."""
+
+    def __init__(
+        self,
+        initial_estimate: np.ndarray,
+        aggregator: Union[GradientAggregator, str],
+        constraint: ConvexSet,
+        schedule: StepSchedule,
+        n: int,
+        f: int,
+    ):
+        est = np.asarray(initial_estimate, dtype=float)
+        if est.ndim != 1:
+            raise ValueError("initial estimate must be a 1-D vector")
+        if not 0 <= f < n:
+            raise ValueError(f"need 0 <= f < n, got n={n}, f={f}")
+        self.estimate = constraint.project(est)
+        self.constraint = constraint
+        self.schedule = schedule
+        self.n = int(n)
+        self.f = int(f)
+        self._aggregator_name: Optional[str] = None
+        if isinstance(aggregator, str):
+            self._aggregator_name = aggregator
+            self.aggregator: GradientAggregator = make_aggregator(
+                aggregator, self.n, self.f
+            )
+        else:
+            self.aggregator = aggregator
+        self.iteration = 0
+
+    def eliminate_silent(self, silent_ids: Iterable[int]) -> List[int]:
+        """Apply step S1's elimination rule; returns the removed ids.
+
+        Silent agents are necessarily faulty in a synchronous system, so
+        both ``n`` and ``f`` decrease; a name-registered filter is rebuilt
+        for the smaller system.
+        """
+        removed = sorted(set(silent_ids))
+        if not removed:
+            return []
+        self.n -= len(removed)
+        self.f = max(0, self.f - len(removed))
+        if self.n <= 0:
+            raise RuntimeError("all agents eliminated")
+        if self._aggregator_name is not None:
+            self.aggregator = make_aggregator(
+                self._aggregator_name, self.n, self.f
+            )
+        return removed
+
+    def apply_update(self, gradients: Dict[int, np.ndarray]) -> np.ndarray:
+        """Step S2: filter the received gradients and move the estimate.
+
+        Returns the filtered aggregate (useful for tracing); the new
+        estimate is available as :attr:`estimate`.
+        """
+        if len(gradients) != self.n:
+            raise ValueError(
+                f"received {len(gradients)} gradients for a system of {self.n}"
+            )
+        stack = np.vstack([gradients[i] for i in sorted(gradients)])
+        aggregate = self.aggregator.aggregate(stack)
+        eta = self.schedule(self.iteration)
+        candidate = self.estimate - eta * aggregate
+        self.estimate = self.constraint.project(candidate)
+        self.iteration += 1
+        return aggregate

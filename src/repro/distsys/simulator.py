@@ -1,0 +1,194 @@
+"""Synchronous simulation of the DGD method of Section 4.1.
+
+The simulator drives the server and the agents through iterations of the
+two-step loop (S1 request/reply with elimination of silent agents, S2
+filtered projected update), fabricating Byzantine replies through a
+:class:`~repro.attacks.base.ByzantineAttack` and recording a full
+:class:`~repro.distsys.trace.ExecutionTrace`.
+
+This in-process simulator replaces the paper's MPI deployment; determinism
+comes from a single seeded generator shared by the attack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..aggregators.base import GradientAggregator
+from ..attacks.base import AttackContext, ByzantineAttack
+from ..optim.projections import ConvexSet
+from ..optim.schedules import StepSchedule
+from .agents import Agent, ByzantineAgent, HonestAgent
+from .messages import GradientReply, GradientRequest, Silence
+from .server import RobustServer
+from .trace import ExecutionTrace, IterationRecord
+
+__all__ = ["SynchronousSimulator", "run_dgd"]
+
+
+class SynchronousSimulator:
+    """Round-based driver for robust distributed gradient descent."""
+
+    def __init__(
+        self,
+        agents: Sequence[Agent],
+        aggregator: Union[GradientAggregator, str],
+        constraint: ConvexSet,
+        schedule: StepSchedule,
+        f: int,
+        initial_estimate: Sequence[float],
+        attack: Optional[ByzantineAttack] = None,
+        omniscient_attack: Optional[bool] = None,
+        seed: int = 0,
+    ):
+        ids = [a.agent_id for a in agents]
+        if len(set(ids)) != len(ids):
+            raise ValueError("agent ids must be unique")
+        self.agents: Dict[int, Agent] = {a.agent_id: a for a in agents}
+        self.active_ids: List[int] = sorted(self.agents)
+        byzantine = [a for a in agents if a.is_byzantine]
+        if byzantine and attack is None:
+            raise ValueError("byzantine agents present but no attack given")
+        self.attack = attack
+        if omniscient_attack is None:
+            omniscient_attack = bool(attack and attack.requires_omniscience)
+        if attack and attack.requires_omniscience and not omniscient_attack:
+            raise ValueError(
+                f"attack {attack.name!r} requires omniscient access"
+            )
+        self.omniscient_attack = omniscient_attack
+        self.rng = np.random.default_rng(seed)
+        self.server = RobustServer(
+            initial_estimate=np.asarray(initial_estimate, dtype=float),
+            aggregator=aggregator,
+            constraint=constraint,
+            schedule=schedule,
+            n=len(agents),
+            f=f,
+        )
+        self.trace = ExecutionTrace()
+
+    # -- one iteration ----------------------------------------------------
+    def step(self) -> IterationRecord:
+        """Run one full iteration (S1 + S2) and record it."""
+        t = self.server.iteration
+        estimate_before = self.server.estimate.copy()
+        request = GradientRequest(iteration=t, estimate=estimate_before)
+
+        honest_replies: Dict[int, np.ndarray] = {}
+        live_byzantine: List[ByzantineAgent] = []
+        silent: List[int] = []
+        for agent_id in list(self.active_ids):
+            agent = self.agents[agent_id]
+            if isinstance(agent, ByzantineAgent):
+                if agent.is_silent(t):
+                    silent.append(agent_id)
+                else:
+                    live_byzantine.append(agent)
+                continue
+            reply = agent.handle_request(request)
+            if isinstance(reply, Silence):
+                silent.append(agent_id)
+            else:
+                honest_replies[agent_id] = reply.gradient
+
+        eliminated = self.server.eliminate_silent(silent)
+        for agent_id in eliminated:
+            self.active_ids.remove(agent_id)
+
+        gradients: Dict[int, np.ndarray] = dict(honest_replies)
+        if live_byzantine:
+            context = AttackContext(
+                iteration=t,
+                estimate=estimate_before,
+                faulty_ids=[a.agent_id for a in live_byzantine],
+                true_gradients={
+                    a.agent_id: a.true_gradient(estimate_before)
+                    for a in live_byzantine
+                },
+                honest_gradients=(
+                    dict(honest_replies) if self.omniscient_attack else None
+                ),
+                rng=self.rng,
+            )
+            fabricated = self.attack.fabricate(context)
+            missing = set(context.faulty_ids) - set(fabricated)
+            if missing:
+                raise RuntimeError(
+                    f"attack produced no gradient for agents {sorted(missing)}"
+                )
+            for agent_id in context.faulty_ids:
+                gradients[agent_id] = np.asarray(
+                    fabricated[agent_id], dtype=float
+                )
+
+        aggregate = self.server.apply_update(gradients)
+        record = IterationRecord(
+            iteration=t,
+            estimate=estimate_before,
+            gradients=gradients,
+            aggregate=aggregate,
+            step_size=self.server.schedule(t),
+            next_estimate=self.server.estimate.copy(),
+            eliminated=eliminated,
+        )
+        self.trace.append(record)
+        return record
+
+    def run(self, iterations: int) -> ExecutionTrace:
+        """Run ``iterations`` steps and return the accumulated trace."""
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        for _ in range(iterations):
+            self.step()
+        return self.trace
+
+    @property
+    def estimate(self) -> np.ndarray:
+        """The server's current estimate."""
+        return self.server.estimate.copy()
+
+
+def run_dgd(
+    costs: Sequence,
+    faulty_ids: Sequence[int],
+    aggregator: Union[GradientAggregator, str],
+    attack: Optional[ByzantineAttack],
+    constraint: ConvexSet,
+    schedule: StepSchedule,
+    initial_estimate: Sequence[float],
+    iterations: int,
+    seed: int = 0,
+    omniscient_attack: Optional[bool] = None,
+) -> ExecutionTrace:
+    """Convenience wrapper: build agents from costs and run the loop.
+
+    ``costs[i]`` is agent ``i``'s local cost; agents listed in ``faulty_ids``
+    become Byzantine with that cost as their attack reference.  ``f`` is set
+    to ``len(faulty_ids)`` — the simulation's ground truth, which the server
+    is told (as in the paper, ``f`` is a known system parameter).
+    """
+    faulty = set(faulty_ids)
+    unknown = faulty - set(range(len(costs)))
+    if unknown:
+        raise ValueError(f"faulty ids {sorted(unknown)} out of range")
+    agents: List[Agent] = []
+    for i, cost in enumerate(costs):
+        if i in faulty:
+            agents.append(ByzantineAgent(i, reference_cost=cost))
+        else:
+            agents.append(HonestAgent(i, cost))
+    simulator = SynchronousSimulator(
+        agents=agents,
+        aggregator=aggregator,
+        constraint=constraint,
+        schedule=schedule,
+        f=len(faulty),
+        initial_estimate=initial_estimate,
+        attack=attack,
+        omniscient_attack=omniscient_attack,
+        seed=seed,
+    )
+    return simulator.run(iterations)

@@ -1,0 +1,149 @@
+"""Execution traces of distributed optimization runs.
+
+Figures 2–5 of the paper plot per-iteration series (loss, distance to x_H,
+accuracy); :class:`ExecutionTrace` records everything needed to regenerate
+them and to assert convergence properties in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["IterationRecord", "ExecutionTrace"]
+
+
+@dataclass
+class IterationRecord:
+    """Everything observed during one DGD iteration."""
+
+    iteration: int
+    estimate: np.ndarray          # x_t (before the update)
+    gradients: Dict[int, np.ndarray]  # received, keyed by agent id
+    aggregate: np.ndarray         # GradFilter output
+    step_size: float
+    next_estimate: np.ndarray     # x_{t+1} (after projection)
+    eliminated: List[int] = field(default_factory=list)
+
+
+@dataclass
+class ExecutionTrace:
+    """Full history of a simulated execution."""
+
+    records: List[IterationRecord] = field(default_factory=list)
+
+    def append(self, record: IterationRecord) -> None:
+        """Add the record of one completed iteration."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def final_estimate(self) -> np.ndarray:
+        """The last computed iterate ``x_T``."""
+        if not self.records:
+            raise ValueError("trace is empty")
+        return self.records[-1].next_estimate
+
+    def estimates(self, include_final: bool = True) -> np.ndarray:
+        """Row-stacked iterates ``x_0, x_1, ..., x_T``."""
+        if not self.records:
+            raise ValueError("trace is empty")
+        points = [r.estimate for r in self.records]
+        if include_final:
+            points.append(self.records[-1].next_estimate)
+        return np.vstack(points)
+
+    def estimate_at(self, t: int) -> np.ndarray:
+        """Iterate ``x_t`` for ``0 <= t <= len(trace)``."""
+        if t < 0 or t > len(self.records):
+            raise IndexError(f"iteration {t} outside trace of {len(self)} steps")
+        if t == len(self.records):
+            return self.final_estimate
+        return self.records[t].estimate
+
+    def distances_to(self, target: Sequence[float]) -> np.ndarray:
+        """Series ``||x_t - target||`` — the paper's *distance* curves."""
+        tgt = np.asarray(target, dtype=float)
+        return np.linalg.norm(self.estimates() - tgt, axis=1)
+
+    def losses(self, loss: Callable[[np.ndarray], float]) -> np.ndarray:
+        """Series ``loss(x_t)`` — the paper's *loss* curves."""
+        return np.array([loss(x) for x in self.estimates()])
+
+    def aggregate_norms(self) -> np.ndarray:
+        """Norm of the filtered aggregate per iteration."""
+        return np.array([float(np.linalg.norm(r.aggregate)) for r in self.records])
+
+    def eliminated_agents(self) -> List[int]:
+        """All agent ids eliminated for silence during the run."""
+        out: List[int] = []
+        for record in self.records:
+            out.extend(record.eliminated)
+        return out
+
+    # -- serialization -----------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-friendly dict capturing the full trace.
+
+        Round-trips through :meth:`from_payload`; used by the experiment
+        harness to archive runs next to the benchmark renderings.
+        """
+        return {
+            "records": [
+                {
+                    "iteration": r.iteration,
+                    "estimate": r.estimate.tolist(),
+                    "gradients": {
+                        str(k): v.tolist() for k, v in r.gradients.items()
+                    },
+                    "aggregate": r.aggregate.tolist(),
+                    "step_size": r.step_size,
+                    "next_estimate": r.next_estimate.tolist(),
+                    "eliminated": list(r.eliminated),
+                }
+                for r in self.records
+            ]
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ExecutionTrace":
+        """Rebuild a trace from :meth:`to_payload` output."""
+        trace = cls()
+        for item in payload["records"]:
+            trace.append(
+                IterationRecord(
+                    iteration=int(item["iteration"]),
+                    estimate=np.asarray(item["estimate"], dtype=float),
+                    gradients={
+                        int(k): np.asarray(v, dtype=float)
+                        for k, v in item["gradients"].items()
+                    },
+                    aggregate=np.asarray(item["aggregate"], dtype=float),
+                    step_size=float(item["step_size"]),
+                    next_estimate=np.asarray(item["next_estimate"], dtype=float),
+                    eliminated=list(item["eliminated"]),
+                )
+            )
+        return trace
+
+    def convergence_iteration(
+        self, target: Sequence[float], radius: float
+    ) -> Optional[int]:
+        """First iteration after which the iterate stays within ``radius``.
+
+        Returns ``None`` if the trace never settles inside the ball around
+        ``target``.
+        """
+        dists = self.distances_to(target)
+        inside = dists <= radius
+        for t in range(len(inside)):
+            if inside[t:].all():
+                return t
+        return None

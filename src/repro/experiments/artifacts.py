@@ -1,0 +1,95 @@
+"""Run archival: save and reload experiment results as JSON.
+
+Archives regression runs (result summary + full execution trace) so
+benchmark outputs can be inspected, diffed across code versions, and
+re-rendered without re-running the simulations.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..distsys.trace import ExecutionTrace
+from .reporting import to_jsonable
+from .runner import RegressionRunResult
+
+__all__ = ["ArchivedRun", "save_run", "load_run"]
+
+
+@dataclass
+class ArchivedRun:
+    """A reloaded regression run (summary plus optional full trace)."""
+
+    label: str
+    aggregator: str
+    attack: Optional[str]
+    output: np.ndarray
+    distance: float
+    final_loss: float
+    losses: np.ndarray
+    distances: np.ndarray
+    trace: Optional[ExecutionTrace]
+
+    def __repr__(self) -> str:
+        return (
+            f"ArchivedRun(label={self.label!r}, distance={self.distance:.6g},"
+            f" trace={'yes' if self.trace is not None else 'no'})"
+        )
+
+
+def save_run(
+    result: RegressionRunResult,
+    path: Union[str, Path],
+    include_trace: bool = True,
+) -> Path:
+    """Write a regression run to ``path`` as pretty JSON.
+
+    ``include_trace=False`` drops the per-iteration gradient record (the
+    summary and the loss/distance series are always kept), shrinking the
+    artifact by ~10x for long runs.
+    """
+    payload = {
+        "schema": "repro/regression-run/v1",
+        "label": result.label,
+        "aggregator": result.aggregator,
+        "attack": result.attack,
+        "output": result.output,
+        "distance": result.distance,
+        "final_loss": result.final_loss,
+        "losses": result.losses,
+        "distances": result.distances,
+        "trace": result.trace.to_payload() if include_trace else None,
+    }
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(to_jsonable(payload), indent=2))
+    return target
+
+
+def load_run(path: Union[str, Path]) -> ArchivedRun:
+    """Reload a run written by :func:`save_run`."""
+    payload = json.loads(Path(path).read_text())
+    schema = payload.get("schema")
+    if schema != "repro/regression-run/v1":
+        raise ValueError(f"unrecognized artifact schema: {schema!r}")
+    trace = (
+        ExecutionTrace.from_payload(payload["trace"])
+        if payload.get("trace") is not None
+        else None
+    )
+    return ArchivedRun(
+        label=payload["label"],
+        aggregator=payload["aggregator"],
+        attack=payload["attack"],
+        output=np.asarray(payload["output"], dtype=float),
+        distance=float(payload["distance"]),
+        final_loss=float(payload["final_loss"]),
+        losses=np.asarray(payload["losses"], dtype=float),
+        distances=np.asarray(payload["distances"], dtype=float),
+        trace=trace,
+    )

@@ -1,0 +1,321 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Installed as ``repro-experiments``; also runnable as
+``python -m repro.experiments.cli``.
+
+Examples::
+
+    repro-experiments table1
+    repro-experiments figure2 --iterations 1500 --stride 150
+    repro-experiments figure4 --iterations 300
+    repro-experiments ablation-filters
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .ablations import (
+    adaptive_attack_sweep,
+    dimension_sweep,
+    exact_algorithm_scaling,
+    f_sweep,
+    filter_zoo,
+    redundancy_sweep,
+    schedule_sweep,
+)
+from .figures import generate_figure2, generate_figure3, render_figure
+from .learning_experiment import (
+    LearningExperimentConfig,
+    render_learning_panel,
+    run_learning_experiment,
+)
+from .paper_regression import paper_problem
+from .reporting import format_table
+from .table1 import generate_table1, render_table1
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables, figures and ablations.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="Table 1: CGE/CWTM approximation errors")
+    p.add_argument("--iterations", type=int, default=500)
+    p.add_argument("--seed", type=int, default=0)
+
+    for name, default_iters in (("figure2", 1500), ("figure3", 80)):
+        p = sub.add_parser(name, help=f"{name}: loss/distance trajectories")
+        p.add_argument("--iterations", type=int, default=default_iters)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--stride", type=int, default=max(1, default_iters // 15))
+
+    for name, variant in (("figure4", "mnist_like"), ("figure5", "fashion_like")):
+        p = sub.add_parser(name, help=f"{name}: distributed learning ({variant})")
+        p.add_argument("--iterations", type=int, default=300)
+        p.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("ablation-filters", help="full filter zoo on the paper problem")
+    sub.add_parser("ablation-fsweep", help="CGE error vs f and theory bounds")
+    sub.add_parser("ablation-redundancy", help="error vs redundancy parameter")
+    sub.add_parser("ablation-exact", help="Theorem-2 algorithm scaling")
+    sub.add_parser("ablation-dimension", help="CWTM/Theorem-6 vs dimension")
+    sub.add_parser("ablation-schedules", help="step-size schedule comparison")
+    sub.add_parser("ablation-adaptive", help="filter-aware adaptive attacks")
+
+    p = sub.add_parser(
+        "certify", help="certify the Appendix-J system against the theory"
+    )
+    p.add_argument("--iterations", type=int, default=400)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("svm", help="distributed SVM study (Section 5)")
+    p.add_argument("--iterations", type=int, default=400)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "frontier", help="resilience frontier of the Appendix-J system"
+    )
+    p.add_argument("--max-f", type=int, default=2)
+
+    p = sub.add_parser(
+        "all", help="regenerate every artifact into a directory"
+    )
+    p.add_argument("--out", default="results", help="output directory")
+    p.add_argument(
+        "--skip-learning",
+        action="store_true",
+        help="skip the slow Figure-4/5 learning experiments",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _run_table1(args: argparse.Namespace) -> str:
+    problem = paper_problem()
+    rows = generate_table1(problem, iterations=args.iterations, seed=args.seed)
+    return render_table1(rows, epsilon=problem.epsilon)
+
+
+def _run_figures(args: argparse.Namespace, zoom: bool) -> str:
+    generate = generate_figure3 if zoom else generate_figure2
+    panels = generate(iterations=args.iterations, seed=args.seed)
+    blocks: List[str] = []
+    for attack, panel in panels.items():
+        blocks.append(render_figure(panel, "losses", stride=args.stride))
+        blocks.append(render_figure(panel, "distances", stride=args.stride))
+    return "\n\n".join(blocks)
+
+
+def _run_learning(args: argparse.Namespace, variant: str) -> str:
+    config = LearningExperimentConfig(
+        variant=variant, iterations=args.iterations, seed=args.seed
+    )
+    panel = run_learning_experiment(config)
+    return render_learning_panel(panel)
+
+
+def _run_everything(args: argparse.Namespace) -> None:
+    """The replication kit: write every artifact under ``args.out``."""
+    from pathlib import Path
+
+    from .svm_experiment import (
+        SVMExperimentConfig,
+        render_svm_panel,
+        run_svm_experiment,
+    )
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (out / f"{name}.txt").write_text(text + "\n")
+        print(f"[written] {out / (name + '.txt')}")
+
+    problem = paper_problem()
+    rows = generate_table1(problem, iterations=500, seed=args.seed)
+    write("table1", render_table1(rows, epsilon=problem.epsilon))
+
+    panels = generate_figure2(problem, iterations=1500, seed=args.seed)
+    blocks = []
+    for attack, panel in panels.items():
+        blocks.append(render_figure(panel, "losses", stride=150))
+        blocks.append(render_figure(panel, "distances", stride=150))
+    write("figure2", "\n\n".join(blocks))
+
+    zoom = generate_figure3(problem, iterations=80, seed=args.seed)
+    blocks = []
+    for attack, panel in zoom.items():
+        blocks.append(render_figure(panel, "distances", stride=10))
+    write("figure3", "\n\n".join(blocks))
+
+    svm = run_svm_experiment(SVMExperimentConfig(seed=args.seed))
+    write("svm", render_svm_panel(svm))
+
+    if not args.skip_learning:
+        for name, variant in (("figure4", "mnist_like"), ("figure5", "fashion_like")):
+            panel = run_learning_experiment(
+                LearningExperimentConfig(variant=variant, seed=args.seed)
+            )
+            write(name, render_learning_panel(panel))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        print(_run_table1(args))
+    elif args.command == "figure2":
+        print(_run_figures(args, zoom=False))
+    elif args.command == "figure3":
+        print(_run_figures(args, zoom=True))
+    elif args.command == "figure4":
+        print(_run_learning(args, "mnist_like"))
+    elif args.command == "figure5":
+        print(_run_learning(args, "fashion_like"))
+    elif args.command == "ablation-filters":
+        rows = filter_zoo()
+        print(
+            format_table(
+                ["filter", "attack", "distance", "within eps", "note"],
+                [
+                    [r.aggregator, r.attack, r.distance, r.within_epsilon, r.error or ""]
+                    for r in rows
+                ],
+                title="Filter zoo on the Appendix-J problem",
+            )
+        )
+    elif args.command == "ablation-fsweep":
+        rows = f_sweep()
+        print(
+            format_table(
+                ["n", "f", "eps", "measured", "Thm4 bound", "Thm5 bound"],
+                [
+                    [r.n, r.f, r.epsilon, r.measured_distance, r.bound_thm4, r.bound_thm5]
+                    for r in rows
+                ],
+                title="CGE error vs fault count",
+            )
+        )
+    elif args.command == "ablation-redundancy":
+        rows = redundancy_sweep()
+        print(
+            format_table(
+                ["spread", "eps", "exact err", "<=2eps", "CGE err", "CGE bound"],
+                [
+                    [
+                        r.spread,
+                        r.epsilon,
+                        r.exact_error,
+                        r.exact_within_2eps,
+                        r.cge_error,
+                        r.cge_bound,
+                    ]
+                    for r in rows
+                ],
+                title="Error vs redundancy parameter",
+            )
+        )
+    elif args.command == "ablation-exact":
+        rows = exact_algorithm_scaling()
+        print(
+            format_table(
+                ["n", "f", "subsets", "worst dist", "eps"],
+                [
+                    [r.n, r.f, r.outer_subsets, r.worst_distance, r.epsilon]
+                    for r in rows
+                ],
+                title="Theorem-2 algorithm scaling",
+            )
+        )
+    elif args.command == "ablation-dimension":
+        rows = dimension_sweep()
+        print(
+            format_table(
+                ["d", "lambda", "threshold", "applies", "D'*eps", "measured"],
+                [
+                    [
+                        r.d, r.lam, r.lambda_threshold, r.applicable,
+                        r.bound, r.measured_distance,
+                    ]
+                    for r in rows
+                ],
+                title="CWTM / Theorem 6 vs dimension",
+            )
+        )
+    elif args.command == "ablation-schedules":
+        rows = schedule_sweep()
+        print(
+            format_table(
+                ["schedule", "RM", "dist@100", "final", "< eps"],
+                [
+                    [
+                        r.label, r.robbins_monro, r.distance_at_100,
+                        r.final_distance, r.within_epsilon,
+                    ]
+                    for r in rows
+                ],
+                title="Step-size schedules",
+            )
+        )
+    elif args.command == "ablation-adaptive":
+        rows = adaptive_attack_sweep()
+        print(
+            format_table(
+                ["filter", "attack", "dist", "< eps", "<= Thm5"],
+                [
+                    [
+                        r.aggregator, r.attack, r.distance,
+                        r.within_epsilon, r.within_theorem5,
+                    ]
+                    for r in rows
+                ],
+                title="Adaptive attacks",
+            )
+        )
+    elif args.command == "certify":
+        from ..core.certify import certify_system
+
+        problem = paper_problem()
+        report = certify_system(
+            problem.costs,
+            f=problem.f,
+            stress_attacks=("gradient_reverse", "random", "zero"),
+            aggregators=("cge", "cwtm"),
+            iterations=args.iterations,
+            seed=args.seed,
+        )
+        print(report.render())
+    elif args.command == "svm":
+        from .svm_experiment import (
+            SVMExperimentConfig,
+            render_svm_panel,
+            run_svm_experiment,
+        )
+
+        panel = run_svm_experiment(
+            SVMExperimentConfig(iterations=args.iterations, seed=args.seed)
+        )
+        print(render_svm_panel(panel))
+    elif args.command == "frontier":
+        from ..core.frontier import render_frontier, resilience_frontier
+
+        problem = paper_problem()
+        rows = resilience_frontier(problem.costs, max_f=args.max_f)
+        print(render_frontier(rows, n=problem.n))
+    elif args.command == "all":
+        _run_everything(args)
+    else:  # pragma: no cover - argparse enforces the choices
+        raise AssertionError(f"unhandled command {args.command!r}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""Figures 2 and 3: loss and distance trajectories.
+
+For each fault behaviour (gradient-reverse, random) the paper plots, over
+iterations t = 0..1500 (Figure 2) and the zoom t = 0..80 (Figure 3):
+
+* fault-free DGD (faulty agent omitted, plain averaging),
+* DGD + CGE and DGD + CWTM with agent 1 Byzantine,
+* plain (unfiltered) averaging DGD with agent 1 Byzantine,
+
+reporting the honest aggregate loss ``sum_H Q_i(x_t)`` and the distance
+``||x_t − x_H||``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .paper_regression import PaperProblem, paper_problem
+from .reporting import format_series
+from .runner import RegressionRunResult, run_fault_free, run_regression
+
+__all__ = ["FigureSeries", "generate_figure2", "generate_figure3", "render_figure"]
+
+#: Figure-2 method lineup, in the paper's legend order.
+METHODS = ("fault-free", "cwtm", "cge", "plain")
+
+
+@dataclass
+class FigureSeries:
+    """All series of one figure panel-pair (one fault behaviour)."""
+
+    attack: str
+    iterations: int
+    losses: Dict[str, np.ndarray] = field(default_factory=dict)
+    distances: Dict[str, np.ndarray] = field(default_factory=dict)
+    final_distances: Dict[str, float] = field(default_factory=dict)
+
+    def method_names(self) -> List[str]:
+        """Methods present, in canonical order."""
+        return [m for m in METHODS if m in self.losses]
+
+
+def _collect(result: RegressionRunResult, into: FigureSeries, name: str) -> None:
+    into.losses[name] = result.losses
+    into.distances[name] = result.distances
+    into.final_distances[name] = float(result.distances[-1])
+
+
+def generate_figure2(
+    problem: Optional[PaperProblem] = None,
+    iterations: int = 1500,
+    seed: int = 0,
+) -> Dict[str, FigureSeries]:
+    """Loss/distance series for both fault behaviours (Figure 2)."""
+    problem = problem or paper_problem()
+    panels: Dict[str, FigureSeries] = {}
+    for attack in ("gradient_reverse", "random"):
+        panel = FigureSeries(attack=attack, iterations=iterations)
+        _collect(
+            run_fault_free(problem, iterations=iterations, seed=seed),
+            panel,
+            "fault-free",
+        )
+        for aggregator in ("cwtm", "cge"):
+            _collect(
+                run_regression(
+                    problem, aggregator, attack, iterations=iterations, seed=seed
+                ),
+                panel,
+                aggregator,
+            )
+        _collect(
+            run_regression(
+                problem, "mean", attack, iterations=iterations, seed=seed
+            ),
+            panel,
+            "plain",
+        )
+        panels[attack] = panel
+    return panels
+
+
+def generate_figure3(
+    problem: Optional[PaperProblem] = None,
+    iterations: int = 80,
+    seed: int = 0,
+) -> Dict[str, FigureSeries]:
+    """Figure 3 is Figure 2 truncated to the first 80 iterations."""
+    return generate_figure2(problem, iterations=iterations, seed=seed)
+
+
+def render_figure(
+    panel: FigureSeries, what: str = "distances", stride: int = 100
+) -> str:
+    """Text rendering of one panel ('losses' or 'distances')."""
+    if what not in ("losses", "distances"):
+        raise ValueError("what must be 'losses' or 'distances'")
+    columns = getattr(panel, what)
+    ordered = {name: columns[name] for name in panel.method_names()}
+    header = (
+        f"Figure series ({what}) — fault: {panel.attack},"
+        f" iterations: {panel.iterations}"
+    )
+    return header + "\n" + format_series(ordered, stride=stride)

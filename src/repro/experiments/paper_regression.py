@@ -1,0 +1,165 @@
+"""The exact distributed linear-regression problem of Section 5 / Appendix J.
+
+All constants come from equation (132): n = 6 agents, d = 2, f = 1, design
+rows ``A_i``, observations ``B_i = A_i x* + N_i`` with ``x* = (1, 1)``.
+Derived quantities reproduce the paper's reported values:
+
+* honest minimizer ``x_H = (1.0780, 0.9825)`` for H = {2,...,6},
+* redundancy parameter ε = 0.0890 (Appendix-J.2 recipe),
+* µ = 1, γ = 0.356 in the Appendix-J convention (Section 5 quotes the
+  Hessian convention µ = 2, γ = 0.712 — exactly a factor 2; both are
+  available here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.redundancy import RedundancyReport, measure_redundancy
+from ..functions.least_squares import LeastSquaresCost, linear_regression_agents
+from ..optim.projections import BoxSet
+from ..optim.schedules import HarmonicSchedule, paper_schedule
+
+__all__ = [
+    "PAPER_A",
+    "PAPER_B",
+    "PAPER_N",
+    "PAPER_X_STAR",
+    "PAPER_N_AGENTS",
+    "PAPER_F",
+    "PAPER_FAULTY_AGENT",
+    "PAPER_EPSILON",
+    "PAPER_X_H",
+    "PaperProblem",
+    "paper_problem",
+]
+
+#: Design matrix A of equation (132), one row per agent.
+PAPER_A = np.array(
+    [
+        [1.0, 0.0],
+        [0.8, 0.5],
+        [0.5, 0.8],
+        [0.0, 1.0],
+        [-0.5, 0.8],
+        [-0.8, 0.5],
+    ]
+)
+
+#: Observations B of equation (132).
+PAPER_B = np.array([0.9108, 1.3349, 1.3376, 1.0033, 0.2142, -0.3615])
+
+#: Noise N of equation (132) (B = A x* + N).
+PAPER_N = np.array([-0.0892, 0.0349, 0.0376, 0.0033, -0.0858, -0.0615])
+
+#: Ground-truth regression parameter x* = (1, 1).
+PAPER_X_STAR = np.array([1.0, 1.0])
+
+PAPER_N_AGENTS = 6
+PAPER_F = 1
+#: The paper designates agent 1 (0-indexed: 0) as Byzantine.
+PAPER_FAULTY_AGENT = 0
+
+#: Redundancy parameter reported in Appendix J.2.
+PAPER_EPSILON = 0.0890
+
+#: Honest minimizer reported in Appendix J.3 (H = agents 2..6).
+PAPER_X_H = np.array([1.0780, 0.9825])
+
+
+@dataclass
+class PaperProblem:
+    """The fully-instantiated Appendix-J problem."""
+
+    costs: List[LeastSquaresCost]
+    honest_ids: Tuple[int, ...]
+    faulty_ids: Tuple[int, ...]
+    x_h: np.ndarray
+    epsilon: float
+    mu: float          # Appendix-J convention (max eigenvalue of A_i' A_i)
+    gamma: float       # Appendix-J convention ((1/|S|) min eig of A_S' A_S)
+    mu_hessian: float  # Hessian convention (Section 5): 2x the above
+    gamma_hessian: float
+    constraint: BoxSet
+    schedule: HarmonicSchedule
+    initial_estimate: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Number of agents."""
+        return len(self.costs)
+
+    @property
+    def f(self) -> int:
+        """Tolerated fault count."""
+        return len(self.faulty_ids)
+
+    @property
+    def d(self) -> int:
+        """Optimization dimension."""
+        return self.costs[0].dim
+
+    def honest_aggregate_loss(self, x: np.ndarray) -> float:
+        """The paper's *loss*: ``sum_{i in H} Q_i(x)``."""
+        return float(sum(self.costs[i].value(x) for i in self.honest_ids))
+
+    def distance_to_honest_minimizer(self, x: np.ndarray) -> float:
+        """The paper's *distance*: ``||x - x_H||``."""
+        return float(np.linalg.norm(np.asarray(x, dtype=float) - self.x_h))
+
+    def measure_epsilon(self) -> RedundancyReport:
+        """Recompute ε by the Appendix-J.2 enumeration."""
+        return measure_redundancy(self.costs, self.f, inner_sizes="paper")
+
+
+def _appendix_constants() -> Tuple[float, float]:
+    """µ and γ in the Appendix-J convention (equations (138)–(139))."""
+    from itertools import combinations
+
+    mu = max(
+        float(np.linalg.eigvalsh(np.outer(row, row)).max()) for row in PAPER_A
+    )
+    gamma = float("inf")
+    n, f = PAPER_N_AGENTS, PAPER_F
+    for subset in combinations(range(n), n - f):
+        a_s = PAPER_A[list(subset)]
+        gamma = min(
+            gamma, float(np.linalg.eigvalsh(a_s.T @ a_s).min()) / (n - f)
+        )
+    return mu, gamma
+
+
+def paper_problem(
+    initial_estimate: Tuple[float, float] = (0.0, 0.0),
+    box_half_width: float = 1000.0,
+) -> PaperProblem:
+    """Build the Appendix-J problem instance.
+
+    ``initial_estimate`` defaults to Appendix J's (0, 0); Section 5 uses
+    (−0.0085, −0.5643) for its plots — pass it explicitly to match those.
+    """
+    costs = linear_regression_agents(PAPER_A, PAPER_B)
+    honest = tuple(
+        i for i in range(PAPER_N_AGENTS) if i != PAPER_FAULTY_AGENT
+    )
+    a_h = PAPER_A[list(honest)]
+    b_h = PAPER_B[list(honest)]
+    x_h, *_ = np.linalg.lstsq(a_h, b_h, rcond=None)
+    mu, gamma = _appendix_constants()
+    return PaperProblem(
+        costs=costs,
+        honest_ids=honest,
+        faulty_ids=(PAPER_FAULTY_AGENT,),
+        x_h=x_h,
+        epsilon=PAPER_EPSILON,
+        mu=mu,
+        gamma=gamma,
+        mu_hessian=2.0 * mu,
+        gamma_hessian=2.0 * gamma,
+        constraint=BoxSet.symmetric(box_half_width, dim=2),
+        schedule=paper_schedule(),
+        initial_estimate=np.asarray(initial_estimate, dtype=float),
+    )

@@ -1,0 +1,129 @@
+"""Plain-text and JSON rendering of experiment results.
+
+The benchmark harness prints tables in the same row layout as the paper
+(Table 1) and emits figure series as aligned numeric columns; everything is
+also serializable to JSON for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "to_jsonable",
+    "write_json",
+    "write_csv",
+]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Monospace table with one header row."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[k]) for k, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(widths[k]) for k, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    columns: Mapping[str, Sequence[float]],
+    index_name: str = "t",
+    stride: int = 1,
+    max_rows: Optional[int] = None,
+) -> str:
+    """Aligned numeric columns sharing an integer index (figure series)."""
+    if not columns:
+        raise ValueError("need at least one column")
+    lengths = {len(v) for v in columns.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"column lengths differ: {sorted(lengths)}")
+    (length,) = lengths
+    indices = list(range(0, length, max(1, stride)))
+    if max_rows is not None:
+        indices = indices[:max_rows]
+    headers = [index_name] + list(columns)
+    rows = [
+        [i] + [float(columns[name][i]) for name in columns] for i in indices
+    ]
+    return format_table(headers, rows)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float) or isinstance(value, np.floating):
+        v = float(value)
+        if v == 0.0:
+            return "0"
+        if abs(v) < 1e-3 or abs(v) >= 1e5:
+            return f"{v:.3e}"
+        return f"{v:.4f}"
+    if isinstance(value, np.ndarray):
+        return np.array2string(value, precision=4, separator=", ")
+    return str(value)
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert numpy containers to JSON-friendly types."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, Mapping):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    return value
+
+
+def write_json(path: Union[str, Path], payload: Any) -> Path:
+    """Write ``payload`` (numpy-friendly) as pretty JSON; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(to_jsonable(payload), indent=2))
+    return target
+
+
+def write_csv(
+    path: Union[str, Path],
+    columns: Mapping[str, Sequence[float]],
+    index_name: str = "t",
+) -> Path:
+    """Write equal-length numeric columns as CSV with an integer index.
+
+    The plain-text sibling of :func:`format_series` for figure series —
+    loadable by any plotting tool to redraw the paper's curves.
+    """
+    if not columns:
+        raise ValueError("need at least one column")
+    lengths = {len(v) for v in columns.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"column lengths differ: {sorted(lengths)}")
+    (length,) = lengths
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    names = list(columns)
+    lines = [",".join([index_name] + names)]
+    for i in range(length):
+        row = [str(i)] + [repr(float(columns[name][i])) for name in names]
+        lines.append(",".join(row))
+    target.write_text("\n".join(lines) + "\n")
+    return target

@@ -1,0 +1,142 @@
+"""Distributed SVM experiment (the Section-5 / Appendix-K SVM study).
+
+The paper: "We also conducted experiments for distributed learning with
+support vector machine ... the DGD method with the said gradient-filters
+reaches comparable performance to the fault-free case, and ... DGD cannot
+reach convergence if it uses plain averaging to aggregate the gradients."
+
+This module reproduces that claim end to end on synthetic linearly
+separable data: agents hold smooth-hinge SVM costs over i.i.d. shards, the
+server runs DGD with CGE / CWTM / plain averaging against the paper's fault
+behaviours, and test accuracy is the reported metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..aggregators.registry import make_aggregator
+from ..attacks.registry import make_attack
+from ..distsys.simulator import run_dgd
+from ..functions.svm import SmoothHingeCost
+from ..optim.projections import BoxSet
+from ..optim.schedules import paper_schedule
+from .reporting import format_table
+
+__all__ = ["SVMExperimentConfig", "SVMPanel", "run_svm_experiment", "render_svm_panel"]
+
+
+@dataclass
+class SVMExperimentConfig:
+    """Knobs of the distributed-SVM study."""
+
+    n_agents: int = 10
+    f: int = 2
+    dim: int = 4
+    n_train: int = 1_500
+    n_test: int = 500
+    margin: float = 1.0
+    regularization: float = 0.01
+    smoothing: float = 0.5
+    iterations: int = 400
+    attacks: Tuple[str, ...] = ("gradient_reverse", "large_norm")
+    attack_scale: float = 8.0  # amplification for gradient_reverse
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.f < self.n_agents:
+            raise ValueError("need 0 <= f < n_agents")
+        if self.dim < 1 or self.n_train < self.n_agents:
+            raise ValueError("bad dimensions")
+
+
+@dataclass
+class SVMPanel:
+    """Accuracies of every (method, fault) combination."""
+
+    config: SVMExperimentConfig
+    separator: np.ndarray                       # ground-truth w
+    accuracies: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def fault_free(self) -> float:
+        """The fault-free reference accuracy."""
+        return self.accuracies["fault-free"]
+
+
+def _make_data(
+    rng: np.random.Generator, n: int, w_true: np.ndarray, margin: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    z = rng.normal(size=(n, w_true.shape[0]))
+    y = np.where(z @ w_true >= 0, 1.0, -1.0)
+    z += margin * 0.2 * y[:, None] * w_true
+    return z, y
+
+
+def run_svm_experiment(config: SVMExperimentConfig = None) -> SVMPanel:
+    """Run the full SVM lineup; returns test accuracies per method."""
+    config = config or SVMExperimentConfig()
+    rng = np.random.default_rng(config.seed)
+    w_true = rng.normal(size=config.dim)
+    w_true /= np.linalg.norm(w_true)
+    train_z, train_y = _make_data(rng, config.n_train, w_true, config.margin)
+    test_z, test_y = _make_data(rng, config.n_test, w_true, config.margin)
+
+    order = rng.permutation(config.n_train)
+    shards = np.array_split(order, config.n_agents)
+    costs = [
+        SmoothHingeCost(
+            train_z[idx],
+            train_y[idx],
+            regularization=config.regularization,
+            smoothing=config.smoothing,
+        )
+        for idx in shards
+    ]
+    faulty = list(range(config.n_agents - config.f, config.n_agents))
+
+    def accuracy(w: np.ndarray) -> float:
+        return float((np.sign(test_z @ w) == test_y).mean())
+
+    def run(cost_list, faulty_ids, aggregator_name, attack) -> float:
+        n = len(cost_list)
+        f = len(faulty_ids)
+        trace = run_dgd(
+            costs=cost_list,
+            faulty_ids=faulty_ids,
+            aggregator=make_aggregator(aggregator_name, n, f),
+            attack=attack,
+            constraint=BoxSet.symmetric(50.0, dim=config.dim),
+            schedule=paper_schedule(),
+            initial_estimate=np.zeros(config.dim),
+            iterations=config.iterations,
+            seed=config.seed + 1,
+        )
+        return accuracy(trace.final_estimate)
+
+    panel = SVMPanel(config=config, separator=w_true)
+    honest_costs = [costs[i] for i in range(config.n_agents) if i not in faulty]
+    panel.accuracies["fault-free"] = run(honest_costs, [], "mean", None)
+    for attack_name in config.attacks:
+        attack = make_attack(attack_name)
+        if attack_name == "gradient_reverse" and config.attack_scale != 1.0:
+            from ..attacks.simple import GradientReverseAttack
+
+            attack = GradientReverseAttack(scale=config.attack_scale)
+        for aggregator in ("cge", "cwtm", "mean"):
+            key = f"{aggregator}-{attack_name}"
+            panel.accuracies[key] = run(costs, faulty, aggregator, attack)
+    return panel
+
+
+def render_svm_panel(panel: SVMPanel) -> str:
+    """Text table of the SVM accuracies."""
+    rows = [[name, acc] for name, acc in panel.accuracies.items()]
+    title = (
+        f"Distributed SVM — n={panel.config.n_agents}, f={panel.config.f},"
+        f" d={panel.config.dim}, smooth hinge"
+    )
+    return format_table(["method/fault", "test accuracy"], rows, title=title)

@@ -1,0 +1,39 @@
+"""Cost-function substrate: the ``Q_i`` of the paper and their aggregates."""
+
+from .base import CostFunction, ScaledCost, ShiftedCost
+from .calculus import (
+    FiniteDifferenceCost,
+    check_gradient,
+    numeric_gradient,
+    numeric_hessian,
+)
+from .geometric import NormDistanceCost, weber_argmin
+from .huber import HuberCost
+from .least_squares import LeastSquaresCost, linear_regression_agents, stack_agents
+from .logistic import LogisticCost
+from .quadratic import QuadraticCost, SquaredDistanceCost
+from .sums import MeanCost, SumCost, aggregate_cost
+from .svm import SmoothHingeCost
+
+__all__ = [
+    "CostFunction",
+    "ScaledCost",
+    "ShiftedCost",
+    "QuadraticCost",
+    "SquaredDistanceCost",
+    "LeastSquaresCost",
+    "linear_regression_agents",
+    "stack_agents",
+    "LogisticCost",
+    "SmoothHingeCost",
+    "HuberCost",
+    "NormDistanceCost",
+    "weber_argmin",
+    "SumCost",
+    "MeanCost",
+    "aggregate_cost",
+    "numeric_gradient",
+    "numeric_hessian",
+    "check_gradient",
+    "FiniteDifferenceCost",
+]

@@ -1,0 +1,149 @@
+"""Cost-function abstraction.
+
+Every agent ``i`` in the paper owns a local cost ``Q_i : R^d -> R``
+(Section 1).  The library manipulates costs through this interface:
+
+* ``value``/``gradient`` power the DGD method of Section 4,
+* ``argmin_set`` powers Definitions 2 and 3 and the Theorem-2 algorithm
+  (costs with a known closed-form argmin expose it; others fall back to the
+  numeric solver in :mod:`repro.optim.argmin`),
+* optional curvature information (``hessian``) powers the exact computation
+  of the smoothness and convexity constants µ and γ of Assumptions 2 and 3.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.geometry import PointSet
+
+__all__ = ["CostFunction", "ScaledCost", "ShiftedCost"]
+
+
+class CostFunction(abc.ABC):
+    """A differentiable-or-not cost over R^d."""
+
+    #: dimension of the domain
+    dim: int
+
+    @abc.abstractmethod
+    def value(self, x: np.ndarray) -> float:
+        """Evaluate the cost at ``x``."""
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        """Gradient at ``x``; differentiable costs must override this."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not provide gradients"
+        )
+
+    def hessian(self, x: np.ndarray) -> Optional[np.ndarray]:
+        """Hessian at ``x`` when available, else ``None``."""
+        return None
+
+    def argmin_set(self) -> Optional[PointSet]:
+        """Closed-form argmin set when known, else ``None``."""
+        return None
+
+    @property
+    def is_differentiable(self) -> bool:
+        """Whether :meth:`gradient` is implemented."""
+        return type(self).gradient is not CostFunction.gradient
+
+    # -- arithmetic -------------------------------------------------------
+    def __mul__(self, scale: float) -> "CostFunction":
+        return ScaledCost(self, float(scale))
+
+    __rmul__ = __mul__
+
+    def __add__(self, other: "CostFunction") -> "CostFunction":
+        from .sums import SumCost
+
+        return SumCost([self, other])
+
+    def _check_point(self, x: np.ndarray) -> np.ndarray:
+        arr = np.asarray(x, dtype=float)
+        if arr.shape != (self.dim,):
+            raise ValueError(
+                f"expected point of shape ({self.dim},), got {arr.shape}"
+            )
+        return arr
+
+
+class ScaledCost(CostFunction):
+    """``scale * inner`` — positive scaling preserves the argmin set."""
+
+    def __init__(self, inner: CostFunction, scale: float):
+        self.inner = inner
+        self.scale = float(scale)
+        self.dim = inner.dim
+
+    def value(self, x: np.ndarray) -> float:
+        return self.scale * self.inner.value(x)
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        return self.scale * self.inner.gradient(x)
+
+    def hessian(self, x: np.ndarray) -> Optional[np.ndarray]:
+        h = self.inner.hessian(x)
+        return None if h is None else self.scale * h
+
+    def argmin_set(self) -> Optional[PointSet]:
+        if self.scale > 0:
+            return self.inner.argmin_set()
+        return None
+
+    @property
+    def is_differentiable(self) -> bool:
+        return self.inner.is_differentiable
+
+
+class ShiftedCost(CostFunction):
+    """``inner(x - shift)`` — translates the argmin set by ``shift``.
+
+    Used by the necessity construction of Theorem 1, where a Byzantine agent
+    impersonates an honest-looking cost whose minimum sits at a chosen point.
+    """
+
+    def __init__(self, inner: CostFunction, shift: Sequence[float]):
+        self.inner = inner
+        self.shift = np.asarray(shift, dtype=float)
+        if self.shift.shape != (inner.dim,):
+            raise ValueError("shift must match the inner cost dimension")
+        self.dim = inner.dim
+
+    def value(self, x: np.ndarray) -> float:
+        return self.inner.value(self._check_point(x) - self.shift)
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        return self.inner.gradient(self._check_point(x) - self.shift)
+
+    def hessian(self, x: np.ndarray) -> Optional[np.ndarray]:
+        return self.inner.hessian(self._check_point(x) - self.shift)
+
+    def argmin_set(self) -> Optional[PointSet]:
+        from ..core.geometry import (
+            AffineSubspace,
+            BallSet,
+            FiniteSet,
+            SingletonSet,
+        )
+
+        inner_set = self.inner.argmin_set()
+        if inner_set is None:
+            return None
+        if isinstance(inner_set, SingletonSet):
+            return SingletonSet(inner_set.point + self.shift)
+        if isinstance(inner_set, FiniteSet):
+            return FiniteSet(inner_set.points + self.shift)
+        if isinstance(inner_set, AffineSubspace):
+            return AffineSubspace(inner_set.anchor + self.shift, inner_set.basis)
+        if isinstance(inner_set, BallSet):
+            return BallSet(inner_set.center + self.shift, inner_set.radius)
+        return None
+
+    @property
+    def is_differentiable(self) -> bool:
+        return self.inner.is_differentiable

@@ -1,0 +1,93 @@
+"""Numerical calculus helpers.
+
+Central-difference gradients and Hessians used to cross-check the analytic
+derivatives of every cost function in the test suite, plus a gradient-oracle
+wrapper for costs that only define ``value``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .base import CostFunction
+
+__all__ = [
+    "numeric_gradient",
+    "numeric_hessian",
+    "check_gradient",
+    "FiniteDifferenceCost",
+]
+
+
+def numeric_gradient(
+    func: Callable[[np.ndarray], float], x: np.ndarray, step: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of ``func`` at ``x``."""
+    xv = np.asarray(x, dtype=float)
+    grad = np.zeros_like(xv)
+    for k in range(xv.shape[0]):
+        offset = np.zeros_like(xv)
+        offset[k] = step
+        grad[k] = (func(xv + offset) - func(xv - offset)) / (2.0 * step)
+    return grad
+
+
+def numeric_hessian(
+    func: Callable[[np.ndarray], float], x: np.ndarray, step: float = 1e-5
+) -> np.ndarray:
+    """Central-difference Hessian of ``func`` at ``x``."""
+    xv = np.asarray(x, dtype=float)
+    d = xv.shape[0]
+    hess = np.zeros((d, d))
+    for i in range(d):
+        ei = np.zeros(d)
+        ei[i] = step
+        for j in range(i, d):
+            ej = np.zeros(d)
+            ej[j] = step
+            value = (
+                func(xv + ei + ej)
+                - func(xv + ei - ej)
+                - func(xv - ei + ej)
+                + func(xv - ei - ej)
+            ) / (4.0 * step * step)
+            hess[i, j] = value
+            hess[j, i] = value
+    return hess
+
+
+def check_gradient(
+    cost: CostFunction,
+    x: np.ndarray,
+    step: float = 1e-6,
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
+) -> bool:
+    """Whether the analytic gradient matches finite differences at ``x``."""
+    analytic = cost.gradient(x)
+    numeric = numeric_gradient(cost.value, x, step=step)
+    return bool(np.allclose(analytic, numeric, rtol=rtol, atol=atol))
+
+
+class FiniteDifferenceCost(CostFunction):
+    """Wrap a value-only cost with finite-difference gradients.
+
+    Lets non-analytic costs participate in the DGD simulator; intended for
+    tests and prototyping, not production accuracy.
+    """
+
+    def __init__(self, inner: CostFunction, step: float = 1e-6):
+        self.inner = inner
+        self.step = float(step)
+        self.dim = inner.dim
+
+    def value(self, x: np.ndarray) -> float:
+        return self.inner.value(x)
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        return numeric_gradient(self.inner.value, np.asarray(x, float), self.step)
+
+    def argmin_set(self):
+        return self.inner.argmin_set()

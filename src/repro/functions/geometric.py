@@ -1,0 +1,192 @@
+"""Non-differentiable Weber (Fermat) costs.
+
+``Q_i(x) = w_i ||x - t_i||`` — distance, not squared distance.  These costs
+are convex but *not differentiable* at their targets, which matters because
+the paper's Section-3 results (Theorems 1 and 2) are proved for costs that
+"need not even be differentiable"; this family lets the test suite exercise
+the exact algorithm and the redundancy machinery beyond the smooth case.
+
+Aggregates of Weber costs minimize at the (weighted) *geometric median*:
+
+* ≥ 3 non-collinear targets — a unique point (Weiszfeld iteration),
+* collinear targets — the classic 1-D weighted median along the line: a
+  single point when the median is unique, a whole :class:`SegmentSet` when
+  the weight mass splits evenly (e.g. two agents: every point of the
+  segment [t_1, t_2] is a minimizer),
+* a single target — that target.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.geometry import PointSet, SegmentSet, SingletonSet
+from .base import CostFunction
+
+__all__ = ["NormDistanceCost", "weber_argmin"]
+
+
+class NormDistanceCost(CostFunction):
+    """``Q(x) = weight * ||x - target||`` (convex, non-smooth at target)."""
+
+    def __init__(self, target: Sequence[float], weight: float = 1.0):
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self.target = np.asarray(target, dtype=float)
+        if self.target.ndim != 1:
+            raise ValueError("target must be a 1-D point")
+        self.weight = float(weight)
+        self.dim = self.target.shape[0]
+
+    def value(self, x: np.ndarray) -> float:
+        xv = self._check_point(x)
+        return self.weight * float(np.linalg.norm(xv - self.target))
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        """A subgradient: the unit direction away from the target.
+
+        At the kink ``x == target`` the zero vector (a valid subgradient)
+        is returned; DGD-style methods remain well defined, though the
+        smoothness Assumption 2 does not hold for this family.
+        """
+        xv = self._check_point(x)
+        offset = xv - self.target
+        norm = float(np.linalg.norm(offset))
+        if norm < 1e-300:
+            return np.zeros(self.dim)
+        return self.weight * offset / norm
+
+    def argmin_set(self) -> PointSet:
+        return SingletonSet(self.target)
+
+    def __repr__(self) -> str:
+        return (
+            f"NormDistanceCost(target={np.array2string(self.target, precision=3)},"
+            f" weight={self.weight:g})"
+        )
+
+
+def _collinear_basis(
+    targets: np.ndarray, tol: float = 1e-10
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """(anchor, unit direction) when all targets lie on one line, else None."""
+    anchor = targets[0]
+    offsets = targets - anchor
+    norms = np.linalg.norm(offsets, axis=1)
+    nonzero = offsets[norms > tol]
+    if nonzero.shape[0] == 0:
+        return anchor, np.zeros(targets.shape[1])  # all targets coincide
+    direction = nonzero[0] / np.linalg.norm(nonzero[0])
+    residual = offsets - np.outer(offsets @ direction, direction)
+    if np.max(np.linalg.norm(residual, axis=1)) > tol:
+        return None
+    return anchor, direction
+
+
+def _weighted_median_interval(
+    positions: np.ndarray, weights: np.ndarray
+) -> Tuple[float, float]:
+    """The set of weighted medians of scalar ``positions`` as an interval."""
+    order = np.argsort(positions)
+    pos = positions[order]
+    wts = weights[order]
+    total = wts.sum()
+    cumulative = np.cumsum(wts)
+    # Smallest index where cumulative weight reaches half the total.
+    half = total / 2.0
+    k = int(np.searchsorted(cumulative, half - 1e-12))
+    if abs(cumulative[k] - half) <= 1e-12 and k + 1 < len(pos):
+        # Mass splits exactly: every point between pos[k] and pos[k+1].
+        return float(pos[k]), float(pos[k + 1])
+    return float(pos[k]), float(pos[k])
+
+
+def weber_argmin(
+    targets: Sequence[Sequence[float]],
+    weights: Optional[Sequence[float]] = None,
+    tolerance: float = 1e-12,
+    max_iterations: int = 10_000,
+) -> PointSet:
+    """Argmin set of ``sum_i w_i ||x - t_i||`` as an explicit point set."""
+    pts = np.atleast_2d(np.asarray(targets, dtype=float))
+    m = pts.shape[0]
+    wts = (
+        np.ones(m)
+        if weights is None
+        else np.asarray(weights, dtype=float)
+    )
+    if wts.shape != (m,):
+        raise ValueError("weights must match the number of targets")
+    if np.any(wts <= 0):
+        raise ValueError("weights must be positive")
+    if m == 1:
+        return SingletonSet(pts[0])
+
+    line = _collinear_basis(pts)
+    if line is not None:
+        anchor, direction = line
+        if not np.any(direction):
+            return SingletonSet(anchor)  # all targets identical
+        positions = (pts - anchor) @ direction
+        low, high = _weighted_median_interval(positions, wts)
+        start = anchor + low * direction
+        end = anchor + high * direction
+        if np.allclose(start, end, atol=1e-12):
+            return SingletonSet(start)
+        return SegmentSet(start, end)
+
+    # General position: unique minimizer via weighted Weiszfeld.
+    def objective(point: np.ndarray) -> float:
+        return float((wts * np.linalg.norm(pts - point, axis=1)).sum())
+
+    def snap_to_anchor(z: np.ndarray) -> np.ndarray:
+        """Weiszfeld converges sublinearly near anchor (target) optima; if
+        some target — counting coincident duplicates as combined weight —
+        satisfies the first-order anchor condition and does not lose to the
+        iterate, the target IS the optimum: return it exactly."""
+        target_values = np.array([objective(t) for t in pts])
+        idx = int(np.argmin(target_values))
+        if target_values[idx] > objective(z) + 1e-12:
+            return z
+        anchor = pts[idx]
+        gaps = np.linalg.norm(pts - anchor, axis=1)
+        coincident = gaps < 1e-12
+        away = ~coincident
+        if not away.any():
+            return anchor
+        pull = np.sum(
+            wts[away, None] * (pts[away] - anchor) / gaps[away, None],
+            axis=0,
+        )
+        if np.linalg.norm(pull) <= wts[coincident].sum() + 1e-9:
+            return anchor
+        return z if objective(z) <= target_values[idx] else anchor
+
+    z = (wts[:, None] * pts).sum(axis=0) / wts.sum()
+    for _ in range(max_iterations):
+        dists = np.linalg.norm(pts - z, axis=1)
+        at_point = dists < 1e-14
+        if at_point.any():
+            # z sits on a target: optimal iff the pull of the others is
+            # weaker than the (combined) weight anchored there; otherwise
+            # nudge off the anchor along the pull and keep iterating.
+            coincident = dists < 1e-12
+            away = ~coincident
+            if not away.any():
+                return SingletonSet(z)
+            pull = np.sum(
+                wts[away, None] * (pts[away] - z) / dists[away, None],
+                axis=0,
+            )
+            if np.linalg.norm(pull) <= wts[coincident].sum() + 1e-12:
+                return SingletonSet(z)
+            z = z + 1e-9 * pull / np.linalg.norm(pull)
+            continue
+        coeffs = wts / dists
+        new_z = (coeffs[:, None] * pts).sum(axis=0) / coeffs.sum()
+        if np.linalg.norm(new_z - z) <= tolerance * (1.0 + np.linalg.norm(z)):
+            return SingletonSet(snap_to_anchor(new_z))
+        z = new_z
+    return SingletonSet(snap_to_anchor(z))

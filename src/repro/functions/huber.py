@@ -1,0 +1,80 @@
+"""Huber-loss regression costs.
+
+A robust-statistics staple (Section 2.3 territory): quadratic near the
+target, linear in the tails.  Differentiable with Lipschitz gradient, but
+*not* strongly convex globally — useful in tests for exercising code paths
+where Assumption 3 fails while Assumptions 1 and 2 hold.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.geometry import PointSet, SingletonSet
+from .base import CostFunction
+
+__all__ = ["HuberCost"]
+
+
+class HuberCost(CostFunction):
+    """``Q(x) = sum_j huber_delta(b_j - a_j' x)`` over local rows."""
+
+    def __init__(
+        self,
+        design: Sequence[Sequence[float]],
+        response: Sequence[float],
+        delta: float = 1.0,
+    ):
+        a = np.atleast_2d(np.asarray(design, dtype=float))
+        b = np.atleast_1d(np.asarray(response, dtype=float))
+        if a.shape[0] != b.shape[0]:
+            raise ValueError("design and response must have matching rows")
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.design = a
+        self.response = b
+        self.delta = float(delta)
+        self.dim = a.shape[1]
+
+    def _residuals(self, x: np.ndarray) -> np.ndarray:
+        return self.response - self.design @ x
+
+    def value(self, x: np.ndarray) -> float:
+        xv = self._check_point(x)
+        r = self._residuals(xv)
+        small = np.abs(r) <= self.delta
+        quad = 0.5 * r[small] ** 2
+        lin = self.delta * (np.abs(r[~small]) - 0.5 * self.delta)
+        return float(quad.sum() + lin.sum())
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        xv = self._check_point(x)
+        r = self._residuals(xv)
+        psi = np.clip(r, -self.delta, self.delta)
+        return -self.design.T @ psi
+
+    def argmin_set(self) -> Optional[PointSet]:
+        """Numeric argmin via damped gradient descent (full-rank case)."""
+        if np.linalg.matrix_rank(self.design) < self.dim:
+            return None
+        lip = self.smoothness_constant()
+        x, *_ = np.linalg.lstsq(self.design, self.response, rcond=None)
+        step = 1.0 / max(lip, 1e-12)
+        for _ in range(50_000):
+            grad = self.gradient(x)
+            if np.linalg.norm(grad) < 1e-10:
+                break
+            x = x - step * grad
+        return SingletonSet(x)
+
+    def smoothness_constant(self) -> float:
+        """Gradient Lipschitz bound: largest eigenvalue of ``A'A``."""
+        return float(np.linalg.eigvalsh(self.design.T @ self.design).max())
+
+    def __repr__(self) -> str:
+        return (
+            f"HuberCost(rows={self.design.shape[0]}, dim={self.dim},"
+            f" delta={self.delta:g})"
+        )

@@ -1,0 +1,105 @@
+"""Linear least-squares costs — the paper's regression workload.
+
+Appendix J defines each agent's cost as ``Q_i(x) = (B_i - A_i x)^2`` where
+``A_i`` is a row vector and ``B_i`` a scalar observation, and for a set ``S``
+the aggregate ``Q_S(x) = ||B_S - A_S x||^2`` (equation (136)).  When ``A_S``
+is full column rank the unique argmin is the normal-equation solution
+``(A_S' A_S)^{-1} A_S' B_S`` (equation (137)); rank-deficient stacks minimize
+on an affine subspace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.geometry import AffineSubspace, PointSet, SingletonSet
+from .base import CostFunction
+
+__all__ = ["LeastSquaresCost", "linear_regression_agents", "stack_agents"]
+
+
+class LeastSquaresCost(CostFunction):
+    """``Q(x) = ||b - A x||^2`` for an ``(m, d)`` design matrix ``A``.
+
+    A single-row instance is exactly one agent of the paper's regression
+    experiment; multi-row instances represent aggregate costs ``Q_S``.
+    """
+
+    def __init__(self, design: Sequence[Sequence[float]], response: Sequence[float]):
+        a = np.atleast_2d(np.asarray(design, dtype=float))
+        b = np.atleast_1d(np.asarray(response, dtype=float))
+        if a.shape[0] != b.shape[0]:
+            raise ValueError(
+                f"design has {a.shape[0]} rows but response has {b.shape[0]} entries"
+            )
+        self.design = a
+        self.response = b
+        self.dim = a.shape[1]
+
+    @property
+    def n_rows(self) -> int:
+        """Number of stacked observations."""
+        return self.design.shape[0]
+
+    def value(self, x: np.ndarray) -> float:
+        xv = self._check_point(x)
+        residual = self.response - self.design @ xv
+        return float(residual @ residual)
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        xv = self._check_point(x)
+        residual = self.response - self.design @ xv
+        return -2.0 * self.design.T @ residual
+
+    def hessian(self, x: np.ndarray) -> np.ndarray:
+        return 2.0 * self.design.T @ self.design
+
+    def argmin_set(self) -> Optional[PointSet]:
+        gram = self.design.T @ self.design
+        rank = np.linalg.matrix_rank(self.design, tol=1e-10)
+        solution, *_ = np.linalg.lstsq(self.design, self.response, rcond=None)
+        if rank == self.dim:
+            return SingletonSet(solution)
+        # Null-space directions leave the residual unchanged.
+        _, svals, vt = np.linalg.svd(self.design)
+        null_mask = np.zeros(self.dim, dtype=bool)
+        null_mask[rank:] = True
+        null_basis = vt[rank:].T
+        del gram, svals, null_mask
+        return AffineSubspace(solution, null_basis)
+
+    def smoothness_constant(self) -> float:
+        """Assumption-2 constant: largest eigenvalue of ``2 A'A``."""
+        return float(2.0 * np.linalg.eigvalsh(self.design.T @ self.design).max())
+
+    def convexity_constant(self) -> float:
+        """Strong-convexity modulus: smallest eigenvalue of ``2 A'A``."""
+        return float(2.0 * np.linalg.eigvalsh(self.design.T @ self.design).min())
+
+    def __repr__(self) -> str:
+        return f"LeastSquaresCost(rows={self.n_rows}, dim={self.dim})"
+
+
+def linear_regression_agents(
+    design: Sequence[Sequence[float]], response: Sequence[float]
+) -> list:
+    """One single-row :class:`LeastSquaresCost` per row of ``design``.
+
+    This mirrors Appendix J: agent ``i`` owns the triplet ``(A_i, B_i)``.
+    """
+    a = np.atleast_2d(np.asarray(design, dtype=float))
+    b = np.atleast_1d(np.asarray(response, dtype=float))
+    if a.shape[0] != b.shape[0]:
+        raise ValueError("design and response must have matching rows")
+    return [LeastSquaresCost(a[i : i + 1], b[i : i + 1]) for i in range(a.shape[0])]
+
+
+def stack_agents(agents: Sequence[LeastSquaresCost]) -> LeastSquaresCost:
+    """Aggregate cost ``Q_S`` obtained by stacking agent rows (eq. (136))."""
+    if not agents:
+        raise ValueError("cannot stack zero agents")
+    design = np.vstack([agent.design for agent in agents])
+    response = np.concatenate([agent.response for agent in agents])
+    return LeastSquaresCost(design, response)

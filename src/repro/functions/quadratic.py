@@ -1,0 +1,117 @@
+"""Quadratic cost functions.
+
+Quadratics are the workhorse of the paper's evaluation (distributed linear
+regression, Section 5) and of the robust-mean-estimation reduction of
+Section 2.3 (``Q_i(x) = ||x - x_i||^2``).  They expose closed-form argmin
+sets and exact curvature, which the redundancy and assumption-checking
+machinery exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.geometry import AffineSubspace, PointSet, SingletonSet
+from .base import CostFunction
+
+__all__ = ["QuadraticCost", "SquaredDistanceCost"]
+
+
+class QuadraticCost(CostFunction):
+    """``Q(x) = 0.5 x' P x + q' x + c`` with symmetric PSD ``P``.
+
+    The gradient is ``P x + q`` and the Hessian is the constant ``P``.  The
+    argmin set is the solution set of ``P x = -q``: a singleton when ``P`` is
+    positive definite, an affine subspace when ``P`` is rank deficient but the
+    system is consistent, and empty (``None``) otherwise (the cost is then
+    unbounded below, violating Assumption 1).
+    """
+
+    def __init__(
+        self,
+        matrix: Sequence[Sequence[float]],
+        linear: Optional[Sequence[float]] = None,
+        constant: float = 0.0,
+    ):
+        p = np.asarray(matrix, dtype=float)
+        if p.ndim != 2 or p.shape[0] != p.shape[1]:
+            raise ValueError("matrix must be square")
+        if not np.allclose(p, p.T, atol=1e-10):
+            raise ValueError("matrix must be symmetric")
+        self.matrix = 0.5 * (p + p.T)
+        self.dim = p.shape[0]
+        self.linear = (
+            np.zeros(self.dim)
+            if linear is None
+            else np.asarray(linear, dtype=float)
+        )
+        if self.linear.shape != (self.dim,):
+            raise ValueError("linear term must match matrix dimension")
+        self.constant = float(constant)
+
+    def value(self, x: np.ndarray) -> float:
+        xv = self._check_point(x)
+        return float(0.5 * xv @ self.matrix @ xv + self.linear @ xv + self.constant)
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        xv = self._check_point(x)
+        return self.matrix @ xv + self.linear
+
+    def hessian(self, x: np.ndarray) -> np.ndarray:
+        return self.matrix.copy()
+
+    def argmin_set(self) -> Optional[PointSet]:
+        eigvals, eigvecs = np.linalg.eigh(self.matrix)
+        tol = max(1e-12, 1e-10 * max(abs(eigvals.max()), 1.0))
+        if eigvals.min() < -tol:
+            return None  # not convex: no global argmin guarantee
+        positive = eigvals > tol
+        # Solve P x = -q on the range of P; check consistency on the kernel.
+        coeffs = eigvecs.T @ (-self.linear)
+        if np.any(np.abs(coeffs[~positive]) > 1e-8):
+            return None  # unbounded below along a kernel direction
+        solution = eigvecs[:, positive] @ (coeffs[positive] / eigvals[positive])
+        if positive.all():
+            return SingletonSet(solution)
+        return AffineSubspace(solution, eigvecs[:, ~positive])
+
+    def smoothness_constant(self) -> float:
+        """Lipschitz constant of the gradient (largest eigenvalue of P)."""
+        return float(np.linalg.eigvalsh(self.matrix).max())
+
+    def convexity_constant(self) -> float:
+        """Strong-convexity modulus (smallest eigenvalue of P)."""
+        return float(np.linalg.eigvalsh(self.matrix).min())
+
+    def __repr__(self) -> str:
+        return f"QuadraticCost(dim={self.dim})"
+
+
+class SquaredDistanceCost(QuadraticCost):
+    """``Q(x) = weight * ||x - target||^2``.
+
+    This is the cost used to reduce robust mean estimation to fault-tolerant
+    distributed optimization (Section 2.3): when each honest agent holds a
+    sample ``x_i``, the aggregate argmin is the honest sample mean.
+    """
+
+    def __init__(self, target: Sequence[float], weight: float = 1.0):
+        tgt = np.asarray(target, dtype=float)
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        dim = tgt.shape[0]
+        super().__init__(
+            matrix=2.0 * weight * np.eye(dim),
+            linear=-2.0 * weight * tgt,
+            constant=weight * float(tgt @ tgt),
+        )
+        self.target = tgt
+        self.weight = float(weight)
+
+    def __repr__(self) -> str:
+        return (
+            f"SquaredDistanceCost(target={np.array2string(self.target, precision=3)},"
+            f" weight={self.weight:g})"
+        )

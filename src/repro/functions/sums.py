@@ -1,0 +1,113 @@
+"""Aggregate cost functions.
+
+The paper's objects of study are aggregates ``sum_{i in S} Q_i`` (exact
+fault-tolerance, equation (2)) and averages ``Q_H = (1/|H|) sum Q_i``
+(Assumption 3).  ``SumCost``/``MeanCost`` build these from per-agent costs
+while preserving closed-form argmins when the summands allow it (stacked
+least squares, summed quadratics).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.geometry import PointSet
+from .base import CostFunction
+from .least_squares import LeastSquaresCost, stack_agents
+from .quadratic import QuadraticCost
+
+__all__ = ["SumCost", "MeanCost", "aggregate_cost"]
+
+
+class SumCost(CostFunction):
+    """``Q(x) = sum_i Q_i(x)`` over component costs of equal dimension."""
+
+    def __init__(self, components: Sequence[CostFunction]):
+        comps = list(components)
+        if not comps:
+            raise ValueError("SumCost needs at least one component")
+        dims = {c.dim for c in comps}
+        if len(dims) != 1:
+            raise ValueError(f"component dimensions differ: {sorted(dims)}")
+        # Flatten nested sums so closed-form detection sees all leaves.
+        flat: list = []
+        for comp in comps:
+            if isinstance(comp, SumCost):
+                flat.extend(comp.components)
+            else:
+                flat.append(comp)
+        self.components = flat
+        self.dim = flat[0].dim
+
+    def value(self, x: np.ndarray) -> float:
+        return float(sum(c.value(x) for c in self.components))
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        total = np.zeros(self.dim)
+        for comp in self.components:
+            total += comp.gradient(x)
+        return total
+
+    def hessian(self, x: np.ndarray) -> Optional[np.ndarray]:
+        total = np.zeros((self.dim, self.dim))
+        for comp in self.components:
+            h = comp.hessian(x)
+            if h is None:
+                return None
+            total += h
+        return total
+
+    def argmin_set(self) -> Optional[PointSet]:
+        # Closed forms for the families the paper relies on.
+        if all(isinstance(c, LeastSquaresCost) for c in self.components):
+            return stack_agents(self.components).argmin_set()
+        if all(isinstance(c, QuadraticCost) for c in self.components):
+            matrix = sum(c.matrix for c in self.components)
+            linear = sum(c.linear for c in self.components)
+            constant = sum(c.constant for c in self.components)
+            return QuadraticCost(matrix, linear, constant).argmin_set()
+        from .geometric import NormDistanceCost, weber_argmin
+
+        if all(isinstance(c, NormDistanceCost) for c in self.components):
+            targets = np.vstack([c.target for c in self.components])
+            weights = np.array([c.weight for c in self.components])
+            return weber_argmin(targets, weights)
+        return None
+
+    @property
+    def is_differentiable(self) -> bool:
+        return all(c.is_differentiable for c in self.components)
+
+    def __repr__(self) -> str:
+        return f"SumCost({len(self.components)} components, dim={self.dim})"
+
+
+class MeanCost(SumCost):
+    """``Q_H(x) = (1/|H|) sum_{i in H} Q_i(x)`` (Assumption 3's average)."""
+
+    def value(self, x: np.ndarray) -> float:
+        return super().value(x) / len(self.components)
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        return super().gradient(x) / len(self.components)
+
+    def hessian(self, x: np.ndarray) -> Optional[np.ndarray]:
+        h = super().hessian(x)
+        return None if h is None else h / len(self.components)
+
+    # argmin is scale-invariant, so SumCost.argmin_set is reused as-is.
+
+    def __repr__(self) -> str:
+        return f"MeanCost({len(self.components)} components, dim={self.dim})"
+
+
+def aggregate_cost(
+    costs: Sequence[CostFunction], subset: Optional[Sequence[int]] = None
+) -> SumCost:
+    """Aggregate ``sum_{i in subset} Q_i`` (all agents when subset is None)."""
+    pool = list(costs)
+    if subset is not None:
+        pool = [pool[i] for i in subset]
+    return SumCost(pool)

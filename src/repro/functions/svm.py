@@ -1,0 +1,115 @@
+"""Support-vector-machine costs (smooth hinge).
+
+Section 5 of the paper mentions distributed SVM experiments.  The classic
+hinge ``max(0, 1 - y z'x)`` is not differentiable, which would break
+Assumption 2, so — as is standard in DGD analyses — we use the *smoothed*
+(Huberized) hinge, which is continuously differentiable with Lipschitz
+gradients, plus an L2 regularizer for strong convexity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.geometry import PointSet, SingletonSet
+from .base import CostFunction
+
+__all__ = ["SmoothHingeCost"]
+
+
+def _smooth_hinge(margin: np.ndarray, smoothing: float) -> np.ndarray:
+    """Huberized hinge: quadratic in the band ``[1 - smoothing, 1]``."""
+    out = np.zeros_like(margin)
+    low = margin < 1.0 - smoothing
+    mid = ~low & (margin < 1.0)
+    out[low] = 1.0 - margin[low] - smoothing / 2.0
+    out[mid] = (1.0 - margin[mid]) ** 2 / (2.0 * smoothing)
+    return out
+
+
+def _smooth_hinge_slope(margin: np.ndarray, smoothing: float) -> np.ndarray:
+    """Derivative of the smooth hinge w.r.t. the margin."""
+    out = np.zeros_like(margin)
+    low = margin < 1.0 - smoothing
+    mid = ~low & (margin < 1.0)
+    out[low] = -1.0
+    out[mid] = (margin[mid] - 1.0) / smoothing
+    return out
+
+
+class SmoothHingeCost(CostFunction):
+    """Regularized smooth-hinge SVM loss over a local dataset.
+
+    ``Q(x) = (1/m) sum_j huber_hinge(y_j z_j' x) + 0.5 reg ||x||^2``
+    """
+
+    def __init__(
+        self,
+        features: Sequence[Sequence[float]],
+        labels: Sequence[float],
+        regularization: float = 0.01,
+        smoothing: float = 0.5,
+    ):
+        z = np.atleast_2d(np.asarray(features, dtype=float))
+        y = np.atleast_1d(np.asarray(labels, dtype=float))
+        if z.shape[0] != y.shape[0]:
+            raise ValueError("features and labels must have matching rows")
+        if not np.all(np.isin(y, (-1.0, 1.0))):
+            raise ValueError("labels must be in {-1, +1}")
+        if smoothing <= 0:
+            raise ValueError("smoothing must be positive")
+        if regularization < 0:
+            raise ValueError("regularization must be non-negative")
+        self.features = z
+        self.labels = y
+        self.regularization = float(regularization)
+        self.smoothing = float(smoothing)
+        self.dim = z.shape[1]
+
+    @property
+    def n_samples(self) -> int:
+        """Number of local data points."""
+        return self.features.shape[0]
+
+    def value(self, x: np.ndarray) -> float:
+        xv = self._check_point(x)
+        margins = self.labels * (self.features @ xv)
+        losses = _smooth_hinge(margins, self.smoothing)
+        return float(losses.mean()) + 0.5 * self.regularization * float(xv @ xv)
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        xv = self._check_point(x)
+        margins = self.labels * (self.features @ xv)
+        slopes = _smooth_hinge_slope(margins, self.smoothing)
+        grad = (self.features.T @ (self.labels * slopes)) / self.n_samples
+        return grad + self.regularization * xv
+
+    def argmin_set(self) -> Optional[PointSet]:
+        """Numeric argmin by gradient descent (strongly convex case only)."""
+        if self.regularization <= 0:
+            return None
+        lip = self.smoothness_constant()
+        x = np.zeros(self.dim)
+        step = 1.0 / lip
+        for _ in range(20_000):
+            grad = self.gradient(x)
+            if np.linalg.norm(grad) < 1e-10:
+                break
+            x = x - step * grad
+        return SingletonSet(x)
+
+    def smoothness_constant(self) -> float:
+        """Upper bound on the gradient's Lipschitz constant."""
+        gram = self.features.T @ self.features
+        return float(
+            np.linalg.eigvalsh(gram).max() / (self.smoothing * self.n_samples)
+            + self.regularization
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SmoothHingeCost(samples={self.n_samples}, dim={self.dim},"
+            f" reg={self.regularization:g}, smoothing={self.smoothing:g})"
+        )

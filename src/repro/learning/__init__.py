@@ -1,0 +1,46 @@
+"""Learning substrate for the Appendix-K experiments (pure NumPy)."""
+
+from .datasets import (
+    AgentShard,
+    ImageDataset,
+    flip_labels,
+    make_synthetic_classification,
+    shard_dataset,
+    shard_dataset_dirichlet,
+)
+from .dsgd import DistributedSGD, LearningTrace
+from .momentum import MomentumDistributedSGD
+from .losses import cross_entropy, cross_entropy_with_gradient, softmax
+from .metrics import accuracy_score, confusion_matrix, per_class_accuracy
+from .conv import Conv2D, Flatten, MaxPool2D, Reshape
+from .models import CNNClassifier, MLPClassifier
+from .modules import Dense, Module, ReLU, Sequential, Tanh
+
+__all__ = [
+    "Module",
+    "Dense",
+    "ReLU",
+    "Tanh",
+    "Sequential",
+    "softmax",
+    "cross_entropy",
+    "cross_entropy_with_gradient",
+    "MLPClassifier",
+    "CNNClassifier",
+    "Conv2D",
+    "MaxPool2D",
+    "Flatten",
+    "Reshape",
+    "ImageDataset",
+    "make_synthetic_classification",
+    "shard_dataset",
+    "shard_dataset_dirichlet",
+    "flip_labels",
+    "AgentShard",
+    "DistributedSGD",
+    "MomentumDistributedSGD",
+    "LearningTrace",
+    "accuracy_score",
+    "confusion_matrix",
+    "per_class_accuracy",
+]

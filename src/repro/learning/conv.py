@@ -1,0 +1,193 @@
+"""Convolutional layers in pure NumPy (im2col implementation).
+
+Appendix K trains LeNet; the default experiments here use an MLP for
+speed (see DESIGN.md), but these layers close the substitution gap: a
+LeNet-style CNN (:class:`~repro.learning.models.CNNClassifier`) can be
+dropped into the same D-SGD driver when fidelity matters more than wall
+time.  Shapes follow the ``(batch, channels, height, width)`` convention;
+convolutions are stride-1 'valid', pooling is non-overlapping.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .modules import Module
+
+__all__ = ["Reshape", "Conv2D", "MaxPool2D", "Flatten"]
+
+
+class Reshape(Module):
+    """Reshape flat features to an image tensor (and gradients back)."""
+
+    def __init__(self, shape: Tuple[int, ...]):
+        self.shape = tuple(int(s) for s in shape)
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._input_shape = inputs.shape
+        return inputs.reshape((inputs.shape[0],) + self.shape)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output.reshape(self._input_shape)
+
+
+class Flatten(Module):
+    """Flatten all non-batch dimensions."""
+
+    def __init__(self) -> None:
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._input_shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output.reshape(self._input_shape)
+
+
+def _im2col(inputs: np.ndarray, k: int) -> np.ndarray:
+    """Extract all k x k patches: (batch, out_h*out_w, channels*k*k)."""
+    batch, channels, height, width = inputs.shape
+    out_h, out_w = height - k + 1, width - k + 1
+    # Gather windows via stride tricks, then reorder to rows of patches.
+    s0, s1, s2, s3 = inputs.strides
+    windows = np.lib.stride_tricks.as_strided(
+        inputs,
+        shape=(batch, channels, out_h, out_w, k, k),
+        strides=(s0, s1, s2, s3, s2, s3),
+        writeable=False,
+    )
+    # (batch, out_h, out_w, channels, k, k) -> flatten patch dims.
+    patches = windows.transpose(0, 2, 3, 1, 4, 5)
+    return patches.reshape(batch, out_h * out_w, channels * k * k)
+
+
+class Conv2D(Module):
+    """Stride-1 'valid' 2-D convolution with bias."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+    ):
+        if min(in_channels, out_channels, kernel_size) <= 0:
+            raise ValueError("channels and kernel size must be positive")
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        fan_in = in_channels * kernel_size * kernel_size
+        fan_out = out_channels * kernel_size * kernel_size
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        self.weight = rng.uniform(
+            -limit, limit, size=(fan_in, out_channels)
+        )
+        self.bias = np.zeros(out_channels)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._cols: Optional[np.ndarray] = None
+        self._spatial: Optional[Tuple[int, int, int, int]] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if inputs.ndim != 4 or inputs.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected (batch, {self.in_channels}, H, W), got {inputs.shape}"
+            )
+        batch, _, height, width = inputs.shape
+        k = self.kernel_size
+        if height < k or width < k:
+            raise ValueError("input smaller than the kernel")
+        out_h, out_w = height - k + 1, width - k + 1
+        cols = _im2col(inputs, k)                       # (b, P, fan_in)
+        self._cols = cols
+        self._spatial = (batch, height, width, out_h)
+        out = cols @ self.weight + self.bias            # (b, P, out_ch)
+        return out.transpose(0, 2, 1).reshape(
+            batch, self.out_channels, out_h, out_w
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._spatial is None:
+            raise RuntimeError("backward called before forward")
+        batch, height, width, out_h = self._spatial
+        k = self.kernel_size
+        out_w = width - k + 1
+        grad_flat = grad_output.reshape(
+            batch, self.out_channels, out_h * out_w
+        ).transpose(0, 2, 1)                            # (b, P, out_ch)
+        self.grad_weight[...] = np.einsum(
+            "bpf,bpo->fo", self._cols, grad_flat
+        )
+        self.grad_bias[...] = grad_flat.sum(axis=(0, 1))
+        grad_cols = grad_flat @ self.weight.T           # (b, P, fan_in)
+        # col2im: scatter patch gradients back onto the input grid.
+        grad_input = np.zeros((batch, self.in_channels, height, width))
+        patches = grad_cols.reshape(
+            batch, out_h, out_w, self.in_channels, k, k
+        )
+        for di in range(k):
+            for dj in range(k):
+                grad_input[:, :, di : di + out_h, dj : dj + out_w] += (
+                    patches[:, :, :, :, di, dj].transpose(0, 3, 1, 2)
+                )
+        return grad_input
+
+    def parameters(self):
+        return [self.weight, self.bias]
+
+    def gradients(self):
+        return [self.grad_weight, self.grad_bias]
+
+
+class MaxPool2D(Module):
+    """Non-overlapping max pooling with a square window."""
+
+    def __init__(self, window: int = 2):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = int(window)
+        self._mask: Optional[np.ndarray] = None
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if inputs.ndim != 4:
+            raise ValueError("expected (batch, channels, H, W)")
+        batch, channels, height, width = inputs.shape
+        w = self.window
+        if height % w or width % w:
+            raise ValueError(
+                f"spatial dims {height}x{width} not divisible by window {w}"
+            )
+        out_h, out_w = height // w, width // w
+        blocks = inputs.reshape(batch, channels, out_h, w, out_w, w)
+        blocks = blocks.transpose(0, 1, 2, 4, 3, 5).reshape(
+            batch, channels, out_h, out_w, w * w
+        )
+        flat_idx = blocks.argmax(axis=-1)
+        out = np.take_along_axis(
+            blocks, flat_idx[..., None], axis=-1
+        ).squeeze(-1)
+        mask = np.zeros_like(blocks)
+        np.put_along_axis(mask, flat_idx[..., None], 1.0, axis=-1)
+        self._mask = mask
+        self._input_shape = inputs.shape
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None or self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        batch, channels, height, width = self._input_shape
+        w = self.window
+        out_h, out_w = height // w, width // w
+        spread = self._mask * grad_output[..., None]
+        spread = spread.reshape(batch, channels, out_h, out_w, w, w)
+        spread = spread.transpose(0, 1, 2, 4, 3, 5)
+        return spread.reshape(batch, channels, height, width)

@@ -1,0 +1,269 @@
+"""Synthetic image-classification datasets (MNIST / Fashion-MNIST stand-ins).
+
+The paper's Appendix K downloads MNIST and Fashion-MNIST; this environment
+is offline, so we generate deterministic synthetic equivalents (see the
+substitution table in DESIGN.md): 10 smooth class-template images plus
+per-sample pixel noise and small random shifts.  The *mnist_like* variant is
+well-separated (easy, like digits); the *fashion_like* variant uses
+correlated templates and heavier noise (harder, like clothing photos) —
+matching the relative difficulty of the two benchmarks.
+
+The module also provides the experiment plumbing of Appendix K: i.i.d.
+sharding of the training set across agents and the label-flipping fault
+``y -> 9 - y``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ImageDataset",
+    "make_synthetic_classification",
+    "shard_dataset",
+    "shard_dataset_dirichlet",
+    "flip_labels",
+    "AgentShard",
+]
+
+N_CLASSES = 10
+
+
+@dataclass
+class ImageDataset:
+    """Flattened images with integer labels."""
+
+    images: np.ndarray  # (n, pixels) float in [0, 1]
+    labels: np.ndarray  # (n,) int in [0, n_classes)
+    image_side: int
+    n_classes: int = N_CLASSES
+
+    def __post_init__(self) -> None:
+        if self.images.ndim != 2:
+            raise ValueError("images must be (n, pixels)")
+        if self.labels.shape != (self.images.shape[0],):
+            raise ValueError("labels must match image count")
+        if self.images.shape[1] != self.image_side**2:
+            raise ValueError("pixel count must equal image_side ** 2")
+
+    def __len__(self) -> int:
+        return self.images.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        """Flattened pixel count."""
+        return self.images.shape[1]
+
+    def subset(self, indices: np.ndarray) -> "ImageDataset":
+        """A new dataset restricted to ``indices``."""
+        idx = np.asarray(indices)
+        return ImageDataset(
+            images=self.images[idx].copy(),
+            labels=self.labels[idx].copy(),
+            image_side=self.image_side,
+            n_classes=self.n_classes,
+        )
+
+
+def _blur(image: np.ndarray, passes: int) -> np.ndarray:
+    """Cheap separable box blur, repeated ``passes`` times."""
+    out = image
+    for _ in range(passes):
+        out = (
+            out
+            + np.roll(out, 1, axis=0)
+            + np.roll(out, -1, axis=0)
+            + np.roll(out, 1, axis=1)
+            + np.roll(out, -1, axis=1)
+        ) / 5.0
+    return out
+
+
+def _make_templates(
+    rng: np.random.Generator,
+    side: int,
+    blur_passes: int,
+    correlation: float,
+) -> np.ndarray:
+    """Ten smooth class templates; ``correlation`` blends in a shared base."""
+    base = _blur(rng.normal(size=(side, side)), blur_passes)
+    templates = np.empty((N_CLASSES, side, side))
+    for c in range(N_CLASSES):
+        own = _blur(rng.normal(size=(side, side)), blur_passes)
+        mixed = correlation * base + (1.0 - correlation) * own
+        lo, hi = mixed.min(), mixed.max()
+        templates[c] = (mixed - lo) / max(hi - lo, 1e-12)
+    return templates
+
+
+def _sample_class(
+    rng: np.random.Generator,
+    template: np.ndarray,
+    noise: float,
+    max_shift: int,
+) -> np.ndarray:
+    """One noisy, randomly shifted realization of a class template."""
+    img = template
+    if max_shift > 0:
+        img = np.roll(
+            img,
+            (
+                int(rng.integers(-max_shift, max_shift + 1)),
+                int(rng.integers(-max_shift, max_shift + 1)),
+            ),
+            axis=(0, 1),
+        )
+    img = img + rng.normal(scale=noise, size=img.shape)
+    return np.clip(img, 0.0, 1.0)
+
+
+_VARIANTS = {
+    # name: (blur_passes, template correlation, pixel noise, max shift)
+    "mnist_like": (3, 0.0, 0.15, 1),
+    "fashion_like": (2, 0.35, 0.30, 2),
+}
+
+
+def make_synthetic_classification(
+    variant: str = "mnist_like",
+    n_train: int = 2_000,
+    n_test: int = 500,
+    image_side: int = 14,
+    seed: int = 0,
+) -> Tuple[ImageDataset, ImageDataset]:
+    """Deterministic train/test datasets for the requested variant."""
+    if variant not in _VARIANTS:
+        raise ValueError(
+            f"unknown variant {variant!r}; known: {sorted(_VARIANTS)}"
+        )
+    if n_train < N_CLASSES or n_test < N_CLASSES:
+        raise ValueError("need at least one sample per class per split")
+    blur_passes, correlation, noise, max_shift = _VARIANTS[variant]
+    rng = np.random.default_rng(seed)
+    templates = _make_templates(rng, image_side, blur_passes, correlation)
+
+    def build(count: int) -> ImageDataset:
+        labels = rng.integers(0, N_CLASSES, size=count)
+        images = np.empty((count, image_side * image_side))
+        for row, label in enumerate(labels):
+            sample = _sample_class(rng, templates[label], noise, max_shift)
+            images[row] = sample.ravel()
+        return ImageDataset(
+            images=images,
+            labels=labels.astype(int),
+            image_side=image_side,
+        )
+
+    return build(n_train), build(n_test)
+
+
+@dataclass
+class AgentShard:
+    """One agent's local training data plus a minibatch sampler."""
+
+    agent_id: int
+    images: np.ndarray
+    labels: np.ndarray
+
+    def sample_batch(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Uniform with-replacement minibatch (the D-SGD oracle's data)."""
+        if batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        idx = rng.integers(0, self.images.shape[0], size=batch_size)
+        return self.images[idx], self.labels[idx]
+
+    def __len__(self) -> int:
+        return self.images.shape[0]
+
+
+def shard_dataset(
+    dataset: ImageDataset, n_agents: int, seed: int = 0
+) -> List[AgentShard]:
+    """Randomly and evenly divide the dataset across agents (Appendix K)."""
+    if n_agents <= 0:
+        raise ValueError("n_agents must be positive")
+    if len(dataset) < n_agents:
+        raise ValueError("fewer samples than agents")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(dataset))
+    pieces = np.array_split(order, n_agents)
+    return [
+        AgentShard(
+            agent_id=i,
+            images=dataset.images[piece].copy(),
+            labels=dataset.labels[piece].copy(),
+        )
+        for i, piece in enumerate(pieces)
+    ]
+
+
+def shard_dataset_dirichlet(
+    dataset: ImageDataset,
+    n_agents: int,
+    alpha: float,
+    seed: int = 0,
+    min_per_agent: int = 2,
+) -> List[AgentShard]:
+    """Label-skewed (non-i.i.d.) sharding via per-class Dirichlet splits.
+
+    Appendix K observes that "the accuracy of the learning process depends
+    upon the correlation between the data points of non-faulty agents" —
+    i.i.d. shards give near-identical local costs (approximate
+    2f-redundancy), label skew weakens the redundancy.  ``alpha`` is the
+    Dirichlet concentration: large alpha approaches the i.i.d. split,
+    alpha << 1 gives each agent a few dominant classes.
+
+    Every agent is guaranteed at least ``min_per_agent`` samples (topped up
+    from the largest shards) so minibatch sampling stays well defined.
+    """
+    if n_agents <= 0:
+        raise ValueError("n_agents must be positive")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    if len(dataset) < n_agents * min_per_agent:
+        raise ValueError("not enough samples for the requested agents")
+    rng = np.random.default_rng(seed)
+    assignments: List[List[int]] = [[] for _ in range(n_agents)]
+    for label in range(dataset.n_classes):
+        idx = np.flatnonzero(dataset.labels == label)
+        if idx.size == 0:
+            continue
+        rng.shuffle(idx)
+        proportions = rng.dirichlet(np.full(n_agents, alpha))
+        counts = np.floor(proportions * idx.size).astype(int)
+        # Distribute the rounding remainder to the largest proportions.
+        remainder = idx.size - counts.sum()
+        for k in np.argsort(proportions)[::-1][:remainder]:
+            counts[k] += 1
+        cursor = 0
+        for agent, count in enumerate(counts):
+            assignments[agent].extend(idx[cursor : cursor + count].tolist())
+            cursor += count
+    # Top up starved agents from the largest shards.
+    for agent in range(n_agents):
+        while len(assignments[agent]) < min_per_agent:
+            donor = max(range(n_agents), key=lambda a: len(assignments[a]))
+            if len(assignments[donor]) <= min_per_agent:
+                break
+            assignments[agent].append(assignments[donor].pop())
+    return [
+        AgentShard(
+            agent_id=i,
+            images=dataset.images[np.array(rows, dtype=int)].copy(),
+            labels=dataset.labels[np.array(rows, dtype=int)].copy(),
+        )
+        for i, rows in enumerate(assignments)
+    ]
+
+
+def flip_labels(labels: np.ndarray, n_classes: int = N_CLASSES) -> np.ndarray:
+    """Label-flipping fault of Appendix K: ``y -> (n_classes - 1) - y``."""
+    arr = np.asarray(labels)
+    if arr.min() < 0 or arr.max() >= n_classes:
+        raise ValueError("label outside class range")
+    return (n_classes - 1) - arr

@@ -1,0 +1,56 @@
+"""Loss functions for the learning substrate.
+
+Appendix K measures cross-entropy loss; the implementation here is the
+numerically stable softmax cross-entropy (log-sum-exp trick) with its exact
+gradient ``softmax(logits) - onehot``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["softmax", "cross_entropy", "cross_entropy_with_gradient"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-shift stabilization."""
+    arr = np.asarray(logits, dtype=float)
+    shifted = arr - arr.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def _validate(logits: np.ndarray, labels: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    logits = np.asarray(logits, dtype=float)
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError("logits must be (batch, classes)")
+    if labels.shape != (logits.shape[0],):
+        raise ValueError("labels must be a vector matching the batch size")
+    if labels.min() < 0 or labels.max() >= logits.shape[1]:
+        raise ValueError("label outside class range")
+    return logits, labels.astype(int)
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Mean negative log-likelihood of integer ``labels`` under ``logits``."""
+    logits, labels = _validate(logits, labels)
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=1))
+    picked = shifted[np.arange(len(labels)), labels]
+    return float((log_norm - picked).mean())
+
+
+def cross_entropy_with_gradient(
+    logits: np.ndarray, labels: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Loss and its gradient w.r.t. the logits (batch-mean convention)."""
+    logits, labels = _validate(logits, labels)
+    probs = softmax(logits)
+    batch = logits.shape[0]
+    loss = float(-np.log(probs[np.arange(batch), labels] + 1e-300).mean())
+    grad = probs.copy()
+    grad[np.arange(batch), labels] -= 1.0
+    return loss, grad / batch

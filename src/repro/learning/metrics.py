@@ -1,0 +1,47 @@
+"""Evaluation metrics for the learning experiments."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["accuracy_score", "confusion_matrix", "per_class_accuracy"]
+
+
+def accuracy_score(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of matching entries."""
+    preds = np.asarray(predictions)
+    labs = np.asarray(labels)
+    if preds.shape != labs.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    if preds.size == 0:
+        raise ValueError("cannot score empty arrays")
+    return float((preds == labs).mean())
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """``(n_classes, n_classes)`` counts, rows = true, cols = predicted."""
+    preds = np.asarray(predictions, dtype=int)
+    labs = np.asarray(labels, dtype=int)
+    if preds.shape != labs.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    matrix = np.zeros((n_classes, n_classes), dtype=int)
+    for true, pred in zip(labs, preds):
+        matrix[true, pred] += 1
+    return matrix
+
+
+def per_class_accuracy(
+    predictions: np.ndarray, labels: np.ndarray, n_classes: int
+) -> Dict[int, float]:
+    """Recall per class; classes absent from ``labels`` are omitted."""
+    matrix = confusion_matrix(predictions, labels, n_classes)
+    out: Dict[int, float] = {}
+    for c in range(n_classes):
+        total = matrix[c].sum()
+        if total > 0:
+            out[c] = float(matrix[c, c] / total)
+    return out

@@ -1,0 +1,164 @@
+"""Classifier models for the Appendix-K experiments.
+
+``MLPClassifier`` is the default LeNet substitute (see DESIGN.md): same
+loss/optimizer interface as the paper's network, dramatically fewer
+parameters so pure-NumPy D-SGD stays laptop-fast.  ``CNNClassifier`` is a
+LeNet-style convolutional option built from :mod:`repro.learning.conv` for
+when architectural fidelity matters more than wall time.  Both package a
+:class:`~repro.learning.modules.Sequential` together with the softmax
+cross-entropy loss and expose the flat-parameter/flat-gradient view the
+distributed driver consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .conv import Conv2D, Flatten, MaxPool2D, Reshape
+from .losses import cross_entropy_with_gradient, softmax
+from .modules import Dense, ReLU, Sequential
+
+__all__ = ["MLPClassifier", "CNNClassifier"]
+
+
+class MLPClassifier:
+    """Multi-layer perceptron with softmax cross-entropy loss."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dims: Sequence[int],
+        n_classes: int,
+        seed: int = 0,
+    ):
+        if input_dim <= 0 or n_classes <= 1:
+            raise ValueError("need positive input dim and >= 2 classes")
+        rng = np.random.default_rng(seed)
+        layers = []
+        previous = input_dim
+        for width in hidden_dims:
+            layers.append(Dense(previous, width, rng))
+            layers.append(ReLU())
+            previous = width
+        layers.append(Dense(previous, n_classes, rng))
+        self.network = Sequential(*layers)
+        self.input_dim = int(input_dim)
+        self.n_classes = int(n_classes)
+
+    @property
+    def n_parameters(self) -> int:
+        """The optimization dimension d."""
+        return self.network.n_parameters
+
+    def get_flat_parameters(self) -> np.ndarray:
+        """Current parameter vector (copy)."""
+        return self.network.get_flat_parameters()
+
+    def set_flat_parameters(self, flat: np.ndarray) -> None:
+        """Load a parameter vector into the network."""
+        self.network.set_flat_parameters(flat)
+
+    def loss_and_gradient(
+        self, images: np.ndarray, labels: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """Batch loss and flat gradient at the current parameters."""
+        logits = self.network.forward(np.asarray(images, dtype=float))
+        loss, grad_logits = cross_entropy_with_gradient(logits, labels)
+        self.network.backward(grad_logits)
+        return loss, self.network.get_flat_gradients()
+
+    def gradient_at(
+        self, flat_params: np.ndarray, images: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        """Flat gradient at an explicit parameter vector (agent oracle)."""
+        self.set_flat_parameters(flat_params)
+        _, grad = self.loss_and_gradient(images, labels)
+        return grad
+
+    def loss_at(
+        self, flat_params: np.ndarray, images: np.ndarray, labels: np.ndarray
+    ) -> float:
+        """Batch loss at an explicit parameter vector."""
+        self.set_flat_parameters(flat_params)
+        logits = self.network.forward(np.asarray(images, dtype=float))
+        loss, _ = cross_entropy_with_gradient(logits, labels)
+        return loss
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Predicted class indices for a batch of images."""
+        logits = self.network.forward(np.asarray(images, dtype=float))
+        return np.argmax(logits, axis=1)
+
+    def predict_proba(self, images: np.ndarray) -> np.ndarray:
+        """Class probabilities for a batch of images."""
+        return softmax(self.network.forward(np.asarray(images, dtype=float)))
+
+    def accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Fraction of correct predictions."""
+        preds = self.predict(images)
+        return float((preds == np.asarray(labels)).mean())
+
+    def __repr__(self) -> str:
+        return (
+            f"MLPClassifier(input={self.input_dim}, classes={self.n_classes},"
+            f" parameters={self.n_parameters})"
+        )
+
+
+class CNNClassifier(MLPClassifier):
+    """LeNet-style CNN: conv-pool-conv-pool-dense over square images.
+
+    Architecture (for ``image_side = 14``, the synthetic default):
+    reshape → Conv(1→6, 3x3) → ReLU → MaxPool(2) → Conv(6→12, 3x3) → ReLU
+    → MaxPool(2) → Flatten → Dense(→ n_classes).  Orders of magnitude
+    smaller than LeNet's 431k parameters but the same architectural family
+    (the paper's claims are about aggregation, not capacity).
+    """
+
+    def __init__(
+        self,
+        image_side: int,
+        n_classes: int = 10,
+        channels: Tuple[int, int] = (6, 12),
+        kernel_size: int = 3,
+        seed: int = 0,
+    ):
+        if image_side < 2 * (kernel_size + 1):
+            raise ValueError("image too small for two conv-pool stages")
+        rng = np.random.default_rng(seed)
+        c1, c2 = channels
+        side1 = image_side - kernel_size + 1
+        if side1 % 2:
+            raise ValueError(
+                f"first conv output {side1} not divisible by the pool window"
+            )
+        side2 = side1 // 2 - kernel_size + 1
+        if side2 % 2:
+            raise ValueError(
+                f"second conv output {side2} not divisible by the pool window"
+            )
+        flat = c2 * (side2 // 2) ** 2
+        network = Sequential(
+            Reshape((1, image_side, image_side)),
+            Conv2D(1, c1, kernel_size, rng),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(c1, c2, kernel_size, rng),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(flat, n_classes, rng),
+        )
+        # Bypass MLPClassifier.__init__: install the conv network directly.
+        self.network = network
+        self.input_dim = image_side * image_side
+        self.n_classes = int(n_classes)
+        self.image_side = int(image_side)
+
+    def __repr__(self) -> str:
+        return (
+            f"CNNClassifier(side={self.image_side}, classes={self.n_classes},"
+            f" parameters={self.n_parameters})"
+        )

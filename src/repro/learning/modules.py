@@ -1,0 +1,158 @@
+"""Minimal neural-network layers in pure NumPy.
+
+Appendix K trains LeNet with PyTorch; offline we substitute a small
+multi-layer perceptron built from these layers (see DESIGN.md for why the
+substitution preserves the experiments' meaning).  The design is a classic
+layer-object API: ``forward`` caches what ``backward`` needs, ``backward``
+returns the gradient w.r.t. the input and fills per-parameter gradients.
+
+Parameters are exposed as flat views so the distributed SGD driver can treat
+a whole model as one parameter vector — mirroring the paper's d-dimensional
+optimization variable (d = 431,080 for LeNet; ≈14k here).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["Module", "Dense", "ReLU", "Tanh", "Sequential"]
+
+
+class Module(abc.ABC):
+    """A differentiable layer."""
+
+    @abc.abstractmethod
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Compute outputs for a ``(batch, features)`` input."""
+
+    @abc.abstractmethod
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate: return dL/dinput, store parameter gradients."""
+
+    def parameters(self) -> List[np.ndarray]:
+        """Learnable arrays (views — mutate to update)."""
+        return []
+
+    def gradients(self) -> List[np.ndarray]:
+        """Gradients matching :meth:`parameters`, from the last backward."""
+        return []
+
+
+class Dense(Module):
+    """Affine layer ``y = x W + b`` with Glorot-uniform initialization."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature counts must be positive")
+        limit = np.sqrt(6.0 / (in_features + out_features))
+        self.weight = rng.uniform(-limit, limit, size=(in_features, out_features))
+        self.bias = np.zeros(out_features)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._inputs: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._inputs = inputs
+        return inputs @ self.weight + self.bias
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._inputs is None:
+            raise RuntimeError("backward called before forward")
+        self.grad_weight[...] = self._inputs.T @ grad_output
+        self.grad_bias[...] = grad_output.sum(axis=0)
+        return grad_output @ self.weight.T
+
+    def parameters(self) -> List[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def gradients(self) -> List[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._mask = inputs > 0
+        return inputs * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._mask
+
+
+class Tanh(Module):
+    """Hyperbolic-tangent activation (LeNet's classic nonlinearity)."""
+
+    def __init__(self) -> None:
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._output = np.tanh(inputs)
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * (1.0 - self._output**2)
+
+
+class Sequential(Module):
+    """Layer composition with flat parameter-vector access."""
+
+    def __init__(self, *layers: Module):
+        if not layers:
+            raise ValueError("Sequential needs at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        out = inputs
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> List[np.ndarray]:
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def gradients(self) -> List[np.ndarray]:
+        return [g for layer in self.layers for g in layer.gradients()]
+
+    # -- flat-vector view (the paper's x in R^d) --------------------------
+    @property
+    def n_parameters(self) -> int:
+        """Total learnable scalar count (the paper's d)."""
+        return sum(p.size for p in self.parameters())
+
+    def get_flat_parameters(self) -> np.ndarray:
+        """Copy of all parameters as one vector."""
+        return np.concatenate([p.ravel() for p in self.parameters()])
+
+    def set_flat_parameters(self, flat: np.ndarray) -> None:
+        """Load a flat vector back into the layer parameters."""
+        flat = np.asarray(flat, dtype=float)
+        if flat.shape != (self.n_parameters,):
+            raise ValueError(
+                f"expected {self.n_parameters} parameters, got {flat.shape}"
+            )
+        cursor = 0
+        for param in self.parameters():
+            chunk = flat[cursor : cursor + param.size]
+            param[...] = chunk.reshape(param.shape)
+            cursor += param.size
+
+    def get_flat_gradients(self) -> np.ndarray:
+        """All parameter gradients as one vector (post-backward)."""
+        return np.concatenate([g.ravel() for g in self.gradients()])

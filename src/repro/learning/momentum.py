@@ -1,0 +1,74 @@
+"""Worker-momentum D-SGD (Karimireddy, He & Jaggi — reference [28]).
+
+The paper's Section 2 cites "Learning from history for Byzantine robust
+optimization", whose key idea is that *worker-side momentum* shrinks the
+honest gradients' variance over time, making robust aggregation strictly
+easier against time-coupled attacks.  This extension wraps the Appendix-K
+driver: each agent sends an exponential moving average of its minibatch
+gradients instead of the raw gradient; Byzantine transforms apply to the
+faulty agents' momentum stream exactly as they would to raw gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from ..aggregators.base import GradientAggregator
+from ..attacks.base import AttackContext, ByzantineAttack
+from .datasets import AgentShard, ImageDataset
+from .dsgd import DistributedSGD, LearningTrace
+from .models import MLPClassifier
+
+__all__ = ["MomentumDistributedSGD"]
+
+
+class MomentumDistributedSGD(DistributedSGD):
+    """D-SGD where agents report momentum-averaged gradients.
+
+    ``momentum`` is the EMA coefficient β: each agent maintains
+    ``m_t = β m_{t-1} + (1 − β) g_t`` and reports ``m_t``.  β = 0 reduces
+    exactly to :class:`DistributedSGD`.
+    """
+
+    def __init__(
+        self,
+        model: MLPClassifier,
+        shards: Sequence[AgentShard],
+        faulty_ids: Sequence[int],
+        fault: Union[str, ByzantineAttack, None],
+        aggregator: Union[GradientAggregator, str],
+        test_set: ImageDataset,
+        momentum: float = 0.9,
+        batch_size: int = 128,
+        step_size: float = 0.01,
+        seed: int = 0,
+    ):
+        if not 0 <= momentum < 1:
+            raise ValueError("momentum must be in [0, 1)")
+        super().__init__(
+            model=model,
+            shards=shards,
+            faulty_ids=faulty_ids,
+            fault=fault,
+            aggregator=aggregator,
+            test_set=test_set,
+            batch_size=batch_size,
+            step_size=step_size,
+            seed=seed,
+        )
+        self.momentum = float(momentum)
+        self._buffers: Dict[int, Optional[np.ndarray]] = {
+            i: None for i in range(self.n)
+        }
+
+    def _agent_gradient(self, agent_id: int) -> np.ndarray:
+        raw = super()._agent_gradient(agent_id)
+        previous = self._buffers[agent_id]
+        if previous is None or self.momentum == 0.0:
+            updated = raw
+        else:
+            updated = self.momentum * previous + (1.0 - self.momentum) * raw
+        self._buffers[agent_id] = updated
+        return updated

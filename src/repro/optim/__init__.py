@@ -1,0 +1,45 @@
+"""Optimization substrate: projections, schedules, solvers, stopping rules."""
+
+from .argmin import argmin_point, resolve_argmin_set
+from .gradient_descent import (
+    GradientDescentResult,
+    gradient_descent,
+    solve_argmin,
+)
+from .projections import BallConstraint, BoxSet, ConvexSet, UnconstrainedSet
+from .schedules import (
+    ConstantSchedule,
+    HarmonicSchedule,
+    PolynomialSchedule,
+    StepSchedule,
+    paper_schedule,
+)
+from .stopping import (
+    CombinedRule,
+    GradientNorm,
+    IterateMovement,
+    MaxIterations,
+    StoppingRule,
+)
+
+__all__ = [
+    "ConvexSet",
+    "BoxSet",
+    "BallConstraint",
+    "UnconstrainedSet",
+    "StepSchedule",
+    "ConstantSchedule",
+    "HarmonicSchedule",
+    "PolynomialSchedule",
+    "paper_schedule",
+    "StoppingRule",
+    "MaxIterations",
+    "GradientNorm",
+    "IterateMovement",
+    "CombinedRule",
+    "GradientDescentResult",
+    "gradient_descent",
+    "solve_argmin",
+    "resolve_argmin_set",
+    "argmin_point",
+]

@@ -1,0 +1,61 @@
+"""Argmin-set resolution for arbitrary cost functions.
+
+Definitions 2 and 3 are statements about *sets* of minimizers.  This module
+resolves a cost to a :class:`~repro.core.geometry.PointSet`:
+
+* closed forms pass through untouched (quadratics, least squares),
+* otherwise multi-start numeric minimization produces either a singleton
+  (all starts agree) or a finite witness set (several distinct minimizers).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.geometry import FiniteSet, PointSet, SingletonSet
+from ..functions.base import CostFunction
+from .gradient_descent import solve_argmin
+
+__all__ = ["resolve_argmin_set", "argmin_point"]
+
+
+def resolve_argmin_set(
+    cost: CostFunction,
+    starts: Optional[Sequence[Sequence[float]]] = None,
+    tolerance: float = 1e-8,
+    merge_radius: float = 1e-6,
+) -> PointSet:
+    """The argmin set of ``cost`` as an explicit :class:`PointSet`.
+
+    ``starts`` seeds the multi-start numeric search for costs with no closed
+    form; distinct limits further apart than ``merge_radius`` are all kept,
+    yielding a :class:`FiniteSet` witness of non-uniqueness.
+    """
+    closed = cost.argmin_set()
+    if closed is not None:
+        return closed
+    if starts is None:
+        starts = [np.zeros(cost.dim)]
+    solutions = []
+    for start in starts:
+        x = solve_argmin(cost, x0=start, tolerance=tolerance)
+        if not any(np.linalg.norm(x - s) <= merge_radius for s in solutions):
+            solutions.append(x)
+    if len(solutions) == 1:
+        return SingletonSet(solutions[0])
+    # Keep only global minimizers among the collected limits.
+    values = np.array([cost.value(s) for s in solutions])
+    best = values.min()
+    keep = [s for s, v in zip(solutions, values) if v <= best + tolerance]
+    if len(keep) == 1:
+        return SingletonSet(keep[0])
+    return FiniteSet(np.vstack(keep))
+
+
+def argmin_point(
+    cost: CostFunction, start: Optional[Sequence[float]] = None
+) -> np.ndarray:
+    """A single minimizer of ``cost`` (any element of the argmin set)."""
+    return solve_argmin(cost, x0=start)

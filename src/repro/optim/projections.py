@@ -1,0 +1,126 @@
+"""Projections onto compact convex sets.
+
+The DGD update (21) constrains iterates to a compact convex set ``W`` via the
+Euclidean projection of equation (20); the paper's experiments use the
+hypercube ``[-1000, 1000]^2``.  Projections here are exact, idempotent and
+non-expansive — properties the convergence proof of Theorem 3 relies on and
+the test suite verifies.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence, Union
+
+import numpy as np
+
+__all__ = ["ConvexSet", "BoxSet", "BallConstraint", "UnconstrainedSet"]
+
+
+class ConvexSet(abc.ABC):
+    """A closed convex subset of R^d with an exact Euclidean projection."""
+
+    @abc.abstractmethod
+    def project(self, x: np.ndarray) -> np.ndarray:
+        """``[x]_W`` of equation (20): the closest point of the set."""
+
+    @abc.abstractmethod
+    def contains(self, x: np.ndarray, tol: float = 1e-9) -> bool:
+        """Membership test up to tolerance."""
+
+    @abc.abstractmethod
+    def diameter_bound(self) -> float:
+        """An upper bound on ``max_{x,y in W} ||x - y||`` (inf if unbounded)."""
+
+
+class BoxSet(ConvexSet):
+    """Axis-aligned box ``prod_k [low_k, high_k]``.
+
+    ``BoxSet.symmetric(1000.0, dim=2)`` reproduces the paper's ``W``.
+    """
+
+    def __init__(self, lower: Sequence[float], upper: Sequence[float]):
+        low = np.asarray(lower, dtype=float)
+        high = np.asarray(upper, dtype=float)
+        if low.shape != high.shape or low.ndim != 1:
+            raise ValueError("lower/upper must be 1-D arrays of equal shape")
+        if np.any(low > high):
+            raise ValueError("lower bound exceeds upper bound")
+        self.lower = low
+        self.upper = high
+        self.dim = low.shape[0]
+
+    @classmethod
+    def symmetric(cls, half_width: float, dim: int) -> "BoxSet":
+        """The hypercube ``[-half_width, half_width]^dim``."""
+        if half_width <= 0:
+            raise ValueError("half_width must be positive")
+        bound = np.full(dim, float(half_width))
+        return cls(-bound, bound)
+
+    def project(self, x: np.ndarray) -> np.ndarray:
+        return np.clip(np.asarray(x, dtype=float), self.lower, self.upper)
+
+    def contains(self, x: np.ndarray, tol: float = 1e-9) -> bool:
+        xv = np.asarray(x, dtype=float)
+        return bool(
+            np.all(xv >= self.lower - tol) and np.all(xv <= self.upper + tol)
+        )
+
+    def diameter_bound(self) -> float:
+        return float(np.linalg.norm(self.upper - self.lower))
+
+    def __repr__(self) -> str:
+        return f"BoxSet(dim={self.dim})"
+
+
+class BallConstraint(ConvexSet):
+    """Euclidean ball ``{x : ||x - center|| <= radius}``."""
+
+    def __init__(self, center: Sequence[float], radius: float):
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        self.center = np.asarray(center, dtype=float)
+        self.radius = float(radius)
+        self.dim = self.center.shape[0]
+
+    def project(self, x: np.ndarray) -> np.ndarray:
+        xv = np.asarray(x, dtype=float)
+        offset = xv - self.center
+        norm = float(np.linalg.norm(offset))
+        if norm <= self.radius:
+            return xv.copy()
+        return self.center + offset * (self.radius / norm)
+
+    def contains(self, x: np.ndarray, tol: float = 1e-9) -> bool:
+        xv = np.asarray(x, dtype=float)
+        return float(np.linalg.norm(xv - self.center)) <= self.radius + tol
+
+    def diameter_bound(self) -> float:
+        return 2.0 * self.radius
+
+    def __repr__(self) -> str:
+        return f"BallConstraint(radius={self.radius:g}, dim={self.dim})"
+
+
+class UnconstrainedSet(ConvexSet):
+    """All of R^d — the identity projection.
+
+    Strictly outside the paper's Theorem-3 hypotheses (W must be compact),
+    provided for fault-free baselines and quick experiments.
+    """
+
+    def __init__(self, dim: int):
+        self.dim = int(dim)
+
+    def project(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=float).copy()
+
+    def contains(self, x: np.ndarray, tol: float = 1e-9) -> bool:
+        return True
+
+    def diameter_bound(self) -> float:
+        return float("inf")
+
+    def __repr__(self) -> str:
+        return f"UnconstrainedSet(dim={self.dim})"

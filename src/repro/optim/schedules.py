@@ -1,0 +1,115 @@
+"""Step-size schedules for the DGD update rule (21).
+
+Theorem 3 requires diminishing step sizes with ``sum eta_t = inf`` and
+``sum eta_t^2 < inf``.  :class:`HarmonicSchedule` — the paper's
+``eta_t = 1.5 / (t + 1)`` — satisfies both; each schedule reports whether it
+meets the Robbins–Monro conditions so experiment code can assert the
+hypothesis before quoting the theorem.
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = [
+    "StepSchedule",
+    "ConstantSchedule",
+    "HarmonicSchedule",
+    "PolynomialSchedule",
+    "paper_schedule",
+]
+
+
+class StepSchedule(abc.ABC):
+    """Maps iteration index ``t`` (0-based) to a positive step size."""
+
+    @abc.abstractmethod
+    def step_size(self, t: int) -> float:
+        """Step size ``eta_t`` for iteration ``t >= 0``."""
+
+    @property
+    @abc.abstractmethod
+    def satisfies_robbins_monro(self) -> bool:
+        """True when ``sum eta_t`` diverges and ``sum eta_t^2`` converges."""
+
+    def __call__(self, t: int) -> float:
+        if t < 0:
+            raise ValueError("iteration index must be non-negative")
+        eta = self.step_size(t)
+        if eta <= 0:
+            raise ValueError(f"schedule produced non-positive step {eta}")
+        return eta
+
+
+class ConstantSchedule(StepSchedule):
+    """``eta_t = eta`` — used by the Appendix-K learning experiments."""
+
+    def __init__(self, eta: float):
+        if eta <= 0:
+            raise ValueError("step size must be positive")
+        self.eta = float(eta)
+
+    def step_size(self, t: int) -> float:
+        return self.eta
+
+    @property
+    def satisfies_robbins_monro(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"ConstantSchedule({self.eta:g})"
+
+
+class HarmonicSchedule(StepSchedule):
+    """``eta_t = scale / (t + offset)`` — the paper's regression schedule.
+
+    With ``scale = 1.5`` and ``offset = 1`` this is exactly Appendix J's
+    ``eta_t = 1.5 / (t + 1)``; the squared series sums to
+    ``scale^2 * pi^2 / 6`` (the paper quotes ``3 pi^2 / 8`` for scale 1.5).
+    """
+
+    def __init__(self, scale: float = 1.5, offset: float = 1.0):
+        if scale <= 0 or offset <= 0:
+            raise ValueError("scale and offset must be positive")
+        self.scale = float(scale)
+        self.offset = float(offset)
+
+    def step_size(self, t: int) -> float:
+        return self.scale / (t + self.offset)
+
+    @property
+    def satisfies_robbins_monro(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"HarmonicSchedule(scale={self.scale:g}, offset={self.offset:g})"
+
+
+class PolynomialSchedule(StepSchedule):
+    """``eta_t = scale / (t + 1)^power``.
+
+    Robbins–Monro holds iff ``1/2 < power <= 1``.
+    """
+
+    def __init__(self, scale: float = 1.0, power: float = 1.0):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        if power < 0:
+            raise ValueError("power must be non-negative")
+        self.scale = float(scale)
+        self.power = float(power)
+
+    def step_size(self, t: int) -> float:
+        return self.scale / (t + 1.0) ** self.power
+
+    @property
+    def satisfies_robbins_monro(self) -> bool:
+        return 0.5 < self.power <= 1.0
+
+    def __repr__(self) -> str:
+        return f"PolynomialSchedule(scale={self.scale:g}, power={self.power:g})"
+
+
+def paper_schedule() -> HarmonicSchedule:
+    """The exact schedule of Appendix J: ``eta_t = 1.5 / (t + 1)``."""
+    return HarmonicSchedule(scale=1.5, offset=1.0)

@@ -1,0 +1,107 @@
+"""Stopping criteria for iterative solvers.
+
+The paper runs fixed iteration budgets (500 / 1500 steps) and also observes
+that "estimates practically converge after 400 iterations"; these criteria
+let the harness detect that plateau programmatically.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "StoppingRule",
+    "MaxIterations",
+    "GradientNorm",
+    "IterateMovement",
+    "CombinedRule",
+]
+
+
+class StoppingRule(abc.ABC):
+    """Decides whether the iteration should stop after an update."""
+
+    @abc.abstractmethod
+    def should_stop(
+        self,
+        t: int,
+        x: np.ndarray,
+        previous: Optional[np.ndarray],
+        gradient: Optional[np.ndarray],
+    ) -> bool:
+        """True when iteration ``t`` (just completed) should be the last."""
+
+    def reset(self) -> None:
+        """Clear internal state before a fresh run (no-op by default)."""
+
+
+class MaxIterations(StoppingRule):
+    """Stop after a fixed number of iterations."""
+
+    def __init__(self, limit: int):
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        self.limit = int(limit)
+
+    def should_stop(self, t, x, previous, gradient) -> bool:
+        return t + 1 >= self.limit
+
+
+class GradientNorm(StoppingRule):
+    """Stop when the (aggregate) gradient norm falls below a threshold."""
+
+    def __init__(self, threshold: float):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = float(threshold)
+
+    def should_stop(self, t, x, previous, gradient) -> bool:
+        if gradient is None:
+            return False
+        return float(np.linalg.norm(gradient)) < self.threshold
+
+
+class IterateMovement(StoppingRule):
+    """Stop when consecutive iterates stay within ``threshold`` for a while."""
+
+    def __init__(self, threshold: float, patience: int = 1):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if patience <= 0:
+            raise ValueError("patience must be positive")
+        self.threshold = float(threshold)
+        self.patience = int(patience)
+        self._streak = 0
+
+    def should_stop(self, t, x, previous, gradient) -> bool:
+        if previous is None:
+            self._streak = 0
+            return False
+        moved = float(np.linalg.norm(np.asarray(x) - np.asarray(previous)))
+        if moved < self.threshold:
+            self._streak += 1
+        else:
+            self._streak = 0
+        return self._streak >= self.patience
+
+    def reset(self) -> None:
+        self._streak = 0
+
+
+class CombinedRule(StoppingRule):
+    """Stop when *any* of the component rules fires."""
+
+    def __init__(self, *rules: StoppingRule):
+        if not rules:
+            raise ValueError("CombinedRule needs at least one rule")
+        self.rules = list(rules)
+
+    def should_stop(self, t, x, previous, gradient) -> bool:
+        return any(r.should_stop(t, x, previous, gradient) for r in self.rules)
+
+    def reset(self) -> None:
+        for rule in self.rules:
+            rule.reset()

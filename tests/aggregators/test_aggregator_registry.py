@@ -1,0 +1,45 @@
+"""Tests for the aggregator registry."""
+
+import numpy as np
+import pytest
+
+from repro.aggregators import (
+    GradientAggregator,
+    available_aggregators,
+    make_aggregator,
+)
+
+
+class TestRegistry:
+    def test_all_names_buildable(self):
+        for name in available_aggregators():
+            agg = make_aggregator(name, n=10, f=2)
+            assert isinstance(agg, GradientAggregator)
+
+    def test_all_built_filters_run(self, rng):
+        grads = rng.normal(size=(11, 4))
+        for name in available_aggregators():
+            agg = make_aggregator(name, n=11, f=2)
+            out = agg.aggregate(grads)
+            assert out.shape == (4,)
+            assert np.all(np.isfinite(out))
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError) as err:
+            make_aggregator("nope", 10, 2)
+        assert "nope" in str(err.value)
+
+    def test_expected_names_present(self):
+        names = available_aggregators()
+        for expected in ("cge", "cwtm", "mean", "krum", "geomedian", "bulyan"):
+            assert expected in names
+
+    def test_f_threaded_through(self, rng):
+        cge = make_aggregator("cge", n=6, f=1)
+        grads = np.vstack([rng.normal(size=(5, 2)), [[1e9, 1e9]]])
+        out = cge.aggregate(grads)
+        assert np.linalg.norm(out) < 1e3  # big row eliminated
+
+    def test_repr_contains_params(self):
+        agg = make_aggregator("cge", n=6, f=1)
+        assert "f=1" in repr(agg)

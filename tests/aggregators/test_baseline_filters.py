@@ -1,0 +1,166 @@
+"""Tests for the baseline filters: mean, Krum, geometric median, Bulyan, clipping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.aggregators import (
+    BulyanAggregator,
+    CenteredClipAggregator,
+    GeometricMedianAggregator,
+    KrumAggregator,
+    MeanAggregator,
+    MedianOfMeansAggregator,
+    MultiKrumAggregator,
+    NormClipAggregator,
+    SumAggregator,
+    geometric_median,
+    krum_scores,
+)
+
+finite = st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False)
+
+
+class TestMeanAndSum:
+    def test_mean(self, rng):
+        grads = rng.normal(size=(5, 3))
+        assert np.allclose(MeanAggregator().aggregate(grads), grads.mean(axis=0))
+
+    def test_sum(self, rng):
+        grads = rng.normal(size=(5, 3))
+        assert np.allclose(SumAggregator().aggregate(grads), grads.sum(axis=0))
+
+    def test_mean_not_robust(self):
+        # One huge outlier drags the mean arbitrarily — the motivation for
+        # gradient-filters in Section 4.
+        grads = np.vstack([np.zeros((4, 2)), 1e6 * np.ones((1, 2))])
+        out = MeanAggregator().aggregate(grads)
+        assert np.linalg.norm(out) > 1e5
+
+
+class TestKrum:
+    def test_scores_favor_cluster(self, rng):
+        cluster = rng.normal(size=(5, 3)) * 0.1
+        outlier = 100.0 * np.ones((1, 3))
+        grads = np.vstack([cluster, outlier])
+        scores = krum_scores(grads, f=1)
+        assert np.argmax(scores) == 5  # the outlier scores worst
+
+    def test_krum_selects_cluster_member(self, rng):
+        cluster = rng.normal(size=(5, 2)) * 0.1
+        grads = np.vstack([cluster, [[50.0, 50.0]]])
+        out = KrumAggregator(f=1).aggregate(grads)
+        assert any(np.allclose(out, row) for row in cluster)
+
+    def test_krum_output_is_an_input_row(self, rng):
+        grads = rng.normal(size=(7, 4))
+        out = KrumAggregator(f=1).aggregate(grads)
+        assert any(np.allclose(out, row) for row in grads)
+
+    def test_multikrum_averages_selection(self, rng):
+        grads = rng.normal(size=(8, 3))
+        out1 = MultiKrumAggregator(f=1, m=1).aggregate(grads)
+        assert np.allclose(out1, KrumAggregator(f=1).aggregate(grads))
+        out_all = MultiKrumAggregator(f=1, m=8).aggregate(grads)
+        assert np.allclose(out_all, grads.mean(axis=0))
+
+    def test_too_few_agents_rejected(self):
+        with pytest.raises(ValueError):
+            KrumAggregator(f=1).aggregate(np.ones((3, 2)))  # needs n-f-2 >= 1
+
+    def test_multikrum_m_too_large(self):
+        with pytest.raises(ValueError):
+            MultiKrumAggregator(f=1, m=9).aggregate(np.ones((8, 2)))
+
+
+class TestGeometricMedian:
+    def test_collinear_median(self):
+        pts = np.array([[0.0], [1.0], [10.0]])
+        gm = geometric_median(pts)
+        assert gm[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_single_point(self):
+        assert np.allclose(geometric_median(np.array([[3.0, 4.0]])), [3.0, 4.0])
+
+    def test_robust_to_minority_outlier(self, rng):
+        cluster = rng.normal(size=(6, 2)) * 0.1
+        grads = np.vstack([cluster, [[1000.0, 1000.0]]])
+        gm = GeometricMedianAggregator().aggregate(grads)
+        assert np.linalg.norm(gm) < 5.0
+
+    @given(arrays(np.float64, (5, 2), elements=finite))
+    @settings(max_examples=40, deadline=None)
+    def test_minimizes_sum_of_distances(self, pts):
+        gm = geometric_median(pts)
+        objective = lambda z: np.linalg.norm(pts - z, axis=1).sum()
+        base = objective(gm)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            assert base <= objective(gm + 0.1 * rng.normal(size=2)) + 1e-6
+
+    def test_median_of_means_groups(self, rng):
+        grads = rng.normal(size=(9, 2))
+        out = MedianOfMeansAggregator(groups=3).aggregate(grads)
+        means = np.vstack(
+            [grads[0:3].mean(axis=0), grads[3:6].mean(axis=0), grads[6:9].mean(axis=0)]
+        )
+        assert np.allclose(out, geometric_median(means), atol=1e-8)
+
+    def test_too_many_groups_rejected(self):
+        with pytest.raises(ValueError):
+            MedianOfMeansAggregator(groups=5).aggregate(np.ones((3, 2)))
+
+
+class TestBulyan:
+    def test_requires_enough_agents(self):
+        with pytest.raises(ValueError):
+            BulyanAggregator(f=1).aggregate(np.ones((6, 2)))  # needs >= 7
+
+    def test_robust_to_f_outliers(self, rng):
+        honest = rng.normal(size=(6, 3)) * 0.1
+        byzantine = 1e4 * np.ones((1, 3))
+        grads = np.vstack([honest, byzantine])
+        out = BulyanAggregator(f=1).aggregate(grads)
+        assert np.all(out >= honest.min(axis=0) - 1e-9)
+        assert np.all(out <= honest.max(axis=0) + 1e-9)
+
+    def test_identical_inputs_fixed_point(self):
+        grads = np.tile(np.array([1.0, 2.0]), (7, 1))
+        assert np.allclose(BulyanAggregator(f=1).aggregate(grads), [1.0, 2.0])
+
+
+class TestClipping:
+    def test_norm_clip_bounds_influence(self):
+        grads = np.vstack([np.zeros((4, 2)), [[1e6, 0.0]]])
+        out = NormClipAggregator(radius=1.0).aggregate(grads)
+        assert np.linalg.norm(out) <= 1.0 + 1e-9
+
+    def test_norm_clip_auto_radius_median(self, rng):
+        grads = rng.normal(size=(5, 3))
+        out = NormClipAggregator().aggregate(grads)
+        assert np.all(np.isfinite(out))
+
+    def test_norm_clip_zero_median(self):
+        grads = np.zeros((5, 2))
+        assert np.allclose(NormClipAggregator().aggregate(grads), 0.0)
+
+    def test_centered_clip_identical_inputs(self):
+        grads = np.tile(np.array([0.5, -0.5]), (6, 1))
+        out = CenteredClipAggregator(radius=1.0).aggregate(grads)
+        assert np.allclose(out, [0.5, -0.5])
+
+    def test_centered_clip_resists_outlier(self, rng):
+        honest = rng.normal(size=(8, 2)) * 0.1
+        grads = np.vstack([honest, [[1e5, 1e5]]])
+        out = CenteredClipAggregator(radius=1.0, iterations=5).aggregate(grads)
+        assert np.linalg.norm(out) < 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CenteredClipAggregator(radius=0.0)
+        with pytest.raises(ValueError):
+            CenteredClipAggregator(iterations=0)
+        with pytest.raises(ValueError):
+            NormClipAggregator(radius=-1.0)

@@ -1,0 +1,119 @@
+"""Tests for the CGE gradient-filter (equation (23), Theorems 4-5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.aggregators import AveragedCGE, CGEAggregator, cge_selection
+
+finite = st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False)
+
+
+def stacks(n=6, d=3):
+    return arrays(np.float64, (n, d), elements=finite)
+
+
+class TestCGESelection:
+    def test_selects_smallest_norms(self):
+        grads = np.array([[3.0, 4.0], [1.0, 0.0], [0.0, 0.0], [10.0, 0.0]])
+        selected = cge_selection(grads, f=1)
+        # norms: 5, 1, 0, 10 -> keep 3 smallest: indices 2, 1, 0 (sorted).
+        assert list(selected) == [2, 1, 0]
+
+    def test_tie_broken_by_index(self):
+        grads = np.array([[1.0, 0.0], [0.0, 1.0], [2.0, 0.0]])
+        selected = cge_selection(grads, f=1)
+        assert list(selected) == [0, 1]  # equal norms -> lower index first
+
+    def test_f_zero_keeps_everything(self):
+        grads = np.arange(8.0).reshape(4, 2)
+        assert len(cge_selection(grads, f=0)) == 4
+
+    def test_all_eliminated_rejected(self):
+        with pytest.raises(ValueError):
+            cge_selection(np.ones((3, 2)), f=3)
+
+
+class TestCGEAggregator:
+    def test_paper_formula_sum_of_survivors(self):
+        grads = np.array([[1.0, 0.0], [0.0, 1.0], [100.0, 100.0]])
+        agg = CGEAggregator(f=1)
+        assert np.allclose(agg.aggregate(grads), [1.0, 1.0])
+
+    def test_eliminates_large_byzantine_gradient(self, rng):
+        honest = rng.normal(size=(5, 4))
+        byzantine = 1e6 * np.ones((1, 4))
+        stacked = np.vstack([honest, byzantine])
+        agg = CGEAggregator(f=1)
+        assert np.allclose(agg.aggregate(stacked), honest.sum(axis=0))
+
+    def test_zero_gradient_survives(self):
+        # The zero attack is never eliminated by CGE: smallest possible norm.
+        grads = np.vstack([np.ones((4, 2)), np.zeros((1, 2))])
+        out = CGEAggregator(f=1).aggregate(grads)
+        # One honest gradient is dropped instead (all norms equal, so the
+        # last by index among the ones) -> sum = 3 ones + zero.
+        assert np.allclose(out, [3.0, 3.0])
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(ValueError):
+            CGEAggregator(f=-1)
+
+    def test_rejects_nonfinite(self):
+        grads = np.ones((3, 2))
+        grads[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            CGEAggregator(f=1).aggregate(grads)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            CGEAggregator(f=1).aggregate(np.ones(3))
+
+    @given(stacks())
+    @settings(max_examples=60, deadline=None)
+    def test_output_norm_bounded_by_survivor_sum(self, grads):
+        f = 2
+        agg = CGEAggregator(f=f)
+        out = agg.aggregate(grads)
+        norms = np.sort(np.linalg.norm(grads, axis=1))
+        # Triangle inequality over the survivors (the Theorem-4 boundedness).
+        assert np.linalg.norm(out) <= norms[: grads.shape[0] - f].sum() + 1e-6
+
+    @given(stacks())
+    @settings(max_examples=60, deadline=None)
+    def test_permutation_invariant_for_distinct_norms(self, grads):
+        # With tied norms CGE is only invariant up to tie-breaking (the
+        # paper: "ties broken arbitrarily"), so restrict to distinct norms.
+        from hypothesis import assume
+
+        norms = np.linalg.norm(grads, axis=1)
+        assume(np.unique(norms).size == norms.size)
+        agg = CGEAggregator(f=2)
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(grads.shape[0])
+        assert np.allclose(agg.aggregate(grads), agg.aggregate(grads[perm]))
+
+    @given(stacks())
+    @settings(max_examples=60, deadline=None)
+    def test_f_zero_equals_plain_sum(self, grads):
+        assert np.allclose(
+            CGEAggregator(f=0).aggregate(grads), grads.sum(axis=0)
+        )
+
+
+class TestAveragedCGE:
+    def test_mean_of_survivors(self):
+        grads = np.array([[2.0, 0.0], [0.0, 2.0], [50.0, 50.0]])
+        out = AveragedCGE(f=1).aggregate(grads)
+        assert np.allclose(out, [1.0, 1.0])
+
+    @given(stacks())
+    @settings(max_examples=40, deadline=None)
+    def test_scaled_version_of_cge(self, grads):
+        f = 1
+        n = grads.shape[0]
+        summed = CGEAggregator(f=f).aggregate(grads)
+        averaged = AveragedCGE(f=f).aggregate(grads)
+        assert np.allclose(summed, averaged * (n - f), atol=1e-8)

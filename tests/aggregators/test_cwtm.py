@@ -1,0 +1,110 @@
+"""Tests for CWTM (equation (24), Theorem 6) and coordinate-wise median."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.aggregators import CoordinateWiseMedian, CWTMAggregator, trimmed_mean
+
+finite = st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False)
+
+
+def stacks(n=7, d=3):
+    return arrays(np.float64, (n, d), elements=finite)
+
+
+class TestTrimmedMean:
+    def test_trims_extremes_per_coordinate(self):
+        values = np.array([[0.0], [1.0], [2.0], [3.0], [100.0]])
+        assert trimmed_mean(values, trim=1)[0] == pytest.approx(2.0)
+
+    def test_trim_zero_is_mean(self, rng):
+        values = rng.normal(size=(5, 3))
+        assert np.allclose(trimmed_mean(values, 0), values.mean(axis=0))
+
+    def test_coordinates_trimmed_independently(self):
+        values = np.array(
+            [
+                [100.0, 0.0],
+                [0.0, 100.0],
+                [1.0, 1.0],
+                [2.0, 2.0],
+                [3.0, 3.0],
+            ]
+        )
+        out = trimmed_mean(values, trim=1)
+        # Column 0 keeps {1, 2, 3}; column 1 keeps {1, 2, 3}.
+        assert np.allclose(out, [2.0, 2.0])
+
+    def test_over_trimming_rejected(self):
+        with pytest.raises(ValueError):
+            trimmed_mean(np.ones((4, 2)), trim=2)
+
+    def test_negative_trim_rejected(self):
+        with pytest.raises(ValueError):
+            trimmed_mean(np.ones((4, 2)), trim=-1)
+
+
+class TestCWTMAggregator:
+    def test_paper_formula(self):
+        # n=5, f=1 -> average the middle 3 order statistics per coordinate.
+        grads = np.array([[0.0], [10.0], [20.0], [30.0], [1000.0]])
+        out = CWTMAggregator(f=1).aggregate(grads)
+        assert out[0] == pytest.approx(20.0)
+
+    def test_bounded_by_honest_range_with_f_outliers(self, rng):
+        # With at most f arbitrary rows, each output coordinate lies within
+        # the honest min/max of that coordinate (the property behind (119)).
+        honest = rng.normal(size=(5, 3))
+        byzantine = 1e9 * np.ones((2, 3))
+        stacked = np.vstack([honest, byzantine])
+        out = CWTMAggregator(f=2).aggregate(stacked)
+        assert np.all(out >= honest.min(axis=0) - 1e-9)
+        assert np.all(out <= honest.max(axis=0) + 1e-9)
+
+    @given(stacks())
+    @settings(max_examples=60, deadline=None)
+    def test_permutation_invariant(self, grads):
+        agg = CWTMAggregator(f=2)
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(grads.shape[0])
+        assert np.allclose(agg.aggregate(grads), agg.aggregate(grads[perm]))
+
+    @given(stacks())
+    @settings(max_examples=60, deadline=None)
+    def test_within_coordinate_hull(self, grads):
+        out = CWTMAggregator(f=2).aggregate(grads)
+        assert np.all(out >= grads.min(axis=0) - 1e-9)
+        assert np.all(out <= grads.max(axis=0) + 1e-9)
+
+    @given(stacks())
+    @settings(max_examples=40, deadline=None)
+    def test_translation_equivariant(self, grads):
+        shift = np.array([1.0, -2.0, 3.0])
+        agg = CWTMAggregator(f=2)
+        assert np.allclose(
+            agg.aggregate(grads + shift),
+            agg.aggregate(grads) + shift,
+            atol=1e-8,
+        )
+
+    def test_identical_inputs_fixed_point(self):
+        grads = np.tile(np.array([2.0, -1.0]), (6, 1))
+        assert np.allclose(CWTMAggregator(f=2).aggregate(grads), [2.0, -1.0])
+
+
+class TestCoordinateWiseMedian:
+    def test_median_per_coordinate(self):
+        grads = np.array([[0.0, 5.0], [1.0, 6.0], [100.0, 7.0]])
+        assert np.allclose(
+            CoordinateWiseMedian().aggregate(grads), [1.0, 6.0]
+        )
+
+    @given(stacks())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_numpy_median(self, grads):
+        assert np.allclose(
+            CoordinateWiseMedian().aggregate(grads), np.median(grads, axis=0)
+        )

@@ -1,0 +1,155 @@
+"""Equivariance property tests across the filter zoo.
+
+Geometric filters (CGE, Krum, geometric median) commute with rotations —
+their decisions depend only on Euclidean geometry — while coordinate-wise
+filters (CWTM, median, MeaMed) do not, but commute with translations
+and with coordinate permutations.  Pinning these invariances catches
+subtle implementation bugs (axis mixups, unsorted coordinates) that
+value-based tests miss.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.aggregators import (
+    CGEAggregator,
+    CoordinateWiseMedian,
+    CWTMAggregator,
+    GeometricMedianAggregator,
+    KrumAggregator,
+    MeaMedAggregator,
+    MeanAggregator,
+)
+
+finite = st.floats(-20.0, 20.0, allow_nan=False, allow_infinity=False)
+
+
+def stacks(n=6, d=2):
+    return arrays(np.float64, (n, d), elements=finite)
+
+
+def rotation(theta: float) -> np.ndarray:
+    c, s = np.cos(theta), np.sin(theta)
+    return np.array([[c, -s], [s, c]])
+
+
+def distinct_norms(grads: np.ndarray) -> bool:
+    norms = np.sort(np.linalg.norm(grads, axis=1))
+    return bool(np.all(np.diff(norms) > 1e-6))
+
+
+class TestRotationEquivariance:
+    @given(stacks(), st.floats(0.1, 3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_cge_rotation_equivariant(self, grads, theta):
+        # CGE sorts by norm, which rotations preserve; require distinct
+        # norms so tie-breaking cannot differ between frames.
+        assume(distinct_norms(grads))
+        rot = rotation(theta)
+        agg = CGEAggregator(f=2)
+        assert np.allclose(
+            agg.aggregate(grads @ rot.T), agg.aggregate(grads) @ rot.T,
+            atol=1e-8,
+        )
+
+    @given(stacks(), st.floats(0.1, 3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_mean_rotation_equivariant(self, grads, theta):
+        rot = rotation(theta)
+        agg = MeanAggregator()
+        assert np.allclose(
+            agg.aggregate(grads @ rot.T), agg.aggregate(grads) @ rot.T,
+            atol=1e-8,
+        )
+
+    @given(stacks(n=7), st.floats(0.1, 3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_geometric_median_rotation_equivariant(self, grads, theta):
+        rot = rotation(theta)
+        agg = GeometricMedianAggregator(tolerance=1e-12)
+        left = agg.aggregate(grads @ rot.T)
+        right = agg.aggregate(grads) @ rot.T
+        assert np.allclose(left, right, atol=1e-5)
+
+    def test_cwtm_not_rotation_equivariant(self):
+        # A witness: rotating mixes coordinates, changing what is trimmed.
+        grads = np.array(
+            [[10.0, 0.0], [0.0, 10.0], [1.0, 1.0], [2.0, 2.0], [3.0, 3.0]]
+        )
+        rot = rotation(np.pi / 4)
+        agg = CWTMAggregator(f=1)
+        rotated_out = agg.aggregate(grads @ rot.T)
+        out_rotated = agg.aggregate(grads) @ rot.T
+        assert not np.allclose(rotated_out, out_rotated, atol=1e-6)
+
+
+class TestCoordinatePermutationEquivariance:
+    @given(stacks(n=6, d=3))
+    @settings(max_examples=40, deadline=None)
+    def test_cwtm_coordinate_permutation(self, grads):
+        perm = np.array([2, 0, 1])
+        agg = CWTMAggregator(f=2)
+        assert np.allclose(
+            agg.aggregate(grads[:, perm]), agg.aggregate(grads)[perm],
+            atol=1e-9,
+        )
+
+    @given(stacks(n=6, d=3))
+    @settings(max_examples=40, deadline=None)
+    def test_median_coordinate_permutation(self, grads):
+        perm = np.array([1, 2, 0])
+        agg = CoordinateWiseMedian()
+        assert np.allclose(
+            agg.aggregate(grads[:, perm]), agg.aggregate(grads)[perm],
+            atol=1e-12,
+        )
+
+    @given(stacks(n=7, d=3))
+    @settings(max_examples=40, deadline=None)
+    def test_meamed_coordinate_permutation(self, grads):
+        perm = np.array([2, 1, 0])
+        agg = MeaMedAggregator(f=2)
+        assert np.allclose(
+            agg.aggregate(grads[:, perm]), agg.aggregate(grads)[perm],
+            atol=1e-9,
+        )
+
+
+class TestScaleEquivariance:
+    @given(stacks(), st.floats(0.1, 10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_positive_scaling_cge(self, grads, scale):
+        assume(distinct_norms(grads))
+        agg = CGEAggregator(f=1)
+        assert np.allclose(
+            agg.aggregate(scale * grads), scale * agg.aggregate(grads),
+            atol=1e-6,
+        )
+
+    @given(stacks(n=6, d=3), st.floats(0.1, 10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_positive_scaling_cwtm(self, grads, scale):
+        agg = CWTMAggregator(f=2)
+        assert np.allclose(
+            agg.aggregate(scale * grads), scale * agg.aggregate(grads),
+            atol=1e-6,
+        )
+
+    @given(stacks(n=7, d=2), st.floats(0.5, 4.0))
+    @settings(max_examples=30, deadline=None)
+    def test_krum_scale_equivariant(self, grads, scale):
+        # Krum's pairwise-distance ranking is invariant to scaling, so the
+        # selected row scales with the input; require a unique winner.
+        from repro.aggregators import krum_scores
+
+        scores = krum_scores(grads, f=1)
+        order = np.sort(scores)
+        assume(order[1] - order[0] > 1e-6)
+        agg = KrumAggregator(f=1)
+        assert np.allclose(
+            agg.aggregate(scale * grads), scale * agg.aggregate(grads),
+            atol=1e-8,
+        )

@@ -1,0 +1,103 @@
+"""Tests for MeaMed and sign-majority aggregators (references [53], [3])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.aggregators import MeaMedAggregator, SignMajorityAggregator
+
+finite = st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False)
+
+
+class TestMeaMed:
+    def test_drops_entries_far_from_median(self):
+        values = np.array([[0.0], [1.0], [2.0], [100.0]])
+        # median = 1.5; keep the 3 nearest: 0, 1, 2 -> mean 1.
+        out = MeaMedAggregator(f=1).aggregate(values)
+        assert out[0] == pytest.approx(1.0)
+
+    def test_f_zero_is_mean(self, rng):
+        values = rng.normal(size=(5, 3))
+        assert np.allclose(
+            MeaMedAggregator(f=0).aggregate(values), values.mean(axis=0)
+        )
+
+    def test_robust_to_f_outliers(self, rng):
+        honest = rng.normal(size=(6, 3))
+        byzantine = 1e8 * np.ones((2, 3))
+        stacked = np.vstack([honest, byzantine])
+        out = MeaMedAggregator(f=2).aggregate(stacked)
+        assert np.all(out >= honest.min(axis=0) - 1e-9)
+        assert np.all(out <= honest.max(axis=0) + 1e-9)
+
+    @given(arrays(np.float64, (7, 3), elements=finite))
+    @settings(max_examples=50, deadline=None)
+    def test_within_coordinate_hull(self, grads):
+        out = MeaMedAggregator(f=2).aggregate(grads)
+        assert np.all(out >= grads.min(axis=0) - 1e-9)
+        assert np.all(out <= grads.max(axis=0) + 1e-9)
+
+    @given(arrays(np.float64, (6, 2), elements=finite))
+    @settings(max_examples=40, deadline=None)
+    def test_translation_equivariant(self, grads):
+        shift = np.array([3.0, -1.0])
+        agg = MeaMedAggregator(f=2)
+        assert np.allclose(
+            agg.aggregate(grads + shift), agg.aggregate(grads) + shift,
+            atol=1e-8,
+        )
+
+    def test_over_trim_rejected(self):
+        with pytest.raises(ValueError):
+            MeaMedAggregator(f=4).aggregate(np.ones((4, 2)))
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(ValueError):
+            MeaMedAggregator(f=-1)
+
+
+class TestSignMajority:
+    def test_majority_direction(self):
+        grads = np.array([[1.0, -2.0], [3.0, -4.0], [-0.5, 5.0]])
+        out = SignMajorityAggregator().aggregate(grads)
+        assert np.array_equal(out, [1.0, -1.0])
+
+    def test_tie_votes_zero(self):
+        grads = np.array([[1.0], [-1.0]])
+        assert SignMajorityAggregator().aggregate(grads)[0] == 0.0
+
+    def test_scale(self):
+        grads = np.array([[2.0], [3.0], [4.0]])
+        out = SignMajorityAggregator(scale=0.1).aggregate(grads)
+        assert out[0] == pytest.approx(0.1)
+
+    def test_magnitude_free(self, rng):
+        # A huge Byzantine magnitude changes nothing: only signs vote.
+        honest = np.abs(rng.normal(size=(5, 3))) + 0.1
+        byz_small = -0.001 * np.ones((1, 3))
+        byz_huge = -1e12 * np.ones((1, 3))
+        agg = SignMajorityAggregator()
+        assert np.array_equal(
+            agg.aggregate(np.vstack([honest, byz_small])),
+            agg.aggregate(np.vstack([honest, byz_huge])),
+        )
+
+    @given(arrays(np.float64, (5, 3), elements=finite))
+    @settings(max_examples=50, deadline=None)
+    def test_output_entries_bounded(self, grads):
+        out = SignMajorityAggregator(scale=2.0).aggregate(grads)
+        assert np.all(np.isin(out, [-2.0, 0.0, 2.0]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SignMajorityAggregator(scale=0.0)
+
+    def test_registry_entries(self, rng):
+        from repro.aggregators import make_aggregator
+
+        grads = rng.normal(size=(9, 4))
+        for name in ("meamed", "sign_majority"):
+            out = make_aggregator(name, n=9, f=2).aggregate(grads)
+            assert out.shape == (4,)

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.paper_regression import PaperProblem, paper_problem
+from repro.functions import SquaredDistanceCost
+
+
+@pytest.fixture(scope="session")
+def paper() -> PaperProblem:
+    """The Appendix-J problem instance (session-scoped: it is immutable)."""
+    return paper_problem()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Deterministic per-test random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def mean_costs():
+    """Five squared-distance costs clustered near (1, 2)."""
+    targets = np.array(
+        [
+            [1.0, 2.0],
+            [1.1, 1.9],
+            [0.9, 2.1],
+            [1.05, 2.05],
+            [0.95, 1.95],
+        ]
+    )
+    return [SquaredDistanceCost(t) for t in targets]

@@ -1,0 +1,146 @@
+"""Tests for the Theorem-4/5/6 resilience bounds."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    cge_bound,
+    cge_bound_v2,
+    cge_breakdown_fraction,
+    cwtm_bound,
+)
+
+
+class TestCGEBoundTheorem4:
+    def test_fault_free_gives_zero_radius(self):
+        bound = cge_bound(n=10, f=0, mu=2.0, gamma=1.0)
+        assert bound.applicable
+        assert bound.factor == 0.0
+        assert bound.radius(0.5) == 0.0
+
+    def test_formula(self):
+        # alpha = 1 - (f/n)(1 + 2 mu/gamma); D = 4 mu f / (alpha gamma)
+        n, f, mu, gamma = 10, 1, 2.0, 1.5
+        bound = cge_bound(n, f, mu, gamma)
+        alpha = 1 - (f / n) * (1 + 2 * mu / gamma)
+        assert alpha > 0
+        assert bound.alpha == pytest.approx(alpha)
+        assert bound.factor == pytest.approx(4 * mu * f / (alpha * gamma))
+
+    def test_not_applicable_on_paper_instance(self):
+        # A real finding of this reproduction: with the paper's own mu = 2,
+        # gamma = 0.712 (Section-5 convention), f/n = 1/6 exceeds
+        # 1/(1 + 2 mu/gamma) ~ 0.151, so Theorem 4's alpha is NEGATIVE on
+        # the paper's instance — Theorem 5 is the bound that applies there.
+        bound = cge_bound(6, 1, 2.0, 0.712)
+        assert not bound.applicable
+        assert bound.alpha < 0
+
+    def test_convention_invariance(self):
+        # D = 4 f (mu/gamma) / alpha depends on mu and gamma only through
+        # their ratio, so the Appendix-J (mu=1, gamma=0.356) and Section-5
+        # (mu=2, gamma=0.712) conventions give identical factors.
+        b1 = cge_bound(12, 1, 1.0, 0.356)
+        b2 = cge_bound(12, 1, 2.0, 0.712)
+        assert b1.applicable and b2.applicable
+        assert b1.factor == pytest.approx(b2.factor)
+
+    def test_breakdown_when_alpha_nonpositive(self):
+        # mu/gamma = 1 -> breakdown at f/n = 1/3.
+        bound = cge_bound(n=6, f=2, mu=1.0, gamma=1.0)
+        assert not bound.applicable
+        assert math.isnan(bound.factor)
+        with pytest.raises(ValueError):
+            bound.radius(1.0)
+
+    def test_monotone_in_f(self):
+        factors = [
+            cge_bound(12, f, 1.0, 0.5).factor for f in range(0, 3)
+        ]
+        assert factors[0] < factors[1] < factors[2]
+
+    def test_gamma_above_mu_rejected(self):
+        with pytest.raises(ValueError):
+            cge_bound(6, 1, mu=1.0, gamma=2.0)
+
+    def test_breakdown_fraction(self):
+        assert cge_breakdown_fraction(1.0, 1.0) == pytest.approx(1.0 / 3.0)
+        assert cge_breakdown_fraction(2.0, 1.0) == pytest.approx(1.0 / 5.0)
+
+    @pytest.mark.parametrize("n,f", [(0, 0), (5, 5), (5, -1)])
+    def test_bad_nf(self, n, f):
+        with pytest.raises(ValueError):
+            cge_bound(n, f, 1.0, 0.5)
+
+
+class TestCGEBoundTheorem5:
+    def test_formula(self):
+        n, f, mu, gamma = 6, 1, 1.0, 0.356
+        bound = cge_bound_v2(n, f, mu, gamma)
+        alpha = 1 - (f / n) * (1 + mu / gamma)
+        expected = (1 + 2 * f) * (n - 2 * f) * mu / (alpha * n * gamma)
+        assert bound.applicable
+        assert bound.factor == pytest.approx(expected)
+
+    def test_requires_f_at_most_n_over_3(self):
+        bound = cge_bound_v2(n=6, f=3, mu=1.0, gamma=1.0)
+        assert not bound.applicable
+
+    def test_f_zero(self):
+        bound = cge_bound_v2(n=9, f=0, mu=1.0, gamma=0.5)
+        assert bound.applicable
+        assert bound.factor == 0.0
+
+    def test_alpha_milder_than_theorem4(self):
+        # Theorem 5's alpha uses (1 + mu/gamma) < (1 + 2mu/gamma): it stays
+        # positive for larger f than Theorem 4's.
+        n, mu, gamma = 12, 2.0, 1.0
+        b4 = cge_bound(n, 3, mu, gamma)
+        b5 = cge_bound_v2(n, 3, mu, gamma)
+        assert not b4.applicable
+        assert b5.applicable
+
+
+class TestCWTMBoundTheorem6:
+    def test_formula(self):
+        n, d, mu, gamma, lam = 6, 2, 1.0, 0.712, 0.2
+        bound = cwtm_bound(n, d, mu, gamma, lam)
+        root_d = math.sqrt(d)
+        expected = 2 * root_d * n * mu * lam / (gamma - root_d * mu * lam)
+        assert bound.applicable
+        assert bound.factor == pytest.approx(expected)
+
+    def test_lambda_zero_gives_zero(self):
+        bound = cwtm_bound(6, 2, 1.0, 0.5, 0.0)
+        assert bound.applicable
+        assert bound.factor == 0.0
+
+    def test_threshold_lambda(self):
+        # lambda >= gamma / (mu sqrt(d)) -> not applicable.
+        gamma, mu, d = 0.5, 1.0, 4
+        threshold = gamma / (mu * math.sqrt(d))
+        assert not cwtm_bound(6, d, mu, gamma, threshold).applicable
+        assert cwtm_bound(6, d, mu, gamma, threshold * 0.99).applicable
+
+    def test_dimension_tightens_requirement(self):
+        # The same lambda can be fine in d=1 and fatal in d=100.
+        lam = 0.3
+        assert cwtm_bound(6, 1, 1.0, 0.5, lam).applicable
+        assert not cwtm_bound(6, 100, 1.0, 0.5, lam).applicable
+
+    def test_independent_of_f(self):
+        # D' has no f in it; only n, d, mu, gamma, lambda.
+        a = cwtm_bound(6, 2, 1.0, 0.5, 0.1)
+        assert a.factor == pytest.approx(
+            cwtm_bound(6, 2, 1.0, 0.5, 0.1).factor
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            cwtm_bound(6, 0, 1.0, 0.5, 0.1)
+        with pytest.raises(ValueError):
+            cwtm_bound(6, 2, 1.0, 0.5, -0.1)
+        with pytest.raises(ValueError):
+            cwtm_bound(0, 2, 1.0, 0.5, 0.1)

@@ -1,0 +1,74 @@
+"""Tests for redundancy-calibrated instance construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.construct import make_instance_with_epsilon
+from repro.core.redundancy import measure_redundancy
+
+
+class TestMeanFamily:
+    @pytest.mark.parametrize("epsilon", [0.05, 0.3, 1.7])
+    def test_achieves_requested_epsilon(self, epsilon):
+        inst = make_instance_with_epsilon(7, 2, epsilon, kind="mean")
+        assert inst.achieved_epsilon == pytest.approx(epsilon, abs=1e-6)
+        # Independent re-measurement agrees.
+        remeasured = measure_redundancy(inst.costs, inst.f).epsilon
+        assert remeasured == pytest.approx(epsilon, abs=1e-6)
+
+    def test_zero_epsilon(self):
+        inst = make_instance_with_epsilon(6, 1, 0.0, kind="mean")
+        assert inst.achieved_epsilon == pytest.approx(0.0, abs=1e-9)
+        assert inst.scale == 0.0
+
+    def test_f_zero(self):
+        inst = make_instance_with_epsilon(5, 0, 0.7, kind="mean")
+        assert inst.achieved_epsilon == 0.0
+
+    def test_higher_dim(self):
+        inst = make_instance_with_epsilon(6, 1, 0.4, kind="mean", dim=5)
+        assert inst.costs[0].dim == 5
+        assert inst.achieved_epsilon == pytest.approx(0.4, abs=1e-6)
+
+    def test_deterministic_given_seed(self):
+        a = make_instance_with_epsilon(6, 1, 0.2, seed=5)
+        b = make_instance_with_epsilon(6, 1, 0.2, seed=5)
+        for ca, cb in zip(a.costs, b.costs):
+            assert np.array_equal(ca.target, cb.target)
+
+    @given(st.floats(min_value=0.01, max_value=5.0))
+    @settings(max_examples=15, deadline=None)
+    def test_linearity_property(self, epsilon):
+        # The whole point of the construction: eps is achieved exactly for
+        # any requested value, by positive homogeneity.
+        inst = make_instance_with_epsilon(5, 1, epsilon, kind="mean", seed=2)
+        assert inst.achieved_epsilon == pytest.approx(epsilon, rel=1e-6)
+
+
+class TestRegressionFamily:
+    @pytest.mark.parametrize("epsilon", [0.02, 0.15])
+    def test_achieves_requested_epsilon(self, epsilon):
+        inst = make_instance_with_epsilon(
+            8, 2, epsilon, kind="regression", dim=2
+        )
+        assert inst.achieved_epsilon == pytest.approx(epsilon, abs=1e-6)
+
+    def test_regression_requires_dim_two(self):
+        with pytest.raises(ValueError):
+            make_instance_with_epsilon(8, 2, 0.1, kind="regression", dim=3)
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_instance_with_epsilon(6, 1, 0.1, kind="nope")
+
+    def test_negative_epsilon(self):
+        with pytest.raises(ValueError):
+            make_instance_with_epsilon(6, 1, -0.1)
+
+    def test_too_many_faults(self):
+        with pytest.raises(ValueError):
+            make_instance_with_epsilon(4, 2, 0.1)

@@ -1,0 +1,170 @@
+"""Tests for the Theorem-3 diagnostics and the certification workflow."""
+
+import numpy as np
+import pytest
+
+from repro.aggregators import CGEAggregator, MeanAggregator
+from repro.attacks import GradientReverseAttack
+from repro.core import (
+    certify_system,
+    check_condition,
+    fit_condition,
+    phi_series,
+)
+from repro.distsys import run_dgd
+from repro.functions import SquaredDistanceCost
+from repro.optim import BoxSet, paper_schedule
+
+
+def run_trace(costs, faulty, aggregator, attack, iterations=200, seed=0):
+    return run_dgd(
+        costs=costs,
+        faulty_ids=faulty,
+        aggregator=aggregator,
+        attack=attack,
+        constraint=BoxSet.symmetric(50.0, dim=2),
+        schedule=paper_schedule(),
+        initial_estimate=np.array([5.0, -5.0]),
+        iterations=iterations,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_trace(mean_costs_module):
+    return run_trace(mean_costs_module, [], MeanAggregator(), None)
+
+
+@pytest.fixture(scope="module")
+def mean_costs_module():
+    targets = np.array(
+        [[1.0, 2.0], [1.1, 1.9], [0.9, 2.1], [1.05, 2.05], [0.95, 1.95]]
+    )
+    return [SquaredDistanceCost(t) for t in targets]
+
+
+class TestPhiSeries:
+    def test_length_matches_trace(self, clean_trace, mean_costs_module):
+        x_star = np.mean([c.target for c in mean_costs_module], axis=0)
+        phis = phi_series(clean_trace, x_star)
+        assert phis.shape == (len(clean_trace),)
+
+    def test_positive_far_from_optimum_fault_free(
+        self, clean_trace, mean_costs_module
+    ):
+        # Fault-free mean aggregation of strongly convex costs: phi_t > 0
+        # whenever the iterate is away from the minimizer.
+        x_star = np.mean([c.target for c in mean_costs_module], axis=0)
+        phis = phi_series(clean_trace, x_star)
+        dists = clean_trace.distances_to(x_star)[:-1]
+        outside = dists > 1e-6
+        assert np.all(phis[outside] > 0)
+
+
+class TestFitCondition:
+    def test_fault_free_small_d_star(self, clean_trace, mean_costs_module):
+        x_star = np.mean([c.target for c in mean_costs_module], axis=0)
+        diag = fit_condition(clean_trace, x_star)
+        assert diag.condition_held
+        assert diag.xi > 0
+        # Theorem 3's conclusion: the final distance respects D*... the fit
+        # uses observed radii, so D* bounds the converged distance scale.
+        assert diag.final_distance <= max(diag.d_star, 1e-6) + 1e-6
+
+    def test_cge_under_attack_condition_holds(self, mean_costs_module):
+        trace = run_trace(
+            mean_costs_module,
+            [4],
+            CGEAggregator(f=1),
+            GradientReverseAttack(),
+        )
+        x_star = np.mean([c.target for c in mean_costs_module[:4]], axis=0)
+        diag = fit_condition(trace, x_star)
+        assert diag.condition_held
+        assert diag.n_outside > 0
+
+    def test_check_condition_consistency(self, clean_trace, mean_costs_module):
+        x_star = np.mean([c.target for c in mean_costs_module], axis=0)
+        diag = fit_condition(clean_trace, x_star)
+        assert check_condition(clean_trace, x_star, diag.d_star, diag.xi)
+        # A demand 10x stricter than the fitted xi must fail somewhere.
+        assert not check_condition(
+            clean_trace, x_star, diag.d_star, diag.xi * 10
+        ) or diag.n_outside == 0
+
+    def test_check_condition_validation(self, clean_trace):
+        with pytest.raises(ValueError):
+            check_condition(clean_trace, [0.0, 0.0], -1.0, 1.0)
+        with pytest.raises(ValueError):
+            check_condition(clean_trace, [0.0, 0.0], 1.0, 0.0)
+
+    def test_adversarial_trace_fails_condition(self, mean_costs_module):
+        # Plain mean under a strong reversed gradient: the aggregate often
+        # points AWAY from the honest minimizer, breaking condition (22).
+        trace = run_trace(
+            mean_costs_module,
+            [4],
+            MeanAggregator(),
+            GradientReverseAttack(scale=25.0),
+        )
+        x_star = np.mean([c.target for c in mean_costs_module[:4]], axis=0)
+        diag = fit_condition(trace, x_star)
+        assert not diag.condition_held or diag.d_star > 1.0
+
+
+class TestCertifySystem:
+    @pytest.fixture(scope="class")
+    def tight_costs(self):
+        rng = np.random.default_rng(3)
+        targets = np.array([2.0, -1.0]) + 0.05 * rng.normal(size=(6, 2))
+        return [SquaredDistanceCost(t) for t in targets]
+
+    def test_theory_only_certification(self, tight_costs):
+        report = certify_system(tight_costs, f=1)
+        assert report.feasible
+        assert report.epsilon_is_exact
+        assert 0 < report.epsilon < 0.2
+        assert report.mu == pytest.approx(2.0)
+        assert report.gamma == pytest.approx(2.0)
+        # mu == gamma here, so Theorem 4 applies for f/n = 1/6 < 1/3.
+        assert report.bound_cge_thm4.applicable
+        assert report.bound_cge_thm5.applicable
+        assert np.isfinite(report.best_cge_envelope)
+
+    def test_stress_runs_recorded_and_within_envelope(self, tight_costs):
+        report = certify_system(
+            tight_costs,
+            f=1,
+            stress_attacks=("gradient_reverse", "zero"),
+            aggregators=("cge",),
+            iterations=300,
+        )
+        assert len(report.outcomes) == 2
+        for outcome in report.outcomes:
+            assert outcome.within_envelope
+
+    def test_render_mentions_everything(self, tight_costs):
+        report = certify_system(
+            tight_costs, f=1, stress_attacks=("gradient_reverse",),
+            aggregators=("cge",), iterations=100,
+        )
+        text = report.render()
+        assert "Lemma-1 feasibility" in text
+        assert "Theorem 4" in text
+        assert "Theorem 5" in text
+        assert "Theorem 6" in text
+        assert "gradient_reverse" in text
+
+    def test_sampled_epsilon_for_large_systems(self):
+        rng = np.random.default_rng(5)
+        targets = np.array([0.0, 0.0]) + 0.1 * rng.normal(size=(14, 2))
+        costs = [SquaredDistanceCost(t) for t in targets]
+        report = certify_system(costs, f=3, exhaustive_limit=8)
+        assert not report.epsilon_is_exact
+        assert report.epsilon > 0
+
+    def test_infeasible_f_flagged(self):
+        costs = [SquaredDistanceCost([0.0, 0.0]) for _ in range(4)]
+        report = certify_system(costs, f=2)
+        assert not report.feasible
+        assert "FAIL" in report.render()

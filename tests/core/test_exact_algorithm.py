@@ -1,0 +1,88 @@
+"""Tests for the Theorem-2 constructive algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact_algorithm import exact_resilient_argmin
+from repro.core.redundancy import honest_subset_epsilon
+from repro.core.resilience import evaluate_resilience
+from repro.functions import SquaredDistanceCost
+
+
+def quad(*target):
+    return SquaredDistanceCost(np.asarray(target, dtype=float))
+
+
+class TestBasics:
+    def test_f_zero_returns_global_argmin(self):
+        costs = [quad(0.0), quad(2.0)]
+        result = exact_resilient_argmin(costs, f=0)
+        assert np.allclose(result.output, [1.0])
+        assert result.radius == 0.0
+
+    def test_f_too_large_rejected(self):
+        costs = [quad(0.0), quad(1.0)]
+        with pytest.raises(ValueError):
+            exact_resilient_argmin(costs, f=1)  # f >= n/2
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(ValueError):
+            exact_resilient_argmin([quad(0.0)], f=-1)
+
+    def test_audit_trail_counts(self):
+        costs = [quad(float(i)) for i in range(5)]
+        result = exact_resilient_argmin(costs, f=1)
+        # C(5, 4) = 5 candidate sets.
+        assert len(result.radii) == 5
+        assert len(result.candidates) == 5
+        assert result.selected_set in result.radii
+
+
+class TestResilienceGuarantee:
+    """Theorem 2: under (2f, eps)-redundancy the output is (f, 2eps)-resilient."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_2eps_guarantee_with_byzantine_functions(self, seed):
+        rng = np.random.default_rng(seed)
+        n, f = 7, 2
+        center = np.array([1.0, -1.0])
+        honest_targets = center + 0.3 * rng.normal(size=(n - f, 2))
+        honest = [SquaredDistanceCost(t) for t in honest_targets]
+        eps = honest_subset_epsilon(honest, f=f)
+
+        # Byzantine agents submit arbitrary (but well-formed) cost functions.
+        byzantine = [
+            SquaredDistanceCost(center + np.array([20.0, 20.0]) * (k + 1))
+            for k in range(f)
+        ]
+        result = exact_resilient_argmin(honest + byzantine, f=f)
+        audit = evaluate_resilience(result.output, honest, n=n, f=f)
+        assert audit.worst_distance <= 2 * eps + 1e-9
+
+    def test_identical_costs_recover_exactly(self):
+        # With 2f-redundancy (eps = 0) the algorithm achieves exact
+        # fault-tolerance: output is the honest minimizer.
+        honest = [quad(3.0, 4.0) for _ in range(5)]
+        byzantine = [quad(100.0, -100.0)]
+        result = exact_resilient_argmin(honest + byzantine, f=1)
+        assert np.allclose(result.output, [3.0, 4.0], atol=1e-8)
+
+    def test_byzantine_majority_subset_not_selected(self):
+        # 4 honest near 0, 1 Byzantine far away: the selected (n-f)-set
+        # must have a small radius, which only honest-heavy sets achieve.
+        honest = [quad(0.0), quad(0.1), quad(-0.1), quad(0.05)]
+        byzantine = [quad(50.0)]
+        result = exact_resilient_argmin(honest + byzantine, f=1)
+        assert abs(float(result.output[0])) < 1.0
+
+    def test_radius_bounded_by_epsilon_for_honest_selection(self):
+        # Equation (16): r_S <= r_G <= eps for the honest set G.
+        rng = np.random.default_rng(9)
+        honest = [
+            SquaredDistanceCost(np.array([0.0, 0.0]) + 0.2 * rng.normal(size=2))
+            for _ in range(5)
+        ]
+        byzantine = [quad(30.0, 30.0)]
+        eps = honest_subset_epsilon(honest, f=1)
+        result = exact_resilient_argmin(honest + byzantine, f=1)
+        assert result.radius <= eps + 1e-9

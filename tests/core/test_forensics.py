@@ -1,0 +1,87 @@
+"""Tests for filter forensics (post-hoc elimination attribution)."""
+
+import numpy as np
+import pytest
+
+from repro.aggregators import CGEAggregator, CWTMAggregator
+from repro.attacks import LargeNormAttack, ZeroGradientAttack
+from repro.core import cge_forensics, cwtm_forensics
+from repro.distsys import ExecutionTrace, run_dgd
+from repro.functions import SquaredDistanceCost
+from repro.optim import BoxSet, paper_schedule
+
+
+def run_trace(aggregator, attack, n=6, f=1, iterations=50, seed=0):
+    # Distinct targets: honest gradients never vanish at the aggregate
+    # minimizer, so norm ties (and tie-break artifacts) cannot occur.
+    costs = [
+        SquaredDistanceCost([1.0 + 0.5 * i, -1.0 - 0.3 * i]) for i in range(n)
+    ]
+    return run_dgd(
+        costs=costs,
+        faulty_ids=list(range(n - f, n)),
+        aggregator=aggregator,
+        attack=attack,
+        constraint=BoxSet.symmetric(10.0, dim=2),
+        schedule=paper_schedule(),
+        initial_estimate=np.array([3.0, 3.0]),
+        iterations=iterations,
+        seed=seed,
+    )
+
+
+class TestCGEForensics:
+    def test_large_norm_attack_always_filtered(self):
+        trace = run_trace(CGEAggregator(f=1), LargeNormAttack(factor=1e5))
+        report = cge_forensics(trace, f=1, faulty_ids=[5])
+        assert report.byzantine_filtered_fraction == pytest.approx(1.0)
+        assert report.honest_collateral_fraction == pytest.approx(0.0)
+        assert report.elimination_fraction[5] == pytest.approx(1.0)
+
+    def test_zero_attack_never_filtered(self):
+        # The known CGE blind spot: zero gradients have minimal norm.
+        trace = run_trace(CGEAggregator(f=1), ZeroGradientAttack())
+        report = cge_forensics(trace, f=1, faulty_ids=[5])
+        assert report.byzantine_filtered_fraction == pytest.approx(0.0)
+        # Some honest agent pays the price every round.
+        assert report.honest_collateral_fraction > 0.0
+
+    def test_eliminated_count_per_round_is_f(self):
+        trace = run_trace(CGEAggregator(f=1), LargeNormAttack())
+        report = cge_forensics(trace, f=1, faulty_ids=[5])
+        assert all(len(e) == 1 for e in report.eliminated_per_round)
+        assert report.rounds == len(trace)
+
+    def test_fraction_sums_to_f(self):
+        trace = run_trace(CGEAggregator(f=1), ZeroGradientAttack())
+        report = cge_forensics(trace, f=1, faulty_ids=[5])
+        total = sum(report.elimination_fraction.values())
+        assert total == pytest.approx(1.0)  # f eliminations per round
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            cge_forensics(ExecutionTrace(), f=1)
+
+
+class TestCWTMForensics:
+    def test_large_norm_attack_always_trimmed(self):
+        trace = run_trace(CWTMAggregator(f=1), LargeNormAttack(factor=1e5))
+        report = cwtm_forensics(trace, f=1, faulty_ids=[5])
+        # The huge gradient is an extreme in (almost) every coordinate.
+        assert report.byzantine_trimmed_fraction > 0.95
+
+    def test_trim_fractions_account_for_2f_per_coordinate(self):
+        trace = run_trace(CWTMAggregator(f=1), LargeNormAttack())
+        report = cwtm_forensics(trace, f=1, faulty_ids=[5])
+        total = sum(report.trim_fraction.values())
+        assert total == pytest.approx(2 * report.f)
+
+    def test_requires_positive_f(self):
+        trace = run_trace(CWTMAggregator(f=1), LargeNormAttack())
+        with pytest.raises(ValueError):
+            cwtm_forensics(trace, f=0)
+
+    def test_dimension_recorded(self):
+        trace = run_trace(CWTMAggregator(f=1), LargeNormAttack())
+        report = cwtm_forensics(trace, f=1, faulty_ids=[5])
+        assert report.dimension == 2

@@ -1,0 +1,67 @@
+"""Tests for the resilience-frontier capacity-planning sweep."""
+
+import numpy as np
+import pytest
+
+from repro.core import render_frontier, resilience_frontier
+from repro.functions import SquaredDistanceCost
+
+
+@pytest.fixture(scope="module")
+def tight_costs():
+    rng = np.random.default_rng(8)
+    targets = np.array([1.0, 1.0]) + 0.05 * rng.normal(size=(9, 2))
+    return [SquaredDistanceCost(t) for t in targets]
+
+
+class TestFrontier:
+    @pytest.fixture(scope="class")
+    def rows(self, tight_costs):
+        return resilience_frontier(tight_costs, max_f=4)
+
+    def test_one_row_per_budget(self, rows):
+        assert [r.f for r in rows] == [0, 1, 2, 3, 4]
+
+    def test_lemma1_threshold(self, rows):
+        # n = 9: feasible for f <= 4 (f < 4.5).
+        assert all(r.feasible for r in rows)
+
+    def test_p2p_threshold(self, rows):
+        # f < n/3 = 3: p2p possible for f in {0, 1, 2}, not for 3, 4.
+        assert [r.p2p_possible for r in rows] == [True, True, True, False, False]
+
+    def test_f_zero_perfect(self, rows):
+        assert rows[0].epsilon == 0.0
+        assert rows[0].cge_radius == 0.0
+        assert rows[0].cwtm_radius == 0.0
+
+    def test_epsilon_monotone(self, rows):
+        eps = [r.epsilon for r in rows]
+        assert eps == sorted(eps)
+
+    def test_cge_radius_grows_with_f(self, rows):
+        finite = [r.cge_radius for r in rows if np.isfinite(r.cge_radius)]
+        assert len(finite) >= 3
+        assert finite == sorted(finite)
+
+    def test_cge_theorem_attribution(self, rows):
+        for row in rows:
+            if np.isfinite(row.cge_radius) and row.f > 0:
+                assert row.cge_theorem in ("Theorem 4", "Theorem 5")
+
+    def test_infeasible_region_marked(self):
+        costs = [SquaredDistanceCost([0.0, 0.0]) for _ in range(4)]
+        rows = resilience_frontier(costs, max_f=2)
+        assert rows[2].feasible is False
+        assert not np.isfinite(rows[2].cge_radius)
+
+    def test_render(self, rows):
+        text = render_frontier(rows, n=9)
+        assert "Resilience frontier" in text
+        assert "Lemma 1" in text
+
+    def test_validation(self, tight_costs):
+        with pytest.raises(ValueError):
+            resilience_frontier(tight_costs[:1])
+        with pytest.raises(ValueError):
+            resilience_frontier(tight_costs, max_f=-1)

@@ -1,0 +1,238 @@
+"""Tests for repro.core.geometry — equations (3) and (4) of the paper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.geometry import (
+    AffineSubspace,
+    BallSet,
+    FiniteSet,
+    SingletonSet,
+    as_point,
+    diameter,
+    distance_to_set,
+    hausdorff_distance,
+    pairwise_distances,
+)
+
+finite_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+def vec(dim: int):
+    return arrays(np.float64, (dim,), elements=finite_floats)
+
+
+class TestAsPoint:
+    def test_list_coerced(self):
+        out = as_point([1.0, 2.0])
+        assert out.shape == (2,)
+        assert out.dtype == np.float64
+
+    def test_scalar_becomes_1d(self):
+        assert as_point(3.0).shape == (1,)
+
+    def test_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            as_point(np.zeros((2, 2)))
+
+
+class TestSingletonSet:
+    def test_distance_is_euclidean(self):
+        s = SingletonSet([1.0, 1.0])
+        assert s.distance_to([4.0, 5.0]) == pytest.approx(5.0)
+
+    def test_project_returns_the_point(self):
+        s = SingletonSet([1.0, -2.0])
+        assert np.array_equal(s.project([0.0, 0.0]), [1.0, -2.0])
+
+    def test_contains(self):
+        s = SingletonSet([1.0, 1.0])
+        assert s.contains([1.0, 1.0])
+        assert not s.contains([1.0, 1.1])
+
+    def test_support_points_shape(self):
+        assert SingletonSet([0.0, 0.0, 0.0]).support_points().shape == (1, 3)
+
+
+class TestFiniteSet:
+    def test_distance_min_over_points(self):
+        s = FiniteSet([[0.0, 0.0], [10.0, 0.0]])
+        assert s.distance_to([7.0, 0.0]) == pytest.approx(3.0)
+
+    def test_project_picks_nearest(self):
+        s = FiniteSet([[0.0, 0.0], [10.0, 0.0]])
+        assert np.array_equal(s.project([7.0, 0.0]), [10.0, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FiniteSet(np.empty((0, 2)))
+
+    def test_single_point_matches_singleton(self):
+        f = FiniteSet([[1.0, 2.0]])
+        s = SingletonSet([1.0, 2.0])
+        probe = np.array([3.0, -1.0])
+        assert f.distance_to(probe) == pytest.approx(s.distance_to(probe))
+
+
+class TestAffineSubspace:
+    def test_line_projection(self):
+        # x-axis through the origin in R^2
+        line = AffineSubspace([0.0, 0.0], [[1.0], [0.0]])
+        assert line.distance_to([3.0, 4.0]) == pytest.approx(4.0)
+        assert np.allclose(line.project([3.0, 4.0]), [3.0, 0.0])
+
+    def test_zero_dim_subspace_is_point(self):
+        point = AffineSubspace([1.0, 1.0], np.zeros((2, 0)))
+        assert point.subspace_dim == 0
+        assert point.distance_to([1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_basis_orthonormalized(self):
+        # Non-orthonormal input basis spanning the same line.
+        line = AffineSubspace([0.0, 0.0], [[2.0], [0.0]])
+        assert line.subspace_dim == 1
+        assert np.allclose(np.linalg.norm(line.basis, axis=0), 1.0)
+
+    def test_contains_points_on_subspace(self):
+        line = AffineSubspace([1.0, 1.0], [[1.0], [1.0]])
+        assert line.contains([2.0, 2.0])
+        assert not line.contains([2.0, 1.0])
+
+    def test_parallel_detection(self):
+        a = AffineSubspace([0.0, 0.0], [[1.0], [0.0]])
+        b = AffineSubspace([0.0, 5.0], [[1.0], [0.0]])
+        c = AffineSubspace([0.0, 0.0], [[0.0], [1.0]])
+        assert a.is_parallel_to(b)
+        assert not a.is_parallel_to(c)
+
+
+class TestBallSet:
+    def test_distance_outside(self):
+        ball = BallSet([0.0, 0.0], 1.0)
+        assert ball.distance_to([3.0, 4.0]) == pytest.approx(4.0)
+
+    def test_distance_inside_is_zero(self):
+        ball = BallSet([0.0, 0.0], 2.0)
+        assert ball.distance_to([1.0, 0.0]) == 0.0
+
+    def test_project_inside_identity(self):
+        ball = BallSet([0.0, 0.0], 2.0)
+        assert np.allclose(ball.project([1.0, 0.5]), [1.0, 0.5])
+
+    def test_project_outside_lands_on_boundary(self):
+        ball = BallSet([0.0, 0.0], 1.0)
+        proj = ball.project([3.0, 4.0])
+        assert np.linalg.norm(proj) == pytest.approx(1.0)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            BallSet([0.0], -1.0)
+
+
+class TestHausdorff:
+    def test_identical_sets_zero(self):
+        a = FiniteSet([[0.0, 0.0], [1.0, 1.0]])
+        assert hausdorff_distance(a, a) == 0.0
+
+    def test_singletons_is_euclidean(self):
+        a = SingletonSet([0.0, 0.0])
+        b = SingletonSet([3.0, 4.0])
+        assert hausdorff_distance(a, b) == pytest.approx(5.0)
+
+    def test_symmetry(self):
+        a = FiniteSet([[0.0, 0.0], [2.0, 0.0]])
+        b = FiniteSet([[1.0, 1.0]])
+        assert hausdorff_distance(a, b) == pytest.approx(hausdorff_distance(b, a))
+
+    def test_subset_asymmetric_directed_parts(self):
+        # {0} vs {0, 10}: directed distances differ, Hausdorff is the max.
+        a = FiniteSet([[0.0]])
+        b = FiniteSet([[0.0], [10.0]])
+        assert hausdorff_distance(a, b) == pytest.approx(10.0)
+
+    def test_balls(self):
+        a = BallSet([0.0, 0.0], 1.0)
+        b = BallSet([5.0, 0.0], 2.0)
+        # sup over a of dist to b = 1 + (5 - 2) = 4; over b = 2 + (5-1) = 6.
+        assert hausdorff_distance(a, b) == pytest.approx(6.0)
+
+    def test_parallel_affine_subspaces(self):
+        a = AffineSubspace([0.0, 0.0], [[1.0], [0.0]])
+        b = AffineSubspace([0.0, 3.0], [[1.0], [0.0]])
+        assert hausdorff_distance(a, b) == pytest.approx(3.0)
+
+    def test_nonparallel_affine_subspaces_infinite(self):
+        a = AffineSubspace([0.0, 0.0], [[1.0], [0.0]])
+        b = AffineSubspace([0.0, 0.0], [[0.0], [1.0]])
+        assert hausdorff_distance(a, b) == float("inf")
+
+    def test_affine_vs_bounded_infinite(self):
+        line = AffineSubspace([0.0, 0.0], [[1.0], [0.0]])
+        point = SingletonSet([0.0, 0.0])
+        assert hausdorff_distance(line, point) == float("inf")
+
+    def test_raw_arrays_accepted(self):
+        assert hausdorff_distance([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    @given(vec(3), vec(3))
+    @settings(max_examples=50, deadline=None)
+    def test_hausdorff_singletons_equals_norm(self, x, y):
+        got = hausdorff_distance(SingletonSet(x), SingletonSet(y))
+        assert got == pytest.approx(float(np.linalg.norm(x - y)), abs=1e-9)
+
+    @given(
+        arrays(np.float64, (4, 2), elements=finite_floats),
+        arrays(np.float64, (3, 2), elements=finite_floats),
+        arrays(np.float64, (2, 2), elements=finite_floats),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_inequality_finite_sets(self, a, b, c):
+        sa, sb, sc = FiniteSet(a), FiniteSet(b), FiniteSet(c)
+        dab = hausdorff_distance(sa, sb)
+        dbc = hausdorff_distance(sb, sc)
+        dac = hausdorff_distance(sa, sc)
+        assert dac <= dab + dbc + 1e-7
+
+
+class TestDistanceToSet:
+    def test_point_target(self):
+        assert distance_to_set([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_array_target(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0]])
+        assert distance_to_set([6.0, 0.0], pts) == pytest.approx(4.0)
+
+    def test_pointset_target(self):
+        assert distance_to_set([0.0], BallSet([5.0], 1.0)) == pytest.approx(4.0)
+
+    @given(vec(2), vec(2))
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry_for_singletons(self, x, y):
+        assert distance_to_set(x, y) == pytest.approx(
+            distance_to_set(y, x), abs=1e-9
+        )
+
+
+class TestPairwiseAndDiameter:
+    def test_pairwise_shape_and_zero_diagonal(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 2.0]])
+        dists = pairwise_distances(pts)
+        assert dists.shape == (3, 3)
+        assert np.allclose(np.diag(dists), 0.0)
+        assert dists[0, 1] == pytest.approx(1.0)
+        assert dists[0, 2] == pytest.approx(2.0)
+
+    def test_diameter(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0], [1.0, 1.0]])
+        assert diameter(pts) == pytest.approx(5.0)
+
+    @given(arrays(np.float64, (5, 3), elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_diameter_bounds_every_pair(self, pts):
+        d = diameter(pts)
+        dists = pairwise_distances(pts)
+        assert (dists <= d + 1e-9).all()

@@ -1,0 +1,72 @@
+"""Property-based tests for the redundancy measurement itself.
+
+The Definition-3 parameter inherits the geometry of the argmin sets:
+translation-invariant, rotation-invariant, and positively homogeneous in
+the spread of the cost family — properties the calibration machinery of
+``repro.core.construct`` depends on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.redundancy import measure_redundancy
+from repro.functions import SquaredDistanceCost
+
+coords = st.floats(-5.0, 5.0, allow_nan=False, allow_infinity=False)
+
+
+def costs_from(targets):
+    return [SquaredDistanceCost(t) for t in np.atleast_2d(targets)]
+
+
+class TestRedundancyInvariances:
+    @given(arrays(np.float64, (5, 2), elements=coords))
+    @settings(max_examples=25, deadline=None)
+    def test_translation_invariant(self, targets):
+        shift = np.array([7.0, -3.0])
+        base = measure_redundancy(costs_from(targets), f=1).epsilon
+        moved = measure_redundancy(costs_from(targets + shift), f=1).epsilon
+        assert moved == pytest.approx(base, abs=1e-9)
+
+    @given(arrays(np.float64, (5, 2), elements=coords), st.floats(0.1, 3.0))
+    @settings(max_examples=25, deadline=None)
+    def test_rotation_invariant(self, targets, theta):
+        c, s = np.cos(theta), np.sin(theta)
+        rot = np.array([[c, -s], [s, c]])
+        base = measure_redundancy(costs_from(targets), f=1).epsilon
+        rotated = measure_redundancy(costs_from(targets @ rot.T), f=1).epsilon
+        assert rotated == pytest.approx(base, abs=1e-8)
+
+    @given(arrays(np.float64, (5, 2), elements=coords), st.floats(0.1, 5.0))
+    @settings(max_examples=25, deadline=None)
+    def test_positively_homogeneous(self, targets, scale):
+        # eps(c * (targets - mean) + mean) = c * eps(targets): scaling the
+        # spread around any fixed point scales every subset-argmin gap.
+        center = targets.mean(axis=0)
+        scaled = center + scale * (targets - center)
+        base = measure_redundancy(costs_from(targets), f=1).epsilon
+        measured = measure_redundancy(costs_from(scaled), f=1).epsilon
+        assert measured == pytest.approx(scale * base, rel=1e-6, abs=1e-9)
+
+    @given(arrays(np.float64, (6, 2), elements=coords))
+    @settings(max_examples=20, deadline=None)
+    def test_monotone_in_f(self, targets):
+        # Removing more agents can only widen the worst argmin gap.
+        costs = costs_from(targets)
+        eps1 = measure_redundancy(costs, f=1, inner_sizes="exact").epsilon
+        eps2 = measure_redundancy(costs, f=2, inner_sizes="exact").epsilon
+        assert eps2 >= eps1 - 1e-9
+
+    @given(arrays(np.float64, (5, 2), elements=coords))
+    @settings(max_examples=25, deadline=None)
+    def test_duplicating_every_cost_preserves_epsilon_scale(self, targets):
+        # eps is about argmin geometry, not cost magnitudes: doubling every
+        # cost (weight 2) leaves every argmin — hence eps — unchanged.
+        base = measure_redundancy(costs_from(targets), f=1).epsilon
+        doubled = [SquaredDistanceCost(t, weight=2.0) for t in targets]
+        assert measure_redundancy(doubled, f=1).epsilon == pytest.approx(
+            base, abs=1e-9
+        )

@@ -1,0 +1,88 @@
+"""Tests for (f, eps)-resilience evaluation (Definition 2, Lemma 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.resilience import (
+    evaluate_resilience,
+    is_resilient_output,
+    resilience_is_feasible,
+)
+from repro.functions import SquaredDistanceCost
+
+
+def costs_at(*targets):
+    return [SquaredDistanceCost(np.atleast_1d(np.asarray(t, float))) for t in targets]
+
+
+class TestFeasibility:
+    """Lemma 1: no deterministic (f, eps)-resilient algorithm when f >= n/2."""
+
+    @pytest.mark.parametrize(
+        "n,f,expected",
+        [
+            (2, 1, False),
+            (3, 1, True),
+            (4, 2, False),
+            (5, 2, True),
+            (6, 2, True),
+            (6, 3, False),
+            (10, 4, True),
+            (10, 5, False),
+        ],
+    )
+    def test_threshold(self, n, f, expected):
+        assert resilience_is_feasible(n, f) is expected
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            resilience_is_feasible(0, 0)
+        with pytest.raises(ValueError):
+            resilience_is_feasible(3, -1)
+
+
+class TestEvaluateResilience:
+    def test_exact_minimizer_has_zero_distance(self):
+        honest = costs_at([0.0], [2.0])
+        # n=3, f=1: subsets of size 2 -> only {0,1}; argmin is 1.0.
+        ev = evaluate_resilience([1.0], honest, n=3, f=1)
+        assert ev.worst_distance == pytest.approx(0.0, abs=1e-9)
+        assert ev.subsets_checked == 1
+
+    def test_multiple_subsets_worst_case(self):
+        honest = costs_at([0.0], [2.0], [4.0])
+        # n=4, f=1: subsets of size 3 -> only one (all three), argmin 2.0...
+        ev_all = evaluate_resilience([2.0], honest, n=4, f=1)
+        assert ev_all.worst_distance == pytest.approx(0.0, abs=1e-9)
+        # n=3, f=1 over the same honest costs: three pairs with argmins
+        # 1, 2, 3 -> worst distance from 2.0 is 1.0.
+        ev_pairs = evaluate_resilience([2.0], honest, n=3, f=1)
+        assert ev_pairs.subsets_checked == 3
+        assert ev_pairs.worst_distance == pytest.approx(1.0)
+        assert ev_pairs.worst_subset in {(0, 1), (1, 2)}
+
+    def test_satisfies_threshold(self):
+        honest = costs_at([0.0], [2.0], [4.0])
+        ev = evaluate_resilience([2.0], honest, n=3, f=1)
+        assert ev.satisfies(1.0)
+        assert not ev.satisfies(0.5)
+
+    def test_is_resilient_output_wrapper(self):
+        honest = costs_at([0.0], [2.0], [4.0])
+        assert is_resilient_output([2.0], honest, n=3, f=1, epsilon=1.0)
+        assert not is_resilient_output([5.0], honest, n=3, f=1, epsilon=1.0)
+
+    def test_infeasible_f_raises(self):
+        honest = costs_at([0.0], [1.0])
+        with pytest.raises(ValueError):
+            evaluate_resilience([0.0], honest, n=2, f=1)
+
+    def test_too_few_honest_costs_raises(self):
+        honest = costs_at([0.0])
+        with pytest.raises(ValueError):
+            evaluate_resilience([0.0], honest, n=4, f=1)
+
+    def test_vector_case(self):
+        honest = costs_at([0.0, 0.0], [2.0, 2.0])
+        ev = evaluate_resilience([1.0, 1.0], honest, n=3, f=1)
+        assert ev.worst_distance == pytest.approx(0.0, abs=1e-9)

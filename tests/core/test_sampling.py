@@ -1,0 +1,76 @@
+"""Tests for the Monte-Carlo redundancy estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.redundancy import measure_redundancy
+from repro.core.sampling import estimate_redundancy
+from repro.functions import SquaredDistanceCost
+
+
+def spread_costs(offsets):
+    return [SquaredDistanceCost([float(o)]) for o in offsets]
+
+
+class TestEstimateRedundancy:
+    def test_lower_bounds_exhaustive(self, rng):
+        costs = spread_costs(rng.normal(size=7))
+        exact = measure_redundancy(costs, f=2, inner_sizes="exact").epsilon
+        sampled = estimate_redundancy(costs, f=2, samples=50, rng=rng)
+        assert sampled.epsilon_lower_bound <= exact + 1e-9
+
+    def test_converges_to_exhaustive(self, rng):
+        costs = spread_costs(rng.normal(size=6))
+        exact = measure_redundancy(costs, f=1, inner_sizes="exact").epsilon
+        # n=6, f=1: only 6 * 5 = 30 (outer, inner) pairs; 2000 samples see
+        # them all with overwhelming probability.
+        sampled = estimate_redundancy(costs, f=1, samples=2000, rng=rng)
+        assert sampled.epsilon_lower_bound == pytest.approx(exact, abs=1e-9)
+
+    def test_f_zero_trivial(self):
+        out = estimate_redundancy(spread_costs([0.0, 1.0]), f=0)
+        assert out.epsilon_lower_bound == 0.0
+        assert out.samples == 0
+
+    def test_monotone_in_samples(self, rng):
+        costs = spread_costs(rng.normal(size=8))
+        few = estimate_redundancy(
+            costs, f=2, samples=5, rng=np.random.default_rng(1)
+        )
+        # Same seed, more samples: the running max can only grow.
+        many = estimate_redundancy(
+            costs, f=2, samples=200, rng=np.random.default_rng(1)
+        )
+        assert many.epsilon_lower_bound >= few.epsilon_lower_bound - 1e-12
+
+    def test_witness_is_valid_pair(self, rng):
+        costs = spread_costs(rng.normal(size=7))
+        out = estimate_redundancy(costs, f=2, samples=50, rng=rng)
+        outer, inner = out.witness
+        assert len(outer) == 5
+        assert len(inner) == 3
+        assert set(inner).issubset(set(outer))
+
+    def test_validation(self):
+        costs = spread_costs([0.0, 1.0, 2.0])
+        with pytest.raises(ValueError):
+            estimate_redundancy(costs, f=-1)
+        with pytest.raises(ValueError):
+            estimate_redundancy(costs, f=2)
+        with pytest.raises(ValueError):
+            estimate_redundancy(costs, f=1, samples=0)
+
+    @given(st.integers(min_value=1, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_given_seed(self, samples):
+        costs = spread_costs([0.0, 0.7, 1.1, 2.5, 3.0])
+        a = estimate_redundancy(
+            costs, f=1, samples=samples, rng=np.random.default_rng(7)
+        )
+        b = estimate_redundancy(
+            costs, f=1, samples=samples, rng=np.random.default_rng(7)
+        )
+        assert a.epsilon_lower_bound == b.epsilon_lower_bound
+        assert a.witness == b.witness

@@ -1,0 +1,200 @@
+"""Tests for SegmentSet geometry and the non-differentiable Weber costs.
+
+These exercise the parts of the theory that do *not* assume
+differentiability (Theorems 1 and 2 explicitly cover such costs) and the
+set-valued argmins Definitions 2 and 3 are written against.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.geometry import (
+    FiniteSet,
+    SegmentSet,
+    SingletonSet,
+    hausdorff_distance,
+)
+from repro.functions import NormDistanceCost, SumCost, weber_argmin
+
+finite = st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False)
+
+
+class TestSegmentSet:
+    def test_projection_interior(self):
+        seg = SegmentSet([0.0, 0.0], [10.0, 0.0])
+        assert np.allclose(seg.project([3.0, 4.0]), [3.0, 0.0])
+        assert seg.distance_to([3.0, 4.0]) == pytest.approx(4.0)
+
+    def test_projection_clamps_to_endpoints(self):
+        seg = SegmentSet([0.0, 0.0], [1.0, 0.0])
+        assert np.allclose(seg.project([-5.0, 0.0]), [0.0, 0.0])
+        assert np.allclose(seg.project([9.0, 1.0]), [1.0, 0.0])
+
+    def test_degenerate_segment_is_point(self):
+        seg = SegmentSet([1.0, 1.0], [1.0, 1.0])
+        assert seg.length == 0.0
+        assert seg.distance_to([2.0, 1.0]) == pytest.approx(1.0)
+
+    def test_contains(self):
+        seg = SegmentSet([0.0, 0.0], [2.0, 2.0])
+        assert seg.contains([1.0, 1.0])
+        assert not seg.contains([1.0, 0.0])
+
+    def test_hausdorff_segment_vs_point(self):
+        seg = SegmentSet([0.0, 0.0], [4.0, 0.0])
+        point = SingletonSet([0.0, 0.0])
+        # Directed seg->point is 4 (far endpoint); point->seg is 0.
+        assert hausdorff_distance(seg, point) == pytest.approx(4.0)
+
+    def test_hausdorff_parallel_segments(self):
+        a = SegmentSet([0.0, 0.0], [4.0, 0.0])
+        b = SegmentSet([0.0, 3.0], [4.0, 3.0])
+        assert hausdorff_distance(a, b) == pytest.approx(3.0)
+
+    def test_hausdorff_segment_vs_finite_set_midpoint_max(self):
+        # Two target points at the segment's endpoints: the distance to the
+        # finite set is maximal at the segment MIDPOINT, not the endpoints —
+        # the equidistance-candidate logic must find it.
+        seg = SegmentSet([0.0, 0.0], [4.0, 0.0])
+        targets = FiniteSet([[0.0, 0.0], [4.0, 0.0]])
+        assert hausdorff_distance(seg, targets) == pytest.approx(2.0)
+
+    @given(arrays(np.float64, (2,), elements=finite))
+    @settings(max_examples=50, deadline=None)
+    def test_projection_is_in_segment(self, x):
+        seg = SegmentSet([-1.0, -2.0], [3.0, 5.0])
+        proj = seg.project(x)
+        assert seg.contains(proj, tol=1e-9)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            SegmentSet([0.0], [0.0, 1.0])
+
+
+class TestNormDistanceCost:
+    def test_value_is_distance(self, rng):
+        t = rng.normal(size=3)
+        cost = NormDistanceCost(t, weight=2.0)
+        x = rng.normal(size=3)
+        assert cost.value(x) == pytest.approx(2.0 * np.linalg.norm(x - t))
+
+    def test_subgradient_unit_norm_away_from_target(self, rng):
+        cost = NormDistanceCost([0.0, 0.0])
+        x = rng.normal(size=2)
+        g = cost.gradient(x)
+        assert np.linalg.norm(g) == pytest.approx(1.0)
+        assert np.allclose(g, x / np.linalg.norm(x))
+
+    def test_subgradient_zero_at_kink(self):
+        cost = NormDistanceCost([1.0, 2.0])
+        assert np.array_equal(cost.gradient(np.array([1.0, 2.0])), [0.0, 0.0])
+
+    def test_argmin_is_target(self):
+        s = NormDistanceCost([3.0, -1.0]).argmin_set()
+        assert isinstance(s, SingletonSet)
+        assert np.allclose(s.point, [3.0, -1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NormDistanceCost([0.0], weight=0.0)
+
+
+class TestWeberArgmin:
+    def test_single_target(self):
+        s = weber_argmin([[1.0, 2.0]])
+        assert isinstance(s, SingletonSet)
+        assert np.allclose(s.point, [1.0, 2.0])
+
+    def test_two_targets_give_segment(self):
+        # sum of distances to two points is minimized on the whole segment.
+        s = weber_argmin([[0.0, 0.0], [4.0, 0.0]])
+        assert isinstance(s, SegmentSet)
+        assert s.contains([2.0, 0.0])
+        assert s.contains([0.0, 0.0])
+        assert not s.contains([5.0, 0.0])
+
+    def test_collinear_odd_count_gives_median_point(self):
+        s = weber_argmin([[0.0], [1.0], [10.0]])
+        assert isinstance(s, SingletonSet)
+        assert s.point[0] == pytest.approx(1.0)
+
+    def test_collinear_even_count_gives_middle_segment(self):
+        s = weber_argmin([[0.0], [1.0], [5.0], [10.0]])
+        assert isinstance(s, SegmentSet)
+        assert s.contains([1.0])
+        assert s.contains([5.0])
+        assert s.contains([3.0])
+        assert not s.contains([0.5])
+
+    def test_weighted_median_shifts(self):
+        # Heavy weight on the last target drags the whole argmin onto it.
+        s = weber_argmin([[0.0], [1.0], [10.0]], weights=[1.0, 1.0, 5.0])
+        assert isinstance(s, SingletonSet)
+        assert s.point[0] == pytest.approx(10.0)
+
+    def test_triangle_interior_fermat_point(self):
+        # Equilateral-ish triangle: the Fermat point has all three unit
+        # pulls at 120 degrees; verify first-order optimality numerically.
+        targets = np.array([[0.0, 0.0], [4.0, 0.0], [2.0, 3.4]])
+        s = weber_argmin(targets)
+        assert isinstance(s, SingletonSet)
+        z = s.point
+        pulls = (z - targets) / np.linalg.norm(z - targets, axis=1)[:, None]
+        assert np.linalg.norm(pulls.sum(axis=0)) < 1e-6
+
+    def test_anchor_point_optimality(self):
+        # One target with dominant weight: the argmin is that target even
+        # though the cost is non-differentiable there.
+        targets = [[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]]
+        s = weber_argmin(targets, weights=[10.0, 1.0, 1.0])
+        assert isinstance(s, SingletonSet)
+        assert np.allclose(s.point, [0.0, 0.0], atol=1e-8)
+
+    def test_identical_targets(self):
+        s = weber_argmin([[2.0, 2.0], [2.0, 2.0], [2.0, 2.0]])
+        assert isinstance(s, SingletonSet)
+        assert np.allclose(s.point, [2.0, 2.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weber_argmin([[0.0], [1.0]], weights=[1.0])
+        with pytest.raises(ValueError):
+            weber_argmin([[0.0], [1.0]], weights=[1.0, -1.0])
+
+
+class TestWeberThroughSumCost:
+    def test_sum_cost_dispatches_to_weber(self):
+        costs = [NormDistanceCost([0.0, 0.0]), NormDistanceCost([4.0, 0.0])]
+        s = SumCost(costs).argmin_set()
+        assert isinstance(s, SegmentSet)
+
+    def test_exact_algorithm_on_nondifferentiable_costs(self):
+        # Theorem 2 does not need differentiability: run the constructive
+        # algorithm on Weber costs with one Byzantine submission.
+        from repro.core import evaluate_resilience, exact_resilient_argmin
+
+        honest = [
+            NormDistanceCost([0.0, 0.0]),
+            NormDistanceCost([1.0, 0.0]),
+            NormDistanceCost([0.0, 1.0]),
+            NormDistanceCost([1.0, 1.0]),
+        ]
+        byz = [NormDistanceCost([100.0, 100.0])]
+        result = exact_resilient_argmin(honest + byz, f=1)
+        audit = evaluate_resilience(result.output, honest, n=5, f=1)
+        # Output stays near the honest cluster, far from the poison.
+        assert np.linalg.norm(result.output) < 3.0
+        assert audit.worst_distance < 1.5
+
+    def test_redundancy_with_segment_argmins(self):
+        # Collinear Weber costs produce segment argmin sets inside the
+        # redundancy enumeration; the Hausdorff machinery must handle them.
+        from repro.core import measure_redundancy
+
+        costs = [NormDistanceCost([float(i)]) for i in range(5)]
+        report = measure_redundancy(costs, f=1, inner_sizes="exact")
+        assert np.isfinite(report.epsilon)
+        assert report.epsilon > 0

@@ -1,0 +1,91 @@
+"""Tests for the Section-2.1 weighted-aggregate approximation notions."""
+
+import numpy as np
+import pytest
+
+from repro.core.weighted import (
+    cost_value_approximation,
+    gradient_value_approximation,
+    scaling_sensitivity_demo,
+    weighted_minimizer_certificate,
+)
+from repro.functions import SquaredDistanceCost
+
+
+def costs_at(*targets):
+    return [SquaredDistanceCost(np.atleast_1d(np.asarray(t, float))) for t in targets]
+
+
+class TestWeightedCertificate:
+    def test_uniform_minimizer_gets_full_support(self):
+        # The unweighted argmin (mean of targets) admits uniform weights.
+        costs = costs_at([0.0], [1.0], [2.0])
+        cert = weighted_minimizer_certificate(costs, [1.0])
+        assert cert.feasible
+        assert cert.n_positive == 3
+        # Max-min weights are exactly uniform here.
+        assert cert.min_positive_weight == pytest.approx(1 / 3, abs=1e-6)
+        assert np.allclose(cert.weights.sum(), 1.0)
+        assert cert.residual_norm < 1e-6
+
+    def test_single_agent_minimizer_supported_with_degenerate_weights(self):
+        # x = 0 minimizes Q_0 alone: feasible with alpha = (1, 0, 0) but the
+        # max-min value is 0 (some agent must be ignored).
+        costs = costs_at([0.0], [1.0], [2.0])
+        cert = weighted_minimizer_certificate(costs, [0.0])
+        assert cert.feasible
+        # Max-min value ~0 (up to the LP's gradient tolerance slack).
+        assert cert.min_positive_weight == pytest.approx(0.0, abs=1e-7)
+        assert cert.n_positive < 3
+
+    def test_point_outside_hull_infeasible(self):
+        # No convex combination of gradients vanishes left of every target.
+        costs = costs_at([0.0], [1.0], [2.0])
+        cert = weighted_minimizer_certificate(costs, [-1.0])
+        assert not cert.feasible
+        assert cert.weights is None
+
+    def test_vector_case(self):
+        costs = costs_at([0.0, 0.0], [2.0, 0.0], [0.0, 2.0])
+        centroid = np.array([2.0 / 3.0, 2.0 / 3.0])
+        cert = weighted_minimizer_certificate(costs, centroid)
+        assert cert.feasible
+        assert cert.n_positive == 3
+
+    def test_interior_hull_point_feasible_nonuniform(self):
+        # Points strictly inside the simplex of targets are weighted minima.
+        costs = costs_at([0.0, 0.0], [2.0, 0.0], [0.0, 2.0])
+        cert = weighted_minimizer_certificate(costs, [0.5, 0.5])
+        assert cert.feasible
+        assert cert.residual_norm < 1e-6
+
+    def test_empty_costs_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_minimizer_certificate([], [0.0])
+
+
+class TestValueAndGradientMeasures:
+    def test_gradient_measure_zero_at_argmin(self):
+        costs = costs_at([0.0], [2.0])
+        assert gradient_value_approximation(costs, [1.0]) == pytest.approx(0.0)
+
+    def test_gradient_measure_positive_off_argmin(self):
+        costs = costs_at([0.0], [2.0])
+        assert gradient_value_approximation(costs, [0.0]) > 0
+
+    def test_cost_value_measure(self):
+        costs = costs_at([0.0], [2.0])
+        # Aggregate at x=1: 1 + 1 = 2 (the minimum); at x=0: 0 + 4 = 4.
+        assert cost_value_approximation(costs, [1.0], 2.0) == pytest.approx(0.0)
+        assert cost_value_approximation(costs, [0.0], 2.0) == pytest.approx(2.0)
+
+    def test_scaling_sensitivity(self):
+        # The paper's §2.1 point: the gradient measure scales with the
+        # costs while distance-based resilience does not.
+        costs = costs_at([0.0], [2.0])
+        demo = scaling_sensitivity_demo(costs, [0.5], scale=3.0)
+        assert demo["ratio"] == pytest.approx(3.0)
+
+    def test_scaling_validation(self):
+        with pytest.raises(ValueError):
+            scaling_sensitivity_demo(costs_at([0.0]), [0.5], scale=0.0)

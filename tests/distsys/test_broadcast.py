@@ -1,0 +1,129 @@
+"""Tests for the OM(m) Byzantine broadcast primitive (Section 1.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.distsys import (
+    EquivocatingAdversary,
+    SilentAdversary,
+    TruthfulAdversary,
+    byzantine_broadcast,
+    majority_value,
+)
+
+finite = st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False)
+
+
+def honest_receivers(n, commander, traitors):
+    return [i for i in range(n) if i != commander and i not in traitors]
+
+
+class TestMajorityValue:
+    def test_clear_majority(self):
+        vals = [np.array([1.0]), np.array([1.0]), np.array([2.0])]
+        assert majority_value(vals, np.zeros(1))[0] == 1.0
+
+    def test_empty_returns_default(self):
+        assert majority_value([], np.array([9.0]))[0] == 9.0
+
+    def test_tie_deterministic(self):
+        vals = [np.array([2.0]), np.array([1.0])]
+        a = majority_value(vals, np.zeros(1))
+        b = majority_value(list(reversed(vals)), np.zeros(1))
+        assert np.array_equal(a, b)
+
+
+class TestValidity:
+    """IC2: honest commander's value is decided by all honest receivers."""
+
+    @pytest.mark.parametrize("n,traitors", [(4, [1]), (7, [2, 5]), (10, [1, 4, 8])])
+    def test_honest_commander(self, n, traitors):
+        value = np.array([3.14, -2.71])
+        decided = byzantine_broadcast(n, 0, value, traitors)
+        for i in honest_receivers(n, 0, traitors):
+            assert np.array_equal(decided[i], value)
+
+    def test_no_traitors_trivial(self):
+        value = np.array([1.0])
+        decided = byzantine_broadcast(5, 2, value, traitors=[])
+        for i in range(5):
+            if i != 2:
+                assert np.array_equal(decided[i], value)
+
+    @given(arrays(np.float64, (3,), elements=finite))
+    @settings(max_examples=30, deadline=None)
+    def test_validity_property(self, value):
+        decided = byzantine_broadcast(7, 0, value, traitors=[3, 6])
+        for i in honest_receivers(7, 0, [3, 6]):
+            assert np.array_equal(decided[i], value)
+
+
+class TestAgreement:
+    """IC1: honest receivers agree even under an equivocating commander."""
+
+    @pytest.mark.parametrize("n,traitors,commander", [
+        (4, [0], 0),
+        (7, [0, 1], 0),
+        (7, [3, 5], 3),
+        (10, [2, 4, 9], 4),
+    ])
+    def test_byzantine_commander(self, n, traitors, commander):
+        value = np.array([1.0, 2.0])
+        decided = byzantine_broadcast(
+            n, commander, value, traitors,
+            adversary=EquivocatingAdversary(magnitude=7.0),
+        )
+        views = [decided[i] for i in honest_receivers(n, commander, traitors)]
+        assert all(np.array_equal(v, views[0]) for v in views)
+
+    def test_silent_adversary_agreement(self):
+        decided = byzantine_broadcast(
+            7, 0, np.array([5.0]), traitors=[0, 2],
+            adversary=SilentAdversary(junk=0.0),
+        )
+        views = [decided[i] for i in honest_receivers(7, 0, [0, 2])]
+        assert all(np.array_equal(v, views[0]) for v in views)
+
+    def test_truthful_traitor_behaves_honest(self):
+        value = np.array([4.0])
+        decided = byzantine_broadcast(
+            7, 0, value, traitors=[0], adversary=TruthfulAdversary()
+        )
+        for i in range(1, 7):
+            assert np.array_equal(decided[i], value)
+
+    def test_agreement_fails_below_threshold_possible(self):
+        # n = 3, f = 1 (n <= 3f): the classic impossibility territory.
+        # We only check the protocol still runs; guarantees may not hold.
+        decided = byzantine_broadcast(
+            3, 0, np.array([1.0]), traitors=[0],
+            adversary=EquivocatingAdversary(),
+        )
+        assert set(decided) == {1, 2}
+
+
+class TestValidation:
+    def test_bad_commander(self):
+        with pytest.raises(ValueError):
+            byzantine_broadcast(3, 5, np.zeros(1), [])
+
+    def test_bad_traitor_id(self):
+        with pytest.raises(ValueError):
+            byzantine_broadcast(3, 0, np.zeros(1), [7])
+
+    def test_too_few_nodes(self):
+        with pytest.raises(ValueError):
+            byzantine_broadcast(1, 0, np.zeros(1), [])
+
+    def test_negative_rounds(self):
+        with pytest.raises(ValueError):
+            byzantine_broadcast(4, 0, np.zeros(1), [1], rounds=-1)
+
+    def test_explicit_rounds_zero_with_honest_commander(self):
+        value = np.array([2.0])
+        decided = byzantine_broadcast(5, 0, value, traitors=[], rounds=0)
+        for i in range(1, 5):
+            assert np.array_equal(decided[i], value)

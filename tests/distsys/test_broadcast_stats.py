@@ -1,0 +1,51 @@
+"""Tests for OM(m) message-complexity accounting."""
+
+import numpy as np
+import pytest
+
+from repro.distsys import BroadcastStats, byzantine_broadcast, om_message_count
+
+
+class TestMessageCount:
+    @pytest.mark.parametrize(
+        "n,rounds,expected",
+        [
+            (4, 0, 3),                 # commander -> 3 lieutenants
+            (4, 1, 3 + 3 * 2),         # + each lieutenant relays to 2
+            (5, 1, 4 + 4 * 3),
+            (7, 2, 6 + 6 * (5 + 5 * 4)),
+        ],
+    )
+    def test_closed_form(self, n, rounds, expected):
+        assert om_message_count(n, rounds) == expected
+
+    @pytest.mark.parametrize("n,rounds", [(4, 1), (6, 1), (7, 2), (9, 2)])
+    def test_instrumented_count_matches_closed_form(self, n, rounds):
+        stats = BroadcastStats()
+        byzantine_broadcast(
+            n,
+            commander=0,
+            value=np.array([1.0]),
+            traitors=list(range(1, rounds + 1)),
+            rounds=rounds,
+            stats=stats,
+        )
+        assert stats.messages == om_message_count(n, rounds)
+
+    def test_growth_is_superlinear_in_rounds(self):
+        counts = [om_message_count(10, m) for m in range(4)]
+        ratios = [b / a for a, b in zip(counts, counts[1:])]
+        assert all(r > 5 for r in ratios)
+
+    def test_stats_optional(self):
+        # Without stats the broadcast still works (no counter overhead).
+        decided = byzantine_broadcast(
+            4, commander=0, value=np.array([2.0]), traitors=[]
+        )
+        assert len(decided) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            om_message_count(1, 0)
+        with pytest.raises(ValueError):
+            om_message_count(4, -1)

@@ -1,0 +1,144 @@
+"""Failure-injection tests: malformed gradients, mass silence, edge cases.
+
+The server must fail loudly (not silently corrupt the estimate) on
+non-finite inputs, and the elimination rule must behave when many agents
+crash at once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregators import CGEAggregator, MeanAggregator
+from repro.attacks import AttackContext, ByzantineAttack
+from repro.distsys import (
+    ByzantineAgent,
+    HonestAgent,
+    SynchronousSimulator,
+)
+from repro.functions import SquaredDistanceCost
+from repro.optim import BoxSet, ConstantSchedule, paper_schedule
+
+
+class NaNAttack(ByzantineAttack):
+    """Sends NaN gradients — the nastiest malformed payload."""
+
+    name = "nan"
+
+    def fabricate(self, context: AttackContext):
+        return {
+            i: np.full(context.dim, np.nan) for i in context.faulty_ids
+        }
+
+
+class IncompleteAttack(ByzantineAttack):
+    """Forgets to fabricate for some of its agents (a buggy attack)."""
+
+    name = "incomplete"
+
+    def fabricate(self, context: AttackContext):
+        return {}
+
+
+def build(faulty_ids=(3,), attack=None, silent_after=None, n=4):
+    agents = []
+    for i in range(n):
+        cost = SquaredDistanceCost([1.0, -1.0])
+        if i in faulty_ids:
+            agents.append(
+                ByzantineAgent(i, reference_cost=cost, silent_after=silent_after)
+            )
+        else:
+            agents.append(HonestAgent(i, cost))
+    return SynchronousSimulator(
+        agents=agents,
+        aggregator=CGEAggregator(f=len(faulty_ids)),
+        constraint=BoxSet.symmetric(10.0, dim=2),
+        schedule=paper_schedule(),
+        f=len(faulty_ids),
+        initial_estimate=np.zeros(2),
+        attack=attack,
+    )
+
+
+class TestMalformedGradients:
+    def test_nan_gradients_rejected_loudly(self):
+        sim = build(attack=NaNAttack())
+        with pytest.raises(ValueError, match="non-finite"):
+            sim.step()
+
+    def test_incomplete_attack_detected(self):
+        sim = build(attack=IncompleteAttack())
+        with pytest.raises(RuntimeError, match="no gradient"):
+            sim.step()
+
+
+class TestMassSilence:
+    def test_all_byzantine_silent_from_start(self):
+        from repro.attacks import GradientReverseAttack
+
+        sim = build(
+            faulty_ids=(2, 3),
+            attack=GradientReverseAttack(),
+            silent_after=0,
+            n=6,
+        )
+        sim.run(50)
+        # Both eliminated in round 0; system continues with 4 honest agents.
+        assert sorted(sim.trace.eliminated_agents()) == [2, 3]
+        assert sim.server.n == 4
+        assert sim.server.f == 0
+        assert np.allclose(sim.estimate, [1.0, -1.0], atol=1e-2)
+
+    def test_elimination_cannot_kill_everyone(self):
+        # A server with every agent silent must raise, not divide by zero.
+        from repro.distsys import RobustServer
+
+        server = RobustServer(
+            np.zeros(1), MeanAggregator(), BoxSet.symmetric(1.0, 1),
+            ConstantSchedule(0.1), n=2, f=1,
+        )
+        with pytest.raises(RuntimeError, match="all agents eliminated"):
+            server.eliminate_silent([0, 1])
+
+    def test_staggered_silence(self):
+        from repro.attacks import GradientReverseAttack
+
+        agents = []
+        cost = SquaredDistanceCost([2.0])
+        for i in range(5):
+            if i >= 3:
+                agents.append(
+                    ByzantineAgent(
+                        i, reference_cost=cost, silent_after=10 * (i - 2)
+                    )
+                )
+            else:
+                agents.append(HonestAgent(i, cost))
+        sim = SynchronousSimulator(
+            agents=agents,
+            aggregator="cge",
+            constraint=BoxSet.symmetric(10.0, dim=1),
+            schedule=paper_schedule(),
+            f=2,
+            initial_estimate=np.zeros(1),
+            attack=GradientReverseAttack(),
+        )
+        sim.run(40)
+        # Agent 3 drops at t=10, agent 4 at t=20.
+        assert sim.trace.eliminated_agents() == [3, 4]
+        assert sim.server.n == 3
+        assert sim.server.f == 0
+        # Name-registered CGE was rebuilt with f=0.
+        assert sim.server.aggregator.f == 0
+
+
+class TestAggregatorInputGuards:
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ValueError):
+            MeanAggregator().aggregate(np.empty((0, 3)))
+
+    def test_inf_rejected(self):
+        grads = np.ones((4, 2))
+        grads[1, 0] = np.inf
+        with pytest.raises(ValueError):
+            CGEAggregator(f=1).aggregate(grads)

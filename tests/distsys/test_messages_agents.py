@@ -1,0 +1,116 @@
+"""Tests for message types and agent behaviours."""
+
+import numpy as np
+import pytest
+
+from repro.distsys import (
+    ByzantineAgent,
+    GradientReply,
+    GradientRequest,
+    HonestAgent,
+    Silence,
+    StochasticAgent,
+)
+from repro.functions import SquaredDistanceCost
+
+
+class TestMessages:
+    def test_request_coerces_estimate(self):
+        req = GradientRequest(iteration=0, estimate=[1.0, 2.0])
+        assert isinstance(req.estimate, np.ndarray)
+        assert req.estimate.dtype == np.float64
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            GradientRequest(iteration=-1, estimate=[0.0])
+        with pytest.raises(ValueError):
+            GradientRequest(iteration=0, estimate=[[0.0]])
+
+    def test_reply_validation(self):
+        with pytest.raises(ValueError):
+            GradientReply(iteration=0, sender=-1, gradient=[0.0])
+        with pytest.raises(ValueError):
+            GradientReply(iteration=0, sender=0, gradient=[[0.0]])
+
+    def test_frozen(self):
+        req = GradientRequest(iteration=0, estimate=[0.0])
+        with pytest.raises(AttributeError):
+            req.iteration = 1
+
+
+class TestHonestAgent:
+    def test_reports_true_gradient(self, rng):
+        cost = SquaredDistanceCost([1.0, 1.0])
+        agent = HonestAgent(2, cost)
+        x = rng.normal(size=2)
+        reply = agent.handle_request(GradientRequest(iteration=3, estimate=x))
+        assert isinstance(reply, GradientReply)
+        assert reply.sender == 2
+        assert reply.iteration == 3
+        assert np.allclose(reply.gradient, cost.gradient(x))
+
+    def test_not_byzantine(self):
+        agent = HonestAgent(0, SquaredDistanceCost([0.0]))
+        assert not agent.is_byzantine
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            HonestAgent(-1, SquaredDistanceCost([0.0]))
+
+
+class TestByzantineAgent:
+    def test_true_gradient_uses_reference(self, rng):
+        cost = SquaredDistanceCost([2.0, 2.0])
+        agent = ByzantineAgent(1, reference_cost=cost)
+        x = rng.normal(size=2)
+        assert np.allclose(agent.true_gradient(x), cost.gradient(x))
+
+    def test_true_gradient_without_reference_is_zero(self):
+        agent = ByzantineAgent(1)
+        assert np.array_equal(agent.true_gradient(np.ones(3)), np.zeros(3))
+
+    def test_silence_schedule(self):
+        agent = ByzantineAgent(1, silent_after=10)
+        assert not agent.is_silent(9)
+        assert agent.is_silent(10)
+        assert agent.is_silent(11)
+        assert not ByzantineAgent(2).is_silent(10**6)
+
+    def test_direct_handle_request_raises(self):
+        agent = ByzantineAgent(1)
+        with pytest.raises(RuntimeError):
+            agent.handle_request(GradientRequest(iteration=0, estimate=[0.0]))
+
+    def test_flag(self):
+        assert ByzantineAgent(0).is_byzantine
+
+
+class TestStochasticAgent:
+    def test_oracle_called_with_rng(self):
+        seen = {}
+
+        def oracle(x, rng):
+            seen["x"] = x
+            seen["rng"] = rng
+            return np.ones_like(x)
+
+        agent = StochasticAgent(0, oracle, seed=3)
+        reply = agent.handle_request(
+            GradientRequest(iteration=0, estimate=[1.0, 2.0])
+        )
+        assert np.array_equal(reply.gradient, [1.0, 1.0])
+        assert isinstance(seen["rng"], np.random.Generator)
+
+    def test_deterministic_given_seed(self):
+        def oracle(x, rng):
+            return rng.normal(size=x.shape)
+
+        replies = []
+        for _ in range(2):
+            agent = StochasticAgent(0, oracle, seed=7)
+            replies.append(
+                agent.handle_request(
+                    GradientRequest(iteration=0, estimate=[0.0, 0.0])
+                ).gradient
+            )
+        assert np.array_equal(replies[0], replies[1])

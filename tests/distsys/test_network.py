@@ -1,0 +1,177 @@
+"""Tests for the message-level network substrate.
+
+The centrepiece is the equivalence proof: the message-passing DGD produces
+bit-identical traces to the direct-call simulator, for honest runs, under
+attack, and through eliminations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregators import CGEAggregator, MeanAggregator
+from repro.attacks import GradientReverseAttack, RandomGaussianAttack
+from repro.distsys import (
+    ByzantineAgent,
+    HonestAgent,
+    MessagePassingDGD,
+    SynchronousNetwork,
+    SynchronousSimulator,
+)
+from repro.functions import SquaredDistanceCost
+from repro.optim import BoxSet, paper_schedule
+
+
+class TestSynchronousNetwork:
+    def test_no_delivery_before_round_boundary(self):
+        net = SynchronousNetwork()
+        net.send(0, 1, "hello")
+        assert net.receive(1) == []
+        net.deliver_round()
+        envelopes = net.receive(1)
+        assert len(envelopes) == 1
+        assert envelopes[0].payload == "hello"
+        assert envelopes[0].sender == 0
+
+    def test_inbox_drained_on_receive(self):
+        net = SynchronousNetwork()
+        net.send(0, 1, "x")
+        net.deliver_round()
+        assert len(net.receive(1)) == 1
+        assert net.receive(1) == []
+
+    def test_broadcast_counts_messages(self):
+        net = SynchronousNetwork()
+        net.broadcast(9, [0, 1, 2], "payload")
+        assert net.messages_sent == 3
+
+    def test_rounds_counted(self):
+        net = SynchronousNetwork()
+        net.deliver_round()
+        net.deliver_round()
+        assert net.round == 2
+
+    def test_messages_for_unknown_recipient_held(self):
+        net = SynchronousNetwork()
+        net.send(0, 42, "later")
+        net.deliver_round()
+        assert len(net.receive(42)) == 1
+
+
+def build_message_passing(costs, faulty, attack, seed=0, silent_after=None):
+    return MessagePassingDGD(
+        costs=costs,
+        faulty_ids=faulty,
+        aggregator=CGEAggregator(f=len(faulty)),
+        constraint=BoxSet.symmetric(20.0, dim=2),
+        schedule=paper_schedule(),
+        initial_estimate=np.zeros(2),
+        attack=attack,
+        silent_after=silent_after,
+        seed=seed,
+    )
+
+
+def build_direct(costs, faulty, attack, seed=0, silent_after=None):
+    agents = []
+    for i, cost in enumerate(costs):
+        if i in faulty:
+            agents.append(
+                ByzantineAgent(
+                    i,
+                    reference_cost=cost,
+                    silent_after=(silent_after or {}).get(i),
+                )
+            )
+        else:
+            agents.append(HonestAgent(i, cost))
+    return SynchronousSimulator(
+        agents=agents,
+        aggregator=CGEAggregator(f=len(faulty)),
+        constraint=BoxSet.symmetric(20.0, dim=2),
+        schedule=paper_schedule(),
+        f=len(faulty),
+        initial_estimate=np.zeros(2),
+        attack=attack,
+        seed=seed,
+    )
+
+
+@pytest.fixture()
+def costs(rng):
+    targets = np.array([1.0, -1.0]) + 0.3 * rng.normal(size=(6, 2))
+    return [SquaredDistanceCost(t) for t in targets]
+
+
+def assert_traces_identical(a, b):
+    assert len(a) == len(b)
+    for ra, rb in zip(a, b):
+        assert ra.iteration == rb.iteration
+        assert np.array_equal(ra.estimate, rb.estimate)
+        assert np.array_equal(ra.aggregate, rb.aggregate)
+        assert np.array_equal(ra.next_estimate, rb.next_estimate)
+        assert ra.eliminated == rb.eliminated
+        assert set(ra.gradients) == set(rb.gradients)
+        for k in ra.gradients:
+            assert np.array_equal(ra.gradients[k], rb.gradients[k])
+
+
+class TestEquivalenceWithDirectSimulator:
+    def test_fault_free(self, costs):
+        mp = build_message_passing(costs, [], None)
+        direct = build_direct(costs, [], None)
+        mp.run(60)
+        direct.run(60)
+        assert_traces_identical(mp.trace, direct.trace)
+
+    def test_under_deterministic_attack(self, costs):
+        mp = build_message_passing(costs, [4, 5], GradientReverseAttack())
+        direct = build_direct(costs, [4, 5], GradientReverseAttack())
+        mp.run(60)
+        direct.run(60)
+        assert_traces_identical(mp.trace, direct.trace)
+
+    def test_under_random_attack_same_seed(self, costs):
+        mp = build_message_passing(
+            costs, [5], RandomGaussianAttack(standard_deviation=10.0), seed=7
+        )
+        direct = build_direct(
+            costs, [5], RandomGaussianAttack(standard_deviation=10.0), seed=7
+        )
+        mp.run(40)
+        direct.run(40)
+        assert_traces_identical(mp.trace, direct.trace)
+
+    def test_with_elimination(self, costs):
+        mp = build_message_passing(
+            costs, [5], GradientReverseAttack(), silent_after={5: 10}
+        )
+        direct = build_direct(
+            costs, [5], GradientReverseAttack(), silent_after={5: 10}
+        )
+        mp.run(30)
+        direct.run(30)
+        assert_traces_identical(mp.trace, direct.trace)
+        assert mp.trace.eliminated_agents() == [5]
+
+    def test_message_complexity_per_iteration(self, costs):
+        # One iteration = n requests + n replies (before any elimination).
+        mp = build_message_passing(costs, [], None)
+        mp.step()
+        assert mp.network.messages_sent == 2 * len(costs)
+
+    def test_validation(self, costs):
+        with pytest.raises(ValueError):
+            build_message_passing(costs, [99], GradientReverseAttack())
+        with pytest.raises(ValueError):
+            MessagePassingDGD(
+                costs=costs,
+                faulty_ids=[1],
+                aggregator=MeanAggregator(),
+                constraint=BoxSet.symmetric(1.0, 2),
+                schedule=paper_schedule(),
+                initial_estimate=np.zeros(2),
+                attack=None,
+            )
+        mp = build_message_passing(costs, [], None)
+        with pytest.raises(ValueError):
+            mp.run(0)

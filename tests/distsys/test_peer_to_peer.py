@@ -1,0 +1,120 @@
+"""Tests for the peer-to-peer simulation of the server-based algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import GradientReverseAttack, RandomGaussianAttack
+from repro.distsys import EquivocatingAdversary, PeerToPeerSimulator
+from repro.functions import SquaredDistanceCost
+from repro.optim import BoxSet, paper_schedule
+
+
+def make_costs(n, rng, center=(1.0, -1.0), spread=0.2):
+    targets = np.asarray(center) + spread * rng.normal(size=(n, 2))
+    return [SquaredDistanceCost(t) for t in targets], targets
+
+
+def build(n=7, f=2, seed=0, aggregator="cge", attack=None, **kwargs):
+    rng = np.random.default_rng(seed)
+    costs, targets = make_costs(n, rng)
+    sim = PeerToPeerSimulator(
+        costs=costs,
+        faulty_ids=list(range(n - f, n)),
+        aggregator=aggregator,
+        constraint=BoxSet.symmetric(50.0, dim=2),
+        schedule=paper_schedule(),
+        initial_estimate=np.zeros(2),
+        attack=attack or (GradientReverseAttack() if f else None),
+        seed=seed,
+        **kwargs,
+    )
+    return sim, targets
+
+
+class TestThreshold:
+    def test_f_at_least_n_over_3_rejected(self):
+        rng = np.random.default_rng(0)
+        costs, _ = make_costs(6, rng)
+        with pytest.raises(ValueError):
+            PeerToPeerSimulator(
+                costs=costs,
+                faulty_ids=[4, 5],
+                aggregator="cge",
+                constraint=BoxSet.symmetric(1.0, 2),
+                schedule=paper_schedule(),
+                initial_estimate=np.zeros(2),
+                attack=GradientReverseAttack(),
+            )
+
+    def test_threshold_can_be_disabled(self):
+        rng = np.random.default_rng(0)
+        costs, _ = make_costs(6, rng)
+        sim = PeerToPeerSimulator(
+            costs=costs,
+            faulty_ids=[4, 5],
+            aggregator="cge",
+            constraint=BoxSet.symmetric(1.0, 2),
+            schedule=paper_schedule(),
+            initial_estimate=np.zeros(2),
+            attack=GradientReverseAttack(),
+            enforce_threshold=False,
+        )
+        sim.step()  # runs, guarantees void
+
+    def test_faulty_without_attack_rejected(self):
+        rng = np.random.default_rng(0)
+        costs, _ = make_costs(7, rng)
+        with pytest.raises(ValueError):
+            PeerToPeerSimulator(
+                costs=costs,
+                faulty_ids=[6],
+                aggregator="cge",
+                constraint=BoxSet.symmetric(1.0, 2),
+                schedule=paper_schedule(),
+                initial_estimate=np.zeros(2),
+            )
+
+
+class TestConsistency:
+    """The heart of the Section-1.4 claim: honest replicas never diverge."""
+
+    def test_replicas_identical_under_equivocation(self):
+        sim, _ = build(n=7, f=2)
+        sim.run(30)
+        assert sim.consistency_gap() == 0.0
+
+    def test_replicas_identical_under_random_attack(self):
+        sim, _ = build(
+            n=7, f=2, attack=RandomGaussianAttack(standard_deviation=50.0)
+        )
+        sim.run(30)
+        assert sim.consistency_gap() == 0.0
+
+    def test_replicas_identical_with_aggressive_broadcast_adversary(self):
+        sim, _ = build(
+            n=10, f=3,
+            broadcast_adversary=EquivocatingAdversary(magnitude=1e6),
+        )
+        sim.run(10)
+        assert sim.consistency_gap() == 0.0
+
+
+class TestConvergence:
+    def test_fault_free_matches_server_based(self):
+        sim, targets = build(n=5, f=0, attack=None)
+        estimates = sim.run(200)
+        expected = targets.mean(axis=0)
+        for est in estimates.values():
+            assert np.allclose(est, expected, atol=1e-2)
+
+    def test_robust_convergence_near_honest_mean(self):
+        sim, targets = build(n=7, f=2)
+        estimates = sim.run(250)
+        honest_mean = targets[:5].mean(axis=0)
+        any_honest = next(iter(estimates.values()))
+        assert np.linalg.norm(any_honest - honest_mean) < 0.5
+
+    def test_run_validation(self):
+        sim, _ = build()
+        with pytest.raises(ValueError):
+            sim.run(0)

@@ -1,0 +1,237 @@
+"""Tests for the robust server and the synchronous simulator."""
+
+import numpy as np
+import pytest
+
+from repro.aggregators import CGEAggregator, MeanAggregator
+from repro.attacks import GradientReverseAttack, LargeNormAttack, RandomGaussianAttack
+from repro.distsys import (
+    ByzantineAgent,
+    HonestAgent,
+    RobustServer,
+    SynchronousSimulator,
+    run_dgd,
+)
+from repro.functions import SquaredDistanceCost
+from repro.optim import BoxSet, ConstantSchedule, paper_schedule
+
+
+def build_agents(targets, faulty_ids=()):
+    agents = []
+    for i, t in enumerate(targets):
+        cost = SquaredDistanceCost(t)
+        if i in faulty_ids:
+            agents.append(ByzantineAgent(i, reference_cost=cost))
+        else:
+            agents.append(HonestAgent(i, cost))
+    return agents
+
+
+class TestRobustServer:
+    def test_initial_estimate_projected(self):
+        server = RobustServer(
+            initial_estimate=np.array([100.0, -100.0]),
+            aggregator=MeanAggregator(),
+            constraint=BoxSet.symmetric(1.0, dim=2),
+            schedule=ConstantSchedule(0.1),
+            n=3,
+            f=0,
+        )
+        assert np.array_equal(server.estimate, [1.0, -1.0])
+
+    def test_update_moves_against_gradient(self):
+        server = RobustServer(
+            initial_estimate=np.zeros(2),
+            aggregator=MeanAggregator(),
+            constraint=BoxSet.symmetric(10.0, dim=2),
+            schedule=ConstantSchedule(0.5),
+            n=2,
+            f=0,
+        )
+        grads = {0: np.array([1.0, 0.0]), 1: np.array([1.0, 0.0])}
+        agg = server.apply_update(grads)
+        assert np.allclose(agg, [1.0, 0.0])
+        assert np.allclose(server.estimate, [-0.5, 0.0])
+        assert server.iteration == 1
+
+    def test_wrong_gradient_count_rejected(self):
+        server = RobustServer(
+            np.zeros(1), MeanAggregator(), BoxSet.symmetric(1.0, 1),
+            ConstantSchedule(0.1), n=3, f=1,
+        )
+        with pytest.raises(ValueError):
+            server.apply_update({0: np.zeros(1)})
+
+    def test_elimination_updates_n_f(self):
+        server = RobustServer(
+            np.zeros(1), "cge", BoxSet.symmetric(1.0, 1),
+            ConstantSchedule(0.1), n=5, f=2,
+        )
+        removed = server.eliminate_silent([3])
+        assert removed == [3]
+        assert server.n == 4
+        assert server.f == 1
+        # Name-registered filter is rebuilt with the new f.
+        assert server.aggregator.f == 1
+
+    def test_elimination_of_nobody(self):
+        server = RobustServer(
+            np.zeros(1), MeanAggregator(), BoxSet.symmetric(1.0, 1),
+            ConstantSchedule(0.1), n=3, f=1,
+        )
+        assert server.eliminate_silent([]) == []
+        assert server.n == 3
+
+    def test_invalid_nf(self):
+        with pytest.raises(ValueError):
+            RobustServer(
+                np.zeros(1), MeanAggregator(), BoxSet.symmetric(1.0, 1),
+                ConstantSchedule(0.1), n=2, f=2,
+            )
+
+
+class TestSynchronousSimulator:
+    def test_fault_free_converges_to_mean(self):
+        targets = np.array([[0.0, 0.0], [2.0, 0.0], [0.0, 2.0], [2.0, 2.0]])
+        agents = build_agents(targets)
+        sim = SynchronousSimulator(
+            agents=agents,
+            aggregator=MeanAggregator(),
+            constraint=BoxSet.symmetric(10.0, dim=2),
+            schedule=paper_schedule(),
+            f=0,
+            initial_estimate=np.zeros(2),
+        )
+        sim.run(300)
+        assert np.allclose(sim.estimate, [1.0, 1.0], atol=1e-3)
+
+    def test_byzantine_needs_attack(self):
+        agents = build_agents(np.zeros((3, 2)), faulty_ids={2})
+        with pytest.raises(ValueError):
+            SynchronousSimulator(
+                agents=agents,
+                aggregator=MeanAggregator(),
+                constraint=BoxSet.symmetric(1.0, 2),
+                schedule=paper_schedule(),
+                f=1,
+                initial_estimate=np.zeros(2),
+            )
+
+    def test_duplicate_ids_rejected(self):
+        cost = SquaredDistanceCost([0.0])
+        agents = [HonestAgent(0, cost), HonestAgent(0, cost)]
+        with pytest.raises(ValueError):
+            SynchronousSimulator(
+                agents, MeanAggregator(), BoxSet.symmetric(1.0, 1),
+                paper_schedule(), f=0, initial_estimate=np.zeros(1),
+            )
+
+    def test_cge_filters_large_norm_attack(self):
+        targets = np.array([[1.0, 1.0]] * 5 + [[1.0, 1.0]])
+        agents = build_agents(targets, faulty_ids={5})
+        sim = SynchronousSimulator(
+            agents=agents,
+            aggregator=CGEAggregator(f=1),
+            constraint=BoxSet.symmetric(10.0, dim=2),
+            schedule=paper_schedule(),
+            f=1,
+            initial_estimate=np.zeros(2),
+            attack=LargeNormAttack(factor=1e4),
+        )
+        sim.run(300)
+        assert np.allclose(sim.estimate, [1.0, 1.0], atol=1e-3)
+
+    def test_silent_byzantine_eliminated(self):
+        targets = np.array([[1.0]] * 4)
+        agents = build_agents(targets, faulty_ids={3})
+        agents[3].silent_after = 5
+        sim = SynchronousSimulator(
+            agents=agents,
+            aggregator="cge",
+            constraint=BoxSet.symmetric(10.0, dim=1),
+            schedule=paper_schedule(),
+            f=1,
+            initial_estimate=np.zeros(1),
+            attack=GradientReverseAttack(),
+        )
+        sim.run(50)
+        assert sim.trace.eliminated_agents() == [3]
+        assert sim.server.n == 3
+        assert sim.server.f == 0
+        assert 3 not in sim.active_ids
+        # After elimination, the honest agents still drive convergence.
+        sim.run(200)
+        assert np.allclose(sim.estimate, [1.0], atol=1e-3)
+
+    def test_trace_records_everything(self):
+        agents = build_agents(np.array([[0.0], [2.0]]))
+        sim = SynchronousSimulator(
+            agents, MeanAggregator(), BoxSet.symmetric(5.0, 1),
+            ConstantSchedule(0.1), f=0, initial_estimate=np.zeros(1),
+        )
+        record = sim.step()
+        assert record.iteration == 0
+        assert set(record.gradients) == {0, 1}
+        assert record.step_size == pytest.approx(0.1)
+        assert np.allclose(
+            record.next_estimate,
+            record.estimate - 0.1 * record.aggregate,
+        )
+
+    def test_deterministic_given_seed(self):
+        def run_once():
+            agents = build_agents(np.array([[1.0], [1.0], [0.0]]), faulty_ids={2})
+            sim = SynchronousSimulator(
+                agents, CGEAggregator(f=1), BoxSet.symmetric(10.0, 1),
+                paper_schedule(), f=1, initial_estimate=np.zeros(1),
+                attack=RandomGaussianAttack(standard_deviation=10.0), seed=99,
+            )
+            sim.run(50)
+            return sim.estimate
+
+        assert np.array_equal(run_once(), run_once())
+
+    def test_omniscient_flag_enforced(self):
+        from repro.attacks import ALIEAttack
+
+        agents = build_agents(np.zeros((4, 2)), faulty_ids={3})
+        with pytest.raises(ValueError):
+            SynchronousSimulator(
+                agents, CGEAggregator(f=1), BoxSet.symmetric(1.0, 2),
+                paper_schedule(), f=1, initial_estimate=np.zeros(2),
+                attack=ALIEAttack(), omniscient_attack=False,
+            )
+
+
+class TestRunDGD:
+    def test_wrapper_runs(self, mean_costs):
+        trace = run_dgd(
+            costs=mean_costs,
+            faulty_ids=[4],
+            aggregator=CGEAggregator(f=1),
+            attack=GradientReverseAttack(),
+            constraint=BoxSet.symmetric(10.0, dim=2),
+            schedule=paper_schedule(),
+            initial_estimate=np.zeros(2),
+            iterations=100,
+        )
+        assert len(trace) == 100
+        assert trace.final_estimate.shape == (2,)
+
+    def test_bad_faulty_id(self, mean_costs):
+        with pytest.raises(ValueError):
+            run_dgd(
+                mean_costs, faulty_ids=[99], aggregator=MeanAggregator(),
+                attack=GradientReverseAttack(),
+                constraint=BoxSet.symmetric(1.0, 2),
+                schedule=paper_schedule(), initial_estimate=np.zeros(2),
+                iterations=1,
+            )
+
+    def test_zero_iterations_rejected(self, mean_costs):
+        with pytest.raises(ValueError):
+            run_dgd(
+                mean_costs, [], MeanAggregator(), None,
+                BoxSet.symmetric(1.0, 2), paper_schedule(), np.zeros(2),
+                iterations=0,
+            )

@@ -1,0 +1,128 @@
+"""Property-based invariants of the synchronous simulator.
+
+Hypothesis drives small random instances through the simulator and checks
+structural invariants that must hold for *every* execution: iterates stay
+inside W, the trace is internally consistent, elimination only ever
+removes genuinely silent agents, and runs are replayable.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregators import CGEAggregator
+from repro.attacks import GradientReverseAttack, RandomGaussianAttack
+from repro.distsys import run_dgd
+from repro.functions import SquaredDistanceCost
+from repro.optim import BoxSet, paper_schedule
+
+target_coord = st.floats(-5.0, 5.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def instances(draw):
+    n = draw(st.integers(min_value=4, max_value=7))
+    f = draw(st.integers(min_value=0, max_value=(n - 1) // 2))
+    targets = [
+        [draw(target_coord), draw(target_coord)] for _ in range(n)
+    ]
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return n, f, targets, seed
+
+
+def run_instance(n, f, targets, seed, iterations=25):
+    costs = [SquaredDistanceCost(t) for t in targets]
+    box = BoxSet.symmetric(8.0, dim=2)
+    trace = run_dgd(
+        costs=costs,
+        faulty_ids=list(range(n - f, n)),
+        aggregator=CGEAggregator(f=f),
+        attack=GradientReverseAttack() if f else None,
+        constraint=box,
+        schedule=paper_schedule(),
+        initial_estimate=np.zeros(2),
+        iterations=iterations,
+        seed=seed,
+    )
+    return trace, box
+
+
+class TestSimulatorInvariants:
+    @given(instances())
+    @settings(max_examples=30, deadline=None)
+    def test_iterates_stay_in_w(self, instance):
+        n, f, targets, seed = instance
+        trace, box = run_instance(n, f, targets, seed)
+        for point in trace.estimates():
+            assert box.contains(point, tol=1e-9)
+
+    @given(instances())
+    @settings(max_examples=30, deadline=None)
+    def test_trace_internally_consistent(self, instance):
+        n, f, targets, seed = instance
+        trace, box = run_instance(n, f, targets, seed)
+        for record in trace:
+            # The recorded update reproduces the recorded next estimate.
+            candidate = record.estimate - record.step_size * record.aggregate
+            assert np.allclose(
+                record.next_estimate, box.project(candidate), atol=1e-12
+            )
+            # One gradient per live agent.
+            assert len(record.gradients) == n
+        # Consecutive records chain.
+        for a, b in zip(trace.records, trace.records[1:]):
+            assert np.array_equal(a.next_estimate, b.estimate)
+            assert b.iteration == a.iteration + 1
+
+    @given(instances())
+    @settings(max_examples=20, deadline=None)
+    def test_replayable(self, instance):
+        n, f, targets, seed = instance
+        a, _ = run_instance(n, f, targets, seed)
+        b, _ = run_instance(n, f, targets, seed)
+        assert np.array_equal(a.final_estimate, b.final_estimate)
+
+    @given(instances())
+    @settings(max_examples=20, deadline=None)
+    def test_random_attack_also_replayable(self, instance):
+        n, f, targets, seed = instance
+        if f == 0:
+            return
+        costs = [SquaredDistanceCost(t) for t in targets]
+
+        def run_once():
+            return run_dgd(
+                costs=costs,
+                faulty_ids=list(range(n - f, n)),
+                aggregator=CGEAggregator(f=f),
+                attack=RandomGaussianAttack(standard_deviation=3.0),
+                constraint=BoxSet.symmetric(8.0, dim=2),
+                schedule=paper_schedule(),
+                initial_estimate=np.zeros(2),
+                iterations=15,
+                seed=seed,
+            ).final_estimate
+
+        assert np.array_equal(run_once(), run_once())
+
+    @given(instances())
+    @settings(max_examples=20, deadline=None)
+    def test_fault_free_approaches_honest_mean(self, instance):
+        n, f, targets, seed = instance
+        costs = [SquaredDistanceCost(t) for t in targets]
+        trace = run_dgd(
+            costs=costs,
+            faulty_ids=[],
+            aggregator="mean",
+            attack=None,
+            constraint=BoxSet.symmetric(8.0, dim=2),
+            schedule=paper_schedule(),
+            initial_estimate=np.zeros(2),
+            iterations=300,
+            seed=seed,
+        )
+        goal = BoxSet.symmetric(8.0, dim=2).project(
+            np.mean(targets, axis=0)
+        )
+        assert np.linalg.norm(trace.final_estimate - goal) < 0.05

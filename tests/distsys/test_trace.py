@@ -1,0 +1,83 @@
+"""Tests for execution traces."""
+
+import numpy as np
+import pytest
+
+from repro.distsys.trace import ExecutionTrace, IterationRecord
+
+
+def make_trace(points):
+    """Trace walking through the given points."""
+    trace = ExecutionTrace()
+    for t in range(len(points) - 1):
+        trace.append(
+            IterationRecord(
+                iteration=t,
+                estimate=np.asarray(points[t], dtype=float),
+                gradients={0: np.zeros(len(points[0]))},
+                aggregate=np.asarray(points[t], dtype=float),
+                step_size=0.1,
+                next_estimate=np.asarray(points[t + 1], dtype=float),
+            )
+        )
+    return trace
+
+
+class TestExecutionTrace:
+    def test_len_and_iter(self):
+        trace = make_trace([[0.0], [1.0], [2.0]])
+        assert len(trace) == 2
+        assert [r.iteration for r in trace] == [0, 1]
+
+    def test_final_estimate(self):
+        trace = make_trace([[0.0], [1.0], [2.0]])
+        assert trace.final_estimate[0] == 2.0
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(ValueError):
+            ExecutionTrace().final_estimate
+
+    def test_estimates_stacking(self):
+        trace = make_trace([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        pts = trace.estimates()
+        assert pts.shape == (3, 2)
+        assert np.array_equal(pts[-1], [2.0, 2.0])
+        assert trace.estimates(include_final=False).shape == (2, 2)
+
+    def test_estimate_at(self):
+        trace = make_trace([[0.0], [1.0], [2.0]])
+        assert trace.estimate_at(0)[0] == 0.0
+        assert trace.estimate_at(2)[0] == 2.0
+        with pytest.raises(IndexError):
+            trace.estimate_at(3)
+        with pytest.raises(IndexError):
+            trace.estimate_at(-1)
+
+    def test_distances_to(self):
+        trace = make_trace([[0.0], [1.0], [2.0]])
+        dists = trace.distances_to([2.0])
+        assert np.allclose(dists, [2.0, 1.0, 0.0])
+
+    def test_losses(self):
+        trace = make_trace([[0.0], [2.0], [4.0]])
+        losses = trace.losses(lambda x: float(x[0] ** 2))
+        assert np.allclose(losses, [0.0, 4.0, 16.0])
+
+    def test_aggregate_norms(self):
+        trace = make_trace([[3.0], [4.0], [0.0]])
+        assert np.allclose(trace.aggregate_norms(), [3.0, 4.0])
+
+    def test_eliminated_agents_flattened(self):
+        trace = make_trace([[0.0], [1.0]])
+        trace.records[0].eliminated = [3, 5]
+        assert trace.eliminated_agents() == [3, 5]
+
+    def test_convergence_iteration(self):
+        trace = make_trace([[5.0], [2.0], [0.5], [0.4], [0.3]])
+        assert trace.convergence_iteration([0.0], radius=1.0) == 2
+        assert trace.convergence_iteration([0.0], radius=0.01) is None
+
+    def test_convergence_requires_staying_inside(self):
+        # Dips inside the ball then leaves: not converged at the dip.
+        trace = make_trace([[0.5], [5.0], [0.2], [0.1]])
+        assert trace.convergence_iteration([0.0], radius=1.0) == 2

@@ -1,0 +1,61 @@
+"""Tests for execution-trace serialization round-trips."""
+
+import json
+
+import numpy as np
+
+from repro.aggregators import CGEAggregator
+from repro.attacks import GradientReverseAttack
+from repro.distsys import ExecutionTrace, run_dgd
+from repro.functions import SquaredDistanceCost
+from repro.optim import BoxSet, paper_schedule
+
+
+def small_trace():
+    costs = [SquaredDistanceCost([float(i), 0.0]) for i in range(4)]
+    return run_dgd(
+        costs=costs,
+        faulty_ids=[3],
+        aggregator=CGEAggregator(f=1),
+        attack=GradientReverseAttack(),
+        constraint=BoxSet.symmetric(10.0, dim=2),
+        schedule=paper_schedule(),
+        initial_estimate=np.zeros(2),
+        iterations=10,
+    )
+
+
+class TestTraceSerialization:
+    def test_roundtrip_identity(self):
+        trace = small_trace()
+        rebuilt = ExecutionTrace.from_payload(trace.to_payload())
+        assert len(rebuilt) == len(trace)
+        assert np.array_equal(rebuilt.final_estimate, trace.final_estimate)
+        for a, b in zip(trace, rebuilt):
+            assert a.iteration == b.iteration
+            assert np.array_equal(a.estimate, b.estimate)
+            assert np.array_equal(a.aggregate, b.aggregate)
+            assert a.step_size == b.step_size
+            assert set(a.gradients) == set(b.gradients)
+            for k in a.gradients:
+                assert np.array_equal(a.gradients[k], b.gradients[k])
+
+    def test_payload_is_json_serializable(self):
+        trace = small_trace()
+        text = json.dumps(trace.to_payload())
+        back = ExecutionTrace.from_payload(json.loads(text))
+        assert np.allclose(back.final_estimate, trace.final_estimate)
+
+    def test_eliminated_preserved(self):
+        trace = small_trace()
+        trace.records[2].eliminated = [3]
+        rebuilt = ExecutionTrace.from_payload(trace.to_payload())
+        assert rebuilt.records[2].eliminated == [3]
+
+    def test_derived_series_survive_roundtrip(self):
+        trace = small_trace()
+        rebuilt = ExecutionTrace.from_payload(trace.to_payload())
+        target = [1.0, 0.0]
+        assert np.allclose(
+            trace.distances_to(target), rebuilt.distances_to(target)
+        )

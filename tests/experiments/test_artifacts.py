@@ -1,0 +1,65 @@
+"""Tests for experiment run archival (save_run / load_run)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import load_run, paper_problem, run_regression, save_run
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_regression(
+        paper_problem(), "cge", "gradient_reverse", iterations=40, seed=0
+    )
+
+
+class TestArtifacts:
+    def test_roundtrip_with_trace(self, result, tmp_path):
+        path = save_run(result, tmp_path / "run.json")
+        back = load_run(path)
+        assert back.label == result.label
+        assert back.aggregator == "cge"
+        assert back.attack == "gradient_reverse"
+        assert np.allclose(back.output, result.output)
+        assert back.distance == pytest.approx(result.distance)
+        assert np.allclose(back.losses, result.losses)
+        assert np.allclose(back.distances, result.distances)
+        assert back.trace is not None
+        assert len(back.trace) == len(result.trace)
+        assert np.allclose(
+            back.trace.final_estimate, result.trace.final_estimate
+        )
+
+    def test_roundtrip_without_trace(self, result, tmp_path):
+        path = save_run(result, tmp_path / "thin.json", include_trace=False)
+        back = load_run(path)
+        assert back.trace is None
+        assert back.distance == pytest.approx(result.distance)
+
+    def test_trace_exclusion_shrinks_artifact(self, result, tmp_path):
+        fat = save_run(result, tmp_path / "fat.json")
+        thin = save_run(result, tmp_path / "thin.json", include_trace=False)
+        assert fat.stat().st_size > 3 * thin.stat().st_size
+
+    def test_creates_parent_directories(self, result, tmp_path):
+        path = save_run(result, tmp_path / "deep" / "nested" / "run.json")
+        assert path.exists()
+
+    def test_schema_guard(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"schema": "something-else"}))
+        with pytest.raises(ValueError):
+            load_run(bogus)
+
+    def test_rerender_series_from_artifact(self, result, tmp_path):
+        # The archived series regenerate the figure rows without rerunning.
+        from repro.experiments.reporting import format_series
+
+        path = save_run(result, tmp_path / "run.json", include_trace=False)
+        back = load_run(path)
+        text = format_series(
+            {"loss": back.losses, "distance": back.distances}, stride=10
+        )
+        assert "loss" in text and "distance" in text

@@ -1,0 +1,66 @@
+"""Fast end-to-end tests of the remaining CLI subcommands."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["table1"],
+            ["figure2"],
+            ["figure3"],
+            ["figure4"],
+            ["figure5"],
+            ["ablation-filters"],
+            ["ablation-fsweep"],
+            ["ablation-redundancy"],
+            ["ablation-exact"],
+            ["ablation-dimension"],
+            ["ablation-schedules"],
+            ["ablation-adaptive"],
+            ["certify"],
+            ["svm"],
+            ["frontier", "--max-f", "1"],
+            ["all", "--skip-learning"],
+        ],
+    )
+    def test_all_subcommands_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert args.command == argv[0]
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestFastCommands:
+    def test_certify_runs(self, capsys):
+        assert main(["certify", "--iterations", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Resilience certification" in out
+        assert "Theorem 5" in out
+
+    def test_svm_runs(self, capsys):
+        assert main(["svm", "--iterations", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Distributed SVM" in out
+        assert "fault-free" in out
+
+    def test_ablation_exact_runs(self, capsys):
+        assert main(["ablation-exact"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem-2" in out
+
+    def test_ablation_redundancy_runs(self, capsys):
+        assert main(["ablation-redundancy"]) == 0
+        out = capsys.readouterr().out
+        assert "redundancy" in out.lower()
+
+    def test_frontier_runs(self, capsys):
+        assert main(["frontier", "--max-f", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Resilience frontier" in out
+        assert "Theorem 5" in out  # the paper instance's covering theorem

@@ -1,0 +1,56 @@
+"""Tests for CSV series output and the attack-scale ablation."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import write_csv
+from repro.experiments.ablations import attack_scale_sweep
+
+
+class TestWriteCSV:
+    def test_roundtrip_values(self, tmp_path):
+        path = write_csv(
+            tmp_path / "series.csv",
+            {"loss": [1.0, 0.5, 0.25], "dist": [2.0, 1.0, 0.5]},
+        )
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "t,loss,dist"
+        assert lines[1].startswith("0,")
+        values = [float(v) for v in lines[2].split(",")]
+        assert values == [1.0, 0.5, 1.0]
+
+    def test_full_precision(self, tmp_path):
+        value = 0.1 + 0.2  # not exactly representable
+        path = write_csv(tmp_path / "p.csv", {"x": [value]})
+        read_back = float(path.read_text().splitlines()[1].split(",")[1])
+        assert read_back == value
+
+    def test_numpy_columns(self, tmp_path):
+        path = write_csv(tmp_path / "np.csv", {"x": np.arange(4.0)})
+        assert len(path.read_text().strip().splitlines()) == 5
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "bad.csv", {})
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "bad.csv", {"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_creates_directories(self, tmp_path):
+        path = write_csv(tmp_path / "a" / "b" / "c.csv", {"x": [1.0]})
+        assert path.exists()
+
+
+class TestAttackScaleSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return attack_scale_sweep(scales=(1.0, 10.0), iterations=300, seed=0)
+
+    def test_row_per_scale(self, rows):
+        assert [r.scale for r in rows] == [1.0, 10.0]
+
+    def test_cge_robust_at_all_scales(self, rows):
+        assert all(r.cge_within_epsilon for r in rows)
+
+    def test_mean_degrades_with_scale(self, rows):
+        assert rows[1].mean_distance > rows[0].mean_distance
+        assert not rows[1].mean_within_epsilon

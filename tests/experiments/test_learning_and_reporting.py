@@ -1,0 +1,137 @@
+"""Tests for the learning experiment harness, reporting and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    LearningExperimentConfig,
+    format_series,
+    format_table,
+    render_learning_panel,
+    run_learning_experiment,
+    to_jsonable,
+    write_json,
+)
+from repro.experiments.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def quick_panel():
+    config = LearningExperimentConfig(
+        n_train=400,
+        n_test=120,
+        image_side=10,
+        hidden_dims=(24,),
+        batch_size=32,
+        step_size=0.4,
+        iterations=60,
+        eval_every=30,
+        seed=0,
+    )
+    return run_learning_experiment(config)
+
+
+class TestLearningExperiment:
+    def test_method_lineup(self, quick_panel):
+        assert set(quick_panel.traces) == {
+            "fault-free",
+            "cwtm-lf",
+            "cwtm-gr",
+            "cge-lf",
+            "cge-gr",
+            "mean-gr",
+        }
+
+    def test_f_faulty_agents_selected(self, quick_panel):
+        assert len(quick_panel.faulty_ids) == 3
+        assert all(0 <= i < 10 for i in quick_panel.faulty_ids)
+
+    def test_fault_free_learns(self, quick_panel):
+        assert quick_panel.traces["fault-free"].final_accuracy > 0.5
+
+    def test_filtered_beat_unfiltered_under_gr(self, quick_panel):
+        finals = quick_panel.final_accuracies()
+        assert finals["cge-gr"] > finals["mean-gr"]
+        assert finals["cwtm-gr"] > finals["mean-gr"]
+
+    def test_render(self, quick_panel):
+        text = render_learning_panel(quick_panel)
+        assert "fault-free" in text
+        assert "test accuracy" in text
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LearningExperimentConfig(n_agents=4, f=4)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", 3.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_table_scientific_for_small(self):
+        text = format_table(["v"], [[1.5e-7]])
+        assert "e-07" in text
+
+    def test_format_series(self):
+        text = format_series({"x": [0.0, 1.0, 2.0], "y": [5.0, 6.0, 7.0]}, stride=2)
+        assert "t" in text.splitlines()[0]
+        assert len(text.splitlines()) == 2 + 2  # header, rule, rows 0 and 2
+
+    def test_format_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series({"x": [1.0], "y": [1.0, 2.0]})
+
+    def test_format_series_empty(self):
+        with pytest.raises(ValueError):
+            format_series({})
+
+    def test_to_jsonable_roundtrip(self):
+        payload = {
+            "arr": np.arange(3),
+            "num": np.float64(1.5),
+            "nested": [np.int64(2), {"deep": np.zeros(2)}],
+        }
+        out = to_jsonable(payload)
+        json.dumps(out)  # must not raise
+        assert out["arr"] == [0, 1, 2]
+        assert out["nested"][1]["deep"] == [0.0, 0.0]
+
+    def test_write_json(self, tmp_path):
+        target = tmp_path / "sub" / "out.json"
+        write_json(target, {"x": np.ones(2)})
+        data = json.loads(target.read_text())
+        assert data == {"x": [1.0, 1.0]}
+
+
+class TestCLI:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1", "--iterations", "100"])
+        assert args.command == "table1"
+        assert args.iterations == 100
+
+    def test_table1_command_runs(self, capsys):
+        code = main(["table1", "--iterations", "120"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "CGE" in out
+
+    def test_figure3_command_runs(self, capsys):
+        code = main(["figure3", "--iterations", "40", "--stride", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault-free" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-command"])

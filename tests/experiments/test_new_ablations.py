@@ -1,0 +1,82 @@
+"""Tests for the dimension/schedule/adaptive ablations and the CLI hooks."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    adaptive_attack_sweep,
+    dimension_sweep,
+    schedule_sweep,
+)
+from repro.experiments.cli import main
+
+
+class TestDimensionSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return dimension_sweep(dims=(2, 8), n=6, f=1, iterations=300, seed=0)
+
+    def test_threshold_shrinks_with_dimension(self, rows):
+        assert rows[0].lambda_threshold > rows[1].lambda_threshold
+        # Exactly the sqrt(d) law with constant mu/gamma.
+        ratio = rows[0].lambda_threshold / rows[1].lambda_threshold
+        assert ratio == pytest.approx(np.sqrt(8 / 2), rel=1e-9)
+
+    def test_measured_error_small(self, rows):
+        for row in rows:
+            assert row.measured_distance < 0.3
+
+    def test_bound_when_applicable(self, rows):
+        for row in rows:
+            if row.applicable:
+                assert np.isfinite(row.bound)
+                assert row.lam < row.lambda_threshold
+
+
+class TestScheduleSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return schedule_sweep(iterations=300, seed=0)
+
+    def test_all_schedules_present(self, rows):
+        labels = {r.label for r in rows}
+        assert "paper 1.5/(t+1)" in labels
+        assert any("unstable" in label for label in labels)
+
+    def test_robbins_monro_schedules_converge(self, rows):
+        for row in rows:
+            if row.robbins_monro:
+                assert row.within_epsilon
+
+    def test_unstable_constant_fails(self, rows):
+        unstable = next(r for r in rows if "unstable" in r.label)
+        assert not unstable.robbins_monro
+        assert not unstable.within_epsilon
+
+
+class TestAdaptiveSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return adaptive_attack_sweep(iterations=300, seed=0)
+
+    def test_grid_complete(self, rows):
+        assert len(rows) == 10  # 2 filters x 5 attacks
+
+    def test_theorem5_envelope_holds_for_cge(self, rows):
+        for row in rows:
+            if row.aggregator == "cge":
+                assert row.within_theorem5
+
+    def test_evasion_at_least_as_damaging_as_random(self, rows):
+        by_key = {(r.aggregator, r.attack): r.distance for r in rows}
+        assert by_key[("cge", "cge_evasion")] >= by_key[("cge", "random")] - 1e-12
+
+
+class TestCLINewCommands:
+    @pytest.mark.parametrize(
+        "command", ["ablation-schedules"]
+    )
+    def test_runs_and_prints(self, command, capsys):
+        assert main([command]) == 0
+        out = capsys.readouterr().out
+        assert "schedule" in out.lower()

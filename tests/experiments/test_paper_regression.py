@@ -1,0 +1,87 @@
+"""Tests pinning the Appendix-J constants — the reproduction's ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.paper_regression import (
+    PAPER_A,
+    PAPER_B,
+    PAPER_EPSILON,
+    PAPER_N,
+    PAPER_X_H,
+    PAPER_X_STAR,
+    paper_problem,
+)
+
+
+class TestPaperData:
+    def test_dimensions(self):
+        assert PAPER_A.shape == (6, 2)
+        assert PAPER_B.shape == (6,)
+        assert PAPER_N.shape == (6,)
+
+    def test_b_equals_ax_plus_n(self):
+        # Equation (133): B = A x* + N, exactly.
+        assert np.allclose(PAPER_B, PAPER_A @ PAPER_X_STAR + PAPER_N, atol=1e-12)
+
+    def test_all_stacks_of_4_full_rank(self):
+        # Equation (135): rank(A_S) = 2 for every |S| >= 4.
+        from itertools import combinations
+
+        for subset in combinations(range(6), 4):
+            assert np.linalg.matrix_rank(PAPER_A[list(subset)]) == 2
+
+    def test_row_norms_at_most_one(self):
+        assert np.all(np.linalg.norm(PAPER_A, axis=1) <= 1.0 + 1e-12)
+
+
+class TestPaperProblem:
+    def test_x_h_matches_paper(self, paper):
+        assert np.allclose(paper.x_h, PAPER_X_H, atol=5e-5)
+
+    def test_epsilon_matches_paper(self, paper):
+        report = paper.measure_epsilon()
+        assert report.epsilon == pytest.approx(PAPER_EPSILON, abs=5e-4)
+
+    def test_constants_both_conventions(self, paper):
+        assert paper.mu == pytest.approx(1.0)
+        assert paper.gamma == pytest.approx(0.356, abs=1e-4)
+        assert paper.mu_hessian == pytest.approx(2.0)
+        assert paper.gamma_hessian == pytest.approx(0.712, abs=2e-4)
+
+    def test_structure(self, paper):
+        assert paper.n == 6
+        assert paper.f == 1
+        assert paper.d == 2
+        assert paper.faulty_ids == (0,)
+        assert paper.honest_ids == (1, 2, 3, 4, 5)
+
+    def test_schedule_is_papers(self, paper):
+        assert paper.schedule(0) == pytest.approx(1.5)
+        assert paper.schedule.satisfies_robbins_monro
+
+    def test_w_contains_x_h(self, paper):
+        # Assumption 4: x_H must lie in W.
+        assert paper.constraint.contains(paper.x_h)
+
+    def test_loss_and_distance_helpers(self, paper):
+        assert paper.distance_to_honest_minimizer(paper.x_h) == pytest.approx(0.0)
+        loss_at_xh = paper.honest_aggregate_loss(paper.x_h)
+        loss_elsewhere = paper.honest_aggregate_loss(np.zeros(2))
+        assert loss_at_xh < loss_elsewhere
+
+    def test_alternative_initial_estimate(self):
+        problem = paper_problem(initial_estimate=(-0.0085, -0.5643))
+        assert np.allclose(problem.initial_estimate, [-0.0085, -0.5643])
+
+    def test_cge_theorem5_applicable_on_paper_instance(self, paper):
+        # On the paper's instance mu/gamma ~ 2.81, so Theorem 4's alpha is
+        # negative (f/n = 1/6 > 0.151) — it is Theorem 5, with its milder
+        # alpha = 1 - (f/n)(1 + mu/gamma), that covers the experiments.
+        from repro.core.bounds import cge_bound, cge_bound_v2
+
+        b4 = cge_bound(paper.n, paper.f, paper.mu, paper.gamma)
+        b5 = cge_bound_v2(paper.n, paper.f, paper.mu, paper.gamma)
+        assert not b4.applicable
+        assert b5.applicable
+        assert b5.alpha > 0

@@ -1,0 +1,135 @@
+"""Tests for the experiment runner, Table 1 and the figure generators.
+
+Uses reduced iteration counts: the properties asserted (who converges, who
+does not, error below epsilon) hold well before the paper's 500 iterations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    generate_figure2,
+    generate_table1,
+    paper_problem,
+    render_figure,
+    render_table1,
+    run_fault_free,
+    run_regression,
+)
+
+ITER = 300
+
+
+class TestRunner:
+    def test_cge_gradient_reverse_within_epsilon(self, paper):
+        result = run_regression(paper, "cge", "gradient_reverse", iterations=ITER)
+        assert result.distance < paper.epsilon
+
+    def test_cwtm_gradient_reverse_within_epsilon(self, paper):
+        result = run_regression(paper, "cwtm", "gradient_reverse", iterations=ITER)
+        assert result.distance < paper.epsilon
+
+    def test_cge_random_within_epsilon(self, paper):
+        result = run_regression(paper, "cge", "random", iterations=ITER)
+        assert result.distance < paper.epsilon
+
+    def test_plain_mean_under_random_attack_fails(self, paper):
+        result = run_regression(paper, "mean", "random", iterations=ITER)
+        assert result.distance > paper.epsilon
+
+    def test_series_shapes(self, paper):
+        result = run_regression(paper, "cge", "gradient_reverse", iterations=50)
+        assert result.losses.shape == (51,)     # x_0 .. x_50
+        assert result.distances.shape == (51,)
+        assert result.distances[-1] == pytest.approx(result.distance)
+
+    def test_attack_instance_and_aggregator_instance(self, paper):
+        from repro.aggregators import CGEAggregator
+        from repro.attacks import GradientReverseAttack
+
+        result = run_regression(
+            paper,
+            CGEAggregator(f=1),
+            GradientReverseAttack(),
+            iterations=50,
+        )
+        assert result.aggregator == "cge"
+        assert result.attack == "gradient_reverse"
+
+    def test_fault_free_baseline(self, paper):
+        result = run_fault_free(paper, iterations=ITER)
+        assert result.label == "fault-free"
+        assert result.distance < 0.01
+
+    def test_honest_byzantine_agent_no_attack(self, paper):
+        # attack=None: the "faulty" agent behaves honestly; with CGE the
+        # run should still converge near x_H (it may drop an honest agent).
+        result = run_regression(paper, "cge", None, iterations=ITER)
+        assert result.attack is None
+        assert result.distance < 2 * paper.epsilon
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return generate_table1(paper_problem(), iterations=ITER, seed=0)
+
+    def test_four_rows(self, rows):
+        assert len(rows) == 4
+        combos = {(r.aggregator, r.attack) for r in rows}
+        assert combos == {
+            ("cge", "gradient_reverse"),
+            ("cge", "random"),
+            ("cwtm", "gradient_reverse"),
+            ("cwtm", "random"),
+        }
+
+    def test_headline_claim_all_within_epsilon(self, rows):
+        # "In all the executions, the distance ||x_H - x_out|| < eps."
+        assert all(r.within_epsilon for r in rows)
+
+    def test_paper_reference_distances_attached(self, rows):
+        for row in rows:
+            assert row.paper_distance > 0
+
+    def test_render(self, rows):
+        text = render_table1(rows, epsilon=0.089)
+        assert "Table 1" in text
+        assert "CGE" in text and "CWTM" in text
+        assert "gradient_reverse" in text
+
+
+class TestFigures:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        return generate_figure2(paper_problem(), iterations=120, seed=0)
+
+    def test_both_attacks_present(self, panels):
+        assert set(panels) == {"gradient_reverse", "random"}
+
+    def test_method_lineup(self, panels):
+        for panel in panels.values():
+            assert panel.method_names() == ["fault-free", "cwtm", "cge", "plain"]
+
+    def test_filtered_beat_plain_under_random_attack(self, panels):
+        panel = panels["random"]
+        assert panel.final_distances["cge"] < panel.final_distances["plain"]
+        assert panel.final_distances["cwtm"] < panel.final_distances["plain"]
+
+    def test_filters_track_fault_free(self, panels):
+        for panel in panels.values():
+            for method in ("cge", "cwtm"):
+                assert panel.final_distances[method] < 0.15
+
+    def test_losses_decrease_for_filtered_methods(self, panels):
+        for panel in panels.values():
+            for method in ("fault-free", "cge", "cwtm"):
+                losses = panel.losses[method]
+                assert losses[-1] < losses[0]
+
+    def test_render_figure(self, panels):
+        text = render_figure(panels["random"], "distances", stride=30)
+        assert "fault-free" in text
+        assert "random" in text
+        with pytest.raises(ValueError):
+            render_figure(panels["random"], "nonsense")

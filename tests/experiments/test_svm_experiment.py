@@ -1,0 +1,69 @@
+"""Tests for the distributed SVM experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.svm_experiment import (
+    SVMExperimentConfig,
+    render_svm_panel,
+    run_svm_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def panel():
+    config = SVMExperimentConfig(
+        n_agents=8,
+        f=2,
+        dim=3,
+        n_train=600,
+        n_test=200,
+        iterations=200,
+        attacks=("gradient_reverse",),
+        seed=0,
+    )
+    return run_svm_experiment(config)
+
+
+class TestSVMExperiment:
+    def test_method_lineup(self, panel):
+        assert set(panel.accuracies) == {
+            "fault-free",
+            "cge-gradient_reverse",
+            "cwtm-gradient_reverse",
+            "mean-gradient_reverse",
+        }
+
+    def test_fault_free_learns_separator(self, panel):
+        assert panel.fault_free > 0.9
+
+    def test_filters_comparable_to_fault_free(self, panel):
+        # The paper's SVM claim.
+        assert panel.accuracies["cge-gradient_reverse"] > panel.fault_free - 0.1
+        assert panel.accuracies["cwtm-gradient_reverse"] > panel.fault_free - 0.1
+
+    def test_plain_averaging_fails(self, panel):
+        assert panel.accuracies["mean-gradient_reverse"] < 0.6
+
+    def test_separator_unit_norm(self, panel):
+        assert np.linalg.norm(panel.separator) == pytest.approx(1.0)
+
+    def test_render(self, panel):
+        text = render_svm_panel(panel)
+        assert "Distributed SVM" in text
+        assert "fault-free" in text
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SVMExperimentConfig(n_agents=4, f=4)
+        with pytest.raises(ValueError):
+            SVMExperimentConfig(n_train=5, n_agents=10)
+
+    def test_deterministic(self):
+        config = SVMExperimentConfig(
+            n_agents=6, f=1, dim=2, n_train=200, n_test=80,
+            iterations=50, attacks=("gradient_reverse",), seed=3,
+        )
+        a = run_svm_experiment(config).accuracies
+        b = run_svm_experiment(config).accuracies
+        assert a == b

@@ -1,0 +1,87 @@
+"""Tests for the linear least-squares costs (Appendix-J workload)."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import AffineSubspace, SingletonSet
+from repro.functions import (
+    LeastSquaresCost,
+    check_gradient,
+    linear_regression_agents,
+    stack_agents,
+)
+
+
+class TestLeastSquaresCost:
+    def test_value_is_residual_norm_squared(self, rng):
+        a = rng.normal(size=(4, 2))
+        b = rng.normal(size=4)
+        cost = LeastSquaresCost(a, b)
+        x = rng.normal(size=2)
+        assert cost.value(x) == pytest.approx(float(np.sum((b - a @ x) ** 2)))
+
+    def test_gradient_formula(self, rng):
+        a = rng.normal(size=(3, 2))
+        b = rng.normal(size=3)
+        cost = LeastSquaresCost(a, b)
+        for _ in range(5):
+            assert check_gradient(cost, rng.normal(size=2))
+
+    def test_hessian(self):
+        a = np.array([[1.0, 0.0], [0.0, 2.0]])
+        cost = LeastSquaresCost(a, [0.0, 0.0])
+        assert np.allclose(cost.hessian(np.zeros(2)), 2.0 * a.T @ a)
+
+    def test_argmin_full_rank_is_normal_equation(self, rng):
+        a = rng.normal(size=(5, 3))
+        b = rng.normal(size=5)
+        s = LeastSquaresCost(a, b).argmin_set()
+        assert isinstance(s, SingletonSet)
+        expected = np.linalg.solve(a.T @ a, a.T @ b)
+        assert np.allclose(s.point, expected)
+
+    def test_argmin_rank_deficient_is_affine(self):
+        # Single row: minimizers are a line in R^2.
+        cost = LeastSquaresCost([[1.0, 0.0]], [2.0])
+        s = cost.argmin_set()
+        assert isinstance(s, AffineSubspace)
+        assert s.subspace_dim == 1
+        assert s.contains([2.0, 7.0])   # any x with x0 = 2
+        assert cost.value(np.array([2.0, 7.0])) == pytest.approx(0.0)
+
+    def test_mismatched_rows_rejected(self):
+        with pytest.raises(ValueError):
+            LeastSquaresCost(np.eye(2), [1.0, 2.0, 3.0])
+
+    def test_constants(self):
+        a = np.array([[1.0, 0.0], [0.0, 3.0]])
+        cost = LeastSquaresCost(a, [0.0, 0.0])
+        assert cost.smoothness_constant() == pytest.approx(2.0 * 9.0)
+        assert cost.convexity_constant() == pytest.approx(2.0 * 1.0)
+
+
+class TestAgentsAndStacking:
+    def test_one_agent_per_row(self, paper):
+        assert len(paper.costs) == 6
+        assert all(c.n_rows == 1 for c in paper.costs)
+
+    def test_stack_equals_sum(self, paper, rng):
+        stacked = stack_agents(paper.costs)
+        x = rng.normal(size=2)
+        total = sum(c.value(x) for c in paper.costs)
+        assert stacked.value(x) == pytest.approx(total)
+        grad_total = np.sum([c.gradient(x) for c in paper.costs], axis=0)
+        assert np.allclose(stacked.gradient(x), grad_total)
+
+    def test_stack_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stack_agents([])
+
+    def test_linear_regression_agents_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            linear_regression_agents(np.eye(3), [1.0, 2.0])
+
+    def test_honest_stack_matches_paper_xh(self, paper):
+        honest = [paper.costs[i] for i in paper.honest_ids]
+        s = stack_agents(honest).argmin_set()
+        assert np.allclose(s.support_points()[0], [1.0780, 0.9825], atol=5e-4)

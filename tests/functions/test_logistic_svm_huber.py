@@ -1,0 +1,145 @@
+"""Tests for logistic, smooth-hinge (SVM) and Huber costs."""
+
+import numpy as np
+import pytest
+
+from repro.functions import (
+    HuberCost,
+    LogisticCost,
+    SmoothHingeCost,
+    check_gradient,
+    numeric_gradient,
+)
+
+
+def toy_classification(rng, n=40, d=3, margin=1.0):
+    """Linearly separable-ish labelled data."""
+    w = np.ones(d) / np.sqrt(d)
+    z = rng.normal(size=(n, d))
+    y = np.where(z @ w >= 0, 1.0, -1.0)
+    z += margin * 0.1 * y[:, None] * w  # widen the margin slightly
+    return z, y
+
+
+class TestLogisticCost:
+    def test_gradient_matches_finite_differences(self, rng):
+        z, y = toy_classification(rng)
+        cost = LogisticCost(z, y, regularization=0.05)
+        for _ in range(5):
+            assert check_gradient(cost, rng.normal(size=3))
+
+    def test_hessian_matches_finite_differences(self, rng):
+        z, y = toy_classification(rng, n=20, d=2)
+        cost = LogisticCost(z, y, regularization=0.1)
+        x = rng.normal(size=2)
+        analytic = cost.hessian(x)
+        numeric = np.column_stack(
+            [
+                numeric_gradient(lambda p: cost.gradient(p)[k], x)
+                for k in range(2)
+            ]
+        )
+        assert np.allclose(analytic, numeric, atol=1e-4)
+
+    def test_value_decreases_along_negative_gradient(self, rng):
+        z, y = toy_classification(rng)
+        cost = LogisticCost(z, y, regularization=0.01)
+        x = rng.normal(size=3)
+        g = cost.gradient(x)
+        assert cost.value(x - 1e-3 * g) < cost.value(x)
+
+    def test_argmin_gradient_is_zero(self, rng):
+        z, y = toy_classification(rng, n=30)
+        cost = LogisticCost(z, y, regularization=0.5)
+        s = cost.argmin_set()
+        grad = cost.gradient(s.support_points()[0])
+        assert np.linalg.norm(grad) < 1e-8
+
+    def test_no_argmin_without_regularization(self, rng):
+        z, y = toy_classification(rng)
+        assert LogisticCost(z, y).argmin_set() is None
+
+    def test_bad_labels_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticCost(np.eye(2), [0.0, 1.0])
+
+    def test_smoothness_bounds_hessian(self, rng):
+        z, y = toy_classification(rng, n=25, d=2)
+        cost = LogisticCost(z, y, regularization=0.1)
+        mu = cost.smoothness_constant()
+        for _ in range(5):
+            h = cost.hessian(rng.normal(size=2))
+            assert np.linalg.eigvalsh(h).max() <= mu + 1e-9
+
+
+class TestSmoothHingeCost:
+    def test_gradient_matches_finite_differences(self, rng):
+        z, y = toy_classification(rng)
+        cost = SmoothHingeCost(z, y, regularization=0.05, smoothing=0.5)
+        for _ in range(5):
+            # Avoid kink-adjacent points by margin: smooth hinge is C^1 so
+            # central differences are fine everywhere.
+            assert check_gradient(cost, rng.normal(size=3), step=1e-7)
+
+    def test_zero_loss_beyond_margin(self):
+        cost = SmoothHingeCost([[1.0]], [1.0], regularization=0.0)
+        # margin = x >= 1 -> loss 0
+        assert cost.value(np.array([2.0])) == pytest.approx(0.0)
+        assert cost.gradient(np.array([2.0]))[0] == pytest.approx(0.0)
+
+    def test_linear_region_slope(self):
+        cost = SmoothHingeCost([[1.0]], [1.0], regularization=0.0, smoothing=0.5)
+        # margin far below 1 - smoothing -> slope -1 through the feature.
+        assert cost.gradient(np.array([-3.0]))[0] == pytest.approx(-1.0)
+
+    def test_argmin_classifies_training_data(self, rng):
+        z, y = toy_classification(rng, n=60, margin=3.0)
+        cost = SmoothHingeCost(z, y, regularization=0.01)
+        w = cost.argmin_set().support_points()[0]
+        accuracy = float((np.sign(z @ w) == y).mean())
+        assert accuracy > 0.9
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            SmoothHingeCost(np.eye(2), [1.0, -1.0], smoothing=0.0)
+
+
+class TestHuberCost:
+    def test_quadratic_region_matches_half_square(self):
+        cost = HuberCost([[1.0]], [0.0], delta=1.0)
+        assert cost.value(np.array([0.5])) == pytest.approx(0.125)
+
+    def test_linear_region(self):
+        cost = HuberCost([[1.0]], [0.0], delta=1.0)
+        # |r| = 3 -> delta(|r| - delta/2) = 1*(3 - .5) = 2.5
+        assert cost.value(np.array([3.0])) == pytest.approx(2.5)
+
+    def test_gradient_matches_finite_differences(self, rng):
+        a = rng.normal(size=(6, 2))
+        b = rng.normal(size=6)
+        cost = HuberCost(a, b, delta=0.7)
+        for _ in range(5):
+            assert check_gradient(cost, rng.normal(size=2))
+
+    def test_gradient_clipped(self):
+        cost = HuberCost([[1.0]], [0.0], delta=1.0)
+        g_far = abs(cost.gradient(np.array([100.0]))[0])
+        g_near = abs(cost.gradient(np.array([0.5]))[0])
+        assert g_far == pytest.approx(1.0)
+        assert g_near == pytest.approx(0.5)
+
+    def test_argmin_robust_to_outlier(self, rng):
+        # Clean observations of x = 1 plus one wild outlier: Huber's argmin
+        # stays near 1 while least squares is pulled away.
+        a = np.ones((8, 1))
+        b = np.array([1.0, 1.02, 0.98, 1.01, 0.99, 1.0, 1.0, 25.0])
+        huber = HuberCost(a, b, delta=0.5).argmin_set().support_points()[0]
+        from repro.functions import LeastSquaresCost
+
+        ls = LeastSquaresCost(a, b).argmin_set().support_points()[0]
+        assert abs(huber[0] - 1.0) < 0.3
+        assert abs(ls[0] - 1.0) > 2.0
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            HuberCost([[1.0]], [0.0], delta=0.0)

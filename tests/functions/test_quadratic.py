@@ -1,0 +1,116 @@
+"""Tests for quadratic cost functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.geometry import AffineSubspace, SingletonSet
+from repro.functions import QuadraticCost, SquaredDistanceCost, check_gradient
+
+finite = st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False)
+
+
+class TestQuadraticCost:
+    def test_value_and_gradient(self):
+        q = QuadraticCost([[2.0, 0.0], [0.0, 4.0]], [1.0, -1.0], 3.0)
+        x = np.array([1.0, 2.0])
+        # 0.5 (2*1 + 4*4*... careful) = 0.5*(2 + 16) + (1 - 2) + 3 = 11
+        assert q.value(x) == pytest.approx(0.5 * (2.0 + 16.0) - 1.0 + 3.0)
+        assert np.allclose(q.gradient(x), [2.0 * 1 + 1, 4.0 * 2 - 1])
+
+    def test_gradient_matches_finite_differences(self, rng):
+        mat = rng.normal(size=(3, 3))
+        q = QuadraticCost(mat @ mat.T + np.eye(3), rng.normal(size=3), 0.5)
+        for _ in range(5):
+            assert check_gradient(q, rng.normal(size=3))
+
+    def test_hessian_constant(self, rng):
+        q = QuadraticCost(np.diag([1.0, 2.0]))
+        assert np.allclose(q.hessian(rng.normal(size=2)), np.diag([1.0, 2.0]))
+
+    def test_argmin_positive_definite(self):
+        q = QuadraticCost(np.diag([2.0, 4.0]), [-2.0, -8.0])
+        s = q.argmin_set()
+        assert isinstance(s, SingletonSet)
+        assert np.allclose(s.point, [1.0, 2.0])
+
+    def test_argmin_rank_deficient_consistent(self):
+        # P = diag(2, 0), q = (-2, 0): minimizers form the line x0 = 1.
+        q = QuadraticCost(np.diag([2.0, 0.0]), [-2.0, 0.0])
+        s = q.argmin_set()
+        assert isinstance(s, AffineSubspace)
+        assert s.contains([1.0, 5.0])
+        assert not s.contains([0.0, 5.0])
+
+    def test_argmin_unbounded_returns_none(self):
+        # Kernel direction with a linear tilt: unbounded below.
+        q = QuadraticCost(np.diag([2.0, 0.0]), [0.0, 1.0])
+        assert q.argmin_set() is None
+
+    def test_non_convex_returns_none(self):
+        q = QuadraticCost(np.diag([1.0, -1.0]))
+        assert q.argmin_set() is None
+
+    def test_constants(self):
+        q = QuadraticCost(np.diag([1.0, 3.0]))
+        assert q.smoothness_constant() == pytest.approx(3.0)
+        assert q.convexity_constant() == pytest.approx(1.0)
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(ValueError):
+            QuadraticCost([[1.0, 2.0], [0.0, 1.0]])
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            QuadraticCost(np.zeros((2, 3)))
+
+    def test_wrong_linear_dim_rejected(self):
+        with pytest.raises(ValueError):
+            QuadraticCost(np.eye(2), [1.0, 2.0, 3.0])
+
+    @given(arrays(np.float64, (2,), elements=finite))
+    @settings(max_examples=50, deadline=None)
+    def test_convexity_inequality(self, x):
+        q = QuadraticCost(np.diag([2.0, 1.0]), [0.5, -0.5])
+        y = np.zeros(2)
+        mid = 0.5 * (x + y)
+        assert q.value(mid) <= 0.5 * q.value(x) + 0.5 * q.value(y) + 1e-9
+
+
+class TestSquaredDistanceCost:
+    def test_minimum_at_target(self):
+        c = SquaredDistanceCost([3.0, -2.0])
+        assert c.value(np.array([3.0, -2.0])) == pytest.approx(0.0)
+        assert np.allclose(c.gradient(np.array([3.0, -2.0])), 0.0)
+
+    def test_value_is_squared_norm(self, rng):
+        t = rng.normal(size=4)
+        c = SquaredDistanceCost(t)
+        x = rng.normal(size=4)
+        assert c.value(x) == pytest.approx(float(np.sum((x - t) ** 2)))
+
+    def test_weight_scales(self):
+        c1 = SquaredDistanceCost([1.0], weight=1.0)
+        c3 = SquaredDistanceCost([1.0], weight=3.0)
+        x = np.array([4.0])
+        assert c3.value(x) == pytest.approx(3 * c1.value(x))
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            SquaredDistanceCost([0.0], weight=0.0)
+
+    def test_argmin_is_target(self):
+        s = SquaredDistanceCost([5.0, 6.0]).argmin_set()
+        assert isinstance(s, SingletonSet)
+        assert np.allclose(s.point, [5.0, 6.0])
+
+    def test_aggregate_minimizes_at_mean(self, rng):
+        # The Section-2.3 reduction: sum of ||x - x_i||^2 minimizes at mean.
+        from repro.functions import SumCost
+
+        targets = rng.normal(size=(5, 3))
+        total = SumCost([SquaredDistanceCost(t) for t in targets])
+        s = total.argmin_set()
+        assert np.allclose(s.support_points()[0], targets.mean(axis=0))

@@ -1,0 +1,155 @@
+"""Tests for cost aggregation (SumCost/MeanCost) and base-class arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import SingletonSet
+from repro.functions import (
+    CostFunction,
+    MeanCost,
+    QuadraticCost,
+    ScaledCost,
+    ShiftedCost,
+    SquaredDistanceCost,
+    SumCost,
+    aggregate_cost,
+)
+from repro.functions.calculus import FiniteDifferenceCost
+
+
+class ValueOnly(CostFunction):
+    """A cost exposing only values (for differentiability plumbing tests)."""
+
+    def __init__(self, dim=2):
+        self.dim = dim
+
+    def value(self, x):
+        x = np.asarray(x, dtype=float)
+        return float(np.sum(np.abs(x)))
+
+
+class TestSumCost:
+    def test_value_and_gradient_are_sums(self, mean_costs, rng):
+        total = SumCost(mean_costs)
+        x = rng.normal(size=2)
+        assert total.value(x) == pytest.approx(
+            sum(c.value(x) for c in mean_costs)
+        )
+        expected = np.sum([c.gradient(x) for c in mean_costs], axis=0)
+        assert np.allclose(total.gradient(x), expected)
+
+    def test_nested_sums_flattened(self, mean_costs):
+        nested = SumCost([SumCost(mean_costs[:2]), mean_costs[2]])
+        assert len(nested.components) == 3
+
+    def test_argmin_closed_form_quadratics(self, mean_costs):
+        total = SumCost(mean_costs)
+        s = total.argmin_set()
+        targets = np.vstack([c.target for c in mean_costs])
+        assert np.allclose(s.support_points()[0], targets.mean(axis=0))
+
+    def test_argmin_none_for_unknown_families(self):
+        total = SumCost([ValueOnly(), ValueOnly()])
+        assert total.argmin_set() is None
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SumCost([SquaredDistanceCost([0.0]), SquaredDistanceCost([0.0, 0.0])])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SumCost([])
+
+    def test_hessian_sums(self, mean_costs, rng):
+        total = SumCost(mean_costs[:3])
+        h = total.hessian(rng.normal(size=2))
+        assert np.allclose(h, 3 * 2.0 * np.eye(2))  # three 2I Hessians
+
+    def test_is_differentiable_flag(self, mean_costs):
+        assert SumCost(mean_costs).is_differentiable
+        assert not SumCost([ValueOnly(), ValueOnly()]).is_differentiable
+
+    def test_operator_add(self, mean_costs, rng):
+        combined = mean_costs[0] + mean_costs[1]
+        x = rng.normal(size=2)
+        assert combined.value(x) == pytest.approx(
+            mean_costs[0].value(x) + mean_costs[1].value(x)
+        )
+
+
+class TestMeanCost:
+    def test_mean_scales_sum(self, mean_costs, rng):
+        mean = MeanCost(mean_costs)
+        total = SumCost(mean_costs)
+        x = rng.normal(size=2)
+        assert mean.value(x) == pytest.approx(total.value(x) / 5)
+        assert np.allclose(mean.gradient(x), total.gradient(x) / 5)
+
+    def test_argmin_same_as_sum(self, mean_costs):
+        assert np.allclose(
+            MeanCost(mean_costs).argmin_set().support_points(),
+            SumCost(mean_costs).argmin_set().support_points(),
+        )
+
+
+class TestAggregateCost:
+    def test_subset_selection(self, mean_costs, rng):
+        sub = aggregate_cost(mean_costs, subset=[0, 2])
+        x = rng.normal(size=2)
+        assert sub.value(x) == pytest.approx(
+            mean_costs[0].value(x) + mean_costs[2].value(x)
+        )
+
+    def test_default_all(self, mean_costs):
+        assert len(aggregate_cost(mean_costs).components) == 5
+
+
+class TestScaledAndShifted:
+    def test_scaled_cost(self, rng):
+        base = SquaredDistanceCost([1.0, 1.0])
+        scaled = 3.0 * base
+        assert isinstance(scaled, ScaledCost)
+        x = rng.normal(size=2)
+        assert scaled.value(x) == pytest.approx(3 * base.value(x))
+        assert np.allclose(scaled.gradient(x), 3 * base.gradient(x))
+
+    def test_positive_scaling_preserves_argmin(self):
+        base = SquaredDistanceCost([2.0, -1.0])
+        assert np.allclose(
+            (5.0 * base).argmin_set().support_points()[0], [2.0, -1.0]
+        )
+
+    def test_negative_scaling_drops_argmin(self):
+        base = SquaredDistanceCost([2.0, -1.0])
+        assert (-1.0 * base).argmin_set() is None
+
+    def test_shifted_cost_moves_argmin(self):
+        base = SquaredDistanceCost([0.0, 0.0])
+        shifted = ShiftedCost(base, [3.0, 4.0])
+        s = shifted.argmin_set()
+        assert isinstance(s, SingletonSet)
+        assert np.allclose(s.point, [3.0, 4.0])
+        assert shifted.value(np.array([3.0, 4.0])) == pytest.approx(0.0)
+
+    def test_shifted_gradient(self, rng):
+        base = QuadraticCost(np.diag([2.0, 4.0]))
+        shifted = ShiftedCost(base, [1.0, -1.0])
+        x = rng.normal(size=2)
+        assert np.allclose(shifted.gradient(x), base.gradient(x - [1.0, -1.0]))
+
+    def test_shift_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            ShiftedCost(SquaredDistanceCost([0.0]), [1.0, 2.0])
+
+
+class TestFiniteDifferenceCost:
+    def test_wraps_value_only_cost(self):
+        wrapped = FiniteDifferenceCost(ValueOnly())
+        g = wrapped.gradient(np.array([2.0, -3.0]))
+        assert np.allclose(g, [1.0, -1.0], atol=1e-5)
+
+    def test_gradient_of_smooth_cost_accurate(self, rng):
+        base = SquaredDistanceCost([1.0, 2.0])
+        wrapped = FiniteDifferenceCost(base)
+        x = rng.normal(size=2)
+        assert np.allclose(wrapped.gradient(x), base.gradient(x), atol=1e-5)

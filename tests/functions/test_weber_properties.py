@@ -1,0 +1,91 @@
+"""Property-based tests for the Weber (geometric-median) solver."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.functions import NormDistanceCost, weber_argmin
+
+coords = st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False)
+
+
+def objective(z, targets, weights=None):
+    dists = np.linalg.norm(targets - z, axis=1)
+    w = np.ones(len(targets)) if weights is None else np.asarray(weights)
+    return float((w * dists).sum())
+
+
+class TestWeberOptimality:
+    @given(arrays(np.float64, (5, 2), elements=coords))
+    @settings(max_examples=40, deadline=None)
+    def test_output_beats_perturbations(self, targets):
+        result = weber_argmin(targets)
+        z = result.support_points()[0]
+        base = objective(z, targets)
+        rng = np.random.default_rng(0)
+        for _ in range(8):
+            probe = z + 0.05 * rng.normal(size=2)
+            assert base <= objective(probe, targets) + 1e-6
+
+    @given(arrays(np.float64, (4, 2), elements=coords))
+    @settings(max_examples=40, deadline=None)
+    def test_output_beats_input_mean_and_targets(self, targets):
+        result = weber_argmin(targets)
+        z = result.support_points()[0]
+        base = objective(z, targets)
+        assert base <= objective(targets.mean(axis=0), targets) + 1e-6
+        for t in targets:
+            assert base <= objective(t, targets) + 1e-6
+
+    @given(
+        arrays(np.float64, (5, 2), elements=coords),
+        st.floats(0.1, 5.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_translation_and_scale_equivariance(self, targets, scale):
+        shift = np.array([1.5, -2.5])
+        base = weber_argmin(targets).support_points()[0]
+        moved = weber_argmin(targets * scale + shift).support_points()[0]
+        assert np.allclose(moved, base * scale + shift, atol=1e-5)
+
+    @given(
+        st.lists(
+            st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False),
+            min_size=4,
+            max_size=8,
+        ).filter(lambda xs: len(xs) % 2 == 0 and len(set(xs)) == len(xs))
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_segment_points_share_objective(self, positions):
+        # Construct collinear targets explicitly (even count -> the argmin
+        # is generically a segment): every point of the returned set must
+        # attain the same objective value.
+        direction = np.array([0.6, 0.8])
+        targets = np.array([p * direction for p in positions])
+        result = weber_argmin(targets)
+        pts = result.support_points()
+        values = [objective(p, targets) for p in pts]
+        mid = objective(pts.mean(axis=0), targets)
+        for v in values:
+            assert v == pytest.approx(values[0], rel=1e-6, abs=1e-9)
+        assert mid == pytest.approx(values[0], rel=1e-6, abs=1e-9)
+
+    @given(arrays(np.float64, (5, 2), elements=coords))
+    @settings(max_examples=30, deadline=None)
+    def test_weight_concentration_moves_to_heavy_target(self, targets):
+        weights = np.ones(5)
+        weights[2] = 1000.0
+        z = weber_argmin(targets, weights=weights).support_points()[0]
+        assert np.linalg.norm(z - targets[2]) < 0.1 + 1e-6
+
+    def test_norm_cost_consistency(self, rng):
+        # SumCost of NormDistanceCosts evaluates the same objective that
+        # weber_argmin minimizes.
+        from repro.functions import SumCost
+
+        targets = rng.normal(size=(5, 2))
+        total = SumCost([NormDistanceCost(t) for t in targets])
+        z = rng.normal(size=2)
+        assert total.value(z) == pytest.approx(objective(z, targets))

@@ -1,0 +1,85 @@
+"""Integration tests on redundancy-calibrated instances.
+
+Using :func:`repro.core.construct.make_instance_with_epsilon`, the
+Theorem-2 guarantee can be tested as a *function of ε* rather than on ad
+hoc instances: the worst Definition-2 distance must scale at most linearly
+with the requested redundancy parameter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    certify_system,
+    evaluate_resilience,
+    exact_resilient_argmin,
+    make_instance_with_epsilon,
+)
+from repro.functions import SquaredDistanceCost
+
+
+def byzantine_submissions(f, dim, offset=30.0):
+    return [
+        SquaredDistanceCost(offset * np.ones(dim) + k) for k in range(f)
+    ]
+
+
+class TestTheorem2AcrossEpsilon:
+    @pytest.mark.parametrize("epsilon", [0.05, 0.2, 0.8])
+    def test_guarantee_at_each_calibrated_level(self, epsilon):
+        n, f = 7, 2
+        inst = make_instance_with_epsilon(n, f, epsilon, kind="mean", seed=1)
+        honest = inst.costs[: n - f]
+        received = honest + byzantine_submissions(f, 2)
+        result = exact_resilient_argmin(received, f=f)
+        audit = evaluate_resilience(result.output, honest, n=n, f=f)
+        # The Definition-3 epsilon upper-bounds the honest-subset slack the
+        # proof consumes, so 2*eps is a valid envelope.
+        assert audit.worst_distance <= 2 * epsilon + 1e-9
+
+    def test_error_scales_no_faster_than_linear(self):
+        n, f = 6, 1
+        errors = []
+        for epsilon in (0.1, 0.2, 0.4, 0.8):
+            inst = make_instance_with_epsilon(
+                n, f, epsilon, kind="mean", seed=3
+            )
+            honest = inst.costs[: n - f]
+            received = honest + byzantine_submissions(f, 2)
+            result = exact_resilient_argmin(received, f=f)
+            audit = evaluate_resilience(result.output, honest, n=n, f=f)
+            errors.append(audit.worst_distance)
+        epsilons = np.array([0.1, 0.2, 0.4, 0.8])
+        # Linear-in-epsilon envelope with slope 2 (Theorem 2).
+        assert np.all(np.array(errors) <= 2 * epsilons + 1e-9)
+
+    def test_exact_recovery_at_zero_epsilon(self):
+        inst = make_instance_with_epsilon(6, 1, 0.0, kind="mean", seed=2)
+        honest = inst.costs[:5]
+        received = honest + byzantine_submissions(1, 2)
+        result = exact_resilient_argmin(received, f=1)
+        audit = evaluate_resilience(result.output, honest, n=6, f=1)
+        assert audit.worst_distance < 1e-9
+
+
+class TestCertificationOnCalibratedInstances:
+    def test_envelope_scales_with_epsilon(self):
+        radii = []
+        for epsilon in (0.1, 0.4):
+            inst = make_instance_with_epsilon(8, 1, epsilon, kind="mean", seed=4)
+            report = certify_system(inst.costs, f=1)
+            assert report.feasible
+            assert report.epsilon == pytest.approx(epsilon, abs=1e-6)
+            radii.append(report.best_cge_envelope)
+        # Same family, same constants: the envelope is linear in epsilon.
+        assert radii[1] == pytest.approx(4 * radii[0], rel=1e-6)
+
+    def test_regression_family_certifiable(self):
+        inst = make_instance_with_epsilon(
+            8, 2, 0.05, kind="regression", seed=0
+        )
+        report = certify_system(inst.costs, f=2)
+        assert report.feasible
+        assert report.epsilon == pytest.approx(0.05, abs=1e-6)
+        # The regression rows are unit vectors: gamma <= mu holds strictly.
+        assert report.gamma <= report.mu + 1e-9

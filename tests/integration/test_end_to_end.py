@@ -1,0 +1,115 @@
+"""End-to-end integration tests across architectures and ablation plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import GradientReverseAttack
+from repro.distsys import PeerToPeerSimulator, run_dgd
+from repro.experiments.ablations import (
+    exact_algorithm_scaling,
+    f_sweep,
+    filter_zoo,
+    redundancy_sweep,
+    synthetic_regression_costs,
+)
+from repro.functions import SquaredDistanceCost
+from repro.optim import BoxSet, paper_schedule
+
+
+class TestServerVsPeerToPeer:
+    def test_same_trajectory_both_architectures(self):
+        """The Section-1.4 simulation claim, end to end.
+
+        With identical inputs, the p2p system (honest replicas) computes the
+        same iterates as the server-based system, because Byzantine
+        broadcast gives every honest replica the same gradient stack the
+        server would have seen.  We use a deterministic attack so both
+        architectures see identical Byzantine values.
+        """
+        rng = np.random.default_rng(5)
+        n, f = 7, 2
+        targets = np.array([1.0, 1.0]) + 0.1 * rng.normal(size=(n, 2))
+        costs = [SquaredDistanceCost(t) for t in targets]
+        common = dict(
+            constraint=BoxSet.symmetric(20.0, dim=2),
+            schedule=paper_schedule(),
+            initial_estimate=np.zeros(2),
+        )
+        server_trace = run_dgd(
+            costs=costs,
+            faulty_ids=[5, 6],
+            aggregator="cge",
+            attack=GradientReverseAttack(),
+            iterations=60,
+            **common,
+        )
+        p2p = PeerToPeerSimulator(
+            costs=costs,
+            faulty_ids=[5, 6],
+            aggregator="cge",
+            attack=GradientReverseAttack(),
+            **common,
+        )
+        p2p.run(60)
+        assert p2p.consistency_gap() == 0.0
+        server_x = server_trace.final_estimate
+        p2p_x = next(iter(p2p.estimates.values()))
+        assert np.allclose(server_x, p2p_x, atol=1e-12)
+
+
+class TestAblationPlumbing:
+    def test_filter_zoo_rows(self, paper):
+        rows = filter_zoo(paper, attacks=("gradient_reverse",), iterations=60)
+        names = {r.aggregator for r in rows}
+        assert "cge" in names and "cwtm" in names and "mean" in names
+        # Every row either ran or recorded a structured error.
+        for row in rows:
+            assert row.error is not None or np.isfinite(row.distance)
+
+    def test_synthetic_regression_costs(self):
+        costs, x_star = synthetic_regression_costs(8, seed=0)
+        assert len(costs) == 8
+        assert x_star.shape == (2,)
+        # Evenly spread unit rows: every pair is full rank.
+        from itertools import combinations
+
+        for pair in combinations(range(8), 2):
+            design = np.vstack([costs[i].design for i in pair])
+            assert np.linalg.matrix_rank(design) == 2
+
+    def test_f_sweep_shapes_and_bounds(self):
+        rows = f_sweep(n=9, max_f=2, iterations=250)
+        assert [r.f for r in rows] == [0, 1, 2]
+        # f = 0: no redundancy slack needed, measured error ~ 0.
+        assert rows[0].epsilon == 0.0
+        assert rows[0].measured_distance < 0.05
+        # Whenever a theorem applies, the measured error obeys it.
+        for row in rows:
+            if np.isfinite(row.bound_thm4):
+                assert row.within_thm4
+            if np.isfinite(row.bound_thm5):
+                assert row.within_thm5
+
+    def test_redundancy_sweep_guarantees(self):
+        rows = redundancy_sweep(
+            n=6, f=1, spreads=(0.0, 0.5), iterations=250
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row.exact_within_2eps
+        # Epsilon grows with the spread.
+        assert rows[1].epsilon > rows[0].epsilon
+
+    def test_exact_scaling_rows(self):
+        rows = exact_algorithm_scaling(sizes=(5, 6), f=2)
+        assert [r.n for r in rows] == [5, 6]
+        from math import comb
+
+        for row in rows:
+            assert row.outer_subsets == comb(row.n, row.f)
+            # Theorem-2 guarantee held on every instance.
+            assert row.worst_distance <= 2 * row.epsilon + 1e-9
+
+    def test_f_sweep_validation(self):
+        with pytest.raises(ValueError):
+            f_sweep(n=6, max_f=3, iterations=10)

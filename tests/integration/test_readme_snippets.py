@@ -1,0 +1,33 @@
+"""Documentation integrity: the README's Python snippets must run.
+
+Extracts every ```python fenced block from README.md and executes it in a
+fresh namespace — stale documentation fails CI instead of misleading users.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+
+def python_blocks():
+    text = README.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+BLOCKS = python_blocks()
+
+
+def test_readme_has_python_snippets():
+    assert len(BLOCKS) >= 2
+
+
+def test_readme_snippets_run_in_sequence(capsys):
+    # Later snippets build on earlier ones (the README reads as a session),
+    # so execute them cumulatively in one namespace.
+    namespace = {"__name__": "__readme__"}
+    for index, code in enumerate(BLOCKS):
+        exec(compile(code, f"README.md:block{index}", "exec"), namespace)
+    assert "trace" in namespace  # the quickstart's run_dgd output

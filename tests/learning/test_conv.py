@@ -1,0 +1,192 @@
+"""Tests for the convolutional layers and the LeNet-style classifier."""
+
+import numpy as np
+import pytest
+
+from repro.learning import (
+    CNNClassifier,
+    Conv2D,
+    Flatten,
+    MaxPool2D,
+    Reshape,
+    cross_entropy,
+)
+from repro.learning.modules import Sequential
+
+
+def numeric_param_gradient(network, params_flat, images, labels, eps=1e-6):
+    grad = np.zeros_like(params_flat)
+    for k in range(params_flat.shape[0]):
+        bumped = params_flat.copy()
+        bumped[k] += eps
+        network.set_flat_parameters(bumped)
+        up = cross_entropy(network.forward(images), labels)
+        bumped[k] -= 2 * eps
+        network.set_flat_parameters(bumped)
+        down = cross_entropy(network.forward(images), labels)
+        grad[k] = (up - down) / (2 * eps)
+    network.set_flat_parameters(params_flat)
+    return grad
+
+
+class TestReshapeFlatten:
+    def test_reshape_roundtrip(self, rng):
+        layer = Reshape((1, 4, 4))
+        x = rng.normal(size=(3, 16))
+        out = layer.forward(x)
+        assert out.shape == (3, 1, 4, 4)
+        back = layer.backward(out)
+        assert np.array_equal(back, x)
+
+    def test_flatten_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = layer.forward(x)
+        assert out.shape == (2, 48)
+        back = layer.backward(out)
+        assert np.array_equal(back, x)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            Flatten().backward(np.zeros((1, 4)))
+
+
+class TestConv2D:
+    def test_output_shape(self, rng):
+        conv = Conv2D(2, 5, 3, rng)
+        out = conv.forward(rng.normal(size=(4, 2, 8, 8)))
+        assert out.shape == (4, 5, 6, 6)
+
+    def test_known_kernel(self, rng):
+        # Identity-like: a single 1x1 kernel equal to 2.0 doubles the input.
+        conv = Conv2D(1, 1, 1, rng)
+        conv.weight[...] = 2.0
+        conv.bias[...] = 0.5
+        x = rng.normal(size=(2, 1, 3, 3))
+        out = conv.forward(x)
+        assert np.allclose(out, 2.0 * x + 0.5)
+
+    def test_sum_kernel_matches_manual(self, rng):
+        # All-ones 2x2 kernel: each output is the window sum.
+        conv = Conv2D(1, 1, 2, rng)
+        conv.weight[...] = 1.0
+        conv.bias[...] = 0.0
+        x = np.arange(9.0).reshape(1, 1, 3, 3)
+        out = conv.forward(x)
+        expected = np.array([[0 + 1 + 3 + 4, 1 + 2 + 4 + 5],
+                             [3 + 4 + 6 + 7, 4 + 5 + 7 + 8]], dtype=float)
+        assert np.allclose(out[0, 0], expected)
+
+    def test_gradient_check_through_loss(self, rng):
+        net = Sequential(
+            Reshape((1, 5, 5)),
+            Conv2D(1, 2, 3, rng),
+            Flatten(),
+        )
+        # Add a head so the loss sees class logits.
+        from repro.learning.modules import Dense
+
+        net = Sequential(*net.layers, Dense(2 * 9, 3, rng))
+        images = rng.normal(size=(4, 25))
+        labels = rng.integers(0, 3, size=4)
+        flat = net.get_flat_parameters()
+        logits = net.forward(images)
+        from repro.learning.losses import cross_entropy_with_gradient
+
+        _, grad_logits = cross_entropy_with_gradient(logits, labels)
+        net.backward(grad_logits)
+        analytic = net.get_flat_gradients()
+        numeric = numeric_param_gradient(net, flat, images, labels)
+        assert np.allclose(analytic, numeric, atol=1e-4)
+
+    def test_input_validation(self, rng):
+        conv = Conv2D(1, 1, 3, rng)
+        with pytest.raises(ValueError):
+            conv.forward(rng.normal(size=(2, 2, 5, 5)))  # wrong channels
+        with pytest.raises(ValueError):
+            conv.forward(rng.normal(size=(2, 1, 2, 2)))  # smaller than kernel
+        with pytest.raises(ValueError):
+            Conv2D(0, 1, 3, rng)
+
+
+class TestMaxPool2D:
+    def test_known_values(self):
+        pool = MaxPool2D(2)
+        x = np.array(
+            [[[[1.0, 2.0, 5.0, 6.0],
+               [3.0, 4.0, 7.0, 8.0],
+               [0.0, 0.0, 1.0, 0.0],
+               [0.0, 9.0, 0.0, 0.0]]]]
+        )
+        out = pool.forward(x)
+        assert np.allclose(out[0, 0], [[4.0, 8.0], [9.0, 1.0]])
+
+    def test_backward_routes_to_argmax(self):
+        pool = MaxPool2D(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        pool.forward(x)
+        grad = pool.backward(np.array([[[[5.0]]]]))
+        expected = np.zeros((1, 1, 2, 2))
+        expected[0, 0, 1, 1] = 5.0
+        assert np.allclose(grad, expected)
+
+    def test_indivisible_shape_rejected(self, rng):
+        with pytest.raises(ValueError):
+            MaxPool2D(2).forward(rng.normal(size=(1, 1, 5, 5)))
+
+
+class TestCNNClassifier:
+    def test_shapes_and_flat_view(self, rng):
+        model = CNNClassifier(image_side=14, n_classes=10, seed=0)
+        images = rng.normal(size=(5, 196))
+        assert model.predict(images).shape == (5,)
+        flat = model.get_flat_parameters()
+        assert flat.shape == (model.n_parameters,)
+        model.set_flat_parameters(flat * 0.5)
+        assert np.allclose(model.get_flat_parameters(), flat * 0.5)
+
+    def test_learns_synthetic_task(self):
+        from repro.learning import make_synthetic_classification
+
+        train, test = make_synthetic_classification(
+            n_train=400, n_test=120, image_side=14, seed=0
+        )
+        model = CNNClassifier(image_side=14, n_classes=10, seed=1)
+        params = model.get_flat_parameters()
+        rng = np.random.default_rng(2)
+        for _ in range(150):
+            idx = rng.integers(0, len(train), size=32)
+            grad = model.gradient_at(
+                params, train.images[idx], train.labels[idx]
+            )
+            params -= 0.3 * grad
+        model.set_flat_parameters(params)
+        assert model.accuracy(test.images, test.labels) > 0.6
+
+    def test_works_in_dsgd_driver(self):
+        from repro.learning import (
+            DistributedSGD,
+            make_synthetic_classification,
+            shard_dataset,
+        )
+
+        train, test = make_synthetic_classification(
+            n_train=200, n_test=60, image_side=14, seed=0
+        )
+        driver = DistributedSGD(
+            model=CNNClassifier(image_side=14, seed=0),
+            shards=shard_dataset(train, 5, seed=1),
+            faulty_ids=[4],
+            fault="gradient_reverse",
+            aggregator="cge_mean",
+            test_set=test,
+            batch_size=16,
+            step_size=0.3,
+            seed=2,
+        )
+        trace = driver.run(40, eval_every=40)
+        assert trace.test_losses[-1] < trace.test_losses[0]
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CNNClassifier(image_side=5)

@@ -1,0 +1,72 @@
+"""Tests for non-i.i.d. Dirichlet sharding (Appendix-K heterogeneity)."""
+
+import numpy as np
+import pytest
+
+from repro.learning import (
+    make_synthetic_classification,
+    shard_dataset,
+    shard_dataset_dirichlet,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    train, _ = make_synthetic_classification(
+        n_train=1000, n_test=10, image_side=8, seed=0
+    )
+    return train
+
+
+def label_distribution(shard, n_classes=10):
+    counts = np.bincount(shard.labels, minlength=n_classes).astype(float)
+    return counts / max(counts.sum(), 1.0)
+
+
+class TestDirichletSharding:
+    def test_partition_covers_dataset(self, dataset):
+        shards = shard_dataset_dirichlet(dataset, 8, alpha=0.5, seed=1)
+        assert sum(len(s) for s in shards) == len(dataset)
+
+    def test_min_per_agent_guaranteed(self, dataset):
+        shards = shard_dataset_dirichlet(
+            dataset, 10, alpha=0.05, seed=1, min_per_agent=4
+        )
+        assert all(len(s) >= 4 for s in shards)
+
+    def test_deterministic(self, dataset):
+        a = shard_dataset_dirichlet(dataset, 6, alpha=0.3, seed=5)
+        b = shard_dataset_dirichlet(dataset, 6, alpha=0.3, seed=5)
+        for sa, sb in zip(a, b):
+            assert np.array_equal(sa.images, sb.images)
+            assert np.array_equal(sa.labels, sb.labels)
+
+    def test_small_alpha_skews_labels(self, dataset):
+        """Skew measured by the max class share per agent, averaged."""
+
+        def mean_max_share(shards):
+            return float(
+                np.mean([label_distribution(s).max() for s in shards])
+            )
+
+        iid_like = shard_dataset_dirichlet(dataset, 8, alpha=100.0, seed=2)
+        skewed = shard_dataset_dirichlet(dataset, 8, alpha=0.05, seed=2)
+        assert mean_max_share(skewed) > mean_max_share(iid_like) + 0.2
+
+    def test_large_alpha_close_to_uniform_shard(self, dataset):
+        uniform = shard_dataset(dataset, 8, seed=2)
+        dirichlet = shard_dataset_dirichlet(dataset, 8, alpha=1000.0, seed=2)
+        global_dist = np.bincount(dataset.labels, minlength=10) / len(dataset)
+        for shard in dirichlet:
+            dist = label_distribution(shard)
+            assert np.abs(dist - global_dist).max() < 0.15
+        del uniform
+
+    def test_validation(self, dataset):
+        with pytest.raises(ValueError):
+            shard_dataset_dirichlet(dataset, 0, alpha=1.0)
+        with pytest.raises(ValueError):
+            shard_dataset_dirichlet(dataset, 4, alpha=0.0)
+        tiny = dataset.subset(np.arange(5))
+        with pytest.raises(ValueError):
+            shard_dataset_dirichlet(tiny, 4, alpha=1.0, min_per_agent=2)

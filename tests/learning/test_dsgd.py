@@ -1,0 +1,121 @@
+"""Tests for the distributed SGD driver (Appendix-K pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.learning import (
+    DistributedSGD,
+    MLPClassifier,
+    make_synthetic_classification,
+    shard_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def small_data():
+    train, test = make_synthetic_classification(
+        n_train=400, n_test=120, image_side=10, seed=0
+    )
+    return train, test
+
+
+def make_driver(small_data, faulty=(), fault=None, aggregator="mean", **kwargs):
+    train, test = small_data
+    shards = shard_dataset(train, 8, seed=1)
+    model = MLPClassifier(train.n_features, [24], 10, seed=2)
+    defaults = dict(batch_size=32, step_size=0.4, seed=3)
+    defaults.update(kwargs)
+    return DistributedSGD(
+        model=model,
+        shards=shards,
+        faulty_ids=list(faulty),
+        fault=fault,
+        aggregator=aggregator,
+        test_set=test,
+        **defaults,
+    )
+
+
+class TestDriverBasics:
+    def test_fault_free_learns(self, small_data):
+        driver = make_driver(small_data)
+        trace = driver.run(120, eval_every=40)
+        assert trace.test_accuracies[-1] > 0.6
+        assert trace.test_losses[-1] < trace.test_losses[0]
+
+    def test_trace_lengths(self, small_data):
+        driver = make_driver(small_data)
+        trace = driver.run(50, eval_every=20)
+        assert len(trace.train_losses) == 50
+        # evals at 0, 20, 40 and the final one at 50.
+        assert trace.eval_iterations == [0, 20, 40, 50]
+        assert len(trace.test_losses) == len(trace.eval_iterations)
+
+    def test_deterministic_given_seed(self, small_data):
+        a = make_driver(small_data).run(30, eval_every=30)
+        b = make_driver(small_data).run(30, eval_every=30)
+        assert a.test_losses == b.test_losses
+        assert a.train_losses == b.train_losses
+
+    def test_faulty_requires_fault(self, small_data):
+        with pytest.raises(ValueError):
+            make_driver(small_data, faulty=(0,), fault=None)
+
+    def test_bad_faulty_id(self, small_data):
+        with pytest.raises(ValueError):
+            make_driver(small_data, faulty=(99,), fault="label_flip")
+
+    def test_validation(self, small_data):
+        with pytest.raises(ValueError):
+            make_driver(small_data, batch_size=0)
+        with pytest.raises(ValueError):
+            make_driver(small_data, step_size=0.0)
+        driver = make_driver(small_data)
+        with pytest.raises(ValueError):
+            driver.run(0)
+
+
+class TestFaultBehaviours:
+    def test_label_flip_poisons_shards(self, small_data):
+        driver = make_driver(small_data, faulty=(0, 1), fault="label_flip",
+                             aggregator="cwtm")
+        clean = make_driver(small_data)
+        # Poisoned shard labels are the flip of the clean ones.
+        assert np.array_equal(
+            driver.shards[0].labels, 9 - clean.shards[0].labels
+        )
+        # Honest shards untouched.
+        assert np.array_equal(driver.shards[5].labels, clean.shards[5].labels)
+
+    def test_gradient_reverse_with_cge_still_learns(self, small_data):
+        driver = make_driver(
+            small_data, faulty=(0, 1), fault="gradient_reverse",
+            aggregator="cge_mean",
+        )
+        trace = driver.run(120, eval_every=60)
+        assert trace.final_accuracy > 0.6
+
+    def test_unfiltered_mean_under_attack_degrades(self, small_data):
+        filtered = make_driver(
+            small_data, faulty=(0, 1, 2), fault="gradient_reverse",
+            aggregator="cge_mean",
+        ).run(100, eval_every=50)
+        unfiltered = make_driver(
+            small_data, faulty=(0, 1, 2), fault="gradient_reverse",
+            aggregator="mean",
+        ).run(100, eval_every=50)
+        assert filtered.final_accuracy > unfiltered.final_accuracy
+
+    def test_attack_instance_accepted(self, small_data):
+        from repro.attacks import GradientReverseAttack
+
+        driver = make_driver(
+            small_data, faulty=(0,), fault=GradientReverseAttack(),
+            aggregator="cwtm",
+        )
+        driver.run(10, eval_every=10)
+
+    def test_fault_free_baseline_ignores_fault_arg(self, small_data):
+        driver = make_driver(small_data, faulty=(), fault=None)
+        trace = driver.run(20, eval_every=20)
+        assert len(trace.train_losses) == 20

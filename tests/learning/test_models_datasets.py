@@ -1,0 +1,192 @@
+"""Tests for the MLP classifier and the synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.learning import (
+    MLPClassifier,
+    accuracy_score,
+    confusion_matrix,
+    flip_labels,
+    make_synthetic_classification,
+    per_class_accuracy,
+    shard_dataset,
+)
+
+
+class TestMLPClassifier:
+    def test_predict_shapes(self, rng):
+        model = MLPClassifier(8, [4], 3, seed=0)
+        images = rng.normal(size=(5, 8))
+        assert model.predict(images).shape == (5,)
+        probs = model.predict_proba(images)
+        assert probs.shape == (5, 3)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_gradient_at_is_stateless_in_params(self, rng):
+        model = MLPClassifier(4, [3], 2, seed=0)
+        images = rng.normal(size=(6, 4))
+        labels = rng.integers(0, 2, size=6)
+        p1 = rng.normal(size=model.n_parameters)
+        g1 = model.gradient_at(p1, images, labels)
+        g1_again = model.gradient_at(p1, images, labels)
+        assert np.array_equal(g1, g1_again)
+
+    def test_training_reduces_loss(self, rng):
+        model = MLPClassifier(6, [8], 3, seed=1)
+        images = rng.normal(size=(60, 6))
+        labels = rng.integers(0, 3, size=60)
+        params = model.get_flat_parameters()
+        first_loss = model.loss_at(params, images, labels)
+        for _ in range(200):
+            grad = model.gradient_at(params, images, labels)
+            params -= 0.5 * grad
+        assert model.loss_at(params, images, labels) < first_loss * 0.5
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(0, [4], 3)
+        with pytest.raises(ValueError):
+            MLPClassifier(4, [4], 1)
+
+
+class TestSyntheticDatasets:
+    def test_shapes_and_ranges(self):
+        train, test = make_synthetic_classification(
+            n_train=100, n_test=40, image_side=8, seed=0
+        )
+        assert len(train) == 100
+        assert len(test) == 40
+        assert train.n_features == 64
+        assert train.images.min() >= 0.0
+        assert train.images.max() <= 1.0
+        assert set(np.unique(train.labels)).issubset(set(range(10)))
+
+    def test_deterministic(self):
+        a, _ = make_synthetic_classification(n_train=50, n_test=10, seed=3)
+        b, _ = make_synthetic_classification(n_train=50, n_test=10, seed=3)
+        assert np.array_equal(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_seeds_differ(self):
+        a, _ = make_synthetic_classification(n_train=50, n_test=10, seed=0)
+        b, _ = make_synthetic_classification(n_train=50, n_test=10, seed=1)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            make_synthetic_classification(variant="imagenet")
+
+    def test_learnable(self):
+        # A tiny MLP must beat chance easily — the classes are separable.
+        train, test = make_synthetic_classification(
+            n_train=600, n_test=200, image_side=14, seed=0
+        )
+        model = MLPClassifier(train.n_features, [32], 10, seed=0)
+        params = model.get_flat_parameters()
+        rng = np.random.default_rng(0)
+        for _ in range(400):
+            idx = rng.integers(0, len(train), size=64)
+            grad = model.gradient_at(params, train.images[idx], train.labels[idx])
+            params -= 0.3 * grad
+        model.set_flat_parameters(params)
+        assert model.accuracy(test.images, test.labels) > 0.7
+
+    def test_fashion_variant_harder(self):
+        # Template correlation + noise make fashion_like strictly harder for
+        # a fixed tiny budget; check its templates are more correlated via a
+        # quick proxy: higher within-dataset image similarity across classes.
+        mnist, _ = make_synthetic_classification("mnist_like", 200, 10, seed=0)
+        fashion, _ = make_synthetic_classification("fashion_like", 200, 10, seed=0)
+
+        def cross_class_similarity(ds):
+            sims = []
+            for a in range(3):
+                for b in range(a + 1, 3):
+                    ia = ds.images[ds.labels == a]
+                    ib = ds.images[ds.labels == b]
+                    if len(ia) and len(ib):
+                        va, vb = ia.mean(axis=0), ib.mean(axis=0)
+                        denom = np.linalg.norm(va) * np.linalg.norm(vb)
+                        sims.append(float(va @ vb / denom))
+            return np.mean(sims)
+
+        assert cross_class_similarity(fashion) > cross_class_similarity(mnist)
+
+    def test_subset(self):
+        train, _ = make_synthetic_classification(n_train=50, n_test=10, seed=0)
+        sub = train.subset(np.arange(10))
+        assert len(sub) == 10
+        assert np.array_equal(sub.images, train.images[:10])
+
+
+class TestSharding:
+    def test_even_partition(self):
+        train, _ = make_synthetic_classification(n_train=100, n_test=10, seed=0)
+        shards = shard_dataset(train, 10, seed=1)
+        assert len(shards) == 10
+        assert sum(len(s) for s in shards) == 100
+        assert all(len(s) == 10 for s in shards)
+
+    def test_disjoint_cover(self):
+        train, _ = make_synthetic_classification(n_train=60, n_test=10, seed=0)
+        shards = shard_dataset(train, 6, seed=2)
+        rows = np.vstack([s.images for s in shards])
+        # Same multiset of rows as the original (order may differ).
+        assert sorted(map(tuple, rows)) == sorted(map(tuple, train.images))
+
+    def test_sample_batch(self):
+        train, _ = make_synthetic_classification(n_train=40, n_test=10, seed=0)
+        shard = shard_dataset(train, 4, seed=0)[0]
+        rng = np.random.default_rng(0)
+        images, labels = shard.sample_batch(32, rng)
+        assert images.shape == (32, train.n_features)
+        assert labels.shape == (32,)
+
+    def test_too_many_agents(self):
+        train, _ = make_synthetic_classification(n_train=20, n_test=10, seed=0)
+        with pytest.raises(ValueError):
+            shard_dataset(train, 21)
+
+
+class TestLabelFlip:
+    def test_flip_formula(self):
+        labels = np.array([0, 1, 5, 9])
+        assert np.array_equal(flip_labels(labels), [9, 8, 4, 0])
+
+    def test_involution(self, rng):
+        labels = rng.integers(0, 10, size=50)
+        assert np.array_equal(flip_labels(flip_labels(labels)), labels)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            flip_labels(np.array([10]))
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score(np.array([1, 2, 3]), np.array([1, 0, 3])) == pytest.approx(2 / 3)
+
+    def test_accuracy_validation(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.array([1]), np.array([1, 2]))
+        with pytest.raises(ValueError):
+            accuracy_score(np.array([]), np.array([]))
+
+    def test_confusion_matrix(self):
+        preds = np.array([0, 1, 1, 2])
+        labels = np.array([0, 1, 2, 2])
+        cm = confusion_matrix(preds, labels, n_classes=3)
+        assert cm[0, 0] == 1
+        assert cm[1, 1] == 1
+        assert cm[2, 1] == 1
+        assert cm[2, 2] == 1
+        assert cm.sum() == 4
+
+    def test_per_class_accuracy(self):
+        preds = np.array([0, 1, 1, 2])
+        labels = np.array([0, 1, 2, 2])
+        acc = per_class_accuracy(preds, labels, n_classes=4)
+        assert acc[0] == 1.0
+        assert acc[2] == 0.5
+        assert 3 not in acc  # class absent from labels

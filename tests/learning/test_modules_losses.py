@@ -1,0 +1,150 @@
+"""Tests for the NumPy NN layers and losses (gradient-checked)."""
+
+import numpy as np
+import pytest
+
+from repro.learning import (
+    Dense,
+    ReLU,
+    Sequential,
+    Tanh,
+    cross_entropy,
+    cross_entropy_with_gradient,
+    softmax,
+)
+
+
+def numeric_param_gradient(network, params_flat, images, labels, eps=1e-6):
+    """Finite-difference gradient of the CE loss w.r.t. flat parameters."""
+    grad = np.zeros_like(params_flat)
+    for k in range(params_flat.shape[0]):
+        for sign, store in ((1.0, 0), (-1.0, 1)):
+            pass
+        bumped = params_flat.copy()
+        bumped[k] += eps
+        network.set_flat_parameters(bumped)
+        up = cross_entropy(network.forward(images), labels)
+        bumped[k] -= 2 * eps
+        network.set_flat_parameters(bumped)
+        down = cross_entropy(network.forward(images), labels)
+        grad[k] = (up - down) / (2 * eps)
+    network.set_flat_parameters(params_flat)
+    return grad
+
+
+class TestSoftmaxAndCE:
+    def test_softmax_rows_sum_to_one(self, rng):
+        logits = rng.normal(size=(6, 4)) * 10
+        probs = softmax(logits)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_softmax_shift_invariant(self, rng):
+        logits = rng.normal(size=(3, 5))
+        assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_softmax_extreme_logits_stable(self):
+        logits = np.array([[1000.0, -1000.0]])
+        probs = softmax(logits)
+        assert np.all(np.isfinite(probs))
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        labels = np.array([0, 1])
+        assert cross_entropy(logits, labels) == pytest.approx(0.0, abs=1e-6)
+
+    def test_cross_entropy_uniform(self):
+        logits = np.zeros((4, 10))
+        labels = np.arange(4)
+        assert cross_entropy(logits, labels) == pytest.approx(np.log(10))
+
+    def test_gradient_matches_finite_differences(self, rng):
+        logits = rng.normal(size=(5, 3))
+        labels = rng.integers(0, 3, size=5)
+        _, grad = cross_entropy_with_gradient(logits, labels)
+        eps = 1e-6
+        for i in range(5):
+            for j in range(3):
+                bumped = logits.copy()
+                bumped[i, j] += eps
+                up = cross_entropy(bumped, labels)
+                bumped[i, j] -= 2 * eps
+                down = cross_entropy(bumped, labels)
+                assert grad[i, j] == pytest.approx(
+                    (up - down) / (2 * eps), abs=1e-5
+                )
+
+    def test_label_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy(np.zeros((2, 3)), np.array([0, 3]))
+        with pytest.raises(ValueError):
+            cross_entropy(np.zeros((2, 3)), np.array([0]))
+        with pytest.raises(ValueError):
+            cross_entropy(np.zeros(3), np.array([0]))
+
+
+class TestLayers:
+    def test_dense_shapes(self, rng):
+        layer = Dense(4, 3, rng)
+        out = layer.forward(rng.normal(size=(5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_dense_backward_before_forward(self, rng):
+        layer = Dense(2, 2, rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_relu_masks_negatives(self):
+        relu = ReLU()
+        out = relu.forward(np.array([[-1.0, 2.0]]))
+        assert np.array_equal(out, [[0.0, 2.0]])
+        grad = relu.backward(np.array([[5.0, 5.0]]))
+        assert np.array_equal(grad, [[0.0, 5.0]])
+
+    def test_tanh_gradient(self):
+        tanh = Tanh()
+        x = np.array([[0.5]])
+        out = tanh.forward(x)
+        grad = tanh.backward(np.ones_like(x))
+        assert grad[0, 0] == pytest.approx(1.0 - np.tanh(0.5) ** 2)
+
+    def test_invalid_dense_dims(self, rng):
+        with pytest.raises(ValueError):
+            Dense(0, 3, rng)
+
+
+class TestSequentialFlatView:
+    def test_parameter_count(self, rng):
+        net = Sequential(Dense(4, 3, rng), ReLU(), Dense(3, 2, rng))
+        # (4*3 + 3) + (3*2 + 2) = 15 + 8 = 23
+        assert net.n_parameters == 23
+
+    def test_flat_roundtrip(self, rng):
+        net = Sequential(Dense(3, 2, rng))
+        flat = net.get_flat_parameters()
+        new = rng.normal(size=flat.shape)
+        net.set_flat_parameters(new)
+        assert np.array_equal(net.get_flat_parameters(), new)
+
+    def test_flat_shape_validation(self, rng):
+        net = Sequential(Dense(3, 2, rng))
+        with pytest.raises(ValueError):
+            net.set_flat_parameters(np.zeros(5))
+
+    def test_backprop_matches_finite_differences(self, rng):
+        net = Sequential(Dense(4, 5, rng), ReLU(), Dense(5, 3, rng))
+        images = rng.normal(size=(6, 4))
+        labels = rng.integers(0, 3, size=6)
+        flat = net.get_flat_parameters()
+
+        logits = net.forward(images)
+        _, grad_logits = cross_entropy_with_gradient(logits, labels)
+        net.backward(grad_logits)
+        analytic = net.get_flat_gradients()
+        numeric = numeric_param_gradient(net, flat, images, labels)
+        assert np.allclose(analytic, numeric, atol=1e-4)
+
+    def test_empty_sequential_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential()

@@ -1,0 +1,83 @@
+"""Tests for the worker-momentum D-SGD extension (reference [28])."""
+
+import numpy as np
+import pytest
+
+from repro.learning import (
+    MLPClassifier,
+    MomentumDistributedSGD,
+    make_synthetic_classification,
+    shard_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_synthetic_classification(
+        n_train=400, n_test=120, image_side=10, seed=0
+    )
+
+
+def make_driver(data, momentum, faulty=(), fault=None, aggregator="mean"):
+    train, test = data
+    return MomentumDistributedSGD(
+        model=MLPClassifier(train.n_features, [24], 10, seed=2),
+        shards=shard_dataset(train, 8, seed=1),
+        faulty_ids=list(faulty),
+        fault=fault,
+        aggregator=aggregator,
+        test_set=test,
+        momentum=momentum,
+        batch_size=32,
+        step_size=0.4,
+        seed=3,
+    )
+
+
+class TestMomentumDriver:
+    def test_zero_momentum_matches_plain_dsgd(self, data):
+        from repro.learning import DistributedSGD
+
+        train, test = data
+        plain = DistributedSGD(
+            model=MLPClassifier(train.n_features, [24], 10, seed=2),
+            shards=shard_dataset(train, 8, seed=1),
+            faulty_ids=[],
+            fault=None,
+            aggregator="mean",
+            test_set=test,
+            batch_size=32,
+            step_size=0.4,
+            seed=3,
+        ).run(20, eval_every=20)
+        with_zero = make_driver(data, momentum=0.0).run(20, eval_every=20)
+        assert plain.test_losses == with_zero.test_losses
+
+    def test_momentum_learns(self, data):
+        trace = make_driver(data, momentum=0.9).run(120, eval_every=60)
+        assert trace.final_accuracy > 0.5
+        assert trace.test_losses[-1] < trace.test_losses[0]
+
+    def test_momentum_buffers_smooth_gradients(self, data):
+        driver = make_driver(data, momentum=0.9)
+        driver.step()
+        first = {i: buf.copy() for i, buf in driver._buffers.items()}
+        driver.step()
+        # Buffers evolve as EMAs: successive values stay correlated.
+        for i in first:
+            a, b = first[i], driver._buffers[i]
+            cos = float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b)))
+            assert cos > 0.5
+
+    def test_robust_aggregation_with_momentum_under_attack(self, data):
+        trace = make_driver(
+            data, momentum=0.9, faulty=(0, 1), fault="gradient_reverse",
+            aggregator="cge_mean",
+        ).run(120, eval_every=60)
+        assert trace.final_accuracy > 0.5
+
+    def test_validation(self, data):
+        with pytest.raises(ValueError):
+            make_driver(data, momentum=1.0)
+        with pytest.raises(ValueError):
+            make_driver(data, momentum=-0.1)

@@ -1,0 +1,97 @@
+"""Tests for multi-start argmin resolution on non-convex costs.
+
+Exercises the FiniteSet witness branch of ``resolve_argmin_set``: costs
+with several *global* minimizers must surface all of them when seeded from
+different basins — the set-valued view Definitions 2 and 3 require.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import FiniteSet, SingletonSet
+from repro.functions import CostFunction
+from repro.optim import resolve_argmin_set
+
+
+class DoubleWell(CostFunction):
+    """``Q(x) = (x^2 - 1)^2`` per coordinate: global minima at +-1."""
+
+    def __init__(self, dim: int = 1):
+        self.dim = dim
+
+    def value(self, x):
+        x = np.asarray(x, dtype=float)
+        return float(np.sum((x**2 - 1.0) ** 2))
+
+    def gradient(self, x):
+        x = np.asarray(x, dtype=float)
+        return 4.0 * x * (x**2 - 1.0)
+
+    def smoothness_constant(self):
+        # Local bound good enough for step sizing on |x| <= 2.
+        return 44.0
+
+
+class ShiftedWell(CostFunction):
+    """Double well with one basin lifted: unique global minimum at -1."""
+
+    dim = 1
+
+    def value(self, x):
+        x = float(np.asarray(x, dtype=float)[0])
+        return (x**2 - 1.0) ** 2 + 0.5 * (x + 1.0) ** 2
+
+    def gradient(self, x):
+        x = float(np.asarray(x, dtype=float)[0])
+        return np.array([4.0 * x * (x**2 - 1.0) + (x + 1.0)])
+
+    def smoothness_constant(self):
+        return 45.0
+
+
+class TestMultiStartResolution:
+    def test_both_global_minima_found(self):
+        cost = DoubleWell()
+        result = resolve_argmin_set(
+            cost, starts=[np.array([-2.0]), np.array([2.0])]
+        )
+        assert isinstance(result, FiniteSet)
+        xs = sorted(float(p[0]) for p in result.points)
+        assert xs[0] == pytest.approx(-1.0, abs=1e-4)
+        assert xs[1] == pytest.approx(1.0, abs=1e-4)
+
+    def test_single_start_gives_singleton(self):
+        result = resolve_argmin_set(DoubleWell(), starts=[np.array([2.0])])
+        assert isinstance(result, SingletonSet)
+        assert float(result.point[0]) == pytest.approx(1.0, abs=1e-4)
+
+    def test_same_basin_starts_merge(self):
+        result = resolve_argmin_set(
+            DoubleWell(), starts=[np.array([0.5]), np.array([2.0])]
+        )
+        assert isinstance(result, SingletonSet)
+
+    def test_non_global_limits_discarded(self):
+        # Both basins are reached, but only x = -1 is a *global* minimum:
+        # the +1 limit has a strictly larger value and must be dropped.
+        result = resolve_argmin_set(
+            ShiftedWell(), starts=[np.array([-2.0]), np.array([2.0])]
+        )
+        pts = result.support_points()
+        values = [ShiftedWell().value(p) for p in pts]
+        assert min(values) == pytest.approx(max(values), abs=1e-6)
+        assert all(float(p[0]) < 0 for p in pts)
+
+    def test_multidimensional_double_well(self):
+        # d = 2: four global minima at (+-1, +-1); four basin seeds find all.
+        cost = DoubleWell(dim=2)
+        starts = [
+            np.array([s1 * 2.0, s2 * 2.0])
+            for s1 in (-1, 1)
+            for s2 in (-1, 1)
+        ]
+        result = resolve_argmin_set(cost, starts=starts)
+        assert isinstance(result, FiniteSet)
+        assert result.points.shape[0] == 4
+        for p in result.points:
+            assert np.allclose(np.abs(p), 1.0, atol=1e-4)

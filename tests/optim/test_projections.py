@@ -1,0 +1,116 @@
+"""Tests for projections onto convex sets (equation (20))."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.optim import BallConstraint, BoxSet, UnconstrainedSet
+
+finite = st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False)
+
+
+def vec(dim=3):
+    return arrays(np.float64, (dim,), elements=finite)
+
+
+class TestBoxSet:
+    def test_inside_unchanged(self):
+        box = BoxSet.symmetric(10.0, dim=2)
+        x = np.array([1.0, -2.0])
+        assert np.array_equal(box.project(x), x)
+
+    def test_outside_clipped(self):
+        box = BoxSet.symmetric(1.0, dim=2)
+        assert np.array_equal(box.project(np.array([5.0, -3.0])), [1.0, -1.0])
+
+    def test_paper_w(self):
+        # The paper's W = [-1000, 1000]^2.
+        box = BoxSet.symmetric(1000.0, dim=2)
+        assert box.contains(np.array([1000.0, -1000.0]))
+        assert not box.contains(np.array([1000.1, 0.0]))
+
+    def test_asymmetric_bounds(self):
+        box = BoxSet([0.0, -1.0], [2.0, 1.0])
+        assert np.array_equal(box.project(np.array([-1.0, 3.0])), [0.0, 1.0])
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            BoxSet([1.0], [0.0])
+        with pytest.raises(ValueError):
+            BoxSet.symmetric(0.0, dim=2)
+
+    def test_diameter(self):
+        box = BoxSet.symmetric(1.0, dim=4)
+        assert box.diameter_bound() == pytest.approx(2.0 * 2.0)  # ||(2,2,2,2)||
+
+    @given(vec())
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent(self, x):
+        box = BoxSet.symmetric(7.0, dim=3)
+        once = box.project(x)
+        assert np.array_equal(box.project(once), once)
+        assert box.contains(once)
+
+    @given(vec(), vec())
+    @settings(max_examples=60, deadline=None)
+    def test_non_expansive(self, x, y):
+        # The property the Theorem-3 proof leans on.
+        box = BoxSet.symmetric(5.0, dim=3)
+        lhs = np.linalg.norm(box.project(x) - box.project(y))
+        rhs = np.linalg.norm(x - y)
+        assert lhs <= rhs + 1e-9
+
+    @given(vec())
+    @settings(max_examples=60, deadline=None)
+    def test_projection_is_closest_point(self, x):
+        box = BoxSet.symmetric(2.0, dim=3)
+        proj = box.project(x)
+        # Any random feasible point is no closer.
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            candidate = rng.uniform(-2.0, 2.0, size=3)
+            assert np.linalg.norm(x - proj) <= np.linalg.norm(x - candidate) + 1e-9
+
+
+class TestBallConstraint:
+    def test_inside_unchanged(self):
+        ball = BallConstraint([0.0, 0.0], 2.0)
+        x = np.array([1.0, 0.0])
+        assert np.array_equal(ball.project(x), x)
+
+    def test_outside_lands_on_sphere(self):
+        ball = BallConstraint([1.0, 1.0], 1.0)
+        proj = ball.project(np.array([5.0, 1.0]))
+        assert np.allclose(proj, [2.0, 1.0])
+
+    def test_diameter(self):
+        assert BallConstraint([0.0], 3.0).diameter_bound() == 6.0
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            BallConstraint([0.0], 0.0)
+
+    @given(vec(), vec())
+    @settings(max_examples=60, deadline=None)
+    def test_non_expansive(self, x, y):
+        ball = BallConstraint(np.zeros(3), 4.0)
+        lhs = np.linalg.norm(ball.project(x) - ball.project(y))
+        assert lhs <= np.linalg.norm(x - y) + 1e-9
+
+    @given(vec())
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent(self, x):
+        ball = BallConstraint(np.ones(3), 2.5)
+        once = ball.project(x)
+        assert np.allclose(ball.project(once), once, atol=1e-12)
+
+
+class TestUnconstrainedSet:
+    def test_identity(self, rng):
+        free = UnconstrainedSet(4)
+        x = rng.normal(size=4)
+        assert np.array_equal(free.project(x), x)
+        assert free.contains(x)
+        assert free.diameter_bound() == float("inf")

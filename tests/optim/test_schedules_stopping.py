@@ -1,0 +1,107 @@
+"""Tests for step-size schedules and stopping rules."""
+
+import numpy as np
+import pytest
+
+from repro.optim import (
+    CombinedRule,
+    ConstantSchedule,
+    GradientNorm,
+    HarmonicSchedule,
+    IterateMovement,
+    MaxIterations,
+    PolynomialSchedule,
+    paper_schedule,
+)
+
+
+class TestSchedules:
+    def test_paper_schedule_values(self):
+        sched = paper_schedule()
+        assert sched(0) == pytest.approx(1.5)
+        assert sched(1) == pytest.approx(0.75)
+        assert sched(9) == pytest.approx(0.15)
+        assert sched.satisfies_robbins_monro
+
+    def test_paper_squared_sum(self):
+        # The paper: sum eta_t^2 = 3 pi^2 / 8 for eta_t = 1.5/(t+1).
+        sched = paper_schedule()
+        total = sum(sched(t) ** 2 for t in range(200_000))
+        assert total == pytest.approx(3 * np.pi**2 / 8, rel=1e-4)
+
+    def test_constant(self):
+        sched = ConstantSchedule(0.1)
+        assert sched(0) == sched(1000) == 0.1
+        assert not sched.satisfies_robbins_monro
+
+    def test_harmonic_validation(self):
+        with pytest.raises(ValueError):
+            HarmonicSchedule(scale=0.0)
+        with pytest.raises(ValueError):
+            HarmonicSchedule(offset=0.0)
+
+    def test_polynomial_robbins_monro_window(self):
+        assert PolynomialSchedule(power=1.0).satisfies_robbins_monro
+        assert PolynomialSchedule(power=0.75).satisfies_robbins_monro
+        assert not PolynomialSchedule(power=0.5).satisfies_robbins_monro
+        assert not PolynomialSchedule(power=1.5).satisfies_robbins_monro
+
+    def test_polynomial_values(self):
+        sched = PolynomialSchedule(scale=2.0, power=0.5)
+        assert sched(3) == pytest.approx(1.0)
+
+    def test_negative_iteration_rejected(self):
+        with pytest.raises(ValueError):
+            paper_schedule()(-1)
+
+    def test_constant_positive_required(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(0.0)
+
+
+class TestStoppingRules:
+    def test_max_iterations(self):
+        rule = MaxIterations(3)
+        assert not rule.should_stop(0, None, None, None)
+        assert not rule.should_stop(1, None, None, None)
+        assert rule.should_stop(2, None, None, None)
+
+    def test_gradient_norm(self):
+        rule = GradientNorm(1e-3)
+        assert not rule.should_stop(0, None, None, np.array([1.0, 0.0]))
+        assert rule.should_stop(0, None, None, np.array([1e-4, 0.0]))
+        assert not rule.should_stop(0, None, None, None)
+
+    def test_iterate_movement_patience(self):
+        rule = IterateMovement(0.1, patience=2)
+        x = np.zeros(2)
+        assert not rule.should_stop(0, x, None, None)          # no previous
+        assert not rule.should_stop(1, x, x + 0.01, None)      # streak 1
+        assert rule.should_stop(2, x, x + 0.01, None)          # streak 2
+        rule.reset()
+        assert not rule.should_stop(3, x, x + 0.01, None)      # streak reset
+
+    def test_iterate_movement_streak_broken(self):
+        rule = IterateMovement(0.1, patience=2)
+        x = np.zeros(2)
+        assert not rule.should_stop(0, x, x + 0.01, None)
+        assert not rule.should_stop(1, x, x + 5.0, None)       # big move
+        assert not rule.should_stop(2, x, x + 0.01, None)      # streak restarts
+
+    def test_combined_any_fires(self):
+        rule = CombinedRule(MaxIterations(100), GradientNorm(1e-2))
+        assert rule.should_stop(0, None, None, np.zeros(2))
+
+    def test_combined_requires_rules(self):
+        with pytest.raises(ValueError):
+            CombinedRule()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MaxIterations(0)
+        with pytest.raises(ValueError):
+            GradientNorm(0.0)
+        with pytest.raises(ValueError):
+            IterateMovement(0.0)
+        with pytest.raises(ValueError):
+            IterateMovement(0.1, patience=0)

@@ -1,0 +1,111 @@
+"""Tests for the gradient-descent solver and argmin resolution."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import FiniteSet, SingletonSet
+from repro.functions import (
+    CostFunction,
+    HuberCost,
+    QuadraticCost,
+    SquaredDistanceCost,
+)
+from repro.optim import (
+    BoxSet,
+    GradientNorm,
+    HarmonicSchedule,
+    argmin_point,
+    gradient_descent,
+    resolve_argmin_set,
+    solve_argmin,
+)
+
+
+class TestGradientDescent:
+    def test_converges_on_quadratic(self):
+        cost = SquaredDistanceCost([3.0, -1.0])
+        result = gradient_descent(cost, np.zeros(2))
+        assert result.converged
+        assert np.allclose(result.x, [3.0, -1.0], atol=1e-6)
+
+    def test_respects_constraint(self):
+        cost = SquaredDistanceCost([10.0, 10.0])
+        box = BoxSet.symmetric(1.0, dim=2)
+        result = gradient_descent(cost, np.zeros(2), constraint=box)
+        assert box.contains(result.x)
+        assert np.allclose(result.x, [1.0, 1.0], atol=1e-6)
+
+    def test_history_recording(self):
+        cost = SquaredDistanceCost([1.0])
+        result = gradient_descent(
+            cost, np.zeros(1), max_iterations=10, record_history=True
+        )
+        assert len(result.history) == result.iterations + 1
+        assert np.array_equal(result.history[0], np.zeros(1))
+
+    def test_harmonic_schedule_converges(self):
+        cost = SquaredDistanceCost([2.0, 2.0])
+        result = gradient_descent(
+            cost,
+            np.zeros(2),
+            schedule=HarmonicSchedule(scale=0.4),
+            stopping=GradientNorm(1e-8),
+            max_iterations=20_000,
+        )
+        # Harmonic steps converge sublinearly: modest tolerance.
+        assert np.allclose(result.x, [2.0, 2.0], atol=1e-3)
+
+    def test_bad_x0_shape(self):
+        with pytest.raises(ValueError):
+            gradient_descent(SquaredDistanceCost([0.0, 0.0]), np.zeros(3))
+
+    def test_auto_step_uses_smoothness(self):
+        # 1/L step on an ill-conditioned quadratic still converges.
+        cost = QuadraticCost(np.diag([100.0, 1.0]), [-100.0, -1.0])
+        result = gradient_descent(cost, np.zeros(2), max_iterations=100_000)
+        assert np.allclose(result.x, [1.0, 1.0], atol=1e-4)
+
+
+class TestSolveArgmin:
+    def test_closed_form_short_circuit(self):
+        cost = SquaredDistanceCost([4.0, 5.0])
+        assert np.allclose(solve_argmin(cost), [4.0, 5.0])
+
+    def test_numeric_fallback(self, rng):
+        a = rng.normal(size=(6, 2))
+        b = rng.normal(size=6)
+        cost = HuberCost(a, b, delta=1.0)
+        x = solve_argmin(cost, tolerance=1e-8)
+        assert np.linalg.norm(cost.gradient(x)) < 1e-6
+
+    def test_failure_raises(self):
+        class Drifter(CostFunction):
+            """Constant gradient: no minimizer exists."""
+
+            dim = 1
+
+            def value(self, x):
+                return float(x[0])
+
+            def gradient(self, x):
+                return np.ones(1)
+
+        with pytest.raises(RuntimeError):
+            solve_argmin(Drifter(), max_iterations=50)
+
+
+class TestResolveArgminSet:
+    def test_closed_form_passthrough(self):
+        s = resolve_argmin_set(SquaredDistanceCost([1.0, 2.0]))
+        assert isinstance(s, SingletonSet)
+
+    def test_multi_start_agreement_collapses_to_singleton(self, rng):
+        cost = HuberCost(rng.normal(size=(8, 2)), rng.normal(size=8))
+        starts = [rng.normal(size=2) for _ in range(3)]
+        s = resolve_argmin_set(cost, starts=starts)
+        assert isinstance(s, SingletonSet)
+
+    def test_argmin_point_returns_vector(self):
+        x = argmin_point(SquaredDistanceCost([7.0]))
+        assert x.shape == (1,)
+        assert x[0] == pytest.approx(7.0)
