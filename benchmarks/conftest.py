@@ -5,6 +5,7 @@ ablation), prints the paper-shaped rows/series, and writes the rendering to
 ``benchmarks/results/`` so EXPERIMENTS.md can quote it.
 """
 
+import json
 from pathlib import Path
 
 import pytest
@@ -24,3 +25,14 @@ def emit(results_dir: Path, name: str, text: str) -> None:
     print()
     print(text)
     (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(results_dir: Path, name: str, payload: dict) -> Path:
+    """Persist a machine-readable benchmark summary next to the renderings.
+
+    Written to the repository root as ``BENCH_<name>.json`` so dashboards
+    and CI can diff headline numbers without parsing the text renderings.
+    """
+    path = results_dir.parent.parent / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,37 +1,52 @@
 """Gradient filters (robust aggregation rules) — Section 4.2 and baselines."""
 
-from .base import GradientAggregator, validate_gradients
+from .base import (
+    GradientAggregator,
+    validate_gradient_batch,
+    validate_gradients,
+)
 from .bulyan import BulyanAggregator
-from .cge import AveragedCGE, CGEAggregator, cge_selection
+from .cge import AveragedCGE, CGEAggregator, cge_selection, cge_selection_batch
 from .clipping import CenteredClipAggregator, NormClipAggregator
 from .geometric_median import (
     GeometricMedianAggregator,
     MedianOfMeansAggregator,
     geometric_median,
+    geometric_median_batch,
 )
-from .krum import KrumAggregator, MultiKrumAggregator, krum_scores
+from .krum import KrumAggregator, MultiKrumAggregator, krum_scores, krum_scores_batch
 from .meamed import MeaMedAggregator, SignMajorityAggregator
 from .mean import MeanAggregator, SumAggregator
 from .registry import available_aggregators, make_aggregator
-from .trimmed_mean import CoordinateWiseMedian, CWTMAggregator, trimmed_mean
+from .trimmed_mean import (
+    CoordinateWiseMedian,
+    CWTMAggregator,
+    trimmed_mean,
+    trimmed_mean_batch,
+)
 
 __all__ = [
     "GradientAggregator",
     "validate_gradients",
+    "validate_gradient_batch",
     "MeanAggregator",
     "SumAggregator",
     "CGEAggregator",
     "AveragedCGE",
     "cge_selection",
+    "cge_selection_batch",
     "CWTMAggregator",
     "CoordinateWiseMedian",
     "trimmed_mean",
+    "trimmed_mean_batch",
     "KrumAggregator",
     "MultiKrumAggregator",
     "krum_scores",
+    "krum_scores_batch",
     "GeometricMedianAggregator",
     "MedianOfMeansAggregator",
     "geometric_median",
+    "geometric_median_batch",
     "BulyanAggregator",
     "CenteredClipAggregator",
     "NormClipAggregator",

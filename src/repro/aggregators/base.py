@@ -15,7 +15,12 @@ import abc
 
 import numpy as np
 
-__all__ = ["GradientAggregator", "validate_gradients", "require_fault_capacity"]
+__all__ = [
+    "GradientAggregator",
+    "validate_gradients",
+    "validate_gradient_batch",
+    "require_fault_capacity",
+]
 
 
 def validate_gradients(gradients: np.ndarray) -> np.ndarray:
@@ -27,6 +32,20 @@ def validate_gradients(gradients: np.ndarray) -> np.ndarray:
         )
     if arr.shape[0] == 0:
         raise ValueError("cannot aggregate zero gradients")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("gradients contain non-finite entries")
+    return arr
+
+
+def validate_gradient_batch(stacks: np.ndarray) -> np.ndarray:
+    """Coerce and validate a batch of gradient stacks to ``(S, n, d)``."""
+    arr = np.asarray(stacks, dtype=float)
+    if arr.ndim != 3:
+        raise ValueError(
+            f"expected an (S, n, d) batch of gradient stacks, got shape {arr.shape}"
+        )
+    if arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise ValueError("cannot aggregate an empty batch")
     if not np.all(np.isfinite(arr)):
         raise ValueError("gradients contain non-finite entries")
     return arr
@@ -50,6 +69,18 @@ class GradientAggregator(abc.ABC):
     @abc.abstractmethod
     def aggregate(self, gradients: np.ndarray) -> np.ndarray:
         """Aggregate an ``(n, d)`` stack into a single ``(d,)`` vector."""
+
+    def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
+        """Aggregate ``S`` independent stacks: ``(S, n, d) -> (S, d)``.
+
+        Every trial of a batched sweep applies the *same* filter to its own
+        ``(n, d)`` stack; filters with vectorized kernels override this to
+        process the whole batch in one tensor expression.  The base
+        implementation is the per-item reference fallback, so any registered
+        filter works under :class:`~repro.distsys.batch.BatchSimulator`.
+        """
+        arr = validate_gradient_batch(stacks)
+        return np.stack([self.aggregate(item) for item in arr])
 
     def __call__(self, gradients: np.ndarray) -> np.ndarray:
         return self.aggregate(gradients)

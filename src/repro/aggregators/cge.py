@@ -13,9 +13,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import GradientAggregator, require_fault_capacity, validate_gradients
+from .base import (
+    GradientAggregator,
+    require_fault_capacity,
+    validate_gradient_batch,
+    validate_gradients,
+)
 
-__all__ = ["CGEAggregator", "AveragedCGE", "cge_selection"]
+__all__ = ["CGEAggregator", "AveragedCGE", "cge_selection", "cge_selection_batch"]
 
 
 def cge_selection(gradients: np.ndarray, f: int) -> np.ndarray:
@@ -33,6 +38,26 @@ def cge_selection(gradients: np.ndarray, f: int) -> np.ndarray:
     return order[: n - f]
 
 
+def cge_selection_batch(stacks: np.ndarray, f: int) -> np.ndarray:
+    """Batched :func:`cge_selection`: ``(S, n, d) -> (S, n - f)`` indices.
+
+    A stable argsort on the norms reproduces the (norm, agent index)
+    lexicographic order of the per-item rule for every trial at once.
+    """
+    arr = validate_gradient_batch(stacks)
+    n = arr.shape[1]
+    require_fault_capacity(n, f, minimum_honest=1)
+    norms = np.linalg.norm(arr, axis=2)
+    order = np.argsort(norms, axis=1, kind="stable")
+    return order[:, : n - f]
+
+
+def _cge_gather(stacks: np.ndarray, f: int) -> np.ndarray:
+    """Retained gradients per trial, norm-sorted: ``(S, n - f, d)``."""
+    selected = cge_selection_batch(stacks, f)
+    return np.take_along_axis(stacks, selected[:, :, None], axis=1)
+
+
 class CGEAggregator(GradientAggregator):
     """Sum of the ``n - f`` smallest-norm gradients (equation (23))."""
 
@@ -48,6 +73,10 @@ class CGEAggregator(GradientAggregator):
         selected = cge_selection(arr, self.f)
         return arr[selected].sum(axis=0)
 
+    def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
+        arr = validate_gradient_batch(stacks)
+        return _cge_gather(arr, self.f).sum(axis=1)
+
 
 class AveragedCGE(CGEAggregator):
     """CGE normalized by the number of retained gradients.
@@ -62,3 +91,7 @@ class AveragedCGE(CGEAggregator):
         arr = validate_gradients(gradients)
         selected = cge_selection(arr, self.f)
         return arr[selected].mean(axis=0)
+
+    def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
+        arr = validate_gradient_batch(stacks)
+        return _cge_gather(arr, self.f).mean(axis=1)

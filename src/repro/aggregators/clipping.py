@@ -13,7 +13,7 @@ from typing import Optional
 
 import numpy as np
 
-from .base import GradientAggregator, validate_gradients
+from .base import GradientAggregator, validate_gradient_batch, validate_gradients
 
 __all__ = ["CenteredClipAggregator", "NormClipAggregator"]
 
@@ -47,6 +47,20 @@ class CenteredClipAggregator(GradientAggregator):
             center = center + (deltas * scales[:, None]).mean(axis=0)
         return center
 
+    def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
+        arr = validate_gradient_batch(stacks)
+        centers = np.median(arr, axis=1)
+        for _ in range(self.iterations):
+            deltas = arr - centers[:, None, :]
+            norms = np.linalg.norm(deltas, axis=2)
+            scales = np.where(
+                norms > self.radius,
+                self.radius / np.maximum(norms, 1e-300),
+                1.0,
+            )
+            centers = centers + (deltas * scales[:, :, None]).mean(axis=1)
+        return centers
+
 
 class NormClipAggregator(GradientAggregator):
     """Clip every gradient to ``radius`` and average.
@@ -70,3 +84,17 @@ class NormClipAggregator(GradientAggregator):
             return np.zeros(arr.shape[1])
         scales = np.minimum(1.0, radius / np.maximum(norms, 1e-300))
         return (arr * scales[:, None]).mean(axis=0)
+
+    def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
+        arr = validate_gradient_batch(stacks)
+        norms = np.linalg.norm(arr, axis=2)
+        if self.radius is not None:
+            radii = np.full(arr.shape[0], float(self.radius))
+        else:
+            radii = np.median(norms, axis=1)
+        scales = np.minimum(
+            1.0, radii[:, None] / np.maximum(norms, 1e-300)
+        )
+        out = (arr * scales[:, :, None]).mean(axis=1)
+        out[radii == 0.0] = 0.0
+        return out

@@ -2,44 +2,136 @@
 
 The geometric median minimizes ``sum_i ||z - g_i||`` and is the robust core
 of the GMoM filter of Chen, Su & Xu (reference [14]).  Computed with the
-Weiszfeld fixed-point iteration, safeguarded against iterates landing on an
-input point.
+Weiszfeld fixed-point iteration; iterates that land on an input point are
+handled by the Vardi–Zhang correction (Vardi & Zhang, PNAS 2000), which
+keeps the update well-defined without biasing the iterate — the historical
+"nudge by a constant" trick shifts every coordinate identically and can
+itself land on another input point.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .base import GradientAggregator, validate_gradients
+from .base import GradientAggregator, validate_gradient_batch, validate_gradients
 
 __all__ = [
     "geometric_median",
+    "geometric_median_batch",
     "GeometricMedianAggregator",
     "MedianOfMeansAggregator",
 ]
+
+#: distance below which an iterate counts as sitting on an input point
+_COINCIDENCE_TOL = 1e-14
 
 
 def geometric_median(
     points: np.ndarray, tolerance: float = 1e-10, max_iterations: int = 1_000
 ) -> np.ndarray:
-    """Weiszfeld iteration for the geometric median of row-stacked points."""
+    """Weiszfeld iteration for the geometric median of row-stacked points.
+
+    When the iterate coincides with one or more input points, the plain
+    Weiszfeld map is undefined; the Vardi–Zhang correction blends the
+    weighted mean of the *other* points with the current iterate:
+    ``z' = (1 - eta/r) T(z) + (eta/r) z`` where ``eta`` is the multiplicity
+    of the coincident point and ``r = ||sum_i (x_i - z)/||x_i - z||||``.
+    If ``r <= eta`` the coincident point *is* the geometric median.
+    """
     arr = validate_gradients(points)
     if arr.shape[0] == 1:
         return arr[0].copy()
     z = arr.mean(axis=0)
     for _ in range(max_iterations):
-        dists = np.linalg.norm(arr - z, axis=1)
-        at_point = dists < 1e-14
+        diffs = arr - z
+        dists = np.linalg.norm(diffs, axis=1)
+        at_point = dists < _COINCIDENCE_TOL
+        weights = np.where(at_point, 0.0, 1.0 / np.where(at_point, 1.0, dists))
+        total = weights.sum()
+        if total == 0.0:
+            return z  # every input coincides with the iterate
+        t_z = (weights[:, None] * arr).sum(axis=0) / total
         if at_point.any():
-            # Weiszfeld is undefined on data points; nudge off the point.
-            z = z + 1e-10 * np.ones_like(z)
-            dists = np.linalg.norm(arr - z, axis=1)
-        weights = 1.0 / dists
-        new_z = (weights[:, None] * arr).sum(axis=0) / weights.sum()
+            r_vec = (weights[:, None] * diffs).sum(axis=0)
+            r = float(np.linalg.norm(r_vec))
+            eta = float(at_point.sum())
+            if r <= eta:
+                return z  # optimality condition: z is the geometric median
+            step = eta / r
+            new_z = (1.0 - step) * t_z + step * z
+        else:
+            new_z = t_z
         if np.linalg.norm(new_z - z) <= tolerance * (1.0 + np.linalg.norm(z)):
             return new_z
         z = new_z
     return z
+
+
+def geometric_median_batch(
+    stacks: np.ndarray, tolerance: float = 1e-10, max_iterations: int = 1_000
+) -> np.ndarray:
+    """Batched Weiszfeld: geometric median of each ``(n, d)`` stack.
+
+    Runs the same iteration as :func:`geometric_median` on all ``S`` stacks
+    in lockstep; trials that converge are frozen while the rest continue, so
+    the per-trial results match the scalar routine.
+    """
+    arr = validate_gradient_batch(stacks)
+    n = arr.shape[1]
+    if n == 1:
+        return arr[:, 0, :].copy()
+    out = arr.mean(axis=1)
+    # Iterate on compact copies of the unconverged trials; converged rows
+    # are scattered back and dropped, so the steady-state inner iteration
+    # pays no masking or gather cost.
+    order = np.arange(arr.shape[0])  # original index of each compact row
+    a = arr
+    za = out.copy()
+    for _ in range(max_iterations):
+        diffs = a - za[:, None, :]
+        dists = np.linalg.norm(diffs, axis=2)
+        at_point = dists < _COINCIDENCE_TOL
+        if at_point.any():
+            weights = np.where(
+                at_point, 0.0, 1.0 / np.where(at_point, 1.0, dists)
+            )
+            totals = weights.sum(axis=1)
+            degenerate = totals == 0.0
+            t_z = (weights[:, :, None] * a).sum(axis=1) / np.where(
+                degenerate, 1.0, totals
+            )[:, None]
+            eta = at_point.sum(axis=1).astype(float)
+            r_vec = (weights[:, :, None] * diffs).sum(axis=1)
+            r = np.linalg.norm(r_vec, axis=1)
+            coincident = eta > 0.0
+            stalled = degenerate | (coincident & (r <= eta))
+            step = np.where(
+                coincident & ~stalled, eta / np.where(r == 0.0, 1.0, r), 0.0
+            )
+            new_z = (1.0 - step)[:, None] * t_z + step[:, None] * za
+            new_z = np.where(stalled[:, None], za, new_z)
+        else:
+            weights = 1.0 / dists
+            t_z = (weights[:, :, None] * a).sum(axis=1)
+            t_z /= weights.sum(axis=1)[:, None]
+            stalled = np.zeros(a.shape[0], dtype=bool)
+            new_z = t_z
+        converged = np.linalg.norm(new_z - za, axis=1) <= tolerance * (
+            1.0 + np.linalg.norm(za, axis=1)
+        )
+        finished = stalled | converged
+        if finished.any():
+            out[order[finished]] = new_z[finished]
+            keep = ~finished
+            if not keep.any():
+                return out
+            a = a[keep]
+            order = order[keep]
+            za = new_z[keep]
+        else:
+            za = new_z
+    out[order] = za
+    return out
 
 
 class GeometricMedianAggregator(GradientAggregator):
@@ -54,6 +146,11 @@ class GeometricMedianAggregator(GradientAggregator):
     def aggregate(self, gradients: np.ndarray) -> np.ndarray:
         return geometric_median(
             gradients, tolerance=self.tolerance, max_iterations=self.max_iterations
+        )
+
+    def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
+        return geometric_median_batch(
+            stacks, tolerance=self.tolerance, max_iterations=self.max_iterations
         )
 
 
@@ -80,3 +177,14 @@ class MedianOfMeansAggregator(GradientAggregator):
         buckets = np.array_split(np.arange(n), self.groups)
         means = np.vstack([arr[idx].mean(axis=0) for idx in buckets])
         return geometric_median(means)
+
+    def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
+        arr = validate_gradient_batch(stacks)
+        n = arr.shape[1]
+        if self.groups > n:
+            raise ValueError(f"cannot split {n} gradients into {self.groups} groups")
+        buckets = np.array_split(np.arange(n), self.groups)
+        means = np.stack(
+            [arr[:, idx, :].mean(axis=1) for idx in buckets], axis=1
+        )
+        return geometric_median_batch(means)

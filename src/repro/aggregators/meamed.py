@@ -17,7 +17,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import GradientAggregator, require_fault_capacity, validate_gradients
+from .base import (
+    GradientAggregator,
+    require_fault_capacity,
+    validate_gradient_batch,
+    validate_gradients,
+)
 
 __all__ = ["MeaMedAggregator", "SignMajorityAggregator"]
 
@@ -43,6 +48,17 @@ class MeaMedAggregator(GradientAggregator):
         nearest = np.take_along_axis(arr, order, axis=0)
         return nearest.mean(axis=0)
 
+    def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
+        arr = validate_gradient_batch(stacks)
+        n = arr.shape[1]
+        require_fault_capacity(n, self.f, minimum_honest=1)
+        keep = n - self.f
+        median = np.median(arr, axis=1)
+        gaps = np.abs(arr - median[:, None, :])
+        order = np.argsort(gaps, axis=1, kind="stable")[:, :keep, :]
+        nearest = np.take_along_axis(arr, order, axis=1)
+        return nearest.mean(axis=1)
+
 
 class SignMajorityAggregator(GradientAggregator):
     """Coordinate-wise sign of the sum of signs (majority vote).
@@ -61,4 +77,9 @@ class SignMajorityAggregator(GradientAggregator):
     def aggregate(self, gradients: np.ndarray) -> np.ndarray:
         arr = validate_gradients(gradients)
         votes = np.sign(arr).sum(axis=0)
+        return self.scale * np.sign(votes)
+
+    def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
+        arr = validate_gradient_batch(stacks)
+        votes = np.sign(arr).sum(axis=1)
         return self.scale * np.sign(votes)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import GradientAggregator, validate_gradients
+from .base import GradientAggregator, validate_gradient_batch, validate_gradients
 
 __all__ = ["MeanAggregator", "SumAggregator"]
 
@@ -24,6 +24,9 @@ class MeanAggregator(GradientAggregator):
         arr = validate_gradients(gradients)
         return arr.mean(axis=0)
 
+    def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
+        return validate_gradient_batch(stacks).mean(axis=1)
+
 
 class SumAggregator(GradientAggregator):
     """Sum of all received gradients (the classic DGD aggregate)."""
@@ -33,3 +36,6 @@ class SumAggregator(GradientAggregator):
     def aggregate(self, gradients: np.ndarray) -> np.ndarray:
         arr = validate_gradients(gradients)
         return arr.sum(axis=0)
+
+    def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
+        return validate_gradient_batch(stacks).sum(axis=1)

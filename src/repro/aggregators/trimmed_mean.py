@@ -13,9 +13,19 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import GradientAggregator, require_fault_capacity, validate_gradients
+from .base import (
+    GradientAggregator,
+    require_fault_capacity,
+    validate_gradient_batch,
+    validate_gradients,
+)
 
-__all__ = ["CWTMAggregator", "CoordinateWiseMedian", "trimmed_mean"]
+__all__ = [
+    "CWTMAggregator",
+    "CoordinateWiseMedian",
+    "trimmed_mean",
+    "trimmed_mean_batch",
+]
 
 
 def trimmed_mean(values: np.ndarray, trim: int) -> np.ndarray:
@@ -23,6 +33,9 @@ def trimmed_mean(values: np.ndarray, trim: int) -> np.ndarray:
 
     ``values`` is ``(n, d)``; returns the ``(d,)`` vector whose k-th entry is
     the average of the middle ``n - 2 trim`` order statistics of column k.
+    A two-sided ``np.partition`` places every kept entry between the two
+    pivot order statistics without fully sorting each column — the mean of
+    the kept slice does not depend on its internal order.
     """
     arr = validate_gradients(values)
     n = arr.shape[0]
@@ -31,8 +44,21 @@ def trimmed_mean(values: np.ndarray, trim: int) -> np.ndarray:
     require_fault_capacity(n, 2 * trim, minimum_honest=1)
     if trim == 0:
         return arr.mean(axis=0)
-    ordered = np.sort(arr, axis=0)
-    return ordered[trim : n - trim].mean(axis=0)
+    partitioned = np.partition(arr, (trim, n - trim - 1), axis=0)
+    return partitioned[trim : n - trim].mean(axis=0)
+
+
+def trimmed_mean_batch(stacks: np.ndarray, trim: int) -> np.ndarray:
+    """Batched :func:`trimmed_mean`: ``(S, n, d) -> (S, d)``."""
+    arr = validate_gradient_batch(stacks)
+    n = arr.shape[1]
+    if trim < 0:
+        raise ValueError("trim must be non-negative")
+    require_fault_capacity(n, 2 * trim, minimum_honest=1)
+    if trim == 0:
+        return arr.mean(axis=1)
+    partitioned = np.partition(arr, (trim, n - trim - 1), axis=1)
+    return partitioned[:, trim : n - trim].mean(axis=1)
 
 
 class CWTMAggregator(GradientAggregator):
@@ -48,6 +74,9 @@ class CWTMAggregator(GradientAggregator):
     def aggregate(self, gradients: np.ndarray) -> np.ndarray:
         return trimmed_mean(gradients, self.f)
 
+    def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
+        return trimmed_mean_batch(stacks, self.f)
+
 
 class CoordinateWiseMedian(GradientAggregator):
     """Coordinate-wise median of the received gradients."""
@@ -57,3 +86,6 @@ class CoordinateWiseMedian(GradientAggregator):
     def aggregate(self, gradients: np.ndarray) -> np.ndarray:
         arr = validate_gradients(gradients)
         return np.median(arr, axis=0)
+
+    def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
+        return np.median(validate_gradient_batch(stacks), axis=1)

@@ -1,7 +1,7 @@
 """Byzantine fault behaviours — Section 5 and literature baselines."""
 
 from .adaptive import AlternatingAttack, CGEEvasionAttack, CoordinateShiftAttack
-from .base import AttackContext, ByzantineAttack
+from .base import AttackContext, BatchAttackContext, ByzantineAttack
 from .colluding import ALIEAttack, InnerProductManipulationAttack, MimicAttack
 from .registry import available_attacks, make_attack
 from .simple import (
@@ -15,6 +15,7 @@ from .simple import (
 
 __all__ = [
     "AttackContext",
+    "BatchAttackContext",
     "ByzantineAttack",
     "GradientReverseAttack",
     "RandomGaussianAttack",

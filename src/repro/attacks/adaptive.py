@@ -21,7 +21,8 @@ from typing import Dict
 
 import numpy as np
 
-from .base import AttackContext, ByzantineAttack
+from .base import AttackContext, BatchAttackContext, ByzantineAttack
+from .colluding import _tile_faulty
 
 __all__ = ["CGEEvasionAttack", "CoordinateShiftAttack", "AlternatingAttack"]
 
@@ -49,6 +50,19 @@ class CGEEvasionAttack(ByzantineAttack):
             poisoned = direction * (target_norm / scale)
         return {i: poisoned.copy() for i in context.faulty_ids}
 
+    def fabricate_batch(self, context: BatchAttackContext) -> np.ndarray:
+        honest = context.honest_stacks()
+        norms = np.linalg.norm(honest, axis=2)
+        target_norms = self.norm_fraction * norms.min(axis=1)
+        directions = -honest.mean(axis=1)
+        scales = np.linalg.norm(directions, axis=1)
+        usable = (scales >= 1e-300) & (target_norms != 0.0)
+        factors = np.where(
+            usable, target_norms / np.where(usable, scales, 1.0), 0.0
+        )
+        poisoned = directions * factors[:, None]
+        return _tile_faulty(poisoned, context)
+
 
 class CoordinateShiftAttack(ByzantineAttack):
     """Per-coordinate extreme values that CWTM cannot trim away.
@@ -72,6 +86,13 @@ class CoordinateShiftAttack(ByzantineAttack):
         low = honest.min(axis=0)
         poisoned = median + self.fraction * (low - median)
         return {i: poisoned.copy() for i in context.faulty_ids}
+
+    def fabricate_batch(self, context: BatchAttackContext) -> np.ndarray:
+        honest = context.honest_stacks()
+        median = np.median(honest, axis=1)
+        low = honest.min(axis=1)
+        poisoned = median + self.fraction * (low - median)
+        return _tile_faulty(poisoned, context)
 
 
 class AlternatingAttack(ByzantineAttack):
@@ -99,3 +120,8 @@ class AlternatingAttack(ByzantineAttack):
         phase = (context.iteration // self.period) % 2
         active = self.first if phase == 0 else self.second
         return active.fabricate(context)
+
+    def fabricate_batch(self, context: BatchAttackContext) -> np.ndarray:
+        phase = (context.iteration // self.period) % 2
+        active = self.first if phase == 0 else self.second
+        return active.fabricate_batch(context)

@@ -17,7 +17,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["AttackContext", "ByzantineAttack"]
+__all__ = ["AttackContext", "BatchAttackContext", "ByzantineAttack"]
 
 
 @dataclass
@@ -60,6 +60,78 @@ class AttackContext:
         return np.vstack([self.honest_gradients[i] for i in ids])
 
 
+@dataclass
+class BatchAttackContext:
+    """Adversary observables for ``S`` lockstep trials of a batched sweep.
+
+    The batch engine (:class:`~repro.distsys.batch.BatchSimulator`) runs the
+    same system under ``S`` independent trials; this context carries the
+    per-trial observables as stacked tensors.  Row order inside
+    ``honest_gradients`` follows ``honest_ids`` ascending, matching the
+    id-sorted :meth:`AttackContext.honest_stack` of the per-trial path.
+
+    Attributes:
+        iteration: current iteration index ``t`` (shared by all trials).
+        estimates: the broadcast estimates, shape ``(S, d)``.
+        faulty_ids: ids of the compromised agents, ascending.
+        true_gradients: correct gradients of the compromised agents at each
+            trial's estimate, shape ``(S, F, d)`` with columns ordered like
+            ``faulty_ids``.
+        honest_gradients: honest agents' gradients, shape ``(S, H, d)`` —
+            only populated for omniscient attacks.
+        honest_ids: ids labelling the columns of ``honest_gradients``.
+        rngs: one deterministic generator per trial (the trial's seed).
+    """
+
+    iteration: int
+    estimates: np.ndarray
+    faulty_ids: Sequence[int]
+    true_gradients: np.ndarray
+    honest_gradients: Optional[np.ndarray] = None
+    honest_ids: Optional[Sequence[int]] = None
+    rngs: Sequence[np.random.Generator] = ()
+
+    @property
+    def trials(self) -> int:
+        """Number of lockstep trials ``S``."""
+        return int(np.asarray(self.estimates).shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Dimension of the optimization variable."""
+        return int(np.asarray(self.estimates).shape[1])
+
+    def honest_stacks(self) -> np.ndarray:
+        """Honest gradients as ``(S, H, d)`` (omniscient attacks only)."""
+        if self.honest_gradients is None:
+            raise RuntimeError(
+                "attack requires omniscient access to honest gradients; "
+                "enable it on the simulator"
+            )
+        return self.honest_gradients
+
+    def trial_context(self, s: int) -> AttackContext:
+        """The per-trial :class:`AttackContext` of trial ``s``."""
+        honest = None
+        if self.honest_gradients is not None:
+            assert self.honest_ids is not None
+            honest = {
+                hid: self.honest_gradients[s, j]
+                for j, hid in enumerate(self.honest_ids)
+            }
+        return AttackContext(
+            iteration=self.iteration,
+            estimate=self.estimates[s],
+            faulty_ids=list(self.faulty_ids),
+            true_gradients={
+                fid: self.true_gradients[s, j]
+                for j, fid in enumerate(self.faulty_ids)
+            },
+            honest_gradients=honest,
+            rng=self.rngs[s],
+        )
+
+
 class ByzantineAttack(abc.ABC):
     """A rule for fabricating faulty gradients each iteration."""
 
@@ -72,6 +144,28 @@ class ByzantineAttack(abc.ABC):
     @abc.abstractmethod
     def fabricate(self, context: AttackContext) -> Dict[int, np.ndarray]:
         """Gradient to send for every faulty agent id in the context."""
+
+    def fabricate_batch(self, context: BatchAttackContext) -> np.ndarray:
+        """Fabrications for all trials at once, shape ``(S, F, d)``.
+
+        Column ``j`` holds the gradient sent by ``context.faulty_ids[j]``.
+        The base implementation replays :meth:`fabricate` per trial —
+        consuming each trial's generator exactly as the per-trial simulator
+        would — so every attack works under the batch engine; vectorizable
+        attacks override it with one tensor expression.
+        """
+        faulty = list(context.faulty_ids)
+        out = np.empty((context.trials, len(faulty), context.dim))
+        for s in range(context.trials):
+            fabricated = self.fabricate(context.trial_context(s))
+            missing = set(faulty) - set(fabricated)
+            if missing:
+                raise RuntimeError(
+                    f"attack produced no gradient for agents {sorted(missing)}"
+                )
+            for j, fid in enumerate(faulty):
+                out[s, j] = np.asarray(fabricated[fid], dtype=float)
+        return out
 
     def __repr__(self) -> str:
         params = {

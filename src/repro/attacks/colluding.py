@@ -19,9 +19,17 @@ from typing import Dict
 
 import numpy as np
 
-from .base import AttackContext, ByzantineAttack
+from .base import AttackContext, BatchAttackContext, ByzantineAttack
 
 __all__ = ["ALIEAttack", "InnerProductManipulationAttack", "MimicAttack"]
+
+
+def _tile_faulty(poisoned: np.ndarray, context: BatchAttackContext) -> np.ndarray:
+    """Broadcast one ``(S, d)`` poisoned vector to all faulty columns."""
+    return np.broadcast_to(
+        poisoned[:, None, :],
+        (context.trials, len(context.faulty_ids), context.dim),
+    ).copy()
 
 
 class ALIEAttack(ByzantineAttack):
@@ -42,6 +50,11 @@ class ALIEAttack(ByzantineAttack):
         poisoned = mean - self.z_max * std
         return {i: poisoned.copy() for i in context.faulty_ids}
 
+    def fabricate_batch(self, context: BatchAttackContext) -> np.ndarray:
+        honest = context.honest_stacks()
+        poisoned = honest.mean(axis=1) - self.z_max * honest.std(axis=1)
+        return _tile_faulty(poisoned, context)
+
 
 class InnerProductManipulationAttack(ByzantineAttack):
     """Send ``-epsilon *`` (honest mean), reversing the descent direction."""
@@ -58,6 +71,10 @@ class InnerProductManipulationAttack(ByzantineAttack):
         honest_mean = context.honest_stack().mean(axis=0)
         poisoned = -self.epsilon * honest_mean
         return {i: poisoned.copy() for i in context.faulty_ids}
+
+    def fabricate_batch(self, context: BatchAttackContext) -> np.ndarray:
+        poisoned = -self.epsilon * context.honest_stacks().mean(axis=1)
+        return _tile_faulty(poisoned, context)
 
 
 class MimicAttack(ByzantineAttack):
@@ -78,3 +95,8 @@ class MimicAttack(ByzantineAttack):
         victim = ids[self.target_rank % len(ids)]
         copied = context.honest_gradients[victim]
         return {i: copied.copy() for i in context.faulty_ids}
+
+    def fabricate_batch(self, context: BatchAttackContext) -> np.ndarray:
+        honest = context.honest_stacks()
+        victim_column = self.target_rank % honest.shape[1]
+        return _tile_faulty(honest[:, victim_column, :], context)

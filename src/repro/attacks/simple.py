@@ -17,7 +17,7 @@ from typing import Dict, Sequence
 
 import numpy as np
 
-from .base import AttackContext, ByzantineAttack
+from .base import AttackContext, BatchAttackContext, ByzantineAttack
 
 __all__ = [
     "GradientReverseAttack",
@@ -45,6 +45,9 @@ class GradientReverseAttack(ByzantineAttack):
             for i in context.faulty_ids
         }
 
+    def fabricate_batch(self, context: BatchAttackContext) -> np.ndarray:
+        return -self.scale * context.true_gradients
+
 
 class RandomGaussianAttack(ByzantineAttack):
     """Send an isotropic Gaussian vector (paper's *random*, sigma = 200)."""
@@ -62,6 +65,17 @@ class RandomGaussianAttack(ByzantineAttack):
             for i in context.faulty_ids
         }
 
+    def fabricate_batch(self, context: BatchAttackContext) -> np.ndarray:
+        # One (F, d) draw per trial consumes each generator's stream exactly
+        # like the per-trial path's F sequential size-(d,) draws.
+        shape = (len(context.faulty_ids), context.dim)
+        return np.stack(
+            [
+                rng.normal(0.0, self.standard_deviation, size=shape)
+                for rng in context.rngs
+            ]
+        )
+
 
 class ZeroGradientAttack(ByzantineAttack):
     """Send the zero vector — a stealthy do-nothing fault.
@@ -74,6 +88,9 @@ class ZeroGradientAttack(ByzantineAttack):
 
     def fabricate(self, context: AttackContext) -> Dict[int, np.ndarray]:
         return {i: np.zeros(context.dim) for i in context.faulty_ids}
+
+    def fabricate_batch(self, context: BatchAttackContext) -> np.ndarray:
+        return np.zeros_like(context.true_gradients)
 
 
 class ConstantVectorAttack(ByzantineAttack):
@@ -93,6 +110,15 @@ class ConstantVectorAttack(ByzantineAttack):
                 f"system has dim {context.dim}"
             )
         return {i: self.vector.copy() for i in context.faulty_ids}
+
+    def fabricate_batch(self, context: BatchAttackContext) -> np.ndarray:
+        if self.vector.shape[0] != context.dim:
+            raise ValueError(
+                f"attack vector has dim {self.vector.shape[0]}, "
+                f"system has dim {context.dim}"
+            )
+        shape = (context.trials, len(context.faulty_ids), context.dim)
+        return np.broadcast_to(self.vector, shape).copy()
 
 
 class SignFlipAttack(ByzantineAttack):
@@ -117,6 +143,10 @@ class SignFlipAttack(ByzantineAttack):
             out[i] = -self.magnitude * np.sign(g) * np.abs(g)
         return out
 
+    def fabricate_batch(self, context: BatchAttackContext) -> np.ndarray:
+        g = context.true_gradients
+        return -self.magnitude * np.sign(g) * np.abs(g)
+
 
 class LargeNormAttack(ByzantineAttack):
     """Send the true gradient scaled by a huge factor.
@@ -137,3 +167,6 @@ class LargeNormAttack(ByzantineAttack):
             i: self.factor * context.true_gradients[i]
             for i in context.faulty_ids
         }
+
+    def fabricate_batch(self, context: BatchAttackContext) -> np.ndarray:
+        return self.factor * context.true_gradients

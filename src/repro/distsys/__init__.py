@@ -1,6 +1,7 @@
 """Distributed-system substrate: synchronous server-based and peer-to-peer."""
 
 from .agents import Agent, ByzantineAgent, HonestAgent, StochasticAgent
+from .batch import BatchSimulator, BatchTrace, BatchTrial, run_dgd_batch
 from .broadcast import (
     BroadcastAdversary,
     BroadcastStats,
@@ -29,6 +30,10 @@ __all__ = [
     "RobustServer",
     "SynchronousSimulator",
     "run_dgd",
+    "BatchSimulator",
+    "BatchTrace",
+    "BatchTrial",
+    "run_dgd_batch",
     "Envelope",
     "SynchronousNetwork",
     "MessagePassingDGD",

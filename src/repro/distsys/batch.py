@@ -1,0 +1,354 @@
+"""Batched lockstep execution of DGD sweeps — the tensor sweep engine.
+
+Every figure, table and ablation of the paper is a *sweep*: the same
+distributed system executed under many (seed, attack, gradient-filter)
+combinations.  :class:`~repro.distsys.simulator.SynchronousSimulator` runs
+one trial at a time through a per-agent Python loop; :class:`BatchSimulator`
+runs ``S`` independent trials in lockstep as one tensor program:
+
+* agent gradients for all trials come from one stacked-coefficient einsum
+  (:func:`repro.functions.batched.stack_costs`), shape ``(S, n, d)``;
+* Byzantine fabrications are vectorized across the batch through
+  :meth:`~repro.attacks.base.ByzantineAttack.fabricate_batch`;
+* aggregation runs per *filter group* through
+  :meth:`~repro.aggregators.base.GradientAggregator.aggregate_batch`;
+* the projected update applies to all trials at once via
+  :meth:`~repro.optim.projections.ConvexSet.project_batch`.
+
+Tracing is lazy: only the iterate trajectory ``(T+1, S, d)`` is kept by
+default; per-iteration gradient snapshots — the O(T·n·d) copy churn of the
+per-trial trace — are opt-in via ``record_gradients=True``.
+
+Semantics deliberately mirror the per-trial simulator so it remains the
+reference oracle: each trial owns a generator seeded like the per-trial run,
+attacks observe exactly the per-trial observables, and the batch/reference
+equivalence is asserted (to 1e-9) by ``tests/distsys/test_batch_equivalence``.
+Crash-style silence and the step-S1 elimination rule are not modelled here —
+trials needing them must use the per-trial simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..aggregators.base import GradientAggregator
+from ..attacks.base import BatchAttackContext, ByzantineAttack
+from ..functions.base import CostFunction
+from ..functions.batched import CostStack, stack_costs
+from ..optim.projections import ConvexSet
+from ..optim.schedules import StepSchedule
+
+__all__ = ["BatchTrial", "BatchTrace", "BatchSimulator", "run_dgd_batch"]
+
+
+def _value_key(value) -> object:
+    """A hashable, lossless key for one constructor parameter value."""
+    if isinstance(value, np.ndarray):
+        return ("ndarray", value.shape, value.dtype.str, value.tobytes())
+    if isinstance(value, (list, tuple)):
+        return (type(value).__name__,) + tuple(_value_key(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _value_key(v)) for k, v in value.items()))
+    if value is None or isinstance(value, (bool, int, float, complex, str, bytes)):
+        return value
+    if hasattr(value, "__dict__"):
+        return _config_key(value)
+    return id(value)  # opaque value: never merge across instances
+
+
+def _config_key(obj) -> object:
+    """Exact-configuration key for grouping equal filters/attacks/schedules.
+
+    Built from the object's type and full-precision attribute values —
+    ``repr`` is *not* usable here: numpy summarizes large arrays with
+    ``...`` and schedules format floats with ``%g``, either of which would
+    silently merge distinct configurations into one group.
+    """
+    if obj is None:
+        return None
+    return (type(obj),) + tuple(
+        (name, _value_key(value)) for name, value in sorted(vars(obj).items())
+    )
+
+
+@dataclass
+class BatchTrial:
+    """One trial of a batched sweep.
+
+    ``schedule`` and ``initial_estimate`` override the simulator-wide
+    defaults when set, so a single batch can sweep step-size schedules or
+    restart points alongside attacks and filters.
+    """
+
+    aggregator: GradientAggregator
+    attack: Optional[ByzantineAttack] = None
+    faulty_ids: Tuple[int, ...] = ()
+    seed: int = 0
+    schedule: Optional[StepSchedule] = None
+    initial_estimate: Optional[np.ndarray] = None
+    omniscient_attack: Optional[bool] = None
+    label: Optional[str] = None
+
+
+@dataclass
+class BatchTrace:
+    """Lazy trace of a batched execution.
+
+    ``estimates`` stacks the iterate trajectory ``x_0 .. x_T`` of every
+    trial; ``gradients`` holds the received ``(n, d)`` stacks per iteration
+    only when the simulator ran with ``record_gradients=True``.
+    """
+
+    estimates: np.ndarray                      # (T + 1, S, d)
+    step_sizes: np.ndarray                     # (T, S)
+    labels: List[str] = field(default_factory=list)
+    gradients: Optional[np.ndarray] = None     # (T, S, n, d), opt-in
+
+    @property
+    def iterations(self) -> int:
+        """Number of completed iterations ``T``."""
+        return self.estimates.shape[0] - 1
+
+    @property
+    def trials(self) -> int:
+        """Batch width ``S``."""
+        return self.estimates.shape[1]
+
+    @property
+    def final_estimates(self) -> np.ndarray:
+        """Last iterate of every trial, shape ``(S, d)``."""
+        return self.estimates[-1].copy()
+
+    def trial_estimates(self, s: int) -> np.ndarray:
+        """Trajectory ``x_0 .. x_T`` of trial ``s``, shape ``(T + 1, d)``."""
+        return self.estimates[:, s, :].copy()
+
+    def distances_to(self, target: Sequence[float]) -> np.ndarray:
+        """Per-trial distance series ``||x_t - target||``, shape ``(S, T+1)``."""
+        tgt = np.asarray(target, dtype=float)
+        return np.linalg.norm(self.estimates - tgt, axis=2).T
+
+    def losses(self, loss_batch: Callable[[np.ndarray], np.ndarray]) -> np.ndarray:
+        """Per-trial loss series, shape ``(S, T + 1)``.
+
+        ``loss_batch`` maps a ``(P, d)`` stack of points to ``(P,)`` losses
+        (e.g. the honest aggregate loss evaluated through a
+        :class:`~repro.functions.batched.CostStack`).
+        """
+        t_plus_1, s, d = self.estimates.shape
+        flat = self.estimates.reshape(t_plus_1 * s, d)
+        values = np.asarray(loss_batch(flat), dtype=float)
+        return values.reshape(t_plus_1, s).T
+
+
+class BatchSimulator:
+    """Run ``S`` independent DGD trials of one system in lockstep."""
+
+    def __init__(
+        self,
+        costs: Union[Sequence[CostFunction], CostStack],
+        trials: Sequence[BatchTrial],
+        constraint: ConvexSet,
+        schedule: StepSchedule,
+        initial_estimate: Sequence[float],
+        record_gradients: bool = False,
+    ):
+        if not trials:
+            raise ValueError("need at least one trial")
+        self.stack: CostStack = (
+            costs if isinstance(costs, CostStack) else stack_costs(costs)
+        )
+        self.n = self.stack.n
+        self.d = self.stack.dim
+        self.trials: List[BatchTrial] = list(trials)
+        self.constraint = constraint
+        self.record_gradients = bool(record_gradients)
+
+        default_initial = np.asarray(initial_estimate, dtype=float)
+        if default_initial.shape != (self.d,):
+            raise ValueError(
+                f"initial estimate must have shape ({self.d},),"
+                f" got {default_initial.shape}"
+            )
+
+        # Per-trial normalized state lives here — the caller's BatchTrial
+        # objects are treated as read-only inputs.
+        starts = []
+        self.rngs: List[np.random.Generator] = []
+        self._schedules: List[StepSchedule] = []
+        self._faulty: List[Tuple[int, ...]] = []
+        self._omniscient: List[bool] = []
+        for trial in self.trials:
+            faulty = tuple(sorted(trial.faulty_ids))
+            unknown = set(faulty) - set(range(self.n))
+            if unknown:
+                raise ValueError(f"faulty ids {sorted(unknown)} out of range")
+            if faulty and trial.attack is None:
+                raise ValueError("trial has faulty agents but no attack")
+            omniscient = False
+            if trial.attack is not None:
+                omniscient = trial.omniscient_attack
+                if omniscient is None:
+                    omniscient = bool(trial.attack.requires_omniscience)
+                if trial.attack.requires_omniscience and not omniscient:
+                    raise ValueError(
+                        f"attack {trial.attack.name!r} requires omniscient access"
+                    )
+            self._faulty.append(faulty)
+            self._omniscient.append(bool(omniscient))
+            start = (
+                default_initial
+                if trial.initial_estimate is None
+                else np.asarray(trial.initial_estimate, dtype=float)
+            )
+            if start.shape != (self.d,):
+                raise ValueError(
+                    f"trial initial estimate must have shape ({self.d},),"
+                    f" got {start.shape}"
+                )
+            starts.append(start)
+            self.rngs.append(np.random.default_rng(trial.seed))
+            self._schedules.append(trial.schedule or schedule)
+
+        self.estimates = self.constraint.project_batch(np.stack(starts))
+        self.iteration = 0
+        self._attack_groups = self._group_attacks()
+        self._aggregator_groups = self._group_by_key(
+            lambda index: _config_key(self.trials[index].aggregator)
+        )
+        self._schedule_groups = [
+            (self._schedules[rep], idx)
+            for rep, idx in self._group_by_key(
+                lambda index: _config_key(self._schedules[index])
+            )
+        ]
+
+    # -- grouping ---------------------------------------------------------
+    def _group_by_key(self, key_fn) -> List[Tuple[int, np.ndarray]]:
+        """Group trial indices by a key; returns (representative, indices)."""
+        groups: Dict[object, List[int]] = {}
+        for index in range(len(self.trials)):
+            groups.setdefault(key_fn(index), []).append(index)
+        return [(members[0], np.array(members)) for members in groups.values()]
+
+    def _group_attacks(self):
+        groups = []
+        for rep, idx in self._group_by_key(
+            lambda index: (
+                _config_key(self.trials[index].attack),
+                self._faulty[index],
+                self._omniscient[index],
+            )
+        ):
+            trial = self.trials[rep]
+            if trial.attack is None or not self._faulty[rep]:
+                continue
+            faulty = np.array(self._faulty[rep])
+            honest = np.array(
+                [i for i in range(self.n) if i not in set(self._faulty[rep])]
+            )
+            groups.append(
+                (trial.attack, faulty, honest, self._omniscient[rep], idx)
+            )
+        return groups
+
+    # -- execution --------------------------------------------------------
+    def step(self) -> np.ndarray:
+        """Advance every trial by one iteration; returns the new estimates."""
+        t = self.iteration
+        received = self.stack.gradients(self.estimates)  # (S, n, d)
+
+        for attack, faulty, honest, omniscient, idx in self._attack_groups:
+            context = BatchAttackContext(
+                iteration=t,
+                estimates=self.estimates[idx],
+                faulty_ids=faulty.tolist(),
+                true_gradients=received[np.ix_(idx, faulty)],
+                honest_gradients=(
+                    received[np.ix_(idx, honest)] if omniscient else None
+                ),
+                honest_ids=honest.tolist(),
+                rngs=[self.rngs[i] for i in idx],
+            )
+            fabricated = np.asarray(attack.fabricate_batch(context), dtype=float)
+            expected = (idx.size, faulty.size, self.d)
+            if fabricated.shape != expected:
+                raise RuntimeError(
+                    f"attack {attack.name!r} returned shape {fabricated.shape},"
+                    f" expected {expected}"
+                )
+            received[np.ix_(idx, faulty)] = fabricated
+
+        aggregates = np.empty((len(self.trials), self.d))
+        for rep, idx in self._aggregator_groups:
+            aggregator = self.trials[rep].aggregator
+            aggregates[idx] = aggregator.aggregate_batch(received[idx])
+
+        etas = np.empty(len(self.trials))
+        for sched, idx in self._schedule_groups:
+            etas[idx] = sched(t)
+
+        candidates = self.estimates - etas[:, None] * aggregates
+        self.estimates = self.constraint.project_batch(candidates)
+        self.iteration += 1
+        self._last_received = received
+        self._last_etas = etas
+        return self.estimates
+
+    def run(self, iterations: int) -> BatchTrace:
+        """Run ``iterations`` lockstep rounds and return the lazy trace."""
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        s, d = self.estimates.shape
+        trajectory = np.empty((iterations + 1, s, d))
+        step_sizes = np.empty((iterations, s))
+        snapshots = (
+            np.empty((iterations, s, self.n, d)) if self.record_gradients else None
+        )
+        trajectory[0] = self.estimates
+        for k in range(iterations):
+            self.step()
+            trajectory[k + 1] = self.estimates
+            step_sizes[k] = self._last_etas
+            if snapshots is not None:
+                snapshots[k] = self._last_received
+        labels = [
+            trial.label
+            or f"{trial.aggregator.name}/{trial.attack.name if trial.attack else 'honest'}"
+            for trial in self.trials
+        ]
+        return BatchTrace(
+            estimates=trajectory,
+            step_sizes=step_sizes,
+            labels=labels,
+            gradients=snapshots,
+        )
+
+
+def run_dgd_batch(
+    costs: Union[Sequence[CostFunction], CostStack],
+    trials: Sequence[BatchTrial],
+    constraint: ConvexSet,
+    schedule: StepSchedule,
+    initial_estimate: Sequence[float],
+    iterations: int,
+    record_gradients: bool = False,
+) -> BatchTrace:
+    """Convenience wrapper mirroring :func:`repro.distsys.simulator.run_dgd`.
+
+    Aggregators referenced by registry name can be resolved by the caller via
+    :func:`repro.aggregators.registry.make_aggregator`; trials here carry
+    instances so a whole sweep shares kernels per filter group.
+    """
+    simulator = BatchSimulator(
+        costs=costs,
+        trials=trials,
+        constraint=constraint,
+        schedule=schedule,
+        initial_estimate=initial_estimate,
+        record_gradients=record_gradients,
+    )
+    return simulator.run(iterations)

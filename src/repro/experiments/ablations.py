@@ -34,7 +34,7 @@ from ..functions.quadratic import SquaredDistanceCost
 from ..optim.projections import BoxSet
 from ..optim.schedules import HarmonicSchedule
 from .paper_regression import PaperProblem, paper_problem
-from .runner import run_regression
+from .runner import SweepSpec, run_regression_sweep
 
 __all__ = [
     "FilterZooRow",
@@ -79,37 +79,47 @@ def filter_zoo(
     iterations: int = 500,
     seed: int = 0,
 ) -> List[FilterZooRow]:
-    """Every registered filter under each attack on the paper problem."""
+    """Every registered filter under each attack on the paper problem.
+
+    Each filter's attack lineup runs as one lockstep batch; a filter whose
+    capacity requirements fail on this system (e.g. Bulyan's n >= 4f + 3)
+    yields error rows for its whole lineup, as it would per trial.
+    """
     problem = problem or paper_problem()
     rows: List[FilterZooRow] = []
     for name in available_aggregators():
         if name in _ZOO_EXCLUDED:
             continue
-        for attack in attacks:
-            try:
-                result = run_regression(
-                    problem, name, attack, iterations=iterations, seed=seed
-                )
-            except ValueError as exc:
-                # e.g. Bulyan's n >= 4f + 3 on n=6, f=1 holds; keep guard
-                rows.append(
-                    FilterZooRow(
-                        aggregator=name,
-                        attack=attack,
-                        distance=float("nan"),
-                        within_epsilon=False,
-                        error=str(exc),
-                    )
-                )
-                continue
-            rows.append(
+        specs = [
+            SweepSpec(aggregator=name, attack=attack, seed=seed)
+            for attack in attacks
+        ]
+        try:
+            results = run_regression_sweep(
+                problem, specs, iterations=iterations
+            )
+        except ValueError as exc:
+            # e.g. Bulyan's n >= 4f + 3 on n=6, f=1 holds; keep guard
+            rows.extend(
                 FilterZooRow(
                     aggregator=name,
                     attack=attack,
-                    distance=result.distance,
-                    within_epsilon=result.distance < problem.epsilon,
+                    distance=float("nan"),
+                    within_epsilon=False,
+                    error=str(exc),
                 )
+                for attack in attacks
             )
+            continue
+        rows.extend(
+            FilterZooRow(
+                aggregator=name,
+                attack=attack,
+                distance=result.distance,
+                within_epsilon=result.distance < problem.epsilon,
+            )
+            for attack, result in zip(attacks, results)
+        )
     return rows
 
 
@@ -459,22 +469,20 @@ def schedule_sweep(
         ("constant 0.02 (stable)", ConstantSchedule(0.02)),
         ("constant 0.5 (unstable)", ConstantSchedule(0.5)),
     ]
-    rows: List[ScheduleSweepRow] = []
-    for label, schedule in schedules:
-        from ..distsys.simulator import run_dgd
-
-        trace = run_dgd(
-            costs=problem.costs,
-            faulty_ids=list(problem.faulty_ids),
-            aggregator=make_aggregator("cge", problem.n, problem.f),
-            attack=make_attack("gradient_reverse"),
-            constraint=problem.constraint,
-            schedule=schedule,
-            initial_estimate=problem.initial_estimate,
-            iterations=iterations,
+    specs = [
+        SweepSpec(
+            aggregator="cge",
+            attack="gradient_reverse",
             seed=seed,
+            schedule=schedule,
+            label=label,
         )
-        distances = trace.distances_to(problem.x_h)
+        for label, schedule in schedules
+    ]
+    results = run_regression_sweep(problem, specs, iterations=iterations)
+    rows: List[ScheduleSweepRow] = []
+    for (label, schedule), result in zip(schedules, results):
+        distances = result.distances
         rows.append(
             ScheduleSweepRow(
                 label=label,
@@ -521,22 +529,26 @@ def adaptive_attack_sweep(
         "cge_evasion",
         "coordinate_shift",
     )
-    rows: List[AdaptiveAttackRow] = []
-    for aggregator in ("cge", "cwtm"):
-        for attack in attacks:
-            result = run_regression(
-                problem, aggregator, attack, iterations=iterations, seed=seed
-            )
-            rows.append(
-                AdaptiveAttackRow(
-                    aggregator=aggregator,
-                    attack=attack,
-                    distance=result.distance,
-                    within_epsilon=result.distance < problem.epsilon,
-                    within_theorem5=result.distance <= envelope + 1e-9,
-                )
-            )
-    return rows
+    combos = [
+        (aggregator, attack)
+        for aggregator in ("cge", "cwtm")
+        for attack in attacks
+    ]
+    results = run_regression_sweep(
+        problem,
+        [SweepSpec(aggregator=a, attack=b, seed=seed) for a, b in combos],
+        iterations=iterations,
+    )
+    return [
+        AdaptiveAttackRow(
+            aggregator=aggregator,
+            attack=attack,
+            distance=result.distance,
+            within_epsilon=result.distance < problem.epsilon,
+            within_theorem5=result.distance <= envelope + 1e-9,
+        )
+        for (aggregator, attack), result in zip(combos, results)
+    ]
 
 
 @dataclass
@@ -667,25 +679,34 @@ def attack_scale_sweep(
     from ..attacks.simple import GradientReverseAttack
 
     problem = paper_problem()
-    rows: List[AttackScaleRow] = []
-    for scale in scales:
-        results = {}
-        for aggregator in ("cge", "mean"):
-            result = run_regression(
-                problem,
-                aggregator,
-                GradientReverseAttack(scale=float(scale)),
-                iterations=iterations,
+    combos = [
+        (float(scale), aggregator)
+        for scale in scales
+        for aggregator in ("cge", "mean")
+    ]
+    results = run_regression_sweep(
+        problem,
+        [
+            SweepSpec(
+                aggregator=aggregator,
+                attack=GradientReverseAttack(scale=scale),
                 seed=seed,
             )
-            results[aggregator] = result.distance
-        rows.append(
-            AttackScaleRow(
-                scale=float(scale),
-                cge_distance=results["cge"],
-                mean_distance=results["mean"],
-                cge_within_epsilon=results["cge"] < problem.epsilon,
-                mean_within_epsilon=results["mean"] < problem.epsilon,
-            )
+            for scale, aggregator in combos
+        ],
+        iterations=iterations,
+    )
+    distances = {
+        (scale, aggregator): result.distance
+        for (scale, aggregator), result in zip(combos, results)
+    }
+    return [
+        AttackScaleRow(
+            scale=float(scale),
+            cge_distance=distances[(float(scale), "cge")],
+            mean_distance=distances[(float(scale), "mean")],
+            cge_within_epsilon=distances[(float(scale), "cge")] < problem.epsilon,
+            mean_within_epsilon=distances[(float(scale), "mean")] < problem.epsilon,
         )
-    return rows
+        for scale in scales
+    ]

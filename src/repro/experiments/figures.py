@@ -20,7 +20,12 @@ import numpy as np
 
 from .paper_regression import PaperProblem, paper_problem
 from .reporting import format_series
-from .runner import RegressionRunResult, run_fault_free, run_regression
+from .runner import (
+    SweepRunResult,
+    SweepSpec,
+    run_fault_free_batch,
+    run_regression_sweep,
+)
 
 __all__ = ["FigureSeries", "generate_figure2", "generate_figure3", "render_figure"]
 
@@ -43,7 +48,7 @@ class FigureSeries:
         return [m for m in METHODS if m in self.losses]
 
 
-def _collect(result: RegressionRunResult, into: FigureSeries, name: str) -> None:
+def _collect(result: SweepRunResult, into: FigureSeries, name: str) -> None:
     into.losses[name] = result.losses
     into.distances[name] = result.distances
     into.final_distances[name] = float(result.distances[-1])
@@ -54,31 +59,28 @@ def generate_figure2(
     iterations: int = 1500,
     seed: int = 0,
 ) -> Dict[str, FigureSeries]:
-    """Loss/distance series for both fault behaviours (Figure 2)."""
+    """Loss/distance series for both fault behaviours (Figure 2).
+
+    The eight faulty-system series run as one lockstep batch; the
+    fault-free baseline (which removes the faulty agent, changing the cost
+    stack) runs as its own one-trial batch and is shared by both panels.
+    """
     problem = problem or paper_problem()
+    fault_free = run_fault_free_batch(problem, iterations=iterations, seed=seed)
+    attacks = ("gradient_reverse", "random")
+    specs = [
+        SweepSpec(aggregator=aggregator, attack=attack, seed=seed)
+        for attack in attacks
+        for aggregator in ("cwtm", "cge", "mean")
+    ]
+    results = iter(run_regression_sweep(problem, specs, iterations=iterations))
     panels: Dict[str, FigureSeries] = {}
-    for attack in ("gradient_reverse", "random"):
+    for attack in attacks:
         panel = FigureSeries(attack=attack, iterations=iterations)
-        _collect(
-            run_fault_free(problem, iterations=iterations, seed=seed),
-            panel,
-            "fault-free",
-        )
+        _collect(fault_free, panel, "fault-free")
         for aggregator in ("cwtm", "cge"):
-            _collect(
-                run_regression(
-                    problem, aggregator, attack, iterations=iterations, seed=seed
-                ),
-                panel,
-                aggregator,
-            )
-        _collect(
-            run_regression(
-                problem, "mean", attack, iterations=iterations, seed=seed
-            ),
-            panel,
-            "plain",
-        )
+            _collect(next(results), panel, aggregator)
+        _collect(next(results), panel, "plain")
         panels[attack] = panel
     return panels
 

@@ -4,12 +4,24 @@ Wraps the distributed simulator with the paper's measurement protocol:
 run the DGD loop for a fixed budget, take ``x_out = x_T`` (the paper uses
 T = 500), and report ``dist(x_H, x_out)`` together with the full trace for
 the figure series.
+
+Two execution paths coexist:
+
+* :func:`run_regression` / :func:`run_fault_free` drive the per-trial
+  :class:`~repro.distsys.simulator.SynchronousSimulator` — the reference
+  oracle, with the full gradient-level :class:`ExecutionTrace`;
+* :func:`run_regression_sweep` / :func:`run_fault_free_batch` drive the
+  tensorized :class:`~repro.distsys.batch.BatchSimulator`, executing a whole
+  (filter, attack, seed) grid in lockstep and recording only the iterate
+  trajectory.  Table 1, the figure series and the sweep ablations route
+  through this path; ``tests/distsys/test_batch_equivalence`` pins the two
+  paths to each other.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -18,11 +30,22 @@ from ..aggregators.mean import MeanAggregator
 from ..aggregators.registry import make_aggregator
 from ..attacks.base import ByzantineAttack
 from ..attacks.registry import make_attack
+from ..distsys.batch import BatchTrial, run_dgd_batch
 from ..distsys.simulator import run_dgd
 from ..distsys.trace import ExecutionTrace
+from ..functions.batched import stack_costs
+from ..optim.schedules import StepSchedule
 from .paper_regression import PaperProblem
 
-__all__ = ["RegressionRunResult", "run_regression", "run_fault_free"]
+__all__ = [
+    "RegressionRunResult",
+    "run_regression",
+    "run_fault_free",
+    "SweepSpec",
+    "SweepRunResult",
+    "run_regression_sweep",
+    "run_fault_free_batch",
+]
 
 
 @dataclass
@@ -102,6 +125,156 @@ def run_regression(
         trace=trace,
         losses=series["losses"],
         distances=series["distances"],
+    )
+
+
+@dataclass
+class SweepSpec:
+    """One cell of a batched regression sweep."""
+
+    aggregator: Union[str, GradientAggregator]
+    attack: Union[str, ByzantineAttack, None]
+    seed: int = 0
+    schedule: Optional[StepSchedule] = None
+    label: Optional[str] = None
+
+
+@dataclass
+class SweepRunResult:
+    """One trial's outcome from the batched sweep engine.
+
+    Mirrors :class:`RegressionRunResult` minus the gradient-level trace —
+    the batch path records iterates lazily; rerun the cell through
+    :func:`run_regression` when per-iteration gradients are needed.
+    """
+
+    label: str
+    aggregator: str
+    attack: Optional[str]
+    seed: int
+    output: np.ndarray
+    distance: float           # dist(x_H, x_out)
+    final_loss: float         # sum_{i in H} Q_i(x_out)
+    losses: np.ndarray        # per-iteration honest aggregate loss
+    distances: np.ndarray     # per-iteration ||x_t - x_H||
+    estimates: np.ndarray     # iterate trajectory x_0 .. x_T, (T + 1, d)
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepRunResult(label={self.label!r},"
+            f" distance={self.distance:.6g})"
+        )
+
+
+def run_regression_sweep(
+    problem: PaperProblem,
+    specs: Sequence[SweepSpec],
+    iterations: int = 500,
+    record_gradients: bool = False,
+) -> List[SweepRunResult]:
+    """Run every sweep cell in lockstep through the batch engine.
+
+    All specs share the problem's costs, constraint and (unless overridden
+    per spec) schedule; aggregator/attack registry names are resolved here
+    so equal-config cells share vectorized kernels.  Results arrive in spec
+    order.
+    """
+    trials: List[BatchTrial] = []
+    names: List[tuple] = []
+    for spec in specs:
+        if isinstance(spec.aggregator, str):
+            agg_name = spec.aggregator
+            aggregator = make_aggregator(spec.aggregator, problem.n, problem.f)
+        else:
+            agg_name = spec.aggregator.name
+            aggregator = spec.aggregator
+        attack_name: Optional[str] = None
+        attack = spec.attack
+        if isinstance(attack, str):
+            attack_name = attack
+            attack = make_attack(attack)
+        elif attack is not None:
+            attack_name = attack.name
+        faulty = tuple(problem.faulty_ids) if attack is not None else ()
+        label = spec.label or f"{agg_name}/{attack_name or 'honest'}"
+        trials.append(
+            BatchTrial(
+                aggregator=aggregator,
+                attack=attack,
+                faulty_ids=faulty,
+                seed=spec.seed,
+                schedule=spec.schedule,
+                label=label,
+            )
+        )
+        names.append((label, agg_name, attack_name))
+
+    stack = stack_costs(problem.costs)
+    trace = run_dgd_batch(
+        costs=stack,
+        trials=trials,
+        constraint=problem.constraint,
+        schedule=problem.schedule,
+        initial_estimate=problem.initial_estimate,
+        iterations=iterations,
+        record_gradients=record_gradients,
+    )
+    honest = list(problem.honest_ids)
+    losses = trace.losses(lambda pts: stack.values(pts)[:, honest].sum(axis=1))
+    distances = trace.distances_to(problem.x_h)
+    outputs = trace.final_estimates
+    results: List[SweepRunResult] = []
+    for s, ((label, agg_name, attack_name), spec) in enumerate(zip(names, specs)):
+        results.append(
+            SweepRunResult(
+                label=label,
+                aggregator=agg_name,
+                attack=attack_name,
+                seed=spec.seed,
+                output=outputs[s],
+                distance=float(distances[s, -1]),
+                final_loss=float(losses[s, -1]),
+                losses=losses[s],
+                distances=distances[s],
+                estimates=trace.trial_estimates(s),
+            )
+        )
+    return results
+
+
+def run_fault_free_batch(
+    problem: PaperProblem,
+    iterations: int = 500,
+    seed: int = 0,
+) -> SweepRunResult:
+    """Batch-engine version of :func:`run_fault_free` (one-trial batch)."""
+    honest_costs = [problem.costs[i] for i in problem.honest_ids]
+    trial = BatchTrial(
+        aggregator=MeanAggregator(), attack=None, seed=seed, label="fault-free"
+    )
+    stack = stack_costs(honest_costs)
+    trace = run_dgd_batch(
+        costs=stack,
+        trials=[trial],
+        constraint=problem.constraint,
+        schedule=problem.schedule,
+        initial_estimate=problem.initial_estimate,
+        iterations=iterations,
+    )
+    losses = trace.losses(lambda pts: stack.values(pts).sum(axis=1))
+    distances = trace.distances_to(problem.x_h)
+    output = trace.final_estimates[0]
+    return SweepRunResult(
+        label="fault-free",
+        aggregator="mean",
+        attack=None,
+        seed=seed,
+        output=output,
+        distance=float(distances[0, -1]),
+        final_loss=float(losses[0, -1]),
+        losses=losses[0],
+        distances=distances[0],
+        estimates=trace.trial_estimates(0),
     )
 
 

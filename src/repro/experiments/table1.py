@@ -14,7 +14,7 @@ import numpy as np
 
 from .paper_regression import PaperProblem, paper_problem
 from .reporting import format_table
-from .runner import RegressionRunResult, run_regression
+from .runner import SweepSpec, run_regression_sweep
 
 __all__ = ["Table1Row", "generate_table1", "render_table1", "PAPER_TABLE1"]
 
@@ -44,24 +44,30 @@ def generate_table1(
     iterations: int = 500,
     seed: int = 0,
 ) -> List[Table1Row]:
-    """Run the four executions of Table 1 and collect the rows."""
+    """Run the four executions of Table 1 as one lockstep batch."""
     problem = problem or paper_problem()
+    combos = [
+        (aggregator, attack)
+        for aggregator in ("cge", "cwtm")
+        for attack in ("gradient_reverse", "random")
+    ]
+    results = run_regression_sweep(
+        problem,
+        [SweepSpec(aggregator=a, attack=b, seed=seed) for a, b in combos],
+        iterations=iterations,
+    )
     rows: List[Table1Row] = []
-    for aggregator in ("cge", "cwtm"):
-        for attack in ("gradient_reverse", "random"):
-            result: RegressionRunResult = run_regression(
-                problem, aggregator, attack, iterations=iterations, seed=seed
+    for (aggregator, attack), result in zip(combos, results):
+        rows.append(
+            Table1Row(
+                aggregator=aggregator,
+                attack=attack,
+                output=result.output,
+                distance=result.distance,
+                paper_distance=PAPER_TABLE1[(aggregator, attack)],
+                within_epsilon=result.distance < problem.epsilon,
             )
-            rows.append(
-                Table1Row(
-                    aggregator=aggregator,
-                    attack=attack,
-                    output=result.output,
-                    distance=result.distance,
-                    paper_distance=PAPER_TABLE1[(aggregator, attack)],
-                    within_epsilon=result.distance < problem.epsilon,
-                )
-            )
+        )
     return rows
 
 

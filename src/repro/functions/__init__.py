@@ -1,6 +1,13 @@
 """Cost-function substrate: the ``Q_i`` of the paper and their aggregates."""
 
 from .base import CostFunction, ScaledCost, ShiftedCost
+from .batched import (
+    CostStack,
+    LeastSquaresCostStack,
+    LoopCostStack,
+    QuadraticCostStack,
+    stack_costs,
+)
 from .calculus import (
     FiniteDifferenceCost,
     check_gradient,
@@ -19,6 +26,11 @@ __all__ = [
     "CostFunction",
     "ScaledCost",
     "ShiftedCost",
+    "CostStack",
+    "QuadraticCostStack",
+    "LeastSquaresCostStack",
+    "LoopCostStack",
+    "stack_costs",
     "QuadraticCost",
     "SquaredDistanceCost",
     "LeastSquaresCost",

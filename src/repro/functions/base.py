@@ -43,6 +43,21 @@ class CostFunction(abc.ABC):
         """Hessian at ``x`` when available, else ``None``."""
         return None
 
+    # -- batched evaluation ------------------------------------------------
+    def value_batch(self, points: np.ndarray) -> np.ndarray:
+        """Values at a row-stacked ``(S, d)`` batch of points, shape ``(S,)``.
+
+        The base implementation loops; costs with closed-form structure
+        (quadratics, least squares) override it with one tensor expression.
+        """
+        pts = self._check_batch(points)
+        return np.array([self.value(p) for p in pts])
+
+    def gradient_batch(self, points: np.ndarray) -> np.ndarray:
+        """Gradients at a ``(S, d)`` batch of points, shape ``(S, d)``."""
+        pts = self._check_batch(points)
+        return np.stack([self.gradient(p) for p in pts])
+
     def argmin_set(self) -> Optional[PointSet]:
         """Closed-form argmin set when known, else ``None``."""
         return None
@@ -71,6 +86,14 @@ class CostFunction(abc.ABC):
             )
         return arr
 
+    def _check_batch(self, points: np.ndarray) -> np.ndarray:
+        arr = np.asarray(points, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != self.dim:
+            raise ValueError(
+                f"expected a batch of shape (S, {self.dim}), got {arr.shape}"
+            )
+        return arr
+
 
 class ScaledCost(CostFunction):
     """``scale * inner`` — positive scaling preserves the argmin set."""
@@ -89,6 +112,12 @@ class ScaledCost(CostFunction):
     def hessian(self, x: np.ndarray) -> Optional[np.ndarray]:
         h = self.inner.hessian(x)
         return None if h is None else self.scale * h
+
+    def value_batch(self, points: np.ndarray) -> np.ndarray:
+        return self.scale * self.inner.value_batch(points)
+
+    def gradient_batch(self, points: np.ndarray) -> np.ndarray:
+        return self.scale * self.inner.gradient_batch(points)
 
     def argmin_set(self) -> Optional[PointSet]:
         if self.scale > 0:
@@ -122,6 +151,12 @@ class ShiftedCost(CostFunction):
 
     def hessian(self, x: np.ndarray) -> Optional[np.ndarray]:
         return self.inner.hessian(self._check_point(x) - self.shift)
+
+    def value_batch(self, points: np.ndarray) -> np.ndarray:
+        return self.inner.value_batch(self._check_batch(points) - self.shift)
+
+    def gradient_batch(self, points: np.ndarray) -> np.ndarray:
+        return self.inner.gradient_batch(self._check_batch(points) - self.shift)
 
     def argmin_set(self) -> Optional[PointSet]:
         from ..core.geometry import (

@@ -56,6 +56,16 @@ class LeastSquaresCost(CostFunction):
     def hessian(self, x: np.ndarray) -> np.ndarray:
         return 2.0 * self.design.T @ self.design
 
+    def value_batch(self, points: np.ndarray) -> np.ndarray:
+        pts = self._check_batch(points)
+        residuals = self.response[None, :] - pts @ self.design.T
+        return np.einsum("sm,sm->s", residuals, residuals)
+
+    def gradient_batch(self, points: np.ndarray) -> np.ndarray:
+        pts = self._check_batch(points)
+        residuals = self.response[None, :] - pts @ self.design.T
+        return -2.0 * residuals @ self.design
+
     def argmin_set(self) -> Optional[PointSet]:
         gram = self.design.T @ self.design
         rank = np.linalg.matrix_rank(self.design, tol=1e-10)

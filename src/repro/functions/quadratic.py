@@ -62,6 +62,15 @@ class QuadraticCost(CostFunction):
     def hessian(self, x: np.ndarray) -> np.ndarray:
         return self.matrix.copy()
 
+    def value_batch(self, points: np.ndarray) -> np.ndarray:
+        pts = self._check_batch(points)
+        px = pts @ self.matrix.T
+        return 0.5 * np.einsum("sd,sd->s", pts, px) + pts @ self.linear + self.constant
+
+    def gradient_batch(self, points: np.ndarray) -> np.ndarray:
+        pts = self._check_batch(points)
+        return pts @ self.matrix.T + self.linear
+
     def argmin_set(self) -> Optional[PointSet]:
         eigvals, eigvecs = np.linalg.eigh(self.matrix)
         tol = max(1e-12, 1e-10 * max(abs(eigvals.max()), 1.0))

@@ -24,6 +24,17 @@ class ConvexSet(abc.ABC):
     def project(self, x: np.ndarray) -> np.ndarray:
         """``[x]_W`` of equation (20): the closest point of the set."""
 
+    def project_batch(self, points: np.ndarray) -> np.ndarray:
+        """Row-wise projection of an ``(S, d)`` batch of points.
+
+        The base implementation loops; sets with closed-form projections
+        override it so the batch simulator projects all trials at once.
+        """
+        arr = np.asarray(points, dtype=float)
+        if arr.ndim != 2:
+            raise ValueError(f"expected an (S, d) batch, got shape {arr.shape}")
+        return np.stack([self.project(p) for p in arr])
+
     @abc.abstractmethod
     def contains(self, x: np.ndarray, tol: float = 1e-9) -> bool:
         """Membership test up to tolerance."""
@@ -61,6 +72,9 @@ class BoxSet(ConvexSet):
     def project(self, x: np.ndarray) -> np.ndarray:
         return np.clip(np.asarray(x, dtype=float), self.lower, self.upper)
 
+    def project_batch(self, points: np.ndarray) -> np.ndarray:
+        return np.clip(np.asarray(points, dtype=float), self.lower, self.upper)
+
     def contains(self, x: np.ndarray, tol: float = 1e-9) -> bool:
         xv = np.asarray(x, dtype=float)
         return bool(
@@ -92,6 +106,15 @@ class BallConstraint(ConvexSet):
             return xv.copy()
         return self.center + offset * (self.radius / norm)
 
+    def project_batch(self, points: np.ndarray) -> np.ndarray:
+        arr = np.asarray(points, dtype=float)
+        offsets = arr - self.center
+        norms = np.linalg.norm(offsets, axis=1)
+        scales = np.where(
+            norms <= self.radius, 1.0, self.radius / np.maximum(norms, 1e-300)
+        )
+        return self.center + offsets * scales[:, None]
+
     def contains(self, x: np.ndarray, tol: float = 1e-9) -> bool:
         xv = np.asarray(x, dtype=float)
         return float(np.linalg.norm(xv - self.center)) <= self.radius + tol
@@ -115,6 +138,9 @@ class UnconstrainedSet(ConvexSet):
 
     def project(self, x: np.ndarray) -> np.ndarray:
         return np.asarray(x, dtype=float).copy()
+
+    def project_batch(self, points: np.ndarray) -> np.ndarray:
+        return np.asarray(points, dtype=float).copy()
 
     def contains(self, x: np.ndarray, tol: float = 1e-9) -> bool:
         return True

@@ -1,0 +1,154 @@
+"""Vectorized aggregation kernels against their per-item references.
+
+Every registered filter must satisfy ``aggregate_batch(stacks)[s] ==
+aggregate(stacks[s])``; the rewritten Krum/trimmed-mean kernels must match
+brute-force formulations; and the Weiszfeld iteration must handle iterates
+coinciding with input points via the Vardi–Zhang correction.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.aggregators import (
+    available_aggregators,
+    geometric_median,
+    geometric_median_batch,
+    krum_scores,
+    krum_scores_batch,
+    make_aggregator,
+    trimmed_mean,
+    trimmed_mean_batch,
+)
+
+finite = st.floats(-30.0, 30.0, allow_nan=False, allow_infinity=False)
+
+
+class TestBatchMatchesPerItem:
+    @pytest.mark.parametrize("name", available_aggregators())
+    def test_every_registered_filter(self, name, rng):
+        n, f, d = 11, 2, 3
+        agg = make_aggregator(name, n, f)
+        stacks = rng.normal(size=(6, n, d))
+        try:
+            expected = np.stack([agg.aggregate(item) for item in stacks])
+        except ValueError:
+            pytest.skip(f"{name} not applicable at n={n}, f={f}")
+        got = agg.aggregate_batch(stacks)
+        assert got.shape == (6, d)
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_rejects_bad_shapes(self):
+        agg = make_aggregator("mean", 5, 1)
+        with pytest.raises(ValueError):
+            agg.aggregate_batch(np.zeros((4, 5)))  # missing batch axis
+        with pytest.raises(ValueError):
+            agg.aggregate_batch(np.full((2, 5, 3), np.nan))
+
+
+class TestKrumKernel:
+    @given(arrays(np.float64, (8, 3), elements=finite))
+    @settings(max_examples=30, deadline=None)
+    def test_gram_identity_matches_bruteforce(self, grads):
+        f = 2
+        scores = krum_scores(grads, f)
+        n = grads.shape[0]
+        neighbours = n - f - 2
+        brute = np.empty(n)
+        for i in range(n):
+            dists = np.sort(
+                [np.sum((grads[i] - grads[j]) ** 2) for j in range(n) if j != i]
+            )
+            brute[i] = np.sum(dists[:neighbours])
+        np.testing.assert_allclose(scores, brute, atol=1e-7)
+
+    def test_batch_scores_match(self, rng):
+        stacks = rng.normal(size=(5, 9, 4))
+        batch = krum_scores_batch(stacks, f=2)
+        for s in range(5):
+            np.testing.assert_allclose(
+                batch[s], krum_scores(stacks[s], f=2), atol=1e-9
+            )
+
+    def test_zero_neighbours_requires_flag(self):
+        grads = np.ones((4, 2))
+        with pytest.raises(ValueError):
+            krum_scores(grads, f=2)
+        assert np.allclose(
+            krum_scores(grads, f=2, allow_zero_neighbours=True), 0.0
+        )
+
+
+class TestTrimmedMeanKernel:
+    @given(arrays(np.float64, (9, 4), elements=finite), st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_matches_sort(self, values, trim):
+        expected = np.sort(values, axis=0)[trim : 9 - trim].mean(axis=0)
+        np.testing.assert_allclose(trimmed_mean(values, trim), expected, atol=1e-9)
+
+    def test_batch_matches_per_item(self, rng):
+        stacks = rng.normal(size=(7, 10, 3))
+        batch = trimmed_mean_batch(stacks, trim=3)
+        for s in range(7):
+            np.testing.assert_allclose(
+                batch[s], trimmed_mean(stacks[s], trim=3), atol=1e-9
+            )
+
+
+class TestGeometricMedianSafeguard:
+    def test_input_point_at_mean_regression(self):
+        # One data point sits exactly at the centroid — the Weiszfeld start.
+        # The retired constant-nudge safeguard biased every coordinate
+        # identically here; Vardi–Zhang must still find the true median.
+        pts = np.array(
+            [[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0], [0.0, 0.0]]
+        )
+        assert np.allclose(pts.mean(axis=0), pts[-1])  # premise of the test
+        gm = geometric_median(pts)
+        # The configuration is symmetric: the point at the centre *is* the
+        # geometric median (eta = 1 >= ||R|| = 0).
+        np.testing.assert_allclose(gm, [0.0, 0.0], atol=1e-9)
+
+    def test_coincident_point_not_optimal(self):
+        # The start (the centroid) coincides with a data point that is NOT
+        # the median; the correction must step off it and converge to the
+        # true optimum (the 1-D geometric median is the coordinate median).
+        pts = np.array([[0.0], [0.0], [0.0], [2.0], [8.0]])
+        assert pts.mean() == 2.0  # centroid sits exactly on a data point
+        gm = geometric_median(pts)
+        np.testing.assert_allclose(gm, [0.0], atol=1e-8)
+
+    def test_start_on_duplicated_point(self):
+        # All mass at one location except one outlier; centroid differs but
+        # the iteration passes through the heavy point. Majority wins: the
+        # geometric median is the duplicated point itself.
+        pts = np.vstack([np.tile([2.0, 3.0], (4, 1)), [[10.0, -1.0]]])
+        gm = geometric_median(pts)
+        np.testing.assert_allclose(gm, [2.0, 3.0], atol=1e-9)
+
+    def test_all_points_identical(self):
+        pts = np.tile([1.5, -2.5], (6, 1))
+        np.testing.assert_allclose(geometric_median(pts), [1.5, -2.5])
+
+    @given(arrays(np.float64, (6, 2), elements=finite))
+    @settings(max_examples=40, deadline=None)
+    def test_optimality_property(self, pts):
+        gm = geometric_median(pts)
+        objective = lambda z: np.linalg.norm(pts - z, axis=1).sum()
+        base = objective(gm)
+        probe = np.random.default_rng(0)
+        for _ in range(8):
+            assert base <= objective(gm + 0.05 * probe.normal(size=2)) + 1e-6
+
+    def test_batch_matches_scalar_with_coincidences(self, rng):
+        clean = rng.normal(size=(4, 7, 2))
+        tricky = clean.copy()
+        tricky[0, 0] = tricky[0, 1:].mean(axis=0)  # coincidence mid-run
+        tricky[2, :] = np.tile([1.0, 1.0], (7, 1))  # fully degenerate trial
+        batch = geometric_median_batch(tricky)
+        for s in range(4):
+            np.testing.assert_allclose(
+                batch[s], geometric_median(tricky[s]), atol=1e-9
+            )

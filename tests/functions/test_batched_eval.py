@@ -1,0 +1,127 @@
+"""Batched cost evaluation: per-cost batch API and stacked-coefficient einsums."""
+
+import numpy as np
+import pytest
+
+from repro.functions import (
+    LeastSquaresCostStack,
+    LoopCostStack,
+    QuadraticCost,
+    QuadraticCostStack,
+    ScaledCost,
+    ShiftedCost,
+    SquaredDistanceCost,
+    stack_costs,
+)
+from repro.functions.geometric import NormDistanceCost
+from repro.functions.least_squares import LeastSquaresCost, linear_regression_agents
+from repro.experiments.paper_regression import PAPER_A, PAPER_B
+
+
+@pytest.fixture()
+def points(rng):
+    return rng.normal(size=(13, 2))
+
+
+class TestPerCostBatchAPI:
+    def test_quadratic_matches_loop(self, rng, points):
+        p = rng.normal(size=(2, 2))
+        cost = QuadraticCost(p @ p.T + np.eye(2), linear=[0.3, -1.2], constant=0.7)
+        np.testing.assert_allclose(
+            cost.value_batch(points),
+            [cost.value(x) for x in points],
+            atol=1e-12,
+        )
+        np.testing.assert_allclose(
+            cost.gradient_batch(points),
+            [cost.gradient(x) for x in points],
+            atol=1e-12,
+        )
+
+    def test_least_squares_matches_loop(self, points):
+        cost = LeastSquaresCost(PAPER_A[:3], PAPER_B[:3])
+        np.testing.assert_allclose(
+            cost.value_batch(points), [cost.value(x) for x in points], atol=1e-12
+        )
+        np.testing.assert_allclose(
+            cost.gradient_batch(points),
+            [cost.gradient(x) for x in points],
+            atol=1e-12,
+        )
+
+    def test_generic_fallback(self, points):
+        cost = NormDistanceCost([0.5, -0.5])  # no closed-form batch override
+        np.testing.assert_allclose(
+            cost.value_batch(points), [cost.value(x) for x in points], atol=1e-12
+        )
+
+    def test_scaled_and_shifted_wrappers(self, points):
+        inner = SquaredDistanceCost([1.0, 2.0])
+        scaled = ScaledCost(inner, 2.5)
+        shifted = ShiftedCost(inner, [0.5, -1.0])
+        np.testing.assert_allclose(
+            scaled.gradient_batch(points),
+            [scaled.gradient(x) for x in points],
+            atol=1e-12,
+        )
+        np.testing.assert_allclose(
+            shifted.value_batch(points),
+            [shifted.value(x) for x in points],
+            atol=1e-12,
+        )
+
+    def test_shape_validation(self):
+        cost = SquaredDistanceCost([0.0, 0.0])
+        with pytest.raises(ValueError):
+            cost.gradient_batch(np.zeros(2))  # not a batch
+        with pytest.raises(ValueError):
+            cost.gradient_batch(np.zeros((4, 3)))  # wrong dimension
+
+
+class TestCostStacks:
+    def test_factory_picks_least_squares(self):
+        costs = linear_regression_agents(PAPER_A, PAPER_B)
+        stack = stack_costs(costs)
+        assert isinstance(stack, LeastSquaresCostStack)
+        assert stack.n == 6 and stack.dim == 2
+
+    def test_factory_picks_quadratic(self, mean_costs):
+        stack = stack_costs(mean_costs)
+        assert isinstance(stack, QuadraticCostStack)
+
+    def test_factory_falls_back_for_mixed_costs(self, mean_costs):
+        mixed = list(mean_costs) + [NormDistanceCost([0.0, 0.0])]
+        assert isinstance(stack_costs(mixed), LoopCostStack)
+
+    def test_factory_falls_back_for_ragged_designs(self):
+        ragged = [
+            LeastSquaresCost(PAPER_A[:1], PAPER_B[:1]),
+            LeastSquaresCost(PAPER_A[:2], PAPER_B[:2]),
+        ]
+        assert isinstance(stack_costs(ragged), LoopCostStack)
+
+    @pytest.mark.parametrize("builder", ["regression", "quadratic", "mixed"])
+    def test_stack_matches_per_cost_evaluation(self, builder, rng, mean_costs):
+        if builder == "regression":
+            costs = linear_regression_agents(PAPER_A, PAPER_B)
+        elif builder == "quadratic":
+            costs = mean_costs
+        else:
+            costs = list(mean_costs) + [NormDistanceCost([1.0, 0.0])]
+        stack = stack_costs(costs)
+        points = rng.normal(size=(9, 2))
+        grads = stack.gradients(points)
+        values = stack.values(points)
+        assert grads.shape == (9, len(costs), 2)
+        assert values.shape == (9, len(costs))
+        for s, x in enumerate(points):
+            for i, cost in enumerate(costs):
+                np.testing.assert_allclose(grads[s, i], cost.gradient(x), atol=1e-9)
+                assert values[s, i] == pytest.approx(cost.value(x), abs=1e-9)
+
+    def test_dimension_mismatch_rejected(self, mean_costs):
+        stack = stack_costs(mean_costs)
+        with pytest.raises(ValueError):
+            stack.gradients(np.zeros((3, 5)))
+        with pytest.raises(ValueError):
+            stack_costs([])
