@@ -1,0 +1,99 @@
+"""Decentralized robust DGD on sparse communication graphs.
+
+The server-based algorithm of the source paper assumes every gradient
+reaches one trusted coordinator.  This example drops both the server and
+the complete network: agents sit on a communication graph, hear only their
+in-neighborhoods, filter those messages with a neighborhood-wise robust
+rule (CWTM here), and a Byzantine agent *equivocates per edge* — sending
+the truth to some neighbors and a reversed gradient to others, which no
+broadcast primitive is present to prevent.
+
+Three things to observe in the output:
+
+1. on the complete graph the honest agents stay in perfect lockstep and
+   land exactly where the server-based engine lands;
+2. on sparse graphs the honest agents genuinely disagree (positive
+   consensus gap) yet neighborhood filtering keeps every honest iterate in
+   a bounded radius around the honest minimizer;
+3. connectivity buys accuracy: the radius grows as the algebraic
+   connectivity (lambda_2) of the graph drops.
+
+Run:
+    PYTHONPATH=src python examples/decentralized_graph.py
+"""
+
+import numpy as np
+
+from repro.aggregators import make_aggregator
+from repro.attacks import EdgeEquivocationAttack
+from repro.distsys import BatchTrial, make_topology, run_decentralized
+from repro.experiments import paper_problem
+
+ITERATIONS = 400
+
+
+def main() -> None:
+    problem = paper_problem()
+    attack = EdgeEquivocationAttack(scale=1.5)
+
+    print("Decentralized robust DGD - Appendix-J system, CWTM per neighborhood")
+    print(
+        f"n = {problem.n} agents, f = {problem.f} Byzantine (agent "
+        f"{problem.faulty_ids[0]} equivocates per edge), "
+        f"{ITERATIONS} iterations\n"
+    )
+    header = (
+        f"{'topology':<12} {'lambda2':>8} {'closed deg':>10} "
+        f"{'radius':>9} {'gap':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for name, kwargs in (
+        ("complete", {}),
+        ("torus", {}),
+        ("ring", {"hops": 2}),
+        ("erdos_renyi", {"p": 0.7}),
+        ("ring", {}),
+    ):
+        topology = make_topology(name, problem.n, seed=1, **kwargs)
+        trial = BatchTrial(
+            aggregator=make_aggregator("cwtm", problem.n, problem.f),
+            attack=attack,
+            faulty_ids=problem.faulty_ids,
+            seed=0,
+        )
+        trace = run_decentralized(
+            problem.costs,
+            topology,
+            [trial],
+            problem.constraint,
+            problem.schedule,
+            problem.initial_estimate,
+            ITERATIONS,
+        )
+        radius = trace.distances_to(problem.x_h)[0, -1]
+        gap = trace.consensus_gap()[0, -1]
+        degrees = topology.closed_in_degrees
+        degree = (
+            f"{degrees.min()}"
+            if degrees.min() == degrees.max()
+            else f"{degrees.min()}..{degrees.max()}"
+        )
+        print(
+            f"{topology.name:<12} {topology.algebraic_connectivity():>8.3f} "
+            f"{degree:>10} {radius:>9.4f} {gap:>9.4f}"
+        )
+
+    print(
+        "\nradius = max honest distance to x_H; gap = max honest pairwise "
+        "distance."
+    )
+    print(
+        "Denser graphs (larger lambda_2) keep honest agents closer to the "
+        "honest minimizer."
+    )
+
+
+if __name__ == "__main__":
+    main()

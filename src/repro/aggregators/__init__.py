@@ -15,9 +15,16 @@ from .geometric_median import (
     geometric_median_batch,
 )
 from .krum import KrumAggregator, MultiKrumAggregator, krum_scores, krum_scores_batch
+from .masked import (
+    masked_cge_batch,
+    masked_kernel_for,
+    masked_mean_batch,
+    masked_median_batch,
+    masked_trimmed_mean_batch,
+)
 from .meamed import MeaMedAggregator, SignMajorityAggregator
 from .mean import MeanAggregator, SumAggregator
-from .registry import available_aggregators, make_aggregator
+from .registry import aggregator_descriptions, available_aggregators, make_aggregator
 from .trimmed_mean import (
     CoordinateWiseMedian,
     CWTMAggregator,
@@ -54,4 +61,10 @@ __all__ = [
     "SignMajorityAggregator",
     "make_aggregator",
     "available_aggregators",
+    "aggregator_descriptions",
+    "masked_mean_batch",
+    "masked_trimmed_mean_batch",
+    "masked_median_batch",
+    "masked_cge_batch",
+    "masked_kernel_for",
 ]

@@ -26,8 +26,41 @@ __all__ = [
 _COINCIDENCE_TOL = 1e-14
 
 
+def _snap_to_best_input(arr: np.ndarray, z: np.ndarray) -> np.ndarray:
+    """Return the input point that beats the iterate ``z``, if any.
+
+    Weiszfeld converges sublinearly when the geometric median sits *at* an
+    input point of multiplicity ``eta`` with ``||R|| ~ eta`` (the boundary of
+    the Vardi–Zhang optimality condition): the iterate crawls toward the
+    point and the step-size stopping rule can fire while still measurably
+    away from the optimum.  Since in every such case the optimum *is* an
+    input point, comparing the objective at ``z`` against the objective at
+    each input point and keeping the argmin guarantees the result is never
+    worse than the best input point.
+    """
+    return _snap_to_best_input_batch(arr[None, :, :], z[None, :])[0]
+
+
+def _input_point_objectives(arr: np.ndarray) -> np.ndarray:
+    """``sum_i ||x_i - x_j||`` per input point ``j`` of each stack: ``(S, n)``.
+
+    Uses the Gram identity ``||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b`` (as
+    the Krum kernel does) so no ``(S, n, n, d)`` difference tensor is ever
+    materialized.  The stack is centered first: the objective only depends
+    on differences, and the raw identity cancels catastrophically when the
+    points share a large common offset (``eps * ||x||^2`` absolute error).
+    """
+    arr = arr - arr.mean(axis=1, keepdims=True)
+    squares = np.einsum("snd,snd->sn", arr, arr)
+    gram = np.einsum("sid,sjd->sij", arr, arr)
+    distances_sq = np.maximum(
+        squares[:, :, None] + squares[:, None, :] - 2.0 * gram, 0.0
+    )
+    return np.sqrt(distances_sq).sum(axis=1)
+
+
 def geometric_median(
-    points: np.ndarray, tolerance: float = 1e-10, max_iterations: int = 1_000
+    points: np.ndarray, tolerance: float = 1e-14, max_iterations: int = 20_000
 ) -> np.ndarray:
     """Weiszfeld iteration for the geometric median of row-stacked points.
 
@@ -41,6 +74,12 @@ def geometric_median(
     arr = validate_gradients(points)
     if arr.shape[0] == 1:
         return arr[0].copy()
+    return _snap_to_best_input(arr, _weiszfeld(arr, tolerance, max_iterations))
+
+
+def _weiszfeld(
+    arr: np.ndarray, tolerance: float, max_iterations: int
+) -> np.ndarray:
     z = arr.mean(axis=0)
     for _ in range(max_iterations):
         diffs = arr - z
@@ -68,7 +107,7 @@ def geometric_median(
 
 
 def geometric_median_batch(
-    stacks: np.ndarray, tolerance: float = 1e-10, max_iterations: int = 1_000
+    stacks: np.ndarray, tolerance: float = 1e-14, max_iterations: int = 20_000
 ) -> np.ndarray:
     """Batched Weiszfeld: geometric median of each ``(n, d)`` stack.
 
@@ -80,6 +119,24 @@ def geometric_median_batch(
     n = arr.shape[1]
     if n == 1:
         return arr[:, 0, :].copy()
+    return _snap_to_best_input_batch(
+        arr, _weiszfeld_batch(arr, tolerance, max_iterations)
+    )
+
+
+def _snap_to_best_input_batch(arr: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_snap_to_best_input` over ``S`` stacks."""
+    objectives = _input_point_objectives(arr)
+    best = np.argmin(objectives, axis=1)
+    rows = np.arange(arr.shape[0])
+    z_objectives = np.linalg.norm(arr - out[:, None, :], axis=2).sum(axis=1)
+    snap = objectives[rows, best] < z_objectives
+    return np.where(snap[:, None], arr[rows, best], out)
+
+
+def _weiszfeld_batch(
+    arr: np.ndarray, tolerance: float, max_iterations: int
+) -> np.ndarray:
     out = arr.mean(axis=1)
     # Iterate on compact copies of the unconverged trials; converged rows
     # are scattered back and dropped, so the steady-state inner iteration
@@ -139,7 +196,7 @@ class GeometricMedianAggregator(GradientAggregator):
 
     name = "geomedian"
 
-    def __init__(self, tolerance: float = 1e-10, max_iterations: int = 1_000):
+    def __init__(self, tolerance: float = 1e-14, max_iterations: int = 20_000):
         self.tolerance = float(tolerance)
         self.max_iterations = int(max_iterations)
 

@@ -1,0 +1,175 @@
+"""Masked (neighborhood-wise) variants of the batched gradient filters.
+
+The decentralized graph engine hands every agent the messages of its closed
+in-neighborhood.  On a *regular* topology those neighborhoods all have the
+same size ``k`` and the standard ``aggregate_batch`` kernels apply after
+folding agents into the batch axis (``(S, n, k, d) -> (S * n, k, d)``).  On
+an *irregular* graph (e.g. Erdős–Rényi) neighborhood sizes differ, so the
+engine pads every neighborhood to ``k = max closed in-degree`` and the
+kernels here aggregate under a validity mask — one tensor expression per
+filter, no per-agent Python loop.
+
+Conventions shared by every kernel:
+
+* ``values`` has shape ``(S, n, k, d)``: ``S`` lockstep trials, ``n``
+  receiving agents, ``k`` padded neighborhood slots, dimension ``d``;
+* ``mask`` has shape ``(n, k)``: ``mask[i, s]`` marks slot ``s`` of agent
+  ``i``'s neighborhood valid.  Slot order is ascending sender id, which
+  makes the deterministic tie-breaking of the masked kernels coincide with
+  the unmasked ones on full masks;
+* invalid slots are ignored entirely — they carry no NaN poison and never
+  influence the trim/selection order statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = [
+    "masked_mean_batch",
+    "masked_trimmed_mean_batch",
+    "masked_median_batch",
+    "masked_cge_batch",
+    "masked_kernel_for",
+]
+
+
+def _check_masked(values: np.ndarray, mask: np.ndarray):
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 4:
+        raise ValueError(
+            f"expected (S, n, k, d) neighborhood stacks, got shape {values.shape}"
+        )
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != values.shape[1:3]:
+        raise ValueError(
+            f"mask shape {mask.shape} does not match neighborhoods "
+            f"{values.shape[1:3]}"
+        )
+    counts = mask.sum(axis=1)  # (n,) valid messages per receiving agent
+    if counts.min() < 1:
+        raise ValueError("every agent needs at least one valid message")
+    if not np.all(np.isfinite(values[:, mask])):
+        raise ValueError("gradients contain non-finite entries")
+    return values, mask, counts
+
+
+def _take_slot(csum: np.ndarray, slot: np.ndarray) -> np.ndarray:
+    """Per-agent gather along the slot axis: ``csum[s, i, slot[i], :]``."""
+    s, n, _, d = csum.shape
+    index = np.broadcast_to(slot.reshape(1, n, 1, 1), (s, n, 1, d))
+    return np.take_along_axis(csum, index, axis=2)[:, :, 0, :]
+
+
+def masked_mean_batch(values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Mean of the valid neighborhood messages: ``(S, n, k, d) -> (S, n, d)``."""
+    values, mask, counts = _check_masked(values, mask)
+    weighted = np.where(mask[None, :, :, None], values, 0.0)
+    return weighted.sum(axis=2) / counts[None, :, None]
+
+
+def masked_trimmed_mean_batch(
+    values: np.ndarray, mask: np.ndarray, trim: int
+) -> np.ndarray:
+    """Neighborhood-wise coordinate trimmed mean under a validity mask.
+
+    For every agent and coordinate, drops the ``trim`` largest and ``trim``
+    smallest of its *valid* entries and averages the rest — the CWTM rule of
+    equation (24) applied per in-neighborhood.  Implemented with one sort
+    (+inf padding pushes invalid slots past every valid order statistic) and
+    a prefix-sum gather, so ragged neighborhoods cost no Python loop.
+    """
+    values, mask, counts = _check_masked(values, mask)
+    if trim < 0:
+        raise ValueError("trim must be non-negative")
+    kept = counts - 2 * trim
+    if kept.min() < 1:
+        worst = int(np.argmin(kept))
+        raise ValueError(
+            f"agent {worst} has {int(counts[worst])} messages, cannot trim "
+            f"{trim} from both sides"
+        )
+    padded = np.where(mask[None, :, :, None], values, np.inf)
+    ordered = np.sort(padded, axis=2)
+    csum = np.cumsum(ordered, axis=2)
+    upper = _take_slot(csum, counts - trim - 1)
+    if trim > 0:
+        upper = upper - csum[:, :, trim - 1, :]
+    return upper / kept[None, :, None]
+
+
+def masked_median_batch(values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Neighborhood-wise coordinate median under a validity mask."""
+    values, mask, counts = _check_masked(values, mask)
+    padded = np.where(mask[None, :, :, None], values, np.inf)
+    ordered = np.sort(padded, axis=2)
+    low = _take_slot(ordered, (counts - 1) // 2)
+    high = _take_slot(ordered, counts // 2)
+    return 0.5 * (low + high)
+
+
+def masked_cge_batch(
+    values: np.ndarray, mask: np.ndarray, f: int, average: bool = False
+) -> np.ndarray:
+    """Neighborhood-wise Comparative Gradient Elimination under a mask.
+
+    Each agent keeps the ``c_i - f`` smallest-norm messages of its ``c_i``
+    valid ones (ties broken by slot order — ascending sender id) and outputs
+    their vector sum (equation (23)), or their mean when ``average``.
+    """
+    values, mask, counts = _check_masked(values, mask)
+    if f < 0:
+        raise ValueError("f must be non-negative")
+    kept = counts - f
+    if kept.min() < 1:
+        worst = int(np.argmin(kept))
+        raise ValueError(
+            f"agent {worst} has {int(counts[worst])} messages, cannot "
+            f"eliminate f={f}"
+        )
+    # Zero out invalid slots before the norm: they may hold arbitrary junk
+    # (padding), and norming junk can overflow even though it is never kept.
+    safe = np.where(mask[None, :, :, None], values, 0.0)
+    norms = np.where(
+        mask[None, :, :], np.linalg.norm(safe, axis=3), np.inf
+    )
+    order = np.argsort(norms, axis=2, kind="stable")
+    gathered = np.take_along_axis(values, order[:, :, :, None], axis=2)
+    csum = np.cumsum(gathered, axis=2)
+    total = _take_slot(csum, kept - 1)
+    if average:
+        return total / kept[None, :, None]
+    return total
+
+
+def masked_kernel_for(
+    aggregator,
+) -> Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]]:
+    """The masked kernel matching a registered aggregator, if one exists.
+
+    Returns a ``(values, mask) -> (S, n, d)`` callable for the filters with
+    neighborhood-wise variants (mean, CWTM, coordinate median, CGE), or
+    ``None`` — callers fall back to regular-topology folding or reject the
+    configuration with a clear error.
+    """
+    from .cge import AveragedCGE, CGEAggregator
+    from .mean import MeanAggregator
+    from .trimmed_mean import CoordinateWiseMedian, CWTMAggregator
+
+    if isinstance(aggregator, AveragedCGE):
+        return lambda values, mask: masked_cge_batch(
+            values, mask, aggregator.f, average=True
+        )
+    if isinstance(aggregator, CGEAggregator):
+        return lambda values, mask: masked_cge_batch(values, mask, aggregator.f)
+    if isinstance(aggregator, CWTMAggregator):
+        return lambda values, mask: masked_trimmed_mean_batch(
+            values, mask, aggregator.f
+        )
+    if isinstance(aggregator, CoordinateWiseMedian):
+        return lambda values, mask: masked_median_batch(values, mask)
+    if isinstance(aggregator, MeanAggregator):
+        return lambda values, mask: masked_mean_batch(values, mask)
+    return None

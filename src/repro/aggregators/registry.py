@@ -7,7 +7,7 @@ context where the rule requires it.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple
 
 from .base import GradientAggregator
 from .bulyan import BulyanAggregator
@@ -19,36 +19,89 @@ from .meamed import MeaMedAggregator, SignMajorityAggregator
 from .mean import MeanAggregator, SumAggregator
 from .trimmed_mean import CoordinateWiseMedian, CWTMAggregator
 
-__all__ = ["make_aggregator", "available_aggregators"]
+__all__ = ["make_aggregator", "available_aggregators", "aggregator_descriptions"]
 
-_BUILDERS: Dict[str, Callable[[int, int], GradientAggregator]] = {
-    "mean": lambda n, f: MeanAggregator(),
-    "sum": lambda n, f: SumAggregator(),
-    "cge": lambda n, f: CGEAggregator(f),
-    "cge_mean": lambda n, f: AveragedCGE(f),
-    "cwtm": lambda n, f: CWTMAggregator(f),
-    "median": lambda n, f: CoordinateWiseMedian(),
-    "krum": lambda n, f: KrumAggregator(f),
-    "multikrum": lambda n, f: MultiKrumAggregator(f, m=max(1, n - 2 * f)),
-    "geomedian": lambda n, f: GeometricMedianAggregator(),
-    "gmom": lambda n, f: MedianOfMeansAggregator(groups=max(1, 2 * f + 1)),
-    "bulyan": lambda n, f: BulyanAggregator(f),
-    "centered_clip": lambda n, f: CenteredClipAggregator(),
-    "norm_clip": lambda n, f: NormClipAggregator(),
-    "meamed": lambda n, f: MeaMedAggregator(f),
-    "sign_majority": lambda n, f: SignMajorityAggregator(),
+#: Registry: name -> (one-line description, builder).  Keeping the
+#: description next to the builder makes it impossible to register a filter
+#: without one (``repro-experiments list`` renders these).
+_REGISTRY: Dict[str, Tuple[str, Callable[[int, int], GradientAggregator]]] = {
+    "mean": (
+        "arithmetic mean (no robustness; the fault-free baseline)",
+        lambda n, f: MeanAggregator(),
+    ),
+    "sum": (
+        "plain vector sum of all received gradients",
+        lambda n, f: SumAggregator(),
+    ),
+    "cge": (
+        "Comparative Gradient Elimination: sum of n-f smallest norms (eq. 23)",
+        lambda n, f: CGEAggregator(f),
+    ),
+    "cge_mean": (
+        "CGE normalized by the number of retained gradients",
+        lambda n, f: AveragedCGE(f),
+    ),
+    "cwtm": (
+        "coordinate-wise trimmed mean, trim level f (eq. 24)",
+        lambda n, f: CWTMAggregator(f),
+    ),
+    "median": (
+        "coordinate-wise median",
+        lambda n, f: CoordinateWiseMedian(),
+    ),
+    "krum": (
+        "Krum: gradient with the smallest n-f-1 nearest-neighbor score",
+        lambda n, f: KrumAggregator(f),
+    ),
+    "multikrum": (
+        "Multi-Krum: average of the m best Krum scorers",
+        lambda n, f: MultiKrumAggregator(f, m=max(1, n - 2 * f)),
+    ),
+    "geomedian": (
+        "geometric median (Weiszfeld with Vardi-Zhang correction)",
+        lambda n, f: GeometricMedianAggregator(),
+    ),
+    "gmom": (
+        "geometric median of bucket means (GMoM)",
+        lambda n, f: MedianOfMeansAggregator(groups=max(1, 2 * f + 1)),
+    ),
+    "bulyan": (
+        "Bulyan: Multi-Krum selection then per-coordinate trimming",
+        lambda n, f: BulyanAggregator(f),
+    ),
+    "centered_clip": (
+        "iterative centered clipping around a running center",
+        lambda n, f: CenteredClipAggregator(),
+    ),
+    "norm_clip": (
+        "mean of norm-clipped gradients",
+        lambda n, f: NormClipAggregator(),
+    ),
+    "meamed": (
+        "mean-around-median: per-coordinate closest n-f to the median",
+        lambda n, f: MeaMedAggregator(f),
+    ),
+    "sign_majority": (
+        "coordinate-wise sign majority vote (signSGD-style)",
+        lambda n, f: SignMajorityAggregator(),
+    ),
 }
 
 
 def available_aggregators() -> List[str]:
     """Sorted registry names."""
-    return sorted(_BUILDERS)
+    return sorted(_REGISTRY)
+
+
+def aggregator_descriptions() -> Dict[str, str]:
+    """One-line description per registered filter, sorted by name."""
+    return {name: _REGISTRY[name][0] for name in available_aggregators()}
 
 
 def make_aggregator(name: str, n: int, f: int) -> GradientAggregator:
     """Build the filter ``name`` for a system of ``n`` agents, ``f`` faulty."""
     try:
-        builder = _BUILDERS[name]
+        _, builder = _REGISTRY[name]
     except KeyError:
         raise KeyError(
             f"unknown aggregator {name!r}; known: {', '.join(available_aggregators())}"

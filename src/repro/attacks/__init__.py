@@ -1,9 +1,15 @@
 """Byzantine fault behaviours — Section 5 and literature baselines."""
 
 from .adaptive import AlternatingAttack, CGEEvasionAttack, CoordinateShiftAttack
-from .base import AttackContext, BatchAttackContext, ByzantineAttack
+from .base import (
+    AttackContext,
+    BatchAttackContext,
+    ByzantineAttack,
+    DecentralizedAttackContext,
+)
 from .colluding import ALIEAttack, InnerProductManipulationAttack, MimicAttack
-from .registry import available_attacks, make_attack
+from .equivocation import EdgeEquivocationAttack
+from .registry import attack_descriptions, available_attacks, make_attack
 from .simple import (
     ConstantVectorAttack,
     GradientReverseAttack,
@@ -31,4 +37,7 @@ __all__ = [
     "AlternatingAttack",
     "make_attack",
     "available_attacks",
+    "attack_descriptions",
+    "DecentralizedAttackContext",
+    "EdgeEquivocationAttack",
 ]

@@ -17,7 +17,12 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["AttackContext", "BatchAttackContext", "ByzantineAttack"]
+__all__ = [
+    "AttackContext",
+    "BatchAttackContext",
+    "DecentralizedAttackContext",
+    "ByzantineAttack",
+]
 
 
 @dataclass
@@ -132,6 +137,81 @@ class BatchAttackContext:
         )
 
 
+@dataclass
+class DecentralizedAttackContext:
+    """Adversary observables in the decentralized (sparse-graph) setting.
+
+    Without a broadcast primitive there is no single estimate and no forced
+    consistency: every agent holds its own iterate and a Byzantine agent may
+    send a *different* fabrication along every outgoing edge.  This context
+    therefore extends the batched observables with the communication
+    structure: who each compromised agent can reach, and every agent's
+    current iterate.
+
+    Attributes:
+        iteration: current iteration index ``t`` (shared by all trials).
+        reference_estimates: a representative honest iterate per trial,
+            shape ``(S, d)`` — equal to the shared iterate whenever the
+            honest agents are in lockstep (e.g. on the complete graph).
+        agent_estimates: every agent's own iterate, shape ``(S, n, d)``.
+        faulty_ids: ids of the compromised agents, ascending.
+        true_gradients: correct gradients of the compromised agents at
+            their *own* estimates, shape ``(S, F, d)``.
+        honest_gradients: honest agents' gradients, shape ``(S, H, d)`` —
+            only populated for omniscient attacks.
+        honest_ids: ids labelling the columns of ``honest_gradients``.
+        receivers: boolean ``(F, n)`` delivery mask — ``receivers[j, i]``
+            means faulty agent ``faulty_ids[j]``'s message reaches agent
+            ``i`` (closed out-neighborhood, so self-delivery is included).
+        rngs: one deterministic generator per trial.
+    """
+
+    iteration: int
+    reference_estimates: np.ndarray
+    agent_estimates: np.ndarray
+    faulty_ids: Sequence[int]
+    true_gradients: np.ndarray
+    honest_gradients: Optional[np.ndarray] = None
+    honest_ids: Optional[Sequence[int]] = None
+    receivers: Optional[np.ndarray] = None
+    rngs: Sequence[np.random.Generator] = ()
+
+    @property
+    def trials(self) -> int:
+        """Number of lockstep trials ``S``."""
+        return int(np.asarray(self.reference_estimates).shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Dimension of the optimization variable."""
+        return int(np.asarray(self.reference_estimates).shape[1])
+
+    @property
+    def agents(self) -> int:
+        """Total number of agents ``n``."""
+        return int(np.asarray(self.agent_estimates).shape[1])
+
+    def broadcast_context(self) -> BatchAttackContext:
+        """The broadcast-equivalent :class:`BatchAttackContext`.
+
+        Used by the default per-edge fabrication: an attack without an edge
+        strategy behaves as if it broadcast one fabrication to its whole
+        out-neighborhood, consuming its generators exactly as it would under
+        the batched server engine.
+        """
+        return BatchAttackContext(
+            iteration=self.iteration,
+            estimates=self.reference_estimates,
+            faulty_ids=list(self.faulty_ids),
+            true_gradients=self.true_gradients,
+            honest_gradients=self.honest_gradients,
+            honest_ids=(
+                None if self.honest_ids is None else list(self.honest_ids)
+            ),
+            rngs=self.rngs,
+        )
+
+
 class ByzantineAttack(abc.ABC):
     """A rule for fabricating faulty gradients each iteration."""
 
@@ -166,6 +246,28 @@ class ByzantineAttack(abc.ABC):
             for j, fid in enumerate(faulty):
                 out[s, j] = np.asarray(fabricated[fid], dtype=float)
         return out
+
+    def fabricate_edges(self, context: DecentralizedAttackContext) -> np.ndarray:
+        """Per-edge fabrications for the decentralized engine: ``(S, F, n, d)``.
+
+        Entry ``[s, j, i]`` is what faulty agent ``context.faulty_ids[j]``
+        sends to agent ``i`` in trial ``s``; the engine only delivers entries
+        where ``context.receivers`` has an edge.  The base implementation
+        *broadcasts*: one :meth:`fabricate_batch` fabrication per faulty
+        agent, tiled across all receivers — so every existing attack works
+        on sparse graphs unchanged.  Equivocating attacks override this to
+        send different vectors along different edges.
+        """
+        broadcast = np.asarray(
+            self.fabricate_batch(context.broadcast_context()), dtype=float
+        )
+        shape = (
+            context.trials,
+            len(context.faulty_ids),
+            context.agents,
+            context.dim,
+        )
+        return np.broadcast_to(broadcast[:, :, None, :], shape)
 
     def __repr__(self) -> str:
         params = {

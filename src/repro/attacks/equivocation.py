@@ -1,0 +1,76 @@
+"""Per-edge equivocation — attacks only the decentralized setting permits.
+
+Under the server-based architecture (and the peer-to-peer simulation built
+on Byzantine broadcast) every faulty agent is forced into *one* gradient
+per iteration: the server sees a single message, and OM(f) makes honest
+receivers agree on a single value.  On a sparse communication graph no such
+primitive is in force, so a Byzantine agent may send a *different* vector
+along every outgoing edge — the classic equivocation threat the
+decentralized fault-tolerance literature (arXiv:2101.12316, 2009.14763)
+defends against with neighborhood-wise filtering.
+
+:class:`EdgeEquivocationAttack` is the canonical instance: truthful toward
+one half of its out-neighborhood, gradient-reversing toward the other, so
+no single received value betrays the fault while neighborhoods still see
+inconsistent reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .base import AttackContext, ByzantineAttack, DecentralizedAttackContext
+
+__all__ = ["EdgeEquivocationAttack"]
+
+
+class EdgeEquivocationAttack(ByzantineAttack):
+    """Alternate truth / reversed gradient across each out-neighborhood.
+
+    Each faulty agent walks its *actual* receivers (ascending id, from
+    ``context.receivers``) and sends the truth to every other one and
+    ``-scale *`` its true gradient to the rest — so the attack genuinely
+    equivocates whenever an agent has at least two out-edges, regardless of
+    how receiver ids happen to be distributed (a global id-parity rule
+    would send one single branch to e.g. a ring neighborhood {1, 5}).
+    Where a broadcast primitive forces one value per sender — the server
+    and peer-to-peer engines — the attack degrades to plain gradient
+    reversal, which is also what :meth:`fabricate` implements.
+    """
+
+    name = "edge_equivocation"
+
+    def __init__(self, scale: float = 1.0):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = float(scale)
+
+    def fabricate(self, context: AttackContext) -> Dict[int, np.ndarray]:
+        return {
+            i: -self.scale * context.true_gradients[i]
+            for i in context.faulty_ids
+        }
+
+    def fabricate_batch(self, context) -> np.ndarray:
+        return -self.scale * np.asarray(context.true_gradients, dtype=float)
+
+    def fabricate_edges(self, context: DecentralizedAttackContext) -> np.ndarray:
+        true = np.asarray(context.true_gradients, dtype=float)  # (S, F, d)
+        reversed_branch = (-self.scale * true)[:, :, None, :]
+        out = np.repeat(true[:, :, None, :], context.agents, axis=2)
+        if context.receivers is None:
+            # No delivery structure known: fall back to global id parity.
+            odd = np.arange(context.agents) % 2 == 1
+            out[:, :, odd, :] = reversed_branch
+            return out
+        for column, faulty_id in enumerate(context.faulty_ids):
+            reached = np.flatnonzero(context.receivers[column])
+            # The closed out-neighborhood includes the attacker itself; it
+            # always keeps the truth and must not consume a branch slot
+            # (otherwise e.g. ring neighborhoods {2, self, 4} would send
+            # the reversal only to the attacker and truth to both peers).
+            reached = reached[reached != faulty_id]
+            out[:, column, reached[1::2], :] = reversed_branch[:, column]
+        return out

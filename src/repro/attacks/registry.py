@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
 from .adaptive import CGEEvasionAttack, CoordinateShiftAttack
 from .base import ByzantineAttack
 from .colluding import ALIEAttack, InnerProductManipulationAttack, MimicAttack
+from .equivocation import EdgeEquivocationAttack
 from .simple import (
     ConstantVectorAttack,
     GradientReverseAttack,
@@ -18,32 +19,77 @@ from .simple import (
     ZeroGradientAttack,
 )
 
-__all__ = ["make_attack", "available_attacks"]
+__all__ = ["make_attack", "available_attacks", "attack_descriptions"]
 
-_BUILDERS: Dict[str, Callable[[], ByzantineAttack]] = {
-    "gradient_reverse": lambda: GradientReverseAttack(),
-    "random": lambda: RandomGaussianAttack(standard_deviation=200.0),
-    "zero": lambda: ZeroGradientAttack(),
-    "sign_flip": lambda: SignFlipAttack(),
-    "large_norm": lambda: LargeNormAttack(),
-    "constant": lambda: ConstantVectorAttack(np.array([1.0])),
-    "alie": lambda: ALIEAttack(),
-    "ipm": lambda: InnerProductManipulationAttack(),
-    "mimic": lambda: MimicAttack(),
-    "cge_evasion": lambda: CGEEvasionAttack(),
-    "coordinate_shift": lambda: CoordinateShiftAttack(),
+#: Registry: name -> (one-line description, builder).  Keeping the
+#: description next to the builder makes it impossible to register an
+#: attack without one (``repro-experiments list`` renders these).
+_REGISTRY: Dict[str, Tuple[str, Callable[[], ByzantineAttack]]] = {
+    "gradient_reverse": (
+        "send the negated true gradient (paper Section 5)",
+        lambda: GradientReverseAttack(),
+    ),
+    "random": (
+        "i.i.d. Gaussian noise vectors with large variance",
+        lambda: RandomGaussianAttack(standard_deviation=200.0),
+    ),
+    "zero": (
+        "send the zero vector (free-riding / dropped update)",
+        lambda: ZeroGradientAttack(),
+    ),
+    "sign_flip": (
+        "flip the sign of every coordinate of the true gradient",
+        lambda: SignFlipAttack(),
+    ),
+    "large_norm": (
+        "truthful direction scaled to an enormous norm",
+        lambda: LargeNormAttack(),
+    ),
+    "constant": (
+        "a fixed constant vector every iteration",
+        lambda: ConstantVectorAttack(np.array([1.0])),
+    ),
+    "alie": (
+        "A-Little-Is-Enough: hide inside honest mean +/- z*sigma",
+        lambda: ALIEAttack(),
+    ),
+    "ipm": (
+        "inner-product manipulation against the honest mean",
+        lambda: InnerProductManipulationAttack(),
+    ),
+    "mimic": (
+        "replay one honest agent's gradient (omniscient)",
+        lambda: MimicAttack(),
+    ),
+    "cge_evasion": (
+        "norm just under the CGE cutoff, reversed direction",
+        lambda: CGEEvasionAttack(),
+    ),
+    "coordinate_shift": (
+        "adaptive per-coordinate shift against CWTM trims",
+        lambda: CoordinateShiftAttack(),
+    ),
+    "edge_equivocation": (
+        "per-edge equivocation: truth to some neighbors, reversal to others",
+        lambda: EdgeEquivocationAttack(),
+    ),
 }
 
 
 def available_attacks() -> List[str]:
     """Sorted registry names."""
-    return sorted(_BUILDERS)
+    return sorted(_REGISTRY)
+
+
+def attack_descriptions() -> Dict[str, str]:
+    """One-line description per registered attack, sorted by name."""
+    return {name: _REGISTRY[name][0] for name in available_attacks()}
 
 
 def make_attack(name: str) -> ByzantineAttack:
     """Build attack ``name`` with its paper-default parameters."""
     try:
-        builder = _BUILDERS[name]
+        _, builder = _REGISTRY[name]
     except KeyError:
         raise KeyError(
             f"unknown attack {name!r}; known: {', '.join(available_attacks())}"

@@ -1,4 +1,12 @@
-"""Distributed-system substrate: synchronous server-based and peer-to-peer."""
+"""Distributed-system substrate: one protocol core, four execution engines.
+
+:mod:`repro.distsys.engine` owns the observe → fabricate → aggregate →
+project protocol loop; the server-based per-trial simulator, the batched
+lockstep sweep engine, the peer-to-peer replica simulator and the
+decentralized graph engine are thin configurations of it.
+:mod:`repro.distsys.topology` supplies the communication graphs the
+decentralized engine runs on.
+"""
 
 from .agents import Agent, ByzantineAgent, HonestAgent, StochasticAgent
 from .batch import BatchSimulator, BatchTrace, BatchTrial, run_dgd_batch
@@ -12,11 +20,34 @@ from .broadcast import (
     majority_value,
     om_message_count,
 )
+from .decentralized import (
+    DecentralizedSimulator,
+    DecentralizedTrace,
+    run_decentralized,
+)
+from .engine import (
+    ProtocolEngine,
+    ProtocolRound,
+    validate_fault_count,
+    validate_faulty_ids,
+    validate_initial_estimate,
+)
 from .messages import GradientReply, GradientRequest, Silence
 from .network import Envelope, MessagePassingDGD, SynchronousNetwork
 from .peer_to_peer import PeerToPeerSimulator
 from .server import RobustServer
 from .simulator import SynchronousSimulator, run_dgd
+from .topology import (
+    CommunicationTopology,
+    available_topologies,
+    complete_topology,
+    erdos_renyi_topology,
+    make_topology,
+    random_regular_topology,
+    ring_topology,
+    topology_descriptions,
+    torus_topology,
+)
 from .trace import ExecutionTrace, IterationRecord
 
 __all__ = [
@@ -34,6 +65,23 @@ __all__ = [
     "BatchTrace",
     "BatchTrial",
     "run_dgd_batch",
+    "DecentralizedSimulator",
+    "DecentralizedTrace",
+    "run_decentralized",
+    "ProtocolEngine",
+    "ProtocolRound",
+    "validate_faulty_ids",
+    "validate_fault_count",
+    "validate_initial_estimate",
+    "CommunicationTopology",
+    "complete_topology",
+    "ring_topology",
+    "torus_topology",
+    "random_regular_topology",
+    "erdos_renyi_topology",
+    "make_topology",
+    "available_topologies",
+    "topology_descriptions",
     "Envelope",
     "SynchronousNetwork",
     "MessagePassingDGD",

@@ -40,6 +40,12 @@ from ..functions.base import CostFunction
 from ..functions.batched import CostStack, stack_costs
 from ..optim.projections import ConvexSet
 from ..optim.schedules import StepSchedule
+from .engine import (
+    ProtocolEngine,
+    ProtocolRound,
+    validate_faulty_ids,
+    validate_initial_estimate,
+)
 
 __all__ = ["BatchTrial", "BatchTrace", "BatchSimulator", "run_dgd_batch"]
 
@@ -57,6 +63,18 @@ def _value_key(value) -> object:
     if hasattr(value, "__dict__"):
         return _config_key(value)
     return id(value)  # opaque value: never merge across instances
+
+
+def group_indices(count: int, key_fn) -> List[Tuple[int, np.ndarray]]:
+    """Group ``range(count)`` by a key; returns (representative, indices).
+
+    Shared by every batched engine: trials with identical filter/attack/
+    schedule configurations run through one kernel invocation per group.
+    """
+    groups: Dict[object, List[int]] = {}
+    for index in range(count):
+        groups.setdefault(key_fn(index), []).append(index)
+    return [(members[0], np.array(members)) for members in groups.values()]
 
 
 def _config_key(obj) -> object:
@@ -144,7 +162,7 @@ class BatchTrace:
         return values.reshape(t_plus_1, s).T
 
 
-class BatchSimulator:
+class BatchSimulator(ProtocolEngine):
     """Run ``S`` independent DGD trials of one system in lockstep."""
 
     def __init__(
@@ -167,12 +185,7 @@ class BatchSimulator:
         self.constraint = constraint
         self.record_gradients = bool(record_gradients)
 
-        default_initial = np.asarray(initial_estimate, dtype=float)
-        if default_initial.shape != (self.d,):
-            raise ValueError(
-                f"initial estimate must have shape ({self.d},),"
-                f" got {default_initial.shape}"
-            )
+        default_initial = validate_initial_estimate(initial_estimate, self.d)
 
         # Per-trial normalized state lives here — the caller's BatchTrial
         # objects are treated as read-only inputs.
@@ -182,10 +195,7 @@ class BatchSimulator:
         self._faulty: List[Tuple[int, ...]] = []
         self._omniscient: List[bool] = []
         for trial in self.trials:
-            faulty = tuple(sorted(trial.faulty_ids))
-            unknown = set(faulty) - set(range(self.n))
-            if unknown:
-                raise ValueError(f"faulty ids {sorted(unknown)} out of range")
+            faulty = validate_faulty_ids(trial.faulty_ids, self.n)
             if faulty and trial.attack is None:
                 raise ValueError("trial has faulty agents but no attack")
             omniscient = False
@@ -202,13 +212,8 @@ class BatchSimulator:
             start = (
                 default_initial
                 if trial.initial_estimate is None
-                else np.asarray(trial.initial_estimate, dtype=float)
+                else validate_initial_estimate(trial.initial_estimate, self.d)
             )
-            if start.shape != (self.d,):
-                raise ValueError(
-                    f"trial initial estimate must have shape ({self.d},),"
-                    f" got {start.shape}"
-                )
             starts.append(start)
             self.rngs.append(np.random.default_rng(trial.seed))
             self._schedules.append(trial.schedule or schedule)
@@ -229,10 +234,7 @@ class BatchSimulator:
     # -- grouping ---------------------------------------------------------
     def _group_by_key(self, key_fn) -> List[Tuple[int, np.ndarray]]:
         """Group trial indices by a key; returns (representative, indices)."""
-        groups: Dict[object, List[int]] = {}
-        for index in range(len(self.trials)):
-            groups.setdefault(key_fn(index), []).append(index)
-        return [(members[0], np.array(members)) for members in groups.values()]
+        return group_indices(len(self.trials), key_fn)
 
     def _group_attacks(self):
         groups = []
@@ -255,15 +257,20 @@ class BatchSimulator:
             )
         return groups
 
-    # -- execution --------------------------------------------------------
-    def step(self) -> np.ndarray:
-        """Advance every trial by one iteration; returns the new estimates."""
-        t = self.iteration
-        received = self.stack.gradients(self.estimates)  # (S, n, d)
+    # -- protocol stages --------------------------------------------------
+    def observe(self) -> ProtocolRound:
+        """One einsum: all agents' gradients at every trial's estimate."""
+        return ProtocolRound(
+            iteration=self.iteration,
+            gradients=self.stack.gradients(self.estimates),  # (S, n, d)
+        )
 
+    def fabricate(self, round: ProtocolRound) -> None:
+        """Vectorized fabrication, one call per attack group."""
+        received = round.gradients
         for attack, faulty, honest, omniscient, idx in self._attack_groups:
             context = BatchAttackContext(
-                iteration=t,
+                iteration=round.iteration,
                 estimates=self.estimates[idx],
                 faulty_ids=faulty.tolist(),
                 true_gradients=received[np.ix_(idx, faulty)],
@@ -282,50 +289,61 @@ class BatchSimulator:
                 )
             received[np.ix_(idx, faulty)] = fabricated
 
+    def aggregate(self, round: ProtocolRound) -> None:
+        """One ``aggregate_batch`` kernel per filter group."""
         aggregates = np.empty((len(self.trials), self.d))
         for rep, idx in self._aggregator_groups:
             aggregator = self.trials[rep].aggregator
-            aggregates[idx] = aggregator.aggregate_batch(received[idx])
+            aggregates[idx] = aggregator.aggregate_batch(round.gradients[idx])
+        round.aggregates = aggregates
 
+    def project(self, round: ProtocolRound) -> np.ndarray:
+        """Batched projected update across every trial at once."""
         etas = np.empty(len(self.trials))
         for sched, idx in self._schedule_groups:
-            etas[idx] = sched(t)
-
-        candidates = self.estimates - etas[:, None] * aggregates
+            etas[idx] = sched(round.iteration)
+        candidates = self.estimates - etas[:, None] * round.aggregates
         self.estimates = self.constraint.project_batch(candidates)
         self.iteration += 1
-        self._last_received = received
+        self._last_received = round.gradients
         self._last_etas = etas
         return self.estimates
 
-    def run(self, iterations: int) -> BatchTrace:
-        """Run ``iterations`` lockstep rounds and return the lazy trace."""
-        if iterations <= 0:
-            raise ValueError("iterations must be positive")
+    # -- run recording ----------------------------------------------------
+    def _begin_run(self, iterations: int) -> None:
         s, d = self.estimates.shape
-        trajectory = np.empty((iterations + 1, s, d))
-        step_sizes = np.empty((iterations, s))
-        snapshots = (
+        self._trajectory = np.empty((iterations + 1, s, d))
+        self._step_sizes = np.empty((iterations, s))
+        self._snapshots = (
             np.empty((iterations, s, self.n, d)) if self.record_gradients else None
         )
-        trajectory[0] = self.estimates
-        for k in range(iterations):
-            self.step()
-            trajectory[k + 1] = self.estimates
-            step_sizes[k] = self._last_etas
-            if snapshots is not None:
-                snapshots[k] = self._last_received
+        self._trajectory[0] = self.estimates
+        self._cursor = 0
+
+    def _record_step(self, estimates: np.ndarray) -> None:
+        k = self._cursor
+        self._trajectory[k + 1] = estimates
+        self._step_sizes[k] = self._last_etas
+        if self._snapshots is not None:
+            self._snapshots[k] = self._last_received
+        self._cursor = k + 1
+
+    def _run_result(self) -> BatchTrace:
         labels = [
             trial.label
             or f"{trial.aggregator.name}/{trial.attack.name if trial.attack else 'honest'}"
             for trial in self.trials
         ]
         return BatchTrace(
-            estimates=trajectory,
-            step_sizes=step_sizes,
+            estimates=self._trajectory,
+            step_sizes=self._step_sizes,
             labels=labels,
-            gradients=snapshots,
+            gradients=self._snapshots,
         )
+
+    def run(self, iterations: int) -> BatchTrace:
+        """Run ``iterations`` lockstep rounds and return the lazy trace."""
+        return super().run(iterations)
 
 
 def run_dgd_batch(

@@ -1,0 +1,503 @@
+"""Decentralized robust DGD over an arbitrary communication graph.
+
+The companion works to the source paper — "Byzantine Fault-Tolerance in
+Peer-to-Peer Distributed Gradient-Descent" (arXiv:2101.12316) and
+"Byzantine Fault-Tolerance in Decentralized Optimization under Minimal
+Redundancy" (arXiv:2009.14763) — drop the trusted server *and* the complete
+network: each agent ``i`` holds its own iterate ``x_i``, evaluates its local
+gradient at ``x_i``, and hears only its in-neighborhood on a
+:class:`~repro.distsys.topology.CommunicationTopology`.  Every honest agent
+then takes the decentralized robust-DGD step those works pair together:
+
+1. **consensus** — a trimmed-mean mix of its closed neighborhood's
+   iterates (trim = the trial's fault count; plain averaging when
+   fault-free), which drives honest agents toward agreement, and
+2. **descent** — a *neighborhood-wise* gradient-filter over the ``k``
+   gradient messages it received (own message included), applied from the
+   mixed point through the projected update.
+
+``mixing=False`` disables step 1 for ablations (each agent then descends
+its filtered neighborhood gradients from its own iterate and honest agents
+generally settle into persistent disagreement on sparse graphs).
+
+This engine executes that protocol for ``S`` lockstep trials entirely as
+tensor programs on the :class:`~repro.distsys.batch.BatchSimulator` kernel
+layer — no per-agent Python inner loop:
+
+* observation is one ``gradients_each`` einsum, ``(S, n, d)``;
+* fabrication is per-edge: attacks receive a
+  :class:`~repro.attacks.base.DecentralizedAttackContext` and may
+  equivocate (different vectors on different out-edges), since no broadcast
+  primitive forces consistency here;
+* aggregation gathers the ``(S, n, k, d)`` closed-neighborhood stacks and
+  runs either the standard ``aggregate_batch`` kernels with agents folded
+  into the batch axis (regular topologies) or the masked kernels of
+  :mod:`repro.aggregators.masked` (irregular topologies);
+* the projected update applies to all ``S * n`` iterates at once.
+
+On the **complete graph** every closed neighborhood is the full agent set,
+so each honest agent's filtered update coincides with the server's — the
+engine-equivalence suite pins complete-graph runs to
+:class:`~repro.distsys.simulator.SynchronousSimulator` trajectories at
+1e-9 across aggregator × attack × seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..aggregators.masked import masked_kernel_for, masked_trimmed_mean_batch
+from ..aggregators.trimmed_mean import trimmed_mean_batch
+from ..attacks.base import DecentralizedAttackContext
+from ..functions.base import CostFunction
+from ..functions.batched import CostStack, stack_costs
+from ..optim.projections import ConvexSet
+from ..optim.schedules import StepSchedule
+from .batch import BatchTrial, _config_key, group_indices
+from .engine import (
+    ProtocolEngine,
+    ProtocolRound,
+    validate_faulty_ids,
+    validate_initial_estimate,
+)
+from .topology import CommunicationTopology
+
+__all__ = [
+    "DecentralizedTrace",
+    "DecentralizedSimulator",
+    "run_decentralized",
+]
+
+
+@dataclass
+class DecentralizedTrace:
+    """Lazy trace of a decentralized execution.
+
+    ``estimates`` stacks every agent's trajectory: shape ``(T + 1, S, n, d)``.
+    """
+
+    estimates: np.ndarray                   # (T + 1, S, n, d)
+    step_sizes: np.ndarray                  # (T, S)
+    honest_ids: List[Tuple[int, ...]]       # per trial
+    labels: List[str] = field(default_factory=list)
+
+    @property
+    def iterations(self) -> int:
+        """Number of completed iterations ``T``."""
+        return self.estimates.shape[0] - 1
+
+    @property
+    def trials(self) -> int:
+        """Batch width ``S``."""
+        return self.estimates.shape[1]
+
+    @property
+    def agents(self) -> int:
+        """Number of agents ``n``."""
+        return self.estimates.shape[2]
+
+    def agent_trajectory(self, trial: int, agent: int) -> np.ndarray:
+        """Iterates ``x_agent^0 .. x_agent^T`` of one trial, ``(T + 1, d)``."""
+        return self.estimates[:, trial, agent, :].copy()
+
+    def final_honest_estimates(self, trial: int) -> np.ndarray:
+        """Final iterate of every honest agent of ``trial``, ``(h, d)``."""
+        honest = list(self.honest_ids[trial])
+        return self.estimates[-1, trial, honest, :].copy()
+
+    def consensus_gap(self) -> np.ndarray:
+        """Max pairwise honest-iterate distance per trial/iteration, ``(S, T+1)``.
+
+        The decentralized analogue of the peer-to-peer consistency check:
+        on the complete graph it stays exactly zero; on sparse graphs it
+        measures how far the honest agents are from agreement.
+        """
+        t_plus_1, s, _, _ = self.estimates.shape
+        gaps = np.empty((s, t_plus_1))
+        for trial in range(s):
+            honest = list(self.honest_ids[trial])
+            points = self.estimates[:, trial, honest, :]  # (T+1, h, d)
+            diffs = points[:, :, None, :] - points[:, None, :, :]
+            gaps[trial] = np.linalg.norm(diffs, axis=3).max(axis=(1, 2))
+        return gaps
+
+    def distances_to(self, target: Sequence[float]) -> np.ndarray:
+        """Honest convergence radius per trial/iteration, ``(S, T + 1)``.
+
+        The radius is ``max_{i honest} ||x_i^t - target||`` — the quantity
+        the decentralized convergence statements bound.
+        """
+        tgt = np.asarray(target, dtype=float)
+        t_plus_1, s, _, _ = self.estimates.shape
+        radii = np.empty((s, t_plus_1))
+        for trial in range(s):
+            honest = list(self.honest_ids[trial])
+            points = self.estimates[:, trial, honest, :]
+            radii[trial] = np.linalg.norm(points - tgt, axis=2).max(axis=1)
+        return radii
+
+
+class DecentralizedSimulator(ProtocolEngine):
+    """Run ``S`` decentralized DGD trials over one topology in lockstep."""
+
+    def __init__(
+        self,
+        costs: Union[Sequence[CostFunction], CostStack],
+        topology: CommunicationTopology,
+        trials: Sequence[BatchTrial],
+        constraint: ConvexSet,
+        schedule: StepSchedule,
+        initial_estimate: Sequence[float],
+        mixing: bool = True,
+    ):
+        if not trials:
+            raise ValueError("need at least one trial")
+        self.mixing = bool(mixing)
+        self.stack: CostStack = (
+            costs if isinstance(costs, CostStack) else stack_costs(costs)
+        )
+        self.topology = topology
+        self.n = self.stack.n
+        self.d = self.stack.dim
+        if topology.n != self.n:
+            raise ValueError(
+                f"topology covers {topology.n} agents but {self.n} costs given"
+            )
+        self.trials: List[BatchTrial] = list(trials)
+        self.constraint = constraint
+
+        self.neighbor_index, self.neighbor_mask = topology.neighborhoods()
+        self.k = int(self.neighbor_index.shape[1])
+        self.uniform = topology.is_regular
+
+        default_initial = validate_initial_estimate(initial_estimate, self.d)
+        starts = []
+        self.rngs: List[np.random.Generator] = []
+        self._schedules: List[StepSchedule] = []
+        self._faulty: List[Tuple[int, ...]] = []
+        self._omniscient: List[bool] = []
+        for trial in self.trials:
+            faulty = validate_faulty_ids(trial.faulty_ids, self.n)
+            if len(faulty) >= self.n:
+                raise ValueError("at least one agent must be honest")
+            if faulty and trial.attack is None:
+                raise ValueError("trial has faulty agents but no attack")
+            omniscient = False
+            if trial.attack is not None:
+                omniscient = trial.omniscient_attack
+                if omniscient is None:
+                    omniscient = bool(trial.attack.requires_omniscience)
+                if trial.attack.requires_omniscience and not omniscient:
+                    raise ValueError(
+                        f"attack {trial.attack.name!r} requires omniscient access"
+                    )
+            self._faulty.append(faulty)
+            self._omniscient.append(bool(omniscient))
+            start = (
+                default_initial
+                if trial.initial_estimate is None
+                else validate_initial_estimate(trial.initial_estimate, self.d)
+            )
+            starts.append(start)
+            self.rngs.append(np.random.default_rng(trial.seed))
+            self._schedules.append(trial.schedule or schedule)
+
+        # Every agent starts from the trial's initial estimate: (S, n, d).
+        tiled = np.repeat(np.stack(starts)[:, None, :], self.n, axis=1)
+        self.estimates = self._project_all(tiled)
+        self.iteration = 0
+
+        self._attack_groups = self._group_attacks()
+        self._aggregator_groups = self._group_aggregators()
+        self._mixing_groups = (
+            group_indices(
+                len(self.trials), lambda index: len(self._faulty[index])
+            )
+            if self.mixing
+            else []
+        )
+        if self.mixing:
+            # Fail at construction, not mid-run: every mixing trim level
+            # must leave at least one iterate per closed neighborhood.
+            smallest = int(self.topology.closed_in_degrees.min())
+            for rep, _ in self._mixing_groups:
+                trim = len(self._faulty[rep])
+                if smallest - 2 * trim < 1:
+                    raise ValueError(
+                        f"closed in-degree {smallest} cannot support "
+                        f"consensus trimming at f={trim}"
+                    )
+        self._schedule_groups = [
+            (self._schedules[rep], idx)
+            for rep, idx in group_indices(
+                len(self.trials),
+                lambda index: _config_key(self._schedules[index]),
+            )
+        ]
+
+    # -- grouping ---------------------------------------------------------
+    def _group_attacks(self):
+        groups = []
+        for rep, idx in group_indices(
+            len(self.trials),
+            lambda index: (
+                _config_key(self.trials[index].attack),
+                self._faulty[index],
+                self._omniscient[index],
+            ),
+        ):
+            trial = self.trials[rep]
+            if trial.attack is None or not self._faulty[rep]:
+                continue
+            faulty = np.array(self._faulty[rep])
+            honest = np.array(
+                [i for i in range(self.n) if i not in set(self._faulty[rep])]
+            )
+            groups.append(
+                (
+                    trial.attack,
+                    faulty,
+                    honest,
+                    self._omniscient[rep],
+                    idx,
+                    self._edge_scatter(faulty),
+                    self._receiver_mask(faulty),
+                )
+            )
+        return groups
+
+    def _edge_scatter(self, faulty: np.ndarray):
+        """Indices rewriting gathered neighborhoods with per-edge fabrications.
+
+        Returns ``(receivers, slots, columns)``: slot ``slots[m]`` of
+        receiver ``receivers[m]``'s neighborhood carries the message of
+        faulty column ``columns[m]``.
+        """
+        hit = self.neighbor_mask & np.isin(self.neighbor_index, faulty)
+        receivers, slots = np.nonzero(hit)
+        column_of = {int(fid): c for c, fid in enumerate(faulty)}
+        columns = np.array(
+            [column_of[int(self.neighbor_index[r, s])] for r, s in zip(receivers, slots)],
+            dtype=int,
+        )
+        return receivers, slots, columns
+
+    def _receiver_mask(self, faulty: np.ndarray) -> np.ndarray:
+        """Closed out-neighborhood delivery mask per faulty agent, ``(F, n)``."""
+        mask = self.topology.adjacency[:, faulty].T.copy()
+        mask[np.arange(faulty.size), faulty] = True
+        return mask
+
+    def _group_aggregators(self):
+        groups = []
+        for rep, idx in group_indices(
+            len(self.trials),
+            lambda index: _config_key(self.trials[index].aggregator),
+        ):
+            aggregator = self.trials[rep].aggregator
+            kernel: Optional[Callable] = None
+            if not self.uniform:
+                kernel = masked_kernel_for(aggregator)
+                if kernel is None:
+                    raise ValueError(
+                        f"aggregator {aggregator.name!r} has no masked "
+                        "neighborhood kernel; irregular topologies support "
+                        "mean, cwtm, median, cge and cge_mean"
+                    )
+                try:
+                    kernel(
+                        np.zeros((1, self.n, self.k, self.d)),
+                        self.neighbor_mask,
+                    )
+                except ValueError as error:
+                    raise ValueError(
+                        f"aggregator {aggregator.name!r} cannot aggregate "
+                        f"the neighborhoods of topology "
+                        f"{self.topology.name!r}: {error}"
+                    ) from error
+            else:
+                # Fail at construction, not mid-run: filters built for the
+                # full system (n-derived parameters) must also fit the
+                # closed neighborhoods they actually aggregate here.
+                try:
+                    aggregator.aggregate_batch(np.zeros((1, self.k, self.d)))
+                except ValueError as error:
+                    raise ValueError(
+                        f"aggregator {aggregator.name!r} cannot aggregate "
+                        f"the size-{self.k} closed neighborhoods of "
+                        f"topology {self.topology.name!r}: {error}"
+                    ) from error
+            groups.append((aggregator, kernel, idx))
+        return groups
+
+    # -- helpers ----------------------------------------------------------
+    def _project_all(self, estimates: np.ndarray) -> np.ndarray:
+        s, n, d = estimates.shape
+        flat = self.constraint.project_batch(estimates.reshape(s * n, d))
+        return flat.reshape(s, n, d)
+
+    # -- protocol stages --------------------------------------------------
+    def observe(self) -> ProtocolRound:
+        """Every agent's local gradient at its own iterate: one einsum."""
+        return ProtocolRound(
+            iteration=self.iteration,
+            gradients=self.stack.gradients_each(self.estimates),  # (S, n, d)
+        )
+
+    def fabricate(self, round: ProtocolRound) -> None:
+        """Gather neighborhoods, then let each attack rewrite its edges."""
+        gradients = round.gradients
+        # (S, n, k, d): slot order is ascending sender id per receiver.
+        neighborhoods = gradients[:, self.neighbor_index, :]
+        for (
+            attack,
+            faulty,
+            honest,
+            omniscient,
+            idx,
+            scatter,
+            receivers,
+        ) in self._attack_groups:
+            context = DecentralizedAttackContext(
+                iteration=round.iteration,
+                reference_estimates=self.estimates[np.ix_(idx, honest[:1])][:, 0],
+                agent_estimates=self.estimates[idx],
+                faulty_ids=faulty.tolist(),
+                true_gradients=gradients[np.ix_(idx, faulty)],
+                honest_gradients=(
+                    gradients[np.ix_(idx, honest)] if omniscient else None
+                ),
+                honest_ids=honest.tolist(),
+                receivers=receivers,
+                rngs=[self.rngs[i] for i in idx],
+            )
+            fabricated = np.asarray(attack.fabricate_edges(context), dtype=float)
+            expected = (idx.size, faulty.size, self.n, self.d)
+            if fabricated.shape != expected:
+                raise RuntimeError(
+                    f"attack {attack.name!r} returned shape {fabricated.shape},"
+                    f" expected {expected}"
+                )
+            rows, slots, columns = scatter
+            neighborhoods[idx[:, None], rows[None, :], slots[None, :]] = (
+                fabricated[:, columns, rows]
+            )
+        round.views = neighborhoods
+
+    def aggregate(self, round: ProtocolRound) -> None:
+        """Neighborhood-wise filtering: folded or masked batch kernels."""
+        updates = np.empty((len(self.trials), self.n, self.d))
+        for aggregator, kernel, idx in self._aggregator_groups:
+            views = round.views[idx]  # (S_g, n, k, d)
+            if kernel is None:
+                folded = views.reshape(idx.size * self.n, self.k, self.d)
+                updates[idx] = aggregator.aggregate_batch(folded).reshape(
+                    idx.size, self.n, self.d
+                )
+            else:
+                updates[idx] = kernel(views, self.neighbor_mask)
+        round.aggregates = updates
+        if self.mixing:
+            round.extras["mix"] = self._mix_estimates()
+
+    def _mix_estimates(self) -> np.ndarray:
+        """Consensus step: trimmed mean of each closed neighborhood's iterates.
+
+        The decentralized convergence statements pair robust gradient
+        aggregation with an iterate-averaging (consensus) step — without it
+        honest agents descend toward *different* neighborhood-local fixed
+        points and never agree.  Trim level is each trial's fault count, so
+        fault-free trials mix with the plain neighborhood mean (classic
+        DGD consensus).  All agents — Byzantine included — are mixed from
+        the iterates the engine tracks; the adversary here attacks the
+        gradient channel (per-edge estimate fabrication is not modelled).
+        """
+        neighborhoods = self.estimates[:, self.neighbor_index, :]
+        mixed = np.empty_like(self.estimates)
+        for rep, idx in self._mixing_groups:
+            trim = len(self._faulty[rep])
+            views = neighborhoods[idx]
+            if self.uniform:
+                folded = views.reshape(idx.size * self.n, self.k, self.d)
+                mixed[idx] = trimmed_mean_batch(folded, trim).reshape(
+                    idx.size, self.n, self.d
+                )
+            else:
+                mixed[idx] = masked_trimmed_mean_batch(
+                    views, self.neighbor_mask, trim
+                )
+        return mixed
+
+    def project(self, round: ProtocolRound) -> np.ndarray:
+        """Projected update on all ``S * n`` iterates at once."""
+        etas = np.empty(len(self.trials))
+        for sched, idx in self._schedule_groups:
+            etas[idx] = sched(round.iteration)
+        base = round.extras["mix"] if self.mixing else self.estimates
+        candidates = base - etas[:, None, None] * round.aggregates
+        self.estimates = self._project_all(candidates)
+        self.iteration += 1
+        self._last_etas = etas
+        return self.estimates
+
+    # -- run recording ----------------------------------------------------
+    def _begin_run(self, iterations: int) -> None:
+        s = len(self.trials)
+        self._trajectory = np.empty((iterations + 1, s, self.n, self.d))
+        self._step_sizes = np.empty((iterations, s))
+        self._trajectory[0] = self.estimates
+        self._cursor = 0
+
+    def _record_step(self, estimates: np.ndarray) -> None:
+        k = self._cursor
+        self._trajectory[k + 1] = estimates
+        self._step_sizes[k] = self._last_etas
+        self._cursor = k + 1
+
+    def _run_result(self) -> DecentralizedTrace:
+        honest_ids = [
+            tuple(i for i in range(self.n) if i not in set(faulty))
+            for faulty in self._faulty
+        ]
+        labels = [
+            trial.label
+            or f"{self.topology.name}/{trial.aggregator.name}"
+            f"/{trial.attack.name if trial.attack else 'honest'}"
+            for trial in self.trials
+        ]
+        return DecentralizedTrace(
+            estimates=self._trajectory,
+            step_sizes=self._step_sizes,
+            honest_ids=honest_ids,
+            labels=labels,
+        )
+
+    def run(self, iterations: int) -> DecentralizedTrace:
+        """Run ``iterations`` lockstep rounds and return the trace."""
+        return super().run(iterations)
+
+
+def run_decentralized(
+    costs: Union[Sequence[CostFunction], CostStack],
+    topology: CommunicationTopology,
+    trials: Sequence[BatchTrial],
+    constraint: ConvexSet,
+    schedule: StepSchedule,
+    initial_estimate: Sequence[float],
+    iterations: int,
+    mixing: bool = True,
+) -> DecentralizedTrace:
+    """Convenience wrapper mirroring :func:`repro.distsys.batch.run_dgd_batch`."""
+    simulator = DecentralizedSimulator(
+        costs=costs,
+        topology=topology,
+        trials=trials,
+        constraint=constraint,
+        schedule=schedule,
+        initial_estimate=initial_estimate,
+        mixing=mixing,
+    )
+    return simulator.run(iterations)

@@ -1,0 +1,176 @@
+"""The protocol core shared by every execution engine.
+
+All of the repository's engines — the per-trial server simulator, the
+batched lockstep sweep engine, the peer-to-peer replica simulator and the
+decentralized graph engine — execute the *same* synchronous protocol round:
+
+1. **observe** — honest participants evaluate their local gradients at the
+   round's estimate(s);
+2. **fabricate** — the Byzantine adversary replaces the compromised
+   participants' messages (and, where no broadcast primitive is in force,
+   may equivocate per edge);
+3. **aggregate** — a gradient-filter condenses each decision maker's view
+   into one update direction;
+4. **project** — the projected gradient step moves the estimate(s).
+
+:class:`ProtocolEngine` owns that loop as a template method; each engine is
+a thin configuration supplying the four stage hooks.  The module also
+centralizes the engines' input validation: duplicate/out-of-range faulty
+ids and non-finite initial estimates fail loudly in every engine, and
+:func:`validate_fault_count` guards the engines that *declare* a tolerance
+``f`` separately from their fault set (the server simulator; batched
+trials carry no declared ``f`` — their fault count is the ground truth).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ProtocolRound",
+    "ProtocolEngine",
+    "validate_faulty_ids",
+    "validate_fault_count",
+    "validate_initial_estimate",
+]
+
+
+# -- shared input validation ---------------------------------------------------
+
+def validate_faulty_ids(faulty_ids: Sequence[int], n: int) -> Tuple[int, ...]:
+    """Normalize a faulty-id collection to a sorted tuple, loudly.
+
+    Rejects duplicate ids (historically silently de-duplicated, masking
+    misconfigured sweeps) and ids outside ``range(n)``.
+    """
+    ids = [int(i) for i in faulty_ids]
+    seen: set = set()
+    duplicates = sorted({i for i in ids if i in seen or seen.add(i)})
+    if duplicates:
+        raise ValueError(f"duplicate faulty ids {duplicates}")
+    unknown = sorted(i for i in ids if not 0 <= i < n)
+    if unknown:
+        raise ValueError(f"faulty ids {unknown} out of range for n={n}")
+    return tuple(sorted(ids))
+
+
+def validate_fault_count(f: int, n: int, n_faulty: int) -> int:
+    """Check the declared tolerance ``f`` against the actual fault count.
+
+    The paper treats ``f`` as a known system parameter: the server must
+    tolerate *up to* ``f`` faults, so a system declaring ``f`` while hosting
+    more than ``f`` Byzantine agents is a silent lie — every guarantee is
+    void while the run still "works".  Requires ``0 <= f < n`` and
+    ``n_faulty <= f``.
+    """
+    f = int(f)
+    if not 0 <= f < n:
+        raise ValueError(f"need 0 <= f < n, got n={n}, f={f}")
+    if n_faulty > f:
+        raise ValueError(
+            f"{n_faulty} Byzantine agents exceed the declared tolerance f={f}"
+        )
+    return f
+
+
+def validate_initial_estimate(
+    initial_estimate: Sequence[float], dim: Optional[int] = None
+) -> np.ndarray:
+    """Coerce the initial estimate to a finite 1-D float vector."""
+    arr = np.asarray(initial_estimate, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(
+            f"initial estimate must be a 1-D vector, got shape {arr.shape}"
+        )
+    if dim is not None and arr.shape != (dim,):
+        raise ValueError(
+            f"initial estimate must have shape ({dim},), got {arr.shape}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("initial estimate contains non-finite entries")
+    return arr
+
+
+# -- the protocol round --------------------------------------------------------
+
+@dataclass
+class ProtocolRound:
+    """Mutable state threaded through one observe→fabricate→aggregate→project
+    round.
+
+    Engines populate the slots they need: the per-trial server engine keeps a
+    gradient *dict* keyed by agent id, the batch engines keep ``(S, n, d)``
+    tensors, and the peer-to-peer engine additionally records each replica's
+    post-broadcast ``views``.  ``extras`` carries engine-specific context
+    (e.g. the live Byzantine agents of the round).
+    """
+
+    iteration: int
+    estimate: Optional[np.ndarray] = None     # shared estimate x_t (server/P2P)
+    gradients: Any = None                     # observed→delivered messages
+    views: Any = None                         # per-receiver delivery (P2P)
+    aggregates: Any = None                    # filter output(s)
+    eliminated: List[int] = field(default_factory=list)
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+
+class ProtocolEngine(abc.ABC):
+    """Template method owning the canonical synchronous protocol loop.
+
+    Subclasses implement the four stage hooks; the base class owns the round
+    ordering, the run loop, and the (optional) per-run recording hooks used
+    by trace-producing engines.
+    """
+
+    #: current iteration index; engines mirroring external state (e.g. the
+    #: server's counter) may override this as a property.
+    iteration: int = 0
+
+    # -- stage hooks ------------------------------------------------------
+    @abc.abstractmethod
+    def observe(self) -> ProtocolRound:
+        """Collect the honest participants' gradients for this round."""
+
+    @abc.abstractmethod
+    def fabricate(self, round: ProtocolRound) -> None:
+        """Let the Byzantine adversary replace/deliver compromised messages."""
+
+    @abc.abstractmethod
+    def aggregate(self, round: ProtocolRound) -> None:
+        """Apply the gradient-filter(s) to each decision maker's view."""
+
+    @abc.abstractmethod
+    def project(self, round: ProtocolRound) -> Any:
+        """Apply the projected update; returns the engine's step result."""
+
+    # -- the loop ---------------------------------------------------------
+    def step(self) -> Any:
+        """Run one full protocol round through the four stages."""
+        round = self.observe()
+        self.fabricate(round)
+        self.aggregate(round)
+        return self.project(round)
+
+    def run(self, iterations: int) -> Any:
+        """Run ``iterations`` rounds; returns the engine's run result."""
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        self._begin_run(iterations)
+        for _ in range(iterations):
+            self._record_step(self.step())
+        return self._run_result()
+
+    # -- per-run recording hooks (trace-producing engines override) -------
+    def _begin_run(self, iterations: int) -> None:
+        """Allocate per-run recording state (default: none)."""
+
+    def _record_step(self, result: Any) -> None:
+        """Record one step's result during :meth:`run` (default: none)."""
+
+    def _run_result(self) -> Any:
+        """The value :meth:`run` returns (default: ``None``)."""
+        return None

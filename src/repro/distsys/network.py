@@ -26,6 +26,7 @@ from ..attacks.base import AttackContext, ByzantineAttack
 from ..functions.base import CostFunction
 from ..optim.projections import ConvexSet
 from ..optim.schedules import StepSchedule
+from .engine import validate_faulty_ids
 from .messages import GradientReply, GradientRequest
 from .server import RobustServer
 from .trace import ExecutionTrace, IterationRecord
@@ -111,9 +112,7 @@ class MessagePassingDGD:
     ):
         self.costs = list(costs)
         self.n_initial = len(self.costs)
-        self.faulty = frozenset(int(i) for i in faulty_ids)
-        if any(i < 0 or i >= self.n_initial for i in self.faulty):
-            raise ValueError("faulty id out of range")
+        self.faulty = frozenset(validate_faulty_ids(faulty_ids, self.n_initial))
         if self.faulty and attack is None:
             raise ValueError("faulty agents present but no attack given")
         self.attack = attack

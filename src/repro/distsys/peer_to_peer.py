@@ -23,11 +23,17 @@ from ..functions.base import CostFunction
 from ..optim.projections import ConvexSet
 from ..optim.schedules import StepSchedule
 from .broadcast import BroadcastAdversary, EquivocatingAdversary, byzantine_broadcast
+from .engine import (
+    ProtocolEngine,
+    ProtocolRound,
+    validate_faulty_ids,
+    validate_initial_estimate,
+)
 
 __all__ = ["PeerToPeerSimulator"]
 
 
-class PeerToPeerSimulator:
+class PeerToPeerSimulator(ProtocolEngine):
     """Complete-network peer-to-peer robust DGD with Byzantine broadcast."""
 
     def __init__(
@@ -45,9 +51,7 @@ class PeerToPeerSimulator:
     ):
         self.n = len(costs)
         self.costs = list(costs)
-        self.faulty = frozenset(int(i) for i in faulty_ids)
-        if any(i < 0 or i >= self.n for i in self.faulty):
-            raise ValueError("faulty id out of range")
+        self.faulty = frozenset(validate_faulty_ids(faulty_ids, self.n))
         self.f = len(self.faulty)
         if enforce_threshold and self.f > 0 and self.n <= 3 * self.f:
             raise ValueError(
@@ -64,7 +68,7 @@ class PeerToPeerSimulator:
         self.constraint = constraint
         self.schedule = schedule
         self.rng = np.random.default_rng(seed)
-        start = constraint.project(np.asarray(initial_estimate, dtype=float))
+        start = constraint.project(validate_initial_estimate(initial_estimate))
         self.honest_ids: List[int] = [
             i for i in range(self.n) if i not in self.faulty
         ]
@@ -102,51 +106,76 @@ class PeerToPeerSimulator:
                     views[i][j] = decided[i]
         return views
 
-    def step(self) -> None:
-        """One synchronous iteration across all honest replicas."""
-        t = self.iteration
+    # -- protocol stages --------------------------------------------------
+    def observe(self) -> ProtocolRound:
+        """Each honest agent evaluates its local gradient at its replica."""
         # Honest replicas hold identical estimates; use any as the round's x_t.
         reference = self.estimates[self.honest_ids[0]]
-
         outgoing: Dict[int, np.ndarray] = {}
         honest_grads: Dict[int, np.ndarray] = {}
         for i in self.honest_ids:
             grad = self.costs[i].gradient(self.estimates[i])
             outgoing[i] = grad
             honest_grads[i] = grad
+        return ProtocolRound(
+            iteration=self.iteration,
+            estimate=reference,
+            gradients=outgoing,
+            extras={"honest_grads": honest_grads},
+        )
+
+    def fabricate(self, round: ProtocolRound) -> None:
+        """Fabricate faulty gradients, then deliver everything through OM(f).
+
+        Delivery belongs to the adversarial stage here: traitor nodes may
+        equivocate while relaying, and it is the broadcast primitive — not
+        honest bookkeeping — that forces one consistent view per sender.
+        """
+        outgoing = round.gradients
         if self.faulty:
             context = AttackContext(
-                iteration=t,
-                estimate=reference,
+                iteration=round.iteration,
+                estimate=round.estimate,
                 faulty_ids=sorted(self.faulty),
                 true_gradients={
-                    i: self.costs[i].gradient(reference) for i in self.faulty
+                    i: self.costs[i].gradient(round.estimate)
+                    for i in self.faulty
                 },
                 honest_gradients=(
-                    honest_grads if self.attack.requires_omniscience else None
+                    round.extras["honest_grads"]
+                    if self.attack.requires_omniscience
+                    else None
                 ),
                 rng=self.rng,
             )
             fabricated = self.attack.fabricate(context)
             for i in sorted(self.faulty):
                 outgoing[i] = np.asarray(fabricated[i], dtype=float)
+        round.views = self._broadcast_gradients(outgoing)
 
-        views = self._broadcast_gradients(outgoing)
-        eta = self.schedule(t)
+    def aggregate(self, round: ProtocolRound) -> None:
+        """Every honest replica filters its agreed (n, d) stack locally."""
+        round.aggregates = {
+            i: self.aggregator.aggregate(
+                np.vstack([round.views[i][j] for j in range(self.n)])
+            )
+            for i in self.honest_ids
+        }
+
+    def project(self, round: ProtocolRound) -> None:
+        """Identical deterministic projected update on every replica."""
+        eta = self.schedule(round.iteration)
         for i in self.honest_ids:
-            stack = np.vstack([views[i][j] for j in range(self.n)])
-            aggregate = self.aggregator.aggregate(stack)
-            candidate = self.estimates[i] - eta * aggregate
+            candidate = self.estimates[i] - eta * round.aggregates[i]
             self.estimates[i] = self.constraint.project(candidate)
         self.iteration += 1
 
+    def _run_result(self) -> Dict[int, np.ndarray]:
+        return {i: x.copy() for i, x in self.estimates.items()}
+
     def run(self, iterations: int) -> Dict[int, np.ndarray]:
         """Run ``iterations`` steps; returns the honest estimates."""
-        if iterations <= 0:
-            raise ValueError("iterations must be positive")
-        for _ in range(iterations):
-            self.step()
-        return {i: x.copy() for i, x in self.estimates.items()}
+        return super().run(iterations)
 
     def consistency_gap(self) -> float:
         """Max distance between any two honest replicas' estimates.

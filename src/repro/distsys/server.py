@@ -17,6 +17,7 @@ from ..aggregators.base import GradientAggregator
 from ..aggregators.registry import make_aggregator
 from ..optim.projections import ConvexSet
 from ..optim.schedules import StepSchedule
+from .engine import validate_initial_estimate
 
 __all__ = ["RobustServer"]
 
@@ -33,9 +34,7 @@ class RobustServer:
         n: int,
         f: int,
     ):
-        est = np.asarray(initial_estimate, dtype=float)
-        if est.ndim != 1:
-            raise ValueError("initial estimate must be a 1-D vector")
+        est = validate_initial_estimate(initial_estimate)
         if not 0 <= f < n:
             raise ValueError(f"need 0 <= f < n, got n={n}, f={f}")
         self.estimate = constraint.project(est)
@@ -73,20 +72,28 @@ class RobustServer:
             )
         return removed
 
+    def filter_gradients(self, gradients: Dict[int, np.ndarray]) -> np.ndarray:
+        """The aggregation half of step S2: filter the received gradients."""
+        if len(gradients) != self.n:
+            raise ValueError(
+                f"received {len(gradients)} gradients for a system of {self.n}"
+            )
+        stack = np.vstack([gradients[i] for i in sorted(gradients)])
+        return self.aggregator.aggregate(stack)
+
+    def descend(self, aggregate: np.ndarray) -> None:
+        """The update half of step S2: the projected step of equation (21)."""
+        eta = self.schedule(self.iteration)
+        candidate = self.estimate - eta * aggregate
+        self.estimate = self.constraint.project(candidate)
+        self.iteration += 1
+
     def apply_update(self, gradients: Dict[int, np.ndarray]) -> np.ndarray:
         """Step S2: filter the received gradients and move the estimate.
 
         Returns the filtered aggregate (useful for tracing); the new
         estimate is available as :attr:`estimate`.
         """
-        if len(gradients) != self.n:
-            raise ValueError(
-                f"received {len(gradients)} gradients for a system of {self.n}"
-            )
-        stack = np.vstack([gradients[i] for i in sorted(gradients)])
-        aggregate = self.aggregator.aggregate(stack)
-        eta = self.schedule(self.iteration)
-        candidate = self.estimate - eta * aggregate
-        self.estimate = self.constraint.project(candidate)
-        self.iteration += 1
+        aggregate = self.filter_gradients(gradients)
+        self.descend(aggregate)
         return aggregate

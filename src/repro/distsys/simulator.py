@@ -6,6 +6,13 @@ filtered projected update), fabricating Byzantine replies through a
 :class:`~repro.attacks.base.ByzantineAttack` and recording a full
 :class:`~repro.distsys.trace.ExecutionTrace`.
 
+The loop itself is the shared protocol core of
+:class:`~repro.distsys.engine.ProtocolEngine`: this engine is its
+server-based configuration — *observe* collects replies and applies step
+S1's elimination rule, *fabricate* substitutes the attack's gradients,
+*aggregate* applies the server's gradient-filter and *project* performs the
+equation-(21) update and records the iteration.
+
 This in-process simulator replaces the paper's MPI deployment; determinism
 comes from a single seeded generator shared by the attack.
 """
@@ -21,14 +28,20 @@ from ..attacks.base import AttackContext, ByzantineAttack
 from ..optim.projections import ConvexSet
 from ..optim.schedules import StepSchedule
 from .agents import Agent, ByzantineAgent, HonestAgent
-from .messages import GradientReply, GradientRequest, Silence
+from .engine import (
+    ProtocolEngine,
+    ProtocolRound,
+    validate_fault_count,
+    validate_faulty_ids,
+)
+from .messages import GradientRequest, Silence
 from .server import RobustServer
 from .trace import ExecutionTrace, IterationRecord
 
 __all__ = ["SynchronousSimulator", "run_dgd"]
 
 
-class SynchronousSimulator:
+class SynchronousSimulator(ProtocolEngine):
     """Round-based driver for robust distributed gradient descent."""
 
     def __init__(
@@ -49,6 +62,7 @@ class SynchronousSimulator:
         self.agents: Dict[int, Agent] = {a.agent_id: a for a in agents}
         self.active_ids: List[int] = sorted(self.agents)
         byzantine = [a for a in agents if a.is_byzantine]
+        validate_fault_count(f, len(agents), len(byzantine))
         if byzantine and attack is None:
             raise ValueError("byzantine agents present but no attack given")
         self.attack = attack
@@ -70,9 +84,14 @@ class SynchronousSimulator:
         )
         self.trace = ExecutionTrace()
 
-    # -- one iteration ----------------------------------------------------
-    def step(self) -> IterationRecord:
-        """Run one full iteration (S1 + S2) and record it."""
+    @property
+    def iteration(self) -> int:
+        """Current iteration index (mirrors the server's counter)."""
+        return self.server.iteration
+
+    # -- protocol stages --------------------------------------------------
+    def observe(self) -> ProtocolRound:
+        """S1: request replies, collect honest gradients, eliminate silent."""
         t = self.server.iteration
         estimate_before = self.server.estimate.copy()
         request = GradientRequest(iteration=t, estimate=estimate_before)
@@ -97,53 +116,73 @@ class SynchronousSimulator:
         eliminated = self.server.eliminate_silent(silent)
         for agent_id in eliminated:
             self.active_ids.remove(agent_id)
-
-        gradients: Dict[int, np.ndarray] = dict(honest_replies)
-        if live_byzantine:
-            context = AttackContext(
-                iteration=t,
-                estimate=estimate_before,
-                faulty_ids=[a.agent_id for a in live_byzantine],
-                true_gradients={
-                    a.agent_id: a.true_gradient(estimate_before)
-                    for a in live_byzantine
-                },
-                honest_gradients=(
-                    dict(honest_replies) if self.omniscient_attack else None
-                ),
-                rng=self.rng,
-            )
-            fabricated = self.attack.fabricate(context)
-            missing = set(context.faulty_ids) - set(fabricated)
-            if missing:
-                raise RuntimeError(
-                    f"attack produced no gradient for agents {sorted(missing)}"
-                )
-            for agent_id in context.faulty_ids:
-                gradients[agent_id] = np.asarray(
-                    fabricated[agent_id], dtype=float
-                )
-
-        aggregate = self.server.apply_update(gradients)
-        record = IterationRecord(
+        return ProtocolRound(
             iteration=t,
             estimate=estimate_before,
-            gradients=gradients,
-            aggregate=aggregate,
-            step_size=self.server.schedule(t),
-            next_estimate=self.server.estimate.copy(),
+            gradients=dict(honest_replies),
             eliminated=eliminated,
+            extras={
+                "honest_replies": honest_replies,
+                "live_byzantine": live_byzantine,
+            },
+        )
+
+    def fabricate(self, round: ProtocolRound) -> None:
+        """Substitute the attack's gradients for the live Byzantine agents."""
+        live_byzantine: List[ByzantineAgent] = round.extras["live_byzantine"]
+        if not live_byzantine:
+            return
+        honest_replies = round.extras["honest_replies"]
+        context = AttackContext(
+            iteration=round.iteration,
+            estimate=round.estimate,
+            faulty_ids=[a.agent_id for a in live_byzantine],
+            true_gradients={
+                a.agent_id: a.true_gradient(round.estimate)
+                for a in live_byzantine
+            },
+            honest_gradients=(
+                dict(honest_replies) if self.omniscient_attack else None
+            ),
+            rng=self.rng,
+        )
+        fabricated = self.attack.fabricate(context)
+        missing = set(context.faulty_ids) - set(fabricated)
+        if missing:
+            raise RuntimeError(
+                f"attack produced no gradient for agents {sorted(missing)}"
+            )
+        for agent_id in context.faulty_ids:
+            round.gradients[agent_id] = np.asarray(
+                fabricated[agent_id], dtype=float
+            )
+
+    def aggregate(self, round: ProtocolRound) -> None:
+        """S2 (first half): apply the server's gradient-filter."""
+        round.aggregates = self.server.filter_gradients(round.gradients)
+
+    def project(self, round: ProtocolRound) -> IterationRecord:
+        """S2 (second half): projected update; record the iteration."""
+        self.server.descend(round.aggregates)
+        record = IterationRecord(
+            iteration=round.iteration,
+            estimate=round.estimate,
+            gradients=round.gradients,
+            aggregate=round.aggregates,
+            step_size=self.server.schedule(round.iteration),
+            next_estimate=self.server.estimate.copy(),
+            eliminated=round.eliminated,
         )
         self.trace.append(record)
         return record
 
+    # -- run --------------------------------------------------------------
+    def _run_result(self) -> ExecutionTrace:
+        return self.trace
+
     def run(self, iterations: int) -> ExecutionTrace:
         """Run ``iterations`` steps and return the accumulated trace."""
-        if iterations <= 0:
-            raise ValueError("iterations must be positive")
-        for _ in range(iterations):
-            self.step()
-        return self.trace
+        return super().run(iterations)
 
     @property
     def estimate(self) -> np.ndarray:
@@ -170,10 +209,7 @@ def run_dgd(
     to ``len(faulty_ids)`` — the simulation's ground truth, which the server
     is told (as in the paper, ``f`` is a known system parameter).
     """
-    faulty = set(faulty_ids)
-    unknown = faulty - set(range(len(costs)))
-    if unknown:
-        raise ValueError(f"faulty ids {sorted(unknown)} out of range")
+    faulty = set(validate_faulty_ids(faulty_ids, len(costs)))
     agents: List[Agent] = []
     for i, cost in enumerate(costs):
         if i in faulty:

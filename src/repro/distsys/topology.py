@@ -1,0 +1,374 @@
+"""Communication topologies for the topology-aware execution core.
+
+The server-based architecture of the source paper is a *complete* network:
+every agent talks to the coordinator, which is equivalent to a complete
+communication graph.  The companion decentralized works (arXiv:2101.12316,
+arXiv:2009.14763) study sparse graphs where each agent only hears its
+in-neighborhood.  :class:`CommunicationTopology` captures that structure —
+a boolean adjacency matrix plus the per-node neighborhood gather indices
+the batched engines need — and a small registry provides the standard
+families: complete, ring (with a hop radius), 2-D torus, random regular and
+Erdős–Rényi.
+
+Conventions:
+
+* ``adjacency[i, j] is True`` ⇔ agent ``i`` *receives from* agent ``j``;
+* the diagonal is always ``False`` — engines add each agent's own message
+  through the *closed* neighborhood helpers;
+* all built-in families are undirected (symmetric adjacency), but the class
+  accepts arbitrary digraphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CommunicationTopology",
+    "complete_topology",
+    "ring_topology",
+    "torus_topology",
+    "random_regular_topology",
+    "erdos_renyi_topology",
+    "make_topology",
+    "available_topologies",
+    "topology_descriptions",
+]
+
+
+@dataclass(frozen=True)
+class CommunicationTopology:
+    """A named communication graph over ``n`` agents.
+
+    ``adjacency[i, j]`` means agent ``i`` receives agent ``j``'s messages.
+    """
+
+    name: str
+    adjacency: np.ndarray
+
+    def __post_init__(self):
+        arr = np.asarray(self.adjacency, dtype=bool)
+        if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+            raise ValueError(
+                f"adjacency must be square, got shape {arr.shape}"
+            )
+        if arr.shape[0] < 1:
+            raise ValueError("topology needs at least one agent")
+        if np.any(np.diag(arr)):
+            raise ValueError(
+                "adjacency diagonal must be False (self-messages are "
+                "implicit through the closed neighborhoods)"
+            )
+        object.__setattr__(self, "adjacency", arr)
+
+    # -- basic structure --------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of agents."""
+        return int(self.adjacency.shape[0])
+
+    @property
+    def in_degrees(self) -> np.ndarray:
+        """Open in-degree of every agent (self excluded), shape ``(n,)``."""
+        return self.adjacency.sum(axis=1)
+
+    @property
+    def closed_in_degrees(self) -> np.ndarray:
+        """Closed in-degree (self included) of every agent, shape ``(n,)``."""
+        return self.in_degrees + 1
+
+    @property
+    def is_regular(self) -> bool:
+        """Whether every agent has the same in-degree."""
+        degrees = self.in_degrees
+        return bool(np.all(degrees == degrees[0]))
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every agent hears every other agent."""
+        return bool(np.all(self.in_degrees == self.n - 1))
+
+    def in_neighbors(self, agent: int) -> np.ndarray:
+        """Ids whose messages ``agent`` receives (self excluded), ascending."""
+        return np.flatnonzero(self.adjacency[agent])
+
+    def closed_in_neighbors(self, agent: int) -> np.ndarray:
+        """Ascending in-neighborhood of ``agent`` including itself."""
+        row = self.adjacency[agent].copy()
+        row[agent] = True
+        return np.flatnonzero(row)
+
+    def out_neighbors(self, agent: int) -> np.ndarray:
+        """Ids that receive ``agent``'s messages (self excluded), ascending."""
+        return np.flatnonzero(self.adjacency[:, agent])
+
+    # -- batched gather structure -----------------------------------------
+    def neighborhoods(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Padded closed-neighborhood gather indices for the batch engines.
+
+        Returns ``(index, mask)`` of shape ``(n, k)`` with
+        ``k = max closed in-degree``: row ``i`` lists agent ``i``'s closed
+        in-neighborhood ascending, padded with ``0`` where ``mask`` is
+        ``False``.  Gathering a message tensor ``(S, n, d)`` through
+        ``index`` yields the ``(S, n, k, d)`` neighborhood stacks consumed
+        by the neighborhood-wise gradient filters.
+        """
+        k = int(self.closed_in_degrees.max())
+        index = np.zeros((self.n, k), dtype=int)
+        mask = np.zeros((self.n, k), dtype=bool)
+        for i in range(self.n):
+            neighborhood = self.closed_in_neighbors(i)
+            index[i, : neighborhood.size] = neighborhood
+            mask[i, : neighborhood.size] = True
+        return index, mask
+
+    # -- global structure --------------------------------------------------
+    def _reachable(self, adjacency: np.ndarray) -> np.ndarray:
+        frontier = np.zeros(self.n, dtype=bool)
+        frontier[0] = True
+        while True:
+            # receivers reachable in one more hop: i with an edge from any
+            # already-reached j (adjacency[i, j]).
+            expanded = frontier | (adjacency @ frontier)
+            if np.array_equal(expanded, frontier):
+                return frontier
+            frontier = expanded
+
+    def is_connected(self) -> bool:
+        """Strong connectivity (for symmetric graphs: plain connectivity)."""
+        if self.n == 1:
+            return True
+        return bool(
+            self._reachable(self.adjacency).all()
+            and self._reachable(self.adjacency.T).all()
+        )
+
+    def algebraic_connectivity(self) -> float:
+        """Second-smallest Laplacian eigenvalue of the undirected skeleton.
+
+        The classic connectivity measure λ₂ (Fiedler value): zero iff the
+        graph is disconnected, and growing with how well-knit it is — the
+        quantity decentralized convergence rates are usually stated in.
+        """
+        undirected = (self.adjacency | self.adjacency.T).astype(float)
+        laplacian = np.diag(undirected.sum(axis=1)) - undirected
+        eigenvalues = np.linalg.eigvalsh(laplacian)
+        return float(eigenvalues[1]) if self.n > 1 else 0.0
+
+    def __repr__(self) -> str:
+        degrees = self.in_degrees
+        return (
+            f"CommunicationTopology(name={self.name!r}, n={self.n},"
+            f" in_degree=[{int(degrees.min())}..{int(degrees.max())}])"
+        )
+
+
+# -- builders ------------------------------------------------------------------
+
+def complete_topology(n: int) -> CommunicationTopology:
+    """Every agent hears every other agent — the server-equivalent graph."""
+    if n < 1:
+        raise ValueError("topology needs at least one agent")
+    adjacency = np.ones((n, n), dtype=bool)
+    np.fill_diagonal(adjacency, False)
+    return CommunicationTopology("complete", adjacency)
+
+
+def ring_topology(n: int, hops: int = 1) -> CommunicationTopology:
+    """Circulant ring: each agent hears its ``hops`` nearest on each side."""
+    if n < 1:
+        raise ValueError("topology needs at least one agent")
+    if hops < 1:
+        raise ValueError("hops must be positive")
+    adjacency = np.zeros((n, n), dtype=bool)
+    # Offsets beyond the ring diameter add no edges; name the topology by
+    # the *effective* hop count so identical graphs never carry two labels.
+    effective_hops = min(hops, (n - 1) // 2 + (n - 1) % 2)
+    for offset in range(1, effective_hops + 1):
+        for i in range(n):
+            adjacency[i, (i + offset) % n] = True
+            adjacency[i, (i - offset) % n] = True
+    np.fill_diagonal(adjacency, False)
+    name = "ring" if effective_hops <= 1 else f"ring{effective_hops}"
+    return CommunicationTopology(name, adjacency)
+
+
+def _near_square_factors(n: int) -> Tuple[int, int]:
+    """The factor pair ``(rows, cols)`` of ``n`` with minimal aspect ratio."""
+    best = (1, n)
+    for rows in range(2, int(np.sqrt(n)) + 1):
+        if n % rows == 0:
+            best = (rows, n // rows)
+    return best
+
+
+def torus_topology(
+    n: int, rows: int = 0, cols: int = 0
+) -> CommunicationTopology:
+    """2-D torus (wrap-around grid) with 4-neighbor connectivity.
+
+    ``rows``/``cols`` default to the most nearly square factorization of
+    ``n``; for prime ``n`` that degenerates to a ``1 x n`` torus (a ring).
+    Giving only one of the two derives the other from ``n``.
+    """
+    if rows or cols:
+        if rows < 0 or cols < 0:
+            raise ValueError(
+                f"torus dimensions must be positive, got rows={rows}, cols={cols}"
+            )
+        rows = rows or (n // cols if cols else 0)
+        cols = cols or (n // rows if rows else 0)
+        if rows * cols != n:
+            raise ValueError(f"torus {rows}x{cols} does not cover n={n}")
+    else:
+        rows, cols = _near_square_factors(n)
+    adjacency = np.zeros((n, n), dtype=bool)
+    for r in range(rows):
+        for c in range(cols):
+            i = r * cols + c
+            for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                j = ((r + dr) % rows) * cols + (c + dc) % cols
+                adjacency[i, j] = True
+    np.fill_diagonal(adjacency, False)
+    return CommunicationTopology(f"torus{rows}x{cols}", adjacency)
+
+
+def random_regular_topology(
+    n: int, degree: int = 3, seed: int = 0, max_attempts: int = 200
+) -> CommunicationTopology:
+    """Uniform-ish random ``degree``-regular graph via the pairing model.
+
+    Draws stub matchings until one is simple (no self-loops, no repeated
+    edges); requires ``n * degree`` even and ``degree < n``.
+    """
+    if not 0 < degree < n:
+        raise ValueError(f"need 0 < degree < n, got degree={degree}, n={n}")
+    if (n * degree) % 2 != 0:
+        raise ValueError(
+            f"no {degree}-regular graph on {n} nodes (n * degree is odd)"
+        )
+    rng = np.random.default_rng(seed)
+    stubs = np.repeat(np.arange(n), degree)
+    for _ in range(max_attempts):
+        shuffled = rng.permutation(stubs)
+        left, right = shuffled[0::2], shuffled[1::2]
+        if np.any(left == right):
+            continue
+        adjacency = np.zeros((n, n), dtype=bool)
+        simple = True
+        for a, b in zip(left, right):
+            if adjacency[a, b]:
+                simple = False
+                break
+            adjacency[a, b] = adjacency[b, a] = True
+        if simple:
+            return CommunicationTopology(f"regular{degree}", adjacency)
+    raise RuntimeError(
+        f"failed to sample a simple {degree}-regular graph on {n} nodes "
+        f"in {max_attempts} attempts"
+    )
+
+
+def erdos_renyi_topology(
+    n: int,
+    p: float = 0.5,
+    seed: int = 0,
+    require_connected: bool = True,
+    max_attempts: int = 200,
+) -> CommunicationTopology:
+    """Erdős–Rényi ``G(n, p)`` (undirected); optionally resampled until
+    connected.
+
+    The canonical *irregular* family: in-degrees differ across agents, which
+    exercises the masked (ragged-neighborhood) aggregation kernels.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    for _ in range(max_attempts):
+        upper = rng.random((n, n)) < p
+        adjacency = np.triu(upper, k=1)
+        adjacency = adjacency | adjacency.T
+        topology = CommunicationTopology(f"er{p:g}", adjacency)
+        if not require_connected or topology.is_connected():
+            return topology
+    raise RuntimeError(
+        f"failed to sample a connected G({n}, {p}) in {max_attempts} "
+        "attempts; lower require_connected or raise p"
+    )
+
+
+# -- registry ------------------------------------------------------------------
+
+#: Registry: name -> (description, accepted parameter names, builder).
+_TOPOLOGIES: Dict[
+    str, Tuple[str, frozenset, Callable[..., CommunicationTopology]]
+] = {
+    "complete": (
+        "every agent hears every other agent (server-equivalent graph)",
+        frozenset(),
+        lambda n, seed, **kw: complete_topology(n),
+    ),
+    "ring": (
+        "circulant ring; each agent hears its `hops` nearest per side",
+        frozenset({"hops"}),
+        lambda n, seed, **kw: ring_topology(n, hops=kw.get("hops", 1)),
+    ),
+    "torus": (
+        "2-D wrap-around grid with 4-neighbor connectivity",
+        frozenset({"rows", "cols"}),
+        lambda n, seed, **kw: torus_topology(
+            n, rows=kw.get("rows", 0), cols=kw.get("cols", 0)
+        ),
+    ),
+    "random_regular": (
+        "random simple `degree`-regular graph (pairing model)",
+        frozenset({"degree"}),
+        lambda n, seed, **kw: random_regular_topology(
+            n, degree=kw.get("degree", 3), seed=seed
+        ),
+    ),
+    "erdos_renyi": (
+        "Erdős–Rényi G(n, p), resampled until connected; irregular degrees",
+        frozenset({"p"}),
+        lambda n, seed, **kw: erdos_renyi_topology(
+            n, p=kw.get("p", 0.5), seed=seed
+        ),
+    ),
+}
+
+
+def available_topologies() -> List[str]:
+    """Sorted registry names."""
+    return sorted(_TOPOLOGIES)
+
+
+def topology_descriptions() -> Dict[str, str]:
+    """One-line description per registered topology family."""
+    return {name: entry[0] for name, entry in sorted(_TOPOLOGIES.items())}
+
+
+def make_topology(
+    name: str, n: int, seed: int = 0, **params
+) -> CommunicationTopology:
+    """Build topology family ``name`` on ``n`` agents.
+
+    Family-specific parameters (``hops``, ``degree``, ``p``, ``rows``,
+    ``cols``) pass through as keyword arguments.
+    """
+    try:
+        _, accepted, builder = _TOPOLOGIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown topology {name!r}; known: {', '.join(available_topologies())}"
+        ) from None
+    unknown = sorted(set(params) - accepted)
+    if unknown:
+        raise TypeError(
+            f"topology {name!r} does not accept parameter(s) {unknown}; "
+            f"accepted: {sorted(accepted) or 'none'}"
+        )
+    return builder(n, seed, **params)

@@ -86,6 +86,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-f", type=int, default=2)
 
     p = sub.add_parser(
+        "decentralized",
+        help="decentralized graph engine: topology x connectivity x f sweep",
+    )
+    p.add_argument("--iterations", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        help="seeds per cell (only stochastic attacks vary across seeds)",
+    )
+
+    sub.add_parser(
+        "list",
+        help="discoverability: registered aggregators, attacks and topologies",
+    )
+
+    p = sub.add_parser(
         "all", help="regenerate every artifact into a directory"
     )
     p.add_argument("--out", default="results", help="output directory")
@@ -96,6 +114,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=0)
     return parser
+
+
+def _render_registries() -> str:
+    """The ``list`` subcommand: every registry with one-line descriptions."""
+    from ..aggregators.registry import aggregator_descriptions
+    from ..attacks.registry import attack_descriptions
+    from ..distsys.topology import topology_descriptions
+
+    sections = (
+        ("Gradient filters (aggregators)", aggregator_descriptions()),
+        ("Byzantine attacks", attack_descriptions()),
+        ("Communication topologies", topology_descriptions()),
+    )
+    blocks: List[str] = []
+    for title, descriptions in sections:
+        width = max(len(name) for name in descriptions)
+        lines = [title, "-" * len(title)]
+        lines.extend(
+            f"  {name:<{width}}  {description}"
+            for name, description in descriptions.items()
+        )
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
 
 
 def _run_table1(args: argparse.Namespace) -> str:
@@ -310,6 +351,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         problem = paper_problem()
         rows = resilience_frontier(problem.costs, max_f=args.max_f)
         print(render_frontier(rows, n=problem.n))
+    elif args.command == "decentralized":
+        from .decentralized import decentralized_sweep, render_decentralized_report
+
+        rows = decentralized_sweep(
+            iterations=args.iterations,
+            seeds=tuple(range(args.seed, args.seed + args.seeds)),
+        )
+        print(render_decentralized_report(rows, iterations=args.iterations))
+    elif args.command == "list":
+        print(_render_registries())
     elif args.command == "all":
         _run_everything(args)
     else:  # pragma: no cover - argparse enforces the choices

@@ -55,6 +55,28 @@ class CostStack(abc.ABC):
     def values(self, points: np.ndarray) -> np.ndarray:
         """All agents' cost values at each point: ``(S, d) -> (S, n)``."""
 
+    def gradients_each(self, points: np.ndarray) -> np.ndarray:
+        """Each agent's gradient at *its own* point: ``(S, n, d) -> (S, n, d)``.
+
+        The decentralized engine's observation: agent ``i`` evaluates
+        ``grad Q_i`` at its own iterate ``points[:, i]`` rather than at one
+        shared estimate.  Coefficient-stacked subclasses compute the whole
+        diagonal in one einsum.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement per-agent-point "
+            "gradients; use one of the coefficient-stacked or loop stacks"
+        )
+
+    def _check_each(self, points: np.ndarray) -> np.ndarray:
+        arr = np.asarray(points, dtype=float)
+        if arr.ndim != 3 or arr.shape[1] != self.n or arr.shape[2] != self.dim:
+            raise ValueError(
+                f"expected per-agent points of shape (S, {self.n}, "
+                f"{self.dim}), got {arr.shape}"
+            )
+        return arr
+
     def _check_batch(self, points: np.ndarray) -> np.ndarray:
         arr = np.asarray(points, dtype=float)
         if arr.ndim != 2 or arr.shape[1] != self.dim:
@@ -86,6 +108,13 @@ class QuadraticCostStack(CostStack):
         pts = self._check_batch(points)
         return (
             np.einsum("nij,sj->sni", self.matrices, pts)
+            + self.linears[None, :, :]
+        )
+
+    def gradients_each(self, points: np.ndarray) -> np.ndarray:
+        pts = self._check_each(points)
+        return (
+            np.einsum("nij,snj->sni", self.matrices, pts)
             + self.linears[None, :, :]
         )
 
@@ -125,6 +154,13 @@ class LeastSquaresCostStack(CostStack):
         residuals = self._residuals(self._check_batch(points))
         return -2.0 * np.einsum("snm,nmd->snd", residuals, self.designs)
 
+    def gradients_each(self, points: np.ndarray) -> np.ndarray:
+        pts = self._check_each(points)
+        residuals = self.responses[None, :, :] - np.einsum(
+            "nmd,snd->snm", self.designs, pts
+        )
+        return -2.0 * np.einsum("snm,nmd->snd", residuals, self.designs)
+
     def values(self, points: np.ndarray) -> np.ndarray:
         residuals = self._residuals(self._check_batch(points))
         return np.einsum("snm,snm->sn", residuals, residuals)
@@ -151,6 +187,13 @@ class LoopCostStack(CostStack):
     def gradients(self, points: np.ndarray) -> np.ndarray:
         pts = self._check_batch(points)
         return np.stack([c.gradient_batch(pts) for c in self.costs], axis=1)
+
+    def gradients_each(self, points: np.ndarray) -> np.ndarray:
+        pts = self._check_each(points)
+        return np.stack(
+            [c.gradient_batch(pts[:, i, :]) for i, c in enumerate(self.costs)],
+            axis=1,
+        )
 
     def values(self, points: np.ndarray) -> np.ndarray:
         pts = self._check_batch(points)

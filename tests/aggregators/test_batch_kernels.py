@@ -132,6 +132,42 @@ class TestGeometricMedianSafeguard:
         pts = np.tile([1.5, -2.5], (6, 1))
         np.testing.assert_allclose(geometric_median(pts), [1.5, -2.5])
 
+    def test_stall_short_of_multiplicity_optimum_snaps(self):
+        # Weiszfeld crawls sublinearly toward a multiplicity-3 input point
+        # at the Vardi-Zhang boundary (r ~ eta) and used to stop ~1e-5
+        # short; the best-input-point safeguard must land exactly on it.
+        pts = np.array(
+            [[0.0, 1.0], [-8.0, 0.0], [0.0, 1.0], [1.0, 1.0], [1.0, 1.0], [1.0, 1.0]]
+        )
+        np.testing.assert_allclose(geometric_median(pts), [1.0, 1.0])
+
+    def test_stall_near_multiplicity_point_converges(self):
+        # Weiszfeld crawls when the optimum is *near* (not at) a
+        # multiplicity-2 input point; with the loose 1e-10 step criterion
+        # it stopped ~0.09 away (objective off by 6e-5).  The tightened
+        # default tolerance must reach the true optimum (-2/3, 0).
+        pts = np.array(
+            [[-1.0, 0.0], [8.0, -2.0], [-1.0, 0.0], [0.0, 0.0], [0.0, 0.0], [-5.0, 1.0]]
+        )
+        gm = geometric_median(pts)
+        np.testing.assert_allclose(gm, [-2.0 / 3.0, 0.0], atol=1e-7)
+        np.testing.assert_allclose(
+            geometric_median_batch(pts[None])[0], gm, atol=1e-9
+        )
+
+    def test_snap_safe_under_large_common_offset(self):
+        # The snap's Gram-identity objective must center the stack first:
+        # with a 1e8 common offset the raw identity cancels catastrophically
+        # and used to snap to a strictly *worse* input point.
+        rng = np.random.default_rng(0)
+        pts = 1e8 + rng.normal(size=(7, 2))
+        gm = geometric_median(pts)
+        objective = lambda z: np.linalg.norm(pts - z, axis=1).sum()
+        assert objective(gm) <= min(objective(p) for p in pts) + 1e-6
+        np.testing.assert_allclose(
+            geometric_median_batch(pts[None])[0], gm, atol=1e-6
+        )
+
     @given(arrays(np.float64, (6, 2), elements=finite))
     @settings(max_examples=40, deadline=None)
     def test_optimality_property(self, pts):

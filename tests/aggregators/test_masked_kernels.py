@@ -1,0 +1,165 @@
+"""Masked neighborhood kernels vs. the unmasked filters they generalize."""
+
+import numpy as np
+import pytest
+
+from repro.aggregators import (
+    AveragedCGE,
+    CGEAggregator,
+    CoordinateWiseMedian,
+    CWTMAggregator,
+    GeometricMedianAggregator,
+    MeanAggregator,
+    make_aggregator,
+    masked_cge_batch,
+    masked_kernel_for,
+    masked_mean_batch,
+    masked_median_batch,
+    masked_trimmed_mean_batch,
+)
+
+S, N, K, D = 3, 5, 6, 2
+
+
+@pytest.fixture()
+def ragged(rng):
+    """Random neighborhood stacks with ragged validity (>= 3 valid each)."""
+    values = rng.normal(size=(S, N, K, D))
+    mask = np.zeros((N, K), dtype=bool)
+    counts = rng.integers(3, K + 1, size=N)
+    for i, c in enumerate(counts):
+        mask[i, :c] = True
+    return values, mask
+
+
+def per_node_reference(values, mask, aggregate):
+    """Apply a per-stack reference rule node by node."""
+    out = np.empty((values.shape[0], values.shape[1], values.shape[3]))
+    for s in range(values.shape[0]):
+        for i in range(values.shape[1]):
+            out[s, i] = aggregate(values[s, i, mask[i]])
+    return out
+
+
+class TestAgainstPerNodeReference:
+    def test_mean(self, ragged):
+        values, mask = ragged
+        expected = per_node_reference(values, mask, lambda v: v.mean(axis=0))
+        np.testing.assert_allclose(
+            masked_mean_batch(values, mask), expected, atol=1e-12
+        )
+
+    def test_trimmed_mean(self, ragged):
+        values, mask = ragged
+        cwtm = CWTMAggregator(1)
+        expected = per_node_reference(values, mask, cwtm.aggregate)
+        np.testing.assert_allclose(
+            masked_trimmed_mean_batch(values, mask, 1), expected, atol=1e-12
+        )
+
+    def test_median(self, ragged):
+        values, mask = ragged
+        expected = per_node_reference(values, mask, lambda v: np.median(v, axis=0))
+        np.testing.assert_allclose(
+            masked_median_batch(values, mask), expected, atol=1e-12
+        )
+
+    def test_cge(self, ragged):
+        values, mask = ragged
+        cge = CGEAggregator(1)
+        expected = per_node_reference(values, mask, cge.aggregate)
+        np.testing.assert_allclose(
+            masked_cge_batch(values, mask, 1), expected, atol=1e-12
+        )
+
+    def test_cge_average(self, ragged):
+        values, mask = ragged
+        cge_mean = AveragedCGE(2)
+        expected = per_node_reference(values, mask, cge_mean.aggregate)
+        np.testing.assert_allclose(
+            masked_cge_batch(values, mask, 2, average=True), expected, atol=1e-12
+        )
+
+
+class TestFullMaskEqualsUnmasked:
+    """With every slot valid, the masked kernels are the standard kernels."""
+
+    @pytest.mark.parametrize("name", ["mean", "cwtm", "median", "cge", "cge_mean"])
+    def test_matches_aggregate_batch(self, rng, name):
+        values = rng.normal(size=(S, N, K, D))
+        mask = np.ones((N, K), dtype=bool)
+        aggregator = make_aggregator(name, K, 1)
+        kernel = masked_kernel_for(aggregator)
+        assert kernel is not None
+        folded = values.reshape(S * N, K, D)
+        expected = aggregator.aggregate_batch(folded).reshape(S, N, D)
+        np.testing.assert_allclose(kernel(values, mask), expected, atol=1e-12)
+
+
+class TestValidation:
+    def test_bad_rank(self):
+        with pytest.raises(ValueError, match=r"\(S, n, k, d\)"):
+            masked_mean_batch(np.zeros((2, 3, 4)), np.ones((3, 4), dtype=bool))
+
+    def test_mask_shape_mismatch(self):
+        with pytest.raises(ValueError, match="mask shape"):
+            masked_mean_batch(np.zeros((2, 3, 4, 1)), np.ones((3, 5), dtype=bool))
+
+    def test_empty_neighborhood_rejected(self):
+        mask = np.ones((N, K), dtype=bool)
+        mask[2] = False
+        with pytest.raises(ValueError, match="at least one valid message"):
+            masked_mean_batch(np.zeros((S, N, K, D)), mask)
+
+    def test_overtrimming_names_the_agent(self):
+        mask = np.ones((N, K), dtype=bool)
+        mask[3, 2:] = False  # agent 3 keeps 2 messages
+        with pytest.raises(ValueError, match="agent 3"):
+            masked_trimmed_mean_batch(np.zeros((S, N, K, D)), mask, 1)
+
+    def test_cge_overelimination_rejected(self):
+        mask = np.ones((N, K), dtype=bool)
+        mask[1, 1:] = False
+        with pytest.raises(ValueError, match="agent 1"):
+            masked_cge_batch(np.zeros((S, N, K, D)), mask, 1)
+
+    def test_invalid_slots_may_hold_junk(self, rng):
+        # Garbage in masked-out slots must not leak into the result.
+        values = rng.normal(size=(S, N, K, D))
+        mask = np.ones((N, K), dtype=bool)
+        mask[:, -1] = False
+        junk = values.copy()
+        junk[:, :, -1, :] = 1e300
+        np.testing.assert_array_equal(
+            masked_mean_batch(values, mask), masked_mean_batch(junk, mask)
+        )
+        np.testing.assert_array_equal(
+            masked_cge_batch(values, mask, 1), masked_cge_batch(junk, mask, 1)
+        )
+
+    def test_non_finite_valid_entries_rejected(self):
+        values = np.zeros((S, N, K, D))
+        values[0, 0, 0, 0] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            masked_median_batch(values, np.ones((N, K), dtype=bool))
+
+
+class TestDispatch:
+    def test_known_filters_dispatch(self):
+        assert masked_kernel_for(MeanAggregator()) is not None
+        assert masked_kernel_for(CWTMAggregator(1)) is not None
+        assert masked_kernel_for(CoordinateWiseMedian()) is not None
+        assert masked_kernel_for(CGEAggregator(1)) is not None
+        assert masked_kernel_for(AveragedCGE(1)) is not None
+
+    def test_unsupported_filter_returns_none(self):
+        assert masked_kernel_for(GeometricMedianAggregator()) is None
+
+    def test_averaged_cge_takes_priority_over_parent(self, rng):
+        # AveragedCGE subclasses CGEAggregator; the dispatch must pick the
+        # mean-normalized kernel, not the parent's sum.
+        values = rng.normal(size=(1, 1, 4, 2))
+        mask = np.ones((1, 4), dtype=bool)
+        kernel = masked_kernel_for(AveragedCGE(1))
+        expected = AveragedCGE(1).aggregate(values[0, 0])
+        np.testing.assert_allclose(kernel(values, mask)[0, 0], expected)

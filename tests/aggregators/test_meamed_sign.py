@@ -39,7 +39,15 @@ class TestMeaMed:
         assert np.all(out >= grads.min(axis=0) - 1e-9)
         assert np.all(out <= grads.max(axis=0) + 1e-9)
 
-    @given(arrays(np.float64, (6, 2), elements=finite))
+    # Exactly-representable values: MeaMed's nearest-to-median *selection*
+    # is translation-equivariant in exact arithmetic, but under floats a
+    # shift can reorder near-tied gaps (e.g. |0.001 - m| vs |0 - m| after
+    # subtracting 1), switching which entries are kept — a discontinuity no
+    # small atol covers.  Integer grids keep the arithmetic exact and still
+    # catch any index-based selection bias.
+    exact = st.integers(-100, 100).map(float)
+
+    @given(arrays(np.float64, (6, 2), elements=exact))
     @settings(max_examples=40, deadline=None)
     def test_translation_equivariant(self, grads):
         shift = np.array([3.0, -1.0])

@@ -1,0 +1,108 @@
+"""Regenerate the pinned engine trajectories used by ``test_engine_regression``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/distsys/data/generate_pre_refactor.py
+
+The resulting ``pre_refactor_trajectories.npz`` pins the exact (bit-for-bit)
+trajectories of the three execution engines — server-based per-trial, batched
+lockstep, and peer-to-peer over Byzantine broadcast — so that structural
+refactors of the protocol loop can prove they did not move a single float.
+Only regenerate after an *intentional* semantic change, and say so in the
+commit message.
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.aggregators import make_aggregator
+from repro.attacks.registry import make_attack
+from repro.distsys import BatchTrial, PeerToPeerSimulator, run_dgd, run_dgd_batch
+from repro.experiments.paper_regression import paper_problem
+from repro.functions import SquaredDistanceCost
+from repro.optim import BoxSet, paper_schedule
+
+OUT = Path(__file__).parent / "pre_refactor_trajectories.npz"
+
+ITERATIONS = 80
+AGGREGATORS = ("cge", "cwtm", "krum", "mean")
+ATTACKS = ("gradient_reverse", "random", "alie")
+SEEDS = (0, 1)
+
+
+def server_and_batch_arrays():
+    problem = paper_problem()
+    combos = [
+        (aggregator, attack, seed)
+        for aggregator in AGGREGATORS
+        for attack in ATTACKS
+        for seed in SEEDS
+    ]
+    server = []
+    trials = []
+    for aggregator, attack, seed in combos:
+        trace = run_dgd(
+            costs=problem.costs,
+            faulty_ids=list(problem.faulty_ids),
+            aggregator=make_aggregator(aggregator, problem.n, problem.f),
+            attack=make_attack(attack),
+            constraint=problem.constraint,
+            schedule=problem.schedule,
+            initial_estimate=problem.initial_estimate,
+            iterations=ITERATIONS,
+            seed=seed,
+        )
+        server.append(trace.estimates())
+        trials.append(
+            BatchTrial(
+                aggregator=make_aggregator(aggregator, problem.n, problem.f),
+                attack=make_attack(attack),
+                faulty_ids=problem.faulty_ids,
+                seed=seed,
+            )
+        )
+    batch = run_dgd_batch(
+        problem.costs,
+        trials,
+        problem.constraint,
+        problem.schedule,
+        problem.initial_estimate,
+        ITERATIONS,
+    )
+    labels = np.array(["/".join(map(str, c)) for c in combos])
+    return np.stack(server), batch.estimates, labels
+
+
+def p2p_array():
+    rng = np.random.default_rng(0)
+    targets = np.asarray([1.0, -1.0]) + 0.2 * rng.normal(size=(7, 2))
+    costs = [SquaredDistanceCost(t) for t in targets]
+    sim = PeerToPeerSimulator(
+        costs=costs,
+        faulty_ids=[5, 6],
+        aggregator="cge",
+        constraint=BoxSet.symmetric(50.0, dim=2),
+        schedule=paper_schedule(),
+        initial_estimate=np.zeros(2),
+        attack=make_attack("random"),
+        seed=3,
+    )
+    snapshots = []
+    for _ in range(25):
+        sim.step()
+        snapshots.append(np.stack([sim.estimates[i] for i in sim.honest_ids]))
+    return np.stack(snapshots)  # (25, honest, 2)
+
+
+def main() -> None:
+    server, batch, labels = server_and_batch_arrays()
+    p2p = p2p_array()
+    np.savez_compressed(
+        OUT, server=server, batch=batch, labels=labels, p2p=p2p
+    )
+    print(f"wrote {OUT}: server {server.shape}, batch {batch.shape}, p2p {p2p.shape}")
+
+
+if __name__ == "__main__":
+    main()

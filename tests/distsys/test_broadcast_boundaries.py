@@ -1,0 +1,133 @@
+"""Boundary behaviour of OM(m) Byzantine broadcast.
+
+Satellite of the topology-core PR: the broadcast primitive's guarantees at
+its exact boundaries — ``f = 0`` (no relay rounds at all), the classical
+``n = 3f + 1`` threshold with an equivocating adversary at full strength,
+and the first failing configuration just below it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distsys import (
+    EquivocatingAdversary,
+    byzantine_broadcast,
+    om_message_count,
+)
+
+
+def agreement_and_validity(n, commander, traitors, rounds, value, seed=0):
+    """Run OM and return (honest decisions agree, honest decide `value`)."""
+    decided = byzantine_broadcast(
+        n=n,
+        commander=commander,
+        value=value,
+        traitors=traitors,
+        rounds=rounds,
+        adversary=EquivocatingAdversary(magnitude=7.5),
+        rng=np.random.default_rng(seed),
+    )
+    honest = [i for i in range(n) if i != commander and i not in traitors]
+    values = [decided[i] for i in honest]
+    agree = all(np.array_equal(values[0], v) for v in values[1:])
+    valid = all(np.array_equal(np.asarray(value, dtype=float), v) for v in values)
+    return agree, valid
+
+
+class TestFaultFree:
+    """f = 0: OM(0) is a plain broadcast, one round, zero relays."""
+
+    def test_om0_delivers_commanders_value(self):
+        value = np.array([2.5, -1.0])
+        agree, valid = agreement_and_validity(
+            n=4, commander=0, traitors=[], rounds=0, value=value
+        )
+        assert agree and valid
+
+    def test_om0_message_count_is_n_minus_1(self):
+        assert om_message_count(6, 0) == 5
+
+    def test_om0_with_traitorous_commander_still_agrees_iff_consistent(self):
+        # With zero rounds a lying commander CAN split honest receivers —
+        # that is exactly why f >= 1 needs OM(f).  Document the boundary.
+        value = np.array([1.0])
+        decided = byzantine_broadcast(
+            n=4,
+            commander=0,
+            value=value,
+            traitors=[0],
+            rounds=0,
+            adversary=EquivocatingAdversary(magnitude=3.0),
+        )
+        received = [decided[i] for i in (1, 2, 3)]
+        assert not all(np.array_equal(received[0], v) for v in received[1:])
+
+
+class TestThreshold:
+    """n = 3f + 1 is exactly tolerable; n = 3f is not guaranteed."""
+
+    @pytest.mark.parametrize("f,n", [(1, 4), (2, 7)])
+    def test_honest_commander_at_threshold(self, f, n):
+        # IC2 at the tolerance limit: n = 3f + 1, f traitorous relays.
+        value = np.array([4.0, 4.0])
+        traitors = list(range(n - f, n))
+        agree, valid = agreement_and_validity(
+            n=n, commander=0, traitors=traitors, rounds=f, value=value
+        )
+        assert agree and valid
+
+    @pytest.mark.parametrize("f,n", [(1, 4), (2, 7)])
+    def test_traitorous_commander_at_threshold(self, f, n):
+        # IC1 at the tolerance limit: the commander equivocates, the other
+        # f - 1 traitors relay adversarially; honest nodes must still agree.
+        value = np.array([-3.0])
+        traitors = [0] + list(range(n - (f - 1), n))
+        assert len(traitors) == f
+        agree, _ = agreement_and_validity(
+            n=n, commander=0, traitors=traitors, rounds=f, value=value
+        )
+        assert agree
+
+    def test_equivocation_wins_below_threshold(self):
+        # n = 3f: the guarantees lapse.  In the canonical n=3, f=1 instance
+        # with an honest commander and a traitorous relay, the honest
+        # lieutenant faces a 1-1 tie between the true value and the forged
+        # relay — the deterministic tie-break can pick the forgery, so
+        # validity (IC2) is violated exactly as the impossibility predicts.
+        value = np.array([1.0])
+        decided = byzantine_broadcast(
+            n=3,
+            commander=0,
+            value=value,
+            traitors=[2],
+            rounds=1,
+            adversary=EquivocatingAdversary(magnitude=5.0),
+        )
+        assert not np.array_equal(decided[1], value)
+
+
+class TestEquivocatorAtTheLimit:
+    def test_aggressive_magnitudes_cannot_break_om2(self):
+        # EquivocatingAdversary at the tolerance limit (f = 2, n = 7) with
+        # extreme forging magnitude: agreement and validity must both hold
+        # for an honest commander, for every choice of commander.
+        value = np.array([0.125, -8.0, 3.5])
+        for commander in range(5):  # honest nodes (traitors are 5, 6)
+            decided = byzantine_broadcast(
+                n=7,
+                commander=commander,
+                value=value,
+                traitors=[5, 6],
+                rounds=2,
+                adversary=EquivocatingAdversary(magnitude=1e9),
+                rng=np.random.default_rng(commander),
+            )
+            for i in range(7):
+                if i == commander or i in (5, 6):
+                    continue
+                assert np.array_equal(decided[i], value)
+
+    def test_om_message_count_growth(self):
+        # O(n^{m+1}) growth pinned at the threshold configurations.
+        assert om_message_count(4, 1) == 3 + 3 * 2
+        assert om_message_count(7, 2) == 6 + 6 * (5 + 5 * 4)

@@ -1,0 +1,371 @@
+"""Decentralized graph engine: equivalence contract and sparse-graph behavior.
+
+The headline contract extends the engine-equivalence suite: on the
+**complete graph** the decentralized engine is the server-based algorithm
+run at every honest agent, so every honest trajectory must match
+``SynchronousSimulator`` to 1e-9 across aggregator × attack × seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregators import make_aggregator
+from repro.attacks import EdgeEquivocationAttack
+from repro.attacks.registry import make_attack
+from repro.distsys import (
+    BatchTrial,
+    complete_topology,
+    erdos_renyi_topology,
+    ring_topology,
+    run_dgd,
+    run_decentralized,
+    torus_topology,
+)
+from repro.distsys.decentralized import DecentralizedSimulator
+from repro.functions import SquaredDistanceCost
+from repro.optim.projections import BoxSet
+from repro.optim.schedules import HarmonicSchedule
+
+TOLERANCE = 1e-9
+ITERATIONS = 60
+
+AGGREGATORS = ("cge", "cwtm", "median", "krum", "geomedian", "mean")
+ATTACKS = ("gradient_reverse", "random", "zero", "alie", "cge_evasion")
+
+
+def reference_trajectory(problem, aggregator, attack, seed):
+    trace = run_dgd(
+        costs=problem.costs,
+        faulty_ids=list(problem.faulty_ids),
+        aggregator=make_aggregator(aggregator, problem.n, problem.f),
+        attack=make_attack(attack),
+        constraint=problem.constraint,
+        schedule=problem.schedule,
+        initial_estimate=problem.initial_estimate,
+        iterations=ITERATIONS,
+        seed=seed,
+    )
+    return trace.estimates()
+
+
+class TestCompleteGraphMatchesServer:
+    @pytest.mark.parametrize("aggregator", AGGREGATORS)
+    @pytest.mark.parametrize("attack", ATTACKS)
+    def test_every_honest_agent_tracks_the_server(self, paper, aggregator, attack):
+        seed = 1
+        expected = reference_trajectory(paper, aggregator, attack, seed)
+        trial = BatchTrial(
+            aggregator=make_aggregator(aggregator, paper.n, paper.f),
+            attack=make_attack(attack),
+            faulty_ids=paper.faulty_ids,
+            seed=seed,
+        )
+        trace = run_decentralized(
+            paper.costs,
+            complete_topology(paper.n),
+            [trial],
+            paper.constraint,
+            paper.schedule,
+            paper.initial_estimate,
+            ITERATIONS,
+        )
+        for agent in trace.honest_ids[0]:
+            err = np.abs(trace.estimates[:, 0, agent, :] - expected).max()
+            assert err < TOLERANCE, (aggregator, attack, agent, err)
+
+    @pytest.mark.parametrize("seed", (0, 2, 3))
+    def test_seed_isolation_in_one_batch(self, paper, seed):
+        # The stream-consuming random attack must draw per trial exactly as
+        # the per-trial server engine does.
+        trial = BatchTrial(
+            aggregator=make_aggregator("cge", paper.n, paper.f),
+            attack=make_attack("random"),
+            faulty_ids=paper.faulty_ids,
+            seed=seed,
+        )
+        trace = run_decentralized(
+            paper.costs,
+            complete_topology(paper.n),
+            [trial],
+            paper.constraint,
+            paper.schedule,
+            paper.initial_estimate,
+            ITERATIONS,
+        )
+        expected = reference_trajectory(paper, "cge", "random", seed)
+        agent = trace.honest_ids[0][0]
+        assert np.abs(trace.estimates[:, 0, agent, :] - expected).max() < TOLERANCE
+
+    def test_consensus_gap_zero_on_complete_graph(self, paper):
+        trial = BatchTrial(
+            aggregator=make_aggregator("cwtm", paper.n, paper.f),
+            attack=make_attack("gradient_reverse"),
+            faulty_ids=paper.faulty_ids,
+        )
+        trace = run_decentralized(
+            paper.costs,
+            complete_topology(paper.n),
+            [trial],
+            paper.constraint,
+            paper.schedule,
+            paper.initial_estimate,
+            30,
+        )
+        assert trace.consensus_gap().max() == 0.0
+
+
+class TestSparseGraphs:
+    def make_costs(self, n=8, spread=0.15, seed=0):
+        rng = np.random.default_rng(seed)
+        targets = np.asarray([1.0, -1.0]) + spread * rng.normal(size=(n, 2))
+        return [SquaredDistanceCost(t) for t in targets]
+
+    def run(self, topology, aggregator="cwtm", attack=None, faulty=(7,), n=8):
+        costs = self.make_costs(n=n)
+        trial = BatchTrial(
+            aggregator=make_aggregator(aggregator, n, len(faulty)),
+            attack=attack,
+            faulty_ids=tuple(faulty),
+            seed=0,
+        )
+        return run_decentralized(
+            costs,
+            topology,
+            [trial],
+            BoxSet.symmetric(50.0, dim=2),
+            HarmonicSchedule(scale=0.5),
+            np.zeros(2),
+            300,
+        )
+
+    def test_fault_free_ring_converges_near_targets(self):
+        trace = self.run(ring_topology(8, hops=2), attack=None, faulty=())
+        radius = trace.distances_to([1.0, -1.0])[0, -1]
+        assert radius < 0.5
+
+    def test_consensus_mixing_drives_agreement(self):
+        # With the consensus step (default) the honest gap shrinks toward
+        # zero on a fault-free sparse graph; without it, agents settle into
+        # persistent disagreement — the ablation the `mixing` flag exposes.
+        costs = self.make_costs(n=8)
+        trial = lambda: BatchTrial(aggregator=make_aggregator("mean", 8, 0))
+        common = dict(
+            topology=ring_topology(8),
+            constraint=BoxSet.symmetric(50.0, dim=2),
+            schedule=HarmonicSchedule(scale=0.5),
+            initial_estimate=np.zeros(2),
+            iterations=500,
+        )
+        mixed = run_decentralized(costs, trials=[trial()], mixing=True, **common)
+        unmixed = run_decentralized(costs, trials=[trial()], mixing=False, **common)
+        assert mixed.consensus_gap()[0, -1] < 0.05
+        assert unmixed.consensus_gap()[0, -1] > 10 * mixed.consensus_gap()[0, -1]
+
+    def test_mixing_rejected_when_degree_cannot_support_trim(self):
+        # 1-hop ring: closed degree 3 supports trim 1 (3 - 2 = 1) but a
+        # trial with two faulty agents cannot mix (3 - 4 < 1).  The median
+        # gradient filter itself fits any neighborhood, so this isolates
+        # the consensus-trim guard.
+        costs = self.make_costs(n=8)
+        trial = BatchTrial(
+            aggregator=make_aggregator("median", 8, 2),
+            attack=make_attack("gradient_reverse"),
+            faulty_ids=(6, 7),
+        )
+        with pytest.raises(ValueError, match="consensus trimming"):
+            run_decentralized(
+                costs,
+                ring_topology(8),
+                [trial],
+                BoxSet.symmetric(50.0, dim=2),
+                HarmonicSchedule(scale=0.5),
+                np.zeros(2),
+                10,
+            )
+
+    def test_torus_with_equivocation_stays_bounded(self):
+        trace = self.run(
+            torus_topology(8, rows=2, cols=4),
+            attack=EdgeEquivocationAttack(),
+        )
+        radius = trace.distances_to([1.0, -1.0])[0]
+        assert np.isfinite(radius).all()
+        assert radius[-1] < radius[0]  # the filter keeps the attack in check
+
+    def test_irregular_graph_uses_masked_kernels(self):
+        topology = erdos_renyi_topology(8, p=0.6, seed=5)
+        assert not topology.is_regular  # premise: masked path engaged
+        trace = self.run(topology, attack=make_attack("gradient_reverse"))
+        assert np.isfinite(trace.estimates).all()
+
+    def test_regular_graph_rejects_undersized_filter_at_construction(self):
+        # multikrum built for the 8-agent system (m = n - 2f = 6) cannot
+        # select 6 of the 3 messages a 1-hop-ring neighborhood holds; the
+        # engine must say so at construction, in topology terms.
+        with pytest.raises(ValueError, match="size-3 closed neighborhoods"):
+            self.run(
+                ring_topology(8),
+                aggregator="multikrum",
+                attack=make_attack("gradient_reverse"),
+            )
+
+    def test_irregular_graph_rejects_undersized_trim_at_construction(self):
+        # Min closed in-degree of this graph cannot support cwtm trim 2;
+        # the masked path must fail at construction like the folded path.
+        topology = erdos_renyi_topology(8, p=0.6, seed=5)
+        assert not topology.is_regular
+        trial = BatchTrial(
+            aggregator=make_aggregator("cwtm", 8, 2),
+            attack=make_attack("gradient_reverse"),
+            faulty_ids=(6, 7),
+        )
+        with pytest.raises(ValueError, match="cannot aggregate the neighborhoods"):
+            DecentralizedSimulator(
+                self.make_costs(n=8),
+                topology,
+                [trial],
+                BoxSet.symmetric(50.0, dim=2),
+                HarmonicSchedule(scale=0.5),
+                np.zeros(2),
+                mixing=False,
+            )
+
+    def test_irregular_graph_rejects_unmaskable_filter(self):
+        topology = erdos_renyi_topology(8, p=0.6, seed=5)
+        with pytest.raises(ValueError, match="masked"):
+            self.run(
+                topology,
+                aggregator="krum",
+                attack=make_attack("gradient_reverse"),
+            )
+
+    def test_edge_equivocation_breaks_lockstep(self):
+        # Per-edge fabrication sends different values to different
+        # neighbors, so honest replicas genuinely diverge on sparse graphs
+        # (no broadcast primitive forces agreement).
+        trace = self.run(
+            ring_topology(8), attack=EdgeEquivocationAttack(scale=2.0)
+        )
+        assert trace.consensus_gap()[0, -1] > 0.0
+
+
+class TestEdgeFabricationPlumbing:
+    def test_per_edge_values_reach_the_right_receivers(self, paper):
+        # On the complete graph with EdgeEquivocationAttack and faulty id 0,
+        # the real receivers [1..5] alternate truth/reversal by position
+        # (1, 3, 5 -> truth; 2, 4 -> reversed; the attacker keeps the
+        # truth); reconstruct each receiver's one-step update by hand.
+        attack = EdgeEquivocationAttack(scale=1.0)
+        trial = BatchTrial(
+            aggregator=make_aggregator("mean", paper.n, paper.f),
+            attack=attack,
+            faulty_ids=paper.faulty_ids,
+            seed=0,
+        )
+        trace = run_decentralized(
+            paper.costs,
+            complete_topology(paper.n),
+            [trial],
+            paper.constraint,
+            paper.schedule,
+            paper.initial_estimate,
+            1,
+        )
+        # After one step: receiver i's update used fabrication branch by
+        # parity of i.  Reconstruct both branches by hand.
+        x0 = trace.estimates[0, 0, 0, :]
+        gradients = np.stack([c.gradient(x0) for c in paper.costs])
+        fid = paper.faulty_ids[0]
+        eta = paper.schedule(0)
+        real_receivers = [i for i in range(paper.n) if i != fid]
+        reversed_ids = set(real_receivers[1::2])
+        for receiver in range(paper.n):
+            stack = gradients.copy()
+            branch = (
+                -gradients[fid] if receiver in reversed_ids else gradients[fid]
+            )
+            stack[fid] = branch
+            expected = paper.constraint.project(x0 - eta * stack.mean(axis=0))
+            np.testing.assert_allclose(
+                trace.estimates[1, 0, receiver, :], expected, atol=1e-12
+            )
+
+
+class TestReceiverAwareEquivocation:
+    def test_alternates_over_actual_out_neighborhood(self):
+        # Faulty agent 0 on the 1-hop ring reaches {0 (self), 1, 7}: a
+        # global id-parity rule would send the same branch to both real
+        # neighbors (1 and 7 are both odd); the attack must instead
+        # alternate across the actual receiver list.
+        from repro.attacks.base import DecentralizedAttackContext
+
+        n, d = 8, 2
+        topology = ring_topology(n)
+        receivers = topology.adjacency[:, [0]].T.copy()
+        receivers[0, 0] = True  # closed out-neighborhood includes self
+        true = np.tile(np.array([1.0, 2.0]), (1, 1, 1))  # (S=1, F=1, d)
+        context = DecentralizedAttackContext(
+            iteration=0,
+            reference_estimates=np.zeros((1, d)),
+            agent_estimates=np.zeros((1, n, d)),
+            faulty_ids=[0],
+            true_gradients=true,
+            receivers=receivers,
+            rngs=[np.random.default_rng(0)],
+        )
+        fabricated = EdgeEquivocationAttack(scale=1.0).fabricate_edges(context)
+        assert fabricated.shape == (1, 1, n, d)
+        # Self-delivery keeps the truth and consumes no branch slot; the
+        # REAL receivers [1, 7] alternate: 1 -> truth, 7 -> reversed.
+        np.testing.assert_array_equal(fabricated[0, 0, 0], [1.0, 2.0])
+        np.testing.assert_array_equal(fabricated[0, 0, 1], [1.0, 2.0])
+        np.testing.assert_array_equal(fabricated[0, 0, 7], [-1.0, -2.0])
+        # The two real neighbors received different values: equivocation.
+        assert not np.array_equal(fabricated[0, 0, 1], fabricated[0, 0, 7])
+
+
+class TestValidation:
+    def test_topology_size_mismatch(self, paper):
+        trial = BatchTrial(aggregator=make_aggregator("mean", 4, 0))
+        with pytest.raises(ValueError, match="topology covers"):
+            DecentralizedSimulator(
+                paper.costs,
+                complete_topology(4),
+                [trial],
+                paper.constraint,
+                paper.schedule,
+                paper.initial_estimate,
+            )
+
+    def test_all_faulty_rejected(self):
+        costs = [SquaredDistanceCost([0.0]) for _ in range(3)]
+        trial = BatchTrial(
+            aggregator=make_aggregator("mean", 3, 1),
+            attack=make_attack("zero"),
+            faulty_ids=(0, 1, 2),
+        )
+        with pytest.raises(ValueError, match="honest"):
+            DecentralizedSimulator(
+                costs,
+                complete_topology(3),
+                [trial],
+                BoxSet.symmetric(1.0, dim=1),
+                HarmonicSchedule(),
+                np.zeros(1),
+            )
+
+    def test_duplicate_faulty_ids_rejected(self, paper):
+        trial = BatchTrial(
+            aggregator=make_aggregator("mean", paper.n, paper.f),
+            attack=make_attack("zero"),
+            faulty_ids=(0, 0),
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            DecentralizedSimulator(
+                paper.costs,
+                complete_topology(paper.n),
+                [trial],
+                paper.constraint,
+                paper.schedule,
+                paper.initial_estimate,
+            )

@@ -1,0 +1,102 @@
+"""Bit-for-bit engine regression against pinned pre-refactor trajectories.
+
+The protocol-core refactor (``repro.distsys.engine``) re-expresses the
+server-based, batched and peer-to-peer simulators as configurations of one
+``ProtocolEngine`` loop.  This suite proves the refactor moved **zero
+floats**: every engine must reproduce the trajectories captured from the
+pre-refactor implementations *exactly* (``==``, not ``allclose``).
+
+Regenerate the fixture only after an intentional semantic change::
+
+    PYTHONPATH=src python tests/distsys/data/generate_pre_refactor.py
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.aggregators import make_aggregator
+from repro.attacks.registry import make_attack
+from repro.distsys import BatchTrial, PeerToPeerSimulator, run_dgd, run_dgd_batch
+from repro.functions import SquaredDistanceCost
+from repro.optim import BoxSet, paper_schedule
+
+DATA = Path(__file__).parent / "data" / "pre_refactor_trajectories.npz"
+
+ITERATIONS = 80
+AGGREGATORS = ("cge", "cwtm", "krum", "mean")
+ATTACKS = ("gradient_reverse", "random", "alie")
+SEEDS = (0, 1)
+COMBOS = [
+    (aggregator, attack, seed)
+    for aggregator in AGGREGATORS
+    for attack in ATTACKS
+    for seed in SEEDS
+]
+
+
+@pytest.fixture(scope="module")
+def pinned():
+    return np.load(DATA)
+
+
+class TestServerEngine:
+    @pytest.mark.parametrize("index,combo", list(enumerate(COMBOS)))
+    def test_trajectory_bit_for_bit(self, paper, pinned, index, combo):
+        aggregator, attack, seed = combo
+        trace = run_dgd(
+            costs=paper.costs,
+            faulty_ids=list(paper.faulty_ids),
+            aggregator=make_aggregator(aggregator, paper.n, paper.f),
+            attack=make_attack(attack),
+            constraint=paper.constraint,
+            schedule=paper.schedule,
+            initial_estimate=paper.initial_estimate,
+            iterations=ITERATIONS,
+            seed=seed,
+        )
+        assert np.array_equal(trace.estimates(), pinned["server"][index])
+
+
+class TestBatchEngine:
+    def test_trajectories_bit_for_bit(self, paper, pinned):
+        trials = [
+            BatchTrial(
+                aggregator=make_aggregator(aggregator, paper.n, paper.f),
+                attack=make_attack(attack),
+                faulty_ids=paper.faulty_ids,
+                seed=seed,
+            )
+            for aggregator, attack, seed in COMBOS
+        ]
+        trace = run_dgd_batch(
+            paper.costs,
+            trials,
+            paper.constraint,
+            paper.schedule,
+            paper.initial_estimate,
+            ITERATIONS,
+        )
+        assert np.array_equal(trace.estimates, pinned["batch"])
+
+
+class TestPeerToPeerEngine:
+    def test_honest_replicas_bit_for_bit(self, pinned):
+        rng = np.random.default_rng(0)
+        targets = np.asarray([1.0, -1.0]) + 0.2 * rng.normal(size=(7, 2))
+        costs = [SquaredDistanceCost(t) for t in targets]
+        sim = PeerToPeerSimulator(
+            costs=costs,
+            faulty_ids=[5, 6],
+            aggregator="cge",
+            constraint=BoxSet.symmetric(50.0, dim=2),
+            schedule=paper_schedule(),
+            initial_estimate=np.zeros(2),
+            attack=make_attack("random"),
+            seed=3,
+        )
+        for t in range(25):
+            sim.step()
+            snapshot = np.stack([sim.estimates[i] for i in sim.honest_ids])
+            assert np.array_equal(snapshot, pinned["p2p"][t]), f"iteration {t}"

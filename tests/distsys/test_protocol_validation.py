@@ -1,0 +1,162 @@
+"""Shared input validation of the protocol core, across all engines.
+
+One validation layer (:mod:`repro.distsys.engine`) now guards every engine:
+duplicate faulty ids, ``f`` vs. actual fault-count mismatches and
+non-finite initial estimates fail loudly instead of silently misbehaving.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregators import CGEAggregator, make_aggregator
+from repro.attacks import GradientReverseAttack
+from repro.attacks.registry import make_attack
+from repro.distsys import (
+    BatchTrial,
+    ByzantineAgent,
+    HonestAgent,
+    MessagePassingDGD,
+    PeerToPeerSimulator,
+    SynchronousSimulator,
+    run_dgd,
+    run_dgd_batch,
+    validate_fault_count,
+    validate_faulty_ids,
+    validate_initial_estimate,
+)
+from repro.functions import SquaredDistanceCost
+from repro.optim.projections import BoxSet
+from repro.optim.schedules import paper_schedule
+
+
+def costs(n=6):
+    return [SquaredDistanceCost([1.0, -1.0]) for _ in range(n)]
+
+
+def kwargs(**overrides):
+    base = dict(
+        costs=costs(),
+        faulty_ids=[5],
+        aggregator="cge",
+        constraint=BoxSet.symmetric(10.0, dim=2),
+        schedule=paper_schedule(),
+        initial_estimate=np.zeros(2),
+        attack=GradientReverseAttack(),
+    )
+    base.update(overrides)
+    return base
+
+
+class TestHelpers:
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicate faulty ids \\[2\\]"):
+            validate_faulty_ids([2, 3, 2], n=6)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            validate_faulty_ids([6], n=6)
+        with pytest.raises(ValueError, match="out of range"):
+            validate_faulty_ids([-1], n=6)
+
+    def test_sorted_tuple_returned(self):
+        assert validate_faulty_ids([4, 1], n=6) == (1, 4)
+
+    def test_fault_count_bounds(self):
+        assert validate_fault_count(2, n=7, n_faulty=2) == 2
+        with pytest.raises(ValueError, match="0 <= f < n"):
+            validate_fault_count(7, n=7, n_faulty=0)
+        with pytest.raises(ValueError, match="exceed the declared tolerance"):
+            validate_fault_count(1, n=7, n_faulty=2)
+
+    def test_initial_estimate_checks(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            validate_initial_estimate([1.0, np.nan])
+        with pytest.raises(ValueError, match="non-finite"):
+            validate_initial_estimate([np.inf, 0.0])
+        with pytest.raises(ValueError, match="1-D"):
+            validate_initial_estimate(np.zeros((2, 2)))
+        with pytest.raises(ValueError, match=r"shape \(3,\)"):
+            validate_initial_estimate(np.zeros(2), dim=3)
+
+
+class TestServerEngine:
+    def test_run_dgd_duplicate_faulty_ids(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_dgd(iterations=3, **kwargs(faulty_ids=[5, 5]))
+
+    def test_run_dgd_non_finite_start(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            run_dgd(
+                iterations=3,
+                **kwargs(initial_estimate=np.array([np.nan, 0.0])),
+            )
+
+    def test_declared_f_below_actual_faults(self):
+        cost = SquaredDistanceCost([1.0])
+        agents = [
+            ByzantineAgent(0, reference_cost=cost),
+            ByzantineAgent(1, reference_cost=cost),
+            HonestAgent(2, cost),
+            HonestAgent(3, cost),
+        ]
+        with pytest.raises(ValueError, match="exceed the declared tolerance"):
+            SynchronousSimulator(
+                agents=agents,
+                aggregator=CGEAggregator(f=1),
+                constraint=BoxSet.symmetric(5.0, dim=1),
+                schedule=paper_schedule(),
+                f=1,
+                initial_estimate=np.zeros(1),
+                attack=GradientReverseAttack(),
+            )
+
+
+class TestBatchEngine:
+    def run_trial(self, trial):
+        return run_dgd_batch(
+            costs(),
+            [trial],
+            BoxSet.symmetric(10.0, dim=2),
+            paper_schedule(),
+            np.zeros(2),
+            3,
+        )
+
+    def test_duplicate_faulty_ids(self):
+        trial = BatchTrial(
+            aggregator=make_aggregator("cge", 6, 1),
+            attack=make_attack("gradient_reverse"),
+            faulty_ids=(5, 5),
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            self.run_trial(trial)
+
+    def test_non_finite_trial_start(self):
+        trial = BatchTrial(
+            aggregator=make_aggregator("mean", 6, 0),
+            initial_estimate=np.array([0.0, np.inf]),
+        )
+        with pytest.raises(ValueError, match="non-finite"):
+            self.run_trial(trial)
+
+
+class TestPeerEngines:
+    def test_p2p_duplicate_faulty_ids(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PeerToPeerSimulator(**kwargs(faulty_ids=[5, 5]))
+
+    def test_p2p_non_finite_start(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            PeerToPeerSimulator(
+                **kwargs(initial_estimate=np.array([np.nan, 0.0]))
+            )
+
+    def test_message_passing_duplicate_faulty_ids(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            MessagePassingDGD(**kwargs(faulty_ids=[5, 5]))
+
+    def test_message_passing_non_finite_start(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            MessagePassingDGD(
+                **kwargs(initial_estimate=np.array([np.inf, 0.0]))
+            )

@@ -1,0 +1,171 @@
+"""Tests for the communication-topology layer."""
+
+import numpy as np
+import pytest
+
+from repro.distsys.topology import (
+    CommunicationTopology,
+    available_topologies,
+    complete_topology,
+    erdos_renyi_topology,
+    make_topology,
+    random_regular_topology,
+    ring_topology,
+    topology_descriptions,
+    torus_topology,
+)
+
+
+class TestInvariants:
+    @pytest.mark.parametrize(
+        "topology",
+        [
+            complete_topology(7),
+            ring_topology(8),
+            ring_topology(9, hops=2),
+            torus_topology(6),
+            torus_topology(12, rows=3, cols=4),
+            random_regular_topology(10, degree=3, seed=1),
+            erdos_renyi_topology(9, p=0.5, seed=4),
+        ],
+    )
+    def test_symmetric_no_self_loops_connected(self, topology):
+        assert np.array_equal(topology.adjacency, topology.adjacency.T)
+        assert not np.any(np.diag(topology.adjacency))
+        assert topology.is_connected()
+        assert topology.algebraic_connectivity() > 1e-9
+
+    def test_rejects_self_loops(self):
+        adjacency = np.ones((3, 3), dtype=bool)
+        with pytest.raises(ValueError, match="diagonal"):
+            CommunicationTopology("bad", adjacency)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            CommunicationTopology("bad", np.ones((2, 3), dtype=bool))
+
+    def test_disconnected_detected(self):
+        adjacency = np.zeros((4, 4), dtype=bool)
+        adjacency[0, 1] = adjacency[1, 0] = True
+        adjacency[2, 3] = adjacency[3, 2] = True
+        topology = CommunicationTopology("two-islands", adjacency)
+        assert not topology.is_connected()
+        assert topology.algebraic_connectivity() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestFamilies:
+    def test_complete_degrees(self):
+        topology = complete_topology(6)
+        assert topology.is_complete and topology.is_regular
+        assert list(topology.in_degrees) == [5] * 6
+
+    def test_ring_neighbors(self):
+        topology = ring_topology(6)
+        assert sorted(topology.in_neighbors(0)) == [1, 5]
+        assert sorted(topology.closed_in_neighbors(0)) == [0, 1, 5]
+        assert topology.is_regular and not topology.is_complete
+
+    def test_ring_two_hops(self):
+        topology = ring_topology(7, hops=2)
+        assert sorted(topology.in_neighbors(0)) == [1, 2, 5, 6]
+
+    def test_small_ring_is_complete(self):
+        assert ring_topology(3).is_complete
+
+    def test_ring_named_by_effective_hops(self):
+        # hops beyond the diameter add no edges; the label must not claim
+        # otherwise (identical graphs would otherwise carry two names).
+        capped = ring_topology(6, hops=10)
+        assert capped.name == "ring3"
+        assert np.array_equal(capped.adjacency, ring_topology(6, hops=3).adjacency)
+
+    def test_torus_factorization(self):
+        topology = torus_topology(6)
+        assert topology.name == "torus2x3"
+        assert topology.is_regular
+
+    def test_torus_shape_mismatch(self):
+        with pytest.raises(ValueError, match="does not cover"):
+            torus_topology(6, rows=2, cols=4)
+
+    def test_torus_one_sided_specification(self):
+        # Giving only rows (or only cols) derives the other dimension.
+        assert torus_topology(12, rows=2).name == "torus2x6"
+        assert torus_topology(12, cols=4).name == "torus3x4"
+        with pytest.raises(ValueError, match="does not cover"):
+            torus_topology(10, rows=3)
+
+    def test_torus_negative_dimensions_rejected(self):
+        # -2 x -5 "covers" 10 arithmetically but would build an edgeless
+        # graph; dimensions must be positive.
+        with pytest.raises(ValueError, match="positive"):
+            torus_topology(10, rows=-2)
+        with pytest.raises(ValueError, match="positive"):
+            torus_topology(10, rows=-2, cols=-5)
+
+    def test_random_regular_is_regular(self):
+        topology = random_regular_topology(12, degree=4, seed=7)
+        assert topology.is_regular
+        assert list(topology.in_degrees) == [4] * 12
+
+    def test_random_regular_parity_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            random_regular_topology(5, degree=3)
+
+    def test_erdos_renyi_is_irregular_often(self):
+        topology = erdos_renyi_topology(12, p=0.4, seed=0)
+        assert topology.is_connected()
+        # not a hard guarantee for any single seed, but this seed is pinned
+        assert not topology.is_regular
+
+    def test_erdos_renyi_determinism(self):
+        a = erdos_renyi_topology(10, p=0.5, seed=3)
+        b = erdos_renyi_topology(10, p=0.5, seed=3)
+        assert np.array_equal(a.adjacency, b.adjacency)
+
+
+class TestNeighborhoods:
+    def test_padded_gather_structure(self):
+        topology = erdos_renyi_topology(8, p=0.45, seed=2)
+        index, mask = topology.neighborhoods()
+        assert index.shape == mask.shape
+        assert index.shape[1] == int(topology.closed_in_degrees.max())
+        for i in range(topology.n):
+            valid = index[i, mask[i]]
+            assert list(valid) == list(topology.closed_in_neighbors(i))
+            assert i in valid  # closed neighborhoods include self
+
+    def test_complete_neighborhoods_are_everyone(self):
+        index, mask = complete_topology(5).neighborhoods()
+        assert mask.all()
+        assert np.array_equal(index, np.tile(np.arange(5), (5, 1)))
+
+
+class TestRegistry:
+    def test_names_and_descriptions_align(self):
+        names = available_topologies()
+        descriptions = topology_descriptions()
+        assert set(names) == set(descriptions)
+        assert all(descriptions[name] for name in names)
+        assert {"complete", "ring", "torus", "random_regular", "erdos_renyi"} <= set(
+            names
+        )
+
+    def test_make_topology_params(self):
+        assert make_topology("ring", 8, hops=2).name == "ring2"
+        assert make_topology("random_regular", 8, seed=1, degree=4).is_regular
+        assert make_topology("complete", 4).is_complete
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown topology"):
+            make_topology("hypercube", 8)
+
+    def test_unknown_parameters_rejected(self):
+        # A typo'd or wrong-family option must not silently build the
+        # default graph.
+        with pytest.raises(TypeError, match="does not accept"):
+            make_topology("ring", 10, hop=2)  # typo for hops
+        with pytest.raises(TypeError, match="does not accept"):
+            make_topology("torus", 12, hops=2)  # wrong family
+        with pytest.raises(TypeError, match="does not accept"):
+            make_topology("random_regular", 10, degre=5)

@@ -24,6 +24,8 @@ class TestParser:
             ["certify"],
             ["svm"],
             ["frontier", "--max-f", "1"],
+            ["decentralized", "--iterations", "50"],
+            ["list"],
             ["all", "--skip-learning"],
         ],
     )
@@ -48,6 +50,29 @@ class TestFastCommands:
         out = capsys.readouterr().out
         assert "Distributed SVM" in out
         assert "fault-free" in out
+
+    def test_list_prints_every_registry(self, capsys):
+        from repro.aggregators import available_aggregators
+        from repro.attacks import available_attacks
+        from repro.distsys import available_topologies
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in available_aggregators():
+            assert name in out
+        for name in available_attacks():
+            assert name in out
+        for name in available_topologies():
+            assert name in out
+        assert "Gradient filters" in out
+        assert "Communication topologies" in out
+
+    def test_decentralized_runs(self, capsys):
+        assert main(["decentralized", "--iterations", "40", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "convergence radius" in out
+        assert "complete" in out
+        assert "honest" in out
 
     def test_ablation_exact_runs(self, capsys):
         assert main(["ablation-exact"]) == 0

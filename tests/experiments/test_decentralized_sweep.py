@@ -1,0 +1,108 @@
+"""Tests for the decentralized experiment family."""
+
+import numpy as np
+import pytest
+
+from repro.distsys import make_topology
+from repro.experiments.decentralized import (
+    DecentralizedSweepRow,
+    decentralized_sweep,
+    default_topologies,
+    render_decentralized_report,
+)
+
+
+@pytest.fixture(scope="module")
+def rows(paper_module):
+    topologies = [
+        make_topology("complete", paper_module.n),
+        make_topology("ring", paper_module.n, hops=2),
+        make_topology("erdos_renyi", paper_module.n, seed=1, p=0.7),
+    ]
+    return decentralized_sweep(
+        problem=paper_module,
+        topologies=topologies,
+        aggregators=("cwtm",),
+        attacks=(None, "gradient_reverse", "edge_equivocation"),
+        iterations=60,
+        seeds=(0, 1),
+    )
+
+
+@pytest.fixture(scope="module")
+def paper_module():
+    from repro.experiments.paper_regression import paper_problem
+
+    return paper_problem()
+
+
+class TestSweepStructure:
+    def test_covers_topology_grid(self, rows):
+        assert sorted({r.topology for r in rows}) == ["complete", "er0.7", "ring2"]
+        assert len(rows) == 3 * 1 * 3  # topologies x filters x attacks
+
+    def test_fault_axis(self, rows, paper_module):
+        for row in rows:
+            if row.attack is None:
+                assert row.f == 0
+            else:
+                assert row.f == paper_module.f
+
+    def test_radii_finite_and_gap_zero_on_complete(self, rows):
+        for row in rows:
+            assert np.isfinite(row.mean_radius)
+            assert row.mean_radius <= row.worst_radius + 1e-12
+        complete_broadcast = [
+            r
+            for r in rows
+            if r.topology == "complete" and r.attack in (None, "gradient_reverse")
+        ]
+        assert complete_broadcast
+        for row in complete_broadcast:
+            # broadcast-consistent attacks keep honest lockstep exact
+            assert row.mean_gap == 0.0
+
+    def test_equivocation_breaks_lockstep_even_on_complete(self, rows):
+        row = next(
+            r
+            for r in rows
+            if r.topology == "complete" and r.attack == "edge_equivocation"
+        )
+        assert row.mean_gap > 0.0
+
+    def test_connectivity_metadata(self, rows):
+        by_topology = {r.topology: r for r in rows}
+        assert by_topology["complete"].algebraic_connectivity == pytest.approx(6.0)
+        assert by_topology["complete"].degree_range == "6"
+        assert ".." in by_topology["er0.7"].degree_range  # irregular degrees
+
+
+class TestRendering:
+    def test_report_lists_every_cell(self, rows):
+        text = render_decentralized_report(rows, iterations=60)
+        assert "convergence radius" in text
+        for row in rows:
+            assert row.topology in text
+        assert "honest" in text  # f = 0 baseline rows
+
+    def test_default_topologies_cover_the_registry_families(self, paper_module):
+        names = {t.name for t in default_topologies(paper_module.n)}
+        assert len(names) >= 5
+
+
+class TestRowDataclass:
+    def test_fields(self):
+        row = DecentralizedSweepRow(
+            topology="ring",
+            algebraic_connectivity=1.0,
+            degree_range="3",
+            f=1,
+            aggregator="cwtm",
+            attack="gradient_reverse",
+            seeds=2,
+            mean_radius=0.5,
+            worst_radius=0.6,
+            mean_gap=0.1,
+        )
+        assert row.attack == "gradient_reverse"
+        assert row.seeds == 2

@@ -22,6 +22,7 @@ FAST_EXAMPLES = [
     "peer_to_peer_broadcast.py",
     "svm_learning.py",
     "linear_regression_paper.py",
+    "decentralized_graph.py",
 ]
 
 
