@@ -1,0 +1,132 @@
+"""Benchmark: the asynchronous engine's staleness × drop-rate sweep.
+
+Runs the full staleness-bound × drop-rate × filter sweep through the
+event-driven engine under uniform 0..2 delivery delays and persists the
+convergence-radius report to ``benchmarks/results/async.txt`` and the
+headline numbers to ``BENCH_async.json``.  Also cross-checks the engine
+contract inside the workload: the degenerate configuration (no conditions,
+no drops, no crashes) must land exactly where the synchronous server
+engine lands.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import emit, emit_json
+
+from repro.attacks.registry import make_attack
+from repro.distsys import run_asynchronous, run_dgd
+from repro.experiments import paper_problem
+from repro.experiments.asynchronous import (
+    asynchronous_sweep,
+    render_asynchronous_report,
+)
+
+ITERATIONS = 200
+STALENESS_BOUNDS = (0, 1, 2, 4)
+DROP_RATES = (0.0, 0.15, 0.35)
+AGGREGATORS = ("cge", "cwtm", "median")
+SEEDS = (0,)
+
+
+def test_asynchronous_sweep_report(benchmark, results_dir):
+    problem = paper_problem()
+
+    rows = benchmark.pedantic(
+        lambda: asynchronous_sweep(
+            problem=problem,
+            staleness_bounds=STALENESS_BOUNDS,
+            drop_rates=DROP_RATES,
+            aggregators=AGGREGATORS,
+            iterations=ITERATIONS,
+            seeds=SEEDS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    t0 = time.perf_counter()
+    rows = asynchronous_sweep(
+        problem=problem,
+        staleness_bounds=STALENESS_BOUNDS,
+        drop_rates=DROP_RATES,
+        aggregators=AGGREGATORS,
+        iterations=ITERATIONS,
+        seeds=SEEDS,
+    )
+    sweep_seconds = time.perf_counter() - t0
+
+    assert len(rows) == len(STALENESS_BOUNDS) * len(DROP_RATES) * len(AGGREGATORS)
+    assert all(np.isfinite(r.mean_radius) for r in rows)
+    assert {r.policy for r in rows} == {"shrink", "masked"}
+
+    # Loosening the staleness bound (no drops) can only reduce how much
+    # in-flight traffic the server has to do without.
+    def missing(tau, aggregator="cge"):
+        return next(
+            r.missing_rate
+            for r in rows
+            if r.staleness_bound == tau
+            and r.drop_rate == 0.0
+            and r.aggregator == aggregator
+        )
+
+    assert missing(0) >= missing(2) >= missing(4)
+
+    # Engine contract inside the workload: the degenerate configuration
+    # lands bit-for-bit where the server-based engine lands.
+    sync = run_dgd(
+        costs=problem.costs,
+        faulty_ids=list(problem.faulty_ids),
+        aggregator="cge",
+        attack=make_attack("gradient_reverse"),
+        constraint=problem.constraint,
+        schedule=problem.schedule,
+        initial_estimate=problem.initial_estimate,
+        iterations=ITERATIONS,
+        seed=SEEDS[0],
+    )
+    degenerate = run_asynchronous(
+        costs=problem.costs,
+        faulty_ids=list(problem.faulty_ids),
+        aggregator="cge",
+        attack=make_attack("gradient_reverse"),
+        constraint=problem.constraint,
+        schedule=problem.schedule,
+        initial_estimate=problem.initial_estimate,
+        iterations=ITERATIONS,
+        seed=SEEDS[0],
+    )
+    engine_gap = float(
+        np.abs(degenerate.estimates() - sync.estimates()).max()
+    )
+    assert engine_gap < 1e-9
+    sync_radius = float(np.linalg.norm(sync.final_estimate - problem.x_h))
+
+    text = render_asynchronous_report(rows, iterations=ITERATIONS)
+    emit(results_dir, "async", text)
+    emit_json(
+        results_dir,
+        "async",
+        {
+            "workload": {
+                "system": "appendix-J regression (n=6, f=1, d=2)",
+                "staleness_bounds": list(STALENESS_BOUNDS),
+                "drop_rates": list(DROP_RATES),
+                "aggregators": list(AGGREGATORS),
+                "iterations": ITERATIONS,
+                "seeds": len(SEEDS),
+                "cells": len(rows),
+            },
+            "sweep_seconds": round(sweep_seconds, 6),
+            "degenerate_engine_gap": engine_gap,
+            "server_engine_radius": sync_radius,
+            "worst_radius_by_tau": {
+                str(tau): max(
+                    r.worst_radius for r in rows if r.staleness_bound == tau
+                )
+                for tau in STALENESS_BOUNDS
+            },
+            "stalled_rounds_total": sum(r.stalled for r in rows),
+        },
+    )

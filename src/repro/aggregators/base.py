@@ -20,6 +20,7 @@ __all__ = [
     "validate_gradients",
     "validate_gradient_batch",
     "require_fault_capacity",
+    "check_attendance",
 ]
 
 
@@ -57,6 +58,30 @@ def require_fault_capacity(n: int, f: int, minimum_honest: int) -> None:
         raise ValueError(
             f"{n} agents cannot tolerate f={f}: "
             f"at least {minimum_honest} honest inputs are required"
+        )
+
+
+def check_attendance(
+    n_received: int, expected_n: int, f: int, removed: int, minimum_honest: int
+) -> None:
+    """Make partial attendance explicit for the elimination-style filters.
+
+    An elimination rule built for a system of ``expected_n`` agents may
+    legitimately see fewer inputs — asynchronous rounds aggregate whichever
+    messages arrived — but never more, and the ones that did arrive must
+    still cover its ``removed`` discarded entries.  The errors name the
+    attendance (``n_received`` of ``expected_n``) so a thin asynchronous
+    round fails loudly instead of masquerading as a mis-shaped stack.
+    """
+    if n_received > expected_n:
+        raise ValueError(
+            f"received {n_received} gradients for a system declared with "
+            f"n={expected_n}"
+        )
+    if n_received < expected_n and n_received - removed < minimum_honest:
+        raise ValueError(
+            f"partial attendance: received {n_received} of {expected_n} "
+            f"declared inputs, not enough to remove {removed} with f={f}"
         )
 
 

@@ -11,10 +11,13 @@ properties transfer with rescaled step sizes.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from .base import (
     GradientAggregator,
+    check_attendance,
     require_fault_capacity,
     validate_gradient_batch,
     validate_gradients,
@@ -59,22 +62,39 @@ def _cge_gather(stacks: np.ndarray, f: int) -> np.ndarray:
 
 
 class CGEAggregator(GradientAggregator):
-    """Sum of the ``n - f`` smallest-norm gradients (equation (23))."""
+    """Sum of the ``n - f`` smallest-norm gradients (equation (23)).
+
+    ``expected_n`` (set by the registry) makes attendance explicit: the
+    rule always eliminates ``f`` of whatever arrived, but when fewer than
+    ``expected_n`` gradients are received the shortfall is named in the
+    capacity error instead of being conflated with a mis-shaped stack, and
+    receiving *more* than ``expected_n`` is rejected outright.
+    """
 
     name = "cge"
 
-    def __init__(self, f: int):
+    def __init__(self, f: int, expected_n: Optional[int] = None):
         if f < 0:
             raise ValueError("f must be non-negative")
         self.f = int(f)
+        self.expected_n = None if expected_n is None else int(expected_n)
+
+    def _check_attendance(self, n_received: int) -> None:
+        if self.expected_n is not None:
+            check_attendance(
+                n_received, self.expected_n, self.f,
+                removed=self.f, minimum_honest=1,
+            )
 
     def aggregate(self, gradients: np.ndarray) -> np.ndarray:
         arr = validate_gradients(gradients)
+        self._check_attendance(arr.shape[0])
         selected = cge_selection(arr, self.f)
         return arr[selected].sum(axis=0)
 
     def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
         arr = validate_gradient_batch(stacks)
+        self._check_attendance(arr.shape[1])
         return _cge_gather(arr, self.f).sum(axis=1)
 
 
@@ -89,9 +109,11 @@ class AveragedCGE(CGEAggregator):
 
     def aggregate(self, gradients: np.ndarray) -> np.ndarray:
         arr = validate_gradients(gradients)
+        self._check_attendance(arr.shape[0])
         selected = cge_selection(arr, self.f)
         return arr[selected].mean(axis=0)
 
     def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
         arr = validate_gradient_batch(stacks)
+        self._check_attendance(arr.shape[1])
         return _cge_gather(arr, self.f).mean(axis=1)

@@ -33,6 +33,7 @@ __all__ = [
     "masked_median_batch",
     "masked_cge_batch",
     "masked_kernel_for",
+    "masked_min_attendance",
 ]
 
 
@@ -173,3 +174,26 @@ def masked_kernel_for(
     if isinstance(aggregator, MeanAggregator):
         return lambda values, mask: masked_mean_batch(values, mask)
     return None
+
+
+def masked_min_attendance(aggregator) -> int:
+    """Fewest valid messages the matching masked kernel can aggregate.
+
+    The asynchronous engine's ``"masked"`` missing-value policy keeps the
+    filter's declared tolerance ``f`` even under partial attendance, so a
+    round with fewer valid messages than this cannot produce a safe update
+    and must stall.  Raises for aggregators without a masked kernel (use
+    :func:`masked_kernel_for` to detect those first).
+    """
+    from .cge import CGEAggregator
+    from .trimmed_mean import CoordinateWiseMedian, CWTMAggregator
+
+    if isinstance(aggregator, CGEAggregator):  # includes AveragedCGE
+        return aggregator.f + 1
+    if isinstance(aggregator, CWTMAggregator):
+        return 2 * aggregator.f + 1
+    if masked_kernel_for(aggregator) is not None:
+        return 1  # mean / coordinate median aggregate any non-empty set
+    raise ValueError(
+        f"{type(aggregator).__name__} has no masked kernel"
+    )

@@ -35,15 +35,15 @@ _REGISTRY: Dict[str, Tuple[str, Callable[[int, int], GradientAggregator]]] = {
     ),
     "cge": (
         "Comparative Gradient Elimination: sum of n-f smallest norms (eq. 23)",
-        lambda n, f: CGEAggregator(f),
+        lambda n, f: CGEAggregator(f, expected_n=n),
     ),
     "cge_mean": (
         "CGE normalized by the number of retained gradients",
-        lambda n, f: AveragedCGE(f),
+        lambda n, f: AveragedCGE(f, expected_n=n),
     ),
     "cwtm": (
         "coordinate-wise trimmed mean, trim level f (eq. 24)",
-        lambda n, f: CWTMAggregator(f),
+        lambda n, f: CWTMAggregator(f, expected_n=n),
     ),
     "median": (
         "coordinate-wise median",

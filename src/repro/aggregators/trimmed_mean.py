@@ -11,10 +11,13 @@ widely in the robust-learning literature (e.g. Yin et al., reference [55]).
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from .base import (
     GradientAggregator,
+    check_attendance,
     require_fault_capacity,
     validate_gradient_batch,
     validate_gradients,
@@ -62,20 +65,38 @@ def trimmed_mean_batch(stacks: np.ndarray, trim: int) -> np.ndarray:
 
 
 class CWTMAggregator(GradientAggregator):
-    """Coordinate-wise trimmed mean with trim level ``f`` (equation (24))."""
+    """Coordinate-wise trimmed mean with trim level ``f`` (equation (24)).
+
+    ``expected_n`` (set by the registry) makes attendance explicit, as for
+    :class:`~repro.aggregators.cge.CGEAggregator`: the rule trims ``f``
+    from both sides of whatever arrived, rejecting over-attendance and
+    naming the shortfall when a thin round cannot support the trim.
+    """
 
     name = "cwtm"
 
-    def __init__(self, f: int):
+    def __init__(self, f: int, expected_n: Optional[int] = None):
         if f < 0:
             raise ValueError("f must be non-negative")
         self.f = int(f)
+        self.expected_n = None if expected_n is None else int(expected_n)
+
+    def _check_attendance(self, n_received: int) -> None:
+        if self.expected_n is not None:
+            check_attendance(
+                n_received, self.expected_n, self.f,
+                removed=2 * self.f, minimum_honest=1,
+            )
 
     def aggregate(self, gradients: np.ndarray) -> np.ndarray:
-        return trimmed_mean(gradients, self.f)
+        arr = validate_gradients(gradients)
+        self._check_attendance(arr.shape[0])
+        return trimmed_mean(arr, self.f)
 
     def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
-        return trimmed_mean_batch(stacks, self.f)
+        arr = validate_gradient_batch(stacks)
+        self._check_attendance(arr.shape[1])
+        return trimmed_mean_batch(arr, self.f)
 
 
 class CoordinateWiseMedian(GradientAggregator):

@@ -8,6 +8,7 @@ from .base import (
     DecentralizedAttackContext,
 )
 from .colluding import ALIEAttack, InnerProductManipulationAttack, MimicAttack
+from .crash import CrashAttack
 from .equivocation import EdgeEquivocationAttack
 from .registry import attack_descriptions, available_attacks, make_attack
 from .simple import (
@@ -35,6 +36,7 @@ __all__ = [
     "CGEEvasionAttack",
     "CoordinateShiftAttack",
     "AlternatingAttack",
+    "CrashAttack",
     "make_attack",
     "available_attacks",
     "attack_descriptions",

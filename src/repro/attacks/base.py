@@ -38,6 +38,14 @@ class AttackContext:
         honest_gradients: honest agents' gradients keyed by id — only
             populated for omniscient attacks.
         rng: deterministic per-run random generator.
+        view_rounds: timeline context (asynchronous engine only) — the
+            round whose iterate each message in play was evaluated at, so
+            ``iteration - view_rounds[i]`` is message ``i``'s staleness.
+            ``None`` under the synchronous engines (everything is fresh).
+        compromised_since: timeline context (asynchronous engine only) —
+            the round each faulty agent was compromised at, for attacks
+            that ramp up after takeover.  ``None`` under the synchronous
+            engines (compromise is from round 0).
     """
 
     iteration: int
@@ -48,6 +56,14 @@ class AttackContext:
     rng: np.random.Generator = field(
         default_factory=lambda: np.random.default_rng(0)
     )
+    view_rounds: Optional[Dict[int, int]] = None
+    compromised_since: Optional[Dict[int, int]] = None
+
+    def staleness(self, agent_id: int) -> int:
+        """Rounds between message ``agent_id``'s view and now (0 = fresh)."""
+        if self.view_rounds is None:
+            return 0
+        return int(self.iteration) - int(self.view_rounds[agent_id])
 
     @property
     def dim(self) -> int:
@@ -221,9 +237,26 @@ class ByzantineAttack(abc.ABC):
     #: whether the attack needs honest agents' gradients
     requires_omniscience: bool = False
 
+    #: whether :meth:`silences` can ever return True.  Engines that run a
+    #: full-attendance lockstep (the batch, peer-to-peer and decentralized
+    #: engines) cannot represent a missing message and must reject such
+    #: attacks loudly instead of silently fabricating for a crashed agent.
+    may_be_silent: bool = False
+
     @abc.abstractmethod
     def fabricate(self, context: AttackContext) -> Dict[int, np.ndarray]:
         """Gradient to send for every faulty agent id in the context."""
+
+    def silences(self, agent_id: int, iteration: int) -> bool:
+        """Whether compromised agent ``agent_id`` sends *nothing* at ``t``.
+
+        Crash-style faults override this; the simulators consult it before
+        collecting a compromised agent's message (a silenced agent is
+        eliminated by step S1 in the synchronous engine, and counted
+        missing by the asynchronous engine's missing-value policy).
+        Attacks with ``may_be_silent = False`` must leave it False.
+        """
+        return False
 
     def fabricate_batch(self, context: BatchAttackContext) -> np.ndarray:
         """Fabrications for all trials at once, shape ``(S, F, d)``.

@@ -1,0 +1,51 @@
+"""Crash faults expressed as an attack behaviour.
+
+A *crash* fault is the benign end of the Byzantine spectrum: the agent
+follows the protocol faithfully and then silently stops sending.  Under the
+synchronous engine crash faults are exactly what step S1's elimination rule
+handles; under the asynchronous engine they exercise the missing-value
+policy (silence is *not* proof of crash there, so nobody is eliminated).
+
+Registering the behaviour as an attack (``make_attack("crash")``) lets every
+sweep that enumerates the attack registry cover the crash regime without a
+separate code path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .base import AttackContext, ByzantineAttack
+
+__all__ = ["CrashAttack"]
+
+
+class CrashAttack(ByzantineAttack):
+    """Honest until ``crash_at``, then silent forever.
+
+    Before the crash round the compromised agents send their *true*
+    gradients (a crashing process is not lying, it is dying); from
+    ``crash_at`` on, :meth:`silences` reports them silent and the engines
+    collect nothing from them.
+    """
+
+    name = "crash"
+    may_be_silent = True
+
+    def __init__(self, crash_at: int = 0):
+        if crash_at < 0:
+            raise ValueError("crash round must be non-negative")
+        self.crash_at = int(crash_at)
+
+    def silences(self, agent_id: int, iteration: int) -> bool:
+        return iteration >= self.crash_at
+
+    def fabricate(self, context: AttackContext) -> Dict[int, np.ndarray]:
+        # Only reachable before the crash round (silent agents are never
+        # handed to the attack); a crashing agent is honest until it dies.
+        return {
+            i: np.asarray(context.true_gradients[i], dtype=float)
+            for i in context.faulty_ids
+        }

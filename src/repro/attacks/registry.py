@@ -9,6 +9,7 @@ import numpy as np
 from .adaptive import CGEEvasionAttack, CoordinateShiftAttack
 from .base import ByzantineAttack
 from .colluding import ALIEAttack, InnerProductManipulationAttack, MimicAttack
+from .crash import CrashAttack
 from .equivocation import EdgeEquivocationAttack
 from .simple import (
     ConstantVectorAttack,
@@ -72,6 +73,10 @@ _REGISTRY: Dict[str, Tuple[str, Callable[[], ByzantineAttack]]] = {
     "edge_equivocation": (
         "per-edge equivocation: truth to some neighbors, reversal to others",
         lambda: EdgeEquivocationAttack(),
+    ),
+    "crash": (
+        "crash fault: honest until the crash round, then silently stops sending",
+        lambda: CrashAttack(),
     ),
 }
 

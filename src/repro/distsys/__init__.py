@@ -1,14 +1,22 @@
-"""Distributed-system substrate: one protocol core, four execution engines.
+"""Distributed-system substrate: one protocol core, five execution engines.
 
 :mod:`repro.distsys.engine` owns the observe → fabricate → aggregate →
 project protocol loop; the server-based per-trial simulator, the batched
-lockstep sweep engine, the peer-to-peer replica simulator and the
-decentralized graph engine are thin configurations of it.
-:mod:`repro.distsys.topology` supplies the communication graphs the
-decentralized engine runs on.
+lockstep sweep engine, the peer-to-peer replica simulator, the
+decentralized graph engine and the event-driven asynchronous engine are
+thin configurations of it.  :mod:`repro.distsys.topology` supplies the
+communication graphs the decentralized engine runs on;
+:mod:`repro.distsys.faults` supplies the network conditions and fault
+timelines the asynchronous engine replays.
 """
 
 from .agents import Agent, ByzantineAgent, HonestAgent, StochasticAgent
+from .asynchronous import (
+    AsyncIterationRecord,
+    AsynchronousSimulator,
+    AsynchronousTrace,
+    run_asynchronous,
+)
 from .batch import BatchSimulator, BatchTrace, BatchTrial, run_dgd_batch
 from .broadcast import (
     BroadcastAdversary,
@@ -31,6 +39,18 @@ from .engine import (
     validate_fault_count,
     validate_faulty_ids,
     validate_initial_estimate,
+)
+from .faults import (
+    BurstyDrop,
+    FaultEvent,
+    FaultSchedule,
+    IIDDrop,
+    LinkDelay,
+    NetworkCondition,
+    Stragglers,
+    fixed_delay,
+    geometric_delay,
+    uniform_delay,
 )
 from .messages import GradientReply, GradientRequest, Silence
 from .network import Envelope, MessagePassingDGD, SynchronousNetwork
@@ -68,6 +88,20 @@ __all__ = [
     "DecentralizedSimulator",
     "DecentralizedTrace",
     "run_decentralized",
+    "AsynchronousSimulator",
+    "AsynchronousTrace",
+    "AsyncIterationRecord",
+    "run_asynchronous",
+    "NetworkCondition",
+    "LinkDelay",
+    "IIDDrop",
+    "BurstyDrop",
+    "Stragglers",
+    "fixed_delay",
+    "uniform_delay",
+    "geometric_delay",
+    "FaultEvent",
+    "FaultSchedule",
     "ProtocolEngine",
     "ProtocolRound",
     "validate_faulty_ids",

@@ -1,0 +1,542 @@
+"""Event-driven asynchronous execution with bounded staleness.
+
+Every other engine in :mod:`repro.distsys` runs the paper's lock-step
+synchronous round.  This engine drops that assumption: messages take
+rounds to arrive, get lost, straggle, and agents crash (and recover, and
+turn Byzantine) mid-run — the regimes described by
+:mod:`repro.distsys.faults`.  The server no longer waits: each round it
+aggregates *whichever gradients have arrived*, evaluated at the stale
+iterates their senders saw.
+
+The round is still the observe → fabricate → aggregate → project template
+of :class:`~repro.distsys.engine.ProtocolEngine`:
+
+* **observe** — dispatch this round's messages through the composed
+  :class:`~repro.distsys.faults.NetworkCondition` pipeline (delays, drops,
+  straggler slowdowns), deliver everything due, and evaluate the usable
+  (staleness ≤ τ) messages' gradients at their *view* iterates.  The
+  evaluation is one :meth:`~repro.functions.batched.CostStack.gradients_each`
+  call over the per-agent view points, so the stale-gradient hot path
+  stays loop-free and batched over agents.
+* **fabricate** — currently-compromised agents with a usable message get
+  their content rewritten by the attack, through a timeline-aware
+  :class:`~repro.attacks.base.AttackContext` (per-message view rounds and
+  compromise rounds).  The adversary rewrites at *delivery* time — the
+  worst case — while honest messages are genuinely stale.
+* **aggregate** — full attendance takes the server's standard path
+  (bit-for-bit the synchronous engine); otherwise the declared
+  **missing-value policy** applies: ``"shrink"`` rebuilds the
+  name-registered filter for this round's attendance with the step-S1
+  ``n``/``f`` bookkeeping (missing treated as crashed), ``"masked"``
+  keeps the declared filter and runs the masked kernels of
+  :mod:`repro.aggregators.masked` under a validity mask (missing treated
+  as honest-but-slow, so the full tolerance ``f`` is retained).  A round
+  whose attendance cannot support the policy *stalls*: the estimate holds
+  and the stall is recorded.
+* **project** — the equation-(21) update through the same
+  :class:`~repro.distsys.server.RobustServer` as the synchronous engine.
+
+Unlike step S1, nobody is ever eliminated: in an asynchronous system
+silence is not proof of crash, only of lateness.
+
+**Degenerate configuration.**  With no conditions, no fault schedule, no
+drops and any staleness bound, every message is fresh and delivered in its
+own round, and the engine pins **bit-for-bit** to
+:class:`~repro.distsys.simulator.SynchronousSimulator` (DESIGN invariant
+4; asserted by ``tests/distsys/test_asynchronous.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..aggregators.base import GradientAggregator
+from ..aggregators.masked import masked_kernel_for, masked_min_attendance
+from ..aggregators.registry import make_aggregator
+from ..attacks.base import AttackContext, ByzantineAttack
+from ..functions.base import CostFunction
+from ..functions.batched import CostStack, stack_costs
+from ..optim.projections import ConvexSet
+from ..optim.schedules import StepSchedule
+from .engine import (
+    ProtocolEngine,
+    ProtocolRound,
+    validate_attack_plan,
+    validate_fault_count,
+    validate_faulty_ids,
+    validate_initial_estimate,
+)
+from .faults import FaultSchedule, NetworkCondition
+from .server import RobustServer
+
+__all__ = [
+    "AsyncIterationRecord",
+    "AsynchronousTrace",
+    "AsynchronousSimulator",
+    "run_asynchronous",
+]
+
+#: The two declared missing-value policies.
+MISSING_POLICIES = ("shrink", "masked")
+
+
+@dataclass
+class AsyncIterationRecord:
+    """Everything observed during one asynchronous round.
+
+    ``aggregate`` is ``None`` for a *stalled* round (attendance could not
+    support the missing-value policy; the estimate held).  ``staleness``
+    maps each aggregated agent to ``t - view_round`` of its message.
+    """
+
+    iteration: int
+    estimate: np.ndarray
+    gradients: Dict[int, np.ndarray]
+    aggregate: Optional[np.ndarray]
+    step_size: float
+    next_estimate: np.ndarray
+    missing: Tuple[int, ...] = ()
+    staleness: Dict[int, int] = field(default_factory=dict)
+    delivered: int = 0
+
+
+@dataclass
+class AsynchronousTrace:
+    """Full history of an asynchronous execution."""
+
+    records: List[AsyncIterationRecord] = field(default_factory=list)
+
+    def append(self, record: AsyncIterationRecord) -> None:
+        """Add the record of one completed round."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def final_estimate(self) -> np.ndarray:
+        """The last computed iterate ``x_T``."""
+        if not self.records:
+            raise ValueError("trace is empty")
+        return self.records[-1].next_estimate
+
+    def estimates(self, include_final: bool = True) -> np.ndarray:
+        """Row-stacked iterates ``x_0, x_1, ..., x_T``."""
+        if not self.records:
+            raise ValueError("trace is empty")
+        points = [r.estimate for r in self.records]
+        if include_final:
+            points.append(self.records[-1].next_estimate)
+        return np.vstack(points)
+
+    def distances_to(self, target: Sequence[float]) -> np.ndarray:
+        """Series ``||x_t - target||`` — the paper's *distance* curves."""
+        tgt = np.asarray(target, dtype=float)
+        return np.linalg.norm(self.estimates() - tgt, axis=1)
+
+    def missing_fraction(self) -> np.ndarray:
+        """Per-round fraction of agents with no usable message."""
+        return np.array(
+            [
+                len(r.missing) / (len(r.missing) + len(r.gradients))
+                for r in self.records
+            ]
+        )
+
+    def staleness_profile(self) -> np.ndarray:
+        """Per-round mean staleness of the aggregated messages.
+
+        Stalled rounds (nothing aggregated) contribute ``nan`` — reduce
+        with ``np.nanmean``.
+        """
+        out = np.full(len(self.records), np.nan)
+        for idx, record in enumerate(self.records):
+            if record.staleness:
+                out[idx] = float(np.mean(list(record.staleness.values())))
+        return out
+
+    def stalled_rounds(self) -> int:
+        """Number of rounds where the estimate held for lack of messages."""
+        return sum(1 for r in self.records if r.aggregate is None)
+
+
+class AsynchronousSimulator(ProtocolEngine):
+    """Bounded-staleness robust DGD under composable network faults.
+
+    Args:
+        costs: the agents' local costs — a sequence (stacked through
+            :func:`~repro.functions.batched.stack_costs`) or a prebuilt
+            :class:`~repro.functions.batched.CostStack`.
+        aggregator: the gradient-filter; the ``"shrink"`` missing-value
+            policy rebuilds it per-attendance and therefore needs the
+            registry *name*, not an instance.
+        f: declared fault tolerance.  Every agent the run ever faults —
+            Byzantine from the start (``faulty_ids``), compromised later,
+            or crashed by the schedule — counts against it; stragglers
+            and lossy links are network conditions, not agent faults, and
+            do not.
+        faulty_ids: agents compromised from round 0.
+        conditions: :class:`~repro.distsys.faults.NetworkCondition`
+            pipeline applied, in order, to every round's dispatches.
+        fault_schedule: crash / recover / Byzantine-from-round timeline.
+        staleness_bound: τ — a delivered message is usable while
+            ``t - view_round <= τ``.  τ = 0 accepts only fresh messages
+            (the synchronous limit on a zero-delay network).
+        missing_policy: ``"shrink"`` or ``"masked"`` (see module docs).
+        seed: seeds both the attack stream (identically to the
+            synchronous engine) and a *separate* network stream, so
+            adding conditions never perturbs an attack's fabrications.
+    """
+
+    def __init__(
+        self,
+        costs: Union[Sequence[CostFunction], CostStack],
+        aggregator: Union[GradientAggregator, str],
+        constraint: ConvexSet,
+        schedule: StepSchedule,
+        f: int,
+        initial_estimate: Sequence[float],
+        attack: Optional[ByzantineAttack] = None,
+        faulty_ids: Sequence[int] = (),
+        conditions: Sequence[NetworkCondition] = (),
+        fault_schedule: Optional[FaultSchedule] = None,
+        staleness_bound: int = 0,
+        missing_policy: str = "shrink",
+        omniscient_attack: Optional[bool] = None,
+        seed: int = 0,
+    ):
+        self.stack: CostStack = (
+            costs if isinstance(costs, CostStack) else stack_costs(list(costs))
+        )
+        self.n = self.stack.n
+        self.d = self.stack.dim
+
+        self.fault_schedule = (fault_schedule or FaultSchedule()).validate(self.n)
+        base_faulty = validate_faulty_ids(faulty_ids, self.n)
+        since = self.fault_schedule.compromised_since()
+        for agent in base_faulty:
+            since[agent] = 0  # compromised from the start wins
+        self.compromised_since: Dict[int, int] = since
+        self.byzantine_ids: Tuple[int, ...] = tuple(sorted(since))
+
+        fault_agents = set(self.byzantine_ids) | set(
+            e.agent for e in self.fault_schedule.events if e.kind == "crash"
+        )
+        self.f = validate_fault_count(f, self.n, len(fault_agents))
+        self.attack = attack
+        self.omniscient_attack = validate_attack_plan(
+            attack, len(self.byzantine_ids), omniscient_attack
+        )
+
+        if staleness_bound < 0:
+            raise ValueError("staleness bound must be non-negative")
+        self.staleness_bound = int(staleness_bound)
+        if missing_policy not in MISSING_POLICIES:
+            raise ValueError(
+                f"unknown missing-value policy {missing_policy!r}; "
+                f"known: {', '.join(MISSING_POLICIES)}"
+            )
+        self.missing_policy = missing_policy
+
+        # The attack stream is seeded exactly like the synchronous
+        # engine's; the network stream is separate and tagged.
+        self.rng = np.random.default_rng(seed)
+        self.net_rng = np.random.default_rng((int(seed), 0x6E6574))
+
+        self._aggregator_name: Optional[str] = (
+            aggregator if isinstance(aggregator, str) else None
+        )
+        self.server = RobustServer(
+            initial_estimate=validate_initial_estimate(
+                initial_estimate, dim=self.d
+            ),
+            aggregator=aggregator,
+            constraint=constraint,
+            schedule=schedule,
+            n=self.n,
+            f=self.f,
+        )
+        self._masked_kernel = None
+        self._masked_min = 1
+        if missing_policy == "masked":
+            kernel = masked_kernel_for(self.server.aggregator)
+            if kernel is None:
+                raise ValueError(
+                    f"aggregator {type(self.server.aggregator).__name__} has "
+                    "no masked kernel; use missing_policy='shrink'"
+                )
+            self._masked_kernel = kernel
+            # The kernel's own floor, and never fewer messages than can
+            # outvote the declared tolerance: a round whose attendance is
+            # <= f could consist entirely of fabrications and must stall,
+            # not aggregate (the same contract validate_fault_count's
+            # n_received check enforces on the shrink path).
+            self._masked_min = max(
+                masked_min_attendance(self.server.aggregator), self.f + 1
+            )
+
+        self.conditions: Tuple[NetworkCondition, ...] = tuple(conditions)
+        for condition in self.conditions:
+            condition.begin_run(self.n, self.net_rng)
+
+        #: iterate history x_0 .. x_t — the views stale evaluations index.
+        self._history: List[np.ndarray] = [self.server.estimate.copy()]
+        #: freshest delivered view round per agent (-1: nothing yet).
+        self._freshest = np.full(self.n, -1, dtype=int)
+        #: arrival round -> [(agent, view round)] for in-flight messages.
+        self._in_flight: Dict[int, List[Tuple[int, int]]] = {}
+        self._shrunk_cache: Dict[Tuple[int, int], GradientAggregator] = {}
+        self.trace = AsynchronousTrace()
+
+    @property
+    def iteration(self) -> int:
+        """Current round index (mirrors the server's counter)."""
+        return self.server.iteration
+
+    @property
+    def estimate(self) -> np.ndarray:
+        """The server's current estimate."""
+        return self.server.estimate.copy()
+
+    def _is_compromised(self, agent: int, iteration: int) -> bool:
+        since = self.compromised_since.get(agent)
+        return since is not None and iteration >= since
+
+    # -- protocol stages --------------------------------------------------
+    def observe(self) -> ProtocolRound:
+        """Dispatch, deliver, and evaluate this round's usable messages."""
+        t = self.server.iteration
+        x_t = self.server.estimate.copy()
+
+        # Dispatch round-t messages through the condition pipeline.  The
+        # conditions sample for all n agents every round — the network
+        # stream's consumption never depends on the fault timeline.
+        delays = np.zeros(self.n, dtype=int)
+        dropped = np.zeros(self.n, dtype=bool)
+        for condition in self.conditions:
+            condition.condition_round(t, delays, dropped, self.net_rng)
+        crashed = self.fault_schedule.crashed_mask(t, self.n)
+        for agent in range(self.n):
+            if crashed[agent] or dropped[agent]:
+                continue
+            if (
+                self.attack is not None
+                and self._is_compromised(agent, t)
+                and self.attack.silences(agent, t)
+            ):
+                continue
+            arrival = t + int(delays[agent])
+            self._in_flight.setdefault(arrival, []).append((agent, t))
+
+        # Deliver everything due this round (zero delay arrives in-round,
+        # which is exactly the synchronous rendezvous).
+        delivered = self._in_flight.pop(t, [])
+        for agent, view in delivered:
+            if view > self._freshest[agent]:
+                self._freshest[agent] = view
+
+        usable = (self._freshest >= 0) & (
+            t - self._freshest <= self.staleness_bound
+        )
+
+        # The stale-gradient hot path: every agent's gradient at its own
+        # view iterate, one batched gradients_each call.
+        points = np.stack(
+            [
+                self._history[self._freshest[agent]] if usable[agent] else x_t
+                for agent in range(self.n)
+            ]
+        )[None]
+        all_gradients = self.stack.gradients_each(points)[0]
+
+        gradients: Dict[int, np.ndarray] = {}
+        live_byzantine: List[int] = []
+        views: Dict[int, int] = {}
+        for agent in range(self.n):
+            if not usable[agent]:
+                continue
+            views[agent] = int(self._freshest[agent])
+            if self._is_compromised(agent, t):
+                live_byzantine.append(agent)
+            else:
+                gradients[agent] = all_gradients[agent]
+        missing = tuple(int(i) for i in np.flatnonzero(~usable))
+        return ProtocolRound(
+            iteration=t,
+            estimate=x_t,
+            gradients=gradients,
+            extras={
+                "all_gradients": all_gradients,
+                "live_byzantine": live_byzantine,
+                "views": views,
+                "missing": missing,
+                "delivered": len(delivered),
+            },
+        )
+
+    def fabricate(self, round: ProtocolRound) -> None:
+        """Rewrite the usable messages of currently-compromised agents."""
+        live_byzantine: List[int] = round.extras["live_byzantine"]
+        if not live_byzantine:
+            return
+        all_gradients = round.extras["all_gradients"]
+        views: Dict[int, int] = round.extras["views"]
+        faulty_ids = sorted(live_byzantine)
+        context = AttackContext(
+            iteration=round.iteration,
+            estimate=round.estimate,
+            faulty_ids=faulty_ids,
+            true_gradients={i: all_gradients[i] for i in faulty_ids},
+            honest_gradients=(
+                dict(round.gradients) if self.omniscient_attack else None
+            ),
+            rng=self.rng,
+            view_rounds={i: views[i] for i in faulty_ids},
+            compromised_since={
+                i: self.compromised_since[i] for i in faulty_ids
+            },
+        )
+        fabricated = self.attack.fabricate(context)
+        missing = set(faulty_ids) - set(fabricated)
+        if missing:
+            raise RuntimeError(
+                f"attack produced no gradient for agents {sorted(missing)}"
+            )
+        for agent in faulty_ids:
+            round.gradients[agent] = np.asarray(
+                fabricated[agent], dtype=float
+            )
+
+    def aggregate(self, round: ProtocolRound) -> None:
+        """Apply the filter — through the missing-value policy if short."""
+        received = round.gradients
+        n_received = len(received)
+        if n_received == self.n:
+            # Full attendance: the synchronous engine's exact path.
+            round.aggregates = self.server.filter_gradients(received)
+            return
+        if n_received == 0:
+            round.aggregates = None  # stall: nothing arrived in time
+            return
+        if self.missing_policy == "masked":
+            if n_received < self._masked_min:
+                round.aggregates = None  # stall: cannot keep tolerating f
+                return
+            values = np.zeros((1, 1, self.n, self.d))
+            mask = np.zeros((1, self.n), dtype=bool)
+            for agent, gradient in received.items():
+                values[0, 0, agent] = gradient
+                mask[0, agent] = True
+            round.aggregates = self._masked_kernel(values, mask)[0, 0]
+            return
+        # Shrink-n: rebuild the declared filter for this round's
+        # attendance with step S1's bookkeeping (missing ~ crashed, so n
+        # and f both shrink) — sound exactly when every missing agent
+        # really is one of the f faulty, which is the policy's declared
+        # belief; a missing *honest* agent costs tolerance the round
+        # still spends on the attending adversary.
+        if self._aggregator_name is None:
+            raise RuntimeError(
+                "the shrink-n missing-value policy rebuilds the filter by "
+                "registry name; pass the aggregator as a string or use "
+                "missing_policy='masked'"
+            )
+        n_missing = self.n - n_received
+        f_round = max(0, self.f - n_missing)
+        # Attendance must outvote the shrunk tolerance (explicit, never
+        # assumed): who among the received is faulty is unknowable here,
+        # so only the counts are checked.
+        validate_fault_count(f_round, self.n, 0, n_received=n_received)
+        key = (n_received, f_round)
+        aggregator = self._shrunk_cache.get(key)
+        if aggregator is None:
+            aggregator = make_aggregator(
+                self._aggregator_name, n_received, f_round
+            )
+            self._shrunk_cache[key] = aggregator
+        stacked = np.vstack([received[i] for i in sorted(received)])
+        round.aggregates = aggregator.aggregate(stacked)
+
+    def project(self, round: ProtocolRound) -> AsyncIterationRecord:
+        """Equation-(21) update (or a recorded stall); append the record."""
+        t = round.iteration
+        if round.aggregates is None:
+            self.server.iteration += 1  # time passes; the estimate holds
+        else:
+            self.server.descend(round.aggregates)
+        next_estimate = self.server.estimate.copy()
+        self._history.append(next_estimate)
+        record = AsyncIterationRecord(
+            iteration=t,
+            estimate=round.estimate,
+            gradients=round.gradients,
+            aggregate=round.aggregates,
+            step_size=self.server.schedule(t),
+            next_estimate=next_estimate,
+            missing=round.extras["missing"],
+            staleness={
+                agent: t - view
+                for agent, view in round.extras["views"].items()
+            },
+            delivered=round.extras["delivered"],
+        )
+        self.trace.append(record)
+        return record
+
+    # -- run --------------------------------------------------------------
+    def _run_result(self) -> AsynchronousTrace:
+        return self.trace
+
+    def run(self, iterations: int) -> AsynchronousTrace:
+        """Run ``iterations`` rounds and return the accumulated trace."""
+        return super().run(iterations)
+
+
+def run_asynchronous(
+    costs: Union[Sequence[CostFunction], CostStack],
+    faulty_ids: Sequence[int],
+    aggregator: Union[GradientAggregator, str],
+    attack: Optional[ByzantineAttack],
+    constraint: ConvexSet,
+    schedule: StepSchedule,
+    initial_estimate: Sequence[float],
+    iterations: int,
+    conditions: Sequence[NetworkCondition] = (),
+    fault_schedule: Optional[FaultSchedule] = None,
+    staleness_bound: int = 0,
+    missing_policy: str = "shrink",
+    seed: int = 0,
+    omniscient_attack: Optional[bool] = None,
+) -> AsynchronousTrace:
+    """Convenience wrapper mirroring :func:`~repro.distsys.simulator.run_dgd`.
+
+    ``f`` is the ground truth: the number of distinct agents the run ever
+    faults (initially Byzantine, compromised later, or crashed).
+    """
+    schedule_faults = fault_schedule or FaultSchedule()
+    fault_agents = set(int(i) for i in faulty_ids) | set(
+        schedule_faults.fault_agents()
+    )
+    simulator = AsynchronousSimulator(
+        costs=costs,
+        aggregator=aggregator,
+        constraint=constraint,
+        schedule=schedule,
+        f=len(fault_agents),
+        initial_estimate=initial_estimate,
+        attack=attack,
+        faulty_ids=faulty_ids,
+        conditions=conditions,
+        fault_schedule=schedule_faults,
+        staleness_bound=staleness_bound,
+        missing_policy=missing_policy,
+        omniscient_attack=omniscient_attack,
+        seed=seed,
+    )
+    return simulator.run(iterations)

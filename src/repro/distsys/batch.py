@@ -43,6 +43,7 @@ from ..optim.schedules import StepSchedule
 from .engine import (
     ProtocolEngine,
     ProtocolRound,
+    validate_attack_plan,
     validate_faulty_ids,
     validate_initial_estimate,
 )
@@ -196,17 +197,12 @@ class BatchSimulator(ProtocolEngine):
         self._omniscient: List[bool] = []
         for trial in self.trials:
             faulty = validate_faulty_ids(trial.faulty_ids, self.n)
-            if faulty and trial.attack is None:
-                raise ValueError("trial has faulty agents but no attack")
-            omniscient = False
-            if trial.attack is not None:
-                omniscient = trial.omniscient_attack
-                if omniscient is None:
-                    omniscient = bool(trial.attack.requires_omniscience)
-                if trial.attack.requires_omniscience and not omniscient:
-                    raise ValueError(
-                        f"attack {trial.attack.name!r} requires omniscient access"
-                    )
+            omniscient = validate_attack_plan(
+                trial.attack,
+                len(faulty),
+                trial.omniscient_attack,
+                full_attendance_engine="batch engine",
+            )
             self._faulty.append(faulty)
             self._omniscient.append(bool(omniscient))
             start = (

@@ -36,6 +36,7 @@ __all__ = [
     "validate_faulty_ids",
     "validate_fault_count",
     "validate_initial_estimate",
+    "validate_attack_plan",
 ]
 
 
@@ -58,7 +59,9 @@ def validate_faulty_ids(faulty_ids: Sequence[int], n: int) -> Tuple[int, ...]:
     return tuple(sorted(ids))
 
 
-def validate_fault_count(f: int, n: int, n_faulty: int) -> int:
+def validate_fault_count(
+    f: int, n: int, n_faulty: int, n_received: Optional[int] = None
+) -> int:
     """Check the declared tolerance ``f`` against the actual fault count.
 
     The paper treats ``f`` as a known system parameter: the server must
@@ -66,6 +69,14 @@ def validate_fault_count(f: int, n: int, n_faulty: int) -> int:
     more than ``f`` Byzantine agents is a silent lie — every guarantee is
     void while the run still "works".  Requires ``0 <= f < n`` and
     ``n_faulty <= f``.
+
+    ``n_received`` makes partial attendance explicit: the synchronous
+    engines always receive ``n`` messages, but an asynchronous round may
+    aggregate fewer.  When given, a round whose attendance cannot outvote
+    the declared tolerance (``n_received <= f``) is rejected — up to ``f``
+    of the received messages may be fabricated, so such a round has no
+    honest majority of inputs and must be stalled or shrunk, never
+    silently aggregated as if attendance were full.
     """
     f = int(f)
     if not 0 <= f < n:
@@ -74,6 +85,17 @@ def validate_fault_count(f: int, n: int, n_faulty: int) -> int:
         raise ValueError(
             f"{n_faulty} Byzantine agents exceed the declared tolerance f={f}"
         )
+    if n_received is not None:
+        n_received = int(n_received)
+        if not 0 <= n_received <= n:
+            raise ValueError(
+                f"received {n_received} messages in a system of {n} agents"
+            )
+        if n_received <= f:
+            raise ValueError(
+                f"only {n_received} of {n} agents attended; a round tolerating "
+                f"f={f} faults needs at least f+1 = {f + 1} messages"
+            )
     return f
 
 
@@ -93,6 +115,39 @@ def validate_initial_estimate(
     if not np.all(np.isfinite(arr)):
         raise ValueError("initial estimate contains non-finite entries")
     return arr
+
+
+def validate_attack_plan(
+    attack,
+    n_faulty: int,
+    omniscient: Optional[bool] = None,
+    full_attendance_engine: Optional[str] = None,
+) -> bool:
+    """Shared validation of an engine's attack configuration.
+
+    Every engine runs the same three preconditions: faulty agents need an
+    attack to speak for them; engines that cannot represent a missing
+    message (named via ``full_attendance_engine``) must reject
+    crash-capable attacks (``may_be_silent``) instead of silently
+    fabricating for a crashed agent; and an attack requiring omniscient
+    access cannot have it explicitly withheld.  Returns the resolved
+    omniscience flag (defaulting to the attack's own requirement).
+    """
+    if n_faulty and attack is None:
+        raise ValueError("faulty agents present but no attack given")
+    if attack is None:
+        return False
+    if full_attendance_engine is not None and attack.may_be_silent:
+        raise ValueError(
+            f"attack {attack.name!r} models crash-style silence; the "
+            f"{full_attendance_engine} runs full-attendance lockstep — "
+            "use SynchronousSimulator or AsynchronousSimulator"
+        )
+    if omniscient is None:
+        omniscient = bool(attack.requires_omniscience)
+    if attack.requires_omniscience and not omniscient:
+        raise ValueError(f"attack {attack.name!r} requires omniscient access")
+    return bool(omniscient)
 
 
 # -- the protocol round --------------------------------------------------------

@@ -1,0 +1,354 @@
+"""Composable network conditions and fault-schedule timelines.
+
+The synchronous engines assume the paper's lock-step round: every message
+sent in round ``t`` is delivered in round ``t``.  This module describes the
+ways a real deployment breaks that assumption, as data the asynchronous
+engine (:mod:`repro.distsys.asynchronous`) can replay deterministically:
+
+* :class:`NetworkCondition` — one aspect of link behaviour (a per-link
+  delay distribution, an i.i.d. or bursty drop process, a straggler set
+  with slowdown factors).  Conditions *compose*: the engine applies them in
+  sequence to the round's per-agent delay vector and drop mask, so "uplink
+  delays uniform on {0,1,2}, plus 10% i.i.d. loss, plus agent 3 running 4x
+  slow" is just a list of three conditions.
+* :class:`FaultSchedule` — a timeline of *agent* faults: crash-at-round,
+  crash-and-recover, and Byzantine-from-round events.  Crash and Byzantine
+  faults therefore compose in one run (an agent can crash, recover, and
+  later be compromised).
+
+Everything is deterministic given the engine's seed: conditions draw from a
+dedicated network generator (separate from the attack's stream, so adding a
+condition never perturbs an attack's fabrications), and they sample for all
+``n`` agents every round regardless of crash state, keeping the stream's
+consumption independent of the fault timeline.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DelaySampler",
+    "fixed_delay",
+    "uniform_delay",
+    "geometric_delay",
+    "NetworkCondition",
+    "LinkDelay",
+    "IIDDrop",
+    "BurstyDrop",
+    "Stragglers",
+    "FaultEvent",
+    "FaultSchedule",
+]
+
+
+# -- delay distributions -------------------------------------------------------
+
+#: Samples ``size`` non-negative integer round delays from a generator.
+DelaySampler = Callable[[np.random.Generator, int], np.ndarray]
+
+
+def fixed_delay(rounds: int) -> DelaySampler:
+    """Every message takes exactly ``rounds`` extra rounds to arrive."""
+    if rounds < 0:
+        raise ValueError("delay must be non-negative")
+
+    def sample(rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.full(size, int(rounds), dtype=int)
+
+    return sample
+
+
+def uniform_delay(low: int, high: int) -> DelaySampler:
+    """Delays drawn uniformly from the integers ``low..high`` inclusive."""
+    if not 0 <= low <= high:
+        raise ValueError(f"need 0 <= low <= high, got {low}..{high}")
+
+    def sample(rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.integers(int(low), int(high) + 1, size=size)
+
+    return sample
+
+
+def geometric_delay(p: float, cap: int = 64) -> DelaySampler:
+    """Geometric delays (number of failures before success), capped.
+
+    ``p`` is the per-round delivery probability; the cap keeps a single
+    unlucky draw from stalling a bounded-staleness run forever.
+    """
+    if not 0 < p <= 1:
+        raise ValueError("delivery probability must be in (0, 1]")
+    if cap < 0:
+        raise ValueError("cap must be non-negative")
+
+    def sample(rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.minimum(rng.geometric(p, size=size) - 1, int(cap))
+
+    return sample
+
+
+# -- composable link conditions ------------------------------------------------
+
+class NetworkCondition(abc.ABC):
+    """One composable aspect of per-link behaviour.
+
+    The asynchronous engine calls :meth:`begin_run` once, then
+    :meth:`condition_round` every round with the per-agent ``delays``
+    (int ``(n,)`` array of extra rounds before the server sees each
+    agent's round-``t`` message) and ``dropped`` (bool ``(n,)`` mask);
+    conditions refine both arrays in place, in registration order.
+    """
+
+    def begin_run(self, n: int, rng: np.random.Generator) -> None:
+        """Reset any per-run state (burst chains, ...); default: none."""
+
+    @abc.abstractmethod
+    def condition_round(
+        self,
+        iteration: int,
+        delays: np.ndarray,
+        dropped: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        """Refine this round's per-agent delays and drop mask in place."""
+
+    def __repr__(self) -> str:
+        params = {
+            k: v for k, v in vars(self).items() if not k.startswith("_")
+        }
+        inner = ", ".join(f"{k}={v!r}" for k, v in params.items())
+        return f"{type(self).__name__}({inner})"
+
+
+def _agent_mask(agents: Optional[Iterable[int]], n: int) -> np.ndarray:
+    """Boolean selector for a condition's agent subset (default: all)."""
+    if agents is None:
+        return np.ones(n, dtype=bool)
+    mask = np.zeros(n, dtype=bool)
+    ids = [int(i) for i in agents]
+    bad = sorted(i for i in ids if not 0 <= i < n)
+    if bad:
+        raise ValueError(f"condition names agents {bad} outside range(n={n})")
+    mask[ids] = True
+    return mask
+
+
+class LinkDelay(NetworkCondition):
+    """Adds sampled delivery delays to the links of ``agents`` (default all)."""
+
+    def __init__(
+        self, sampler: DelaySampler, agents: Optional[Sequence[int]] = None
+    ):
+        self.sampler = sampler
+        self.agents = None if agents is None else tuple(int(i) for i in agents)
+        self._mask: Optional[np.ndarray] = None
+
+    def begin_run(self, n: int, rng: np.random.Generator) -> None:
+        self._mask = _agent_mask(self.agents, n)
+
+    def condition_round(self, iteration, delays, dropped, rng) -> None:
+        extra = np.asarray(self.sampler(rng, delays.shape[0]), dtype=int)
+        if extra.shape != delays.shape or (extra < 0).any():
+            raise ValueError(
+                "delay sampler must return non-negative integers, one per agent"
+            )
+        delays += np.where(self._mask, extra, 0)
+
+
+class IIDDrop(NetworkCondition):
+    """Each message on the selected links is lost i.i.d. with ``rate``."""
+
+    def __init__(self, rate: float, agents: Optional[Sequence[int]] = None):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("drop rate must be in [0, 1]")
+        self.rate = float(rate)
+        self.agents = None if agents is None else tuple(int(i) for i in agents)
+        self._mask: Optional[np.ndarray] = None
+
+    def begin_run(self, n: int, rng: np.random.Generator) -> None:
+        self._mask = _agent_mask(self.agents, n)
+
+    def condition_round(self, iteration, delays, dropped, rng) -> None:
+        draws = rng.random(dropped.shape[0]) < self.rate
+        dropped |= draws & self._mask
+
+
+class BurstyDrop(NetworkCondition):
+    """Gilbert–Elliott bursty loss: a two-state good/bad chain per link.
+
+    Each selected link flips from *good* to *bad* with probability
+    ``enter`` per round and back with probability ``exit``; messages sent
+    while the link is bad are lost with probability ``rate_in_burst``
+    (default: all of them).  This models correlated outages — the regime
+    where i.i.d. loss is a bad approximation.
+    """
+
+    def __init__(
+        self,
+        enter: float,
+        exit: float,
+        rate_in_burst: float = 1.0,
+        agents: Optional[Sequence[int]] = None,
+    ):
+        for name, p in (("enter", enter), ("exit", exit),
+                        ("rate_in_burst", rate_in_burst)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        self.enter = float(enter)
+        self.exit = float(exit)
+        self.rate_in_burst = float(rate_in_burst)
+        self.agents = None if agents is None else tuple(int(i) for i in agents)
+        self._mask: Optional[np.ndarray] = None
+        self._in_burst: Optional[np.ndarray] = None
+
+    def begin_run(self, n: int, rng: np.random.Generator) -> None:
+        self._mask = _agent_mask(self.agents, n)
+        self._in_burst = np.zeros(n, dtype=bool)  # every link starts good
+
+    def condition_round(self, iteration, delays, dropped, rng) -> None:
+        n = dropped.shape[0]
+        flips = rng.random(n)
+        entering = ~self._in_burst & (flips < self.enter)
+        leaving = self._in_burst & (flips < self.exit)
+        self._in_burst = (self._in_burst | entering) & ~leaving
+        losses = rng.random(n) < self.rate_in_burst
+        dropped |= self._in_burst & losses & self._mask
+
+
+class Stragglers(NetworkCondition):
+    """A straggler set: agents whose round-trips run ``slowdown``-times slow.
+
+    A slowdown of ``k`` stretches the agent's effective message latency to
+    ``ceil(k * (delay + 1)) - 1`` rounds — so a straggler is slow even on a
+    zero-delay network (compute time dominates), and a slowdown of 1 is a
+    no-op.  Apply *after* the delay conditions it should scale.
+    """
+
+    def __init__(self, slowdown: Dict[int, float]):
+        if not slowdown:
+            raise ValueError("straggler set is empty")
+        for agent, factor in slowdown.items():
+            if factor < 1.0:
+                raise ValueError(
+                    f"slowdown for agent {agent} must be >= 1, got {factor}"
+                )
+        self.slowdown = {int(a): float(s) for a, s in slowdown.items()}
+        self._factors: Optional[np.ndarray] = None
+
+    def begin_run(self, n: int, rng: np.random.Generator) -> None:
+        _agent_mask(self.slowdown, n)  # range-check the ids
+        self._factors = np.ones(n)
+        for agent, factor in self.slowdown.items():
+            self._factors[agent] = factor
+
+    def condition_round(self, iteration, delays, dropped, rng) -> None:
+        stretched = np.ceil(self._factors * (delays + 1.0)) - 1.0
+        delays[:] = stretched.astype(int)
+
+
+# -- fault-schedule timelines --------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One agent-fault on the timeline.
+
+    ``kind`` is ``"crash"`` (the agent stops sending from round ``start``,
+    resuming at ``end`` if set) or ``"byzantine"`` (the agent is compromised
+    from round ``start`` onward — compromise does not end).
+    """
+
+    kind: str
+    agent: int
+    start: int
+    end: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in ("crash", "byzantine"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.agent < 0:
+            raise ValueError("agent id must be non-negative")
+        if self.start < 0:
+            raise ValueError("fault rounds must be non-negative")
+        if self.kind == "byzantine" and self.end is not None:
+            raise ValueError("byzantine compromise does not end")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError(
+                f"recovery round {self.end} must follow crash round {self.start}"
+            )
+
+
+class FaultSchedule:
+    """An immutable timeline of crash and Byzantine-from-round events.
+
+    Built fluently — each method returns a *new* schedule, so a base
+    timeline can be shared across sweep cells::
+
+        schedule = (FaultSchedule()
+                    .crash(3, at=10, recover_at=25)
+                    .byzantine(0, from_round=40))
+    """
+
+    def __init__(self, events: Sequence[FaultEvent] = ()):
+        self.events: Tuple[FaultEvent, ...] = tuple(events)
+
+    def crash(
+        self, agent: int, at: int, recover_at: Optional[int] = None
+    ) -> "FaultSchedule":
+        """Agent ``agent`` sends nothing during ``[at, recover_at)``."""
+        event = FaultEvent("crash", int(agent), int(at),
+                           None if recover_at is None else int(recover_at))
+        return FaultSchedule(self.events + (event,))
+
+    def byzantine(self, agent: int, from_round: int = 0) -> "FaultSchedule":
+        """Agent ``agent`` is compromised from ``from_round`` onward."""
+        event = FaultEvent("byzantine", int(agent), int(from_round))
+        return FaultSchedule(self.events + (event,))
+
+    def validate(self, n: int) -> "FaultSchedule":
+        """Range-check every event against a system of ``n`` agents."""
+        bad = sorted({e.agent for e in self.events if not 0 <= e.agent < n})
+        if bad:
+            raise ValueError(f"fault schedule names agents {bad} outside range(n={n})")
+        compromised = [e.agent for e in self.events if e.kind == "byzantine"]
+        duplicates = sorted({a for a in compromised if compromised.count(a) > 1})
+        if duplicates:
+            raise ValueError(
+                f"agents {duplicates} have multiple byzantine events; "
+                "compromise is permanent, declare it once"
+            )
+        return self
+
+    # -- queries the engine makes every round -----------------------------
+    def crashed_mask(self, iteration: int, n: int) -> np.ndarray:
+        """Boolean ``(n,)`` mask of agents crashed (not sending) at ``t``."""
+        mask = np.zeros(n, dtype=bool)
+        for event in self.events:
+            if event.kind != "crash":
+                continue
+            if event.start <= iteration and (
+                event.end is None or iteration < event.end
+            ):
+                mask[event.agent] = True
+        return mask
+
+    def compromised_since(self) -> Dict[int, int]:
+        """Earliest compromise round per Byzantine agent."""
+        since: Dict[int, int] = {}
+        for event in self.events:
+            if event.kind == "byzantine":
+                since[event.agent] = min(
+                    since.get(event.agent, math.inf), event.start
+                )
+        return {agent: int(start) for agent, start in since.items()}
+
+    def fault_agents(self) -> Tuple[int, ...]:
+        """Every agent the timeline faults (crash or compromise), sorted."""
+        return tuple(sorted({e.agent for e in self.events}))
+
+    def __repr__(self) -> str:
+        return f"FaultSchedule(events={list(self.events)!r})"

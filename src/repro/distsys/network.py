@@ -26,7 +26,12 @@ from ..attacks.base import AttackContext, ByzantineAttack
 from ..functions.base import CostFunction
 from ..optim.projections import ConvexSet
 from ..optim.schedules import StepSchedule
-from .engine import validate_faulty_ids
+from .engine import (
+    validate_attack_plan,
+    validate_fault_count,
+    validate_faulty_ids,
+    validate_initial_estimate,
+)
 from .messages import GradientReply, GradientRequest
 from .server import RobustServer
 from .trace import ExecutionTrace, IterationRecord
@@ -109,23 +114,34 @@ class MessagePassingDGD:
         attack: Optional[ByzantineAttack] = None,
         silent_after: Optional[Dict[int, int]] = None,
         seed: int = 0,
+        f: Optional[int] = None,
     ):
         self.costs = list(costs)
         self.n_initial = len(self.costs)
         self.faulty = frozenset(validate_faulty_ids(faulty_ids, self.n_initial))
-        if self.faulty and attack is None:
-            raise ValueError("faulty agents present but no attack given")
+        # Omniscience is read off the attack at reply time (as before);
+        # the shared faulty-without-attack check still applies.
+        validate_attack_plan(attack, len(self.faulty))
         self.attack = attack
         self.silent_after = dict(silent_after or {})
+        # The same shared checks the engines run: the declared tolerance
+        # (defaulting to the ground-truth fault count, as in run_dgd) must
+        # cover the actual faulty set, and the start must be a finite
+        # vector of the problem's dimension.
+        declared_f = len(self.faulty) if f is None else f
+        validate_fault_count(declared_f, self.n_initial, len(self.faulty))
+        start = validate_initial_estimate(
+            initial_estimate, dim=self.costs[0].dim if self.costs else None
+        )
         self.network = SynchronousNetwork()
         self.rng = np.random.default_rng(seed)
         self.server = RobustServer(
-            initial_estimate=np.asarray(initial_estimate, dtype=float),
+            initial_estimate=start,
             aggregator=aggregator,
             constraint=constraint,
             schedule=schedule,
             n=self.n_initial,
-            f=len(self.faulty),
+            f=declared_f,
         )
         self.active: List[int] = list(range(self.n_initial))
         self.trace = ExecutionTrace()
@@ -192,7 +208,11 @@ class MessagePassingDGD:
             assert len(envelopes) == 1, "synchronous round delivers one request"
             req = envelopes[0].payload
             cutoff = self.silent_after.get(agent_id)
-            if cutoff is not None and t >= cutoff:
+            if (cutoff is not None and t >= cutoff) or (
+                agent_id in self.faulty
+                and self.attack is not None
+                and self.attack.silences(agent_id, t)
+            ):
                 silent.append(agent_id)
                 continue
             if agent_id in self.faulty:

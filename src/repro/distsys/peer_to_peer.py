@@ -26,6 +26,7 @@ from .broadcast import BroadcastAdversary, EquivocatingAdversary, byzantine_broa
 from .engine import (
     ProtocolEngine,
     ProtocolRound,
+    validate_attack_plan,
     validate_faulty_ids,
     validate_initial_estimate,
 )
@@ -58,8 +59,15 @@ class PeerToPeerSimulator(ProtocolEngine):
                 f"peer-to-peer simulation requires f < n/3 "
                 f"(got n={self.n}, f={self.f})"
             )
-        if self.faulty and attack is None:
-            raise ValueError("faulty agents present but no attack given")
+        validate_attack_plan(
+            attack,
+            len(self.faulty),
+            # Omniscience is resolved at fabrication time here (the OM(f)
+            # views are what the adversary sees); only the shared
+            # faulty-without-attack and crash-style-silence checks apply.
+            omniscient=True,
+            full_attendance_engine="peer-to-peer engine's OM(f) broadcast",
+        )
         self.attack = attack
         self.broadcast_adversary = broadcast_adversary or EquivocatingAdversary()
         if isinstance(aggregator, str):

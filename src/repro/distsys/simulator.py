@@ -31,6 +31,7 @@ from .agents import Agent, ByzantineAgent, HonestAgent
 from .engine import (
     ProtocolEngine,
     ProtocolRound,
+    validate_attack_plan,
     validate_fault_count,
     validate_faulty_ids,
 )
@@ -63,16 +64,10 @@ class SynchronousSimulator(ProtocolEngine):
         self.active_ids: List[int] = sorted(self.agents)
         byzantine = [a for a in agents if a.is_byzantine]
         validate_fault_count(f, len(agents), len(byzantine))
-        if byzantine and attack is None:
-            raise ValueError("byzantine agents present but no attack given")
         self.attack = attack
-        if omniscient_attack is None:
-            omniscient_attack = bool(attack and attack.requires_omniscience)
-        if attack and attack.requires_omniscience and not omniscient_attack:
-            raise ValueError(
-                f"attack {attack.name!r} requires omniscient access"
-            )
-        self.omniscient_attack = omniscient_attack
+        self.omniscient_attack = validate_attack_plan(
+            attack, len(byzantine), omniscient_attack
+        )
         self.rng = np.random.default_rng(seed)
         self.server = RobustServer(
             initial_estimate=np.asarray(initial_estimate, dtype=float),
@@ -102,7 +97,12 @@ class SynchronousSimulator(ProtocolEngine):
         for agent_id in list(self.active_ids):
             agent = self.agents[agent_id]
             if isinstance(agent, ByzantineAgent):
-                if agent.is_silent(t):
+                # Crash-style silence comes from the agent's own cutoff or
+                # from the attack behaviour (e.g. the registry's "crash").
+                if agent.is_silent(t) or (
+                    self.attack is not None
+                    and self.attack.silences(agent_id, t)
+                ):
                     silent.append(agent_id)
                 else:
                     live_byzantine.append(agent)

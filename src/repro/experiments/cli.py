@@ -98,6 +98,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="seeds per cell (only stochastic attacks vary across seeds)",
     )
 
+    p = sub.add_parser(
+        "asynchronous",
+        help="event-driven engine: staleness x drop-rate x filter sweep",
+    )
+    p.add_argument("--iterations", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        help="seeds per cell (delays and drops are stochastic, so more "
+        "seeds tighten the radius estimates)",
+    )
+
     sub.add_parser(
         "list",
         help="discoverability: registered aggregators, attacks and topologies",
@@ -359,6 +373,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             seeds=tuple(range(args.seed, args.seed + args.seeds)),
         )
         print(render_decentralized_report(rows, iterations=args.iterations))
+    elif args.command == "asynchronous":
+        from .asynchronous import asynchronous_sweep, render_asynchronous_report
+
+        rows = asynchronous_sweep(
+            iterations=args.iterations,
+            seeds=tuple(range(args.seed, args.seed + args.seeds)),
+        )
+        print(render_asynchronous_report(rows, iterations=args.iterations))
     elif args.command == "list":
         print(_render_registries())
     elif args.command == "all":

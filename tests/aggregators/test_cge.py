@@ -117,3 +117,36 @@ class TestAveragedCGE:
         summed = CGEAggregator(f=f).aggregate(grads)
         averaged = AveragedCGE(f=f).aggregate(grads)
         assert np.allclose(summed, averaged * (n - f), atol=1e-8)
+
+
+class TestExplicitAttendance:
+    def test_partial_attendance_allowed_when_capacity_holds(self):
+        agg = CGEAggregator(f=1, expected_n=6)
+        out = agg.aggregate(np.ones((4, 2)))
+        assert out.shape == (2,)
+
+    def test_over_attendance_rejected(self):
+        agg = CGEAggregator(f=1, expected_n=4)
+        with pytest.raises(ValueError, match="declared with n=4"):
+            agg.aggregate(np.ones((5, 2)))
+
+    def test_thin_attendance_names_the_shortfall(self):
+        agg = CGEAggregator(f=1, expected_n=6)
+        with pytest.raises(ValueError, match="received 1 of 6"):
+            agg.aggregate(np.ones((1, 2)))
+
+    def test_batch_path_checks_attendance_too(self):
+        agg = CGEAggregator(f=1, expected_n=4)
+        with pytest.raises(ValueError, match="declared with n=4"):
+            agg.aggregate_batch(np.ones((3, 5, 2)))
+
+    def test_registry_declares_expected_n(self):
+        from repro.aggregators import make_aggregator
+
+        agg = make_aggregator("cge", 6, 1)
+        assert agg.expected_n == 6
+        assert make_aggregator("cge_mean", 5, 1).expected_n == 5
+
+    def test_no_expected_n_keeps_legacy_behavior(self):
+        agg = CGEAggregator(f=1)
+        assert agg.aggregate(np.ones((3, 2))).shape == (2,)

@@ -108,3 +108,24 @@ class TestCoordinateWiseMedian:
         assert np.allclose(
             CoordinateWiseMedian().aggregate(grads), np.median(grads, axis=0)
         )
+
+
+class TestExplicitAttendance:
+    def test_partial_attendance_allowed_when_trim_holds(self):
+        agg = CWTMAggregator(f=1, expected_n=6)
+        assert agg.aggregate(np.ones((4, 2))).shape == (2,)
+
+    def test_over_attendance_rejected(self):
+        agg = CWTMAggregator(f=1, expected_n=4)
+        with pytest.raises(ValueError, match="declared with n=4"):
+            agg.aggregate(np.ones((5, 2)))
+
+    def test_thin_attendance_names_the_shortfall(self):
+        agg = CWTMAggregator(f=1, expected_n=6)
+        with pytest.raises(ValueError, match="received 2 of 6"):
+            agg.aggregate(np.ones((2, 2)))
+
+    def test_registry_declares_expected_n(self):
+        from repro.aggregators import make_aggregator
+
+        assert make_aggregator("cwtm", 6, 1).expected_n == 6

@@ -183,3 +183,49 @@ class TestAttackContext:
         ctx = make_context(rng, with_honest=False)
         with pytest.raises(RuntimeError):
             ctx.honest_stack()
+
+
+class TestCrashAttack:
+    def test_registered(self):
+        assert "crash" in available_attacks()
+        attack = make_attack("crash")
+        assert attack.may_be_silent
+        assert attack.silences(0, 0)
+
+    def test_honest_until_the_crash_round(self, rng):
+        from repro.attacks import CrashAttack
+
+        attack = CrashAttack(crash_at=10)
+        assert not attack.silences(3, 9)
+        assert attack.silences(3, 10)
+        ctx = make_context(rng)
+        out = attack.fabricate(ctx)
+        for i in ctx.faulty_ids:
+            assert np.array_equal(out[i], ctx.true_gradients[i])
+
+    def test_negative_crash_round_rejected(self):
+        from repro.attacks import CrashAttack
+
+        with pytest.raises(ValueError):
+            CrashAttack(crash_at=-1)
+
+    def test_other_attacks_never_silent(self):
+        for name in available_attacks():
+            attack = make_attack(name)
+            if name == "crash":
+                continue
+            assert not attack.may_be_silent
+            assert not attack.silences(0, 100)
+
+
+class TestTimelineAwareContext:
+    def test_staleness_defaults_to_fresh(self, rng):
+        ctx = make_context(rng)
+        assert ctx.staleness(3) == 0
+
+    def test_staleness_from_view_rounds(self, rng):
+        ctx = make_context(rng)
+        ctx.iteration = 12
+        ctx.view_rounds = {3: 9, 4: 12}
+        assert ctx.staleness(3) == 3
+        assert ctx.staleness(4) == 0

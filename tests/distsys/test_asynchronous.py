@@ -1,0 +1,447 @@
+"""Asynchronous engine: degenerate pinning, staleness semantics, policies.
+
+The headline contract is DESIGN invariant 4 taken literally: the
+degenerate configuration of :class:`~repro.distsys.asynchronous.AsynchronousSimulator`
+— no conditions, no schedule, no drops — must pin **bit-for-bit** (``==``,
+not ``allclose``) to :class:`~repro.distsys.simulator.SynchronousSimulator`
+across aggregator × attack × seed.  The quadratic system is used for the
+exact pinning (its stacked einsum is bit-compatible with the per-agent
+oracle); the paper's least-squares system is additionally pinned to 1e-9,
+the engine-equivalence suite's standard tolerance for einsum-order drift.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregators import make_aggregator
+from repro.attacks.registry import make_attack
+from repro.distsys import (
+    AsynchronousSimulator,
+    FaultSchedule,
+    IIDDrop,
+    LinkDelay,
+    Stragglers,
+    fixed_delay,
+    run_asynchronous,
+    run_dgd,
+    uniform_delay,
+)
+from repro.functions import SquaredDistanceCost
+from repro.functions.batched import LoopCostStack
+from repro.optim import BoxSet, paper_schedule
+
+ITERATIONS = 40
+AGGREGATORS = ("cge", "cwtm", "median", "krum", "geomedian", "mean")
+ATTACKS = ("gradient_reverse", "random", "zero", "alie", "cge_evasion")
+SEEDS = (0, 1)
+
+
+def quadratic_costs(n=6, seed=7):
+    rng = np.random.default_rng(seed)
+    return [SquaredDistanceCost(rng.normal(size=2)) for _ in range(n)]
+
+
+def sync_trajectory(costs, faulty, aggregator, attack, seed, iterations=ITERATIONS):
+    trace = run_dgd(
+        costs=costs,
+        faulty_ids=faulty,
+        aggregator=aggregator,
+        attack=None if attack is None else make_attack(attack),
+        constraint=BoxSet.symmetric(100.0, dim=2),
+        schedule=paper_schedule(),
+        initial_estimate=np.zeros(2),
+        iterations=iterations,
+        seed=seed,
+    )
+    return trace.estimates()
+
+
+def async_trajectory(
+    costs, faulty, aggregator, attack, seed, iterations=ITERATIONS, **kwargs
+):
+    trace = run_asynchronous(
+        costs=costs,
+        faulty_ids=faulty,
+        aggregator=aggregator,
+        attack=None if attack is None else make_attack(attack),
+        constraint=BoxSet.symmetric(100.0, dim=2),
+        schedule=paper_schedule(),
+        initial_estimate=np.zeros(2),
+        iterations=iterations,
+        seed=seed,
+        **kwargs,
+    )
+    return trace.estimates()
+
+
+class TestDegeneratePinsBitForBit:
+    """Zero delay, no drops, no crashes  ==  the synchronous engine."""
+
+    @pytest.mark.parametrize("aggregator", AGGREGATORS)
+    @pytest.mark.parametrize("attack", ATTACKS)
+    def test_quadratic_system_exact(self, aggregator, attack):
+        costs = quadratic_costs()
+        for seed in SEEDS:
+            expected = sync_trajectory(costs, [0], aggregator, attack, seed)
+            actual = async_trajectory(costs, [0], aggregator, attack, seed)
+            assert (actual == expected).all(), (aggregator, attack, seed)
+
+    def test_paper_system_exact_on_loop_stack(self, paper):
+        # The loop stack amortizes the batch axis through each cost's own
+        # gradient_batch, which is bit-compatible with the per-agent oracle.
+        for aggregator, attack in (("cge", "gradient_reverse"), ("cwtm", "random")):
+            sync = run_dgd(
+                paper.costs, list(paper.faulty_ids), aggregator,
+                make_attack(attack), paper.constraint, paper.schedule,
+                paper.initial_estimate, ITERATIONS, seed=1,
+            )
+            asyn = run_asynchronous(
+                LoopCostStack(paper.costs), list(paper.faulty_ids),
+                aggregator, make_attack(attack), paper.constraint,
+                paper.schedule, paper.initial_estimate, ITERATIONS, seed=1,
+            )
+            assert (asyn.estimates() == sync.estimates()).all()
+
+    @pytest.mark.parametrize("aggregator", ("cge", "cwtm", "median"))
+    def test_paper_system_einsum_stack_1e9(self, paper, aggregator):
+        # The coefficient-stacked einsum may differ from the per-agent
+        # oracle in the last ulp — the standard engine-contract tolerance.
+        sync = run_dgd(
+            paper.costs, list(paper.faulty_ids), aggregator,
+            make_attack("gradient_reverse"), paper.constraint,
+            paper.schedule, paper.initial_estimate, 120, seed=0,
+        )
+        asyn = run_asynchronous(
+            paper.costs, list(paper.faulty_ids), aggregator,
+            make_attack("gradient_reverse"), paper.constraint,
+            paper.schedule, paper.initial_estimate, 120, seed=0,
+        )
+        assert np.abs(asyn.estimates() - sync.estimates()).max() < 1e-9
+
+    def test_degenerate_records_full_attendance(self):
+        costs = quadratic_costs()
+        trace = run_asynchronous(
+            costs, [0], "cge", make_attack("zero"),
+            BoxSet.symmetric(100.0, dim=2), paper_schedule(),
+            np.zeros(2), 10,
+        )
+        assert trace.stalled_rounds() == 0
+        assert trace.missing_fraction().max() == 0.0
+        assert all(r.staleness[i] == 0 for r in trace for i in r.staleness)
+
+
+class TestHypothesisProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        aggregator=st.sampled_from(("cge", "cwtm", "median", "mean")),
+        attack=st.sampled_from(("gradient_reverse", "random", "zero")),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_tau_zero_equals_synchronous(self, seed, aggregator, attack):
+        """τ = 0 accepts only fresh messages: on a benign network the
+        engine *is* the synchronous engine, for any seed."""
+        costs = quadratic_costs()
+        expected = sync_trajectory(
+            costs, [0], aggregator, attack, seed, iterations=25
+        )
+        actual = async_trajectory(
+            costs, [0], aggregator, attack, seed, iterations=25,
+            staleness_bound=0,
+        )
+        assert (actual == expected).all()
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        aggregator=st.sampled_from(("cge", "cwtm", "median")),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_full_drop_on_byzantine_links_recovers_fault_free(
+        self, seed, aggregator
+    ):
+        """Drop rate 1.0 on every Byzantine link: the shrink policy's
+        S1-style bookkeeping recovers the fault-free honest-only run."""
+        costs = quadratic_costs()
+        faulty = [0, 3]
+        byzantine_dropped = async_trajectory(
+            costs, faulty, aggregator, "gradient_reverse", seed,
+            iterations=25,
+            conditions=[IIDDrop(1.0, agents=faulty)],
+            staleness_bound=0,
+            missing_policy="shrink",
+        )
+        honest_costs = [c for i, c in enumerate(costs) if i not in faulty]
+        fault_free = sync_trajectory(
+            honest_costs, [], aggregator, None, seed, iterations=25
+        )
+        assert (byzantine_dropped == fault_free).all()
+
+
+class TestStalenessSemantics:
+    def test_delayed_messages_are_stale_views(self, paper):
+        trace = run_asynchronous(
+            paper.costs, [], "mean", None, paper.constraint, paper.schedule,
+            paper.initial_estimate, 30,
+            conditions=[LinkDelay(fixed_delay(1))], staleness_bound=1,
+        )
+        # Round 0 has nothing in flight yet; afterwards every message is
+        # exactly one round stale.
+        assert trace.records[0].aggregate is None
+        for record in trace.records[1:]:
+            assert set(record.staleness.values()) == {1}
+
+    def test_bound_expires_messages(self, paper):
+        trace = run_asynchronous(
+            paper.costs, [], "mean", None, paper.constraint, paper.schedule,
+            paper.initial_estimate, 20,
+            conditions=[LinkDelay(fixed_delay(3))], staleness_bound=1,
+        )
+        # Delivery lag 3 > τ = 1: nothing is ever usable.
+        assert trace.stalled_rounds() == 20
+        assert np.array_equal(trace.estimates()[0], trace.estimates()[-1])
+
+    def test_straggler_set_falls_behind(self, paper):
+        trace = run_asynchronous(
+            paper.costs, [], "median", None, paper.constraint,
+            paper.schedule, paper.initial_estimate, 40,
+            conditions=[Stragglers({5: 4.0})], staleness_bound=4,
+        )
+        staleness = [r.staleness.get(5) for r in trace.records[4:]]
+        assert all(s is None or s >= 1 for s in staleness)
+        others = [r.staleness.get(1) for r in trace.records[1:]]
+        assert all(s == 0 for s in others)
+
+    def test_stall_consumes_the_round_index(self, paper):
+        # A stalled round still advances time: step sizes resume on the
+        # schedule, not where they left off.
+        trace = run_asynchronous(
+            paper.costs, [], "mean", None, paper.constraint, paper.schedule,
+            paper.initial_estimate, 5,
+            conditions=[LinkDelay(fixed_delay(2))], staleness_bound=2,
+        )
+        assert [r.step_size for r in trace.records] == [
+            paper.schedule(t) for t in range(5)
+        ]
+
+
+class TestMissingValuePolicies:
+    def test_shrink_requires_registry_name(self, paper):
+        simulator = AsynchronousSimulator(
+            costs=paper.costs,
+            aggregator=make_aggregator("cge", paper.n, paper.f),
+            constraint=paper.constraint,
+            schedule=paper.schedule,
+            f=paper.f,
+            initial_estimate=paper.initial_estimate,
+            attack=make_attack("gradient_reverse"),
+            faulty_ids=paper.faulty_ids,
+            conditions=[IIDDrop(1.0, agents=[0])],
+            missing_policy="shrink",
+        )
+        with pytest.raises(RuntimeError, match="registry name"):
+            simulator.run(5)
+
+    def test_masked_requires_masked_kernel(self, paper):
+        with pytest.raises(ValueError, match="no masked kernel"):
+            AsynchronousSimulator(
+                costs=paper.costs,
+                aggregator="krum",
+                constraint=paper.constraint,
+                schedule=paper.schedule,
+                f=paper.f,
+                initial_estimate=paper.initial_estimate,
+                attack=make_attack("gradient_reverse"),
+                faulty_ids=paper.faulty_ids,
+                missing_policy="masked",
+            )
+
+    def test_masked_keeps_declared_tolerance(self, paper):
+        # CWTM under the masked policy still trims f from each side, so a
+        # round with fewer than 2f+1 usable messages stalls.
+        trace = run_asynchronous(
+            paper.costs, list(paper.faulty_ids), "cwtm",
+            make_attack("gradient_reverse"), paper.constraint,
+            paper.schedule, paper.initial_estimate, 40,
+            conditions=[LinkDelay(uniform_delay(0, 3))], staleness_bound=0,
+            missing_policy="masked", seed=3,
+        )
+        for record in trace.records:
+            n_usable = len(record.gradients)
+            if record.aggregate is None:
+                assert n_usable < 2 * paper.f + 1
+            else:
+                assert n_usable >= 2 * paper.f + 1
+
+    def test_policies_differ_under_missing(self, paper):
+        kwargs = dict(
+            conditions=[IIDDrop(0.4)], staleness_bound=0, seed=2,
+        )
+        shrink = run_asynchronous(
+            paper.costs, list(paper.faulty_ids), "cge",
+            make_attack("gradient_reverse"), paper.constraint,
+            paper.schedule, paper.initial_estimate, 50,
+            missing_policy="shrink", **kwargs,
+        )
+        masked = run_asynchronous(
+            paper.costs, list(paper.faulty_ids), "cge",
+            make_attack("gradient_reverse"), paper.constraint,
+            paper.schedule, paper.initial_estimate, 50,
+            missing_policy="masked", **kwargs,
+        )
+        # Shrink reduces f with the missing count; masked keeps f — the
+        # two contracts must actually disagree on thin rounds.
+        assert not np.array_equal(shrink.estimates(), masked.estimates())
+
+    def test_masked_never_aggregates_without_outvoting_f(self, paper):
+        # Median's masked kernel accepts any non-empty set, but a round
+        # whose attendance cannot outvote f could be all fabrications —
+        # it must stall, not hand the adversary the update.
+        honest = [i for i in range(paper.n) if i not in paper.faulty_ids]
+        trace = run_asynchronous(
+            paper.costs, list(paper.faulty_ids), "median",
+            make_attack("gradient_reverse"), paper.constraint,
+            paper.schedule, paper.initial_estimate, 30,
+            conditions=[IIDDrop(1.0, agents=honest)], staleness_bound=0,
+            missing_policy="masked",
+        )
+        assert trace.stalled_rounds() == 30
+        assert np.array_equal(trace.estimates()[0], trace.estimates()[-1])
+
+    def test_unknown_policy_rejected(self, paper):
+        with pytest.raises(ValueError, match="missing-value policy"):
+            AsynchronousSimulator(
+                costs=paper.costs,
+                aggregator="cge",
+                constraint=paper.constraint,
+                schedule=paper.schedule,
+                f=paper.f,
+                initial_estimate=paper.initial_estimate,
+                missing_policy="improvise",
+            )
+
+
+class TestFaultTimelines:
+    def test_crash_and_recover_composes_with_byzantine(self, paper):
+        schedule = (
+            FaultSchedule()
+            .crash(3, at=10, recover_at=20)
+            .byzantine(0, from_round=15)
+        )
+        trace = run_asynchronous(
+            paper.costs, [], "cwtm", make_attack("gradient_reverse"),
+            paper.constraint, paper.schedule, paper.initial_estimate, 40,
+            fault_schedule=schedule, staleness_bound=1,
+            missing_policy="masked",
+        )
+        for record in trace.records:
+            t = record.iteration
+            if 11 <= t < 20:
+                # the crash shows up one round after the last pre-crash
+                # message expires (τ = 1)
+                assert 3 in record.missing
+            if t >= 22:
+                assert 3 not in record.missing
+        # The compromised agent keeps attending — as the adversary.
+        assert all(0 not in r.missing for r in trace.records)
+
+    def test_byzantine_from_round_flips_behavior(self, paper):
+        schedule = FaultSchedule().byzantine(0, from_round=25)
+        flipped = run_asynchronous(
+            paper.costs, [], "mean", make_attack("gradient_reverse"),
+            paper.constraint, paper.schedule, paper.initial_estimate, 50,
+            fault_schedule=schedule,
+        )
+        honest = run_asynchronous(
+            paper.costs, [], "mean", None, paper.constraint,
+            paper.schedule, paper.initial_estimate, 50,
+        )
+        upto = flipped.estimates()[:26]
+        assert np.array_equal(upto, honest.estimates()[:26])
+        assert not np.array_equal(flipped.estimates(), honest.estimates())
+
+    def test_crash_attack_counts_missing_not_eliminated(self, paper):
+        # The registry's crash fault through the async engine: the agent
+        # stops sending and the policy absorbs it — nobody is eliminated.
+        trace = run_asynchronous(
+            paper.costs, list(paper.faulty_ids), "cge",
+            make_attack("crash"), paper.constraint, paper.schedule,
+            paper.initial_estimate, 30, missing_policy="shrink",
+        )
+        assert all(0 in r.missing for r in trace.records)
+        assert len(trace.records[-1].gradients) == paper.n - 1
+
+    def test_fault_agents_count_against_declared_f(self, paper):
+        with pytest.raises(ValueError, match="exceed the declared"):
+            AsynchronousSimulator(
+                costs=paper.costs,
+                aggregator="cge",
+                constraint=paper.constraint,
+                schedule=paper.schedule,
+                f=1,
+                initial_estimate=paper.initial_estimate,
+                attack=make_attack("gradient_reverse"),
+                faulty_ids=[0],
+                fault_schedule=FaultSchedule().crash(2, at=5),
+            )
+
+
+class TestTrace:
+    def test_trace_series_shapes(self, paper):
+        trace = run_asynchronous(
+            paper.costs, list(paper.faulty_ids), "cge",
+            make_attack("gradient_reverse"), paper.constraint,
+            paper.schedule, paper.initial_estimate, 25,
+            conditions=[LinkDelay(uniform_delay(0, 2)), IIDDrop(0.2)],
+            staleness_bound=2, seed=4,
+        )
+        assert trace.estimates().shape == (26, paper.d)
+        assert trace.distances_to(paper.x_h).shape == (26,)
+        assert trace.missing_fraction().shape == (25,)
+        assert trace.staleness_profile().shape == (25,)
+        assert len(trace) == 25
+
+    def test_empty_trace_raises(self):
+        from repro.distsys import AsynchronousTrace
+
+        with pytest.raises(ValueError, match="empty"):
+            AsynchronousTrace().final_estimate
+
+
+class TestSharedValidation:
+    def test_wrong_dimension_start_fails_loudly(self, paper):
+        with pytest.raises(ValueError, match=r"shape \(2,\)"):
+            AsynchronousSimulator(
+                costs=paper.costs,
+                aggregator="cge",
+                constraint=paper.constraint,
+                schedule=paper.schedule,
+                f=paper.f,
+                initial_estimate=np.zeros(3),
+            )
+
+    def test_byzantine_without_attack_rejected(self, paper):
+        with pytest.raises(ValueError, match="no attack"):
+            AsynchronousSimulator(
+                costs=paper.costs,
+                aggregator="cge",
+                constraint=paper.constraint,
+                schedule=paper.schedule,
+                f=paper.f,
+                initial_estimate=paper.initial_estimate,
+                faulty_ids=paper.faulty_ids,
+            )
+
+    def test_withheld_omniscience_rejected(self, paper):
+        with pytest.raises(ValueError, match="omniscient"):
+            AsynchronousSimulator(
+                costs=paper.costs,
+                aggregator="cge",
+                constraint=paper.constraint,
+                schedule=paper.schedule,
+                f=paper.f,
+                initial_estimate=paper.initial_estimate,
+                attack=make_attack("alie"),
+                faulty_ids=paper.faulty_ids,
+                omniscient_attack=False,
+            )

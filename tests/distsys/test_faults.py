@@ -1,0 +1,190 @@
+"""Unit tests for the composable network conditions and fault schedules."""
+
+import numpy as np
+import pytest
+
+from repro.distsys.faults import (
+    BurstyDrop,
+    FaultEvent,
+    FaultSchedule,
+    IIDDrop,
+    LinkDelay,
+    Stragglers,
+    fixed_delay,
+    geometric_delay,
+    uniform_delay,
+)
+
+N = 6
+
+
+def run_round(condition, t=0, n=N, seed=0):
+    rng = np.random.default_rng(seed)
+    condition.begin_run(n, rng)
+    delays = np.zeros(n, dtype=int)
+    dropped = np.zeros(n, dtype=bool)
+    condition.condition_round(t, delays, dropped, rng)
+    return delays, dropped
+
+
+class TestDelaySamplers:
+    def test_fixed(self):
+        sample = fixed_delay(3)
+        assert (sample(np.random.default_rng(0), 5) == 3).all()
+
+    def test_uniform_range(self):
+        sample = uniform_delay(1, 4)
+        draws = sample(np.random.default_rng(0), 1000)
+        assert draws.min() == 1 and draws.max() == 4
+
+    def test_geometric_capped(self):
+        sample = geometric_delay(0.05, cap=7)
+        draws = sample(np.random.default_rng(0), 1000)
+        assert draws.min() >= 0 and draws.max() == 7
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: fixed_delay(-1),
+            lambda: uniform_delay(3, 1),
+            lambda: geometric_delay(0.0),
+            lambda: geometric_delay(1.5),
+        ],
+    )
+    def test_invalid_parameters(self, build):
+        with pytest.raises(ValueError):
+            build()
+
+
+class TestConditions:
+    def test_link_delay_adds_to_selected_agents(self):
+        delays, dropped = run_round(LinkDelay(fixed_delay(2), agents=[1, 3]))
+        assert delays.tolist() == [0, 2, 0, 2, 0, 0]
+        assert not dropped.any()
+
+    def test_conditions_compose_in_order(self):
+        rng = np.random.default_rng(0)
+        first = LinkDelay(fixed_delay(1))
+        second = Stragglers({2: 3.0})
+        for condition in (first, second):
+            condition.begin_run(N, rng)
+        delays = np.zeros(N, dtype=int)
+        dropped = np.zeros(N, dtype=bool)
+        for condition in (first, second):
+            condition.condition_round(0, delays, dropped, rng)
+        # Straggler scaling applies on top of the base delay:
+        # ceil(3 * (1 + 1)) - 1 = 5 for agent 2, 1 elsewhere.
+        assert delays.tolist() == [1, 1, 5, 1, 1, 1]
+
+    def test_straggler_slow_even_on_fast_network(self):
+        delays, _ = run_round(Stragglers({4: 4.0}))
+        assert delays.tolist() == [0, 0, 0, 0, 3, 0]
+
+    def test_straggler_slowdown_one_is_noop(self):
+        delays, _ = run_round(Stragglers({0: 1.0}))
+        assert delays.tolist() == [0] * N
+
+    def test_iid_drop_rates(self):
+        rng = np.random.default_rng(0)
+        condition = IIDDrop(0.5)
+        condition.begin_run(N, rng)
+        total = 0
+        for t in range(2000):
+            delays = np.zeros(N, dtype=int)
+            dropped = np.zeros(N, dtype=bool)
+            condition.condition_round(t, delays, dropped, rng)
+            total += dropped.sum()
+        assert abs(total / (2000 * N) - 0.5) < 0.02
+
+    def test_iid_drop_only_named_links(self):
+        _, dropped = run_round(IIDDrop(1.0, agents=[0, 5]))
+        assert dropped.tolist() == [True, False, False, False, False, True]
+
+    def test_bursty_drop_is_correlated(self):
+        rng = np.random.default_rng(1)
+        condition = BurstyDrop(enter=0.05, exit=0.3)
+        condition.begin_run(1, rng)
+        states = []
+        for t in range(4000):
+            delays = np.zeros(1, dtype=int)
+            dropped = np.zeros(1, dtype=bool)
+            condition.condition_round(t, delays, dropped, rng)
+            states.append(bool(dropped[0]))
+        arr = np.array(states)
+        loss = arr.mean()
+        assert 0.0 < loss < 1.0
+        # Consecutive-round correlation: bursts make P(drop | drop) exceed
+        # the marginal rate by a wide margin.
+        joint = (arr[1:] & arr[:-1]).mean()
+        assert joint > 1.5 * loss * loss
+
+    def test_unknown_agent_rejected(self):
+        with pytest.raises(ValueError, match="outside range"):
+            run_round(IIDDrop(0.5, agents=[17]))
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: IIDDrop(1.2),
+            lambda: BurstyDrop(enter=-0.1, exit=0.5),
+            lambda: Stragglers({}),
+            lambda: Stragglers({1: 0.5}),
+        ],
+    )
+    def test_invalid_conditions(self, build):
+        with pytest.raises(ValueError):
+            build()
+
+
+class TestFaultSchedule:
+    def test_fluent_building_is_immutable(self):
+        base = FaultSchedule().crash(1, at=5)
+        extended = base.byzantine(0, from_round=3)
+        assert len(base.events) == 1
+        assert len(extended.events) == 2
+
+    def test_crash_window(self):
+        schedule = FaultSchedule().crash(2, at=5, recover_at=9)
+        assert not schedule.crashed_mask(4, N)[2]
+        assert schedule.crashed_mask(5, N)[2]
+        assert schedule.crashed_mask(8, N)[2]
+        assert not schedule.crashed_mask(9, N)[2]
+
+    def test_crash_without_recovery_is_forever(self):
+        schedule = FaultSchedule().crash(0, at=3)
+        assert schedule.crashed_mask(1000, N)[0]
+
+    def test_compromised_since(self):
+        schedule = FaultSchedule().byzantine(4, from_round=7)
+        assert schedule.compromised_since() == {4: 7}
+
+    def test_fault_agents_union(self):
+        schedule = (
+            FaultSchedule().crash(3, at=1).byzantine(0, from_round=2)
+        )
+        assert schedule.fault_agents() == (0, 3)
+
+    def test_validate_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="outside range"):
+            FaultSchedule().crash(9, at=0).validate(N)
+
+    def test_validate_rejects_duplicate_compromise(self):
+        schedule = (
+            FaultSchedule().byzantine(1, from_round=0).byzantine(1, from_round=4)
+        )
+        with pytest.raises(ValueError, match="multiple byzantine"):
+            schedule.validate(N)
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: FaultEvent("melt", 0, 0),
+            lambda: FaultEvent("crash", -1, 0),
+            lambda: FaultEvent("crash", 0, -2),
+            lambda: FaultEvent("crash", 0, 5, end=5),
+            lambda: FaultEvent("byzantine", 0, 0, end=9),
+        ],
+    )
+    def test_invalid_events(self, build):
+        with pytest.raises(ValueError):
+            build()

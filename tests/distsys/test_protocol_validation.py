@@ -78,6 +78,15 @@ class TestHelpers:
         with pytest.raises(ValueError, match=r"shape \(3,\)"):
             validate_initial_estimate(np.zeros(2), dim=3)
 
+    def test_fault_count_attendance(self):
+        # n_received makes partial attendance explicit: fine while the
+        # received messages can outvote f, loud once they cannot.
+        assert validate_fault_count(2, n=7, n_faulty=2, n_received=5) == 2
+        with pytest.raises(ValueError, match="agents attended"):
+            validate_fault_count(2, n=7, n_faulty=2, n_received=2)
+        with pytest.raises(ValueError, match="received 9 messages"):
+            validate_fault_count(2, n=7, n_faulty=2, n_received=9)
+
 
 class TestServerEngine:
     def test_run_dgd_duplicate_faulty_ids(self):
@@ -159,4 +168,66 @@ class TestPeerEngines:
         with pytest.raises(ValueError, match="non-finite"):
             MessagePassingDGD(
                 **kwargs(initial_estimate=np.array([np.inf, 0.0]))
+            )
+
+    def test_message_passing_wrong_dimension_start(self):
+        # Routed through the same dim-checked validate_initial_estimate
+        # as the engines: a 3-vector start for a 2-d problem fails loudly.
+        with pytest.raises(ValueError, match=r"shape \(2,\)"):
+            MessagePassingDGD(**kwargs(initial_estimate=np.zeros(3)))
+
+    def test_message_passing_declared_f_below_actual(self):
+        with pytest.raises(ValueError, match="exceed the declared tolerance"):
+            MessagePassingDGD(**kwargs(faulty_ids=[4, 5], f=1))
+
+    def test_message_passing_declared_f_above_actual_allowed(self):
+        engine = MessagePassingDGD(**kwargs(f=2))
+        assert engine.server.f == 2
+
+
+class TestCrashStyleSilence:
+    """The registry's crash fault across engines (silence satellite)."""
+
+    def test_sync_engine_eliminates_crashed(self):
+        trace = run_dgd(iterations=5, **kwargs(attack=make_attack("crash")))
+        assert trace.eliminated_agents() == [5]
+
+    def test_network_engine_matches_sync_bit_for_bit(self):
+        params = kwargs(attack=make_attack("crash"))
+        sync = run_dgd(iterations=8, **params)
+        mp = MessagePassingDGD(**kwargs(attack=make_attack("crash")))
+        mp_trace = mp.run(8)
+        for a, b in zip(sync, mp_trace):
+            assert np.array_equal(a.next_estimate, b.next_estimate)
+            assert a.eliminated == b.eliminated
+
+    def test_batch_engine_rejects_silence(self):
+        trial = BatchTrial(
+            aggregator=make_aggregator("cge", 6, 1),
+            attack=make_attack("crash"),
+            faulty_ids=(5,),
+        )
+        with pytest.raises(ValueError, match="crash-style"):
+            run_dgd_batch(
+                costs(), [trial], BoxSet.symmetric(10.0, dim=2),
+                paper_schedule(), np.zeros(2), 3,
+            )
+
+    def test_p2p_engine_rejects_silence(self):
+        with pytest.raises(ValueError, match="crash-style"):
+            PeerToPeerSimulator(**kwargs(attack=make_attack("crash")))
+
+    def test_decentralized_engine_rejects_silence(self):
+        from repro.distsys import complete_topology, run_decentralized
+
+        trial = BatchTrial(
+            aggregator=make_aggregator("cge", 6, 1),
+            attack=make_attack("crash"),
+            faulty_ids=(5,),
+        )
+        with pytest.raises(ValueError, match="crash-style"):
+            run_decentralized(
+                costs(), complete_topology(6), [trial],
+                BoxSet.symmetric(10.0, dim=2), paper_schedule(),
+                np.zeros(2), 3,
             )

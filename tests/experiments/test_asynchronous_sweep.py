@@ -1,0 +1,71 @@
+"""Tests for the asynchronous experiment family."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.asynchronous import (
+    DEFAULT_POLICIES,
+    AsynchronousSweepRow,
+    asynchronous_sweep,
+    render_asynchronous_report,
+)
+from repro.experiments.paper_regression import paper_problem
+
+
+@pytest.fixture(scope="module")
+def paper_module():
+    return paper_problem()
+
+
+@pytest.fixture(scope="module")
+def rows(paper_module):
+    return asynchronous_sweep(
+        problem=paper_module,
+        staleness_bounds=(0, 2),
+        drop_rates=(0.0, 0.3),
+        aggregators=("cge", "cwtm"),
+        iterations=80,
+        seeds=(0, 1),
+    )
+
+
+class TestSweepStructure:
+    def test_covers_the_grid(self, rows):
+        assert len(rows) == 2 * 2 * 2  # staleness x drop x filters
+        assert sorted({r.staleness_bound for r in rows}) == [0, 2]
+        assert sorted({r.drop_rate for r in rows}) == [0.0, 0.3]
+
+    def test_declared_policies(self, rows):
+        for row in rows:
+            assert row.policy == DEFAULT_POLICIES[row.aggregator]
+
+    def test_radii_finite_and_ordered(self, rows):
+        for row in rows:
+            assert np.isfinite(row.mean_radius)
+            assert row.worst_radius >= row.mean_radius
+
+    def test_staleness_bound_governs_missing_rate(self, rows):
+        # A looser bound can only make more in-flight traffic usable.
+        for drop in (0.0, 0.3):
+            for aggregator in ("cge", "cwtm"):
+                tight, loose = [
+                    r
+                    for r in rows
+                    if r.drop_rate == drop and r.aggregator == aggregator
+                ]
+                assert tight.staleness_bound < loose.staleness_bound
+                assert tight.missing_rate >= loose.missing_rate
+
+    def test_seed_count_recorded(self, rows):
+        assert all(r.seeds == 2 for r in rows)
+
+
+class TestReport:
+    def test_report_renders_every_cell(self, rows):
+        text = render_asynchronous_report(rows, iterations=80)
+        assert "convergence radius" in text
+        assert "tau" in text and "policy" in text
+        assert text.count("cwtm") == sum(1 for r in rows if r.aggregator == "cwtm")
+
+    def test_rows_are_dataclasses(self, rows):
+        assert isinstance(rows[0], AsynchronousSweepRow)

@@ -25,6 +25,7 @@ class TestParser:
             ["svm"],
             ["frontier", "--max-f", "1"],
             ["decentralized", "--iterations", "50"],
+            ["asynchronous", "--iterations", "50", "--seeds", "2"],
             ["list"],
             ["all", "--skip-learning"],
         ],
@@ -78,6 +79,13 @@ class TestFastCommands:
         assert main(["ablation-exact"]) == 0
         out = capsys.readouterr().out
         assert "Theorem-2" in out
+
+    def test_asynchronous_runs(self, capsys):
+        assert main(["asynchronous", "--iterations", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "Asynchronous robust DGD" in out
+        assert "tau" in out
+        assert "shrink" in out and "masked" in out
 
     def test_ablation_redundancy_runs(self, capsys):
         assert main(["ablation-redundancy"]) == 0

@@ -23,6 +23,7 @@ FAST_EXAMPLES = [
     "svm_learning.py",
     "linear_regression_paper.py",
     "decentralized_graph.py",
+    "asynchronous_stragglers.py",
 ]
 
 
