@@ -1,0 +1,101 @@
+"""CI bench-regression gate over the ``BENCH_*.json`` headline artifacts.
+
+Compares every freshly-regenerated ``BENCH_*.json`` that reports a
+``speedup`` field against the committed baseline copy and fails (exit 1)
+when any speedup drops more than ``--threshold`` (default 30%) below its
+baseline — so a PR that quietly serializes a batched engine back into a
+Python loop breaks the build instead of the perf trajectory.
+
+Files without a ``speedup`` field are reported but never gate; a baseline
+file whose fresh counterpart is *missing* fails loudly (a deleted bench is
+a silent regression too).
+
+Usage (what the GitHub Actions workflow runs)::
+
+    python benchmarks/check_bench_regression.py \
+        --baseline /tmp/bench-baseline --fresh .
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_speedup(path: Path):
+    """The file's ``speedup`` field, or None when it does not report one."""
+    payload = json.loads(path.read_text())
+    value = payload.get("speedup")
+    return None if value is None else float(value)
+
+
+def check(baseline_dir: Path, fresh_dir: Path, threshold: float) -> int:
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"error: no BENCH_*.json baselines under {baseline_dir}")
+        return 1
+    failures = []
+    for baseline_path in baselines:
+        name = baseline_path.name
+        baseline = load_speedup(baseline_path)
+        if baseline is None:
+            print(f"  {name}: no speedup field in baseline (not gated)")
+            continue
+        fresh_path = fresh_dir / name
+        if not fresh_path.exists():
+            failures.append(f"{name}: fresh artifact missing")
+            continue
+        fresh = load_speedup(fresh_path)
+        if fresh is None:
+            failures.append(
+                f"{name}: fresh artifact dropped its speedup field"
+            )
+            continue
+        floor = (1.0 - threshold) * baseline
+        verdict = "ok" if fresh >= floor else "REGRESSION"
+        print(
+            f"  {name}: speedup {fresh:.2f}x vs baseline {baseline:.2f}x "
+            f"(floor {floor:.2f}x) — {verdict}"
+        )
+        if fresh < floor:
+            failures.append(
+                f"{name}: speedup {fresh:.2f}x fell more than "
+                f"{threshold:.0%} below the committed {baseline:.2f}x"
+            )
+    if failures:
+        print("bench-regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("bench-regression gate passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        required=True,
+        help="directory holding the committed BENCH_*.json copies",
+    )
+    parser.add_argument(
+        "--fresh",
+        default=".",
+        help="directory holding the freshly-regenerated artifacts",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional speedup drop (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.threshold < 1.0:
+        parser.error("threshold must be in [0, 1)")
+    return check(Path(args.baseline), Path(args.fresh), args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,19 @@
-"""Benchmark: the asynchronous engine's staleness × drop-rate sweep.
+"""Benchmark: batched vs per-trial asynchronous staleness × drop sweeps.
 
-Runs the full staleness-bound × drop-rate × filter sweep through the
-event-driven engine under uniform 0..2 delivery delays and persists the
-convergence-radius report to ``benchmarks/results/async.txt`` and the
-headline numbers to ``BENCH_async.json``.  Also cross-checks the engine
-contract inside the workload: the degenerate configuration (no conditions,
-no drops, no crashes) must land exactly where the synchronous server
-engine lands.
+Runs the full staleness-bound × drop-rate × filter × seed sweep twice —
+through the per-trial event-driven reference engine and through the
+batched ``(S, n, d)`` tensor program
+(:class:`~repro.distsys.batch_async.BatchAsynchronousSimulator`) — and
+persists the convergence-radius report to ``benchmarks/results/async.txt``
+plus machine-readable headline numbers to ``BENCH_async.json`` using the
+same ``reference_seconds`` / ``batched_seconds`` / ``speedup`` /
+``trials_per_second`` schema as ``BENCH_engine.json``, so the perf
+trajectory is diffable across PRs (the CI bench-regression gate parses
+these fields).
+
+Also cross-checks the engine contracts inside the workload: the two sweep
+engines must agree on every row, and the degenerate configuration must
+land exactly where the synchronous server engine lands.
 """
 
 import time
@@ -27,38 +34,68 @@ ITERATIONS = 200
 STALENESS_BOUNDS = (0, 1, 2, 4)
 DROP_RATES = (0.0, 0.15, 0.35)
 AGGREGATORS = ("cge", "cwtm", "median")
-SEEDS = (0,)
+SEEDS = (0, 1, 2, 3)
+TRIALS = (
+    len(STALENESS_BOUNDS) * len(DROP_RATES) * len(AGGREGATORS) * len(SEEDS)
+)
 
 
 def test_asynchronous_sweep_report(benchmark, results_dir):
     problem = paper_problem()
 
-    rows = benchmark.pedantic(
-        lambda: asynchronous_sweep(
+    def batched():
+        return asynchronous_sweep(
             problem=problem,
             staleness_bounds=STALENESS_BOUNDS,
             drop_rates=DROP_RATES,
             aggregators=AGGREGATORS,
             iterations=ITERATIONS,
             seeds=SEEDS,
-        ),
-        rounds=1,
-        iterations=1,
-    )
+            engine="batched",
+        )
+
+    rows = benchmark.pedantic(batched, rounds=1, iterations=1)
+
     t0 = time.perf_counter()
-    rows = asynchronous_sweep(
+    rows = batched()
+    batched_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    reference_rows = asynchronous_sweep(
         problem=problem,
         staleness_bounds=STALENESS_BOUNDS,
         drop_rates=DROP_RATES,
         aggregators=AGGREGATORS,
         iterations=ITERATIONS,
         seeds=SEEDS,
+        engine="reference",
     )
-    sweep_seconds = time.perf_counter() - t0
+    reference_seconds = time.perf_counter() - t0
+    speedup = reference_seconds / batched_seconds
 
     assert len(rows) == len(STALENESS_BOUNDS) * len(DROP_RATES) * len(AGGREGATORS)
     assert all(np.isfinite(r.mean_radius) for r in rows)
     assert {r.policy for r in rows} == {"shrink", "masked"}
+
+    # Engine parity across the whole workload: the tensor program and the
+    # event-driven oracle must report the same sweep (identical network
+    # realizations; 1e-9 absorbs einsum-order drift in the kernels).
+    max_abs_error = 0.0
+    for row, ref in zip(rows, reference_rows):
+        assert row.stalled == ref.stalled
+        for field in ("mean_radius", "worst_radius", "missing_rate",
+                      "mean_staleness"):
+            a, b = getattr(row, field), getattr(ref, field)
+            if np.isnan(a) and np.isnan(b):
+                continue
+            max_abs_error = max(max_abs_error, abs(a - b))
+    assert max_abs_error < 1e-9
+
+    # The batched sweep must beat the per-trial event loop decisively
+    # (committed headline is >8x; this floor only catches catastrophic
+    # regressions on noisy CI machines — the bench-regression gate
+    # compares the JSON against the committed baseline).
+    assert speedup > 4.0
 
     # Loosening the staleness bound (no drops) can only reduce how much
     # in-flight traffic the server has to do without.
@@ -117,8 +154,16 @@ def test_asynchronous_sweep_report(benchmark, results_dir):
                 "iterations": ITERATIONS,
                 "seeds": len(SEEDS),
                 "cells": len(rows),
+                "trials": TRIALS,
             },
-            "sweep_seconds": round(sweep_seconds, 6),
+            "reference_seconds": round(reference_seconds, 6),
+            "batched_seconds": round(batched_seconds, 6),
+            "speedup": round(speedup, 2),
+            "reference_trials_per_second": round(
+                TRIALS / reference_seconds, 2
+            ),
+            "batched_trials_per_second": round(TRIALS / batched_seconds, 2),
+            "max_abs_error_vs_reference": max_abs_error,
             "degenerate_engine_gap": engine_gap,
             "server_engine_radius": sync_radius,
             "worst_radius_by_tau": {

@@ -34,6 +34,7 @@ __all__ = [
     "masked_cge_batch",
     "masked_kernel_for",
     "masked_min_attendance",
+    "aggregate_batch_masked",
 ]
 
 
@@ -174,6 +175,40 @@ def masked_kernel_for(
     if isinstance(aggregator, MeanAggregator):
         return lambda values, mask: masked_mean_batch(values, mask)
     return None
+
+
+def aggregate_batch_masked(
+    aggregator, values: np.ndarray, mask: np.ndarray
+) -> np.ndarray:
+    """Apply an aggregator's masked kernel to ``S`` partially-attended stacks.
+
+    ``values`` is ``(S, n, d)`` — one padded gradient stack per trial — and
+    ``mask`` is ``(S, n)`` marking the slots that actually hold a received
+    message; returns the ``(S, d)`` aggregates.  The trials ride the masked
+    kernels' *receiver* axis (each receiver row carries its own validity
+    mask), so a whole asynchronous batch with per-trial attendance patterns
+    is one kernel invocation.  Entries at invalid slots are ignored entirely
+    but must be finite (the kernels validate valid slots only, so callers
+    may leave true-gradient padding in place).  Raises for aggregators
+    without a masked kernel.
+    """
+    kernel = masked_kernel_for(aggregator)
+    if kernel is None:
+        raise ValueError(
+            f"{type(aggregator).__name__} has no masked kernel"
+        )
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 3:
+        raise ValueError(
+            f"expected (S, n, d) gradient stacks, got shape {values.shape}"
+        )
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != values.shape[:2]:
+        raise ValueError(
+            f"mask shape {mask.shape} does not match stacks "
+            f"{values.shape[:2]}"
+        )
+    return kernel(values[None], mask)[0]
 
 
 def masked_min_attendance(aggregator) -> int:

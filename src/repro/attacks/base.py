@@ -102,6 +102,13 @@ class BatchAttackContext:
             only populated for omniscient attacks.
         honest_ids: ids labelling the columns of ``honest_gradients``.
         rngs: one deterministic generator per trial (the trial's seed).
+        view_rounds: timeline context (batched asynchronous engine only) —
+            ``(S, F)`` round indices whose iterate each faulty message was
+            evaluated at, columns ordered like ``faulty_ids``.  ``None``
+            under the synchronous engines (everything is fresh).
+        compromised_since: timeline context (batched asynchronous engine
+            only) — ``(S, F)`` rounds each faulty agent was compromised
+            at.  ``None`` under the synchronous engines.
     """
 
     iteration: int
@@ -111,6 +118,8 @@ class BatchAttackContext:
     honest_gradients: Optional[np.ndarray] = None
     honest_ids: Optional[Sequence[int]] = None
     rngs: Sequence[np.random.Generator] = ()
+    view_rounds: Optional[np.ndarray] = None
+    compromised_since: Optional[np.ndarray] = None
 
     @property
     def trials(self) -> int:
@@ -150,6 +159,22 @@ class BatchAttackContext:
             },
             honest_gradients=honest,
             rng=self.rngs[s],
+            view_rounds=(
+                None
+                if self.view_rounds is None
+                else {
+                    fid: int(self.view_rounds[s, j])
+                    for j, fid in enumerate(self.faulty_ids)
+                }
+            ),
+            compromised_since=(
+                None
+                if self.compromised_since is None
+                else {
+                    fid: int(self.compromised_since[s, j])
+                    for j, fid in enumerate(self.faulty_ids)
+                }
+            ),
         )
 
 

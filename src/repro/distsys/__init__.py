@@ -1,13 +1,14 @@
-"""Distributed-system substrate: one protocol core, five execution engines.
+"""Distributed-system substrate: one protocol core, six execution engines.
 
 :mod:`repro.distsys.engine` owns the observe → fabricate → aggregate →
 project protocol loop; the server-based per-trial simulator, the batched
 lockstep sweep engine, the peer-to-peer replica simulator, the
-decentralized graph engine and the event-driven asynchronous engine are
-thin configurations of it.  :mod:`repro.distsys.topology` supplies the
-communication graphs the decentralized engine runs on;
-:mod:`repro.distsys.faults` supplies the network conditions and fault
-timelines the asynchronous engine replays.
+decentralized graph engine, the event-driven asynchronous engine and the
+batched asynchronous sweep engine are thin configurations of it.
+:mod:`repro.distsys.topology` supplies the communication graphs the
+decentralized engine runs on; :mod:`repro.distsys.faults` supplies the
+network conditions and fault timelines the asynchronous engines replay
+(pre-sampled whole-run via :func:`~repro.distsys.faults.sample_network_run`).
 """
 
 from .agents import Agent, ByzantineAgent, HonestAgent, StochasticAgent
@@ -18,6 +19,12 @@ from .asynchronous import (
     run_asynchronous,
 )
 from .batch import BatchSimulator, BatchTrace, BatchTrial, run_dgd_batch
+from .batch_async import (
+    AsyncBatchTrial,
+    BatchAsynchronousSimulator,
+    BatchAsyncTrace,
+    run_asynchronous_batch,
+)
 from .broadcast import (
     BroadcastAdversary,
     BroadcastStats,
@@ -50,6 +57,7 @@ from .faults import (
     Stragglers,
     fixed_delay,
     geometric_delay,
+    sample_network_run,
     uniform_delay,
 )
 from .messages import GradientReply, GradientRequest, Silence
@@ -92,6 +100,11 @@ __all__ = [
     "AsynchronousTrace",
     "AsyncIterationRecord",
     "run_asynchronous",
+    "AsyncBatchTrial",
+    "BatchAsynchronousSimulator",
+    "BatchAsyncTrace",
+    "run_asynchronous_batch",
+    "sample_network_run",
     "NetworkCondition",
     "LinkDelay",
     "IIDDrop",

@@ -69,7 +69,7 @@ from .engine import (
     validate_faulty_ids,
     validate_initial_estimate,
 )
-from .faults import FaultSchedule, NetworkCondition
+from .faults import FaultSchedule, NetworkCondition, sample_network_run
 from .server import RobustServer
 
 __all__ = [
@@ -285,6 +285,17 @@ class AsynchronousSimulator(ProtocolEngine):
         for condition in self.conditions:
             condition.begin_run(self.n, self.net_rng)
 
+        # Pre-sampled network/fault tensors, extended in chunks: row ``t``
+        # holds round ``t``'s per-agent delays, drop mask and crash mask.
+        # ``run`` pre-samples its whole horizon in one vectorized chunk;
+        # stand-alone ``step`` calls extend one round at a time, which
+        # consumes the network stream exactly like the historical
+        # per-round sampling.
+        self._net_horizon = 0
+        self._net_delays = np.zeros((0, self.n), dtype=int)
+        self._net_dropped = np.zeros((0, self.n), dtype=bool)
+        self._net_crashed = np.zeros((0, self.n), dtype=bool)
+
         #: iterate history x_0 .. x_t — the views stale evaluations index.
         self._history: List[np.ndarray] = [self.server.estimate.copy()]
         #: freshest delivered view round per agent (-1: nothing yet).
@@ -308,20 +319,44 @@ class AsynchronousSimulator(ProtocolEngine):
         since = self.compromised_since.get(agent)
         return since is not None and iteration >= since
 
+    def _ensure_network(self, horizon: int) -> None:
+        """Extend the pre-sampled network/fault tensors to cover ``horizon``.
+
+        The conditions sample for all n agents every round — the network
+        stream's consumption never depends on the fault timeline.
+        """
+        if horizon <= self._net_horizon:
+            return
+        chunk = horizon - self._net_horizon
+        delays, dropped = sample_network_run(
+            self.conditions, self.net_rng, self.n, chunk,
+            start=self._net_horizon,
+        )
+        active = self.fault_schedule.sample_run(
+            None, self.n, chunk, start=self._net_horizon
+        )
+        self._net_delays = np.concatenate([self._net_delays, delays])
+        self._net_dropped = np.concatenate([self._net_dropped, dropped])
+        self._net_crashed = np.concatenate([self._net_crashed, ~active])
+        self._net_horizon = horizon
+
+    def _begin_run(self, iterations: int) -> None:
+        # One vectorized pre-sampling chunk covers the whole run — the
+        # per-round per-link Python RNG calls disappear from the loop.
+        self._ensure_network(self.server.iteration + iterations)
+
     # -- protocol stages --------------------------------------------------
     def observe(self) -> ProtocolRound:
         """Dispatch, deliver, and evaluate this round's usable messages."""
         t = self.server.iteration
         x_t = self.server.estimate.copy()
 
-        # Dispatch round-t messages through the condition pipeline.  The
-        # conditions sample for all n agents every round — the network
-        # stream's consumption never depends on the fault timeline.
-        delays = np.zeros(self.n, dtype=int)
-        dropped = np.zeros(self.n, dtype=bool)
-        for condition in self.conditions:
-            condition.condition_round(t, delays, dropped, self.net_rng)
-        crashed = self.fault_schedule.crashed_mask(t, self.n)
+        # Round-t dispatch conditions come from the pre-sampled tensors
+        # (extended on demand when stepping past the run's horizon).
+        self._ensure_network(t + 1)
+        delays = self._net_delays[t]
+        dropped = self._net_dropped[t]
+        crashed = self._net_crashed[t]
         for agent in range(self.n):
             if crashed[agent] or dropped[agent]:
                 continue

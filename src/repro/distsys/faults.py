@@ -21,6 +21,18 @@ dedicated network generator (separate from the attack's stream, so adding a
 condition never perturbs an attack's fabrications), and they sample for all
 ``n`` agents every round regardless of crash state, keeping the stream's
 consumption independent of the fault timeline.
+
+**Whole-run pre-sampling.**  The engines do not call
+:meth:`NetworkCondition.condition_round` round by round; they pre-sample a
+whole run's delay/drop tensors up front through
+:meth:`NetworkCondition.sample_run` (and :func:`sample_network_run`, which
+composes a pipeline).  A condition samples its entire ``(rounds, n)`` block
+in one vectorized draw, so the per-round per-link Python RNG calls of the
+event loop disappear and the batched engine can pre-sample every trial of a
+sweep.  The network stream is therefore consumed *condition-major* within a
+sampled chunk (condition 1's whole block, then condition 2's, ...); a chunk
+of one round consumes the stream exactly like the historical per-round
+path, because a ``(1, n)`` draw is bit-identical to an ``(n,)`` draw.
 """
 
 from __future__ import annotations
@@ -44,6 +56,7 @@ __all__ = [
     "Stragglers",
     "FaultEvent",
     "FaultSchedule",
+    "sample_network_run",
 ]
 
 
@@ -117,6 +130,29 @@ class NetworkCondition(abc.ABC):
     ) -> None:
         """Refine this round's per-agent delays and drop mask in place."""
 
+    def sample_run(
+        self,
+        rng: np.random.Generator,
+        n: int,
+        rounds: int,
+        delays: np.ndarray,
+        dropped: np.ndarray,
+        start: int = 0,
+    ) -> None:
+        """Refine a whole run's ``(rounds, n)`` delay/drop tensors in place.
+
+        The pre-sampling fast path: subclasses draw their entire block in
+        one vectorized call instead of ``rounds`` per-round calls.  ``start``
+        is the absolute round index of row 0, so chunked extension (an
+        engine stepping past its pre-sampled horizon) stays consistent with
+        round-indexed behaviour.  The default falls back to the per-round
+        hook, which keeps third-party conditions working unchanged —
+        and makes a one-round chunk consume the stream exactly like the
+        historical per-round path.
+        """
+        for k in range(rounds):
+            self.condition_round(start + k, delays[k], dropped[k], rng)
+
     def __repr__(self) -> str:
         params = {
             k: v for k, v in vars(self).items() if not k.startswith("_")
@@ -159,6 +195,16 @@ class LinkDelay(NetworkCondition):
             )
         delays += np.where(self._mask, extra, 0)
 
+    def sample_run(self, rng, n, rounds, delays, dropped, start=0) -> None:
+        # One flat draw of the whole block consumes the stream exactly like
+        # ``rounds`` sequential per-round draws of size ``n``.
+        extra = np.asarray(self.sampler(rng, rounds * n), dtype=int)
+        if extra.shape != (rounds * n,) or (extra < 0).any():
+            raise ValueError(
+                "delay sampler must return non-negative integers, one per link"
+            )
+        delays += np.where(self._mask[None, :], extra.reshape(rounds, n), 0)
+
 
 class IIDDrop(NetworkCondition):
     """Each message on the selected links is lost i.i.d. with ``rate``."""
@@ -176,6 +222,10 @@ class IIDDrop(NetworkCondition):
     def condition_round(self, iteration, delays, dropped, rng) -> None:
         draws = rng.random(dropped.shape[0]) < self.rate
         dropped |= draws & self._mask
+
+    def sample_run(self, rng, n, rounds, delays, dropped, start=0) -> None:
+        draws = rng.random((rounds, n)) < self.rate
+        dropped |= draws & self._mask[None, :]
 
 
 class BurstyDrop(NetworkCondition):
@@ -219,6 +269,21 @@ class BurstyDrop(NetworkCondition):
         losses = rng.random(n) < self.rate_in_burst
         dropped |= self._in_burst & losses & self._mask
 
+    def sample_run(self, rng, n, rounds, delays, dropped, start=0) -> None:
+        # All randomness up front (one flips block, one losses block); the
+        # Markov chain itself is a cheap boolean scan over rounds,
+        # vectorized across the n links.  The chain state persists on the
+        # instance so chunked extension continues the same bursts.
+        flips = rng.random((rounds, n))
+        losses = rng.random((rounds, n)) < self.rate_in_burst
+        in_burst = self._in_burst
+        for k in range(rounds):
+            entering = ~in_burst & (flips[k] < self.enter)
+            leaving = in_burst & (flips[k] < self.exit)
+            in_burst = (in_burst | entering) & ~leaving
+            dropped[k] |= in_burst & losses[k] & self._mask
+        self._in_burst = in_burst
+
 
 class Stragglers(NetworkCondition):
     """A straggler set: agents whose round-trips run ``slowdown``-times slow.
@@ -248,6 +313,10 @@ class Stragglers(NetworkCondition):
 
     def condition_round(self, iteration, delays, dropped, rng) -> None:
         stretched = np.ceil(self._factors * (delays + 1.0)) - 1.0
+        delays[:] = stretched.astype(int)
+
+    def sample_run(self, rng, n, rounds, delays, dropped, start=0) -> None:
+        stretched = np.ceil(self._factors[None, :] * (delays + 1.0)) - 1.0
         delays[:] = stretched.astype(int)
 
 
@@ -336,6 +405,30 @@ class FaultSchedule:
                 mask[event.agent] = True
         return mask
 
+    def sample_run(
+        self,
+        rng: Optional[np.random.Generator],
+        n: int,
+        rounds: int,
+        start: int = 0,
+    ) -> np.ndarray:
+        """Dense ``(rounds, n)`` *active* mask (True = the agent sends).
+
+        The whole-run counterpart of per-round :meth:`crashed_mask` calls:
+        row ``k`` covers absolute round ``start + k``.  The timeline is
+        deterministic, so ``rng`` is unused — the parameter keeps the
+        pre-sampling signature uniform with :class:`NetworkCondition`.
+        """
+        active = np.ones((rounds, n), dtype=bool)
+        for event in self.events:
+            if event.kind != "crash":
+                continue
+            lo = max(event.start - start, 0)
+            hi = rounds if event.end is None else min(event.end - start, rounds)
+            if lo < hi:
+                active[lo:hi, event.agent] = False
+        return active
+
     def compromised_since(self) -> Dict[int, int]:
         """Earliest compromise round per Byzantine agent."""
         since: Dict[int, int] = {}
@@ -352,3 +445,25 @@ class FaultSchedule:
 
     def __repr__(self) -> str:
         return f"FaultSchedule(events={list(self.events)!r})"
+
+
+def sample_network_run(
+    conditions: Sequence[NetworkCondition],
+    rng: np.random.Generator,
+    n: int,
+    rounds: int,
+    start: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pre-sample a condition pipeline's whole-run delay/drop tensors.
+
+    Applies every condition's :meth:`NetworkCondition.sample_run` in
+    registration order to fresh ``(rounds, n)`` accumulators and returns
+    ``(delays, dropped)``.  Callers own the conditions' lifecycle: call
+    :meth:`NetworkCondition.begin_run` once per run *before* the first
+    chunk, and keep ``start``/``rng`` continuous across chunks.
+    """
+    delays = np.zeros((rounds, n), dtype=int)
+    dropped = np.zeros((rounds, n), dtype=bool)
+    for condition in conditions:
+        condition.sample_run(rng, n, rounds, delays, dropped, start=start)
+    return delays, dropped

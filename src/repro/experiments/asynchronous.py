@@ -26,6 +26,7 @@ import numpy as np
 
 from ..attacks.registry import make_attack
 from ..distsys.asynchronous import run_asynchronous
+from ..distsys.batch_async import AsyncBatchTrial, run_asynchronous_batch
 from ..distsys.faults import IIDDrop, LinkDelay, uniform_delay
 from ..functions.batched import stack_costs
 from .paper_regression import PaperProblem, paper_problem
@@ -34,9 +35,18 @@ from .reporting import format_table
 __all__ = [
     "AsynchronousSweepRow",
     "DEFAULT_POLICIES",
+    "SWEEP_ENGINES",
     "asynchronous_sweep",
     "render_asynchronous_report",
 ]
+
+#: The two sweep execution engines: ``"batched"`` runs every
+#: (τ, drop, filter, seed) cell in lockstep through
+#: :class:`~repro.distsys.batch_async.BatchAsynchronousSimulator`;
+#: ``"reference"`` replays the per-trial event-driven engine cell by cell
+#: (the oracle the batched engine is pinned against — and the fallback for
+#: configurations the tensor program cannot express).
+SWEEP_ENGINES = ("batched", "reference")
 
 #: Declared missing-value policy per default filter: CGE shrinks (its sum
 #: scales with attendance anyway), the trim-style filters keep their
@@ -67,6 +77,31 @@ class AsynchronousSweepRow:
     stalled: int                # total stalled rounds across seeds
 
 
+def _assemble_row(
+    tau, drop_rate, aggregator, policy, attack, seeds,
+    radii, missing, staleness, stalled,
+) -> AsynchronousSweepRow:
+    """Fold one cell's per-seed statistics into a report row."""
+    finite_staleness = [s for s in staleness if not np.isnan(s)]
+    return AsynchronousSweepRow(
+        staleness_bound=int(tau),
+        drop_rate=float(drop_rate),
+        aggregator=aggregator,
+        policy=policy,
+        attack=attack,
+        seeds=len(seeds),
+        mean_radius=float(np.mean(radii)),
+        worst_radius=float(np.max(radii)),
+        missing_rate=float(np.mean(missing)),
+        mean_staleness=(
+            float(np.mean(finite_staleness))
+            if finite_staleness
+            else float("nan")
+        ),
+        stalled=int(stalled),
+    )
+
+
 def asynchronous_sweep(
     problem: Optional[PaperProblem] = None,
     staleness_bounds: Sequence[int] = (0, 1, 2, 4),
@@ -77,76 +112,128 @@ def asynchronous_sweep(
     iterations: int = 200,
     seeds: Sequence[int] = (0,),
     delay_high: int = 2,
+    engine: str = "batched",
 ) -> List[AsynchronousSweepRow]:
     """Run the staleness × drop-rate × filter sweep; returns report rows.
 
     Every cell shares the same delay spectrum (uniform integer delays in
     ``0..delay_high`` on every link) so the staleness bound is the axis
     that decides how much of the in-flight traffic is usable; the drop
-    rate adds i.i.d. loss on top.  The stale-gradient evaluation runs on
-    the problem's coefficient-stacked costs
-    (:func:`~repro.functions.batched.stack_costs`), so each run's hot
-    path is one ``gradients_each`` einsum per round.
+    rate adds i.i.d. loss on top.
+
+    With ``engine="batched"`` (the default) every (τ, drop, filter, seed)
+    cell becomes one :class:`~repro.distsys.batch_async.AsyncBatchTrial`
+    and the whole sweep runs in lockstep as a single ``(S, n, d)`` tensor
+    program — pre-sampled network realizations, one stale-gradient einsum
+    per round, batched filter kernels.  ``engine="reference"`` replays the
+    per-trial event-driven engine cell by cell; the two produce the same
+    rows to 1e-9 (per-trial network streams are identical), so the flag
+    is a verification fallback, not a semantic switch.
     """
+    if engine not in SWEEP_ENGINES:
+        raise ValueError(
+            f"unknown sweep engine {engine!r}; known: {', '.join(SWEEP_ENGINES)}"
+        )
     problem = problem or paper_problem()
     stack = stack_costs(problem.costs)
     policies = dict(DEFAULT_POLICIES, **(policies or {}))
+    cells = [
+        (tau, drop_rate, aggregator)
+        for tau in staleness_bounds
+        for drop_rate in drop_rates
+        for aggregator in aggregators
+    ]
+
+    def cell_conditions(drop_rate):
+        conditions = [LinkDelay(uniform_delay(0, delay_high))]
+        if drop_rate > 0:
+            conditions.append(IIDDrop(drop_rate))
+        return conditions
+
     rows: List[AsynchronousSweepRow] = []
-    for tau in staleness_bounds:
-        for drop_rate in drop_rates:
-            for aggregator in aggregators:
-                policy = policies.get(aggregator, "shrink")
-                radii, missing, staleness = [], [], []
-                stalled = 0
-                for seed in seeds:
-                    conditions = [LinkDelay(uniform_delay(0, delay_high))]
-                    if drop_rate > 0:
-                        conditions.append(IIDDrop(drop_rate))
-                    trace = run_asynchronous(
-                        stack,
-                        faulty_ids=list(problem.faulty_ids),
-                        aggregator=aggregator,
-                        attack=None if attack is None else make_attack(attack),
-                        constraint=problem.constraint,
-                        schedule=problem.schedule,
-                        initial_estimate=problem.initial_estimate,
-                        iterations=iterations,
-                        conditions=conditions,
-                        staleness_bound=tau,
-                        missing_policy=policy,
-                        seed=seed,
-                    )
-                    radii.append(
-                        float(np.linalg.norm(trace.final_estimate - problem.x_h))
-                    )
-                    missing.append(float(trace.missing_fraction().mean()))
-                    profile = trace.staleness_profile()
-                    staleness.append(
-                        float(np.nanmean(profile))
-                        if np.isfinite(profile).any()
-                        else float("nan")
-                    )
-                    stalled += trace.stalled_rounds()
-                finite_staleness = [s for s in staleness if not np.isnan(s)]
-                rows.append(
-                    AsynchronousSweepRow(
-                        staleness_bound=int(tau),
-                        drop_rate=float(drop_rate),
-                        aggregator=aggregator,
-                        policy=policy,
-                        attack=attack,
-                        seeds=len(seeds),
-                        mean_radius=float(np.mean(radii)),
-                        worst_radius=float(np.max(radii)),
-                        missing_rate=float(np.mean(missing)),
-                        mean_staleness=(
-                            float(np.mean(finite_staleness))
-                            if finite_staleness
-                            else float("nan")
-                        ),
-                        stalled=stalled,
-                    )
+    if engine == "batched":
+        trials = [
+            AsyncBatchTrial(
+                aggregator=aggregator,
+                attack=None if attack is None else make_attack(attack),
+                faulty_ids=tuple(problem.faulty_ids),
+                conditions=tuple(cell_conditions(drop_rate)),
+                staleness_bound=int(tau),
+                missing_policy=policies.get(aggregator, "shrink"),
+                seed=int(seed),
+                label=f"tau{tau}/drop{drop_rate}/{aggregator}/s{seed}",
+            )
+            for (tau, drop_rate, aggregator) in cells
+            for seed in seeds
+        ]
+        trace = run_asynchronous_batch(
+            stack,
+            trials,
+            constraint=problem.constraint,
+            schedule=problem.schedule,
+            initial_estimate=problem.initial_estimate,
+            iterations=iterations,
+        )
+        radii_all = np.linalg.norm(
+            trace.final_estimates - np.asarray(problem.x_h), axis=1
+        )
+        missing_all = trace.missing_fraction().mean(axis=1)
+        profile_all = trace.staleness_profile()
+        stalled_all = trace.stalled_rounds()
+        for c, (tau, drop_rate, aggregator) in enumerate(cells):
+            sl = slice(c * len(seeds), (c + 1) * len(seeds))
+            staleness = [
+                float(np.nanmean(profile))
+                if np.isfinite(profile).any()
+                else float("nan")
+                for profile in profile_all[sl]
+            ]
+            rows.append(
+                _assemble_row(
+                    tau, drop_rate, aggregator,
+                    policies.get(aggregator, "shrink"), attack, seeds,
+                    radii_all[sl], missing_all[sl], staleness,
+                    int(stalled_all[sl].sum()),
                 )
+            )
+        return rows
+
+    for tau, drop_rate, aggregator in cells:
+        policy = policies.get(aggregator, "shrink")
+        radii, missing, staleness = [], [], []
+        stalled = 0
+        for seed in seeds:
+            trace = run_asynchronous(
+                stack,
+                faulty_ids=list(problem.faulty_ids),
+                aggregator=aggregator,
+                attack=None if attack is None else make_attack(attack),
+                constraint=problem.constraint,
+                schedule=problem.schedule,
+                initial_estimate=problem.initial_estimate,
+                iterations=iterations,
+                conditions=cell_conditions(drop_rate),
+                staleness_bound=tau,
+                missing_policy=policy,
+                seed=seed,
+            )
+            radii.append(
+                float(np.linalg.norm(trace.final_estimate - problem.x_h))
+            )
+            missing.append(float(trace.missing_fraction().mean()))
+            profile = trace.staleness_profile()
+            staleness.append(
+                float(np.nanmean(profile))
+                if np.isfinite(profile).any()
+                else float("nan")
+            )
+            stalled += trace.stalled_rounds()
+        rows.append(
+            _assemble_row(
+                tau, drop_rate, aggregator, policy, attack, seeds,
+                radii, missing, staleness, stalled,
+            )
+        )
     return rows
 
 

@@ -100,7 +100,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "asynchronous",
-        help="event-driven engine: staleness x drop-rate x filter sweep",
+        help="asynchronous engine: staleness x drop-rate x filter sweep "
+        "(batched tensor program by default)",
     )
     p.add_argument("--iterations", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
@@ -110,6 +111,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="seeds per cell (delays and drops are stochastic, so more "
         "seeds tighten the radius estimates)",
+    )
+    p.add_argument(
+        "--reference",
+        action="store_true",
+        help="replay the per-trial event-driven engine cell by cell "
+        "instead of the batched (S, n, d) tensor program (slow; the "
+        "oracle the batched engine is pinned against)",
     )
 
     sub.add_parser(
@@ -379,6 +387,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         rows = asynchronous_sweep(
             iterations=args.iterations,
             seeds=tuple(range(args.seed, args.seed + args.seeds)),
+            engine="reference" if args.reference else "batched",
         )
         print(render_asynchronous_report(rows, iterations=args.iterations))
     elif args.command == "list":

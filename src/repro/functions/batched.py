@@ -36,7 +36,42 @@ __all__ = [
     "LeastSquaresCostStack",
     "LoopCostStack",
     "stack_costs",
+    "gather_view_points",
 ]
+
+
+def gather_view_points(
+    trajectory: np.ndarray, views: np.ndarray, fallback: np.ndarray
+) -> np.ndarray:
+    """Stale-iterate gather: each agent's *view* point, batched over trials.
+
+    ``trajectory`` is the iterate history ``x_0 .. x_t`` stacked as
+    ``(t + 1, S, d)``; ``views`` is ``(S, n)`` holding the round whose
+    iterate each agent's usable message was evaluated at (negative = no
+    usable message); ``fallback`` is the ``(S, d)`` current estimates used
+    for the view-less agents (their gradients are computed but never
+    aggregated, keeping the batched evaluation loop-free).  Returns the
+    ``(S, n, d)`` per-agent points ready for
+    :meth:`CostStack.gradients_each` — one fancy-indexed gather instead of
+    ``S * n`` Python-level history lookups.
+    """
+    trajectory = np.asarray(trajectory, dtype=float)
+    views = np.asarray(views)
+    if trajectory.ndim != 3:
+        raise ValueError(
+            f"expected a (T+1, S, d) trajectory, got shape {trajectory.shape}"
+        )
+    if views.ndim != 2 or views.shape[0] != trajectory.shape[1]:
+        raise ValueError(
+            f"views shape {views.shape} does not match trajectory trials "
+            f"{trajectory.shape[1]}"
+        )
+    if views.max(initial=-1) >= trajectory.shape[0]:
+        raise ValueError("views index past the end of the trajectory")
+    usable = views >= 0
+    trials = np.arange(views.shape[0])[:, None]
+    points = trajectory[np.where(usable, views, 0), trials, :]
+    return np.where(usable[:, :, None], points, fallback[:, None, :])
 
 
 class CostStack(abc.ABC):

@@ -1,0 +1,165 @@
+"""Direct unit tests for the asynchronous trace analytics.
+
+``missing_fraction``, ``staleness_profile`` and ``stalled_rounds`` are
+pinned on hand-constructed records — including the all-stalled and zero-τ
+edge cases — independently of any engine, and the batched trace's
+vectorized counterparts are pinned on hand-built tensors against the same
+expectations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distsys import AsyncIterationRecord, AsynchronousTrace, BatchAsyncTrace
+
+
+_AUTO = object()
+
+
+def record(
+    iteration,
+    gradients_of,
+    missing=(),
+    staleness=None,
+    aggregate=_AUTO,
+    estimate=None,
+):
+    """A hand-built AsyncIterationRecord with plausible tensor fields."""
+    estimate = np.zeros(2) if estimate is None else np.asarray(estimate)
+    gradients = {i: np.full(2, float(i)) for i in gradients_of}
+    if aggregate is _AUTO:
+        aggregate = (
+            None if not gradients else np.mean(list(gradients.values()), axis=0)
+        )
+    return AsyncIterationRecord(
+        iteration=iteration,
+        estimate=estimate,
+        gradients=gradients,
+        aggregate=aggregate,
+        step_size=0.1,
+        next_estimate=estimate,
+        missing=tuple(missing),
+        staleness=dict(staleness or {}),
+        delivered=len(gradients_of),
+    )
+
+
+class TestMissingFraction:
+    def test_counts_missing_over_all_agents(self):
+        trace = AsynchronousTrace()
+        trace.append(record(0, gradients_of=[0, 1, 2], missing=[3]))
+        trace.append(record(1, gradients_of=[0], missing=[1, 2, 3]))
+        trace.append(record(2, gradients_of=[0, 1, 2, 3]))
+        np.testing.assert_allclose(
+            trace.missing_fraction(), [0.25, 0.75, 0.0]
+        )
+
+    def test_all_stalled_run_is_all_missing(self):
+        trace = AsynchronousTrace()
+        for t in range(3):
+            trace.append(record(t, gradients_of=[], missing=[0, 1, 2, 3]))
+        np.testing.assert_allclose(trace.missing_fraction(), [1.0, 1.0, 1.0])
+
+    def test_empty_trace_gives_empty_series(self):
+        assert AsynchronousTrace().missing_fraction().shape == (0,)
+
+
+class TestStalenessProfile:
+    def test_mean_staleness_per_round(self):
+        trace = AsynchronousTrace()
+        trace.append(
+            record(0, gradients_of=[0, 1], staleness={0: 0, 1: 2})
+        )
+        trace.append(
+            record(1, gradients_of=[0, 1, 2], staleness={0: 1, 1: 1, 2: 4})
+        )
+        np.testing.assert_allclose(trace.staleness_profile(), [1.0, 2.0])
+
+    def test_stalled_round_contributes_nan(self):
+        trace = AsynchronousTrace()
+        trace.append(record(0, gradients_of=[0], staleness={0: 3}))
+        trace.append(record(1, gradients_of=[], missing=[0]))
+        profile = trace.staleness_profile()
+        assert profile[0] == 3.0
+        assert np.isnan(profile[1])
+        assert float(np.nanmean(profile)) == 3.0
+
+    def test_all_stalled_profile_is_all_nan(self):
+        trace = AsynchronousTrace()
+        for t in range(4):
+            trace.append(record(t, gradients_of=[], missing=[0, 1]))
+        assert np.isnan(trace.staleness_profile()).all()
+
+    def test_zero_tau_profile_is_all_zero(self):
+        # τ = 0: every usable message is fresh, so the profile is 0, not
+        # nan — freshness and stalls must not be conflated.
+        trace = AsynchronousTrace()
+        for t in range(3):
+            trace.append(
+                record(t, gradients_of=[0, 1], staleness={0: 0, 1: 0})
+            )
+        np.testing.assert_array_equal(trace.staleness_profile(), [0.0, 0.0, 0.0])
+
+
+class TestStalledRounds:
+    def test_counts_none_aggregates(self):
+        trace = AsynchronousTrace()
+        trace.append(record(0, gradients_of=[0]))
+        trace.append(record(1, gradients_of=[], missing=[0]))
+        trace.append(record(2, gradients_of=[], missing=[0]))
+        assert trace.stalled_rounds() == 2
+
+    def test_all_stalled(self):
+        trace = AsynchronousTrace()
+        for t in range(5):
+            trace.append(record(t, gradients_of=[], missing=[0]))
+        assert trace.stalled_rounds() == 5
+
+    def test_zero_gradient_aggregate_is_not_a_stall(self):
+        # A round that aggregated the zero vector moved (to the same
+        # point) — only aggregate=None marks a stall.
+        trace = AsynchronousTrace()
+        trace.append(
+            record(0, gradients_of=[0, 1], aggregate=np.zeros(2))
+        )
+        assert trace.stalled_rounds() == 0
+
+
+class TestBatchAsyncTraceAnalytics:
+    def build(self):
+        # T = 3 rounds, S = 2 trials, n = 4 agents, d = 2.
+        estimates = np.zeros((4, 2, 2))
+        return BatchAsyncTrace(
+            estimates=estimates,
+            step_sizes=np.full((3, 2), 0.1),
+            stalled=np.array([[False, True], [False, True], [True, True]]),
+            missing_counts=np.array([[1, 4], [3, 4], [4, 4]]),
+            usable_counts=np.array([[3, 0], [1, 0], [0, 0]]),
+            staleness_sums=np.array([[3.0, 0.0], [2.0, 0.0], [0.0, 0.0]]),
+            n=4,
+            labels=["a", "b"],
+        )
+
+    def test_shapes_and_counters(self):
+        trace = self.build()
+        assert trace.iterations == 3
+        assert trace.trials == 2
+        np.testing.assert_array_equal(trace.stalled_rounds(), [1, 3])
+
+    def test_missing_fraction_rows_per_trial(self):
+        np.testing.assert_allclose(
+            self.build().missing_fraction(),
+            [[0.25, 0.75, 1.0], [1.0, 1.0, 1.0]],
+        )
+
+    def test_staleness_profile_nan_on_empty_rounds(self):
+        profile = self.build().staleness_profile()
+        np.testing.assert_allclose(profile[0][:2], [1.0, 2.0])
+        assert np.isnan(profile[0][2])
+        assert np.isnan(profile[1]).all()
+
+    def test_distances_and_finals(self):
+        trace = self.build()
+        assert trace.final_estimates.shape == (2, 2)
+        assert trace.distances_to([1.0, 0.0]).shape == (2, 4)
+        np.testing.assert_allclose(trace.distances_to([1.0, 0.0]), 1.0)

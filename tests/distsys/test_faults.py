@@ -12,6 +12,7 @@ from repro.distsys.faults import (
     Stragglers,
     fixed_delay,
     geometric_delay,
+    sample_network_run,
     uniform_delay,
 )
 
@@ -134,6 +135,125 @@ class TestConditions:
     def test_invalid_conditions(self, build):
         with pytest.raises(ValueError):
             build()
+
+
+class TestSampleRun:
+    """The whole-run pre-sampling fast path of the conditions pipeline."""
+
+    def per_round(self, conditions, rounds, n=N, seed=0):
+        """The historical per-round sampling loop, for comparison."""
+        rng = np.random.default_rng(seed)
+        for condition in conditions:
+            condition.begin_run(n, rng)
+        delays = np.zeros((rounds, n), dtype=int)
+        dropped = np.zeros((rounds, n), dtype=bool)
+        for t in range(rounds):
+            for condition in conditions:
+                condition.condition_round(t, delays[t], dropped[t], rng)
+        return delays, dropped
+
+    def whole_run(self, conditions, rounds, n=N, seed=0, chunks=(None,)):
+        """sample_network_run, optionally split into chunks."""
+        rng = np.random.default_rng(seed)
+        for condition in conditions:
+            condition.begin_run(n, rng)
+        if chunks == (None,):
+            return sample_network_run(conditions, rng, n, rounds)
+        parts = []
+        start = 0
+        for chunk in chunks:
+            parts.append(
+                sample_network_run(conditions, rng, n, chunk, start=start)
+            )
+            start += chunk
+        return (
+            np.concatenate([p[0] for p in parts]),
+            np.concatenate([p[1] for p in parts]),
+        )
+
+    @pytest.mark.parametrize("build", [
+        lambda: [LinkDelay(uniform_delay(0, 3))],
+        lambda: [IIDDrop(0.4)],
+        lambda: [LinkDelay(fixed_delay(2)), Stragglers({2: 3.0})],
+    ])
+    def test_single_stochastic_condition_matches_per_round_stream(self, build):
+        # With at most one single-draw RNG-consuming condition the
+        # whole-run block consumes the stream exactly like per-round
+        # sampling did.  (BurstyDrop draws flips and losses as two blocks,
+        # so only its one-round-chunk form is stream-compatible — covered
+        # below.)
+        expected = self.per_round(build(), rounds=25)
+        actual = self.whole_run(build(), rounds=25)
+        np.testing.assert_array_equal(actual[0], expected[0])
+        np.testing.assert_array_equal(actual[1], expected[1])
+
+    def test_one_round_chunks_match_per_round_stream(self):
+        # Chunked one round at a time, even a multi-consumer pipeline is
+        # bit-identical to the historical per-round interleaving.
+        conditions = lambda: [
+            LinkDelay(uniform_delay(0, 2)),
+            IIDDrop(0.3),
+            BurstyDrop(enter=0.2, exit=0.4),
+        ]
+        expected = self.per_round(conditions(), rounds=12)
+        actual = self.whole_run(conditions(), rounds=12, chunks=(1,) * 12)
+        np.testing.assert_array_equal(actual[0], expected[0])
+        np.testing.assert_array_equal(actual[1], expected[1])
+
+    def test_bursty_chain_state_persists_across_chunks(self):
+        # Whole-run and chunked sampling see the same chain *statistics*;
+        # a begin_run between chunks would restart every link in the good
+        # state and visibly reduce the loss rate.
+        condition = BurstyDrop(enter=0.5, exit=0.05)
+        _, whole = self.whole_run([condition], rounds=400, seed=5)
+        condition = BurstyDrop(enter=0.5, exit=0.05)
+        _, chunked = self.whole_run(
+            [condition], rounds=400, seed=5, chunks=(100,) * 4
+        )
+        assert abs(whole.mean() - chunked.mean()) < 0.1
+        assert chunked.mean() > 0.5  # bursts survive the chunk boundaries
+
+    def test_begin_run_resets_the_chain(self):
+        condition = BurstyDrop(enter=1.0, exit=0.0)
+        rng = np.random.default_rng(0)
+        condition.begin_run(N, rng)
+        _, dropped = sample_network_run([condition], rng, N, 5)
+        assert dropped[1:].all()  # every link burst-bound from round 1
+        condition.begin_run(N, rng)
+        assert not condition._in_burst.any()
+
+    def test_straggler_stretch_applies_to_whole_block(self):
+        delays, _ = self.whole_run(
+            [LinkDelay(fixed_delay(1)), Stragglers({2: 3.0})], rounds=4
+        )
+        assert (delays[:, 2] == 5).all()
+        assert (delays[:, [0, 1, 3, 4, 5]] == 1).all()
+
+    def test_invalid_sampler_rejected_in_block_form(self):
+        bad = LinkDelay(lambda rng, size: np.full(size, -1))
+        bad.begin_run(N, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="non-negative"):
+            sample_network_run([bad], np.random.default_rng(0), N, 3)
+
+    def test_schedule_sample_run_matches_crashed_mask(self):
+        schedule = (
+            FaultSchedule()
+            .crash(2, at=5, recover_at=9)
+            .crash(0, at=11)
+        )
+        active = schedule.sample_run(None, N, 20)
+        for t in range(20):
+            np.testing.assert_array_equal(
+                ~active[t], schedule.crashed_mask(t, N)
+            )
+
+    def test_schedule_sample_run_honours_start_offset(self):
+        schedule = FaultSchedule().crash(1, at=5, recover_at=9)
+        active = schedule.sample_run(None, N, 6, start=6)
+        # rows cover absolute rounds 6..11: crashed at 6,7,8; back at 9+.
+        np.testing.assert_array_equal(
+            active[:, 1], [False, False, False, True, True, True]
+        )
 
 
 class TestFaultSchedule:
