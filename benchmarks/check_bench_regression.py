@@ -1,14 +1,22 @@
 """CI bench-regression gate over the ``BENCH_*.json`` headline artifacts.
 
-Compares every freshly-regenerated ``BENCH_*.json`` that reports a
-``speedup`` field against the committed baseline copy and fails (exit 1)
-when any speedup drops more than ``--threshold`` (default 30%) below its
-baseline — so a PR that quietly serializes a batched engine back into a
-Python loop breaks the build instead of the perf trajectory.
+Two gates run over every freshly-regenerated ``BENCH_*.json``:
 
-Files without a ``speedup`` field are reported but never gate; a baseline
-file whose fresh counterpart is *missing* fails loudly (a deleted bench is
-a silent regression too).
+* **speedup** — files whose committed baseline reports a ``speedup`` field
+  fail (exit 1) when the fresh speedup drops more than ``--threshold``
+  (default 30%) below the baseline, so a PR that quietly serializes a
+  batched engine back into a Python loop breaks the build instead of the
+  perf trajectory.
+* **degenerate engine gap** — files reporting a ``degenerate_engine_gap``
+  (``BENCH_async.json``, ``BENCH_decentralized_delay.json``) fail when the
+  fresh gap exceeds ``--gap-tolerance`` (default 1e-9): the asynchronous
+  and delay-tolerant engines' degenerate configurations are pinned to the
+  synchronous engines, and a drifting gap means an equivalence contract
+  silently broke.
+
+Files reporting neither field are listed but never gate; a baseline file
+whose fresh counterpart is *missing* fails loudly (a deleted bench is a
+silent regression too).
 
 Usage (what the GitHub Actions workflow runs)::
 
@@ -24,14 +32,19 @@ import sys
 from pathlib import Path
 
 
-def load_speedup(path: Path):
-    """The file's ``speedup`` field, or None when it does not report one."""
+def load_field(path: Path, field: str):
+    """The file's ``field`` value, or None when it does not report one."""
     payload = json.loads(path.read_text())
-    value = payload.get("speedup")
+    value = payload.get(field)
     return None if value is None else float(value)
 
 
-def check(baseline_dir: Path, fresh_dir: Path, threshold: float) -> int:
+def check(
+    baseline_dir: Path,
+    fresh_dir: Path,
+    threshold: float,
+    gap_tolerance: float,
+) -> int:
     baselines = sorted(baseline_dir.glob("BENCH_*.json"))
     if not baselines:
         print(f"error: no BENCH_*.json baselines under {baseline_dir}")
@@ -39,31 +52,58 @@ def check(baseline_dir: Path, fresh_dir: Path, threshold: float) -> int:
     failures = []
     for baseline_path in baselines:
         name = baseline_path.name
-        baseline = load_speedup(baseline_path)
-        if baseline is None:
-            print(f"  {name}: no speedup field in baseline (not gated)")
+        baseline = load_field(baseline_path, "speedup")
+        gated_gap = load_field(baseline_path, "degenerate_engine_gap")
+        if baseline is None and gated_gap is None:
+            print(f"  {name}: no gated fields in baseline (not gated)")
             continue
         fresh_path = fresh_dir / name
         if not fresh_path.exists():
             failures.append(f"{name}: fresh artifact missing")
             continue
-        fresh = load_speedup(fresh_path)
-        if fresh is None:
-            failures.append(
-                f"{name}: fresh artifact dropped its speedup field"
-            )
-            continue
-        floor = (1.0 - threshold) * baseline
-        verdict = "ok" if fresh >= floor else "REGRESSION"
-        print(
-            f"  {name}: speedup {fresh:.2f}x vs baseline {baseline:.2f}x "
-            f"(floor {floor:.2f}x) — {verdict}"
-        )
-        if fresh < floor:
-            failures.append(
-                f"{name}: speedup {fresh:.2f}x fell more than "
-                f"{threshold:.0%} below the committed {baseline:.2f}x"
-            )
+        if baseline is not None:
+            fresh = load_field(fresh_path, "speedup")
+            if fresh is None:
+                failures.append(
+                    f"{name}: fresh artifact dropped its speedup field"
+                )
+            else:
+                floor = (1.0 - threshold) * baseline
+                # ``not (>= floor)`` so a NaN speedup fails instead of
+                # slipping through both comparisons.
+                regressed = not fresh >= floor
+                verdict = "REGRESSION" if regressed else "ok"
+                print(
+                    f"  {name}: speedup {fresh:.2f}x vs baseline "
+                    f"{baseline:.2f}x (floor {floor:.2f}x) — {verdict}"
+                )
+                if regressed:
+                    failures.append(
+                        f"{name}: speedup {fresh:.2f}x fell more than "
+                        f"{threshold:.0%} below the committed {baseline:.2f}x"
+                    )
+        if gated_gap is not None:
+            fresh_gap = load_field(fresh_path, "degenerate_engine_gap")
+            if fresh_gap is None:
+                failures.append(
+                    f"{name}: fresh artifact dropped its "
+                    "degenerate_engine_gap field"
+                )
+            else:
+                # ``not (<= tolerance)`` so a NaN gap (diverged engines)
+                # fails instead of slipping through both comparisons.
+                broken = not fresh_gap <= gap_tolerance
+                verdict = "CONTRACT BROKEN" if broken else "ok"
+                print(
+                    f"  {name}: degenerate engine gap {fresh_gap:.3g} "
+                    f"(tolerance {gap_tolerance:.0e}) — {verdict}"
+                )
+                if broken:
+                    failures.append(
+                        f"{name}: degenerate engine gap {fresh_gap:.3g} "
+                        f"exceeds {gap_tolerance:.0e} — an engine "
+                        "equivalence contract broke"
+                    )
     if failures:
         print("bench-regression gate FAILED:")
         for failure in failures:
@@ -91,10 +131,23 @@ def main(argv=None) -> int:
         default=0.30,
         help="maximum tolerated fractional speedup drop (default 0.30)",
     )
+    parser.add_argument(
+        "--gap-tolerance",
+        type=float,
+        default=1e-9,
+        help="maximum tolerated degenerate engine gap (default 1e-9)",
+    )
     args = parser.parse_args(argv)
     if not 0.0 <= args.threshold < 1.0:
         parser.error("threshold must be in [0, 1)")
-    return check(Path(args.baseline), Path(args.fresh), args.threshold)
+    if args.gap_tolerance < 0.0:
+        parser.error("gap tolerance must be non-negative")
+    return check(
+        Path(args.baseline),
+        Path(args.fresh),
+        args.threshold,
+        args.gap_tolerance,
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,158 @@
+"""Benchmark: the delay-tolerant decentralized engine's gossip sweep.
+
+Runs the full topology × staleness × drop-rate × filter sweep through
+:class:`~repro.distsys.decentralized_delay.DelayedDecentralizedSimulator`
+(per-edge pre-sampled delays/drops, per-edge view-round queues, masked and
+shrink missing-neighbor policies) and persists the consensus-gap +
+convergence-radius report to ``benchmarks/results/decentralized_delay.txt``
+plus machine-readable headline numbers to ``BENCH_decentralized_delay.json``.
+
+Also cross-checks the engine contract inside the workload: the degenerate
+configuration (τ = 0, no conditions) must pin **bit-for-bit** to the
+synchronous :class:`~repro.distsys.decentralized.DecentralizedSimulator`
+across aggregator × attack × topology × seed — the ``degenerate_engine_gap``
+field is gated by ``benchmarks/check_bench_regression.py``.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import emit, emit_json
+
+from repro.aggregators import make_aggregator
+from repro.attacks.registry import make_attack
+from repro.distsys import (
+    BatchTrial,
+    make_topology,
+    run_decentralized,
+    run_decentralized_delayed,
+)
+from repro.experiments import paper_problem
+from repro.experiments.decentralized_delay import (
+    decentralized_delay_sweep,
+    default_delay_topologies,
+    render_decentralized_delay_report,
+)
+
+ITERATIONS = 300
+STALENESS_BOUNDS = (0, 1, 3)
+DROP_RATES = (0.0, 0.2)
+AGGREGATORS = ("cwtm", "cge_mean", "median")
+SEEDS = (0, 1)
+
+
+def degenerate_gap(problem):
+    """Max |delayed - synchronous| over the degenerate grid (must be 0.0)."""
+    gap = 0.0
+    for topology_name, kwargs in (
+        ("ring", {"hops": 2}),
+        ("erdos_renyi", {"p": 0.7}),
+    ):
+        topology = make_topology(topology_name, problem.n, **kwargs)
+        trials = [
+            BatchTrial(
+                aggregator=make_aggregator(agg, problem.n, problem.f),
+                attack=None if attack is None else make_attack(attack),
+                faulty_ids=(
+                    () if attack is None else tuple(problem.faulty_ids)
+                ),
+                seed=seed,
+            )
+            for agg in ("cwtm", "median")
+            for attack in (None, "gradient_reverse", "edge_equivocation")
+            for seed in SEEDS
+        ]
+        args = (
+            problem.costs, topology, trials, problem.constraint,
+            problem.schedule, problem.initial_estimate, 120,
+        )
+        reference = run_decentralized(*args)
+        delayed = run_decentralized_delayed(*args)
+        gap = max(
+            gap,
+            float(np.abs(delayed.estimates - reference.estimates).max()),
+        )
+    return gap
+
+
+def test_decentralized_delay_sweep_report(benchmark, results_dir):
+    problem = paper_problem()
+    topologies = default_delay_topologies(problem.n)
+
+    def sweep():
+        return decentralized_delay_sweep(
+            problem=problem,
+            topologies=topologies,
+            staleness_bounds=STALENESS_BOUNDS,
+            drop_rates=DROP_RATES,
+            aggregators=AGGREGATORS,
+            iterations=ITERATIONS,
+            seeds=SEEDS,
+        )
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    t0 = time.perf_counter()
+    rows = sweep()
+    sweep_seconds = time.perf_counter() - t0
+
+    cells = (
+        len(topologies) * len(STALENESS_BOUNDS) * len(DROP_RATES)
+        * len(AGGREGATORS)
+    )
+    assert len(rows) == cells
+    assert all(np.isfinite(r.mean_radius) for r in rows)
+    assert {r.policy for r in rows} == {"shrink", "masked"}
+
+    # Loosening the staleness bound (no drops) can only reduce how much
+    # gossip the agents have to do without.
+    def missing(tau, topology="ring2", aggregator="cwtm"):
+        return next(
+            r.missing_rate
+            for r in rows
+            if r.staleness_bound == tau
+            and r.drop_rate == 0.0
+            and r.topology == topology
+            and r.aggregator == aggregator
+        )
+
+    assert missing(0) >= missing(1) >= missing(3)
+
+    # Engine contract inside the workload: τ = 0 with no conditions is the
+    # synchronous graph engine, bit for bit.
+    engine_gap = degenerate_gap(problem)
+    assert engine_gap == 0.0
+
+    text = render_decentralized_delay_report(rows, iterations=ITERATIONS)
+    emit(results_dir, "decentralized_delay", text)
+    emit_json(
+        results_dir,
+        "decentralized_delay",
+        {
+            "workload": {
+                "system": "appendix-J regression (n=6, f=1, d=2)",
+                "topologies": [t.name for t in topologies],
+                "staleness_bounds": list(STALENESS_BOUNDS),
+                "drop_rates": list(DROP_RATES),
+                "aggregators": list(AGGREGATORS),
+                "iterations": ITERATIONS,
+                "seeds": len(SEEDS),
+                "cells": cells,
+            },
+            "sweep_seconds": round(sweep_seconds, 6),
+            "degenerate_engine_gap": engine_gap,
+            "worst_radius_by_tau": {
+                str(tau): max(
+                    r.worst_radius for r in rows if r.staleness_bound == tau
+                )
+                for tau in STALENESS_BOUNDS
+            },
+            "worst_gap_by_topology": {
+                topology.name: max(
+                    r.mean_gap for r in rows if r.topology == topology.name
+                )
+                for topology in topologies
+            },
+            "stalled_agent_rounds_total": sum(r.stalled for r in rows),
+        },
+    )

@@ -16,10 +16,12 @@ from .geometric_median import (
 )
 from .krum import KrumAggregator, MultiKrumAggregator, krum_scores, krum_scores_batch
 from .masked import (
+    aggregator_label,
     masked_cge_batch,
     masked_kernel_for,
     masked_mean_batch,
     masked_median_batch,
+    masked_partial_kernel_for,
     masked_trimmed_mean_batch,
 )
 from .meamed import MeaMedAggregator, SignMajorityAggregator
@@ -67,4 +69,6 @@ __all__ = [
     "masked_median_batch",
     "masked_cge_batch",
     "masked_kernel_for",
+    "masked_partial_kernel_for",
+    "aggregator_label",
 ]

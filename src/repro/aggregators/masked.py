@@ -28,12 +28,15 @@ from typing import Callable, Optional
 import numpy as np
 
 __all__ = [
+    "aggregator_label",
     "masked_mean_batch",
     "masked_trimmed_mean_batch",
     "masked_median_batch",
     "masked_cge_batch",
     "masked_kernel_for",
+    "masked_partial_kernel_for",
     "masked_min_attendance",
+    "masked_min_attendance_for_tolerance",
     "aggregate_batch_masked",
 ]
 
@@ -72,33 +75,52 @@ def masked_mean_batch(values: np.ndarray, mask: np.ndarray) -> np.ndarray:
     return weighted.sum(axis=2) / counts[None, :, None]
 
 
+def _per_receiver_tolerance(
+    tolerance, counts: np.ndarray, name: str
+) -> np.ndarray:
+    """Broadcast a scalar or per-receiver tolerance to ``counts``' shape."""
+    arr = np.asarray(tolerance, dtype=int)
+    if arr.ndim == 0:
+        arr = np.broadcast_to(arr, counts.shape)
+    elif arr.shape != counts.shape:
+        raise ValueError(
+            f"per-receiver {name} has shape {arr.shape}, expected scalar "
+            f"or {counts.shape}"
+        )
+    if (arr < 0).any():
+        raise ValueError(f"{name} must be non-negative")
+    return arr
+
+
 def masked_trimmed_mean_batch(
-    values: np.ndarray, mask: np.ndarray, trim: int
+    values: np.ndarray, mask: np.ndarray, trim
 ) -> np.ndarray:
     """Neighborhood-wise coordinate trimmed mean under a validity mask.
 
     For every agent and coordinate, drops the ``trim`` largest and ``trim``
     smallest of its *valid* entries and averages the rest — the CWTM rule of
-    equation (24) applied per in-neighborhood.  Implemented with one sort
+    equation (24) applied per in-neighborhood.  ``trim`` is a scalar or a
+    per-receiver ``(n,)`` array (the delay-tolerant engines shrink the trim
+    per agent with its round's attendance).  Implemented with one sort
     (+inf padding pushes invalid slots past every valid order statistic) and
     a prefix-sum gather, so ragged neighborhoods cost no Python loop.
     """
     values, mask, counts = _check_masked(values, mask)
-    if trim < 0:
-        raise ValueError("trim must be non-negative")
+    trim = _per_receiver_tolerance(trim, counts, "trim")
     kept = counts - 2 * trim
     if kept.min() < 1:
         worst = int(np.argmin(kept))
         raise ValueError(
             f"agent {worst} has {int(counts[worst])} messages, cannot trim "
-            f"{trim} from both sides"
+            f"{int(trim[worst])} from both sides"
         )
     padded = np.where(mask[None, :, :, None], values, np.inf)
     ordered = np.sort(padded, axis=2)
     csum = np.cumsum(ordered, axis=2)
     upper = _take_slot(csum, counts - trim - 1)
-    if trim > 0:
-        upper = upper - csum[:, :, trim - 1, :]
+    if trim.any():
+        lower = _take_slot(csum, np.maximum(trim - 1, 0))
+        upper = upper - np.where((trim > 0)[None, :, None], lower, 0.0)
     return upper / kept[None, :, None]
 
 
@@ -113,23 +135,23 @@ def masked_median_batch(values: np.ndarray, mask: np.ndarray) -> np.ndarray:
 
 
 def masked_cge_batch(
-    values: np.ndarray, mask: np.ndarray, f: int, average: bool = False
+    values: np.ndarray, mask: np.ndarray, f, average: bool = False
 ) -> np.ndarray:
     """Neighborhood-wise Comparative Gradient Elimination under a mask.
 
     Each agent keeps the ``c_i - f`` smallest-norm messages of its ``c_i``
     valid ones (ties broken by slot order — ascending sender id) and outputs
     their vector sum (equation (23)), or their mean when ``average``.
+    ``f`` is a scalar or a per-receiver ``(n,)`` array.
     """
     values, mask, counts = _check_masked(values, mask)
-    if f < 0:
-        raise ValueError("f must be non-negative")
+    f = _per_receiver_tolerance(f, counts, "f")
     kept = counts - f
     if kept.min() < 1:
         worst = int(np.argmin(kept))
         raise ValueError(
             f"agent {worst} has {int(counts[worst])} messages, cannot "
-            f"eliminate f={f}"
+            f"eliminate f={int(f[worst])}"
         )
     # Zero out invalid slots before the norm: they may hold arbitrary junk
     # (padding), and norming junk can overflow even though it is never kept.
@@ -144,6 +166,19 @@ def masked_cge_batch(
     if average:
         return total / kept[None, :, None]
     return total
+
+
+def aggregator_label(aggregator) -> str:
+    """The filter's registry name when it has one, else its class name.
+
+    Rejection messages must *name* the offending filter — ``"krum"`` reads
+    better in a traceback than ``KrumAggregator`` alone, so both appear.
+    """
+    name = getattr(aggregator, "name", None)
+    type_name = type(aggregator).__name__
+    if isinstance(name, str) and name and name != "abstract":
+        return f"{name!r} ({type_name})"
+    return type_name
 
 
 def masked_kernel_for(
@@ -195,7 +230,7 @@ def aggregate_batch_masked(
     kernel = masked_kernel_for(aggregator)
     if kernel is None:
         raise ValueError(
-            f"{type(aggregator).__name__} has no masked kernel"
+            f"aggregator {aggregator_label(aggregator)} has no masked kernel"
         )
     values = np.asarray(values, dtype=float)
     if values.ndim != 3:
@@ -230,5 +265,65 @@ def masked_min_attendance(aggregator) -> int:
     if masked_kernel_for(aggregator) is not None:
         return 1  # mean / coordinate median aggregate any non-empty set
     raise ValueError(
-        f"{type(aggregator).__name__} has no masked kernel"
+        f"aggregator {aggregator_label(aggregator)} has no masked kernel"
+    )
+
+
+def masked_partial_kernel_for(
+    aggregator,
+) -> Optional[Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]]:
+    """The *tolerance-parameterized* masked kernel matching an aggregator.
+
+    Returns a ``(values, mask, tolerance) -> (S, n, d)`` callable where
+    ``tolerance`` is a per-receiver ``(n,)`` int array overriding the
+    filter's declared ``f``/trim — the hook the delay-tolerant engines use
+    to shrink the tolerance per agent with its round's attendance (filters
+    without a tolerance parameter — mean, coordinate median — ignore it).
+    Returns ``None`` for filters without a masked kernel.
+    """
+    from .cge import AveragedCGE, CGEAggregator
+    from .mean import MeanAggregator
+    from .trimmed_mean import CoordinateWiseMedian, CWTMAggregator
+
+    if isinstance(aggregator, AveragedCGE):
+        return lambda values, mask, tolerance: masked_cge_batch(
+            values, mask, tolerance, average=True
+        )
+    if isinstance(aggregator, CGEAggregator):
+        return lambda values, mask, tolerance: masked_cge_batch(
+            values, mask, tolerance
+        )
+    if isinstance(aggregator, CWTMAggregator):
+        return lambda values, mask, tolerance: masked_trimmed_mean_batch(
+            values, mask, tolerance
+        )
+    if isinstance(aggregator, CoordinateWiseMedian):
+        return lambda values, mask, tolerance: masked_median_batch(
+            values, mask
+        )
+    if isinstance(aggregator, MeanAggregator):
+        return lambda values, mask, tolerance: masked_mean_batch(values, mask)
+    return None
+
+
+def masked_min_attendance_for_tolerance(aggregator, tolerance) -> np.ndarray:
+    """Per-receiver attendance floor of the tolerance-parameterized kernel.
+
+    The fewest valid messages each receiver needs for
+    :func:`masked_partial_kernel_for`'s kernel to produce a defined output
+    at the given per-receiver ``tolerance``: ``2·trim + 1`` for CWTM,
+    ``f + 1`` for CGE, ``1`` for mean / coordinate median.
+    """
+    from .cge import CGEAggregator
+    from .trimmed_mean import CWTMAggregator
+
+    tolerance = np.asarray(tolerance, dtype=int)
+    if isinstance(aggregator, CGEAggregator):  # includes AveragedCGE
+        return tolerance + 1
+    if isinstance(aggregator, CWTMAggregator):
+        return 2 * tolerance + 1
+    if masked_kernel_for(aggregator) is not None:
+        return np.ones_like(tolerance)
+    raise ValueError(
+        f"aggregator {aggregator_label(aggregator)} has no masked kernel"
     )

@@ -1,14 +1,17 @@
-"""Distributed-system substrate: one protocol core, six execution engines.
+"""Distributed-system substrate: one protocol core, seven execution engines.
 
 :mod:`repro.distsys.engine` owns the observe → fabricate → aggregate →
 project protocol loop; the server-based per-trial simulator, the batched
 lockstep sweep engine, the peer-to-peer replica simulator, the
-decentralized graph engine, the event-driven asynchronous engine and the
-batched asynchronous sweep engine are thin configurations of it.
+decentralized graph engine, the delay-tolerant decentralized engine, the
+event-driven asynchronous engine and the batched asynchronous sweep engine
+are thin configurations of it.
 :mod:`repro.distsys.topology` supplies the communication graphs the
-decentralized engine runs on; :mod:`repro.distsys.faults` supplies the
-network conditions and fault timelines the asynchronous engines replay
-(pre-sampled whole-run via :func:`~repro.distsys.faults.sample_network_run`).
+decentralized engines run on; :mod:`repro.distsys.faults` supplies the
+network conditions and fault timelines the asynchronous and delay-tolerant
+engines replay (pre-sampled whole-run via
+:func:`~repro.distsys.faults.sample_network_run` — per **uplink** for the
+server engines, per **edge** for the graph engine).
 """
 
 from .agents import Agent, ByzantineAgent, HonestAgent, StochasticAgent
@@ -39,6 +42,11 @@ from .decentralized import (
     DecentralizedSimulator,
     DecentralizedTrace,
     run_decentralized,
+)
+from .decentralized_delay import (
+    DelayedDecentralizedSimulator,
+    DelayedDecentralizedTrace,
+    run_decentralized_delayed,
 )
 from .engine import (
     ProtocolEngine,
@@ -96,6 +104,9 @@ __all__ = [
     "DecentralizedSimulator",
     "DecentralizedTrace",
     "run_decentralized",
+    "DelayedDecentralizedSimulator",
+    "DelayedDecentralizedTrace",
+    "run_decentralized_delayed",
     "AsynchronousSimulator",
     "AsynchronousTrace",
     "AsyncIterationRecord",

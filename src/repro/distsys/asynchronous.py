@@ -54,7 +54,11 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..aggregators.base import GradientAggregator
-from ..aggregators.masked import masked_kernel_for, masked_min_attendance
+from ..aggregators.masked import (
+    aggregator_label,
+    masked_kernel_for,
+    masked_min_attendance,
+)
 from ..aggregators.registry import make_aggregator
 from ..attacks.base import AttackContext, ByzantineAttack
 from ..functions.base import CostFunction
@@ -185,6 +189,11 @@ class AsynchronousSimulator(ProtocolEngine):
         conditions: :class:`~repro.distsys.faults.NetworkCondition`
             pipeline applied, in order, to every round's dispatches.
         fault_schedule: crash / recover / Byzantine-from-round timeline.
+            Crash events may declare ``recovery="warm"``: the recovering
+            agent's first dispatch is then evaluated at its persisted
+            pre-crash view instead of the current broadcast estimate
+            (``"reset"``, the default), so a long outage's first
+            contribution may itself be too stale to use.
         staleness_bound: τ — a delivered message is usable while
             ``t - view_round <= τ``.  τ = 0 accepts only fresh messages
             (the synchronous limit on a zero-delay network).
@@ -218,6 +227,8 @@ class AsynchronousSimulator(ProtocolEngine):
         self.d = self.stack.dim
 
         self.fault_schedule = (fault_schedule or FaultSchedule()).validate(self.n)
+        #: warm-recovery dispatch views: (agent, recovery round) -> view.
+        self._warm_views = self.fault_schedule.warm_restart_views()
         base_faulty = validate_faulty_ids(faulty_ids, self.n)
         since = self.fault_schedule.compromised_since()
         for agent in base_faulty:
@@ -268,8 +279,8 @@ class AsynchronousSimulator(ProtocolEngine):
             kernel = masked_kernel_for(self.server.aggregator)
             if kernel is None:
                 raise ValueError(
-                    f"aggregator {type(self.server.aggregator).__name__} has "
-                    "no masked kernel; use missing_policy='shrink'"
+                    f"aggregator {aggregator_label(self.server.aggregator)} "
+                    "has no masked kernel; use missing_policy='shrink'"
                 )
             self._masked_kernel = kernel
             # The kernel's own floor, and never fewer messages than can
@@ -366,8 +377,11 @@ class AsynchronousSimulator(ProtocolEngine):
                 and self.attack.silences(agent, t)
             ):
                 continue
+            # A warm-restarting agent's recovery-round dispatch carries its
+            # persisted pre-crash view; everyone else sends a fresh view.
+            view = self._warm_views.get((agent, t), t)
             arrival = t + int(delays[agent])
-            self._in_flight.setdefault(arrival, []).append((agent, t))
+            self._in_flight.setdefault(arrival, []).append((agent, view))
 
         # Deliver everything due this round (zero delay arrives in-round,
         # which is exactly the synchronous rendezvous).

@@ -55,6 +55,7 @@ import numpy as np
 from ..aggregators.base import GradientAggregator
 from ..aggregators.masked import (
     aggregate_batch_masked,
+    aggregator_label,
     masked_kernel_for,
     masked_min_attendance,
 )
@@ -278,7 +279,7 @@ class BatchAsynchronousSimulator(ProtocolEngine):
             if trial.missing_policy == "masked":
                 if masked_kernel_for(aggregator) is None:
                     raise ValueError(
-                        f"aggregator {type(aggregator).__name__} has no "
+                        f"aggregator {aggregator_label(aggregator)} has no "
                         "masked kernel; use missing_policy='shrink'"
                     )
                 self._masked_min[index] = max(
@@ -375,6 +376,18 @@ class BatchAsynchronousSimulator(ProtocolEngine):
                     if trial.attack.silences(int(agent), t):
                         self._sent[t, index, agent] = False
 
+        # Dispatch views: round t sends a fresh view t, except the
+        # recovery-round dispatch of a warm-restarting agent, which carries
+        # its persisted pre-crash view (the per-trial engine's semantics).
+        self._send_views = np.broadcast_to(
+            np.arange(t_total)[:, None, None], (t_total, s, self.n)
+        ).copy()
+        for index in range(s):
+            warm = self._fault_schedules[index].warm_restart_views()
+            for (agent, recovery_round), view in warm.items():
+                if recovery_round < t_total:
+                    self._send_views[recovery_round, index, agent] = view
+
         # Step sizes for the whole run (stalled rounds still consume their
         # schedule slot, so these are attendance-independent).
         self._etas = np.empty((t_total, s))
@@ -407,13 +420,23 @@ class BatchAsynchronousSimulator(ProtocolEngine):
         t = self.iteration
         x_t = self.estimates
 
-        # Enqueue round-t sends whose delay fits the trial's staleness
-        # bound (anything slower can never be usable); the send round t is
-        # strictly newer than every pending view, so overwrite wins.
+        # Enqueue round-t sends that can still be usable at delivery:
+        # delivery age is delay + (t - view), so anything past the trial's
+        # staleness bound is dropped here unobservably.  Views are t except
+        # warm-restart dispatches, whose pre-crash view may be *older* than
+        # a pending slot — the maximum keeps the per-trial engine's
+        # newest-view-wins delivery semantics.
         delay_t = self._delays[t]                      # (S, n)
-        enqueue = self._sent[t] & (delay_t <= self._tau[:, None])
+        view_t = self._send_views[t]                   # (S, n)
+        enqueue = self._sent[t] & (
+            delay_t + (t - view_t) <= self._tau[:, None]
+        )
         trial_ix, agent_ix = np.nonzero(enqueue)
-        self._pending[trial_ix, agent_ix, delay_t[trial_ix, agent_ix]] = t
+        slot_ix = delay_t[trial_ix, agent_ix]
+        self._pending[trial_ix, agent_ix, slot_ix] = np.maximum(
+            self._pending[trial_ix, agent_ix, slot_ix],
+            view_t[trial_ix, agent_ix],
+        )
 
         # Deliver slot 0 and shift the queue one round closer.
         self._freshest = np.maximum(self._freshest, self._pending[:, :, 0])

@@ -44,6 +44,7 @@ engine-equivalence suite pins complete-graph runs to
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
@@ -144,6 +145,11 @@ class DecentralizedTrace:
 class DecentralizedSimulator(ProtocolEngine):
     """Run ``S`` decentralized DGD trials over one topology in lockstep."""
 
+    #: Engines that cannot represent a missing message reject
+    #: crash-capable attacks; the delay-tolerant subclass can, and clears
+    #: this label to accept them.
+    _full_attendance_engine: Optional[str] = "decentralized engine"
+
     def __init__(
         self,
         costs: Union[Sequence[CostFunction], CostStack],
@@ -153,6 +159,7 @@ class DecentralizedSimulator(ProtocolEngine):
         schedule: StepSchedule,
         initial_estimate: Sequence[float],
         mixing: bool = True,
+        allow_disconnected: bool = False,
     ):
         if not trials:
             raise ValueError("need at least one trial")
@@ -167,6 +174,22 @@ class DecentralizedSimulator(ProtocolEngine):
             raise ValueError(
                 f"topology covers {topology.n} agents but {self.n} costs given"
             )
+        if not topology.is_connected():
+            # A disconnected graph (e.g. erdos_renyi_topology with
+            # require_connected=False) makes the global consensus gap and
+            # the decentralized convergence statements meaningless across
+            # components — fail at construction, never mid-analysis.
+            message = (
+                f"topology {topology.name!r} is disconnected: honest agents "
+                "in different components can never agree, so the global "
+                "consensus_gap() and convergence radius are meaningless"
+            )
+            if not allow_disconnected:
+                raise ValueError(
+                    message + "; pass allow_disconnected=True to run anyway "
+                    "and analyse components separately"
+                )
+            warnings.warn(message, RuntimeWarning, stacklevel=2)
         self.trials: List[BatchTrial] = list(trials)
         self.constraint = constraint
 
@@ -188,7 +211,7 @@ class DecentralizedSimulator(ProtocolEngine):
                 trial.attack,
                 len(faulty),
                 trial.omniscient_attack,
-                full_attendance_engine="decentralized engine",
+                full_attendance_engine=self._full_attendance_engine,
             )
             self._faulty.append(faulty)
             self._omniscient.append(bool(omniscient))
@@ -385,21 +408,29 @@ class DecentralizedSimulator(ProtocolEngine):
 
     def aggregate(self, round: ProtocolRound) -> None:
         """Neighborhood-wise filtering: folded or masked batch kernels."""
+        round.aggregates = self._aggregate_views(round.views)
+        if self.mixing:
+            round.extras["mix"] = self._mix_neighborhoods(
+                self.estimates[:, self.neighbor_index, :]
+            )
+
+    def _aggregate_views(self, views: np.ndarray) -> np.ndarray:
+        """Run every trial's filter over its ``(S, n, k, d)`` neighborhoods."""
         updates = np.empty((len(self.trials), self.n, self.d))
         for aggregator, kernel, idx in self._aggregator_groups:
-            views = round.views[idx]  # (S_g, n, k, d)
+            group_views = views[idx]  # (S_g, n, k, d)
             if kernel is None:
-                folded = views.reshape(idx.size * self.n, self.k, self.d)
+                folded = group_views.reshape(
+                    idx.size * self.n, self.k, self.d
+                )
                 updates[idx] = aggregator.aggregate_batch(folded).reshape(
                     idx.size, self.n, self.d
                 )
             else:
-                updates[idx] = kernel(views, self.neighbor_mask)
-        round.aggregates = updates
-        if self.mixing:
-            round.extras["mix"] = self._mix_estimates()
+                updates[idx] = kernel(group_views, self.neighbor_mask)
+        return updates
 
-    def _mix_estimates(self) -> np.ndarray:
+    def _mix_neighborhoods(self, neighborhoods: np.ndarray) -> np.ndarray:
         """Consensus step: trimmed mean of each closed neighborhood's iterates.
 
         The decentralized convergence statements pair robust gradient
@@ -410,8 +441,10 @@ class DecentralizedSimulator(ProtocolEngine):
         DGD consensus).  All agents — Byzantine included — are mixed from
         the iterates the engine tracks; the adversary here attacks the
         gradient channel (per-edge estimate fabrication is not modelled).
+        The synchronous engine mixes the current iterates; the
+        delay-tolerant subclass passes the *delivered* (possibly stale)
+        neighborhood views instead.
         """
-        neighborhoods = self.estimates[:, self.neighbor_index, :]
         mixed = np.empty_like(self.estimates)
         for rep, idx in self._mixing_groups:
             trim = len(self._faulty[rep])
@@ -485,6 +518,7 @@ def run_decentralized(
     initial_estimate: Sequence[float],
     iterations: int,
     mixing: bool = True,
+    allow_disconnected: bool = False,
 ) -> DecentralizedTrace:
     """Convenience wrapper mirroring :func:`repro.distsys.batch.run_dgd_batch`."""
     simulator = DecentralizedSimulator(
@@ -495,5 +529,6 @@ def run_decentralized(
         schedule=schedule,
         initial_estimate=initial_estimate,
         mixing=mixing,
+        allow_disconnected=allow_disconnected,
     )
     return simulator.run(iterations)

@@ -33,6 +33,17 @@ sweep.  The network stream is therefore consumed *condition-major* within a
 sampled chunk (condition 1's whole block, then condition 2's, ...); a chunk
 of one round consumes the stream exactly like the historical per-round
 path, because a ``(1, n)`` draw is bit-identical to an ``(n,)`` draw.
+
+**Chunk invariance.**  Every built-in condition's own :meth:`sample_run`
+is additionally *chunk-invariant*: splitting a run into multi-round chunks
+(continuous ``start``, same generator) reproduces the uncut whole-run
+realization bit for bit.  The samplers consume the underlying bit stream
+one variate at a time (``random``/``integers``/``geometric`` — capped
+geometric included), and the stateful Gilbert–Elliott chain draws its
+randomness round-interleaved and persists its burst state on the instance,
+so an engine extending its horizon chunk by chunk (stand-alone ``step``
+calls) sees exactly the realization a whole-run pre-sample would have
+produced.  ``tests/distsys/test_faults.py`` holds the property tests.
 """
 
 from __future__ import annotations
@@ -54,6 +65,7 @@ __all__ = [
     "IIDDrop",
     "BurstyDrop",
     "Stragglers",
+    "RECOVERY_MODES",
     "FaultEvent",
     "FaultSchedule",
     "sample_network_run",
@@ -270,16 +282,21 @@ class BurstyDrop(NetworkCondition):
         dropped |= self._in_burst & losses & self._mask
 
     def sample_run(self, rng, n, rounds, delays, dropped, start=0) -> None:
-        # All randomness up front (one flips block, one losses block); the
-        # Markov chain itself is a cheap boolean scan over rounds,
-        # vectorized across the n links.  The chain state persists on the
+        # All randomness up front, drawn round-interleaved: row ``k`` of the
+        # ``(rounds, 2, n)`` block is flips(n) then losses(n) — exactly the
+        # per-round hook's consumption order, so *any* chunking of a run
+        # (including the historical one-round chunks) reproduces the same
+        # stream.  (A flips-block-then-losses-block layout would make the
+        # realization depend on the chunk size — the pre-sampling drift bug.)
+        # The Markov chain itself is a cheap boolean scan over rounds,
+        # vectorized across the n links; the chain state persists on the
         # instance so chunked extension continues the same bursts.
-        flips = rng.random((rounds, n))
-        losses = rng.random((rounds, n)) < self.rate_in_burst
+        draws = rng.random((rounds, 2, n))
+        losses = draws[:, 1, :] < self.rate_in_burst
         in_burst = self._in_burst
         for k in range(rounds):
-            entering = ~in_burst & (flips[k] < self.enter)
-            leaving = in_burst & (flips[k] < self.exit)
+            entering = ~in_burst & (draws[k, 0] < self.enter)
+            leaving = in_burst & (draws[k, 0] < self.exit)
             in_burst = (in_burst | entering) & ~leaving
             dropped[k] |= in_burst & losses[k] & self._mask
         self._in_burst = in_burst
@@ -322,6 +339,11 @@ class Stragglers(NetworkCondition):
 
 # -- fault-schedule timelines --------------------------------------------------
 
+#: Crash-recovery models: ``"reset"`` rejoins from the current broadcast
+#: estimate; ``"warm"`` restores the agent's last pre-crash local state.
+RECOVERY_MODES = ("reset", "warm")
+
+
 @dataclass(frozen=True)
 class FaultEvent:
     """One agent-fault on the timeline.
@@ -329,12 +351,22 @@ class FaultEvent:
     ``kind`` is ``"crash"`` (the agent stops sending from round ``start``,
     resuming at ``end`` if set) or ``"byzantine"`` (the agent is compromised
     from round ``start`` onward — compromise does not end).
+
+    ``recovery`` (crash events with a recovery round only) picks the
+    restart model: ``"reset"`` — the recovering agent re-fetches the
+    current broadcast estimate before its first post-recovery dispatch;
+    ``"warm"`` — the agent restarts from its persisted pre-crash local
+    state, so its recovery-round dispatch is evaluated at the *last
+    broadcast it saw before crashing* (round ``start - 1``; the initial
+    estimate for a round-0 crash) and only re-synchronizes with the
+    broadcast from the following round.
     """
 
     kind: str
     agent: int
     start: int
     end: Optional[int] = None
+    recovery: str = "reset"
 
     def __post_init__(self):
         if self.kind not in ("crash", "byzantine"):
@@ -348,6 +380,17 @@ class FaultEvent:
         if self.end is not None and self.end <= self.start:
             raise ValueError(
                 f"recovery round {self.end} must follow crash round {self.start}"
+            )
+        if self.recovery not in RECOVERY_MODES:
+            raise ValueError(
+                f"unknown recovery mode {self.recovery!r}; "
+                f"known: {', '.join(RECOVERY_MODES)}"
+            )
+        if self.recovery == "warm" and (
+            self.kind != "crash" or self.end is None
+        ):
+            raise ValueError(
+                "warm recovery needs a crash event with a recovery round"
             )
 
 
@@ -366,11 +409,23 @@ class FaultSchedule:
         self.events: Tuple[FaultEvent, ...] = tuple(events)
 
     def crash(
-        self, agent: int, at: int, recover_at: Optional[int] = None
+        self,
+        agent: int,
+        at: int,
+        recover_at: Optional[int] = None,
+        recovery: str = "reset",
     ) -> "FaultSchedule":
-        """Agent ``agent`` sends nothing during ``[at, recover_at)``."""
+        """Agent ``agent`` sends nothing during ``[at, recover_at)``.
+
+        ``recovery`` picks the restart model when ``recover_at`` is set:
+        ``"reset"`` (historical behaviour) rejoins from the current
+        broadcast estimate; ``"warm"`` restores the agent's last pre-crash
+        local state, so its recovery-round message is evaluated at the
+        stale iterate it held when it went down (see :class:`FaultEvent`).
+        """
         event = FaultEvent("crash", int(agent), int(at),
-                           None if recover_at is None else int(recover_at))
+                           None if recover_at is None else int(recover_at),
+                           recovery=str(recovery))
         return FaultSchedule(self.events + (event,))
 
     def byzantine(self, agent: int, from_round: int = 0) -> "FaultSchedule":
@@ -428,6 +483,28 @@ class FaultSchedule:
             if lo < hi:
                 active[lo:hi, event.agent] = False
         return active
+
+    def warm_restart_views(self) -> Dict[Tuple[int, int], int]:
+        """Warm-recovery dispatch views: ``(agent, recovery round) -> view``.
+
+        For every crash event with ``recovery="warm"``, the recovering
+        agent's dispatch at its recovery round is evaluated at the last
+        broadcast it saw before crashing — round ``start - 1`` (clamped to
+        the initial estimate for a round-0 crash).  Overlapping warm
+        windows sharing a recovery round keep the *stalest* view (the
+        earliest crash wins: that is when the local state was persisted).
+        Engines consult this map at dispatch time; a round where the agent
+        is still crashed (an overlapping window) simply never dispatches.
+        """
+        views: Dict[Tuple[int, int], int] = {}
+        for event in self.events:
+            if event.kind != "crash" or event.recovery != "warm":
+                continue
+            assert event.end is not None  # enforced by FaultEvent
+            key = (event.agent, event.end)
+            view = max(event.start - 1, 0)
+            views[key] = min(views.get(key, view), view)
+        return views
 
     def compromised_since(self) -> Dict[int, int]:
         """Earliest compromise round per Byzantine agent."""

@@ -125,6 +125,43 @@ class CommunicationTopology:
             mask[i, : neighborhood.size] = True
         return index, mask
 
+    def directed_edges(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The graph's directed (sender → receiver) edges, slot-aligned.
+
+        Returns ``(senders, receivers, slots)`` — three ``(E,)`` int arrays
+        enumerating every *real* edge (self-messages excluded) in
+        :meth:`neighborhoods` order: receiver-major, ascending sender
+        within each receiver's closed neighborhood.  ``slots[e]`` is the
+        padded-neighborhood slot edge ``e`` occupies in receiver
+        ``receivers[e]``'s row of the ``(n, k)`` gather index, so per-edge
+        state (delays, drop masks, view-round queues) scatters straight
+        into the neighborhood tensors.  This is the canonical edge
+        indexing of the delay-tolerant decentralized engine: a
+        :class:`~repro.distsys.faults.NetworkCondition` restricted to
+        ``agents=[e]`` conditions exactly edge ``e`` of this enumeration
+        (see :meth:`edge_index`).
+        """
+        index, mask = self.neighborhoods()
+        real = mask & (index != np.arange(self.n)[:, None])
+        receivers, slots = np.nonzero(real)
+        return index[receivers, slots], receivers, slots
+
+    def edge_index(self, sender: int, receiver: int) -> int:
+        """Position of the ``sender → receiver`` edge in :meth:`directed_edges`.
+
+        The handle per-edge :class:`~repro.distsys.faults.NetworkCondition`
+        subsets key on — e.g. ``Stragglers({topology.edge_index(2, 3): 4.0})``
+        makes only the 2→3 link slow.  Raises for absent edges (including
+        self-messages, which are local and never conditioned).
+        """
+        senders, receivers, _ = self.directed_edges()
+        hits = np.flatnonzero((senders == sender) & (receivers == receiver))
+        if hits.size == 0:
+            raise ValueError(
+                f"topology {self.name!r} has no edge {sender} -> {receiver}"
+            )
+        return int(hits[0])
+
     # -- global structure --------------------------------------------------
     def _reachable(self, adjacency: np.ndarray) -> np.ndarray:
         frontier = np.zeros(self.n, dtype=bool)

@@ -99,6 +99,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "decentralized-delay",
+        help="delay-tolerant decentralized engine: topology x staleness x "
+        "drop-rate x filter sweep (per-edge delays and losses)",
+    )
+    p.add_argument("--iterations", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        help="seeds per cell (per-edge delays and drops are stochastic, "
+        "so more seeds tighten the radius and gap estimates)",
+    )
+
+    p = sub.add_parser(
         "asynchronous",
         help="asynchronous engine: staleness x drop-rate x filter sweep "
         "(batched tensor program by default)",
@@ -381,6 +396,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             seeds=tuple(range(args.seed, args.seed + args.seeds)),
         )
         print(render_decentralized_report(rows, iterations=args.iterations))
+    elif args.command == "decentralized-delay":
+        from .decentralized_delay import (
+            decentralized_delay_sweep,
+            render_decentralized_delay_report,
+        )
+
+        rows = decentralized_delay_sweep(
+            iterations=args.iterations,
+            seeds=tuple(range(args.seed, args.seed + args.seeds)),
+        )
+        print(
+            render_decentralized_delay_report(rows, iterations=args.iterations)
+        )
     elif args.command == "asynchronous":
         from .asynchronous import asynchronous_sweep, render_asynchronous_report
 

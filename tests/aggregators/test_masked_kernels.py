@@ -96,6 +96,122 @@ class TestFullMaskEqualsUnmasked:
         np.testing.assert_allclose(kernel(values, mask), expected, atol=1e-12)
 
 
+class TestPerReceiverTolerance:
+    """Scalar and per-receiver tolerance vectors must agree rule by rule."""
+
+    def test_vector_trim_matches_per_node_reference(self, ragged):
+        values, mask = ragged
+        trims = np.array([0, 1, 0, 1, 1])
+        expected = np.empty((S, N, D))
+        for i, trim in enumerate(trims):
+            rule = (
+                CWTMAggregator(int(trim)).aggregate
+                if trim
+                else (lambda v: v.mean(axis=0))
+            )
+            for s in range(S):
+                expected[s, i] = rule(values[s, i, mask[i]])
+        np.testing.assert_allclose(
+            masked_trimmed_mean_batch(values, mask, trims),
+            expected,
+            atol=1e-12,
+        )
+
+    def test_vector_f_matches_per_node_reference(self, ragged):
+        values, mask = ragged
+        fs = np.array([0, 1, 2, 0, 1])
+        expected = np.empty((S, N, D))
+        for i, f in enumerate(fs):
+            rule = CGEAggregator(int(f)).aggregate
+            for s in range(S):
+                expected[s, i] = rule(values[s, i, mask[i]])
+        np.testing.assert_allclose(
+            masked_cge_batch(values, mask, fs), expected, atol=1e-12
+        )
+
+    def test_uniform_vector_equals_scalar(self, ragged):
+        values, mask = ragged
+        np.testing.assert_array_equal(
+            masked_trimmed_mean_batch(values, mask, np.full(N, 1)),
+            masked_trimmed_mean_batch(values, mask, 1),
+        )
+        np.testing.assert_array_equal(
+            masked_cge_batch(values, mask, np.full(N, 1)),
+            masked_cge_batch(values, mask, 1),
+        )
+
+    def test_vector_overtrim_names_agent_and_its_tolerance(self):
+        mask = np.ones((N, K), dtype=bool)
+        mask[3, 2:] = False  # agent 3 keeps 2 messages
+        trims = np.array([0, 0, 0, 1, 0])
+        with pytest.raises(ValueError, match="agent 3 has 2 messages"):
+            masked_trimmed_mean_batch(np.zeros((S, N, K, D)), mask, trims)
+
+    def test_wrong_length_vector_rejected(self):
+        mask = np.ones((N, K), dtype=bool)
+        with pytest.raises(ValueError, match="per-receiver"):
+            masked_cge_batch(np.zeros((S, N, K, D)), mask, np.zeros(N + 1))
+
+    def test_negative_tolerance_rejected(self):
+        mask = np.ones((N, K), dtype=bool)
+        with pytest.raises(ValueError, match="non-negative"):
+            masked_trimmed_mean_batch(
+                np.zeros((S, N, K, D)), mask, np.array([0, 0, -1, 0, 0])
+            )
+
+
+class TestPartialKernelDispatch:
+    def test_known_filters_dispatch(self):
+        from repro.aggregators.masked import masked_partial_kernel_for
+
+        for aggregator in (
+            MeanAggregator(),
+            CWTMAggregator(1),
+            CoordinateWiseMedian(),
+            CGEAggregator(1),
+            AveragedCGE(1),
+        ):
+            assert masked_partial_kernel_for(aggregator) is not None
+        assert masked_partial_kernel_for(GeometricMedianAggregator()) is None
+
+    def test_tolerance_floors(self):
+        from repro.aggregators.masked import (
+            masked_min_attendance_for_tolerance,
+        )
+
+        tol = np.array([0, 1, 2])
+        np.testing.assert_array_equal(
+            masked_min_attendance_for_tolerance(CWTMAggregator(1), tol),
+            [1, 3, 5],
+        )
+        np.testing.assert_array_equal(
+            masked_min_attendance_for_tolerance(CGEAggregator(1), tol),
+            [1, 2, 3],
+        )
+        np.testing.assert_array_equal(
+            masked_min_attendance_for_tolerance(MeanAggregator(), tol),
+            [1, 1, 1],
+        )
+
+    def test_rejection_names_the_offending_filter(self):
+        from repro.aggregators.masked import (
+            aggregate_batch_masked,
+            masked_min_attendance,
+            masked_min_attendance_for_tolerance,
+        )
+
+        offender = GeometricMedianAggregator()
+        for call in (
+            lambda: aggregate_batch_masked(
+                offender, np.zeros((1, 3, 2)), np.ones((1, 3), dtype=bool)
+            ),
+            lambda: masked_min_attendance(offender),
+            lambda: masked_min_attendance_for_tolerance(offender, 0),
+        ):
+            with pytest.raises(ValueError, match="'geomedian'"):
+                call()
+
+
 class TestValidation:
     def test_bad_rank(self):
         with pytest.raises(ValueError, match=r"\(S, n, k, d\)"):

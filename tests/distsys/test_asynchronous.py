@@ -19,6 +19,7 @@ from repro.aggregators import make_aggregator
 from repro.attacks.registry import make_attack
 from repro.distsys import (
     AsynchronousSimulator,
+    BurstyDrop,
     FaultSchedule,
     IIDDrop,
     LinkDelay,
@@ -225,6 +226,36 @@ class TestStalenessSemantics:
         ]
 
 
+class TestChunkedHorizonConsistency:
+    def test_run_matches_stepping_under_bursty_loss(self, paper):
+        # The chunked pre-sampling drift regression: run(T) pre-samples one
+        # T-round chunk, stand-alone stepping extends one round at a time.
+        # BurstyDrop's block draws are round-interleaved, so the two paths
+        # must replay the *same* loss realization (they historically did
+        # not: flips and losses were drawn as two whole-run blocks).
+        def engine():
+            return AsynchronousSimulator(
+                costs=paper.costs,
+                aggregator="mean",
+                constraint=paper.constraint,
+                schedule=paper.schedule,
+                f=0,
+                initial_estimate=paper.initial_estimate,
+                conditions=[BurstyDrop(enter=0.3, exit=0.3)],
+                staleness_bound=2,
+                missing_policy="masked",
+                seed=3,
+            )
+
+        ran = engine().run(30)
+        stepped = engine()
+        for _ in range(30):
+            stepped.step()
+        np.testing.assert_array_equal(
+            ran.estimates(), stepped.trace.estimates()
+        )
+
+
 class TestMissingValuePolicies:
     def test_shrink_requires_registry_name(self, paper):
         simulator = AsynchronousSimulator(
@@ -359,6 +390,57 @@ class TestFaultTimelines:
         upto = flipped.estimates()[:26]
         assert np.array_equal(upto, honest.estimates()[:26])
         assert not np.array_equal(flipped.estimates(), honest.estimates())
+
+    def test_warm_recovery_restores_pre_crash_view(self, paper):
+        # The ROADMAP wrong-model fix: a warm-restarting agent resumes
+        # from its persisted pre-crash state, so its recovery-round
+        # message is evaluated at the round-(at-1) iterate, not the
+        # current broadcast.
+        schedule = FaultSchedule().crash(
+            2, at=5, recover_at=9, recovery="warm"
+        )
+        trace = run_asynchronous(
+            paper.costs, [], "mean", None, paper.constraint,
+            paper.schedule, paper.initial_estimate, 20,
+            fault_schedule=schedule, staleness_bound=6,
+            missing_policy="masked",
+        )
+        record = trace.records[9]
+        assert record.staleness[2] == 9 - 4  # view = crash round - 1
+        assert trace.records[10].staleness[2] == 0  # re-synced next round
+
+    def test_warm_and_reset_modes_diverge(self, paper):
+        def run(recovery):
+            return run_asynchronous(
+                paper.costs, [], "mean", None, paper.constraint,
+                paper.schedule, paper.initial_estimate, 25,
+                fault_schedule=FaultSchedule().crash(
+                    2, at=5, recover_at=9, recovery=recovery
+                ),
+                staleness_bound=6, missing_policy="masked",
+            )
+
+        warm, reset = run("warm"), run("reset")
+        assert np.array_equal(warm.estimates()[:10], reset.estimates()[:10])
+        assert not np.array_equal(warm.estimates(), reset.estimates())
+
+    def test_warm_message_past_tau_is_unusable(self, paper):
+        # τ = 0: the warm restart's stale message is dead on arrival, so
+        # the agent stays missing one round longer than under reset.
+        def run(recovery):
+            return run_asynchronous(
+                paper.costs, [], "mean", None, paper.constraint,
+                paper.schedule, paper.initial_estimate, 15,
+                fault_schedule=FaultSchedule().crash(
+                    2, at=5, recover_at=9, recovery=recovery
+                ),
+                staleness_bound=0, missing_policy="masked",
+            )
+
+        warm, reset = run("warm"), run("reset")
+        assert 2 in warm.records[9].missing
+        assert 2 not in reset.records[9].missing
+        assert 2 not in warm.records[10].missing
 
     def test_crash_attack_counts_missing_not_eliminated(self, paper):
         # The registry's crash fault through the async engine: the agent

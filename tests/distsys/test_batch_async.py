@@ -274,6 +274,56 @@ class TestStallsAndTimelines:
         )
         assert_matches_reference(paper, trials, iterations=50)
 
+    @pytest.mark.parametrize("policy,aggregator", [
+        ("masked", "cwtm"), ("shrink", "cge"),
+    ])
+    def test_warm_recovery_matches_reference(self, paper, policy, aggregator):
+        # Warm restarts ride the same padded queue: the recovery-round
+        # dispatch carries the pre-crash view, under delays and drops.
+        schedule = FaultSchedule().crash(
+            3, at=8, recover_at=18, recovery="warm"
+        )
+        trials = [
+            AsyncBatchTrial(
+                aggregator=aggregator,
+                attack=make_attack("gradient_reverse"),
+                faulty_ids=tuple(paper.faulty_ids),
+                conditions=network_conditions(0.2),
+                fault_schedule=schedule, staleness_bound=tau,
+                missing_policy=policy, seed=seed,
+            )
+            for tau in (1, 4)
+            for seed in (0, 2)
+        ]
+        assert_matches_reference(paper, trials)
+
+    def test_warm_and_reset_recovery_diverge(self, paper):
+        # The two recovery models must actually disagree: the warm
+        # restart's first post-recovery message is evaluated at the stale
+        # pre-crash iterate (still usable under a wide τ), the reset
+        # restart's at the current broadcast.
+        def trial(recovery):
+            return AsyncBatchTrial(
+                aggregator="mean",
+                fault_schedule=FaultSchedule().crash(
+                    2, at=5, recover_at=9, recovery=recovery
+                ),
+                staleness_bound=6, missing_policy="masked", seed=0,
+            )
+
+        trace = batch_trace(
+            paper, [trial("warm"), trial("reset")], iterations=30
+        )
+        np.testing.assert_array_equal(
+            trace.estimates[:10, 0], trace.estimates[:10, 1]
+        )
+        assert not np.array_equal(
+            trace.estimates[:, 0], trace.estimates[:, 1]
+        )
+        assert_matches_reference(
+            paper, [trial("warm"), trial("reset")], iterations=30
+        )
+
     def test_crash_attack_counts_missing(self, paper):
         trials = [
             AsyncBatchTrial(

@@ -324,6 +324,110 @@ class TestReceiverAwareEquivocation:
         assert not np.array_equal(fabricated[0, 0, 1], fabricated[0, 0, 7])
 
 
+class TestDisconnectedGraphs:
+    def disconnected_topology(self, n=8):
+        # Two components: the builder can legitimately return this with
+        # require_connected=False (the silent-meaningless-gap hazard).
+        adjacency = np.zeros((n, n), dtype=bool)
+        for i in range(0, n // 2):
+            for j in range(0, n // 2):
+                adjacency[i, j] = i != j
+        for i in range(n // 2, n):
+            for j in range(n // 2, n):
+                adjacency[i, j] = i != j
+        from repro.distsys import CommunicationTopology
+
+        return CommunicationTopology("split", adjacency)
+
+    def make_simulator(self, topology, allow_disconnected=False):
+        costs = TestSparseGraphs().make_costs(n=topology.n)
+        trial = BatchTrial(aggregator=make_aggregator("mean", topology.n, 0))
+        return DecentralizedSimulator(
+            costs,
+            topology,
+            [trial],
+            BoxSet.symmetric(50.0, dim=2),
+            HarmonicSchedule(scale=0.5),
+            np.zeros(2),
+            allow_disconnected=allow_disconnected,
+        )
+
+    def test_disconnected_topology_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="disconnected"):
+            self.make_simulator(self.disconnected_topology())
+
+    def test_erdos_renyi_unconnected_sample_is_caught(self):
+        # A sparse G(n, p) sampled without the connectivity retry can be
+        # disconnected; the engine must fail loudly, not compute a
+        # meaningless global consensus gap.
+        for seed in range(200):
+            topology = erdos_renyi_topology(
+                8, p=0.15, seed=seed, require_connected=False
+            )
+            if not topology.is_connected():
+                break
+        else:  # pragma: no cover - p=0.15 disconnects well within 200 draws
+            pytest.skip("no disconnected sample found")
+        with pytest.raises(ValueError, match="disconnected"):
+            self.make_simulator(topology)
+
+    def test_allow_disconnected_warns_and_runs(self):
+        topology = self.disconnected_topology()
+        with pytest.warns(RuntimeWarning, match="disconnected"):
+            simulator = self.make_simulator(topology, allow_disconnected=True)
+        trace = simulator.run(50)
+        assert np.isfinite(trace.estimates).all()
+        # The components settle apart: the "global" gap stays macroscopic,
+        # which is exactly why the default is to reject the topology.
+        assert trace.consensus_gap()[0, -1] > 0.1
+
+
+class TestTraceEdgeCases:
+    def run_paper_trial(
+        self, paper, faulty, aggregator_f, iterations=20, mixing=True
+    ):
+        trial = BatchTrial(
+            aggregator=make_aggregator("median", paper.n, aggregator_f),
+            attack=make_attack("gradient_reverse") if faulty else None,
+            faulty_ids=tuple(faulty),
+        )
+        return run_decentralized(
+            paper.costs,
+            complete_topology(paper.n),
+            [trial],
+            paper.constraint,
+            paper.schedule,
+            paper.initial_estimate,
+            iterations,
+            mixing=mixing,
+        )
+
+    def test_single_honest_agent_gap_is_zero(self, paper):
+        # With n - 1 faulty agents only one honest trajectory remains: the
+        # max-pairwise gap over a singleton set must be exactly zero, not
+        # an indexing error.  (No consensus mixing — a closed degree of 6
+        # cannot trim 5 from both sides.)
+        faulty = tuple(range(1, paper.n))
+        trace = self.run_paper_trial(paper, faulty, aggregator_f=2, mixing=False)
+        assert trace.honest_ids[0] == (0,)
+        gaps = trace.consensus_gap()
+        assert gaps.shape == (1, 21)
+        assert (gaps == 0.0).all()
+        radii = trace.distances_to(paper.x_h)
+        np.testing.assert_allclose(
+            radii[0],
+            np.linalg.norm(
+                trace.estimates[:, 0, 0, :] - np.asarray(paper.x_h), axis=1
+            ),
+        )
+
+    def test_fault_free_trial_counts_every_agent_honest(self, paper):
+        trace = self.run_paper_trial(paper, (), aggregator_f=0)
+        assert trace.honest_ids[0] == tuple(range(paper.n))
+        # Complete graph, fault-free: lockstep from the shared start.
+        assert trace.consensus_gap().max() == 0.0
+
+
 class TestValidation:
     def test_topology_size_mismatch(self, paper):
         trial = BatchTrial(aggregator=make_aggregator("mean", 4, 0))

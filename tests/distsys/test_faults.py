@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.distsys.faults import (
     BurstyDrop,
@@ -175,17 +177,83 @@ class TestSampleRun:
         lambda: [LinkDelay(uniform_delay(0, 3))],
         lambda: [IIDDrop(0.4)],
         lambda: [LinkDelay(fixed_delay(2)), Stragglers({2: 3.0})],
+        lambda: [BurstyDrop(enter=0.2, exit=0.4, rate_in_burst=0.9)],
+        lambda: [LinkDelay(geometric_delay(0.4, cap=5))],
     ])
     def test_single_stochastic_condition_matches_per_round_stream(self, build):
-        # With at most one single-draw RNG-consuming condition the
-        # whole-run block consumes the stream exactly like per-round
-        # sampling did.  (BurstyDrop draws flips and losses as two blocks,
-        # so only its one-round-chunk form is stream-compatible — covered
-        # below.)
+        # With at most one RNG-consuming condition the whole-run block
+        # consumes the stream exactly like per-round sampling did —
+        # including BurstyDrop, whose block draws are round-interleaved
+        # (flips then losses per round, the per-round hook's order).
         expected = self.per_round(build(), rounds=25)
         actual = self.whole_run(build(), rounds=25)
         np.testing.assert_array_equal(actual[0], expected[0])
         np.testing.assert_array_equal(actual[1], expected[1])
+
+    @given(
+        chunks=st.lists(
+            st.integers(min_value=1, max_value=9), min_size=1, max_size=6
+        ),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bursty_multi_round_chunks_reproduce_uncut_stream(
+        self, chunks, seed
+    ):
+        """The chunked-pre-sampling drift regression: multi-round chunks of
+        the stateful Gilbert–Elliott chain must reproduce the uncut
+        whole-run realization bit for bit (continuous start, same rng)."""
+        build = lambda: [BurstyDrop(enter=0.3, exit=0.4, rate_in_burst=0.8)]
+        rounds = sum(chunks)
+        uncut = self.whole_run(build(), rounds=rounds, seed=seed)
+        chunked = self.whole_run(
+            build(), rounds=rounds, seed=seed, chunks=tuple(chunks)
+        )
+        np.testing.assert_array_equal(chunked[1], uncut[1])
+        # ... and both equal the historical per-round stream.
+        per_round = self.per_round(build(), rounds=rounds, seed=seed)
+        np.testing.assert_array_equal(uncut[1], per_round[1])
+
+    @given(
+        chunks=st.lists(
+            st.integers(min_value=1, max_value=9), min_size=1, max_size=6
+        ),
+        seed=st.integers(min_value=0, max_value=2**16),
+        p=st.sampled_from((0.2, 0.45, 0.8)),
+        cap=st.sampled_from((3, 64)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_geometric_delay_chunks_reproduce_uncut_stream(
+        self, chunks, seed, p, cap
+    ):
+        """Capped geometric delays consume the bit stream one variate at a
+        time (inversion for small p, search otherwise), so chunked blocks
+        must reproduce the uncut and per-round streams exactly."""
+        build = lambda: [LinkDelay(geometric_delay(p, cap=cap))]
+        rounds = sum(chunks)
+        uncut = self.whole_run(build(), rounds=rounds, seed=seed)
+        chunked = self.whole_run(
+            build(), rounds=rounds, seed=seed, chunks=tuple(chunks)
+        )
+        np.testing.assert_array_equal(chunked[0], uncut[0])
+        per_round = self.per_round(build(), rounds=rounds, seed=seed)
+        np.testing.assert_array_equal(uncut[0], per_round[0])
+
+    def test_bursty_chunked_pipeline_respects_start_offsets(self):
+        # A multi-condition pipeline chunked at uneven boundaries: each
+        # condition's own stream is chunk-invariant, so the only ordering
+        # that matters is condition-major within a chunk — identical
+        # chunking must reproduce identical realizations, and the chain
+        # state must carry over the boundaries (no begin_run between
+        # chunks).
+        build = lambda: [
+            LinkDelay(geometric_delay(0.5, cap=4)),
+            BurstyDrop(enter=0.3, exit=0.2),
+        ]
+        a = self.whole_run(build(), rounds=24, seed=9, chunks=(5, 7, 12))
+        b = self.whole_run(build(), rounds=24, seed=9, chunks=(5, 7, 12))
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
 
     def test_one_round_chunks_match_per_round_stream(self):
         # Chunked one round at a time, even a multi-consumer pipeline is
@@ -277,6 +345,34 @@ class TestFaultSchedule:
     def test_compromised_since(self):
         schedule = FaultSchedule().byzantine(4, from_round=7)
         assert schedule.compromised_since() == {4: 7}
+
+    def test_warm_restart_views(self):
+        schedule = (
+            FaultSchedule()
+            .crash(2, at=5, recover_at=9, recovery="warm")
+            .crash(3, at=10, recover_at=12)             # reset: no entry
+            .crash(0, at=0, recover_at=4, recovery="warm")
+        )
+        assert schedule.warm_restart_views() == {
+            (2, 9): 4,   # last broadcast seen: round 4
+            (0, 4): 0,   # round-0 crash: the initial estimate
+        }
+
+    def test_overlapping_warm_windows_keep_stalest_view(self):
+        schedule = (
+            FaultSchedule()
+            .crash(1, at=3, recover_at=10, recovery="warm")
+            .crash(1, at=7, recover_at=10, recovery="warm")
+        )
+        assert schedule.warm_restart_views() == {(1, 10): 2}
+
+    def test_warm_recovery_requires_recovery_round(self):
+        with pytest.raises(ValueError, match="warm recovery"):
+            FaultSchedule().crash(0, at=3, recovery="warm")
+
+    def test_unknown_recovery_mode_rejected(self):
+        with pytest.raises(ValueError, match="recovery mode"):
+            FaultSchedule().crash(0, at=3, recover_at=5, recovery="tepid")
 
     def test_fault_agents_union(self):
         schedule = (

@@ -25,6 +25,7 @@ class TestParser:
             ["svm"],
             ["frontier", "--max-f", "1"],
             ["decentralized", "--iterations", "50"],
+            ["decentralized-delay", "--iterations", "50", "--seeds", "2"],
             ["asynchronous", "--iterations", "50", "--seeds", "2"],
             ["list"],
             ["all", "--skip-learning"],
@@ -74,6 +75,13 @@ class TestFastCommands:
         assert "convergence radius" in out
         assert "complete" in out
         assert "honest" in out
+
+    def test_decentralized_delay_runs(self, capsys):
+        assert main(["decentralized-delay", "--iterations", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "Delay-tolerant decentralized" in out
+        assert "tau" in out
+        assert "shrink" in out and "masked" in out
 
     def test_ablation_exact_runs(self, capsys):
         assert main(["ablation-exact"]) == 0

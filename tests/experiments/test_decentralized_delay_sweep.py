@@ -1,0 +1,123 @@
+"""Tests for the decentralized-delay experiment family."""
+
+import numpy as np
+import pytest
+
+from repro.distsys import make_topology
+from repro.experiments.decentralized_delay import (
+    DecentralizedDelaySweepRow,
+    decentralized_delay_sweep,
+    default_delay_topologies,
+    render_decentralized_delay_report,
+)
+
+
+@pytest.fixture(scope="module")
+def paper_module():
+    from repro.experiments.paper_regression import paper_problem
+
+    return paper_problem()
+
+
+@pytest.fixture(scope="module")
+def rows(paper_module):
+    topologies = [
+        make_topology("complete", paper_module.n),
+        make_topology("ring", paper_module.n, hops=2),
+    ]
+    return decentralized_delay_sweep(
+        problem=paper_module,
+        topologies=topologies,
+        staleness_bounds=(0, 2),
+        drop_rates=(0.0, 0.3),
+        aggregators=("cwtm", "cge_mean"),
+        iterations=60,
+        seeds=(0, 1),
+    )
+
+
+class TestSweepStructure:
+    def test_covers_the_grid(self, rows):
+        assert sorted({r.topology for r in rows}) == ["complete", "ring2"]
+        assert sorted({r.staleness_bound for r in rows}) == [0, 2]
+        assert sorted({r.drop_rate for r in rows}) == [0.0, 0.3]
+        # topologies x taus x drops x filters
+        assert len(rows) == 2 * 2 * 2 * 2
+
+    def test_policies_follow_the_filter_defaults(self, rows):
+        assert {r.policy for r in rows if r.aggregator == "cwtm"} == {"masked"}
+        assert {r.policy for r in rows if r.aggregator == "cge_mean"} == {
+            "shrink"
+        }
+
+    def test_radii_and_gaps_finite(self, rows):
+        for row in rows:
+            assert np.isfinite(row.mean_radius)
+            assert row.mean_radius <= row.worst_radius + 1e-12
+            assert np.isfinite(row.mean_gap)
+            assert 0.0 <= row.missing_rate <= 1.0
+            assert row.seeds == 2
+
+    def test_loosening_tau_reduces_missing(self, rows):
+        def missing(topology, tau, aggregator="cwtm", drop=0.0):
+            return next(
+                r.missing_rate
+                for r in rows
+                if r.topology == topology
+                and r.staleness_bound == tau
+                and r.drop_rate == drop
+                and r.aggregator == aggregator
+            )
+
+        for topology in ("complete", "ring2"):
+            assert missing(topology, 0) >= missing(topology, 2)
+
+    def test_drops_increase_missing(self, rows):
+        cells = [
+            (r.topology, r.staleness_bound, r.aggregator) for r in rows
+        ]
+        for topology, tau, aggregator in set(cells):
+            lossless = next(
+                r.missing_rate for r in rows
+                if (r.topology, r.staleness_bound, r.aggregator)
+                == (topology, tau, aggregator) and r.drop_rate == 0.0
+            )
+            lossy = next(
+                r.missing_rate for r in rows
+                if (r.topology, r.staleness_bound, r.aggregator)
+                == (topology, tau, aggregator) and r.drop_rate == 0.3
+            )
+            assert lossy >= lossless
+
+    def test_default_topology_spectrum(self, paper_module):
+        names = [t.name for t in default_delay_topologies(paper_module.n)]
+        assert names[0] == "complete"
+        assert len(names) == 3
+
+
+class TestRendering:
+    def test_report_lists_every_cell(self, rows):
+        text = render_decentralized_delay_report(rows, iterations=60)
+        assert "consensus gap" in text
+        assert "tau" in text
+        for row in rows:
+            assert row.topology in text
+
+    def test_row_dataclass_fields(self):
+        row = DecentralizedDelaySweepRow(
+            topology="ring2",
+            staleness_bound=2,
+            drop_rate=0.2,
+            aggregator="cwtm",
+            policy="masked",
+            attack="gradient_reverse",
+            seeds=2,
+            mean_radius=0.5,
+            worst_radius=0.6,
+            mean_gap=0.1,
+            missing_rate=0.2,
+            mean_staleness=0.8,
+            stalled=3,
+        )
+        assert row.policy == "masked"
+        assert row.stalled == 3
