@@ -73,7 +73,12 @@ from .engine import (
     validate_faulty_ids,
     validate_initial_estimate,
 )
-from .faults import FaultSchedule, NetworkCondition, sample_network_run
+from .faults import (
+    FaultSchedule,
+    NetworkCondition,
+    network_streams,
+    sample_network_run,
+)
 from .server import RobustServer
 
 __all__ = [
@@ -256,9 +261,12 @@ class AsynchronousSimulator(ProtocolEngine):
         self.missing_policy = missing_policy
 
         # The attack stream is seeded exactly like the synchronous
-        # engine's; the network stream is separate and tagged.
+        # engine's; the network streams are separate, tagged, and one per
+        # condition — each pipeline position owns its generator so chunked
+        # horizon extension is bit-identical to a whole-run pre-sample.
         self.rng = np.random.default_rng(seed)
-        self.net_rng = np.random.default_rng((int(seed), 0x6E6574))
+        self.conditions: Tuple[NetworkCondition, ...] = tuple(conditions)
+        self.net_rngs = network_streams(seed, len(self.conditions))
 
         self._aggregator_name: Optional[str] = (
             aggregator if isinstance(aggregator, str) else None
@@ -292,9 +300,8 @@ class AsynchronousSimulator(ProtocolEngine):
                 masked_min_attendance(self.server.aggregator), self.f + 1
             )
 
-        self.conditions: Tuple[NetworkCondition, ...] = tuple(conditions)
-        for condition in self.conditions:
-            condition.begin_run(self.n, self.net_rng)
+        for condition, net_rng in zip(self.conditions, self.net_rngs):
+            condition.begin_run(self.n, net_rng)
 
         # Pre-sampled network/fault tensors, extended in chunks: row ``t``
         # holds round ``t``'s per-agent delays, drop mask and crash mask.
@@ -340,7 +347,7 @@ class AsynchronousSimulator(ProtocolEngine):
             return
         chunk = horizon - self._net_horizon
         delays, dropped = sample_network_run(
-            self.conditions, self.net_rng, self.n, chunk,
+            self.conditions, self.net_rngs, self.n, chunk,
             start=self._net_horizon,
         )
         active = self.fault_schedule.sample_run(

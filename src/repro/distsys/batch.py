@@ -216,6 +216,12 @@ class BatchSimulator(ProtocolEngine):
 
         self.estimates = self.constraint.project_batch(np.stack(starts))
         self.iteration = 0
+        # Recording state persists across chunked ``run`` calls so a
+        # checkpointed engine resumes mid-trajectory (see ``run``).
+        self._trajectory: Optional[np.ndarray] = None
+        self._step_sizes: Optional[np.ndarray] = None
+        self._snapshots: Optional[np.ndarray] = None
+        self._cursor = 0
         self._attack_groups = self._group_attacks()
         self._aggregator_groups = self._group_by_key(
             lambda index: _config_key(self.trials[index].aggregator)
@@ -306,15 +312,38 @@ class BatchSimulator(ProtocolEngine):
         return self.estimates
 
     # -- run recording ----------------------------------------------------
-    def _begin_run(self, iterations: int) -> None:
+    def _extend_recording(self, horizon: int) -> None:
+        """Grow the persistent recording arrays to cover ``horizon`` rounds.
+
+        First call allocates; later calls (a resumed engine extending its
+        horizon) reallocate and copy the recorded prefix, so the final
+        trace spans the whole ``0..T`` trajectory regardless of how many
+        chunks produced it.
+        """
         s, d = self.estimates.shape
-        self._trajectory = np.empty((iterations + 1, s, d))
-        self._step_sizes = np.empty((iterations, s))
-        self._snapshots = (
-            np.empty((iterations, s, self.n, d)) if self.record_gradients else None
-        )
-        self._trajectory[0] = self.estimates
-        self._cursor = 0
+        if self._trajectory is None:
+            self._trajectory = np.empty((horizon + 1, s, d))
+            self._trajectory[0] = self.estimates
+            self._step_sizes = np.empty((horizon, s))
+            self._snapshots = (
+                np.empty((horizon, s, self.n, d))
+                if self.record_gradients
+                else None
+            )
+            return
+        recorded = self._trajectory.shape[0] - 1
+        if horizon <= recorded:
+            return
+        trajectory = np.empty((horizon + 1, s, d))
+        trajectory[: recorded + 1] = self._trajectory
+        self._trajectory = trajectory
+        step_sizes = np.empty((horizon, s))
+        step_sizes[:recorded] = self._step_sizes
+        self._step_sizes = step_sizes
+        if self._snapshots is not None:
+            snapshots = np.empty((horizon, s, self.n, d))
+            snapshots[:recorded] = self._snapshots
+            self._snapshots = snapshots
 
     def _record_step(self, estimates: np.ndarray) -> None:
         k = self._cursor
@@ -337,9 +366,97 @@ class BatchSimulator(ProtocolEngine):
             gradients=self._snapshots,
         )
 
-    def run(self, iterations: int) -> BatchTrace:
-        """Run ``iterations`` lockstep rounds and return the lazy trace."""
-        return super().run(iterations)
+    def run(
+        self, iterations: int, start_round: Optional[int] = None
+    ) -> BatchTrace:
+        """Run to round ``iterations`` and return the lazy ``0..T`` trace.
+
+        ``iterations`` is the *absolute* horizon ``T``.  A fresh engine
+        (``start_round`` omitted) runs all ``T`` rounds — the historical
+        behaviour.  A resumed engine (after :meth:`load_state`, or simply
+        carrying on after an earlier ``run``) passes the round it stopped
+        at as ``start_round`` and executes only the remaining
+        ``T - start_round`` rounds; the returned trace still spans the
+        whole trajectory and is bit-identical to an uninterrupted run —
+        each trial's attack stream is consumed round by round, so chunking
+        never perturbs it.
+        """
+        start = 0 if start_round is None else int(start_round)
+        if start != self.iteration:
+            raise ValueError(
+                f"start_round={start} but the engine is at iteration "
+                f"{self.iteration}; resume exactly where the engine "
+                "stopped (pass start_round=engine.iteration)"
+            )
+        if iterations <= start:
+            raise ValueError(
+                f"iterations is the absolute horizon T and must exceed "
+                f"start_round; got T={iterations}, start_round={start}"
+            )
+        self._extend_recording(int(iterations))
+        for _ in range(int(iterations) - start):
+            self._record_step(self.step())
+        return self._run_result()
+
+    # -- checkpoint support ------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-able mid-trajectory snapshot (round ``k`` of a longer run).
+
+        Captures everything :meth:`load_state` needs to continue a run
+        bit-identically on a freshly constructed engine with the same
+        trials: the iterate batch, every trial's attack-stream generator
+        state, and the recorded ``0..k`` trajectory prefix (so the resumed
+        engine's final trace still spans the whole run).
+        """
+        k = int(self.iteration)
+        if self._trajectory is None:
+            trajectory = self.estimates[None, :, :]
+            step_sizes = np.empty((0, len(self.trials)))
+        else:
+            trajectory = self._trajectory[: k + 1]
+            step_sizes = self._step_sizes[:k]
+        state: Dict[str, object] = {
+            "schema": "repro/batch-sim-state/v1",
+            "iteration": k,
+            "estimates": self.estimates.tolist(),
+            "rng_states": [rng.bit_generator.state for rng in self.rngs],
+            "trajectory": trajectory.tolist(),
+            "step_sizes": step_sizes.tolist(),
+        }
+        if self._snapshots is not None:
+            state["snapshots"] = self._snapshots[:k].tolist()
+        return state
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot onto a fresh engine.
+
+        The engine must have been constructed with the same trials and
+        problem; continuing with ``run(T, start_round=k)`` reproduces the
+        uninterrupted run bit for bit.
+        """
+        schema = state.get("schema")
+        if schema != "repro/batch-sim-state/v1":
+            raise ValueError(f"unrecognized engine-state schema: {schema!r}")
+        if self.iteration != 0:
+            raise RuntimeError(
+                "load_state needs a freshly constructed engine"
+            )
+        rng_states = state["rng_states"]
+        if len(rng_states) != len(self.rngs):
+            raise ValueError(
+                f"state holds {len(rng_states)} trial generators but the "
+                f"engine has {len(self.rngs)} trials"
+            )
+        k = int(state["iteration"])
+        self.iteration = k
+        self.estimates = np.asarray(state["estimates"], dtype=float)
+        for rng, rng_state in zip(self.rngs, rng_states):
+            rng.bit_generator.state = rng_state
+        self._trajectory = np.asarray(state["trajectory"], dtype=float)
+        self._step_sizes = np.asarray(state["step_sizes"], dtype=float)
+        if self.record_gradients:
+            self._snapshots = np.asarray(state["snapshots"], dtype=float)
+        self._cursor = k
 
 
 def run_dgd_batch(

@@ -41,12 +41,17 @@ Semantics deliberately mirror the per-trial engine so it remains the
 reference oracle; ``tests/distsys/test_batch_async.py`` pins the batch to
 the per-trial trajectories at 1e-9 across aggregator × attack × τ × drop ×
 seed, including stalls, crash-and-recover schedules and
-Byzantine-from-round timelines.  The engine is one-shot: drive it through
-:meth:`run` (stand-alone :meth:`step` has no pre-sampled horizon).
+Byzantine-from-round timelines.  Drive the engine through :meth:`run`
+(stand-alone :meth:`step` has no pre-sampled horizon); a run checkpoints at
+any chunk boundary through ``state_dict``/``load_state`` and resumes with
+``run(T, start_round=k)``, re-pre-sampling only the remaining rounds — the
+conditions' chunk-invariance contract makes the resumed realization
+bit-identical to the uninterrupted one.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -75,7 +80,13 @@ from .engine import (
     validate_faulty_ids,
     validate_initial_estimate,
 )
-from .faults import FaultSchedule, NetworkCondition, sample_network_run
+from .faults import (
+    _NET_TAG,
+    FaultSchedule,
+    NetworkCondition,
+    network_streams,
+    sample_network_run,
+)
 
 __all__ = [
     "AsyncBatchTrial",
@@ -83,11 +94,6 @@ __all__ = [
     "BatchAsynchronousSimulator",
     "run_asynchronous_batch",
 ]
-
-#: Network-stream tag shared with the per-trial engine: both seed the
-#: network generator as ``default_rng((seed, _NET_TAG))`` so a batched
-#: trial replays the per-trial realization bit for bit.
-_NET_TAG = 0x6E6574
 
 
 @dataclass
@@ -301,6 +307,14 @@ class BatchAsynchronousSimulator(ProtocolEngine):
         self.iteration = 0
         self._tau_max = int(self._tau.max())
 
+        # The padded in-flight queue: slot k holds the newest view (send
+        # round) arriving in k rounds; -1 = empty.  Messages delayed past
+        # their trial's τ can never be usable and are never enqueued.
+        # Queue state is horizon-independent, so it lives here and simply
+        # persists across chunked runs (and through state_dict/load_state).
+        self._pending = np.full((s, self.n, self._tau_max + 1), -1, dtype=int)
+        self._freshest = np.full((s, self.n), -1, dtype=int)
+
         # -- static groups (per-round sub-grouping happens on attendance) --
         self._aggregator_groups = group_indices(
             s, lambda index: _config_key(self._aggregators[index])
@@ -332,51 +346,103 @@ class BatchAsynchronousSimulator(ProtocolEngine):
             if name is not None:
                 self._name_ids[index] = name_ids.setdefault(name, len(name_ids))
         self._names_by_id = {v: k for k, v in name_ids.items()}
-        self._begun = False
+        #: Pre-sampled horizon: rounds ``[0, _horizon)`` have network
+        #: realizations materialized.  Grows chunk by chunk (resume), and
+        #: every chunk is bit-identical to the uninterrupted whole-run
+        #: pre-sample by the conditions' chunk-invariance contract.
+        self._horizon = 0
+        #: Engine-owned deep copies of each trial's conditions: per-run
+        #: chain state (e.g. the Gilbert–Elliott burst mask) must persist
+        #: across chunks *per trial*, so trials sharing condition instances
+        #: cannot share the mutable state.
+        self._run_conditions: Optional[List[Tuple[NetworkCondition, ...]]] = None
+        #: Per-trial, per-condition network generators (see
+        #: :func:`~repro.distsys.faults.network_streams`).
+        self._net_rngs: Optional[List[List[np.random.Generator]]] = None
 
-    # -- whole-run pre-sampling -------------------------------------------
-    def _begin_run(self, iterations: int) -> None:
-        if self._begun:
-            raise RuntimeError(
-                "BatchAsynchronousSimulator is one-shot: construct a new "
-                "engine per run (the pre-sampled horizon is not resumable)"
-            )
-        self._begun = True
+    # -- whole-run pre-sampling (chunked) ---------------------------------
+    def _extend_horizon(self, t_total: int) -> None:
+        """Pre-sample the network realization out to round ``t_total``.
+
+        The first call plays the historical whole-run pre-sample; later
+        calls extend it chunk by chunk with continuous ``start`` and the
+        persisted per-trial network generators, so by the conditions'
+        chunk-invariance contract every chunking of a run — including a
+        checkpoint/resume split — reproduces the uninterrupted realization
+        bit for bit.
+        """
+        if t_total <= self._horizon:
+            return
         s = len(self.trials)
-        t_total = iterations
+        start = self._horizon
 
-        # Every trial's network realization, from its own tagged stream —
-        # identical to the per-trial engine's consumption.
-        self._delays = np.empty((t_total, s, self.n), dtype=int)
-        self._sent = np.empty((t_total, s, self.n), dtype=bool)
-        for index, trial in enumerate(self.trials):
-            net_rng = np.random.default_rng((int(trial.seed), _NET_TAG))
-            for condition in trial.conditions:
-                condition.begin_run(self.n, net_rng)
-            delays, dropped = sample_network_run(
-                trial.conditions, net_rng, self.n, t_total
+        if self._run_conditions is None:
+            # First chunk: engine-owned condition copies (per-run chain
+            # state must persist per trial across chunks, so trials cannot
+            # share mutable condition instances) and per-trial tagged
+            # network streams — identical to the per-trial engine's.
+            self._run_conditions = [
+                copy.deepcopy(tuple(trial.conditions))
+                for trial in self.trials
+            ]
+            self._net_rngs = [
+                network_streams(trial.seed, len(conditions))
+                for trial, conditions in zip(
+                    self.trials, self._run_conditions
+                )
+            ]
+            for conditions, net_rngs in zip(
+                self._run_conditions, self._net_rngs
+            ):
+                for condition, net_rng in zip(conditions, net_rngs):
+                    condition.begin_run(self.n, net_rng)
+            self._delays = np.empty((0, s, self.n), dtype=int)
+            self._sent = np.empty((0, s, self.n), dtype=bool)
+            self._trajectory = np.empty((1, s, self.d))
+            self._trajectory[0] = self.estimates
+            self._stalled = np.zeros((0, s), dtype=bool)
+            self._missing_counts = np.zeros((0, s), dtype=int)
+            self._usable_counts = np.zeros((0, s), dtype=int)
+            self._staleness_sums = np.zeros((0, s))
+
+        chunk = t_total - start
+        delays = np.empty((t_total, s, self.n), dtype=int)
+        sent = np.empty((t_total, s, self.n), dtype=bool)
+        delays[:start] = self._delays[:start]
+        sent[:start] = self._sent[:start]
+        for index in range(s):
+            chunk_delays, dropped = sample_network_run(
+                self._run_conditions[index],
+                self._net_rngs[index],
+                self.n,
+                chunk,
+                start=start,
             )
             active = self._fault_schedules[index].sample_run(
-                None, self.n, t_total
+                None, self.n, chunk, start=start
             )
-            self._delays[:, index, :] = delays
-            self._sent[:, index, :] = active & ~dropped
+            delays[start:, index, :] = chunk_delays
+            sent[start:, index, :] = active & ~dropped
 
-        # Attack-scheduled silence (crash-style faults): a compromised
-        # agent that silences sends nothing, exactly like the per-trial
-        # engine's dispatch check.
+        # Attack-scheduled silence (crash-style faults) for the new rounds:
+        # a compromised agent that silences sends nothing, exactly like the
+        # per-trial engine's dispatch check.
         for index, trial in enumerate(self.trials):
             if trial.attack is None:
                 continue
             for agent in np.flatnonzero(
                 self._since[index] < np.iinfo(np.int64).max
             ):
-                start = int(self._since[index, agent])
-                for t in range(start, t_total):
+                first = max(int(self._since[index, agent]), start)
+                for t in range(first, t_total):
                     if trial.attack.silences(int(agent), t):
-                        self._sent[t, index, agent] = False
+                        sent[t, index, agent] = False
+        self._delays = delays
+        self._sent = sent
 
-        # Dispatch views: round t sends a fresh view t, except the
+        # Dispatch views and step sizes are deterministic functions of the
+        # round index, so extensions simply rebuild them over the full
+        # horizon.  Views: round t sends a fresh view t, except the
         # recovery-round dispatch of a warm-restarting agent, which carries
         # its persisted pre-crash view (the per-trial engine's semantics).
         self._send_views = np.broadcast_to(
@@ -388,31 +454,32 @@ class BatchAsynchronousSimulator(ProtocolEngine):
                 if recovery_round < t_total:
                     self._send_views[recovery_round, index, agent] = view
 
-        # Step sizes for the whole run (stalled rounds still consume their
-        # schedule slot, so these are attendance-independent).
+        # Stalled rounds still consume their schedule slot, so the step
+        # sizes are attendance-independent.
         self._etas = np.empty((t_total, s))
         for sched, idx in self._schedule_groups:
             self._etas[:, idx] = np.array(
                 [sched(t) for t in range(t_total)]
             )[:, None]
 
-        # The padded in-flight queue: slot k holds the newest view (send
-        # round) arriving in k rounds; -1 = empty.  Messages delayed past
-        # their trial's τ can never be usable and are never enqueued.
-        self._pending = np.full((s, self.n, self._tau_max + 1), -1, dtype=int)
-        self._freshest = np.full((s, self.n), -1, dtype=int)
-
-        self._trajectory = np.empty((t_total + 1, s, self.d))
-        self._trajectory[0] = self.estimates
-        self._stalled = np.zeros((t_total, s), dtype=bool)
-        self._missing_counts = np.zeros((t_total, s), dtype=int)
-        self._usable_counts = np.zeros((t_total, s), dtype=int)
-        self._staleness_sums = np.zeros((t_total, s))
+        trajectory = np.empty((t_total + 1, s, self.d))
+        trajectory[: start + 1] = self._trajectory[: start + 1]
+        self._trajectory = trajectory
+        for name, dtype in (
+            ("_stalled", bool),
+            ("_missing_counts", int),
+            ("_usable_counts", int),
+            ("_staleness_sums", float),
+        ):
+            grown = np.zeros((t_total, s), dtype=dtype)
+            grown[:start] = getattr(self, name)[:start]
+            setattr(self, name, grown)
+        self._horizon = t_total
 
     # -- protocol stages --------------------------------------------------
     def observe(self) -> ProtocolRound:
         """Enqueue, deliver, and evaluate this round's usable messages."""
-        if not self._begun:
+        if self.iteration >= self._horizon:
             raise RuntimeError(
                 "drive BatchAsynchronousSimulator through run(); stand-alone "
                 "step() has no pre-sampled horizon"
@@ -663,9 +730,154 @@ class BatchAsynchronousSimulator(ProtocolEngine):
             labels=labels,
         )
 
-    def run(self, iterations: int) -> BatchAsyncTrace:
-        """Run ``iterations`` lockstep rounds and return the lazy trace."""
-        return super().run(iterations)
+    def run(
+        self, iterations: int, start_round: Optional[int] = None
+    ) -> BatchAsyncTrace:
+        """Run to round ``iterations`` and return the lazy ``0..T`` trace.
+
+        ``iterations`` is the *absolute* horizon ``T``.  A fresh engine
+        (``start_round`` omitted) pre-samples and runs all ``T`` rounds —
+        the historical behaviour.  A resumed engine (after
+        :meth:`load_state`, or carrying on after an earlier ``run``) passes
+        the round it stopped at as ``start_round``; the horizon extension
+        re-pre-samples only ``[start_round, T)`` with the persisted
+        per-trial network generators, which the chunk-invariance contract
+        of :meth:`~repro.distsys.faults.NetworkCondition.sample_run` makes
+        bit-identical to the uninterrupted whole-run pre-sample.
+        """
+        start = 0 if start_round is None else int(start_round)
+        if start != self.iteration:
+            raise ValueError(
+                f"start_round={start} but the engine is at iteration "
+                f"{self.iteration}; resume exactly where the engine "
+                "stopped (pass start_round=engine.iteration)"
+            )
+        if iterations <= start:
+            raise ValueError(
+                f"iterations is the absolute horizon T and must exceed "
+                f"start_round; got T={iterations}, start_round={start}"
+            )
+        self._extend_horizon(int(iterations))
+        for _ in range(int(iterations) - start):
+            self.step()
+        return self._run_result()
+
+    # -- checkpoint support ------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-able snapshot at a chunk boundary of a longer run.
+
+        The engine pre-samples its whole horizon up front, consuming each
+        trial's network stream through round ``_horizon`` — so a snapshot
+        is only stream-consistent where ``iteration == _horizon``, i.e.
+        exactly at the end of a :meth:`run` chunk.  Captures the iterate
+        batch, both generator families (attack + network), the per-run
+        condition state (burst chains), the in-flight queues and the
+        recorded prefix; :meth:`load_state` on a freshly constructed
+        engine with the same trials continues bit-identically.
+        """
+        if self._run_conditions is None:
+            raise RuntimeError(
+                "state_dict needs a begun run: call run() first"
+            )
+        k = int(self.iteration)
+        if k != self._horizon:
+            raise RuntimeError(
+                f"state_dict snapshots chunk boundaries only: the engine "
+                f"is at round {k} with a pre-sampled horizon of "
+                f"{self._horizon}, and the network stream cannot be "
+                "rewound — checkpoint exactly at the end of a run() chunk"
+            )
+        return {
+            "schema": "repro/batch-async-state/v1",
+            "iteration": k,
+            "estimates": self.estimates.tolist(),
+            "rng_states": [rng.bit_generator.state for rng in self.rngs],
+            "net_rng_states": [
+                [rng.bit_generator.state for rng in streams]
+                for streams in self._net_rngs
+            ],
+            "condition_states": [
+                [condition.state_dict() for condition in conditions]
+                for conditions in self._run_conditions
+            ],
+            "pending": self._pending.tolist(),
+            "freshest": self._freshest.tolist(),
+            "trajectory": self._trajectory[: k + 1].tolist(),
+            "stalled": self._stalled[:k].tolist(),
+            "missing_counts": self._missing_counts[:k].tolist(),
+            "usable_counts": self._usable_counts[:k].tolist(),
+            "staleness_sums": self._staleness_sums[:k].tolist(),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot onto a fresh engine."""
+        schema = state.get("schema")
+        if schema != "repro/batch-async-state/v1":
+            raise ValueError(f"unrecognized engine-state schema: {schema!r}")
+        if self.iteration != 0 or self._horizon != 0:
+            raise RuntimeError(
+                "load_state needs a freshly constructed engine"
+            )
+        s = len(self.trials)
+        for name in ("rng_states", "net_rng_states", "condition_states"):
+            if len(state[name]) != s:
+                raise ValueError(
+                    f"state holds {len(state[name])} {name} entries but "
+                    f"the engine has {s} trials"
+                )
+        k = int(state["iteration"])
+        self._run_conditions = [
+            copy.deepcopy(tuple(trial.conditions)) for trial in self.trials
+        ]
+        self._net_rngs = [
+            network_streams(trial.seed, len(conditions))
+            for trial, conditions in zip(self.trials, self._run_conditions)
+        ]
+        for conditions, net_rngs, condition_states, stream_states in zip(
+            self._run_conditions,
+            self._net_rngs,
+            state["condition_states"],
+            state["net_rng_states"],
+        ):
+            if len(condition_states) != len(conditions):
+                raise ValueError(
+                    f"state holds {len(condition_states)} condition states "
+                    f"for a trial with {len(conditions)} conditions"
+                )
+            if len(stream_states) != len(conditions):
+                raise ValueError(
+                    f"state holds {len(stream_states)} network-stream "
+                    f"states for a trial with {len(conditions)} conditions"
+                )
+            for condition, net_rng in zip(conditions, net_rngs):
+                condition.begin_run(self.n, net_rng)
+            for condition, condition_state in zip(
+                conditions, condition_states
+            ):
+                condition.load_state(condition_state)
+            for rng, rng_state in zip(net_rngs, stream_states):
+                rng.bit_generator.state = rng_state
+        for rng, rng_state in zip(self.rngs, state["rng_states"]):
+            rng.bit_generator.state = rng_state
+
+        self.iteration = k
+        self._horizon = k
+        self.estimates = np.asarray(state["estimates"], dtype=float)
+        self._pending = np.asarray(state["pending"], dtype=int)
+        self._freshest = np.asarray(state["freshest"], dtype=int)
+        # Rounds before k are already consumed: their realization is never
+        # re-read, so the prefix tensors stay zero-filled placeholders.
+        self._delays = np.zeros((k, s, self.n), dtype=int)
+        self._sent = np.zeros((k, s, self.n), dtype=bool)
+        self._trajectory = np.asarray(state["trajectory"], dtype=float)
+        self._stalled = np.asarray(state["stalled"], dtype=bool)
+        self._missing_counts = np.asarray(
+            state["missing_counts"], dtype=int
+        )
+        self._usable_counts = np.asarray(state["usable_counts"], dtype=int)
+        self._staleness_sums = np.asarray(
+            state["staleness_sums"], dtype=float
+        )
 
 
 def run_asynchronous_batch(

@@ -126,6 +126,36 @@ class DecentralizedTrace:
             gaps[trial] = np.linalg.norm(diffs, axis=3).max(axis=(1, 2))
         return gaps
 
+    def component_consensus_gaps(
+        self, components: Sequence[Sequence[int]]
+    ) -> List[np.ndarray]:
+        """Per-component honest consensus gap series, ``(S, T + 1)`` each.
+
+        ``components`` is a partition of the agents (typically
+        :meth:`~repro.distsys.topology.CommunicationTopology.connected_components`).
+        On a disconnected graph the *global* :meth:`consensus_gap` mixes
+        agents that can never hear each other — a meaningless number; this
+        restricts the max-pairwise-honest-distance to each component.  A
+        component whose honest intersection is a singleton reports ``0.0``
+        (nothing to disagree with); one with no honest agent reports
+        ``nan``.
+        """
+        t_plus_1, s, _, _ = self.estimates.shape
+        gaps: List[np.ndarray] = []
+        for component in components:
+            members = set(int(i) for i in component)
+            out = np.zeros((s, t_plus_1))
+            for trial in range(s):
+                honest = [i for i in self.honest_ids[trial] if i in members]
+                if not honest:
+                    out[trial] = np.nan
+                    continue
+                points = self.estimates[:, trial, honest, :]
+                diffs = points[:, :, None, :] - points[:, None, :, :]
+                out[trial] = np.linalg.norm(diffs, axis=3).max(axis=(1, 2))
+            gaps.append(out)
+        return gaps
+
     def distances_to(self, target: Sequence[float]) -> np.ndarray:
         """Honest convergence radius per trial/iteration, ``(S, T + 1)``.
 

@@ -75,10 +75,14 @@ from ..optim.projections import ConvexSet
 from ..optim.schedules import StepSchedule
 from .asynchronous import MISSING_POLICIES
 from .batch import BatchTrial
-from .batch_async import _NET_TAG
 from .decentralized import DecentralizedSimulator, DecentralizedTrace
 from .engine import ProtocolRound
-from .faults import FaultSchedule, NetworkCondition, sample_network_run
+from .faults import (
+    FaultSchedule,
+    NetworkCondition,
+    network_streams,
+    sample_network_run,
+)
 from .topology import CommunicationTopology
 
 __all__ = [
@@ -297,11 +301,11 @@ class DelayedDecentralizedSimulator(DecentralizedSimulator):
         self._net_delays = np.empty((t_total, s, self.edges), dtype=int)
         self._net_dropped = np.empty((t_total, s, self.edges), dtype=bool)
         for index, trial in enumerate(self.trials):
-            net_rng = np.random.default_rng((int(trial.seed), _NET_TAG))
-            for condition in self.conditions:
+            net_rngs = network_streams(trial.seed, len(self.conditions))
+            for condition, net_rng in zip(self.conditions, net_rngs):
                 condition.begin_run(self.edges, net_rng)
             delays, dropped = sample_network_run(
-                self.conditions, net_rng, self.edges, t_total
+                self.conditions, net_rngs, self.edges, t_total
             )
             self._net_delays[:, index, :] = delays
             self._net_dropped[:, index, :] = dropped

@@ -29,21 +29,30 @@ whole run's delay/drop tensors up front through
 composes a pipeline).  A condition samples its entire ``(rounds, n)`` block
 in one vectorized draw, so the per-round per-link Python RNG calls of the
 event loop disappear and the batched engine can pre-sample every trial of a
-sweep.  The network stream is therefore consumed *condition-major* within a
-sampled chunk (condition 1's whole block, then condition 2's, ...); a chunk
-of one round consumes the stream exactly like the historical per-round
-path, because a ``(1, n)`` draw is bit-identical to an ``(n,)`` draw.
+sweep.
 
 **Chunk invariance.**  Every built-in condition's own :meth:`sample_run`
-is additionally *chunk-invariant*: splitting a run into multi-round chunks
-(continuous ``start``, same generator) reproduces the uncut whole-run
-realization bit for bit.  The samplers consume the underlying bit stream
-one variate at a time (``random``/``integers``/``geometric`` — capped
-geometric included), and the stateful Gilbert–Elliott chain draws its
-randomness round-interleaved and persists its burst state on the instance,
-so an engine extending its horizon chunk by chunk (stand-alone ``step``
-calls) sees exactly the realization a whole-run pre-sample would have
-produced.  ``tests/distsys/test_faults.py`` holds the property tests.
+is *chunk-invariant*: splitting a run into multi-round chunks (continuous
+``start``, same generator) reproduces the uncut whole-run realization bit
+for bit.  The samplers consume the underlying bit stream one variate at a
+time (``random``/``integers``/``geometric`` — capped geometric included),
+and the stateful Gilbert–Elliott chain draws its randomness
+round-interleaved and persists its burst state on the instance, so an
+engine extending its horizon chunk by chunk sees exactly the realization a
+whole-run pre-sample would have produced.
+``tests/distsys/test_faults.py`` holds the property tests.
+
+**Per-condition streams.**  Chunk invariance is a *per-generator*
+property: a pipeline of two or more stochastic conditions sharing one
+generator is consumed condition-major within each sampled chunk, so the
+interleaving — and hence the realization — would depend on where the chunk
+boundaries fall.  The engines therefore give every pipeline position its
+own independent generator (:func:`network_streams`: position ``i`` draws
+from ``default_rng((seed, _NET_TAG, i))``), which makes the composed
+pipeline chunk-invariant too: each condition's stream advances with its
+own draws only, wherever the chunks are cut.  :func:`sample_network_run`
+accepts either one shared generator (legacy single-chunk callers) or one
+generator per condition.
 """
 
 from __future__ import annotations
@@ -51,7 +60,16 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -68,8 +86,16 @@ __all__ = [
     "RECOVERY_MODES",
     "FaultEvent",
     "FaultSchedule",
+    "network_streams",
     "sample_network_run",
 ]
+
+#: Network-stream tag: the engines seed pipeline position ``i``'s network
+#: generator as ``default_rng((seed, _NET_TAG, i))`` (see
+#: :func:`network_streams`), so a batched trial replays the per-trial
+#: realization bit for bit and chunked pre-sampling is bit-identical to
+#: the uninterrupted whole-run pre-sample.
+_NET_TAG = 0x6E6574
 
 
 # -- delay distributions -------------------------------------------------------
@@ -80,8 +106,10 @@ DelaySampler = Callable[[np.random.Generator, int], np.ndarray]
 
 def fixed_delay(rounds: int) -> DelaySampler:
     """Every message takes exactly ``rounds`` extra rounds to arrive."""
-    if rounds < 0:
-        raise ValueError("delay must be non-negative")
+    if not rounds >= 0:
+        raise ValueError(
+            f"fixed_delay rounds must be non-negative, got rounds={rounds!r}"
+        )
 
     def sample(rng: np.random.Generator, size: int) -> np.ndarray:
         return np.full(size, int(rounds), dtype=int)
@@ -92,7 +120,10 @@ def fixed_delay(rounds: int) -> DelaySampler:
 def uniform_delay(low: int, high: int) -> DelaySampler:
     """Delays drawn uniformly from the integers ``low..high`` inclusive."""
     if not 0 <= low <= high:
-        raise ValueError(f"need 0 <= low <= high, got {low}..{high}")
+        raise ValueError(
+            f"uniform_delay needs 0 <= low <= high, got low={low!r}, "
+            f"high={high!r}"
+        )
 
     def sample(rng: np.random.Generator, size: int) -> np.ndarray:
         return rng.integers(int(low), int(high) + 1, size=size)
@@ -107,9 +138,14 @@ def geometric_delay(p: float, cap: int = 64) -> DelaySampler:
     unlucky draw from stalling a bounded-staleness run forever.
     """
     if not 0 < p <= 1:
-        raise ValueError("delivery probability must be in (0, 1]")
-    if cap < 0:
-        raise ValueError("cap must be non-negative")
+        raise ValueError(
+            f"geometric_delay delivery probability p must be in (0, 1], "
+            f"got p={p!r}"
+        )
+    if not cap >= 0:
+        raise ValueError(
+            f"geometric_delay cap must be non-negative, got cap={cap!r}"
+        )
 
     def sample(rng: np.random.Generator, size: int) -> np.ndarray:
         return np.minimum(rng.geometric(p, size=size) - 1, int(cap))
@@ -164,6 +200,26 @@ class NetworkCondition(abc.ABC):
         """
         for k in range(rounds):
             self.condition_round(start + k, delays[k], dropped[k], rng)
+
+    # -- resume support ----------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-able snapshot of the per-run state a resume must restore.
+
+        The built-in conditions are stateless across rounds except the
+        Gilbert–Elliott chain; the default returns an empty dict.  Engines
+        checkpointing mid-run persist this next to their generator states
+        and hand it back through :meth:`load_state` after
+        :meth:`begin_run` on the restored instance.
+        """
+        return {}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot (after :meth:`begin_run`)."""
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} is stateless but got state keys "
+                f"{sorted(state)}"
+            )
 
     def __repr__(self) -> str:
         params = {
@@ -223,7 +279,9 @@ class IIDDrop(NetworkCondition):
 
     def __init__(self, rate: float, agents: Optional[Sequence[int]] = None):
         if not 0.0 <= rate <= 1.0:
-            raise ValueError("drop rate must be in [0, 1]")
+            raise ValueError(
+                f"IIDDrop rate must be in [0, 1], got rate={rate!r}"
+            )
         self.rate = float(rate)
         self.agents = None if agents is None else tuple(int(i) for i in agents)
         self._mask: Optional[np.ndarray] = None
@@ -260,7 +318,10 @@ class BurstyDrop(NetworkCondition):
         for name, p in (("enter", enter), ("exit", exit),
                         ("rate_in_burst", rate_in_burst)):
             if not 0.0 <= p <= 1.0:
-                raise ValueError(f"{name} must be a probability, got {p}")
+                raise ValueError(
+                    f"BurstyDrop {name} must be a probability in [0, 1], "
+                    f"got {name}={p!r}"
+                )
         self.enter = float(enter)
         self.exit = float(exit)
         self.rate_in_burst = float(rate_in_burst)
@@ -301,6 +362,14 @@ class BurstyDrop(NetworkCondition):
             dropped[k] |= in_burst & losses[k] & self._mask
         self._in_burst = in_burst
 
+    def state_dict(self) -> Dict[str, object]:
+        if self._in_burst is None:
+            raise RuntimeError("begin_run must run before state_dict")
+        return {"in_burst": self._in_burst.astype(bool).tolist()}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._in_burst = np.asarray(state["in_burst"], dtype=bool)
+
 
 class Stragglers(NetworkCondition):
     """A straggler set: agents whose round-trips run ``slowdown``-times slow.
@@ -313,11 +382,14 @@ class Stragglers(NetworkCondition):
 
     def __init__(self, slowdown: Dict[int, float]):
         if not slowdown:
-            raise ValueError("straggler set is empty")
+            raise ValueError("Stragglers slowdown set is empty")
         for agent, factor in slowdown.items():
-            if factor < 1.0:
+            # ``not >=`` (rather than ``<``) also rejects NaN factors,
+            # which would otherwise turn every delay into garbage.
+            if not (math.isfinite(factor) and factor >= 1.0):
                 raise ValueError(
-                    f"slowdown for agent {agent} must be >= 1, got {factor}"
+                    f"Stragglers slowdown for agent {agent} must be a "
+                    f"finite factor >= 1, got slowdown[{agent}]={factor!r}"
                 )
         self.slowdown = {int(a): float(s) for a, s in slowdown.items()}
         self._factors: Optional[np.ndarray] = None
@@ -524,9 +596,26 @@ class FaultSchedule:
         return f"FaultSchedule(events={list(self.events)!r})"
 
 
+def network_streams(seed: int, count: int) -> List[np.random.Generator]:
+    """One independent network generator per pipeline position.
+
+    Position ``i`` draws from ``default_rng((seed, _NET_TAG, i))``.  Every
+    engine derives its condition streams through this helper, so the
+    batched engines replay the per-trial engines bit for bit — and because
+    each condition owns its stream, the composed pipeline inherits the
+    per-condition chunk-invariance contract: pre-sampling ``[0, T)`` in
+    any chunking (including a checkpoint/resume split) yields the same
+    realization as one whole-run draw.
+    """
+    return [
+        np.random.default_rng((int(seed), _NET_TAG, index))
+        for index in range(count)
+    ]
+
+
 def sample_network_run(
     conditions: Sequence[NetworkCondition],
-    rng: np.random.Generator,
+    rng: Union[np.random.Generator, Sequence[np.random.Generator]],
     n: int,
     rounds: int,
     start: int = 0,
@@ -538,9 +627,25 @@ def sample_network_run(
     ``(delays, dropped)``.  Callers own the conditions' lifecycle: call
     :meth:`NetworkCondition.begin_run` once per run *before* the first
     chunk, and keep ``start``/``rng`` continuous across chunks.
+
+    ``rng`` is either one generator per condition (the engines' form,
+    normally built by :func:`network_streams` — chunk-invariant for any
+    pipeline) or a single shared generator (consumed condition-major
+    within the chunk; chunk-invariant only while at most one condition
+    draws from it).
     """
+    if isinstance(rng, np.random.Generator):
+        rngs: Sequence[np.random.Generator] = [rng] * len(conditions)
+    else:
+        rngs = list(rng)
+        if len(rngs) != len(conditions):
+            raise ValueError(
+                f"sample_network_run got {len(rngs)} generators for "
+                f"{len(conditions)} conditions; pass one per condition "
+                "(see network_streams) or a single shared generator"
+            )
     delays = np.zeros((rounds, n), dtype=int)
     dropped = np.zeros((rounds, n), dtype=bool)
-    for condition in conditions:
-        condition.sample_run(rng, n, rounds, delays, dropped, start=start)
+    for condition, stream in zip(conditions, rngs):
+        condition.sample_run(stream, n, rounds, delays, dropped, start=start)
     return delays, dropped

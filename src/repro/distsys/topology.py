@@ -183,6 +183,33 @@ class CommunicationTopology:
             and self._reachable(self.adjacency.T).all()
         )
 
+    def connected_components(self) -> List[Tuple[int, ...]]:
+        """Connected components of the *undirected skeleton*, as id tuples.
+
+        Components are sorted by smallest member, members ascending — a
+        stable enumeration the reporting layer keys per-component metrics
+        on.  A connected graph yields one component covering every agent.
+        Weak (undirected) connectivity is the right notion here: agents
+        bridged in either direction still influence each other's analysis,
+        while agents in different weak components evolve fully
+        independently.
+        """
+        undirected = self.adjacency | self.adjacency.T
+        unassigned = np.ones(self.n, dtype=bool)
+        components: List[Tuple[int, ...]] = []
+        while unassigned.any():
+            seed = int(np.flatnonzero(unassigned)[0])
+            member = np.zeros(self.n, dtype=bool)
+            member[seed] = True
+            while True:
+                expanded = member | (undirected @ member)
+                if np.array_equal(expanded, member):
+                    break
+                member = expanded
+            components.append(tuple(np.flatnonzero(member).tolist()))
+            unassigned &= ~member
+        return components
+
     def algebraic_connectivity(self) -> float:
         """Second-smallest Laplacian eigenvalue of the undirected skeleton.
 

@@ -15,10 +15,17 @@ from typing import Optional, Union
 import numpy as np
 
 from ..distsys.trace import ExecutionTrace
+from .orchestrator import CellOutcome, SweepReport
 from .reporting import to_jsonable
 from .runner import RegressionRunResult
 
-__all__ = ["ArchivedRun", "save_run", "load_run"]
+__all__ = [
+    "ArchivedRun",
+    "save_run",
+    "load_run",
+    "save_sweep_report",
+    "load_sweep_report",
+]
 
 
 @dataclass
@@ -92,4 +99,59 @@ def load_run(path: Union[str, Path]) -> ArchivedRun:
         losses=np.asarray(payload["losses"], dtype=float),
         distances=np.asarray(payload["distances"], dtype=float),
         trace=trace,
+    )
+
+
+def save_sweep_report(
+    report: SweepReport,
+    path: Union[str, Path],
+    include_results: bool = False,
+) -> Path:
+    """Write an orchestrated sweep's provenance report as pretty JSON.
+
+    By default only the per-cell status / error / attempt count is kept —
+    the audit trail of what ran, what was cached and what degraded.
+    ``include_results=True`` also inlines each cell's result payload
+    (which the checkpoint store already holds when one was configured).
+    """
+    payload = {
+        "schema": "repro/sweep-report/v1",
+        "spec_hash": report.spec_hash,
+        "interrupted": report.interrupted,
+        "outcomes": [
+            {
+                "key": outcome.key,
+                "status": outcome.status,
+                "error": outcome.error,
+                "attempts": outcome.attempts,
+                "result": outcome.result if include_results else None,
+            }
+            for outcome in report.outcomes
+        ],
+    }
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(to_jsonable(payload), indent=2))
+    return target
+
+
+def load_sweep_report(path: Union[str, Path]) -> SweepReport:
+    """Reload a report written by :func:`save_sweep_report`."""
+    payload = json.loads(Path(path).read_text())
+    schema = payload.get("schema")
+    if schema != "repro/sweep-report/v1":
+        raise ValueError(f"unrecognized artifact schema: {schema!r}")
+    return SweepReport(
+        spec_hash=payload["spec_hash"],
+        interrupted=bool(payload["interrupted"]),
+        outcomes=[
+            CellOutcome(
+                key=entry["key"],
+                status=entry["status"],
+                result=entry.get("result"),
+                error=entry.get("error"),
+                attempts=int(entry.get("attempts", 0)),
+            )
+            for entry in payload["outcomes"]
+        ],
     )

@@ -19,16 +19,29 @@ keeps the declared tolerance through the masked kernels of
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..attacks.registry import make_attack
 from ..distsys.asynchronous import run_asynchronous
-from ..distsys.batch_async import AsyncBatchTrial, run_asynchronous_batch
+from ..distsys.batch_async import (
+    AsyncBatchTrial,
+    BatchAsynchronousSimulator,
+    run_asynchronous_batch,
+)
 from ..distsys.faults import IIDDrop, LinkDelay, uniform_delay
 from ..functions.batched import stack_costs
+from .checkpoint import CheckpointStore, spec_hash
+from .orchestrator import (
+    EngineCheckpointer,
+    OrchestratorConfig,
+    SweepCell,
+    SweepReport,
+    run_engine_checkpointed,
+    run_sweep_cells,
+)
 from .paper_regression import PaperProblem, paper_problem
 from .reporting import format_table
 
@@ -37,6 +50,7 @@ __all__ = [
     "DEFAULT_POLICIES",
     "SWEEP_ENGINES",
     "asynchronous_sweep",
+    "orchestrated_asynchronous_sweep",
     "render_asynchronous_report",
 ]
 
@@ -102,6 +116,64 @@ def _assemble_row(
     )
 
 
+def _cell_conditions(drop_rate: float, delay_high: int):
+    """The sweep's shared per-cell condition pipeline."""
+    conditions = [LinkDelay(uniform_delay(0, delay_high))]
+    if drop_rate > 0:
+        conditions.append(IIDDrop(drop_rate))
+    return conditions
+
+
+def _batched_trials(
+    problem, cells, seeds, policies, attack, delay_high
+) -> List[AsyncBatchTrial]:
+    """The (cell × seed) trial grid for the batched engine, in cell order."""
+    return [
+        AsyncBatchTrial(
+            aggregator=aggregator,
+            attack=None if attack is None else make_attack(attack),
+            faulty_ids=tuple(problem.faulty_ids),
+            conditions=tuple(_cell_conditions(drop_rate, delay_high)),
+            staleness_bound=int(tau),
+            missing_policy=policies.get(aggregator, "shrink"),
+            seed=int(seed),
+            label=f"tau{tau}/drop{drop_rate}/{aggregator}/s{seed}",
+        )
+        for (tau, drop_rate, aggregator) in cells
+        for seed in seeds
+    ]
+
+
+def _rows_from_batch_trace(
+    problem, trace, cells, seeds, policies, attack
+) -> List[AsynchronousSweepRow]:
+    """Fold a batched trace into one report row per (τ, drop, filter) cell."""
+    radii_all = np.linalg.norm(
+        trace.final_estimates - np.asarray(problem.x_h), axis=1
+    )
+    missing_all = trace.missing_fraction().mean(axis=1)
+    profile_all = trace.staleness_profile()
+    stalled_all = trace.stalled_rounds()
+    rows: List[AsynchronousSweepRow] = []
+    for c, (tau, drop_rate, aggregator) in enumerate(cells):
+        sl = slice(c * len(seeds), (c + 1) * len(seeds))
+        staleness = [
+            float(np.nanmean(profile))
+            if np.isfinite(profile).any()
+            else float("nan")
+            for profile in profile_all[sl]
+        ]
+        rows.append(
+            _assemble_row(
+                tau, drop_rate, aggregator,
+                policies.get(aggregator, "shrink"), attack, seeds,
+                radii_all[sl], missing_all[sl], staleness,
+                int(stalled_all[sl].sum()),
+            )
+        )
+    return rows
+
+
 def asynchronous_sweep(
     problem: Optional[PaperProblem] = None,
     staleness_bounds: Sequence[int] = (0, 1, 2, 4),
@@ -144,28 +216,11 @@ def asynchronous_sweep(
         for aggregator in aggregators
     ]
 
-    def cell_conditions(drop_rate):
-        conditions = [LinkDelay(uniform_delay(0, delay_high))]
-        if drop_rate > 0:
-            conditions.append(IIDDrop(drop_rate))
-        return conditions
-
     rows: List[AsynchronousSweepRow] = []
     if engine == "batched":
-        trials = [
-            AsyncBatchTrial(
-                aggregator=aggregator,
-                attack=None if attack is None else make_attack(attack),
-                faulty_ids=tuple(problem.faulty_ids),
-                conditions=tuple(cell_conditions(drop_rate)),
-                staleness_bound=int(tau),
-                missing_policy=policies.get(aggregator, "shrink"),
-                seed=int(seed),
-                label=f"tau{tau}/drop{drop_rate}/{aggregator}/s{seed}",
-            )
-            for (tau, drop_rate, aggregator) in cells
-            for seed in seeds
-        ]
+        trials = _batched_trials(
+            problem, cells, seeds, policies, attack, delay_high
+        )
         trace = run_asynchronous_batch(
             stack,
             trials,
@@ -174,29 +229,9 @@ def asynchronous_sweep(
             initial_estimate=problem.initial_estimate,
             iterations=iterations,
         )
-        radii_all = np.linalg.norm(
-            trace.final_estimates - np.asarray(problem.x_h), axis=1
+        return _rows_from_batch_trace(
+            problem, trace, cells, seeds, policies, attack
         )
-        missing_all = trace.missing_fraction().mean(axis=1)
-        profile_all = trace.staleness_profile()
-        stalled_all = trace.stalled_rounds()
-        for c, (tau, drop_rate, aggregator) in enumerate(cells):
-            sl = slice(c * len(seeds), (c + 1) * len(seeds))
-            staleness = [
-                float(np.nanmean(profile))
-                if np.isfinite(profile).any()
-                else float("nan")
-                for profile in profile_all[sl]
-            ]
-            rows.append(
-                _assemble_row(
-                    tau, drop_rate, aggregator,
-                    policies.get(aggregator, "shrink"), attack, seeds,
-                    radii_all[sl], missing_all[sl], staleness,
-                    int(stalled_all[sl].sum()),
-                )
-            )
-        return rows
 
     for tau, drop_rate, aggregator in cells:
         policy = policies.get(aggregator, "shrink")
@@ -212,7 +247,7 @@ def asynchronous_sweep(
                 schedule=problem.schedule,
                 initial_estimate=problem.initial_estimate,
                 iterations=iterations,
-                conditions=cell_conditions(drop_rate),
+                conditions=_cell_conditions(drop_rate, delay_high),
                 staleness_bound=tau,
                 missing_policy=policy,
                 seed=seed,
@@ -235,6 +270,227 @@ def asynchronous_sweep(
             )
         )
     return rows
+
+
+def _run_asynchronous_cell(payload: Dict[str, object]) -> Dict[str, object]:
+    """Orchestrator worker: one (τ, drop, filter) cell over a seed chunk.
+
+    Rebuilds the default paper problem in-process; the batched engine
+    runs through
+    :func:`~repro.experiments.orchestrator.run_engine_checkpointed` when
+    the payload carries a mid-trajectory checkpoint contract (the
+    chunk-boundary ``state_dict`` of
+    :class:`~repro.distsys.batch_async.BatchAsynchronousSimulator` makes
+    the resumed trajectory bit-identical to an uninterrupted run).
+    """
+    problem = paper_problem()
+    tau = int(payload["tau"])
+    drop_rate = float(payload["drop_rate"])
+    aggregator = str(payload["aggregator"])
+    seeds = [int(s) for s in payload["seeds"]]
+    policies = dict(payload["policies"])
+    attack = payload["attack"]
+    iterations = int(payload["iterations"])
+    delay_high = int(payload["delay_high"])
+    engine = str(payload["engine"])
+    cells = [(tau, drop_rate, aggregator)]
+    if engine == "batched":
+        stack = stack_costs(problem.costs)
+        trials = _batched_trials(
+            problem, cells, seeds, policies, attack, delay_high
+        )
+
+        def make_engine() -> BatchAsynchronousSimulator:
+            return BatchAsynchronousSimulator(
+                costs=stack,
+                trials=trials,
+                constraint=problem.constraint,
+                schedule=problem.schedule,
+                initial_estimate=problem.initial_estimate,
+            )
+
+        checkpoint = payload.get("checkpoint")
+        if checkpoint:
+            trace = run_engine_checkpointed(
+                make_engine,
+                iterations,
+                checkpoint_every=int(checkpoint["every"]),
+                checkpointer=EngineCheckpointer(
+                    store=CheckpointStore(checkpoint["dir"]),
+                    sweep_hash=str(checkpoint["spec_hash"]),
+                    key=str(checkpoint["key"]),
+                ),
+            )
+        else:
+            trace = make_engine().run(iterations)
+        rows = _rows_from_batch_trace(
+            problem, trace, cells, seeds, policies, attack
+        )
+    else:
+        rows = asynchronous_sweep(
+            problem=problem,
+            staleness_bounds=[tau],
+            drop_rates=[drop_rate],
+            aggregators=[aggregator],
+            attack=attack,
+            policies=policies,
+            iterations=iterations,
+            seeds=seeds,
+            delay_high=delay_high,
+            engine="reference",
+        )
+    return {"rows": [asdict(row) for row in rows]}
+
+
+def _merge_chunk_rows(
+    chunks: Sequence[AsynchronousSweepRow],
+) -> AsynchronousSweepRow:
+    """Fold one configuration's seed-chunk rows into its report row.
+
+    Means are seed-weighted, worst is the max, stalled counts sum;
+    ``mean_staleness`` weights the finite chunks by their seed counts (a
+    chunk is ``nan`` only when *no* seed in it ever aggregated a
+    message, so the weighting is exact unless a chunk mixes all-``nan``
+    and finite seeds — in which case resumed and uninterrupted
+    *orchestrated* runs still agree bit for bit, since they chunk
+    identically).
+    """
+    first = chunks[0]
+    total = sum(r.seeds for r in chunks)
+    finite = [
+        (r.mean_staleness, r.seeds)
+        for r in chunks
+        if not np.isnan(r.mean_staleness)
+    ]
+    return AsynchronousSweepRow(
+        staleness_bound=first.staleness_bound,
+        drop_rate=first.drop_rate,
+        aggregator=first.aggregator,
+        policy=first.policy,
+        attack=first.attack,
+        seeds=total,
+        mean_radius=float(
+            sum(r.mean_radius * r.seeds for r in chunks) / total
+        ),
+        worst_radius=float(max(r.worst_radius for r in chunks)),
+        missing_rate=float(
+            sum(r.missing_rate * r.seeds for r in chunks) / total
+        ),
+        mean_staleness=(
+            float(
+                sum(v * w for v, w in finite) / sum(w for _, w in finite)
+            )
+            if finite
+            else float("nan")
+        ),
+        stalled=int(sum(r.stalled for r in chunks)),
+    )
+
+
+def orchestrated_asynchronous_sweep(
+    staleness_bounds: Sequence[int] = (0, 1, 2, 4),
+    drop_rates: Sequence[float] = (0.0, 0.15, 0.35),
+    aggregators: Sequence[str] = ("cge", "cwtm", "median"),
+    attack: Optional[str] = "gradient_reverse",
+    policies: Optional[Dict[str, str]] = None,
+    iterations: int = 200,
+    seeds: Sequence[int] = (0,),
+    delay_high: int = 2,
+    engine: str = "batched",
+    seed_chunk: Optional[int] = None,
+    config: Optional[OrchestratorConfig] = None,
+) -> Tuple[List[AsynchronousSweepRow], SweepReport]:
+    """The staleness × drop × filter sweep through the orchestrator.
+
+    Decomposes the sweep into one cell per (τ, drop rate, filter)
+    configuration — times a seed chunk of at most ``seed_chunk`` seeds
+    when given — and runs the cells crash-safely (checkpointed, retried,
+    sharded across ``config.jobs`` processes).  Rows arrive in the same
+    order as :func:`asynchronous_sweep`; a configuration whose cells all
+    failed is absent from the rows and present in
+    ``report.failed_cells``.  Workers rebuild the default paper problem,
+    so there is no ``problem`` parameter.
+    """
+    if engine not in SWEEP_ENGINES:
+        raise ValueError(
+            f"unknown sweep engine {engine!r}; "
+            f"known: {', '.join(SWEEP_ENGINES)}"
+        )
+    if seed_chunk is not None and seed_chunk < 1:
+        raise ValueError(f"seed_chunk must be >= 1, got {seed_chunk!r}")
+    config = config or OrchestratorConfig()
+    policies = dict(DEFAULT_POLICIES, **(policies or {}))
+    seeds = [int(s) for s in seeds]
+    chunk = seed_chunk or len(seeds) or 1
+    seed_chunks = [
+        seeds[i : i + chunk] for i in range(0, len(seeds), chunk)
+    ] or [[]]
+    configurations = [
+        (int(tau), float(drop_rate), str(aggregator))
+        for tau in staleness_bounds
+        for drop_rate in drop_rates
+        for aggregator in aggregators
+    ]
+    spec_doc = {
+        "family": "asynchronous",
+        "staleness_bounds": [int(t) for t in staleness_bounds],
+        "drop_rates": [float(d) for d in drop_rates],
+        "aggregators": list(aggregators),
+        "attack": attack,
+        "policies": policies,
+        "iterations": int(iterations),
+        "seeds": seeds,
+        "delay_high": int(delay_high),
+        "engine": engine,
+        "seed_chunk": seed_chunk,
+    }
+    sweep_hash = spec_hash(spec_doc)
+    cells: List[SweepCell] = []
+    cell_keys: Dict[Tuple[int, float, str], List[str]] = {}
+    for tau, drop_rate, aggregator in configurations:
+        for chunk_seeds in seed_chunks:
+            key = f"tau{tau}/drop{drop_rate}/{aggregator}"
+            if len(seed_chunks) > 1:
+                key = f"{key}/seeds{chunk_seeds[0]}-{chunk_seeds[-1]}"
+            payload: Dict[str, object] = {
+                "tau": tau,
+                "drop_rate": drop_rate,
+                "aggregator": aggregator,
+                "seeds": chunk_seeds,
+                "policies": policies,
+                "attack": attack,
+                "iterations": int(iterations),
+                "delay_high": int(delay_high),
+                "engine": engine,
+            }
+            if (
+                engine == "batched"
+                and config.checkpoint_dir is not None
+                and config.checkpoint_every is not None
+            ):
+                payload["checkpoint"] = {
+                    "dir": str(config.checkpoint_dir),
+                    "spec_hash": sweep_hash,
+                    "key": key,
+                    "every": int(config.checkpoint_every),
+                }
+            cells.append(SweepCell(key=key, payload=payload))
+            cell_keys.setdefault((tau, drop_rate, aggregator), []).append(key)
+    report = run_sweep_cells(spec_doc, cells, _run_asynchronous_cell, config)
+    usable = report.results()
+    rows: List[AsynchronousSweepRow] = []
+    for configuration in configurations:
+        chunks: List[AsynchronousSweepRow] = []
+        for key in cell_keys[configuration]:
+            payload = usable.get(key)
+            if payload is None:
+                continue
+            chunks.extend(
+                AsynchronousSweepRow(**row) for row in payload["rows"]
+            )
+        if chunks:
+            rows.append(_merge_chunk_rows(chunks))
+    return rows, report
 
 
 def render_asynchronous_report(

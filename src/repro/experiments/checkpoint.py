@@ -1,0 +1,186 @@
+"""Content-addressed cell checkpointing for crash-safe sweep execution.
+
+A sweep is decomposed into *cells* (see
+:mod:`repro.experiments.orchestrator`); every completed cell is written to
+a :class:`CheckpointStore` keyed by ``(spec_hash, cell_key)``:
+
+* ``spec_hash`` — :func:`spec_hash` of the sweep's canonical-JSON spec, so
+  a store can hold checkpoints of many sweeps and a *changed* spec (more
+  iterations, different seeds, …) can never alias a stale result;
+* ``cell_key`` — the sweep-relative cell identifier (e.g.
+  ``"tau1/drop0.2/cwtm"``), sanitized into a filename plus a short content
+  hash so unusual characters cannot collide.
+
+Writes are atomic (temp file + ``os.replace`` in the same directory), so a
+worker killed mid-write never corrupts the store: the cell is simply
+missing and re-runs on resume.  Reads are corruption-tolerant —
+:meth:`CheckpointStore.get` returns ``None`` for truncated, unparsable, or
+wrong-schema files, which the orchestrator treats exactly like a missing
+cell.
+
+The format is one JSON document per cell::
+
+    {"schema": "repro/checkpoint-cell/v1",
+     "spec_hash": "<64 hex chars>",
+     "key": "<cell key>",
+     "payload": <the cell's JSON-able result>}
+
+Alongside completed cells the store also holds *partial* engine states
+(mid-trajectory ``state_dict`` snapshots under ``<cell key>@partial``
+keys) — same format, dropped once the owning cell completes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .reporting import to_jsonable
+
+__all__ = ["CELL_SCHEMA", "CheckpointStore", "spec_hash"]
+
+CELL_SCHEMA = "repro/checkpoint-cell/v1"
+
+#: Filename-safe characters for the human-readable key prefix.
+_SANITIZE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def spec_hash(spec: object) -> str:
+    """The sha256 hex digest of a sweep spec's canonical JSON.
+
+    The spec is normalized through
+    :func:`~repro.experiments.reporting.to_jsonable` and serialized with
+    sorted keys and fixed separators, so hashing is insensitive to dict
+    ordering and numpy scalar types but sensitive to every value that
+    shapes the sweep's results.
+    """
+    canonical = json.dumps(
+        to_jsonable(spec), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _cell_filename(key: str) -> str:
+    """A collision-free, filesystem-safe filename for a cell key."""
+    digest = hashlib.sha1(key.encode("utf-8")).hexdigest()[:8]
+    prefix = _SANITIZE.sub("-", key).strip("-")[:80] or "cell"
+    return f"{prefix}-{digest}.json"
+
+
+class CheckpointStore:
+    """Atomic, corruption-tolerant store of completed sweep cells."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    def _spec_dir(self, sweep_hash: str) -> Path:
+        return self.root / sweep_hash[:16]
+
+    def path_for(self, sweep_hash: str, key: str) -> Path:
+        """Where ``(sweep_hash, key)`` lives (whether or not it exists)."""
+        return self._spec_dir(sweep_hash) / _cell_filename(key)
+
+    def put(self, sweep_hash: str, key: str, payload: object) -> Path:
+        """Atomically write one completed cell; returns its path.
+
+        The document lands via a temp file in the destination directory
+        plus ``os.replace``, so concurrent readers (and a crash at any
+        point) see either the complete old content or the complete new
+        content, never a torn write.
+        """
+        target = self.path_for(sweep_hash, key)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        document = json.dumps(
+            to_jsonable(
+                {
+                    "schema": CELL_SCHEMA,
+                    "spec_hash": sweep_hash,
+                    "key": key,
+                    "payload": payload,
+                }
+            )
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=target.parent, prefix=target.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(document)
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return target
+
+    def get(self, sweep_hash: str, key: str) -> Optional[object]:
+        """The cell's payload, or ``None`` if absent or unusable.
+
+        A truncated, unparsable, wrong-schema, or wrong-key document (a
+        killed writer predating atomic replace, manual tampering, a hash
+        collision in the sanitized prefix) reads as *missing* — the
+        orchestrator re-runs the cell rather than trusting it.
+        """
+        path = self.path_for(sweep_hash, key)
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(document, dict):
+            return None
+        if document.get("schema") != CELL_SCHEMA:
+            return None
+        if document.get("spec_hash") != sweep_hash:
+            return None
+        if document.get("key") != key:
+            return None
+        return document.get("payload")
+
+    def discard(self, sweep_hash: str, key: str) -> None:
+        """Remove one cell if present (used to drop partial engine states)."""
+        try:
+            os.unlink(self.path_for(sweep_hash, key))
+        except OSError:
+            pass
+
+    def keys(self, sweep_hash: str) -> List[str]:
+        """Every usable cell key stored for ``sweep_hash``, sorted."""
+        directory = self._spec_dir(sweep_hash)
+        found: List[str] = []
+        if not directory.is_dir():
+            return found
+        for path in directory.iterdir():
+            if path.suffix != ".json":
+                continue
+            try:
+                document = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if (
+                isinstance(document, dict)
+                and document.get("schema") == CELL_SCHEMA
+                and document.get("spec_hash") == sweep_hash
+                and isinstance(document.get("key"), str)
+            ):
+                found.append(document["key"])
+        return sorted(found)
+
+    def summary(self, sweep_hash: str) -> Dict[str, int]:
+        """Completed-cell count plus on-disk footprint, for reports."""
+        directory = self._spec_dir(sweep_hash)
+        keys = self.keys(sweep_hash)
+        size = 0
+        if directory.is_dir():
+            size = sum(
+                p.stat().st_size
+                for p in directory.iterdir()
+                if p.is_file()
+            )
+        return {"cells": len(keys), "bytes": int(size)}

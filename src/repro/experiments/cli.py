@@ -39,6 +39,58 @@ from .table1 import generate_table1, render_table1
 __all__ = ["main", "build_parser"]
 
 
+def _add_orchestration_flags(p: argparse.ArgumentParser) -> None:
+    """Crash-safe execution flags shared by the sweep subcommands.
+
+    Passing ``--jobs`` or ``--checkpoint-dir`` routes the sweep through
+    :func:`~repro.experiments.orchestrator.run_sweep_cells` (supervised
+    sharding, content-addressed checkpoints, resume); without either the
+    subcommand runs the direct in-process sweep unchanged.
+    """
+    g = p.add_argument_group("orchestration (crash-safe sweeps)")
+    g.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for supervised sharded execution",
+    )
+    g.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="content-addressed cell checkpoint store (enables resume)",
+    )
+    g.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="ignore existing checkpoints; recompute every cell",
+    )
+    g.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        help="per-cell wall-clock deadline in seconds (implies supervision)",
+    )
+    g.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        help="run at most this many uncached cells, then stop "
+        "(resume later with the same --checkpoint-dir)",
+    )
+    g.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="snapshot engine state every K rounds inside long cells "
+        "(batched engines only)",
+    )
+    g.add_argument(
+        "--report-out",
+        default=None,
+        help="write the sweep's provenance report (JSON) to this path",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -50,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table1", help="Table 1: CGE/CWTM approximation errors")
     p.add_argument("--iterations", type=int, default=500)
     p.add_argument("--seed", type=int, default=0)
+    _add_orchestration_flags(p)
 
     for name, default_iters in (("figure2", 1500), ("figure3", 80)):
         p = sub.add_parser(name, help=f"{name}: loss/distance trajectories")
@@ -97,6 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="seeds per cell (only stochastic attacks vary across seeds)",
     )
+    _add_orchestration_flags(p)
 
     p = sub.add_parser(
         "decentralized-delay",
@@ -112,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="seeds per cell (per-edge delays and drops are stochastic, "
         "so more seeds tighten the radius and gap estimates)",
     )
+    _add_orchestration_flags(p)
 
     p = sub.add_parser(
         "asynchronous",
@@ -134,6 +189,14 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of the batched (S, n, d) tensor program (slow; the "
         "oracle the batched engine is pinned against)",
     )
+    p.add_argument(
+        "--seed-chunk",
+        type=int,
+        default=None,
+        help="orchestrated runs: split each configuration's seeds into "
+        "chunks of this size (one resumable cell per chunk)",
+    )
+    _add_orchestration_flags(p)
 
     sub.add_parser(
         "list",
@@ -176,9 +239,71 @@ def _render_registries() -> str:
     return "\n\n".join(blocks)
 
 
+def _orchestrator_config(args: argparse.Namespace):
+    """The sweep's orchestration policy, or ``None`` for the direct path.
+
+    Orchestration engages when any of its flags is set; ``--jobs`` and
+    ``--checkpoint-dir`` are the usual entry points.
+    """
+    engaged = any(
+        getattr(args, name, None) is not None
+        for name in (
+            "jobs",
+            "checkpoint_dir",
+            "cell_timeout",
+            "max_cells",
+            "checkpoint_every",
+        )
+    ) or getattr(args, "no_resume", False)
+    if not engaged:
+        return None
+    from .orchestrator import OrchestratorConfig
+
+    return OrchestratorConfig(
+        jobs=args.jobs if args.jobs is not None else 1,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=not args.no_resume,
+        cell_timeout=args.cell_timeout,
+        max_cells=args.max_cells,
+        checkpoint_every=args.checkpoint_every,
+    )
+
+
+def _finish_report(args: argparse.Namespace, report) -> None:
+    """Persist and surface a sweep report: degradation warns, never raises."""
+    if getattr(args, "report_out", None):
+        from .artifacts import save_sweep_report
+
+        save_sweep_report(report, args.report_out)
+        print(f"[report] {args.report_out}", file=sys.stderr)
+    if report.interrupted:
+        print(
+            f"[interrupted] cell budget reached; {len(report.skipped)} cells "
+            "left — rerun with the same --checkpoint-dir to continue",
+            file=sys.stderr,
+        )
+    for failed in report.failed_cells:
+        print(
+            f"[failed cell] {failed['key']} after {failed['attempts']} "
+            f"attempt(s): {failed['error']}",
+            file=sys.stderr,
+        )
+
+
 def _run_table1(args: argparse.Namespace) -> str:
     problem = paper_problem()
-    rows = generate_table1(problem, iterations=args.iterations, seed=args.seed)
+    config = _orchestrator_config(args)
+    if config is not None:
+        from .table1 import orchestrated_table1
+
+        rows, report = orchestrated_table1(
+            iterations=args.iterations, seed=args.seed, config=config
+        )
+        _finish_report(args, report)
+    else:
+        rows = generate_table1(
+            problem, iterations=args.iterations, seed=args.seed
+        )
     return render_table1(rows, epsilon=problem.epsilon)
 
 
@@ -389,34 +514,68 @@ def main(argv: Optional[List[str]] = None) -> int:
         rows = resilience_frontier(problem.costs, max_f=args.max_f)
         print(render_frontier(rows, n=problem.n))
     elif args.command == "decentralized":
-        from .decentralized import decentralized_sweep, render_decentralized_report
-
-        rows = decentralized_sweep(
-            iterations=args.iterations,
-            seeds=tuple(range(args.seed, args.seed + args.seeds)),
+        from .decentralized import (
+            decentralized_sweep,
+            orchestrated_decentralized_sweep,
+            render_decentralized_report,
         )
+
+        seeds = tuple(range(args.seed, args.seed + args.seeds))
+        config = _orchestrator_config(args)
+        if config is not None:
+            rows, report = orchestrated_decentralized_sweep(
+                iterations=args.iterations, seeds=seeds, config=config
+            )
+            _finish_report(args, report)
+        else:
+            rows = decentralized_sweep(
+                iterations=args.iterations, seeds=seeds
+            )
         print(render_decentralized_report(rows, iterations=args.iterations))
     elif args.command == "decentralized-delay":
         from .decentralized_delay import (
             decentralized_delay_sweep,
+            orchestrated_decentralized_delay_sweep,
             render_decentralized_delay_report,
         )
 
-        rows = decentralized_delay_sweep(
-            iterations=args.iterations,
-            seeds=tuple(range(args.seed, args.seed + args.seeds)),
-        )
+        seeds = tuple(range(args.seed, args.seed + args.seeds))
+        config = _orchestrator_config(args)
+        if config is not None:
+            rows, report = orchestrated_decentralized_delay_sweep(
+                iterations=args.iterations, seeds=seeds, config=config
+            )
+            _finish_report(args, report)
+        else:
+            rows = decentralized_delay_sweep(
+                iterations=args.iterations, seeds=seeds
+            )
         print(
             render_decentralized_delay_report(rows, iterations=args.iterations)
         )
     elif args.command == "asynchronous":
-        from .asynchronous import asynchronous_sweep, render_asynchronous_report
-
-        rows = asynchronous_sweep(
-            iterations=args.iterations,
-            seeds=tuple(range(args.seed, args.seed + args.seeds)),
-            engine="reference" if args.reference else "batched",
+        from .asynchronous import (
+            asynchronous_sweep,
+            orchestrated_asynchronous_sweep,
+            render_asynchronous_report,
         )
+
+        seeds = tuple(range(args.seed, args.seed + args.seeds))
+        engine = "reference" if args.reference else "batched"
+        config = _orchestrator_config(args)
+        if config is not None:
+            rows, report = orchestrated_asynchronous_sweep(
+                iterations=args.iterations,
+                seeds=seeds,
+                engine=engine,
+                seed_chunk=args.seed_chunk,
+                config=config,
+            )
+            _finish_report(args, report)
+        else:
+            rows = asynchronous_sweep(
+                iterations=args.iterations, seeds=seeds, engine=engine
+            )
         print(render_asynchronous_report(rows, iterations=args.iterations))
     elif args.command == "list":
         print(_render_registries())

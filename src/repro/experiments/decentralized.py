@@ -16,7 +16,7 @@ no per-agent Python inner loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -27,6 +27,12 @@ from ..distsys.batch import BatchTrial
 from ..distsys.decentralized import DecentralizedSimulator
 from ..distsys.topology import CommunicationTopology, make_topology
 from ..functions.batched import stack_costs
+from .orchestrator import (
+    OrchestratorConfig,
+    SweepCell,
+    SweepReport,
+    run_sweep_cells,
+)
 from .paper_regression import PaperProblem, paper_problem
 from .reporting import format_table
 
@@ -34,8 +40,25 @@ __all__ = [
     "DecentralizedSweepRow",
     "default_topologies",
     "decentralized_sweep",
+    "orchestrated_decentralized_sweep",
     "render_decentralized_report",
 ]
+
+
+def serialize_topology(topology: CommunicationTopology) -> Dict[str, object]:
+    """A topology as a JSON-able payload (name + adjacency rows)."""
+    return {
+        "name": topology.name,
+        "adjacency": np.asarray(topology.adjacency, dtype=bool).tolist(),
+    }
+
+
+def deserialize_topology(payload: Dict[str, object]) -> CommunicationTopology:
+    """Rebuild a :func:`serialize_topology` payload."""
+    return CommunicationTopology(
+        name=str(payload["name"]),
+        adjacency=np.asarray(payload["adjacency"], dtype=bool),
+    )
 
 
 @dataclass
@@ -52,6 +75,12 @@ class DecentralizedSweepRow:
     mean_radius: float                  # mean over seeds of the final radius
     worst_radius: float                 # max over seeds
     mean_gap: float                     # mean over seeds of the final gap
+    #: Disconnected topologies only (``allow_disconnected=True``): the mean
+    #: final consensus gap *per connected component* (smallest-member order)
+    #: — the global ``mean_gap`` is ``nan`` there, since agents in different
+    #: components can never agree.  ``component_sizes`` aligns with it.
+    component_gaps: Optional[Tuple[float, ...]] = None
+    component_sizes: Optional[Tuple[int, ...]] = None
 
 
 def default_topologies(n: int, seed: int = 0) -> List[CommunicationTopology]:
@@ -77,12 +106,18 @@ def decentralized_sweep(
     ),
     iterations: int = 300,
     seeds: Sequence[int] = (0,),
+    allow_disconnected: bool = False,
 ) -> List[DecentralizedSweepRow]:
     """Run the topology × connectivity × f sweep; returns report rows.
 
     ``attacks`` containing ``None`` adds the fault-free baseline (``f = 0``,
     no Byzantine agent) for each topology × filter cell; named attacks run
     with the paper's faulty set (``f = len(problem.faulty_ids)``).
+
+    ``allow_disconnected=True`` admits disconnected topologies: the global
+    consensus gap is reported as ``nan`` (agents in different components
+    can never agree) and each row instead carries the mean final gap *per
+    connected component* in ``component_gaps``.
 
     The default filter set is *normalized* (``cwtm``, ``cge_mean``,
     ``median``): the plain ``cge`` sum is well-defined here too, but its
@@ -124,10 +159,23 @@ def decentralized_sweep(
             constraint=problem.constraint,
             schedule=problem.schedule,
             initial_estimate=problem.initial_estimate,
+            allow_disconnected=allow_disconnected,
         )
         trace = simulator.run(iterations)
         radii = trace.distances_to(problem.x_h)[:, -1]       # (S,)
-        gaps = trace.consensus_gap()[:, -1]                  # (S,)
+        components = topology.connected_components()
+        disconnected = len(components) > 1
+        if disconnected:
+            gaps = np.full(len(trials), np.nan)
+            component_gaps = [
+                series[:, -1]
+                for series in trace.component_consensus_gaps(components)
+            ]
+            component_sizes = tuple(len(c) for c in components)
+        else:
+            gaps = trace.consensus_gap()[:, -1]              # (S,)
+            component_gaps = None
+            component_sizes = None
         degrees = topology.closed_in_degrees
         degree_range = (
             f"{int(degrees.min())}"
@@ -149,9 +197,128 @@ def decentralized_sweep(
                     mean_radius=float(radii[span].mean()),
                     worst_radius=float(radii[span].max()),
                     mean_gap=float(gaps[span].mean()),
+                    component_gaps=(
+                        None
+                        if component_gaps is None
+                        else tuple(
+                            float(np.mean(per_comp[span]))
+                            for per_comp in component_gaps
+                        )
+                    ),
+                    component_sizes=component_sizes,
                 )
             )
     return rows
+
+
+def _row_from_payload(row: Dict[str, object]) -> DecentralizedSweepRow:
+    """Rebuild a report row from its JSON form (lists back to tuples)."""
+    data = dict(row)
+    for name in ("component_gaps", "component_sizes"):
+        if data.get(name) is not None:
+            data[name] = tuple(data[name])
+    return DecentralizedSweepRow(**data)
+
+
+def _run_decentralized_cell(payload: Dict[str, object]) -> Dict[str, object]:
+    """Orchestrator worker: one (topology, filter, attack) cell.
+
+    Rebuilds the default paper problem and the cell's topology from the
+    JSON payload, so the cell reruns identically anywhere.
+    """
+    rows = decentralized_sweep(
+        problem=None,
+        topologies=[deserialize_topology(payload["topology"])],
+        aggregators=[str(payload["aggregator"])],
+        attacks=[payload["attack"]],
+        iterations=int(payload["iterations"]),
+        seeds=[int(s) for s in payload["seeds"]],
+        allow_disconnected=bool(payload["allow_disconnected"]),
+    )
+    return {"rows": [asdict(row) for row in rows]}
+
+
+def orchestrated_decentralized_sweep(
+    topologies: Optional[Sequence[CommunicationTopology]] = None,
+    aggregators: Sequence[str] = ("cwtm", "cge_mean", "median"),
+    attacks: Sequence[Optional[str]] = (
+        None,
+        "gradient_reverse",
+        "edge_equivocation",
+    ),
+    iterations: int = 300,
+    seeds: Sequence[int] = (0,),
+    allow_disconnected: bool = False,
+    config: Optional[OrchestratorConfig] = None,
+) -> Tuple[List[DecentralizedSweepRow], SweepReport]:
+    """The topology × filter × attack sweep through the orchestrator.
+
+    One crash-safe cell per (topology, filter, attack); rows arrive in
+    :func:`decentralized_sweep` order, with failed cells' rows absent and
+    listed in ``report.failed_cells``.  Workers rebuild the default paper
+    problem, so there is no ``problem`` parameter; topologies travel as
+    explicit adjacency payloads.
+    """
+    config = config or OrchestratorConfig()
+    problem_n = paper_problem().n
+    topologies = (
+        list(topologies)
+        if topologies is not None
+        else default_topologies(problem_n)
+    )
+    serialized = [serialize_topology(t) for t in topologies]
+    spec_doc = {
+        "family": "decentralized",
+        "topologies": serialized,
+        "aggregators": list(aggregators),
+        "attacks": list(attacks),
+        "iterations": int(iterations),
+        "seeds": [int(s) for s in seeds],
+        "allow_disconnected": bool(allow_disconnected),
+    }
+    cells: List[SweepCell] = []
+    for t, (topology, topo_payload) in enumerate(zip(topologies, serialized)):
+        for aggregator in aggregators:
+            for attack in attacks:
+                cells.append(
+                    SweepCell(
+                        key=(
+                            f"t{t}-{topology.name}/{aggregator}/"
+                            f"{attack or 'honest'}"
+                        ),
+                        payload={
+                            "topology": topo_payload,
+                            "aggregator": str(aggregator),
+                            "attack": attack,
+                            "iterations": int(iterations),
+                            "seeds": [int(s) for s in seeds],
+                            "allow_disconnected": bool(allow_disconnected),
+                        },
+                    )
+                )
+    report = run_sweep_cells(
+        spec_doc, cells, _run_decentralized_cell, config
+    )
+    usable = report.results()
+    rows: List[DecentralizedSweepRow] = []
+    for cell in cells:
+        payload = usable.get(cell.key)
+        if payload is None:
+            continue
+        rows.extend(_row_from_payload(row) for row in payload["rows"])
+    return rows, report
+
+
+def _gap_cell(row: DecentralizedSweepRow) -> object:
+    """The gap column: global gap, or per-component gaps when disconnected."""
+    if row.component_gaps is None:
+        return row.mean_gap
+    return " / ".join(
+        f"C{k}(n={size}):{gap:.4g}"
+        for k, (gap, size) in enumerate(
+            zip(row.component_gaps, row.component_sizes)
+        )
+    )
 
 
 def render_decentralized_report(
@@ -180,7 +347,7 @@ def render_decentralized_report(
                 r.attack or "honest",
                 r.mean_radius,
                 r.worst_radius,
-                r.mean_gap,
+                _gap_cell(r),
             ]
             for r in rows
         ],

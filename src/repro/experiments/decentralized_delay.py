@@ -22,7 +22,7 @@ engine run over its aggregator × attack × seed grid.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -35,6 +35,13 @@ from ..distsys.faults import IIDDrop, LinkDelay, uniform_delay
 from ..distsys.topology import CommunicationTopology, make_topology
 from ..functions.batched import stack_costs
 from .asynchronous import DEFAULT_POLICIES
+from .decentralized import deserialize_topology, serialize_topology
+from .orchestrator import (
+    OrchestratorConfig,
+    SweepCell,
+    SweepReport,
+    run_sweep_cells,
+)
 from .paper_regression import PaperProblem, paper_problem
 from .reporting import format_table
 
@@ -42,6 +49,7 @@ __all__ = [
     "DecentralizedDelaySweepRow",
     "default_delay_topologies",
     "decentralized_delay_sweep",
+    "orchestrated_decentralized_delay_sweep",
     "render_decentralized_delay_report",
 ]
 
@@ -194,6 +202,118 @@ def decentralized_delay_sweep(
                             )
                         )
     return rows
+
+
+def _run_decentralized_delay_cell(
+    payload: Dict[str, object]
+) -> Dict[str, object]:
+    """Orchestrator worker: one (topology, τ, drop, policy) cell.
+
+    Each cell is exactly one batched delay-engine run — the same grouping
+    the direct sweep uses — so orchestrated rows pin bit for bit to
+    :func:`decentralized_delay_sweep`.
+    """
+    policy = str(payload["policy"])
+    aggregators = [str(a) for a in payload["aggregators"]]
+    rows = decentralized_delay_sweep(
+        problem=None,
+        topologies=[deserialize_topology(payload["topology"])],
+        staleness_bounds=[int(payload["staleness_bound"])],
+        drop_rates=[float(payload["drop_rate"])],
+        aggregators=aggregators,
+        attack=payload["attack"],
+        policies={aggregator: policy for aggregator in aggregators},
+        iterations=int(payload["iterations"]),
+        seeds=[int(s) for s in payload["seeds"]],
+        delay_high=int(payload["delay_high"]),
+    )
+    return {"rows": [asdict(row) for row in rows]}
+
+
+def orchestrated_decentralized_delay_sweep(
+    topologies: Optional[Sequence[CommunicationTopology]] = None,
+    staleness_bounds: Sequence[int] = (0, 1, 3),
+    drop_rates: Sequence[float] = (0.0, 0.2),
+    aggregators: Sequence[str] = ("cwtm", "cge_mean", "median"),
+    attack: Optional[str] = "gradient_reverse",
+    policies: Optional[Dict[str, str]] = None,
+    iterations: int = 300,
+    seeds: Sequence[int] = (0,),
+    delay_high: int = 2,
+    config: Optional[OrchestratorConfig] = None,
+) -> Tuple[List[DecentralizedDelaySweepRow], SweepReport]:
+    """The topology × τ × drop × filter sweep through the orchestrator.
+
+    One crash-safe cell per (topology, τ, drop, policy) — the direct
+    sweep's batched-engine granularity — so rows arrive in
+    :func:`decentralized_delay_sweep` order, with failed cells' rows
+    absent and listed in ``report.failed_cells``.  Workers rebuild the
+    default paper problem; topologies travel as explicit adjacency
+    payloads.
+    """
+    config = config or OrchestratorConfig()
+    problem_n = paper_problem().n
+    topologies = (
+        list(topologies)
+        if topologies is not None
+        else default_delay_topologies(problem_n)
+    )
+    resolved = dict(DEFAULT_POLICIES, **(policies or {}))
+    by_policy: Dict[str, List[str]] = {}
+    for aggregator in aggregators:
+        by_policy.setdefault(
+            resolved.get(aggregator, "masked"), []
+        ).append(aggregator)
+    serialized = [serialize_topology(t) for t in topologies]
+    spec_doc = {
+        "family": "decentralized_delay",
+        "topologies": serialized,
+        "staleness_bounds": [int(t) for t in staleness_bounds],
+        "drop_rates": [float(d) for d in drop_rates],
+        "aggregators": list(aggregators),
+        "attack": attack,
+        "policies": {k: v for k, v in sorted(resolved.items())},
+        "iterations": int(iterations),
+        "seeds": [int(s) for s in seeds],
+        "delay_high": int(delay_high),
+    }
+    cells: List[SweepCell] = []
+    for t, (topology, topo_payload) in enumerate(zip(topologies, serialized)):
+        for tau in staleness_bounds:
+            for drop_rate in drop_rates:
+                for policy, policy_aggregators in by_policy.items():
+                    cells.append(
+                        SweepCell(
+                            key=(
+                                f"t{t}-{topology.name}/tau{int(tau)}/"
+                                f"drop{float(drop_rate)}/{policy}"
+                            ),
+                            payload={
+                                "topology": topo_payload,
+                                "staleness_bound": int(tau),
+                                "drop_rate": float(drop_rate),
+                                "aggregators": list(policy_aggregators),
+                                "policy": policy,
+                                "attack": attack,
+                                "iterations": int(iterations),
+                                "seeds": [int(s) for s in seeds],
+                                "delay_high": int(delay_high),
+                            },
+                        )
+                    )
+    report = run_sweep_cells(
+        spec_doc, cells, _run_decentralized_delay_cell, config
+    )
+    usable = report.results()
+    rows: List[DecentralizedDelaySweepRow] = []
+    for cell in cells:
+        payload = usable.get(cell.key)
+        if payload is None:
+            continue
+        rows.extend(
+            DecentralizedDelaySweepRow(**row) for row in payload["rows"]
+        )
+    return rows, report
 
 
 def render_decentralized_delay_report(

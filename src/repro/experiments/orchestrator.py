@@ -1,0 +1,557 @@
+"""Crash-safe, sharded sweep execution: cells, supervision, resume.
+
+Every experiment family decomposes its sweep into *cells* — independent
+units of work (a configuration times a seed chunk) identified by a stable
+string key — and routes them through :func:`run_sweep_cells`:
+
+* **Content-addressed checkpointing.**  The sweep spec is hashed
+  (:func:`~repro.experiments.checkpoint.spec_hash`) and each completed
+  cell's result is atomically written to a
+  :class:`~repro.experiments.checkpoint.CheckpointStore` under
+  ``(spec_hash, cell_key)``.  A re-run of the same spec skips finished
+  cells (``resume=True``, the default); an interrupted sweep — crash,
+  ``kill -9``, ``max_cells`` budget — resumes from the last completed
+  cell, and a *changed* spec hashes differently so it can never collide
+  with stale results.
+
+* **Supervised multi-process sharding.**  ``jobs`` worker processes run
+  cells concurrently, each attempt in its own ``multiprocessing`` child
+  with a per-cell deadline.  A worker that raises a *deterministic* error
+  fails the cell immediately (re-running identical code on identical
+  inputs cannot help); a worker that crashes (killed, segfault), exceeds
+  the ``cell_timeout``, or raises a *transient* error (``MemoryError``,
+  ``OSError``) is retried with exponential backoff plus deterministic
+  jitter, up to ``max_retries`` times.
+
+* **Graceful degradation.**  A cell whose retry budget is exhausted does
+  not abort the sweep: it lands in the report's ``failed_cells`` with its
+  error provenance, every other cell completes, and the caller decides
+  what a partial sweep is worth.
+
+* **Mid-trajectory engine checkpoints.**  Long cells can additionally
+  snapshot their *engine* state every ``checkpoint_every`` rounds through
+  :func:`run_engine_checkpointed` — the resumable
+  ``run(T, start_round=k)`` / ``state_dict`` / ``load_state`` contract of
+  the batched engines guarantees the resumed trajectory is bit-identical
+  to an uninterrupted run (DESIGN.md, "resume ≡ uninterrupted").
+
+Workers must be module-level picklable callables taking one JSON-able
+payload dict and returning a JSON-able result; they re-derive everything
+else (problem instances, topologies) from the payload, so a cell is
+reproducible from its checkpoint key alone.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .checkpoint import CheckpointStore, spec_hash
+
+__all__ = [
+    "TRANSIENT_EXCEPTIONS",
+    "SweepCell",
+    "OrchestratorConfig",
+    "CellOutcome",
+    "SweepReport",
+    "EngineCheckpointer",
+    "run_engine_checkpointed",
+    "run_sweep_cells",
+]
+
+#: Exception types a worker may raise transiently: the same cell can
+#: succeed on retry (freed memory, recovered filesystem).  Everything
+#: else is deterministic — the cell's inputs fully determine the error —
+#: and is failed without retry.
+TRANSIENT_EXCEPTIONS = (MemoryError, OSError)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent unit of sweep work.
+
+    ``key`` is the cell's stable identity inside its sweep (checkpoint
+    addressing, report provenance); ``payload`` is the JSON-able argument
+    the family's worker function receives.
+    """
+
+    key: str
+    payload: Dict[str, object]
+
+
+@dataclass
+class OrchestratorConfig:
+    """Execution policy for :func:`run_sweep_cells`.
+
+    ``jobs=1`` with no ``cell_timeout`` runs cells in the calling process
+    (no supervision overhead); any concurrency or timeout spawns one
+    supervised child process per attempt.  ``max_cells`` bounds how many
+    cells this *invocation* may execute (cached cells are free) — the
+    sweep reports ``interrupted=True`` and the next resumed invocation
+    picks up the remainder, which is also how the CI smoke test kills a
+    sweep "halfway" deterministically.
+    """
+
+    jobs: int = 1
+    checkpoint_dir: Optional[Union[str, Path]] = None
+    resume: bool = True
+    cell_timeout: Optional[float] = None
+    max_retries: int = 2
+    backoff: float = 0.25
+    max_cells: Optional[int] = None
+    checkpoint_every: Optional[int] = None
+
+    def __post_init__(self):
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got jobs={self.jobs!r}")
+        if self.cell_timeout is not None and not self.cell_timeout > 0:
+            raise ValueError(
+                f"cell_timeout must be positive, got "
+                f"cell_timeout={self.cell_timeout!r}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be non-negative, got "
+                f"max_retries={self.max_retries!r}"
+            )
+        if self.backoff < 0:
+            raise ValueError(
+                f"backoff must be non-negative, got backoff={self.backoff!r}"
+            )
+        if self.max_cells is not None and self.max_cells < 0:
+            raise ValueError(
+                f"max_cells must be non-negative, got "
+                f"max_cells={self.max_cells!r}"
+            )
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got "
+                f"checkpoint_every={self.checkpoint_every!r}"
+            )
+
+
+@dataclass
+class CellOutcome:
+    """How one cell ended: completed / cached / failed / skipped."""
+
+    key: str
+    status: str
+    result: Optional[object] = None
+    error: Optional[str] = None
+    attempts: int = 0
+
+
+@dataclass
+class SweepReport:
+    """The orchestrated sweep's provenance: every cell's outcome.
+
+    ``failed_cells`` is the graceful-degradation contract: a sweep with
+    exhausted cells still returns, and the report says exactly which
+    cells are missing and why.
+    """
+
+    spec_hash: str
+    outcomes: List[CellOutcome] = field(default_factory=list)
+    interrupted: bool = False
+
+    def _by_status(self, status: str) -> List[CellOutcome]:
+        return [o for o in self.outcomes if o.status == status]
+
+    @property
+    def completed(self) -> List[CellOutcome]:
+        """Cells executed to completion this invocation."""
+        return self._by_status("completed")
+
+    @property
+    def cached(self) -> List[CellOutcome]:
+        """Cells answered from the checkpoint store."""
+        return self._by_status("cached")
+
+    @property
+    def skipped(self) -> List[CellOutcome]:
+        """Cells not attempted (``max_cells`` budget exhausted)."""
+        return self._by_status("skipped")
+
+    @property
+    def failed_cells(self) -> List[Dict[str, object]]:
+        """Provenance of every exhausted cell: key, error, attempts."""
+        return [
+            {"key": o.key, "error": o.error, "attempts": o.attempts}
+            for o in self.outcomes
+            if o.status == "failed"
+        ]
+
+    def results(self) -> Dict[str, object]:
+        """Usable cell results by key (completed plus cached)."""
+        return {
+            o.key: o.result
+            for o in self.outcomes
+            if o.status in ("completed", "cached")
+        }
+
+
+# -- mid-trajectory engine checkpointing --------------------------------------
+
+
+@dataclass
+class EngineCheckpointer:
+    """Partial-state persistence for one cell's engine run.
+
+    Snapshots live in the same store as completed cells, under the cell's
+    key suffixed ``@partial`` (same atomic write, same corruption
+    tolerance), and are dropped when the cell completes.
+    """
+
+    store: CheckpointStore
+    sweep_hash: str
+    key: str
+
+    @property
+    def partial_key(self) -> str:
+        return f"{self.key}@partial"
+
+    def load(self) -> Optional[Dict[str, object]]:
+        state = self.store.get(self.sweep_hash, self.partial_key)
+        return state if isinstance(state, dict) else None
+
+    def save(self, state: Dict[str, object]) -> None:
+        self.store.put(self.sweep_hash, self.partial_key, state)
+
+    def discard(self) -> None:
+        self.store.discard(self.sweep_hash, self.partial_key)
+
+
+def run_engine_checkpointed(
+    make_engine: Callable[[], object],
+    iterations: int,
+    checkpoint_every: Optional[int] = None,
+    checkpointer: Optional[EngineCheckpointer] = None,
+):
+    """Drive a resumable engine to ``iterations`` with periodic snapshots.
+
+    The engine contract is the batched engines' resume API:
+    ``run(T, start_round=k)`` (absolute horizon, explicit resume point),
+    ``state_dict()`` at chunk boundaries, ``load_state`` onto a fresh
+    instance.  A usable partial snapshot restores the engine and the run
+    continues from its round; a corrupt or incompatible snapshot (code or
+    spec drift) is discarded and the run restarts from round 0.  Either
+    way the result is bit-identical to an uninterrupted
+    ``make_engine().run(iterations)`` — the resumable-engine invariant
+    pinned by ``tests/distsys/test_resumable_engines.py``.
+    """
+    engine = make_engine()
+    if checkpointer is not None:
+        state = checkpointer.load()
+        if state is not None:
+            try:
+                engine.load_state(state)
+            except Exception:
+                checkpointer.discard()
+                engine = make_engine()
+    if engine.iteration >= iterations:
+        # The partial snapshot already covers the horizon; one final chunk
+        # cannot be empty, so rebuild and rerun (cheap, and only reachable
+        # when a spec shrank its horizon under the same key — which a
+        # spec-hash change normally prevents).
+        engine = make_engine()
+    chunk = checkpoint_every or iterations
+    trace = None
+    while engine.iteration < iterations:
+        boundary = min(iterations, engine.iteration + chunk)
+        trace = engine.run(boundary, start_round=engine.iteration)
+        if checkpointer is not None and engine.iteration < iterations:
+            checkpointer.save(engine.state_dict())
+    if checkpointer is not None:
+        checkpointer.discard()
+    return trace
+
+
+# -- supervised execution -----------------------------------------------------
+
+
+def _cell_entry(conn, worker, payload) -> None:
+    """Child-process entry: run the worker, report over the pipe."""
+    try:
+        result = worker(payload)
+    except BaseException as exc:
+        transient = isinstance(exc, TRANSIENT_EXCEPTIONS)
+        message = f"{type(exc).__name__}: {exc}"
+        try:
+            conn.send(("err", transient, message, traceback.format_exc()))
+        finally:
+            conn.close()
+        return
+    try:
+        conn.send(("ok", result))
+    except BaseException as exc:
+        # Unpicklable/oversized result: deterministic — same payload will
+        # fail the same way, so report it as such rather than crashing.
+        conn.send(("err", False, f"result not transmittable: {exc!r}", ""))
+    finally:
+        conn.close()
+
+
+def _retry_delay(key: str, attempt: int, backoff: float) -> float:
+    """Exponential backoff with deterministic jitter in [1.0, 1.25)."""
+    jitter = random.Random(f"{key}#{attempt}").random()
+    return backoff * (2 ** (attempt - 1)) * (1.0 + 0.25 * jitter)
+
+
+@dataclass
+class _Attempt:
+    cell: SweepCell
+    attempt: int
+    eligible_at: float = 0.0
+
+
+def _classify_failure(
+    item: _Attempt,
+    transient: bool,
+    message: str,
+    config: OrchestratorConfig,
+    now: float,
+) -> Tuple[Optional[_Attempt], Optional[CellOutcome]]:
+    """Retry the attempt or fail the cell, per the transience contract."""
+    if transient and item.attempt <= config.max_retries:
+        return (
+            _Attempt(
+                cell=item.cell,
+                attempt=item.attempt + 1,
+                eligible_at=now
+                + _retry_delay(item.cell.key, item.attempt, config.backoff),
+            ),
+            None,
+        )
+    return (
+        None,
+        CellOutcome(
+            key=item.cell.key,
+            status="failed",
+            error=message,
+            attempts=item.attempt,
+        ),
+    )
+
+
+def _run_cells_supervised(
+    queue: List[_Attempt],
+    worker: Callable[[Dict[str, object]], object],
+    config: OrchestratorConfig,
+) -> List[CellOutcome]:
+    """One supervised child process per attempt; jobs-wide concurrency."""
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0]
+    )
+    outcomes: List[CellOutcome] = []
+    running: Dict[str, Tuple[object, object, Optional[float], _Attempt]] = {}
+    pending = list(queue)
+
+    def finish(key: str, outcome: Optional[CellOutcome], retry) -> None:
+        proc, conn, _, _ = running.pop(key)
+        conn.close()
+        proc.join(timeout=5.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join()
+        if outcome is not None:
+            outcomes.append(outcome)
+        if retry is not None:
+            pending.append(retry)
+
+    while pending or running:
+        now = time.monotonic()
+        # Launch every eligible attempt that fits under the jobs cap.
+        launchable = [
+            item
+            for item in pending
+            if item.eligible_at <= now and item.cell.key not in running
+        ]
+        for item in launchable:
+            if len(running) >= config.jobs:
+                break
+            pending.remove(item)
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_cell_entry,
+                args=(child_conn, worker, item.cell.payload),
+            )
+            proc.start()
+            child_conn.close()
+            deadline = (
+                now + config.cell_timeout
+                if config.cell_timeout is not None
+                else None
+            )
+            running[item.cell.key] = (proc, parent_conn, deadline, item)
+
+        progressed = False
+        now = time.monotonic()
+        for key in list(running):
+            proc, conn, deadline, item = running[key]
+            message = None
+            try:
+                if conn.poll():
+                    message = conn.recv()
+            except (EOFError, OSError):
+                message = None  # writer died mid-send: treat as crash
+                if proc.is_alive():
+                    proc.join(timeout=5.0)
+            if message is not None:
+                progressed = True
+                if message[0] == "ok":
+                    finish(
+                        key,
+                        CellOutcome(
+                            key=key,
+                            status="completed",
+                            result=message[1],
+                            attempts=item.attempt,
+                        ),
+                        None,
+                    )
+                else:
+                    _, transient, text, _ = message
+                    retry, outcome = _classify_failure(
+                        item, transient, text, config, now
+                    )
+                    finish(key, outcome, retry)
+            elif not proc.is_alive():
+                progressed = True
+                retry, outcome = _classify_failure(
+                    item,
+                    True,  # a crash is environmental until retries exhaust
+                    f"worker crashed (exit code {proc.exitcode})",
+                    config,
+                    now,
+                )
+                finish(key, outcome, retry)
+            elif deadline is not None and now > deadline:
+                progressed = True
+                proc.kill()
+                proc.join()
+                retry, outcome = _classify_failure(
+                    item,
+                    True,
+                    f"cell timed out after {config.cell_timeout:g}s",
+                    config,
+                    now,
+                )
+                finish(key, outcome, retry)
+        if not progressed:
+            time.sleep(0.01)
+    return outcomes
+
+
+def _run_cells_in_process(
+    queue: List[_Attempt],
+    worker: Callable[[Dict[str, object]], object],
+    config: OrchestratorConfig,
+) -> List[CellOutcome]:
+    """The unsupervised fast path: jobs=1, no timeout, same semantics."""
+    outcomes: List[CellOutcome] = []
+    for item in queue:
+        attempt = item.attempt
+        while True:
+            try:
+                result = worker(item.cell.payload)
+            except Exception as exc:
+                transient = isinstance(exc, TRANSIENT_EXCEPTIONS)
+                if transient and attempt <= config.max_retries:
+                    time.sleep(
+                        _retry_delay(item.cell.key, attempt, config.backoff)
+                    )
+                    attempt += 1
+                    continue
+                outcomes.append(
+                    CellOutcome(
+                        key=item.cell.key,
+                        status="failed",
+                        error=f"{type(exc).__name__}: {exc}",
+                        attempts=attempt,
+                    )
+                )
+                break
+            outcomes.append(
+                CellOutcome(
+                    key=item.cell.key,
+                    status="completed",
+                    result=result,
+                    attempts=attempt,
+                )
+            )
+            break
+    return outcomes
+
+
+def run_sweep_cells(
+    spec: Dict[str, object],
+    cells: Sequence[SweepCell],
+    worker: Callable[[Dict[str, object]], object],
+    config: Optional[OrchestratorConfig] = None,
+) -> SweepReport:
+    """Execute a sweep's cells crash-safely; returns the full report.
+
+    ``spec`` is the sweep's canonical description — everything that shapes
+    the results — hashed into the checkpoint address space.  ``cells``
+    must carry unique keys; results are reported in cell order regardless
+    of completion order.  ``worker`` must be a module-level picklable
+    callable (it runs in child processes whenever supervision is on).
+    """
+    config = config or OrchestratorConfig()
+    sweep_hash = spec_hash(spec)
+    seen = set()
+    for cell in cells:
+        if cell.key in seen:
+            raise ValueError(f"duplicate cell key: {cell.key!r}")
+        seen.add(cell.key)
+
+    store = (
+        CheckpointStore(config.checkpoint_dir)
+        if config.checkpoint_dir is not None
+        else None
+    )
+    by_key: Dict[str, CellOutcome] = {}
+    to_run: List[SweepCell] = []
+    for cell in cells:
+        cached = (
+            store.get(sweep_hash, cell.key)
+            if (store is not None and config.resume)
+            else None
+        )
+        if cached is not None:
+            by_key[cell.key] = CellOutcome(
+                key=cell.key, status="cached", result=cached
+            )
+        else:
+            to_run.append(cell)
+
+    interrupted = False
+    if config.max_cells is not None and len(to_run) > config.max_cells:
+        for cell in to_run[config.max_cells:]:
+            by_key[cell.key] = CellOutcome(key=cell.key, status="skipped")
+        to_run = to_run[: config.max_cells]
+        interrupted = True
+
+    queue = [_Attempt(cell=cell, attempt=1) for cell in to_run]
+    supervised = config.jobs > 1 or config.cell_timeout is not None
+    executed = (
+        _run_cells_supervised(queue, worker, config)
+        if supervised
+        else _run_cells_in_process(queue, worker, config)
+    )
+    for outcome in executed:
+        if outcome.status == "completed" and store is not None:
+            store.put(sweep_hash, outcome.key, outcome.result)
+        by_key[outcome.key] = outcome
+
+    return SweepReport(
+        spec_hash=sweep_hash,
+        outcomes=[by_key[cell.key] for cell in cells],
+        interrupted=interrupted,
+    )

@@ -21,7 +21,7 @@ Two execution paths coexist:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -30,12 +30,21 @@ from ..aggregators.mean import MeanAggregator
 from ..aggregators.registry import make_aggregator
 from ..attacks.base import ByzantineAttack
 from ..attacks.registry import make_attack
-from ..distsys.batch import BatchTrial, run_dgd_batch
+from ..distsys.batch import BatchSimulator, BatchTrial, run_dgd_batch
 from ..distsys.simulator import run_dgd
 from ..distsys.trace import ExecutionTrace
 from ..functions.batched import stack_costs
 from ..optim.schedules import StepSchedule
-from .paper_regression import PaperProblem
+from .checkpoint import CheckpointStore, spec_hash
+from .orchestrator import (
+    EngineCheckpointer,
+    OrchestratorConfig,
+    SweepCell,
+    SweepReport,
+    run_engine_checkpointed,
+    run_sweep_cells,
+)
+from .paper_regression import PaperProblem, paper_problem
 
 __all__ = [
     "RegressionRunResult",
@@ -44,6 +53,7 @@ __all__ = [
     "SweepSpec",
     "SweepRunResult",
     "run_regression_sweep",
+    "orchestrated_regression_sweep",
     "run_fault_free_batch",
 ]
 
@@ -166,65 +176,52 @@ class SweepRunResult:
         )
 
 
-def run_regression_sweep(
-    problem: PaperProblem,
-    specs: Sequence[SweepSpec],
-    iterations: int = 500,
-    record_gradients: bool = False,
-) -> List[SweepRunResult]:
-    """Run every sweep cell in lockstep through the batch engine.
-
-    All specs share the problem's costs, constraint and (unless overridden
-    per spec) schedule; aggregator/attack registry names are resolved here
-    so equal-config cells share vectorized kernels.  Results arrive in spec
-    order.
-    """
-    trials: List[BatchTrial] = []
-    names: List[tuple] = []
-    for spec in specs:
-        if isinstance(spec.aggregator, str):
-            agg_name = spec.aggregator
-            aggregator = make_aggregator(spec.aggregator, problem.n, problem.f)
-        else:
-            agg_name = spec.aggregator.name
-            aggregator = spec.aggregator
-        attack_name: Optional[str] = None
-        attack = spec.attack
-        if isinstance(attack, str):
-            attack_name = attack
-            attack = make_attack(attack)
-        elif attack is not None:
-            attack_name = attack.name
-        faulty = tuple(problem.faulty_ids) if attack is not None else ()
-        label = spec.label or f"{agg_name}/{attack_name or 'honest'}"
-        trials.append(
-            BatchTrial(
-                aggregator=aggregator,
-                attack=attack,
-                faulty_ids=faulty,
-                seed=spec.seed,
-                schedule=spec.schedule,
-                label=label,
-            )
-        )
-        names.append((label, agg_name, attack_name))
-
-    stack = stack_costs(problem.costs)
-    trace = run_dgd_batch(
-        costs=stack,
-        trials=trials,
-        constraint=problem.constraint,
-        schedule=problem.schedule,
-        initial_estimate=problem.initial_estimate,
-        iterations=iterations,
-        record_gradients=record_gradients,
+def _resolve_spec(
+    problem: PaperProblem, spec: SweepSpec
+) -> Tuple[BatchTrial, Tuple[str, str, Optional[str]]]:
+    """One spec → (engine trial, (label, aggregator name, attack name))."""
+    if isinstance(spec.aggregator, str):
+        agg_name = spec.aggregator
+        aggregator = make_aggregator(spec.aggregator, problem.n, problem.f)
+    else:
+        agg_name = spec.aggregator.name
+        aggregator = spec.aggregator
+    attack_name: Optional[str] = None
+    attack = spec.attack
+    if isinstance(attack, str):
+        attack_name = attack
+        attack = make_attack(attack)
+    elif attack is not None:
+        attack_name = attack.name
+    faulty = tuple(problem.faulty_ids) if attack is not None else ()
+    label = spec.label or f"{agg_name}/{attack_name or 'honest'}"
+    trial = BatchTrial(
+        aggregator=aggregator,
+        attack=attack,
+        faulty_ids=faulty,
+        seed=spec.seed,
+        schedule=spec.schedule,
+        label=label,
     )
+    return trial, (label, agg_name, attack_name)
+
+
+def _results_from_batch_trace(
+    problem: PaperProblem,
+    stack,
+    trace,
+    names: Sequence[Tuple[str, str, Optional[str]]],
+    specs: Sequence[SweepSpec],
+) -> List[SweepRunResult]:
+    """Fold a batch trace into per-spec results, in spec order."""
     honest = list(problem.honest_ids)
     losses = trace.losses(lambda pts: stack.values(pts)[:, honest].sum(axis=1))
     distances = trace.distances_to(problem.x_h)
     outputs = trace.final_estimates
     results: List[SweepRunResult] = []
-    for s, ((label, agg_name, attack_name), spec) in enumerate(zip(names, specs)):
+    for s, ((label, agg_name, attack_name), spec) in enumerate(
+        zip(names, specs)
+    ):
         results.append(
             SweepRunResult(
                 label=label,
@@ -240,6 +237,188 @@ def run_regression_sweep(
             )
         )
     return results
+
+
+def run_regression_sweep(
+    problem: PaperProblem,
+    specs: Sequence[SweepSpec],
+    iterations: int = 500,
+    record_gradients: bool = False,
+) -> List[SweepRunResult]:
+    """Run every sweep cell in lockstep through the batch engine.
+
+    All specs share the problem's costs, constraint and (unless overridden
+    per spec) schedule; aggregator/attack registry names are resolved here
+    so equal-config cells share vectorized kernels.  Results arrive in spec
+    order.
+    """
+    trials: List[BatchTrial] = []
+    names: List[Tuple[str, str, Optional[str]]] = []
+    for spec in specs:
+        trial, name = _resolve_spec(problem, spec)
+        trials.append(trial)
+        names.append(name)
+
+    stack = stack_costs(problem.costs)
+    trace = run_dgd_batch(
+        costs=stack,
+        trials=trials,
+        constraint=problem.constraint,
+        schedule=problem.schedule,
+        initial_estimate=problem.initial_estimate,
+        iterations=iterations,
+        record_gradients=record_gradients,
+    )
+    return _results_from_batch_trace(problem, stack, trace, names, specs)
+
+
+def _run_regression_cell(payload: Dict[str, object]) -> Dict[str, object]:
+    """Orchestrator worker: one sweep spec, run standalone in a child.
+
+    Rebuilds the paper problem in-process (cells are addressed by their
+    JSON payload alone), drives the batch engine — through
+    :func:`~repro.experiments.orchestrator.run_engine_checkpointed` when
+    the payload carries a mid-trajectory checkpoint contract — and
+    returns the result as JSON-able lists.
+    """
+    problem = paper_problem()
+    spec = SweepSpec(
+        aggregator=str(payload["aggregator"]),
+        attack=payload["attack"],
+        seed=int(payload["seed"]),
+        label=payload.get("label"),
+    )
+    stack = stack_costs(problem.costs)
+    trial, name = _resolve_spec(problem, spec)
+
+    def make_engine() -> BatchSimulator:
+        return BatchSimulator(
+            costs=stack,
+            trials=[trial],
+            constraint=problem.constraint,
+            schedule=problem.schedule,
+            initial_estimate=problem.initial_estimate,
+        )
+
+    iterations = int(payload["iterations"])
+    checkpoint = payload.get("checkpoint")
+    if checkpoint:
+        trace = run_engine_checkpointed(
+            make_engine,
+            iterations,
+            checkpoint_every=int(checkpoint["every"]),
+            checkpointer=EngineCheckpointer(
+                store=CheckpointStore(checkpoint["dir"]),
+                sweep_hash=str(checkpoint["spec_hash"]),
+                key=str(checkpoint["key"]),
+            ),
+        )
+    else:
+        trace = make_engine().run(iterations)
+    result = _results_from_batch_trace(problem, stack, trace, [name], [spec])[0]
+    return {
+        "label": result.label,
+        "aggregator": result.aggregator,
+        "attack": result.attack,
+        "seed": result.seed,
+        "output": result.output.tolist(),
+        "distance": result.distance,
+        "final_loss": result.final_loss,
+        "losses": result.losses.tolist(),
+        "distances": result.distances.tolist(),
+        "estimates": result.estimates.tolist(),
+    }
+
+
+def orchestrated_regression_sweep(
+    specs: Sequence[SweepSpec],
+    iterations: int = 500,
+    config: Optional[OrchestratorConfig] = None,
+) -> Tuple[List[SweepRunResult], SweepReport]:
+    """Run a regression sweep cell-per-spec through the orchestrator.
+
+    Each spec becomes one crash-safe cell (checkpointed, retried,
+    shardable across processes); workers rebuild the default paper
+    problem from the JSON payload, so specs must be registry-name based
+    (string aggregator/attack, no schedule override).  Returns the
+    results of every usable cell in spec order plus the
+    :class:`~repro.experiments.orchestrator.SweepReport` — failed cells
+    are *absent* from the results and present in
+    ``report.failed_cells``.
+    """
+    for spec in specs:
+        if not isinstance(spec.aggregator, str):
+            raise ValueError(
+                "orchestrated sweeps rebuild cells from JSON payloads: "
+                f"pass the aggregator by registry name, got "
+                f"{spec.aggregator!r}"
+            )
+        if spec.attack is not None and not isinstance(spec.attack, str):
+            raise ValueError(
+                "orchestrated sweeps rebuild cells from JSON payloads: "
+                f"pass the attack by registry name, got {spec.attack!r}"
+            )
+        if spec.schedule is not None:
+            raise ValueError(
+                "orchestrated sweeps rebuild cells from JSON payloads: "
+                "per-spec schedule overrides are not serializable"
+            )
+    config = config or OrchestratorConfig()
+    spec_doc = {
+        "family": "regression",
+        "iterations": int(iterations),
+        "specs": [
+            [s.aggregator, s.attack, int(s.seed), s.label] for s in specs
+        ],
+    }
+    sweep_hash = spec_hash(spec_doc)
+    cells: List[SweepCell] = []
+    for spec in specs:
+        key = (
+            f"{spec.aggregator}/{spec.attack or 'honest'}/s{int(spec.seed)}"
+        )
+        if spec.label:
+            key = f"{key}/{spec.label}"
+        payload: Dict[str, object] = {
+            "aggregator": spec.aggregator,
+            "attack": spec.attack,
+            "seed": int(spec.seed),
+            "label": spec.label,
+            "iterations": int(iterations),
+        }
+        if (
+            config.checkpoint_dir is not None
+            and config.checkpoint_every is not None
+        ):
+            payload["checkpoint"] = {
+                "dir": str(config.checkpoint_dir),
+                "spec_hash": sweep_hash,
+                "key": key,
+                "every": int(config.checkpoint_every),
+            }
+        cells.append(SweepCell(key=key, payload=payload))
+    report = run_sweep_cells(spec_doc, cells, _run_regression_cell, config)
+    usable = report.results()
+    results: List[SweepRunResult] = []
+    for cell in cells:
+        payload = usable.get(cell.key)
+        if payload is None:
+            continue
+        results.append(
+            SweepRunResult(
+                label=str(payload["label"]),
+                aggregator=str(payload["aggregator"]),
+                attack=payload["attack"],
+                seed=int(payload["seed"]),
+                output=np.asarray(payload["output"], dtype=float),
+                distance=float(payload["distance"]),
+                final_loss=float(payload["final_loss"]),
+                losses=np.asarray(payload["losses"], dtype=float),
+                distances=np.asarray(payload["distances"], dtype=float),
+                estimates=np.asarray(payload["estimates"], dtype=float),
+            )
+        )
+    return results, report
 
 
 def run_fault_free_batch(

@@ -12,11 +12,29 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from .orchestrator import OrchestratorConfig, SweepReport
 from .paper_regression import PaperProblem, paper_problem
 from .reporting import format_table
-from .runner import SweepSpec, run_regression_sweep
+from .runner import (
+    SweepSpec,
+    orchestrated_regression_sweep,
+    run_regression_sweep,
+)
 
-__all__ = ["Table1Row", "generate_table1", "render_table1", "PAPER_TABLE1"]
+__all__ = [
+    "Table1Row",
+    "generate_table1",
+    "orchestrated_table1",
+    "render_table1",
+    "PAPER_TABLE1",
+]
+
+#: Table 1's (filter, fault behaviour) grid, in paper order.
+TABLE1_COMBOS = tuple(
+    (aggregator, attack)
+    for aggregator in ("cge", "cwtm")
+    for attack in ("gradient_reverse", "random")
+)
 
 #: The paper's reported distances, for side-by-side comparison in reports.
 PAPER_TABLE1: Dict[Tuple[str, str], float] = {
@@ -46,29 +64,56 @@ def generate_table1(
 ) -> List[Table1Row]:
     """Run the four executions of Table 1 as one lockstep batch."""
     problem = problem or paper_problem()
-    combos = [
-        (aggregator, attack)
-        for aggregator in ("cge", "cwtm")
-        for attack in ("gradient_reverse", "random")
-    ]
     results = run_regression_sweep(
         problem,
-        [SweepSpec(aggregator=a, attack=b, seed=seed) for a, b in combos],
+        [
+            SweepSpec(aggregator=a, attack=b, seed=seed)
+            for a, b in TABLE1_COMBOS
+        ],
         iterations=iterations,
     )
+    return _rows_from_results(problem, results)
+
+
+def _rows_from_results(problem: PaperProblem, results) -> List[Table1Row]:
     rows: List[Table1Row] = []
-    for (aggregator, attack), result in zip(combos, results):
+    for result in results:
         rows.append(
             Table1Row(
-                aggregator=aggregator,
-                attack=attack,
+                aggregator=result.aggregator,
+                attack=result.attack,
                 output=result.output,
                 distance=result.distance,
-                paper_distance=PAPER_TABLE1[(aggregator, attack)],
+                paper_distance=PAPER_TABLE1[(result.aggregator, result.attack)],
                 within_epsilon=result.distance < problem.epsilon,
             )
         )
     return rows
+
+
+def orchestrated_table1(
+    iterations: int = 500,
+    seed: int = 0,
+    config: OrchestratorConfig = None,
+) -> Tuple[List[Table1Row], SweepReport]:
+    """Table 1 through the crash-safe orchestrator, one cell per combo.
+
+    Cells checkpoint, resume and shard per
+    :class:`~repro.experiments.orchestrator.OrchestratorConfig`; rows of
+    failed cells are absent (see ``report.failed_cells``).  Workers
+    rebuild the default paper problem, so there is no ``problem``
+    parameter.
+    """
+    problem = paper_problem()
+    results, report = orchestrated_regression_sweep(
+        [
+            SweepSpec(aggregator=a, attack=b, seed=seed)
+            for a, b in TABLE1_COMBOS
+        ],
+        iterations=iterations,
+        config=config,
+    )
+    return _rows_from_results(problem, results), report
 
 
 def render_table1(rows: List[Table1Row], epsilon: float) -> str:

@@ -393,7 +393,10 @@ class TestValidation:
                 paper, [AsyncBatchTrial(aggregator="cge", faulty_ids=(0,))]
             )
 
-    def test_engine_is_one_shot(self, paper):
+    def test_rerun_requires_explicit_resume(self, paper):
+        # Re-running without declaring the resume point would silently
+        # reinterpret the horizon; the engine demands an explicit
+        # start_round matching where it stopped.
         simulator = BatchAsynchronousSimulator(
             costs=paper.costs,
             trials=[AsyncBatchTrial(aggregator="cge")],
@@ -401,8 +404,12 @@ class TestValidation:
             initial_estimate=paper.initial_estimate,
         )
         simulator.run(5)
-        with pytest.raises(RuntimeError, match="one-shot"):
+        with pytest.raises(ValueError, match="start_round"):
             simulator.run(5)
+        with pytest.raises(ValueError, match="absolute horizon"):
+            simulator.run(5, start_round=5)
+        trace = simulator.run(10, start_round=5)
+        assert trace.iterations == 10
 
     def test_step_without_run_rejected(self, paper):
         simulator = BatchAsynchronousSimulator(

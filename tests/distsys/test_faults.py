@@ -14,6 +14,7 @@ from repro.distsys.faults import (
     Stragglers,
     fixed_delay,
     geometric_delay,
+    network_streams,
     sample_network_run,
     uniform_delay,
 )
@@ -404,3 +405,106 @@ class TestFaultSchedule:
     def test_invalid_events(self, build):
         with pytest.raises(ValueError):
             build()
+
+
+class TestConstructionValidation:
+    """Bad parameters fail loudly at construction, naming the argument.
+
+    The orchestrated sweeps build conditions in worker processes from JSON
+    payloads; a silently-accepted bad rate would surface hundreds of
+    rounds later as NaN radii.  Each message must name the offending
+    argument so the payload bug is findable from the cell's error string.
+    """
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5, float("nan")])
+    def test_iid_drop_rate_range(self, rate):
+        with pytest.raises(ValueError, match=r"rate="):
+            IIDDrop(rate)
+
+    @pytest.mark.parametrize(
+        "kwargs,name",
+        [
+            (dict(enter=-0.2, exit=0.5, rate_in_burst=1.0), "enter"),
+            (dict(enter=0.2, exit=1.5, rate_in_burst=1.0), "exit"),
+            (dict(enter=0.2, exit=0.5, rate_in_burst=2.0), "rate_in_burst"),
+        ],
+    )
+    def test_bursty_drop_probabilities(self, kwargs, name):
+        with pytest.raises(ValueError, match=f"{name}="):
+            BurstyDrop(**kwargs)
+
+    def test_stragglers_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            Stragglers({})
+
+    @pytest.mark.parametrize("factor", [0.5, 0.0, -1.0, float("nan")])
+    def test_stragglers_slowdown_below_one(self, factor):
+        with pytest.raises(ValueError, match=r"slowdown\[2\]="):
+            Stragglers({2: factor})
+
+    @pytest.mark.parametrize(
+        "build,name",
+        [
+            (lambda: fixed_delay(-1), "rounds="),
+            (lambda: uniform_delay(-1, 4), "low="),
+            (lambda: uniform_delay(3, 1), "high="),
+            (lambda: geometric_delay(0.0), "p="),
+            (lambda: geometric_delay(0.5, cap=-1), "cap="),
+        ],
+    )
+    def test_delay_samplers_name_the_argument(self, build, name):
+        with pytest.raises(ValueError, match=name):
+            build()
+
+    def test_agent_subset_out_of_range(self):
+        condition = IIDDrop(0.5, agents=[1, 9])
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="outside range"):
+            condition.begin_run(N, rng)
+
+
+class TestNetworkStreams:
+    def test_one_stream_per_condition(self):
+        streams = network_streams(seed=3, count=4)
+        assert len(streams) == 4
+        draws = [s.random() for s in streams]
+        assert len(set(draws)) == 4  # independent streams
+        again = [s.random() for s in network_streams(seed=3, count=4)]
+        assert draws == again  # and deterministic in (seed, index)
+
+    def test_sample_run_rejects_stream_count_mismatch(self):
+        conditions = [IIDDrop(0.2), IIDDrop(0.3)]
+        with pytest.raises(ValueError, match="2 conditions"):
+            sample_network_run(conditions, network_streams(0, 3), N, 5)
+
+    def test_chunked_sampling_matches_one_shot_per_condition(self):
+        """The chunk-invariance contract behind resumable pre-sampling."""
+        conditions = [
+            LinkDelay(uniform_delay(0, 2)),
+            IIDDrop(0.3),
+            BurstyDrop(enter=0.2, exit=0.5, rate_in_burst=0.9),
+        ]
+        rounds, n = 12, N
+
+        def fresh(c):
+            streams = network_streams(seed=5, count=len(c))
+            for condition, stream in zip(c, streams):
+                condition.begin_run(n, stream)
+            return streams
+
+        streams = fresh(conditions)
+        one_delays, one_dropped = sample_network_run(
+            conditions, streams, n, rounds
+        )
+
+        streams = fresh(conditions)
+        head = sample_network_run(conditions, streams, n, 5)
+        tail = sample_network_run(
+            conditions, streams, n, rounds - 5, start=5
+        )
+        np.testing.assert_array_equal(
+            one_delays, np.concatenate([head[0], tail[0]])
+        )
+        np.testing.assert_array_equal(
+            one_dropped, np.concatenate([head[1], tail[1]])
+        )

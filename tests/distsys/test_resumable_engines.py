@@ -1,0 +1,159 @@
+"""Resumable batched engines: resume ≡ uninterrupted, bit for bit.
+
+The checkpoint/restart contract every orchestrated sweep leans on
+(DESIGN.md, "resume ≡ uninterrupted"): driving an engine to its horizon
+in chunks via ``run(T, start_round=k)`` — with or without a JSON
+``state_dict`` round trip onto a *fresh* instance between chunks — must
+reproduce the uninterrupted ``run(T)`` trajectory exactly.  The streams
+are pre-sampled from per-trial tagged generators, so equality here is
+``==``-level (0.0), not a tolerance.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.aggregators.registry import make_aggregator
+from repro.attacks.registry import make_attack
+from repro.distsys import (
+    AsyncBatchTrial,
+    BatchAsynchronousSimulator,
+    BatchSimulator,
+    BatchTrial,
+    BurstyDrop,
+    IIDDrop,
+    LinkDelay,
+    Stragglers,
+    uniform_delay,
+)
+from repro.functions.batched import stack_costs
+
+ITERATIONS = 30
+
+
+def sync_engine(paper, seeds=(0, 1)):
+    return BatchSimulator(
+        costs=stack_costs(paper.costs),
+        trials=[
+            BatchTrial(
+                aggregator=make_aggregator("cge", len(paper.costs), paper.f),
+                attack=make_attack("gradient_reverse"),
+                faulty_ids=tuple(paper.faulty_ids),
+                seed=seed,
+            )
+            for seed in seeds
+        ],
+        constraint=paper.constraint,
+        schedule=paper.schedule,
+        initial_estimate=paper.initial_estimate,
+    )
+
+
+def async_engine(paper, seeds=(0, 1)):
+    """Every stochastic condition type at once: the hardest resume case."""
+    conditions = (
+        LinkDelay(uniform_delay(0, 2)),
+        IIDDrop(0.2),
+        BurstyDrop(enter=0.2, exit=0.5, rate_in_burst=0.9),
+        Stragglers({2: 2.0}),
+    )
+    return BatchAsynchronousSimulator(
+        costs=stack_costs(paper.costs),
+        trials=[
+            AsyncBatchTrial(
+                aggregator="cge",
+                attack=make_attack("gradient_reverse"),
+                faulty_ids=tuple(paper.faulty_ids),
+                conditions=conditions,
+                staleness_bound=2,
+                missing_policy="shrink",
+                seed=seed,
+            )
+            for seed in seeds
+        ],
+        constraint=paper.constraint,
+        schedule=paper.schedule,
+        initial_estimate=paper.initial_estimate,
+    )
+
+
+ENGINES = [sync_engine, async_engine]
+
+
+def chunked_estimates(make, paper, boundaries, through_json=False):
+    """Drive a fresh engine across ``boundaries``, optionally serializing
+    state to JSON and reloading onto a brand-new instance between chunks
+    (the cross-process resume path)."""
+    engine = make(paper)
+    trace = None
+    for boundary in boundaries:
+        trace = engine.run(boundary, start_round=engine.iteration)
+        if through_json and boundary != boundaries[-1]:
+            state = json.loads(json.dumps(engine.state_dict()))
+            engine = make(paper)
+            engine.load_state(state)
+    return trace.estimates
+
+
+class TestResumeEqualsUninterrupted:
+    @pytest.mark.parametrize("make", ENGINES)
+    @pytest.mark.parametrize(
+        "boundaries",
+        [(7, ITERATIONS), (1, 2, ITERATIONS), (10, 20, ITERATIONS)],
+    )
+    def test_chunked_run_is_bit_identical(self, paper, make, boundaries):
+        one_shot = make(paper).run(ITERATIONS).estimates
+        chunked = chunked_estimates(make, paper, boundaries)
+        assert np.array_equal(one_shot, chunked)
+
+    @pytest.mark.parametrize("make", ENGINES)
+    def test_json_state_round_trip_is_bit_identical(self, paper, make):
+        one_shot = make(paper).run(ITERATIONS).estimates
+        resumed = chunked_estimates(
+            make, paper, (11, ITERATIONS), through_json=True
+        )
+        assert np.array_equal(one_shot, resumed)
+
+    @pytest.mark.parametrize("make", ENGINES)
+    def test_trace_spans_full_horizon_after_resume(self, paper, make):
+        engine = make(paper)
+        engine.run(9, start_round=0)
+        trace = engine.run(ITERATIONS, start_round=engine.iteration)
+        # T+1 snapshots: the initial estimate plus one per round.
+        assert trace.estimates.shape[0] == ITERATIONS + 1
+
+
+class TestResumeValidation:
+    @pytest.mark.parametrize("make", ENGINES)
+    def test_start_round_must_match_engine_position(self, paper, make):
+        engine = make(paper)
+        engine.run(5, start_round=0)
+        with pytest.raises(ValueError, match="start_round"):
+            engine.run(ITERATIONS, start_round=3)
+
+    @pytest.mark.parametrize("make", ENGINES)
+    def test_horizon_must_exceed_start(self, paper, make):
+        engine = make(paper)
+        engine.run(10, start_round=0)
+        with pytest.raises(ValueError, match="start_round"):
+            engine.run(10, start_round=10)
+
+    @pytest.mark.parametrize("make", ENGINES)
+    def test_state_schema_is_checked(self, paper, make):
+        engine = make(paper)
+        engine.run(5, start_round=0)
+        state = engine.state_dict()
+        state["schema"] = "repro/other/v0"
+        fresh = make(paper)
+        with pytest.raises(ValueError, match="schema"):
+            fresh.load_state(state)
+
+    @pytest.mark.parametrize("make", ENGINES)
+    def test_state_trial_count_is_checked(self, paper, make):
+        engine = make(paper)
+        engine.run(5, start_round=0)
+        state = engine.state_dict()
+        fresh = make(paper, seeds=(0,))
+        with pytest.raises(ValueError):
+            fresh.load_state(state)

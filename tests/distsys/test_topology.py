@@ -169,3 +169,32 @@ class TestRegistry:
             make_topology("torus", 12, hops=2)  # wrong family
         with pytest.raises(TypeError, match="does not accept"):
             make_topology("random_regular", 10, degre=5)
+
+
+class TestConnectedComponents:
+    def test_connected_graph_is_one_component(self):
+        topology = make_topology("ring", 8)
+        assert topology.connected_components() == [tuple(range(8))]
+
+    def test_split_graph_enumerates_stably(self):
+        # Two cliques {0,2,4} and {1,3,5}: components sort by smallest
+        # member, members ascending.
+        n = 6
+        adjacency = np.zeros((n, n), dtype=bool)
+        for i in range(n):
+            for j in range(n):
+                if i != j and i % 2 == j % 2:
+                    adjacency[i, j] = True
+        topology = CommunicationTopology("parity", adjacency)
+        assert topology.connected_components() == [(0, 2, 4), (1, 3, 5)]
+
+    def test_directed_bridge_merges_weakly(self):
+        # A single one-way edge joins the halves: weak connectivity is the
+        # right notion, so this is ONE component.
+        n = 4
+        adjacency = np.zeros((n, n), dtype=bool)
+        adjacency[0, 1] = adjacency[1, 0] = True
+        adjacency[2, 3] = adjacency[3, 2] = True
+        adjacency[1, 2] = True
+        topology = CommunicationTopology("bridged", adjacency)
+        assert topology.connected_components() == [(0, 1, 2, 3)]

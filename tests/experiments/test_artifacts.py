@@ -63,3 +63,61 @@ class TestArtifacts:
             {"loss": back.losses, "distance": back.distances}, stride=10
         )
         assert "loss" in text and "distance" in text
+
+
+class TestSweepReportArtifacts:
+    def report(self):
+        from repro.experiments.orchestrator import CellOutcome, SweepReport
+
+        return SweepReport(
+            spec_hash="a" * 64,
+            interrupted=True,
+            outcomes=[
+                CellOutcome(
+                    key="ok", status="completed",
+                    result={"rows": [1, 2]}, attempts=1,
+                ),
+                CellOutcome(key="hit", status="cached", result={"rows": []}),
+                CellOutcome(
+                    key="broken", status="failed",
+                    error="ValueError: bad cell", attempts=3,
+                ),
+                CellOutcome(key="later", status="skipped"),
+            ],
+        )
+
+    def test_roundtrip_keeps_provenance_drops_results(self, tmp_path):
+        from repro.experiments.artifacts import (
+            load_sweep_report,
+            save_sweep_report,
+        )
+
+        path = save_sweep_report(self.report(), tmp_path / "report.json")
+        loaded = load_sweep_report(path)
+        assert loaded.spec_hash == "a" * 64
+        assert loaded.interrupted
+        assert [o.status for o in loaded.outcomes] == [
+            "completed", "cached", "failed", "skipped",
+        ]
+        assert loaded.failed_cells == self.report().failed_cells
+        assert loaded.outcomes[0].result is None  # results elided by default
+
+    def test_include_results_inlines_cell_payloads(self, tmp_path):
+        from repro.experiments.artifacts import (
+            load_sweep_report,
+            save_sweep_report,
+        )
+
+        path = save_sweep_report(
+            self.report(), tmp_path / "full.json", include_results=True
+        )
+        loaded = load_sweep_report(path)
+        assert loaded.outcomes[0].result == {"rows": [1, 2]}
+
+    def test_schema_guard(self, tmp_path):
+        from repro.experiments.artifacts import load_sweep_report
+
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"schema": "repro/regression-run/v1"}')
+        with pytest.raises(ValueError, match="artifact schema"):
+            load_sweep_report(bogus)

@@ -69,3 +69,65 @@ class TestReport:
 
     def test_rows_are_dataclasses(self, rows):
         assert isinstance(rows[0], AsynchronousSweepRow)
+
+
+class TestOrchestratedSweep:
+    """The orchestrated path pins row-for-row to the direct sweep."""
+
+    def test_rows_match_direct_sweep_across_seed_chunks(
+        self, rows, tmp_path
+    ):
+        from repro.experiments.asynchronous import (
+            orchestrated_asynchronous_sweep,
+        )
+        from repro.experiments.orchestrator import OrchestratorConfig
+
+        orchestrated, report = orchestrated_asynchronous_sweep(
+            staleness_bounds=(0, 2),
+            drop_rates=(0.0, 0.3),
+            aggregators=("cge", "cwtm"),
+            iterations=80,
+            seeds=(0, 1),
+            seed_chunk=1,  # two resumable cells per configuration
+            config=OrchestratorConfig(checkpoint_dir=tmp_path),
+        )
+        assert len(report.outcomes) == 2 * 2 * 2 * 2
+        assert not report.failed_cells
+        # Chunk merging reassociates the seed means, so float fields are
+        # compared at the documented 1e-9 resume tolerance rather than
+        # bit-exactly; the integer diagnostics must still match exactly.
+        assert len(orchestrated) == len(rows)
+        for got, want in zip(orchestrated, rows):
+            assert (got.staleness_bound, got.drop_rate, got.aggregator,
+                    got.policy, got.attack, got.seeds, got.stalled) == (
+                want.staleness_bound, want.drop_rate, want.aggregator,
+                want.policy, want.attack, want.seeds, want.stalled)
+            for field in ("mean_radius", "worst_radius", "missing_rate",
+                          "mean_staleness"):
+                assert getattr(got, field) == pytest.approx(
+                    getattr(want, field), rel=1e-9, abs=1e-12, nan_ok=True
+                ), field
+
+    def test_killed_and_resumed_equals_uninterrupted(self, rows, tmp_path):
+        from repro.experiments.asynchronous import (
+            orchestrated_asynchronous_sweep,
+        )
+        from repro.experiments.orchestrator import OrchestratorConfig
+
+        kwargs = dict(
+            staleness_bounds=(0, 2),
+            drop_rates=(0.0, 0.3),
+            aggregators=("cge", "cwtm"),
+            iterations=80,
+            seeds=(0, 1),
+        )
+        _, first = orchestrated_asynchronous_sweep(
+            **kwargs,
+            config=OrchestratorConfig(checkpoint_dir=tmp_path, max_cells=3),
+        )
+        assert first.interrupted and len(first.skipped) == 5
+        resumed, second = orchestrated_asynchronous_sweep(
+            **kwargs, config=OrchestratorConfig(checkpoint_dir=tmp_path)
+        )
+        assert len(second.cached) == 3 and len(second.completed) == 5
+        assert resumed == rows

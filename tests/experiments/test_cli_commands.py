@@ -105,3 +105,49 @@ class TestFastCommands:
         out = capsys.readouterr().out
         assert "Resilience frontier" in out
         assert "Theorem 5" in out  # the paper instance's covering theorem
+
+
+class TestOrchestratedCommands:
+    """--jobs/--checkpoint-dir route the sweep subcommands through the
+    orchestrator; without them the direct path is untouched."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["table1", "--jobs", "2", "--checkpoint-dir", "x"],
+            ["decentralized", "--cell-timeout", "30", "--max-cells", "3"],
+            ["decentralized-delay", "--checkpoint-every", "50"],
+            ["asynchronous", "--seed-chunk", "2", "--no-resume"],
+        ],
+    )
+    def test_orchestration_flags_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert args.command == argv[0]
+
+    def test_table1_checkpointed_run_and_warm_resume(self, capsys, tmp_path):
+        argv = [
+            "table1",
+            "--iterations", "40",
+            "--checkpoint-dir", str(tmp_path),
+            "--report-out", str(tmp_path / "report.json"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold  # cached cells reproduce the table exactly
+        from repro.experiments.artifacts import load_sweep_report
+
+        report = load_sweep_report(tmp_path / "report.json")
+        assert len(report.outcomes) == 4
+        assert all(o.status == "cached" for o in report.outcomes)
+
+    def test_interrupted_sweep_warns_and_exits_zero(self, capsys, tmp_path):
+        assert main([
+            "decentralized",
+            "--iterations", "20",
+            "--checkpoint-dir", str(tmp_path),
+            "--max-cells", "2",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "[interrupted]" in err

@@ -121,3 +121,37 @@ class TestRendering:
         )
         assert row.policy == "masked"
         assert row.stalled == 3
+
+
+class TestOrchestratedSweep:
+    def test_killed_and_resumed_equals_direct_sweep(
+        self, rows, paper_module, tmp_path
+    ):
+        from repro.experiments.decentralized_delay import (
+            orchestrated_decentralized_delay_sweep,
+        )
+        from repro.experiments.orchestrator import OrchestratorConfig
+
+        topologies = [
+            make_topology("complete", paper_module.n),
+            make_topology("ring", paper_module.n, hops=2),
+        ]
+        kwargs = dict(
+            topologies=topologies,
+            staleness_bounds=(0, 2),
+            drop_rates=(0.0, 0.3),
+            aggregators=("cwtm", "cge_mean"),
+            iterations=60,
+            seeds=(0, 1),
+        )
+        _, first = orchestrated_decentralized_delay_sweep(
+            **kwargs,
+            config=OrchestratorConfig(checkpoint_dir=tmp_path, max_cells=5),
+        )
+        assert first.interrupted
+        resumed, second = orchestrated_decentralized_delay_sweep(
+            **kwargs, config=OrchestratorConfig(checkpoint_dir=tmp_path)
+        )
+        assert not second.interrupted and not second.failed_cells
+        assert len(second.cached) == 5
+        assert resumed == rows

@@ -106,3 +106,67 @@ class TestRowDataclass:
         )
         assert row.attack == "gradient_reverse"
         assert row.seeds == 2
+
+
+class TestDisconnectedReporting:
+    """``allow_disconnected=True``: per-component gaps, nan global gap."""
+
+    @pytest.fixture(scope="class")
+    def split_topology(self, paper_module):
+        from repro.distsys import CommunicationTopology
+
+        n = paper_module.n
+        adjacency = np.zeros((n, n), dtype=bool)
+        for i in range(n):
+            for j in range(n):
+                if i != j and (i < n // 2) == (j < n // 2):
+                    adjacency[i, j] = True
+        return CommunicationTopology("split", adjacency)
+
+    @pytest.fixture(scope="class")
+    def split_rows(self, paper_module, split_topology):
+        with pytest.warns(RuntimeWarning, match="disconnected"):
+            return decentralized_sweep(
+                problem=paper_module,
+                topologies=[split_topology],
+                aggregators=("cwtm",),
+                attacks=(None, "gradient_reverse"),
+                iterations=40,
+                allow_disconnected=True,
+            )
+
+    def test_global_gap_is_nan(self, split_rows):
+        assert all(np.isnan(row.mean_gap) for row in split_rows)
+
+    def test_component_gaps_align_with_sizes(self, split_rows, paper_module):
+        half = paper_module.n // 2
+        for row in split_rows:
+            assert row.component_sizes == (half, half)
+            assert len(row.component_gaps) == 2
+
+    def test_component_gaps_are_finite_within_components(self, split_rows):
+        # Every component keeps at least one honest agent here, so the
+        # per-component gaps are real numbers even though the global gap
+        # is meaningless.
+        for row in split_rows:
+            assert all(np.isfinite(g) for g in row.component_gaps)
+
+    def test_connected_rows_carry_no_component_fields(self, rows):
+        assert all(row.component_gaps is None for row in rows)
+        assert all(row.component_sizes is None for row in rows)
+
+    def test_disconnected_rejected_without_opt_in(
+        self, paper_module, split_topology
+    ):
+        with pytest.raises(ValueError, match="disconnected"):
+            decentralized_sweep(
+                problem=paper_module,
+                topologies=[split_topology],
+                aggregators=("cwtm",),
+                attacks=(None,),
+                iterations=10,
+            )
+
+    def test_render_shows_per_component_gaps(self, split_rows):
+        text = render_decentralized_report(split_rows, iterations=40)
+        assert "C0(" in text and "C1(" in text
