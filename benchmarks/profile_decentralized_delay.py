@@ -1,0 +1,87 @@
+"""cProfile harness for the decentralized-delay sweep engines.
+
+Future perf PRs should start from data: this script runs the appendix-J
+topology × staleness × drop × filter × seed sweep under cProfile — the
+fused ``(S, E)`` edge-tensor batch engine by default, the per-cell
+per-trial reference engine with ``--reference`` — and prints the top
+cumulative hotspots (also persisted to
+``benchmarks/results/profile_decentralized_delay.txt``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_decentralized_delay.py
+        [--reference] [--seeds 2] [--iterations 300] [--top 20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+from pathlib import Path
+
+from repro.experiments import paper_problem
+from repro.experiments.decentralized_delay import decentralized_delay_sweep
+
+
+def profile_sweep(
+    engine: str, seeds: int, iterations: int, top: int
+) -> str:
+    """Profile one sweep run; returns the formatted hotspot table."""
+    problem = paper_problem()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    decentralized_delay_sweep(
+        problem=problem,
+        iterations=iterations,
+        seeds=tuple(range(seeds)),
+        engine=engine,
+    )
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    header = (
+        f"decentralized-delay sweep profile — engine={engine}, "
+        f"seeds={seeds}, iterations={iterations}\n"
+    )
+    return header + buffer.getvalue()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--reference",
+        action="store_true",
+        help="profile the per-cell per-trial delay engine instead of the "
+        "fused edge-tensor batch engine",
+    )
+    parser.add_argument("--seeds", type=int, default=2)
+    parser.add_argument("--iterations", type=int, default=300)
+    parser.add_argument(
+        "--top", type=int, default=20, help="hotspots to print"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).parent
+            / "results"
+            / "profile_decentralized_delay.txt"
+        ),
+        help="where to persist the hotspot table",
+    )
+    args = parser.parse_args(argv)
+
+    engine = "reference" if args.reference else "batched"
+    report = profile_sweep(engine, args.seeds, args.iterations, args.top)
+    print(report)
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(report + "\n")
+    print(f"persisted to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,11 +1,17 @@
-"""Benchmark: the delay-tolerant decentralized engine's gossip sweep.
+"""Benchmark: fused vs per-trial delay-tolerant decentralized sweeps.
 
-Runs the full topology × staleness × drop-rate × filter sweep through
-:class:`~repro.distsys.decentralized_delay.DelayedDecentralizedSimulator`
-(per-edge pre-sampled delays/drops, per-edge view-round queues, masked and
-shrink missing-neighbor policies) and persists the consensus-gap +
-convergence-radius report to ``benchmarks/results/decentralized_delay.txt``
-plus machine-readable headline numbers to ``BENCH_decentralized_delay.json``.
+Runs the full topology × staleness × drop-rate × filter sweep twice —
+through the per-cell per-trial reference engine
+(:class:`~repro.distsys.decentralized_delay.DelayedDecentralizedSimulator`)
+and through the fused ``(S, E)`` edge-tensor batch engine
+(:class:`~repro.distsys.batch_decentralized_delay.BatchDelayedDecentralizedSimulator`)
+— and persists the consensus-gap + convergence-radius report to
+``benchmarks/results/decentralized_delay.txt`` plus machine-readable
+headline numbers to ``BENCH_decentralized_delay.json`` using the same
+``reference_seconds`` / ``batched_seconds`` / ``speedup`` /
+``trials_per_second`` schema as ``BENCH_async.json``, so the perf
+trajectory is diffable across PRs (the CI bench-regression gate parses
+these fields).
 
 Also cross-checks the engine contract inside the workload: the degenerate
 configuration (τ = 0, no conditions) must pin **bit-for-bit** to the
@@ -80,7 +86,7 @@ def test_decentralized_delay_sweep_report(benchmark, results_dir):
     problem = paper_problem()
     topologies = default_delay_topologies(problem.n)
 
-    def sweep():
+    def sweep(engine):
         return decentralized_delay_sweep(
             problem=problem,
             topologies=topologies,
@@ -89,20 +95,49 @@ def test_decentralized_delay_sweep_report(benchmark, results_dir):
             aggregators=AGGREGATORS,
             iterations=ITERATIONS,
             seeds=SEEDS,
+            engine=engine,
         )
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        lambda: sweep("batched"), rounds=1, iterations=1
+    )
     t0 = time.perf_counter()
-    rows = sweep()
-    sweep_seconds = time.perf_counter() - t0
+    rows = sweep("batched")
+    batched_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    reference_rows = sweep("reference")
+    reference_seconds = time.perf_counter() - t0
+    speedup = reference_seconds / batched_seconds
 
     cells = (
         len(topologies) * len(STALENESS_BOUNDS) * len(DROP_RATES)
         * len(AGGREGATORS)
     )
+    trials = cells * len(SEEDS)
     assert len(rows) == cells
     assert all(np.isfinite(r.mean_radius) for r in rows)
     assert {r.policy for r in rows} == {"shrink", "masked"}
+
+    # Engine parity across the whole workload: the fused edge-tensor
+    # program and the per-cell per-trial oracle are pinned bit for bit,
+    # so every row field must agree exactly (1e-9 is the gate's slack).
+    max_abs_error = 0.0
+    for row, ref in zip(rows, reference_rows):
+        assert row.stalled == ref.stalled
+        for field in ("mean_radius", "worst_radius", "mean_gap",
+                      "missing_rate", "mean_staleness"):
+            a, b = getattr(row, field), getattr(ref, field)
+            if np.isnan(a) and np.isnan(b):
+                continue
+            max_abs_error = max(max_abs_error, abs(a - b))
+    assert max_abs_error < 1e-9
+
+    # The fused sweep must beat the per-cell engine loop decisively (the
+    # acceptance floor is 5x; this in-test floor only catches catastrophic
+    # regressions on noisy CI machines — the bench-regression gate
+    # compares the JSON against the committed baseline).
+    assert speedup > 4.0
 
     # Loosening the staleness bound (no drops) can only reduce how much
     # gossip the agents have to do without.
@@ -138,8 +173,16 @@ def test_decentralized_delay_sweep_report(benchmark, results_dir):
                 "iterations": ITERATIONS,
                 "seeds": len(SEEDS),
                 "cells": cells,
+                "trials": trials,
             },
-            "sweep_seconds": round(sweep_seconds, 6),
+            "reference_seconds": round(reference_seconds, 6),
+            "batched_seconds": round(batched_seconds, 6),
+            "speedup": round(speedup, 2),
+            "reference_trials_per_second": round(
+                trials / reference_seconds, 2
+            ),
+            "batched_trials_per_second": round(trials / batched_seconds, 2),
+            "max_abs_error_vs_reference": max_abs_error,
             "degenerate_engine_gap": engine_gap,
             "worst_radius_by_tau": {
                 str(tau): max(

@@ -56,16 +56,19 @@ def _check_masked(values: np.ndarray, mask: np.ndarray):
     counts = mask.sum(axis=1)  # (n,) valid messages per receiving agent
     if counts.min() < 1:
         raise ValueError("every agent needs at least one valid message")
-    if not np.all(np.isfinite(values[:, mask])):
+    # Finite check on the valid slots only — invalid slots may hold
+    # arbitrary padding.  OR-ing the inverted mask beats the boolean
+    # fancy-index gather the engines would otherwise pay per kernel call.
+    if not np.all(np.isfinite(values) | ~mask[None, :, :, None]):
         raise ValueError("gradients contain non-finite entries")
     return values, mask, counts
 
 
 def _take_slot(csum: np.ndarray, slot: np.ndarray) -> np.ndarray:
     """Per-agent gather along the slot axis: ``csum[s, i, slot[i], :]``."""
-    s, n, _, d = csum.shape
-    index = np.broadcast_to(slot.reshape(1, n, 1, 1), (s, n, 1, d))
-    return np.take_along_axis(csum, index, axis=2)[:, :, 0, :]
+    s, n, k, d = csum.shape
+    flat = np.ascontiguousarray(csum).reshape(s, n * k, d)
+    return flat[:, np.arange(n) * k + slot, :]
 
 
 def masked_mean_batch(values: np.ndarray, mask: np.ndarray) -> np.ndarray:

@@ -1,11 +1,11 @@
-"""Distributed-system substrate: one protocol core, seven execution engines.
+"""Distributed-system substrate: one protocol core, eight execution engines.
 
 :mod:`repro.distsys.engine` owns the observe → fabricate → aggregate →
 project protocol loop; the server-based per-trial simulator, the batched
 lockstep sweep engine, the peer-to-peer replica simulator, the
-decentralized graph engine, the delay-tolerant decentralized engine, the
-event-driven asynchronous engine and the batched asynchronous sweep engine
-are thin configurations of it.
+decentralized graph engine, the delay-tolerant decentralized engine, its
+fused batched sweep engine, the event-driven asynchronous engine and the
+batched asynchronous sweep engine are thin configurations of it.
 :mod:`repro.distsys.topology` supplies the communication graphs the
 decentralized engines run on; :mod:`repro.distsys.faults` supplies the
 network conditions and fault timelines the asynchronous and delay-tolerant
@@ -22,6 +22,12 @@ from .asynchronous import (
     run_asynchronous,
 )
 from .batch import BatchSimulator, BatchTrace, BatchTrial, run_dgd_batch
+from .batch_decentralized_delay import (
+    BatchDelayedDecentralizedSimulator,
+    BatchDelayedDecentralizedTrace,
+    DelayBatchTrial,
+    run_decentralized_delayed_batch,
+)
 from .batch_async import (
     AsyncBatchTrial,
     BatchAsynchronousSimulator,
@@ -107,6 +113,10 @@ __all__ = [
     "DelayedDecentralizedSimulator",
     "DelayedDecentralizedTrace",
     "run_decentralized_delayed",
+    "DelayBatchTrial",
+    "BatchDelayedDecentralizedSimulator",
+    "BatchDelayedDecentralizedTrace",
+    "run_decentralized_delayed_batch",
     "AsynchronousSimulator",
     "AsynchronousTrace",
     "AsyncIterationRecord",

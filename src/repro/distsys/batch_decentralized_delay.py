@@ -1,0 +1,1231 @@
+"""Fused edge-tensor execution of delay-tolerant decentralized sweeps.
+
+:class:`~repro.distsys.decentralized_delay.DelayedDecentralizedSimulator`
+already runs its trials in lockstep, but it fixes (topology, τ, network
+conditions, missing policy, fault timeline) per engine instance — a sweep
+still builds one engine per (topology, τ, drop, policy) cell and replays
+the whole protocol loop per cell.  :class:`BatchDelayedDecentralizedSimulator`
+is the `batch_async` treatment for the graph family: every trial of an
+entire topology × τ × drop × policy × seed sweep rides one batch axis
+``S`` of a single lockstep tensor program.
+
+* **Per-edge queues are padded ``(S, E_max, τ_max + 1)`` tensors** keyed on
+  each topology's :meth:`~repro.distsys.topology.CommunicationTopology.directed_edges`
+  enumeration (the ``edge_index`` convention): slot ``k`` holds the newest
+  view round arriving in ``k`` rounds, ``-1`` = empty.  Trials on smaller
+  graphs pad their edge rows; padded columns are born dropped and can
+  never enqueue.  Both payload channels stay factored — per-edge view
+  rounds gathered against the shared ``(T + 1, S, n, d)`` iterate
+  trajectory *and* the matching ``(T, S, n, d)`` gradient history.
+* **Network and fault realizations** come from the chunk-invariant
+  :func:`~repro.distsys.faults.sample_network_run` /
+  :meth:`~repro.distsys.faults.FaultSchedule.sample_run` pre-sampling,
+  per-trial streams identical to the per-trial engine's, stacked into
+  dense ``(T, S, E_max)`` / ``(T, S, n)`` tensors chunk by chunk.
+* **Fabrication is grouped per (attack, faulty set, omniscience,
+  topology)** — each trial's generator is consumed exactly as the
+  per-trial engine consumes it, and equivocating attacks see their own
+  topology's delivery structure.
+* **Masked and shrink missing-neighbor policies** ride the
+  tolerance-parameterized masked kernels' receiver axis with per-trial
+  policy flags; fully-attended trials always take the synchronous graph
+  engine's exact kernels sliced to their topology's true ``k`` — the
+  bit-for-bit path.  The stale trimmed-mean consensus mix is batched the
+  same way.
+
+The engine is pinned to the per-trial
+:class:`~repro.distsys.decentralized_delay.DelayedDecentralizedSimulator`
+at 1e-9 (degenerate τ=0 / clean-network configs bit-for-bit) across
+aggregator × attack × topology × τ × drop × policy × seed — including
+stalls, crash/warm-recover and Byzantine-from-round timelines
+(``tests/distsys/test_batch_decentralized_delay.py``) — and keeps the
+resumable contract of the other batched engines: ``run(T, start_round=…)``
+re-pre-samples only the remaining rounds from the persisted per-trial
+network streams, and JSON ``state_dict()``/``load_state()`` round trips
+resume bit-identically (``tests/distsys/test_resumable_engines.py``).
+Every computation is per-receiver-row, so a trial's trajectory is
+bit-identical whether it runs solo, inside one sweep cell, or fused into
+the whole sweep — the composition-independence contract the orchestrated
+sweep relies on.
+"""
+
+from __future__ import annotations
+
+import copy
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..aggregators.base import GradientAggregator
+from ..aggregators.masked import (
+    aggregator_label,
+    masked_kernel_for,
+    masked_min_attendance_for_tolerance,
+    masked_partial_kernel_for,
+    masked_trimmed_mean_batch,
+)
+from ..aggregators.registry import make_aggregator
+from ..aggregators.trimmed_mean import trimmed_mean_batch
+from ..attacks.base import ByzantineAttack, DecentralizedAttackContext
+from ..functions.base import CostFunction
+from ..functions.batched import CostStack, stack_costs
+from ..optim.projections import ConvexSet
+from ..optim.schedules import StepSchedule
+from .asynchronous import MISSING_POLICIES
+from .batch import _config_key, group_indices
+from .decentralized import DecentralizedTrace
+from .engine import (
+    ProtocolEngine,
+    ProtocolRound,
+    validate_attack_plan,
+    validate_faulty_ids,
+    validate_initial_estimate,
+)
+from .faults import (
+    FaultSchedule,
+    NetworkCondition,
+    network_streams,
+    sample_network_run,
+)
+from .topology import CommunicationTopology
+
+__all__ = [
+    "DelayBatchTrial",
+    "BatchDelayedDecentralizedTrace",
+    "BatchDelayedDecentralizedSimulator",
+    "run_decentralized_delayed_batch",
+]
+
+
+@dataclass
+class DelayBatchTrial:
+    """One delay-tolerant decentralized trial of a fused sweep.
+
+    Mirrors the :class:`~repro.distsys.decentralized_delay.DelayedDecentralizedSimulator`
+    constructor per trial: each trial carries its own communication
+    topology, staleness bound, per-edge network conditions, fault
+    timeline, attack, filter and missing-neighbor policy — the engine
+    groups equal configurations so a sweep varying only seeds still runs
+    one kernel per stage.  ``aggregator`` may be a registry name, built as
+    ``make_aggregator(name, n, len(faulty set))``.
+    """
+
+    aggregator: Union[GradientAggregator, str]
+    topology: CommunicationTopology = None
+    attack: Optional[ByzantineAttack] = None
+    faulty_ids: Tuple[int, ...] = ()
+    conditions: Tuple[NetworkCondition, ...] = ()
+    fault_schedule: Optional[FaultSchedule] = None
+    staleness_bound: int = 0
+    missing_policy: str = "masked"
+    seed: int = 0
+    schedule: Optional[StepSchedule] = None
+    initial_estimate: Optional[np.ndarray] = None
+    omniscient_attack: Optional[bool] = None
+    label: Optional[str] = None
+
+
+@dataclass
+class BatchDelayedDecentralizedTrace(DecentralizedTrace):
+    """Decentralized trace plus per-trial gossip-under-delay diagnostics.
+
+    The fused analogue of
+    :class:`~repro.distsys.decentralized_delay.DelayedDecentralizedTrace`:
+    trials may live on different topologies, so ``edges`` is a per-trial
+    ``(S,)`` edge count instead of a scalar.
+    """
+
+    stalled: np.ndarray = field(default=None)          # (T, S, n) bool
+    usable_edge_counts: np.ndarray = field(default=None)   # (T, S)
+    staleness_sums: np.ndarray = field(default=None)       # (T, S)
+    edges: np.ndarray = field(default=None)                # (S,)
+
+    def stalled_fraction(self) -> np.ndarray:
+        """Per-trial per-round fraction of agents holding, ``(S, T)``."""
+        return self.stalled.mean(axis=2).T
+
+    def stalled_agent_rounds(self) -> np.ndarray:
+        """Total (agent, round) stalls per trial, ``(S,)``."""
+        return self.stalled.sum(axis=(0, 2))
+
+    def missing_fraction(self) -> np.ndarray:
+        """Per-trial per-round fraction of edges with no usable message.
+
+        Shape ``(S, T)``; an edgeless trial (single-agent topology)
+        reports 0.
+        """
+        edges = self.edges.astype(float)[:, None]          # (S, 1)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            fraction = (edges - self.usable_edge_counts.T) / edges
+        return np.where(edges > 0, fraction, 0.0)
+
+    def staleness_profile(self) -> np.ndarray:
+        """Per-trial per-round mean staleness of the usable edges, ``(S, T)``.
+
+        Rounds with no usable edge contribute ``nan`` (reduce with
+        ``np.nanmean``), matching the per-trial trace.
+        """
+        counts = self.usable_edge_counts.T.astype(float)
+        with np.errstate(invalid="ignore"):
+            return np.where(
+                counts > 0, self.staleness_sums.T / counts, np.nan
+            )
+
+
+class BatchDelayedDecentralizedSimulator(ProtocolEngine):
+    """Run ``S`` delay-tolerant decentralized trials in lockstep."""
+
+    def __init__(
+        self,
+        costs: Union[Sequence[CostFunction], CostStack],
+        trials: Sequence[DelayBatchTrial],
+        constraint: ConvexSet,
+        schedule: StepSchedule,
+        initial_estimate: Sequence[float],
+        mixing: bool = True,
+        allow_disconnected: bool = False,
+    ):
+        if not trials:
+            raise ValueError("need at least one trial")
+        self.mixing = bool(mixing)
+        self.stack: CostStack = (
+            costs if isinstance(costs, CostStack) else stack_costs(costs)
+        )
+        self.n = self.stack.n
+        self.d = self.stack.dim
+        self.trials: List[DelayBatchTrial] = list(trials)
+        self.constraint = constraint
+
+        default_initial = validate_initial_estimate(initial_estimate, self.d)
+        s = len(self.trials)
+
+        # -- per-trial normalized state (trial objects stay read-only) ----
+        starts = []
+        self.rngs: List[np.random.Generator] = []
+        self._schedules: List[StepSchedule] = []
+        self._omniscient: List[bool] = []
+        self._aggregators: List[GradientAggregator] = []
+        self._fault_schedules: List[FaultSchedule] = []
+        self._faulty: List[Tuple[int, ...]] = []
+        self._tau = np.zeros(s, dtype=int)
+        self._shrink = np.zeros(s, dtype=bool)
+        #: first compromise round per (trial, agent); int64 — the
+        #: never-compromised sentinel overflows a 32-bit default int.
+        self._since = np.full(
+            (s, self.n), np.iinfo(np.int64).max, dtype=np.int64
+        )
+
+        for index, trial in enumerate(self.trials):
+            if trial.topology is None:
+                raise ValueError("every DelayBatchTrial needs a topology")
+            if trial.topology.n != self.n:
+                raise ValueError(
+                    f"trial {index} topology covers {trial.topology.n} "
+                    f"agents but {self.n} costs given"
+                )
+            fault_schedule = (
+                trial.fault_schedule or FaultSchedule()
+            ).validate(self.n)
+            self._fault_schedules.append(fault_schedule)
+            base_faulty = validate_faulty_ids(trial.faulty_ids, self.n)
+            since_map = fault_schedule.compromised_since()
+            faulty = tuple(sorted(set(base_faulty) | set(since_map)))
+            if len(faulty) >= self.n:
+                raise ValueError("at least one agent must be honest")
+            self._faulty.append(faulty)
+            for agent, start_round in since_map.items():
+                self._since[index, agent] = start_round
+            for agent in base_faulty:
+                self._since[index, agent] = 0  # from-the-start wins
+            # This engine represents silence, so crash-capable attacks are
+            # legal (full_attendance_engine=None), like the per-trial one.
+            self._omniscient.append(
+                validate_attack_plan(
+                    trial.attack,
+                    len(faulty),
+                    trial.omniscient_attack,
+                    full_attendance_engine=None,
+                )
+            )
+            if trial.staleness_bound < 0:
+                raise ValueError("staleness bound must be non-negative")
+            self._tau[index] = int(trial.staleness_bound)
+            if trial.missing_policy not in MISSING_POLICIES:
+                raise ValueError(
+                    f"unknown missing-neighbor policy "
+                    f"{trial.missing_policy!r}; "
+                    f"known: {', '.join(MISSING_POLICIES)}"
+                )
+            self._shrink[index] = trial.missing_policy == "shrink"
+            if isinstance(trial.aggregator, str):
+                aggregator = make_aggregator(
+                    trial.aggregator, self.n, len(faulty)
+                )
+            else:
+                aggregator = trial.aggregator
+            self._aggregators.append(aggregator)
+            start = (
+                default_initial
+                if trial.initial_estimate is None
+                else validate_initial_estimate(trial.initial_estimate, self.d)
+            )
+            starts.append(start)
+            self.rngs.append(np.random.default_rng(trial.seed))
+            self._schedules.append(trial.schedule or schedule)
+
+        #: per-trial Byzantine count — the declared consensus/outvote
+        #: tolerance (crashes are availability faults, not adversarial).
+        self._fault_counts = np.array(
+            [len(f) for f in self._faulty], dtype=int
+        )
+
+        # -- topology groups and padded gather/edge structure -------------
+        self._build_topology_structure(allow_disconnected)
+
+        # Every agent starts from the trial's initial estimate: (S, n, d).
+        tiled = np.repeat(np.stack(starts)[:, None, :], self.n, axis=1)
+        self.estimates = self._project_all(tiled)
+        self.iteration = 0
+
+        self._attack_groups = self._group_attacks()
+        self._partial_groups = self._group_aggregators()
+        self._partial_merged = self._merge_partial_groups()
+        self._mixing_groups = self._group_mixing() if self.mixing else []
+        self._schedule_groups = [
+            (self._schedules[rep], idx)
+            for rep, idx in group_indices(
+                s, lambda index: _config_key(self._schedules[index])
+            )
+        ]
+
+        # The padded per-edge queue: slot k holds the newest view (send
+        # round) arriving in k rounds; -1 = empty.  Queue state is
+        # horizon-independent, so it lives here and persists across
+        # chunked runs (and through state_dict/load_state).
+        self._tau_max = int(self._tau.max())
+        self._pending = np.full(
+            (s, self._edge_max, self._tau_max + 1), -1, dtype=int
+        )
+        self._freshest = np.full((s, self._edge_max), -1, dtype=int)
+
+        #: Pre-sampled horizon: rounds ``[0, _horizon)`` have network and
+        #: fault realizations materialized; grows chunk by chunk (resume).
+        self._horizon = 0
+        #: Engine-owned deep copies of each trial's conditions — per-run
+        #: chain state must persist across chunks *per trial*.
+        self._run_conditions: Optional[List[Tuple[NetworkCondition, ...]]] = None
+        self._net_rngs: Optional[List[List[np.random.Generator]]] = None
+
+    # -- construction helpers ---------------------------------------------
+    def _build_topology_structure(self, allow_disconnected: bool) -> None:
+        """Group trials by topology; build padded per-trial gather tensors."""
+        s = len(self.trials)
+        self._topo_groups = []
+        self._topo_of = np.empty(s, dtype=int)
+        for rep, idx in group_indices(
+            s, lambda index: self.trials[index].topology.adjacency.tobytes()
+        ):
+            topology = self.trials[rep].topology
+            if not topology.is_connected():
+                message = (
+                    f"topology {topology.name!r} is disconnected: honest "
+                    "agents in different components can never agree, so the "
+                    "global consensus_gap() and convergence radius are "
+                    "meaningless"
+                )
+                if not allow_disconnected:
+                    raise ValueError(
+                        message + "; pass allow_disconnected=True to run "
+                        "anyway and analyse components separately"
+                    )
+                warnings.warn(message, RuntimeWarning, stacklevel=3)
+            index, mask = topology.neighborhoods()
+            senders, receivers, slots = topology.directed_edges()
+            self._topo_of[idx] = len(self._topo_groups)
+            self._topo_groups.append(
+                {
+                    "topology": topology,
+                    "idx": idx,
+                    "k": int(index.shape[1]),
+                    "neighbor_index": index,
+                    "neighbor_mask": mask,
+                    "uniform": topology.is_regular,
+                    "senders": senders,
+                    "receivers": receivers,
+                    "slots": slots,
+                    "edges": int(senders.size),
+                    "self_slots": np.array(
+                        [
+                            int(np.flatnonzero(index[i] == i)[0])
+                            for i in range(self.n)
+                        ]
+                    ),
+                }
+            )
+
+        self._k_max = max(g["k"] for g in self._topo_groups)
+        self._edge_max = max(g["edges"] for g in self._topo_groups)
+        self._edge_count = np.array(
+            [g["edges"] for g in self._topo_groups], dtype=int
+        )[self._topo_of]
+
+        # Padded per-trial gather structure.  Pad indices are 0 (their
+        # slots are never valid) and padded edge columns are born dropped.
+        self._neighbor_index = np.zeros((s, self.n, self._k_max), dtype=int)
+        self._neighbor_mask = np.zeros((s, self.n, self._k_max), dtype=bool)
+        self._self_slots = np.zeros((s, self.n), dtype=int)
+        self._edge_senders = np.zeros((s, self._edge_max), dtype=int)
+        for g, group in enumerate(self._topo_groups):
+            idx, k, e = group["idx"], group["k"], group["edges"]
+            self._neighbor_index[idx, :, :k] = group["neighbor_index"]
+            self._neighbor_mask[idx, :, :k] = group["neighbor_mask"]
+            self._self_slots[idx] = group["self_slots"]
+            self._edge_senders[idx, :e] = group["senders"]
+        self._expected_counts = self._neighbor_mask.sum(axis=2)  # (S, n)
+
+        # Flat (trial, edge) scatter coordinates over the *real* edges of
+        # every trial: views[ft_trial, ft_receiver, ft_slot] takes edge
+        # ft_edge's delivery state — the per-round edge scatter in one
+        # fancy assignment.
+        ft_trial, ft_edge, ft_receiver, ft_slot = [], [], [], []
+        for group in self._topo_groups:
+            idx, e = group["idx"], group["edges"]
+            ft_trial.append(np.repeat(idx, e))
+            ft_edge.append(np.tile(np.arange(e), idx.size))
+            ft_receiver.append(np.tile(group["receivers"], idx.size))
+            ft_slot.append(np.tile(group["slots"], idx.size))
+        self._ft_trial = np.concatenate(ft_trial)
+        self._ft_edge = np.concatenate(ft_edge)
+        self._ft_receiver = np.concatenate(ft_receiver)
+        self._ft_slot = np.concatenate(ft_slot)
+
+    def _group_attacks(self):
+        """(attack, faulty, omniscience, topology) fabrication groups.
+
+        Topology joins the key because the per-edge scatter indices and the
+        delivery-structure ``receivers`` mask the attack observes are graph
+        properties; each trial still gets exactly one
+        :meth:`~repro.attacks.base.ByzantineAttack.fabricate_edges` call
+        per round from its own generator — the per-trial stream
+        consumption.
+        """
+        groups = []
+        for rep, idx in group_indices(
+            len(self.trials),
+            lambda index: (
+                _config_key(self.trials[index].attack),
+                self._faulty[index],
+                self._omniscient[index],
+                self.trials[index].topology.adjacency.tobytes(),
+            ),
+        ):
+            trial = self.trials[rep]
+            if trial.attack is None or not self._faulty[rep]:
+                continue
+            group = self._topo_groups[self._topo_of[rep]]
+            faulty = np.array(self._faulty[rep])
+            honest = np.array(
+                [i for i in range(self.n) if i not in set(self._faulty[rep])]
+            )
+            # Scatter indices rewriting gathered neighborhoods with
+            # per-edge fabrications: slot slots[m] of receiver
+            # receivers[m]'s row carries faulty column columns[m].
+            hit = group["neighbor_mask"] & np.isin(
+                group["neighbor_index"], faulty
+            )
+            rows, slots = np.nonzero(hit)
+            column_of = {int(fid): c for c, fid in enumerate(faulty)}
+            columns = np.array(
+                [
+                    column_of[int(group["neighbor_index"][r, sl])]
+                    for r, sl in zip(rows, slots)
+                ],
+                dtype=int,
+            )
+            # Closed out-neighborhood delivery mask per faulty agent (F, n).
+            receivers = group["topology"].adjacency[:, faulty].T.copy()
+            receivers[np.arange(faulty.size), faulty] = True
+            groups.append(
+                (
+                    trial.attack,
+                    faulty,
+                    honest,
+                    self._omniscient[rep],
+                    idx,
+                    (rows, slots, columns),
+                    receivers,
+                )
+            )
+        return groups
+
+    def _group_aggregators(self):
+        """(aggregator, topology) groups with exact + partial kernels.
+
+        The exact kernel (folded ``aggregate_batch`` on regular graphs,
+        masked kernel on irregular ones) serves fully-attended trials —
+        sliced to the topology's true ``k``, the bit-for-bit path of the
+        per-trial engine.  Partial rounds always run the
+        tolerance-parameterized masked kernel; filters without one are
+        rejected at construction, naming the offender.
+        """
+        groups = []
+        for rep, idx in group_indices(
+            len(self.trials),
+            lambda index: (
+                _config_key(self._aggregators[index]),
+                self.trials[index].topology.adjacency.tobytes(),
+            ),
+        ):
+            aggregator = self._aggregators[rep]
+            group = self._topo_groups[self._topo_of[rep]]
+            kernel = None
+            if not group["uniform"]:
+                kernel = masked_kernel_for(aggregator)
+                if kernel is None:
+                    raise ValueError(
+                        f"aggregator {aggregator.name!r} has no masked "
+                        "neighborhood kernel; irregular topologies support "
+                        "mean, cwtm, median, cge and cge_mean"
+                    )
+                try:
+                    kernel(
+                        np.zeros((1, self.n, group["k"], self.d)),
+                        group["neighbor_mask"],
+                    )
+                except ValueError as error:
+                    raise ValueError(
+                        f"aggregator {aggregator.name!r} cannot aggregate "
+                        f"the neighborhoods of topology "
+                        f"{group['topology'].name!r}: {error}"
+                    ) from error
+            else:
+                try:
+                    aggregator.aggregate_batch(
+                        np.zeros((1, group["k"], self.d))
+                    )
+                except ValueError as error:
+                    raise ValueError(
+                        f"aggregator {aggregator.name!r} cannot aggregate "
+                        f"the size-{group['k']} closed neighborhoods of "
+                        f"topology {group['topology'].name!r}: {error}"
+                    ) from error
+            partial = masked_partial_kernel_for(aggregator)
+            if partial is None:
+                raise ValueError(
+                    f"aggregator {aggregator_label(aggregator)} has no "
+                    "masked neighborhood kernel; the delay-tolerant "
+                    "decentralized engine supports mean, cwtm, median, "
+                    "cge and cge_mean"
+                )
+            declared = int(getattr(aggregator, "f", 0))
+            groups.append(
+                (
+                    aggregator,
+                    kernel,
+                    partial,
+                    declared,
+                    idx,
+                    self._topo_groups[self._topo_of[rep]],
+                )
+            )
+        return groups
+
+    def _merge_partial_groups(self):
+        """Partial-path groups keyed by aggregator config alone.
+
+        The tolerance-parameterized masked kernels sort invalid slots past
+        every valid order statistic and index order statistics through the
+        per-row attendance counts, so all-invalid padding columns beyond a
+        topology's true ``k`` never reach a kept slot — trials over
+        different topologies can share one padded ``k_max``-wide kernel
+        call per round without moving a bit.  That collapses the partial
+        path from one call per (aggregator, topology) group to one per
+        aggregator config.
+        """
+        merged: Dict[object, Tuple] = {}
+        for aggregator, _, partial, declared, idx, _ in self._partial_groups:
+            key = _config_key(aggregator)
+            entry = merged.setdefault(key, (aggregator, partial, declared, []))
+            entry[3].append(idx)
+        return [
+            (aggregator, partial, declared, np.sort(np.concatenate(chunks)))
+            for aggregator, partial, declared, chunks in merged.values()
+        ]
+
+    def _group_mixing(self):
+        """(consensus trim, topology) mixing groups, degree-validated."""
+        groups = []
+        for rep, idx in group_indices(
+            len(self.trials),
+            lambda index: (
+                len(self._faulty[index]),
+                self.trials[index].topology.adjacency.tobytes(),
+            ),
+        ):
+            group = self._topo_groups[self._topo_of[rep]]
+            trim = len(self._faulty[rep])
+            # Fail at construction, not mid-run: every mixing trim level
+            # must leave at least one iterate per closed neighborhood.
+            smallest = int(group["topology"].closed_in_degrees.min())
+            if smallest - 2 * trim < 1:
+                raise ValueError(
+                    f"closed in-degree {smallest} cannot support "
+                    f"consensus trimming at f={trim}"
+                )
+            groups.append((trim, idx, group))
+        return groups
+
+    # -- helpers ----------------------------------------------------------
+    def _project_all(self, estimates: np.ndarray) -> np.ndarray:
+        s, n, d = estimates.shape
+        flat = self.constraint.project_batch(estimates.reshape(s * n, d))
+        return flat.reshape(s, n, d)
+
+    # -- whole-run pre-sampling (chunked) ---------------------------------
+    def _extend_horizon(self, t_total: int) -> None:
+        """Pre-sample network and fault realizations out to ``t_total``.
+
+        The first call plays the per-trial engine's whole-run pre-sample;
+        later calls extend it chunk by chunk with continuous ``start`` and
+        the persisted per-trial network generators, so by the conditions'
+        chunk-invariance contract every chunking of a run — including a
+        checkpoint/resume split — reproduces the uninterrupted realization
+        bit for bit.
+        """
+        if t_total <= self._horizon:
+            return
+        s = len(self.trials)
+        start = self._horizon
+
+        if self._run_conditions is None:
+            self._run_conditions = [
+                copy.deepcopy(tuple(trial.conditions))
+                for trial in self.trials
+            ]
+            self._net_rngs = [
+                network_streams(trial.seed, len(conditions))
+                for trial, conditions in zip(
+                    self.trials, self._run_conditions
+                )
+            ]
+            for index, (conditions, net_rngs) in enumerate(
+                zip(self._run_conditions, self._net_rngs)
+            ):
+                for condition, net_rng in zip(conditions, net_rngs):
+                    condition.begin_run(int(self._edge_count[index]), net_rng)
+            self._net_delays = np.zeros((0, s, self._edge_max), dtype=int)
+            self._net_dropped = np.ones((0, s, self._edge_max), dtype=bool)
+            self._active = np.zeros((0, s, self.n), dtype=bool)
+            self._silenced = np.zeros((0, s, self.n), dtype=bool)
+            self._trajectory = np.empty((1, s, self.n, self.d))
+            self._trajectory[0] = self.estimates
+            self._grad_history = np.empty((0, s, self.n, self.d))
+            self._stalled = np.zeros((0, s, self.n), dtype=bool)
+            self._usable_edge_counts = np.zeros((0, s), dtype=int)
+            self._staleness_sums = np.zeros((0, s))
+
+        chunk = t_total - start
+        # Padded edge columns are born dropped with delay 0: they can
+        # never enqueue, matching the per-trial engines' exact edge count.
+        delays = np.zeros((t_total, s, self._edge_max), dtype=int)
+        dropped = np.ones((t_total, s, self._edge_max), dtype=bool)
+        active = np.zeros((t_total, s, self.n), dtype=bool)
+        delays[:start] = self._net_delays[:start]
+        dropped[:start] = self._net_dropped[:start]
+        active[:start] = self._active[:start]
+        for index, trial in enumerate(self.trials):
+            edges = int(self._edge_count[index])
+            chunk_delays, chunk_dropped = sample_network_run(
+                self._run_conditions[index],
+                self._net_rngs[index],
+                edges,
+                chunk,
+                start=start,
+            )
+            delays[start:, index, :edges] = chunk_delays
+            dropped[start:, index, :edges] = chunk_dropped
+            active[start:, index, :] = self._fault_schedules[
+                index
+            ].sample_run(None, self.n, chunk, start=start)
+        self._net_delays = delays
+        self._net_dropped = dropped
+        self._active = active
+
+        # Attack-scheduled silence (crash-style faults) for the new
+        # rounds: a compromised agent that silences dispatches on no
+        # out-edge, exactly like the per-trial engine's dispatch check.
+        silenced = np.zeros((t_total, s, self.n), dtype=bool)
+        silenced[:start] = self._silenced[:start]
+        for index, trial in enumerate(self.trials):
+            if trial.attack is None or not trial.attack.may_be_silent:
+                continue
+            for agent in np.flatnonzero(
+                self._since[index] < np.iinfo(np.int64).max
+            ):
+                first = max(int(self._since[index, agent]), start)
+                for t in range(first, t_total):
+                    if trial.attack.silences(int(agent), t):
+                        silenced[t, index, agent] = True
+        self._silenced = silenced
+
+        # Step sizes are deterministic in the round index: rebuild fully.
+        self._etas = np.empty((t_total, s))
+        for sched, idx in self._schedule_groups:
+            self._etas[:, idx] = np.array(
+                [sched(t) for t in range(t_total)]
+            )[:, None]
+
+        trajectory = np.empty((t_total + 1, s, self.n, self.d))
+        trajectory[: start + 1] = self._trajectory[: start + 1]
+        self._trajectory = trajectory
+        grad_history = np.empty((t_total, s, self.n, self.d))
+        grad_history[:start] = self._grad_history[:start]
+        self._grad_history = grad_history
+        for name, shape, dtype in (
+            ("_stalled", (t_total, s, self.n), bool),
+            ("_usable_edge_counts", (t_total, s), int),
+            ("_staleness_sums", (t_total, s), float),
+        ):
+            grown = np.zeros(shape, dtype=dtype)
+            grown[:start] = getattr(self, name)[:start]
+            setattr(self, name, grown)
+        self._horizon = t_total
+
+    # -- protocol stages --------------------------------------------------
+    def observe(self) -> ProtocolRound:
+        """Dispatch on every live edge, deliver, and gather the views."""
+        if self.iteration >= self._horizon:
+            raise RuntimeError(
+                "drive BatchDelayedDecentralizedSimulator through run(); "
+                "stand-alone step() has no pre-sampled horizon"
+            )
+        t = self.iteration
+        s = len(self.trials)
+
+        gradients = self.stack.gradients_each(self.estimates)  # (S, n, d)
+        self._grad_history[t] = gradients
+
+        # Dispatch: live senders put this round's message on each out-edge
+        # whose sampled delay keeps it usable; the send round t is newer
+        # than every pending view, so overwrite wins.
+        sends = self._active[t] & ~self._silenced[t]            # (S, n)
+        trial_rows = np.arange(s)[:, None]
+        sent_e = (
+            sends[trial_rows, self._edge_senders]
+            & ~self._net_dropped[t]
+        )  # (S, E_max); padded columns are born dropped
+        delay_e = self._net_delays[t]
+        enqueue = sent_e & (delay_e <= self._tau[:, None])
+        trial_ix, edge_ix = np.nonzero(enqueue)
+        self._pending[trial_ix, edge_ix, delay_e[trial_ix, edge_ix]] = t
+
+        # Deliver slot 0 and shift the queue one round closer.
+        self._freshest = np.maximum(self._freshest, self._pending[:, :, 0])
+        self._pending[:, :, :-1] = self._pending[:, :, 1:]
+        self._pending[:, :, -1] = -1
+
+        usable_e = (self._freshest >= 0) & (
+            t - self._freshest <= self._tau[:, None]
+        )  # (S, E_max); padded columns never delivered, so never usable
+
+        # Per-slot view rounds: own message always fresh; real edges carry
+        # their last usable delivery; padding and dead edges stay -1.
+        views = np.full((s, self.n, self._k_max), -1, dtype=int)
+        np.put_along_axis(views, self._self_slots[:, :, None], t, axis=2)
+        views[self._ft_trial, self._ft_receiver, self._ft_slot] = np.where(
+            usable_e[self._ft_trial, self._ft_edge],
+            self._freshest[self._ft_trial, self._ft_edge],
+            -1,
+        )
+        valid = views >= 0
+
+        # Gather both payload channels against the histories: one fancy
+        # gather each, no per-message Python objects.
+        safe_views = np.maximum(views, 0)
+        trials_ix = np.arange(s)[:, None, None]
+        grad_views = self._grad_history[
+            safe_views, trials_ix, self._neighbor_index
+        ]
+        est_views = self._trajectory[
+            safe_views, trials_ix, self._neighbor_index
+        ]
+
+        return ProtocolRound(
+            iteration=t,
+            gradients=gradients,
+            extras={
+                "valid": valid,
+                "views": views,
+                "grad_views": grad_views,
+                "est_views": est_views,
+                "usable_edges": usable_e,
+                "crashed": ~self._active[t],                  # (S, n)
+            },
+        )
+
+    def fabricate(self, round: ProtocolRound) -> None:
+        """Rewrite usable slots of currently-compromised senders.
+
+        The attack context and stream consumption match the per-trial
+        engine round for round; fabrications only land on valid slots
+        whose sender's compromise has started.
+        """
+        t = round.iteration
+        gradients = round.gradients
+        neighborhoods = round.extras["grad_views"]
+        valid = round.extras["valid"]
+        live = self._since <= t  # (S, n)
+        for (
+            attack,
+            faulty,
+            honest,
+            omniscient,
+            idx,
+            scatter,
+            receivers,
+        ) in self._attack_groups:
+            context = DecentralizedAttackContext(
+                iteration=t,
+                reference_estimates=self.estimates[np.ix_(idx, honest[:1])][:, 0],
+                agent_estimates=self.estimates[idx],
+                faulty_ids=faulty.tolist(),
+                true_gradients=gradients[np.ix_(idx, faulty)],
+                honest_gradients=(
+                    gradients[np.ix_(idx, honest)] if omniscient else None
+                ),
+                honest_ids=honest.tolist(),
+                receivers=receivers,
+                rngs=[self.rngs[i] for i in idx],
+            )
+            fabricated = np.asarray(
+                attack.fabricate_edges(context), dtype=float
+            )
+            expected = (idx.size, faulty.size, self.n, self.d)
+            if fabricated.shape != expected:
+                raise RuntimeError(
+                    f"attack {attack.name!r} returned shape "
+                    f"{fabricated.shape}, expected {expected}"
+                )
+            rows, slots, columns = scatter
+            keep = (
+                valid[idx][:, rows, slots]
+                & live[idx][:, faulty[columns]]
+            )
+            current = neighborhoods[idx[:, None], rows[None, :], slots[None, :]]
+            neighborhoods[idx[:, None], rows[None, :], slots[None, :]] = (
+                np.where(keep[:, :, None], fabricated[:, columns, rows], current)
+            )
+        round.views = neighborhoods
+
+    def aggregate(self, round: ProtocolRound) -> None:
+        """Filter + mix through the missing-neighbor policies; mark stalls.
+
+        The fully-attended / partial split is decided **per trial**, never
+        batch-globally, and every kernel input is sliced to the trial's
+        topology's true ``k`` — so each trial's trajectory is bit-identical
+        whether it runs solo, per sweep cell, or fused into the whole
+        sweep.
+        """
+        s = len(self.trials)
+        valid = round.extras["valid"]                   # (S, n, k_max)
+        est_views = round.extras["est_views"]
+        crashed = round.extras["crashed"]               # (S, n)
+
+        full_trials = (
+            (valid == self._neighbor_mask).all(axis=(1, 2))
+            & ~crashed.any(axis=1)
+        )  # (S,)
+        if full_trials.all():
+            # Every trial fully attended: the bit-for-bit degenerate path.
+            stalled = np.zeros((s, self.n), dtype=bool)
+            round.aggregates = self._aggregate_exact(
+                round.views, np.arange(s)
+            )
+            if self.mixing:
+                round.extras["mix"] = self._mix(
+                    est_views, np.arange(s), None, None, full_only=True
+                )
+            round.extras["stalled_agents"] = stalled
+            return
+
+        partial_trials = np.flatnonzero(~full_trials)
+        counts = valid.sum(axis=2)                      # (S, n)
+        missing = self._expected_counts - counts
+        shrink = self._shrink                           # (S,) per trial
+
+        # Consensus/outvote tolerance per (trial, agent): the trial's
+        # Byzantine count, shrunk with the neighborhood's shortfall under
+        # the shrink policy (missing ≈ the faulty ones staying silent).
+        declared = np.broadcast_to(self._fault_counts[:, None], (s, self.n))
+        trim = np.where(
+            shrink[:, None], np.maximum(0, declared - missing), declared
+        )
+
+        # Fully-attended trials never stall (the construction-time degree
+        # checks guarantee their floors); only partial trials can.
+        stalled = np.zeros((s, self.n), dtype=bool)
+        stalled[partial_trials] |= crashed[partial_trials]
+        stalled[partial_trials] |= (counts < trim + 1)[partial_trials]
+        if self.mixing:
+            stalled[partial_trials] |= (counts - 2 * trim < 1)[partial_trials]
+
+        # Per-group filter tolerance and its kernel floor.  Only partial
+        # trials ever read their tolerance row (the exact path has none),
+        # so the computation restricts to them.
+        tolerance = np.zeros((s, self.n), dtype=int)
+        for aggregator, _, declared_f, idx in self._partial_merged:
+            sub = idx[~full_trials[idx]]
+            if not sub.size:
+                continue
+            tol = np.where(
+                shrink[sub][:, None],
+                np.maximum(0, declared_f - missing[sub]),
+                declared_f,
+            ).astype(int)
+            tolerance[sub] = tol
+            floor = masked_min_attendance_for_tolerance(aggregator, tol)
+            stalled[sub] |= counts[sub] < floor
+
+        # Stalled agents hold; give them a self-only mask at zero
+        # tolerance so the batched kernels stay defined, then discard.
+        mask = valid & ~stalled[:, :, None]
+        stall_trials, stall_agents = np.nonzero(stalled)
+        mask[
+            stall_trials,
+            stall_agents,
+            self._self_slots[stall_trials, stall_agents],
+        ] = True
+        tolerance[stalled] = 0
+        trim = np.where(stalled, 0, trim)
+
+        updates = np.empty((s, self.n, self.d))
+        full_idx = np.flatnonzero(full_trials)
+        if full_idx.size:
+            # Fully-attended trials take the per-(aggregator, topology)
+            # exact kernels, sliced to each topology's true k.
+            updates[full_idx] = self._aggregate_exact(round.views, full_idx)
+        for aggregator, partial_kernel, _, idx in self._partial_merged:
+            sub = idx[~full_trials[idx]]
+            if sub.size:
+                # One padded k_max-wide call per aggregator config covers
+                # every topology's partial trials (padding invariance).
+                updates[sub] = partial_kernel(
+                    round.views[sub].reshape(
+                        1, sub.size * self.n, self._k_max, self.d
+                    ),
+                    mask[sub].reshape(sub.size * self.n, self._k_max),
+                    tolerance[sub].reshape(sub.size * self.n),
+                )[0].reshape(sub.size, self.n, self.d)
+        round.aggregates = updates
+
+        if self.mixing:
+            round.extras["mix"] = self._mix(
+                est_views,
+                np.flatnonzero(full_trials),
+                partial_trials,
+                (mask, trim),
+                full_only=False,
+            )
+        round.extras["stalled_agents"] = stalled
+
+    def _aggregate_exact(
+        self, views: np.ndarray, subset: np.ndarray
+    ) -> np.ndarray:
+        """Exact-kernel aggregation of the fully-attended ``subset``."""
+        updates = np.empty((subset.size, self.n, self.d))
+        in_subset = np.zeros(len(self.trials), dtype=bool)
+        in_subset[subset] = True
+        position = np.cumsum(in_subset) - 1
+        for aggregator, kernel, _, _, idx, group in self._partial_groups:
+            members = idx[in_subset[idx]]
+            if not members.size:
+                continue
+            k = group["k"]
+            group_views = views[members][:, :, :k]
+            if kernel is None:
+                folded = group_views.reshape(
+                    members.size * self.n, k, self.d
+                )
+                updates[position[members]] = aggregator.aggregate_batch(
+                    folded
+                ).reshape(members.size, self.n, self.d)
+            else:
+                updates[position[members]] = kernel(
+                    group_views, group["neighbor_mask"]
+                )
+        return updates
+
+    def _mix(
+        self,
+        est_views: np.ndarray,
+        exact_trials: np.ndarray,
+        partial_trials: Optional[np.ndarray],
+        partial_state: Optional[Tuple[np.ndarray, np.ndarray]],
+        full_only: bool,
+    ) -> np.ndarray:
+        """Stale trimmed-mean consensus mix, exact + masked-partial paths."""
+        mixed = np.empty((len(self.trials), self.n, self.d))
+        in_exact = np.zeros(len(self.trials), dtype=bool)
+        in_exact[exact_trials] = True
+        for trim_count, gidx, group in self._mixing_groups:
+            members = gidx[in_exact[gidx]]
+            if not members.size:
+                continue
+            k = group["k"]
+            group_views = est_views[members][:, :, :k]
+            if group["uniform"]:
+                folded = group_views.reshape(
+                    members.size * self.n, k, self.d
+                )
+                mixed[members] = trimmed_mean_batch(
+                    folded, trim_count
+                ).reshape(members.size, self.n, self.d)
+            else:
+                mixed[members] = masked_trimmed_mean_batch(
+                    group_views, group["neighbor_mask"], trim_count
+                )
+        if not full_only and partial_trials is not None and partial_trials.size:
+            mask, trim = partial_state
+            sub = partial_trials
+            # One padded k_max-wide call mixes every topology's partial
+            # trials: the masked trimmed mean indexes order statistics by
+            # attendance count, so the all-invalid padding never lands.
+            mixed[sub] = masked_trimmed_mean_batch(
+                est_views[sub].reshape(
+                    1, sub.size * self.n, self._k_max, self.d
+                ),
+                mask[sub].reshape(sub.size * self.n, self._k_max),
+                trim[sub].reshape(sub.size * self.n),
+            )[0].reshape(sub.size, self.n, self.d)
+        return mixed
+
+    def project(self, round: ProtocolRound) -> np.ndarray:
+        """Projected update on the live agents; stalled agents hold."""
+        t = round.iteration
+        etas = self._etas[t]
+        base = round.extras["mix"] if self.mixing else self.estimates
+        candidates = base - etas[:, None, None] * round.aggregates
+        projected = self._project_all(candidates)
+        stalled = round.extras["stalled_agents"]
+        self.estimates = np.where(
+            stalled[:, :, None], self.estimates, projected
+        )
+        self.iteration = t + 1
+
+        usable_e = round.extras["usable_edges"]
+        self._trajectory[t + 1] = self.estimates
+        self._stalled[t] = stalled
+        self._usable_edge_counts[t] = usable_e.sum(axis=1)
+        self._staleness_sums[t] = np.where(
+            usable_e, t - self._freshest, 0
+        ).sum(axis=1)
+        return self.estimates
+
+    # -- run --------------------------------------------------------------
+    def _run_result(self) -> BatchDelayedDecentralizedTrace:
+        honest_ids = [
+            tuple(i for i in range(self.n) if i not in set(faulty))
+            for faulty in self._faulty
+        ]
+        labels = [
+            trial.label
+            or f"{trial.topology.name}/{aggregator.name}"
+            f"/{trial.attack.name if trial.attack else 'honest'}"
+            for trial, aggregator in zip(self.trials, self._aggregators)
+        ]
+        return BatchDelayedDecentralizedTrace(
+            estimates=self._trajectory,
+            step_sizes=self._etas,
+            honest_ids=honest_ids,
+            labels=labels,
+            stalled=self._stalled,
+            usable_edge_counts=self._usable_edge_counts,
+            staleness_sums=self._staleness_sums,
+            edges=self._edge_count.copy(),
+        )
+
+    def run(
+        self, iterations: int, start_round: Optional[int] = None
+    ) -> BatchDelayedDecentralizedTrace:
+        """Run to round ``iterations`` and return the lazy ``0..T`` trace.
+
+        ``iterations`` is the *absolute* horizon ``T``.  A fresh engine
+        (``start_round`` omitted) pre-samples and runs all ``T`` rounds.
+        A resumed engine (after :meth:`load_state`, or carrying on after
+        an earlier ``run``) passes the round it stopped at as
+        ``start_round``; the horizon extension re-pre-samples only
+        ``[start_round, T)`` with the persisted per-trial network
+        generators, which the chunk-invariance contract of
+        :meth:`~repro.distsys.faults.NetworkCondition.sample_run` makes
+        bit-identical to the uninterrupted whole-run pre-sample.
+        """
+        start = 0 if start_round is None else int(start_round)
+        if start != self.iteration:
+            raise ValueError(
+                f"start_round={start} but the engine is at iteration "
+                f"{self.iteration}; resume exactly where the engine "
+                "stopped (pass start_round=engine.iteration)"
+            )
+        if iterations <= start:
+            raise ValueError(
+                f"iterations is the absolute horizon T and must exceed "
+                f"start_round; got T={iterations}, start_round={start}"
+            )
+        self._extend_horizon(int(iterations))
+        for _ in range(int(iterations) - start):
+            self.step()
+        return self._run_result()
+
+    # -- checkpoint support -----------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-able snapshot at a chunk boundary of a longer run.
+
+        The engine pre-samples each trial's network stream through round
+        ``_horizon``, so a snapshot is only stream-consistent where
+        ``iteration == _horizon`` — exactly at the end of a :meth:`run`
+        chunk.  Captures the iterate batch, both generator families, the
+        per-run condition state, the in-flight per-edge queues and the
+        recorded prefixes of *both* payload channels (iterate trajectory
+        and gradient history, which stale views gather against);
+        :meth:`load_state` on a freshly constructed engine with the same
+        trials continues bit-identically.
+        """
+        if self._run_conditions is None:
+            raise RuntimeError(
+                "state_dict needs a begun run: call run() first"
+            )
+        k = int(self.iteration)
+        if k != self._horizon:
+            raise RuntimeError(
+                f"state_dict snapshots chunk boundaries only: the engine "
+                f"is at round {k} with a pre-sampled horizon of "
+                f"{self._horizon}, and the network stream cannot be "
+                "rewound — checkpoint exactly at the end of a run() chunk"
+            )
+        return {
+            "schema": "repro/batch-decentralized-delay-state/v1",
+            "iteration": k,
+            "estimates": self.estimates.tolist(),
+            "rng_states": [rng.bit_generator.state for rng in self.rngs],
+            "net_rng_states": [
+                [rng.bit_generator.state for rng in streams]
+                for streams in self._net_rngs
+            ],
+            "condition_states": [
+                [condition.state_dict() for condition in conditions]
+                for conditions in self._run_conditions
+            ],
+            "pending": self._pending.tolist(),
+            "freshest": self._freshest.tolist(),
+            "trajectory": self._trajectory[: k + 1].tolist(),
+            "grad_history": self._grad_history[:k].tolist(),
+            "stalled": self._stalled[:k].tolist(),
+            "usable_edge_counts": self._usable_edge_counts[:k].tolist(),
+            "staleness_sums": self._staleness_sums[:k].tolist(),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot onto a fresh engine."""
+        schema = state.get("schema")
+        if schema != "repro/batch-decentralized-delay-state/v1":
+            raise ValueError(f"unrecognized engine-state schema: {schema!r}")
+        if self.iteration != 0 or self._horizon != 0:
+            raise RuntimeError(
+                "load_state needs a freshly constructed engine"
+            )
+        s = len(self.trials)
+        for name in ("rng_states", "net_rng_states", "condition_states"):
+            if len(state[name]) != s:
+                raise ValueError(
+                    f"state holds {len(state[name])} {name} entries but "
+                    f"the engine has {s} trials"
+                )
+        k = int(state["iteration"])
+        self._run_conditions = [
+            copy.deepcopy(tuple(trial.conditions)) for trial in self.trials
+        ]
+        self._net_rngs = [
+            network_streams(trial.seed, len(conditions))
+            for trial, conditions in zip(self.trials, self._run_conditions)
+        ]
+        for index, (
+            conditions,
+            net_rngs,
+            condition_states,
+            stream_states,
+        ) in enumerate(
+            zip(
+                self._run_conditions,
+                self._net_rngs,
+                state["condition_states"],
+                state["net_rng_states"],
+            )
+        ):
+            if len(condition_states) != len(conditions):
+                raise ValueError(
+                    f"state holds {len(condition_states)} condition states "
+                    f"for a trial with {len(conditions)} conditions"
+                )
+            if len(stream_states) != len(conditions):
+                raise ValueError(
+                    f"state holds {len(stream_states)} network-stream "
+                    f"states for a trial with {len(conditions)} conditions"
+                )
+            for condition, net_rng in zip(conditions, net_rngs):
+                condition.begin_run(int(self._edge_count[index]), net_rng)
+            for condition, condition_state in zip(
+                conditions, condition_states
+            ):
+                condition.load_state(condition_state)
+            for rng, rng_state in zip(net_rngs, stream_states):
+                rng.bit_generator.state = rng_state
+        for rng, rng_state in zip(self.rngs, state["rng_states"]):
+            rng.bit_generator.state = rng_state
+
+        self.iteration = k
+        self._horizon = k
+        self.estimates = np.asarray(state["estimates"], dtype=float)
+        self._pending = np.asarray(state["pending"], dtype=int)
+        self._freshest = np.asarray(state["freshest"], dtype=int)
+        # Rounds before k are already consumed: their realization is never
+        # re-read, so the prefix tensors stay placeholder-filled (padded
+        # edge columns dropped, like a fresh pre-sample).
+        self._net_delays = np.zeros((k, s, self._edge_max), dtype=int)
+        self._net_dropped = np.ones((k, s, self._edge_max), dtype=bool)
+        self._active = np.zeros((k, s, self.n), dtype=bool)
+        self._silenced = np.zeros((k, s, self.n), dtype=bool)
+        self._trajectory = np.asarray(state["trajectory"], dtype=float)
+        self._grad_history = np.asarray(state["grad_history"], dtype=float)
+        self._stalled = np.asarray(state["stalled"], dtype=bool)
+        self._usable_edge_counts = np.asarray(
+            state["usable_edge_counts"], dtype=int
+        )
+        self._staleness_sums = np.asarray(
+            state["staleness_sums"], dtype=float
+        )
+        self._etas = np.zeros((k, s))
+
+
+def run_decentralized_delayed_batch(
+    costs: Union[Sequence[CostFunction], CostStack],
+    trials: Sequence[DelayBatchTrial],
+    constraint: ConvexSet,
+    schedule: StepSchedule,
+    initial_estimate: Sequence[float],
+    iterations: int,
+    mixing: bool = True,
+    allow_disconnected: bool = False,
+) -> BatchDelayedDecentralizedTrace:
+    """Convenience wrapper mirroring :func:`~repro.distsys.batch.run_dgd_batch`."""
+    simulator = BatchDelayedDecentralizedSimulator(
+        costs=costs,
+        trials=trials,
+        constraint=constraint,
+        schedule=schedule,
+        initial_estimate=initial_estimate,
+        mixing=mixing,
+        allow_disconnected=allow_disconnected,
+    )
+    return simulator.run(iterations)

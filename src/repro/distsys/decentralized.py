@@ -46,7 +46,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -110,20 +110,45 @@ class DecentralizedTrace:
         honest = list(self.honest_ids[trial])
         return self.estimates[-1, trial, honest, :].copy()
 
-    def consensus_gap(self) -> np.ndarray:
+    def _honest_groups(self) -> List[Tuple[List[int], np.ndarray]]:
+        """Trials grouped by honest set, so per-trial reductions vectorize.
+
+        Sweep traces repeat one honest set across hundreds of trials; a
+        grouped gather turns the per-trial Python loop into one tensor
+        reduction per distinct set without changing any float (the same
+        norms reduce over the same elements).
+        """
+        order: Dict[Tuple[int, ...], List[int]] = {}
+        for trial, honest in enumerate(self.honest_ids):
+            order.setdefault(tuple(honest), []).append(trial)
+        return [
+            (list(honest), np.asarray(trials, dtype=int))
+            for honest, trials in order.items()
+        ]
+
+    def consensus_gap(
+        self, rounds: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
         """Max pairwise honest-iterate distance per trial/iteration, ``(S, T+1)``.
 
         The decentralized analogue of the peer-to-peer consistency check:
         on the complete graph it stays exactly zero; on sparse graphs it
-        measures how far the honest agents are from agreement.
+        measures how far the honest agents are from agreement.  ``rounds``
+        restricts the reduction to those snapshot indices (``(S,
+        len(rounds))``) — reports that only need the final iterate pass
+        ``rounds=[-1]`` instead of reducing the whole trajectory.
         """
-        t_plus_1, s, _, _ = self.estimates.shape
-        gaps = np.empty((s, t_plus_1))
-        for trial in range(s):
-            honest = list(self.honest_ids[trial])
-            points = self.estimates[:, trial, honest, :]  # (T+1, h, d)
-            diffs = points[:, :, None, :] - points[:, None, :, :]
-            gaps[trial] = np.linalg.norm(diffs, axis=3).max(axis=(1, 2))
+        estimates = (
+            self.estimates
+            if rounds is None
+            else self.estimates[np.asarray(rounds, dtype=int)]
+        )
+        t_sel, s, _, _ = estimates.shape
+        gaps = np.empty((s, t_sel))
+        for honest, trials in self._honest_groups():
+            points = estimates[:, trials][:, :, honest, :]
+            diffs = points[:, :, :, None, :] - points[:, :, None, :, :]
+            gaps[trials] = np.linalg.norm(diffs, axis=4).max(axis=(2, 3)).T
         return gaps
 
     def component_consensus_gaps(
@@ -156,19 +181,29 @@ class DecentralizedTrace:
             gaps.append(out)
         return gaps
 
-    def distances_to(self, target: Sequence[float]) -> np.ndarray:
+    def distances_to(
+        self,
+        target: Sequence[float],
+        rounds: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
         """Honest convergence radius per trial/iteration, ``(S, T + 1)``.
 
         The radius is ``max_{i honest} ||x_i^t - target||`` — the quantity
-        the decentralized convergence statements bound.
+        the decentralized convergence statements bound.  ``rounds``
+        restricts the reduction to those snapshot indices, as in
+        :meth:`consensus_gap`.
         """
         tgt = np.asarray(target, dtype=float)
-        t_plus_1, s, _, _ = self.estimates.shape
-        radii = np.empty((s, t_plus_1))
-        for trial in range(s):
-            honest = list(self.honest_ids[trial])
-            points = self.estimates[:, trial, honest, :]
-            radii[trial] = np.linalg.norm(points - tgt, axis=2).max(axis=1)
+        estimates = (
+            self.estimates
+            if rounds is None
+            else self.estimates[np.asarray(rounds, dtype=int)]
+        )
+        t_sel, s, _, _ = estimates.shape
+        radii = np.empty((s, t_sel))
+        for honest, trials in self._honest_groups():
+            points = estimates[:, trials][:, :, honest, :]
+            radii[trials] = np.linalg.norm(points - tgt, axis=3).max(axis=2).T
         return radii
 
 

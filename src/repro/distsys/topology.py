@@ -106,6 +106,12 @@ class CommunicationTopology:
         return np.flatnonzero(self.adjacency[:, agent])
 
     # -- batched gather structure -----------------------------------------
+    # The gather/edge structures are pure functions of the (immutable)
+    # adjacency, and the engines consult them per round — the delay-tolerant
+    # engines in particular rebuild nothing: all three accessors compute
+    # once on first use and cache on the frozen instance.  Cached arrays are
+    # marked read-only; callers needing a mutable copy must copy explicitly.
+
     def neighborhoods(self) -> Tuple[np.ndarray, np.ndarray]:
         """Padded closed-neighborhood gather indices for the batch engines.
 
@@ -114,16 +120,23 @@ class CommunicationTopology:
         in-neighborhood ascending, padded with ``0`` where ``mask`` is
         ``False``.  Gathering a message tensor ``(S, n, d)`` through
         ``index`` yields the ``(S, n, k, d)`` neighborhood stacks consumed
-        by the neighborhood-wise gradient filters.
+        by the neighborhood-wise gradient filters.  Computed once and
+        cached; the returned arrays are read-only.
         """
-        k = int(self.closed_in_degrees.max())
-        index = np.zeros((self.n, k), dtype=int)
-        mask = np.zeros((self.n, k), dtype=bool)
-        for i in range(self.n):
-            neighborhood = self.closed_in_neighbors(i)
-            index[i, : neighborhood.size] = neighborhood
-            mask[i, : neighborhood.size] = True
-        return index, mask
+        cached = self.__dict__.get("_neighborhoods_cache")
+        if cached is None:
+            k = int(self.closed_in_degrees.max())
+            index = np.zeros((self.n, k), dtype=int)
+            mask = np.zeros((self.n, k), dtype=bool)
+            for i in range(self.n):
+                neighborhood = self.closed_in_neighbors(i)
+                index[i, : neighborhood.size] = neighborhood
+                mask[i, : neighborhood.size] = True
+            index.setflags(write=False)
+            mask.setflags(write=False)
+            cached = (index, mask)
+            object.__setattr__(self, "_neighborhoods_cache", cached)
+        return cached
 
     def directed_edges(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """The graph's directed (sender → receiver) edges, slot-aligned.
@@ -136,15 +149,23 @@ class CommunicationTopology:
         ``receivers[e]``'s row of the ``(n, k)`` gather index, so per-edge
         state (delays, drop masks, view-round queues) scatters straight
         into the neighborhood tensors.  This is the canonical edge
-        indexing of the delay-tolerant decentralized engine: a
+        indexing of the delay-tolerant decentralized engines: a
         :class:`~repro.distsys.faults.NetworkCondition` restricted to
         ``agents=[e]`` conditions exactly edge ``e`` of this enumeration
-        (see :meth:`edge_index`).
+        (see :meth:`edge_index`).  Computed once and cached; the returned
+        arrays are read-only.
         """
-        index, mask = self.neighborhoods()
-        real = mask & (index != np.arange(self.n)[:, None])
-        receivers, slots = np.nonzero(real)
-        return index[receivers, slots], receivers, slots
+        cached = self.__dict__.get("_directed_edges_cache")
+        if cached is None:
+            index, mask = self.neighborhoods()
+            real = mask & (index != np.arange(self.n)[:, None])
+            receivers, slots = np.nonzero(real)
+            senders = index[receivers, slots]
+            for arr in (senders, receivers, slots):
+                arr.setflags(write=False)
+            cached = (senders, receivers, slots)
+            object.__setattr__(self, "_directed_edges_cache", cached)
+        return cached
 
     def edge_index(self, sender: int, receiver: int) -> int:
         """Position of the ``sender → receiver`` edge in :meth:`directed_edges`.
@@ -152,15 +173,23 @@ class CommunicationTopology:
         The handle per-edge :class:`~repro.distsys.faults.NetworkCondition`
         subsets key on — e.g. ``Stragglers({topology.edge_index(2, 3): 4.0})``
         makes only the 2→3 link slow.  Raises for absent edges (including
-        self-messages, which are local and never conditioned).
+        self-messages, which are local and never conditioned).  The
+        position map is built once, so lookups are O(1).
         """
-        senders, receivers, _ = self.directed_edges()
-        hits = np.flatnonzero((senders == sender) & (receivers == receiver))
-        if hits.size == 0:
+        positions = self.__dict__.get("_edge_position_cache")
+        if positions is None:
+            senders, receivers, _ = self.directed_edges()
+            positions = {
+                (int(s), int(r)): e
+                for e, (s, r) in enumerate(zip(senders, receivers))
+            }
+            object.__setattr__(self, "_edge_position_cache", positions)
+        position = positions.get((int(sender), int(receiver)))
+        if position is None:
             raise ValueError(
                 f"topology {self.name!r} has no edge {sender} -> {receiver}"
             )
-        return int(hits[0])
+        return position
 
     # -- global structure --------------------------------------------------
     def _reachable(self, adjacency: np.ndarray) -> np.ndarray:

@@ -166,6 +166,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="seeds per cell (per-edge delays and drops are stochastic, "
         "so more seeds tighten the radius and gap estimates)",
     )
+    p.add_argument(
+        "--reference",
+        action="store_true",
+        help="replay the per-trial delay engine cell by cell instead of "
+        "the fused (S, E) edge-tensor batch engine (slow; the oracle the "
+        "batched engine is pinned against)",
+    )
     _add_orchestration_flags(p)
 
     p = sub.add_parser(
@@ -540,15 +547,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
 
         seeds = tuple(range(args.seed, args.seed + args.seeds))
+        engine = "reference" if args.reference else "batched"
         config = _orchestrator_config(args)
         if config is not None:
             rows, report = orchestrated_decentralized_delay_sweep(
-                iterations=args.iterations, seeds=seeds, config=config
+                iterations=args.iterations,
+                seeds=seeds,
+                engine=engine,
+                config=config,
             )
             _finish_report(args, report)
         else:
             rows = decentralized_delay_sweep(
-                iterations=args.iterations, seeds=seeds
+                iterations=args.iterations, seeds=seeds, engine=engine
             )
         print(
             render_decentralized_delay_report(rows, iterations=args.iterations)

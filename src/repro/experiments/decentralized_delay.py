@@ -1,23 +1,31 @@
 """The decentralized-delay experiment family: topology × τ × drop sweeps.
 
 Runs the Appendix-J regression system through the delay-tolerant
-decentralized engine
-(:class:`~repro.distsys.decentralized_delay.DelayedDecentralizedSimulator`)
-over a grid of communication topologies, staleness bounds and per-edge
-loss rates — under a fixed per-edge delay spectrum with the paper's
-gradient-reverse adversary — and reports, per configuration, the final
-**convergence radius** ``max_{i honest} ||x_i^T - x_H||`` and **consensus
-gap** ``max_{i,j honest} ||x_i^T - x_j^T||`` together with the gossip
+decentralized engines over a grid of communication topologies, staleness
+bounds and per-edge loss rates — under a fixed per-edge delay spectrum
+with the paper's gradient-reverse adversary — and reports, per
+configuration, the final **convergence radius**
+``max_{i honest} ||x_i^T - x_H||`` and **consensus gap**
+``max_{i,j honest} ||x_i^T - x_j^T||`` together with the gossip
 diagnostics the synchronous sweep cannot produce: the per-round fraction
 of edges whose last delivery missed the staleness bound, the mean
 staleness of the deliveries actually used, and the number of
 (agent, round) stalls.
 
+With ``engine="batched"`` (the default) the whole topology × τ × drop ×
+policy × seed grid fuses onto the batch axis of one
+:class:`~repro.distsys.batch_decentralized_delay.BatchDelayedDecentralizedSimulator`
+tensor program; ``engine="reference"`` replays the per-trial
+:class:`~repro.distsys.decentralized_delay.DelayedDecentralizedSimulator`
+cell by cell.  The fused engine is pinned bit for bit to the per-trial
+one, so the flag is a verification fallback, not a semantic switch.
+
 Each filter column runs under its declared missing-neighbor policy (the
 graph analogue of the asynchronous missing-value contract, sharing
 :data:`repro.experiments.asynchronous.DEFAULT_POLICIES`); aggregators are
-grouped by policy so every (topology, τ, drop, policy) cell is one batched
-engine run over its aggregator × attack × seed grid.
+grouped by policy so every (topology, τ, drop, policy) cell is one
+aggregator × attack × seed sub-grid of the fused batch (or one batched
+per-cell engine run under ``"reference"``).
 """
 
 from __future__ import annotations
@@ -30,16 +38,23 @@ import numpy as np
 from ..aggregators.registry import make_aggregator
 from ..attacks.registry import make_attack
 from ..distsys.batch import BatchTrial
+from ..distsys.batch_decentralized_delay import (
+    BatchDelayedDecentralizedSimulator,
+    DelayBatchTrial,
+)
 from ..distsys.decentralized_delay import DelayedDecentralizedSimulator
 from ..distsys.faults import IIDDrop, LinkDelay, uniform_delay
 from ..distsys.topology import CommunicationTopology, make_topology
 from ..functions.batched import stack_costs
-from .asynchronous import DEFAULT_POLICIES
+from .asynchronous import DEFAULT_POLICIES, SWEEP_ENGINES
+from .checkpoint import CheckpointStore, spec_hash
 from .decentralized import deserialize_topology, serialize_topology
 from .orchestrator import (
+    EngineCheckpointer,
     OrchestratorConfig,
     SweepCell,
     SweepReport,
+    run_engine_checkpointed,
     run_sweep_cells,
 )
 from .paper_regression import PaperProblem, paper_problem
@@ -84,6 +99,130 @@ def default_delay_topologies(
     ]
 
 
+def _cell_conditions(drop_rate: float, delay_high: int):
+    """The sweep's shared per-edge condition pipeline."""
+    conditions = [LinkDelay(uniform_delay(0, delay_high))]
+    if drop_rate > 0:
+        conditions.append(IIDDrop(drop_rate))
+    return conditions
+
+
+def _policy_grouping(
+    aggregators: Sequence[str], policies: Optional[Dict[str, str]]
+) -> Dict[str, List[str]]:
+    """Group the filter columns by missing-neighbor policy, in order."""
+    resolved = dict(DEFAULT_POLICIES, **(policies or {}))
+    by_policy: Dict[str, List[str]] = {}
+    for aggregator in aggregators:
+        by_policy.setdefault(
+            resolved.get(aggregator, "masked"), []
+        ).append(aggregator)
+    return by_policy
+
+
+def _batched_delay_trials(
+    problem,
+    topology,
+    tau,
+    drop_rate,
+    policy,
+    aggregators,
+    seeds,
+    attack,
+    delay_high,
+) -> List[DelayBatchTrial]:
+    """One cell's aggregator × seed trial grid for the fused engine."""
+    faulty = () if attack is None else tuple(problem.faulty_ids)
+    return [
+        DelayBatchTrial(
+            aggregator=make_aggregator(aggregator, problem.n, problem.f),
+            topology=topology,
+            attack=None if attack is None else make_attack(attack),
+            faulty_ids=faulty,
+            conditions=tuple(_cell_conditions(drop_rate, delay_high)),
+            staleness_bound=int(tau),
+            missing_policy=policy,
+            seed=int(seed),
+            label=(
+                f"{topology.name}/tau{tau}/drop{drop_rate}"
+                f"/{aggregator}/s{seed}"
+            ),
+        )
+        for aggregator in aggregators
+        for seed in seeds
+    ]
+
+
+def _trace_diagnostics(problem, trace) -> Dict[str, np.ndarray]:
+    """The per-trial report reductions, computed once per trace.
+
+    The fused engine carries the whole sweep in one trace; folding each
+    cell by recomputing trace-wide diagnostics would redo the same
+    reductions once per cell, so they are hoisted here and the fold
+    slices the precomputed per-trial arrays.
+    """
+    return {
+        "radii": trace.distances_to(problem.x_h, rounds=[-1])[:, -1],
+        "gaps": trace.consensus_gap(rounds=[-1])[:, -1],
+        "missing": trace.missing_fraction().mean(axis=1),
+        "profile": trace.staleness_profile(),
+        "stalls": trace.stalled_agent_rounds(),
+    }
+
+
+def _fold_cell_rows(
+    diagnostics,
+    topology_name,
+    tau,
+    drop_rate,
+    policy,
+    aggregators,
+    attack,
+    seeds,
+    offset=0,
+) -> List[DecentralizedDelaySweepRow]:
+    """Fold one cell's slice of the diagnostics into its report rows.
+
+    Works on both trace flavors — the per-trial engine's cell trace
+    (``offset=0``) and the fused engine's whole-sweep trace (``offset`` =
+    the cell's first trial index) — because both expose the same
+    per-trial diagnostics.
+    """
+    radii = diagnostics["radii"]
+    gaps = diagnostics["gaps"]
+    missing = diagnostics["missing"]
+    profile = diagnostics["profile"]
+    stalls = diagnostics["stalls"]
+    rows: List[DecentralizedDelaySweepRow] = []
+    for c, aggregator in enumerate(aggregators):
+        span = slice(
+            offset + c * len(seeds), offset + (c + 1) * len(seeds)
+        )
+        cell_profile = profile[span]
+        rows.append(
+            DecentralizedDelaySweepRow(
+                topology=topology_name,
+                staleness_bound=int(tau),
+                drop_rate=float(drop_rate),
+                aggregator=aggregator,
+                policy=policy,
+                attack=attack,
+                seeds=len(seeds),
+                mean_radius=float(radii[span].mean()),
+                worst_radius=float(radii[span].max()),
+                mean_gap=float(gaps[span].mean()),
+                missing_rate=float(missing[span].mean()),
+                mean_staleness=(
+                    float(np.nanmean(cell_profile))
+                    if np.isfinite(cell_profile).any()
+                    else float("nan")
+                ),
+                stalled=int(stalls[span].sum()),
+            )
+        )
+    return rows
+
+
 def decentralized_delay_sweep(
     problem: Optional[PaperProblem] = None,
     topologies: Optional[Sequence[CommunicationTopology]] = None,
@@ -95,6 +234,7 @@ def decentralized_delay_sweep(
     iterations: int = 300,
     seeds: Sequence[int] = (0,),
     delay_high: int = 2,
+    engine: str = "batched",
 ) -> List[DecentralizedDelaySweepRow]:
     """Run the topology × τ × drop × filter sweep; returns report rows.
 
@@ -102,15 +242,27 @@ def decentralized_delay_sweep(
     delays in ``0..delay_high`` on every directed edge) so the staleness
     bound τ is the axis deciding how much in-flight gossip is usable; the
     drop rate adds i.i.d. per-edge loss on top.  With ``delay_high = 0``
-    and no drops every edge is fresh and the engine pins bit for bit to
+    and no drops every edge is fresh and the engines pin bit for bit to
     the synchronous
     :class:`~repro.distsys.decentralized.DecentralizedSimulator` — the
     benchmark asserts that degenerate identity inside the workload.
+
+    With ``engine="batched"`` (the default) the *entire* grid — every
+    (topology, τ, drop, policy, filter, seed) trial — runs as one fused
+    :class:`~repro.distsys.batch_decentralized_delay.BatchDelayedDecentralizedSimulator`
+    tensor program; ``engine="reference"`` replays the per-trial
+    :class:`~repro.distsys.decentralized_delay.DelayedDecentralizedSimulator`
+    one (topology, τ, drop, policy) cell at a time.  The fused engine is
+    pinned bit for bit to the per-trial one, so the rows are identical.
 
     ``policies`` overrides the per-filter missing-neighbor policy
     (default: :data:`repro.experiments.asynchronous.DEFAULT_POLICIES` —
     CGE shrinks, the trim-style filters stay masked).
     """
+    if engine not in SWEEP_ENGINES:
+        raise ValueError(
+            f"unknown sweep engine {engine!r}; known: {', '.join(SWEEP_ENGINES)}"
+        )
     problem = problem or paper_problem()
     stack = stack_costs(problem.costs)
     topologies = (
@@ -118,89 +270,79 @@ def decentralized_delay_sweep(
         if topologies is not None
         else default_delay_topologies(problem.n)
     )
-    policies = dict(DEFAULT_POLICIES, **(policies or {}))
-    by_policy: Dict[str, List[str]] = {}
-    for aggregator in aggregators:
-        by_policy.setdefault(
-            policies.get(aggregator, "masked"), []
-        ).append(aggregator)
+    by_policy = _policy_grouping(aggregators, policies)
+    cells = [
+        (topology, int(tau), float(drop_rate), policy, policy_aggregators)
+        for topology in topologies
+        for tau in staleness_bounds
+        for drop_rate in drop_rates
+        for policy, policy_aggregators in by_policy.items()
+    ]
 
-    def cell_conditions(drop_rate):
-        conditions = [LinkDelay(uniform_delay(0, delay_high))]
-        if drop_rate > 0:
-            conditions.append(IIDDrop(drop_rate))
-        return conditions
+    if engine == "batched":
+        trials: List[DelayBatchTrial] = []
+        offsets: List[int] = []
+        for topology, tau, drop_rate, policy, policy_aggregators in cells:
+            offsets.append(len(trials))
+            trials.extend(
+                _batched_delay_trials(
+                    problem, topology, tau, drop_rate, policy,
+                    policy_aggregators, seeds, attack, delay_high,
+                )
+            )
+        trace = BatchDelayedDecentralizedSimulator(
+            costs=stack,
+            trials=trials,
+            constraint=problem.constraint,
+            schedule=problem.schedule,
+            initial_estimate=problem.initial_estimate,
+        ).run(iterations)
+        diagnostics = _trace_diagnostics(problem, trace)
+        rows: List[DecentralizedDelaySweepRow] = []
+        for offset, (topology, tau, drop_rate, policy, cell_aggs) in zip(
+            offsets, cells
+        ):
+            rows.extend(
+                _fold_cell_rows(
+                    diagnostics, topology.name, tau, drop_rate, policy,
+                    cell_aggs, attack, seeds, offset=offset,
+                )
+            )
+        return rows
 
-    rows: List[DecentralizedDelaySweepRow] = []
-    for topology in topologies:
-        for tau in staleness_bounds:
-            for drop_rate in drop_rates:
-                for policy, policy_aggregators in by_policy.items():
-                    trials: List[BatchTrial] = []
-                    cells: List[Tuple[str, Optional[str]]] = []
-                    for aggregator in policy_aggregators:
-                        cells.append((aggregator, attack))
-                        for seed in seeds:
-                            faulty = (
-                                ()
-                                if attack is None
-                                else tuple(problem.faulty_ids)
-                            )
-                            trials.append(
-                                BatchTrial(
-                                    aggregator=make_aggregator(
-                                        aggregator, problem.n, problem.f
-                                    ),
-                                    attack=(
-                                        None
-                                        if attack is None
-                                        else make_attack(attack)
-                                    ),
-                                    faulty_ids=faulty,
-                                    seed=seed,
-                                )
-                            )
-                    simulator = DelayedDecentralizedSimulator(
-                        costs=stack,
-                        topology=topology,
-                        trials=trials,
-                        constraint=problem.constraint,
-                        schedule=problem.schedule,
-                        initial_estimate=problem.initial_estimate,
-                        conditions=cell_conditions(drop_rate),
-                        staleness_bound=int(tau),
-                        missing_policy=policy,
-                    )
-                    trace = simulator.run(iterations)
-                    radii = trace.distances_to(problem.x_h)[:, -1]
-                    gaps = trace.consensus_gap()[:, -1]
-                    missing = trace.missing_fraction().mean(axis=1)
-                    profile = trace.staleness_profile()
-                    stalls = trace.stalled_agent_rounds()
-                    for c, (aggregator, cell_attack) in enumerate(cells):
-                        span = slice(c * len(seeds), (c + 1) * len(seeds))
-                        cell_profile = profile[span]
-                        rows.append(
-                            DecentralizedDelaySweepRow(
-                                topology=topology.name,
-                                staleness_bound=int(tau),
-                                drop_rate=float(drop_rate),
-                                aggregator=aggregator,
-                                policy=policy,
-                                attack=cell_attack,
-                                seeds=len(seeds),
-                                mean_radius=float(radii[span].mean()),
-                                worst_radius=float(radii[span].max()),
-                                mean_gap=float(gaps[span].mean()),
-                                missing_rate=float(missing[span].mean()),
-                                mean_staleness=(
-                                    float(np.nanmean(cell_profile))
-                                    if np.isfinite(cell_profile).any()
-                                    else float("nan")
-                                ),
-                                stalled=int(stalls[span].sum()),
-                            )
-                        )
+    rows = []
+    for topology, tau, drop_rate, policy, policy_aggregators in cells:
+        faulty = () if attack is None else tuple(problem.faulty_ids)
+        trials = [
+            BatchTrial(
+                aggregator=make_aggregator(
+                    aggregator, problem.n, problem.f
+                ),
+                attack=None if attack is None else make_attack(attack),
+                faulty_ids=faulty,
+                seed=seed,
+            )
+            for aggregator in policy_aggregators
+            for seed in seeds
+        ]
+        simulator = DelayedDecentralizedSimulator(
+            costs=stack,
+            topology=topology,
+            trials=trials,
+            constraint=problem.constraint,
+            schedule=problem.schedule,
+            initial_estimate=problem.initial_estimate,
+            conditions=_cell_conditions(drop_rate, delay_high),
+            staleness_bound=int(tau),
+            missing_policy=policy,
+        )
+        trace = simulator.run(iterations)
+        rows.extend(
+            _fold_cell_rows(
+                _trace_diagnostics(problem, trace), topology.name, tau,
+                drop_rate, policy, policy_aggregators, attack, seeds,
+            )
+        )
     return rows
 
 
@@ -209,24 +351,75 @@ def _run_decentralized_delay_cell(
 ) -> Dict[str, object]:
     """Orchestrator worker: one (topology, τ, drop, policy) cell.
 
-    Each cell is exactly one batched delay-engine run — the same grouping
-    the direct sweep uses — so orchestrated rows pin bit for bit to
-    :func:`decentralized_delay_sweep`.
+    Each cell is exactly one batched delay-engine run over its
+    aggregator × seed grid — the same per-receiver-row kernels the fused
+    direct sweep applies — so orchestrated rows pin bit for bit to
+    :func:`decentralized_delay_sweep`.  Under the batched engine, a
+    payload carrying a checkpoint contract runs through
+    :func:`~repro.experiments.orchestrator.run_engine_checkpointed`: the
+    chunk-boundary ``state_dict`` of
+    :class:`~repro.distsys.batch_decentralized_delay.BatchDelayedDecentralizedSimulator`
+    makes a killed-and-resumed cell bit-identical to an uninterrupted one.
     """
     policy = str(payload["policy"])
     aggregators = [str(a) for a in payload["aggregators"]]
-    rows = decentralized_delay_sweep(
-        problem=None,
-        topologies=[deserialize_topology(payload["topology"])],
-        staleness_bounds=[int(payload["staleness_bound"])],
-        drop_rates=[float(payload["drop_rate"])],
-        aggregators=aggregators,
-        attack=payload["attack"],
-        policies={aggregator: policy for aggregator in aggregators},
-        iterations=int(payload["iterations"]),
-        seeds=[int(s) for s in payload["seeds"]],
-        delay_high=int(payload["delay_high"]),
-    )
+    topology = deserialize_topology(payload["topology"])
+    tau = int(payload["staleness_bound"])
+    drop_rate = float(payload["drop_rate"])
+    attack = payload["attack"]
+    seeds = [int(s) for s in payload["seeds"]]
+    iterations = int(payload["iterations"])
+    delay_high = int(payload["delay_high"])
+    engine = str(payload.get("engine", "batched"))
+    if engine == "batched":
+        problem = paper_problem()
+        stack = stack_costs(problem.costs)
+        trials = _batched_delay_trials(
+            problem, topology, tau, drop_rate, policy, aggregators,
+            seeds, attack, delay_high,
+        )
+
+        def make_engine() -> BatchDelayedDecentralizedSimulator:
+            return BatchDelayedDecentralizedSimulator(
+                costs=stack,
+                trials=trials,
+                constraint=problem.constraint,
+                schedule=problem.schedule,
+                initial_estimate=problem.initial_estimate,
+            )
+
+        checkpoint = payload.get("checkpoint")
+        if checkpoint:
+            trace = run_engine_checkpointed(
+                make_engine,
+                iterations,
+                checkpoint_every=int(checkpoint["every"]),
+                checkpointer=EngineCheckpointer(
+                    store=CheckpointStore(checkpoint["dir"]),
+                    sweep_hash=str(checkpoint["spec_hash"]),
+                    key=str(checkpoint["key"]),
+                ),
+            )
+        else:
+            trace = make_engine().run(iterations)
+        rows = _fold_cell_rows(
+            _trace_diagnostics(problem, trace), topology.name, tau,
+            drop_rate, policy, aggregators, attack, seeds,
+        )
+    else:
+        rows = decentralized_delay_sweep(
+            problem=None,
+            topologies=[topology],
+            staleness_bounds=[tau],
+            drop_rates=[drop_rate],
+            aggregators=aggregators,
+            attack=attack,
+            policies={aggregator: policy for aggregator in aggregators},
+            iterations=iterations,
+            seeds=seeds,
+            delay_high=delay_high,
+            engine="reference",
+        )
     return {"rows": [asdict(row) for row in rows]}
 
 
@@ -240,17 +433,26 @@ def orchestrated_decentralized_delay_sweep(
     iterations: int = 300,
     seeds: Sequence[int] = (0,),
     delay_high: int = 2,
+    engine: str = "batched",
     config: Optional[OrchestratorConfig] = None,
 ) -> Tuple[List[DecentralizedDelaySweepRow], SweepReport]:
     """The topology × τ × drop × filter sweep through the orchestrator.
 
     One crash-safe cell per (topology, τ, drop, policy) — the direct
-    sweep's batched-engine granularity — so rows arrive in
+    sweep's per-cell granularity — so rows arrive in
     :func:`decentralized_delay_sweep` order, with failed cells' rows
     absent and listed in ``report.failed_cells``.  Workers rebuild the
     default paper problem; topologies travel as explicit adjacency
-    payloads.
+    payloads.  Under the batched engine (the default) with
+    ``config.checkpoint_dir`` and ``config.checkpoint_every`` set, each
+    cell checkpoints its engine state mid-trajectory and a
+    killed-and-resumed sweep is bit-identical to an uninterrupted one.
     """
+    if engine not in SWEEP_ENGINES:
+        raise ValueError(
+            f"unknown sweep engine {engine!r}; "
+            f"known: {', '.join(SWEEP_ENGINES)}"
+        )
     config = config or OrchestratorConfig()
     problem_n = paper_problem().n
     topologies = (
@@ -259,11 +461,7 @@ def orchestrated_decentralized_delay_sweep(
         else default_delay_topologies(problem_n)
     )
     resolved = dict(DEFAULT_POLICIES, **(policies or {}))
-    by_policy: Dict[str, List[str]] = {}
-    for aggregator in aggregators:
-        by_policy.setdefault(
-            resolved.get(aggregator, "masked"), []
-        ).append(aggregator)
+    by_policy = _policy_grouping(aggregators, policies)
     serialized = [serialize_topology(t) for t in topologies]
     spec_doc = {
         "family": "decentralized_delay",
@@ -276,31 +474,42 @@ def orchestrated_decentralized_delay_sweep(
         "iterations": int(iterations),
         "seeds": [int(s) for s in seeds],
         "delay_high": int(delay_high),
+        "engine": engine,
     }
+    sweep_hash = spec_hash(spec_doc)
     cells: List[SweepCell] = []
     for t, (topology, topo_payload) in enumerate(zip(topologies, serialized)):
         for tau in staleness_bounds:
             for drop_rate in drop_rates:
                 for policy, policy_aggregators in by_policy.items():
-                    cells.append(
-                        SweepCell(
-                            key=(
-                                f"t{t}-{topology.name}/tau{int(tau)}/"
-                                f"drop{float(drop_rate)}/{policy}"
-                            ),
-                            payload={
-                                "topology": topo_payload,
-                                "staleness_bound": int(tau),
-                                "drop_rate": float(drop_rate),
-                                "aggregators": list(policy_aggregators),
-                                "policy": policy,
-                                "attack": attack,
-                                "iterations": int(iterations),
-                                "seeds": [int(s) for s in seeds],
-                                "delay_high": int(delay_high),
-                            },
-                        )
+                    key = (
+                        f"t{t}-{topology.name}/tau{int(tau)}/"
+                        f"drop{float(drop_rate)}/{policy}"
                     )
+                    payload: Dict[str, object] = {
+                        "topology": topo_payload,
+                        "staleness_bound": int(tau),
+                        "drop_rate": float(drop_rate),
+                        "aggregators": list(policy_aggregators),
+                        "policy": policy,
+                        "attack": attack,
+                        "iterations": int(iterations),
+                        "seeds": [int(s) for s in seeds],
+                        "delay_high": int(delay_high),
+                        "engine": engine,
+                    }
+                    if (
+                        engine == "batched"
+                        and config.checkpoint_dir is not None
+                        and config.checkpoint_every is not None
+                    ):
+                        payload["checkpoint"] = {
+                            "dir": str(config.checkpoint_dir),
+                            "spec_hash": sweep_hash,
+                            "key": key,
+                            "every": int(config.checkpoint_every),
+                        }
+                    cells.append(SweepCell(key=key, payload=payload))
     report = run_sweep_cells(
         spec_doc, cells, _run_decentralized_delay_cell, config
     )

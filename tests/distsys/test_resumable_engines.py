@@ -19,12 +19,17 @@ from repro.attacks.registry import make_attack
 from repro.distsys import (
     AsyncBatchTrial,
     BatchAsynchronousSimulator,
+    BatchDelayedDecentralizedSimulator,
     BatchSimulator,
     BatchTrial,
     BurstyDrop,
+    DelayBatchTrial,
+    FaultSchedule,
     IIDDrop,
     LinkDelay,
     Stragglers,
+    complete_topology,
+    ring_topology,
     uniform_delay,
 )
 from repro.functions.batched import stack_costs
@@ -78,7 +83,41 @@ def async_engine(paper, seeds=(0, 1)):
     )
 
 
-ENGINES = [sync_engine, async_engine]
+def delay_engine(paper, seeds=(0, 1)):
+    """Fused graph engine over two topologies with a fault timeline:
+    per-edge queues, stalls and a crash/warm-recover all in flight."""
+    conditions = (
+        LinkDelay(uniform_delay(0, 2)),
+        IIDDrop(0.2),
+        BurstyDrop(enter=0.2, exit=0.5, rate_in_burst=0.9),
+    )
+    return BatchDelayedDecentralizedSimulator(
+        costs=stack_costs(paper.costs),
+        trials=[
+            DelayBatchTrial(
+                aggregator="cwtm",
+                topology=topology,
+                attack=make_attack("gradient_reverse"),
+                faulty_ids=tuple(paper.faulty_ids),
+                conditions=conditions,
+                fault_schedule=FaultSchedule().crash(2, at=5, recover_at=15),
+                staleness_bound=2,
+                missing_policy=policy,
+                seed=seed,
+            )
+            for topology, policy in (
+                (complete_topology(len(paper.costs)), "masked"),
+                (ring_topology(len(paper.costs), hops=2), "shrink"),
+            )
+            for seed in seeds
+        ],
+        constraint=paper.constraint,
+        schedule=paper.schedule,
+        initial_estimate=paper.initial_estimate,
+    )
+
+
+ENGINES = [sync_engine, async_engine, delay_engine]
 
 
 def chunked_estimates(make, paper, boundaries, through_json=False):

@@ -347,6 +347,103 @@ class TestEngineCheckpointing:
         )
 
 
+class TestDelayEngineOrchestratedResume:
+    """Kill-and-resume for the fused decentralized-delay batch engine."""
+
+    def make_engine(self):
+        from repro.attacks.registry import make_attack
+        from repro.distsys import (
+            BatchDelayedDecentralizedSimulator,
+            DelayBatchTrial,
+            FaultSchedule,
+            IIDDrop,
+            LinkDelay,
+            ring_topology,
+            uniform_delay,
+        )
+        from repro.experiments.paper_regression import paper_problem
+        from repro.functions.batched import stack_costs
+
+        problem = paper_problem()
+        return BatchDelayedDecentralizedSimulator(
+            costs=stack_costs(problem.costs),
+            trials=[
+                DelayBatchTrial(
+                    aggregator="cwtm",
+                    topology=ring_topology(problem.n, hops=2),
+                    attack=make_attack("gradient_reverse"),
+                    faulty_ids=tuple(problem.faulty_ids),
+                    conditions=(
+                        LinkDelay(uniform_delay(0, 2)),
+                        IIDDrop(0.2),
+                    ),
+                    fault_schedule=FaultSchedule().crash(
+                        2, at=5, recover_at=15
+                    ),
+                    staleness_bound=2,
+                    missing_policy="shrink",
+                    seed=seed,
+                )
+                for seed in (0, 1)
+            ],
+            constraint=problem.constraint,
+            schedule=problem.schedule,
+            initial_estimate=problem.initial_estimate,
+        )
+
+    def test_resume_from_partial_is_bit_identical(self, tmp_path):
+        uninterrupted = self.make_engine().run(30).estimates
+        ckpt = EngineCheckpointer(
+            store=CheckpointStore(tmp_path),
+            sweep_hash=spec_hash(SPEC),
+            key="delay-cell-0",
+        )
+        # Simulate a kill at round 12: partial state saved, process gone.
+        engine = self.make_engine()
+        engine.run(12, start_round=0)
+        ckpt.save(engine.state_dict())
+        trace = run_engine_checkpointed(
+            self.make_engine, 30, checkpoint_every=10, checkpointer=ckpt
+        )
+        assert np.array_equal(trace.estimates, uninterrupted)
+        assert ckpt.load() is None  # partial discarded on completion
+
+    def test_orchestrated_kill_and_resume_equals_direct(self, tmp_path):
+        from repro.distsys import ring_topology
+        from repro.experiments.decentralized_delay import (
+            decentralized_delay_sweep,
+            orchestrated_decentralized_delay_sweep,
+        )
+        from repro.experiments.paper_regression import paper_problem
+
+        kwargs = dict(
+            topologies=[ring_topology(paper_problem().n, hops=2)],
+            staleness_bounds=(2,),
+            drop_rates=(0.0, 0.3),
+            aggregators=("cwtm", "cge_mean"),
+            iterations=25,
+            seeds=(0, 1),
+        )
+        direct = decentralized_delay_sweep(**kwargs)
+        # Kill after one cell, with mid-trajectory engine checkpoints on.
+        config = OrchestratorConfig(
+            checkpoint_dir=tmp_path, checkpoint_every=7, max_cells=1
+        )
+        _, first = orchestrated_decentralized_delay_sweep(
+            config=config, **kwargs
+        )
+        assert first.interrupted and first.skipped
+        resumed, second = orchestrated_decentralized_delay_sweep(
+            config=OrchestratorConfig(
+                checkpoint_dir=tmp_path, checkpoint_every=7
+            ),
+            **kwargs,
+        )
+        assert not second.interrupted
+        assert second.cached  # the killed run's finished cell reused
+        assert resumed == direct  # exact dataclass equality, bitwise
+
+
 class TestSweepResumeEquivalence:
     """Kill a family sweep halfway; the resumed results are identical."""
 
