@@ -1,6 +1,6 @@
 """CI bench-regression gate over the ``BENCH_*.json`` headline artifacts.
 
-Two gates run over every freshly-regenerated ``BENCH_*.json``:
+Three gates run over every freshly-regenerated ``BENCH_*.json``:
 
 * **speedup** — files whose committed baseline reports a ``speedup`` field
   fail (exit 1) when the fresh speedup drops more than ``--threshold``
@@ -13,8 +13,14 @@ Two gates run over every freshly-regenerated ``BENCH_*.json``:
   and delay-tolerant engines' degenerate configurations are pinned to the
   synchronous engines, and a drifting gap means an equivalence contract
   silently broke.
+* **disabled-telemetry overhead** — files reporting a
+  ``disabled_overhead_fraction`` (``BENCH_telemetry.json``) fail when the
+  fresh fraction exceeds ``--overhead-tolerance`` (default 0.03): the
+  telemetry layer's contract is that the default null recorder costs the
+  engine hot loop at most one attribute check per round, and a growing
+  fraction means instrumentation leaked into the disabled path.
 
-Files reporting neither field are listed but never gate; a baseline file
+Files reporting none of these fields are listed but never gate; a baseline file
 whose fresh counterpart is *missing* fails loudly (a deleted bench is a
 silent regression too).
 
@@ -44,6 +50,7 @@ def check(
     fresh_dir: Path,
     threshold: float,
     gap_tolerance: float,
+    overhead_tolerance: float,
 ) -> int:
     baselines = sorted(baseline_dir.glob("BENCH_*.json"))
     if not baselines:
@@ -54,7 +61,10 @@ def check(
         name = baseline_path.name
         baseline = load_field(baseline_path, "speedup")
         gated_gap = load_field(baseline_path, "degenerate_engine_gap")
-        if baseline is None and gated_gap is None:
+        gated_overhead = load_field(
+            baseline_path, "disabled_overhead_fraction"
+        )
+        if baseline is None and gated_gap is None and gated_overhead is None:
             print(f"  {name}: no gated fields in baseline (not gated)")
             continue
         fresh_path = fresh_dir / name
@@ -104,6 +114,32 @@ def check(
                         f"exceeds {gap_tolerance:.0e} — an engine "
                         "equivalence contract broke"
                     )
+        if gated_overhead is not None:
+            fresh_overhead = load_field(
+                fresh_path, "disabled_overhead_fraction"
+            )
+            if fresh_overhead is None:
+                failures.append(
+                    f"{name}: fresh artifact dropped its "
+                    "disabled_overhead_fraction field"
+                )
+            else:
+                # ``not (<= tolerance)`` so a NaN fraction fails instead
+                # of slipping through both comparisons.
+                leaked = not fresh_overhead <= overhead_tolerance
+                verdict = "OVERHEAD LEAKED" if leaked else "ok"
+                print(
+                    f"  {name}: disabled-telemetry overhead "
+                    f"{fresh_overhead:+.1%} (tolerance "
+                    f"{overhead_tolerance:.0%}) — {verdict}"
+                )
+                if leaked:
+                    failures.append(
+                        f"{name}: disabled-telemetry overhead "
+                        f"{fresh_overhead:+.1%} exceeds "
+                        f"{overhead_tolerance:.0%} — instrumentation "
+                        "leaked into the disabled engine hot loop"
+                    )
     if failures:
         print("bench-regression gate FAILED:")
         for failure in failures:
@@ -137,16 +173,26 @@ def main(argv=None) -> int:
         default=1e-9,
         help="maximum tolerated degenerate engine gap (default 1e-9)",
     )
+    parser.add_argument(
+        "--overhead-tolerance",
+        type=float,
+        default=0.03,
+        help="maximum tolerated disabled-telemetry overhead fraction "
+        "(default 0.03)",
+    )
     args = parser.parse_args(argv)
     if not 0.0 <= args.threshold < 1.0:
         parser.error("threshold must be in [0, 1)")
     if args.gap_tolerance < 0.0:
         parser.error("gap tolerance must be non-negative")
+    if args.overhead_tolerance < 0.0:
+        parser.error("overhead tolerance must be non-negative")
     return check(
         Path(args.baseline),
         Path(args.fresh),
         args.threshold,
         args.gap_tolerance,
+        args.overhead_tolerance,
     )
 
 

@@ -15,13 +15,11 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import cProfile
-import io
-import pstats
 from pathlib import Path
 
 from repro.experiments import paper_problem
 from repro.experiments.asynchronous import asynchronous_sweep
+from repro.telemetry.profiling import persist_report, profile_callable
 
 
 def profile_sweep(
@@ -29,23 +27,20 @@ def profile_sweep(
 ) -> str:
     """Profile one sweep run; returns the formatted hotspot table."""
     problem = paper_problem()
-    profiler = cProfile.Profile()
-    profiler.enable()
-    asynchronous_sweep(
-        problem=problem,
-        iterations=iterations,
-        seeds=tuple(range(seeds)),
-        engine=engine,
+    _, hotspots, _ = profile_callable(
+        lambda: asynchronous_sweep(
+            problem=problem,
+            iterations=iterations,
+            seeds=tuple(range(seeds)),
+            engine=engine,
+        ),
+        top=top,
     )
-    profiler.disable()
-    buffer = io.StringIO()
-    stats = pstats.Stats(profiler, stream=buffer)
-    stats.sort_stats("cumulative").print_stats(top)
     header = (
         f"asynchronous sweep profile — engine={engine}, "
         f"seeds={seeds}, iterations={iterations}\n"
     )
-    return header + buffer.getvalue()
+    return header + hotspots
 
 
 def main(argv=None) -> int:
@@ -73,9 +68,7 @@ def main(argv=None) -> int:
     engine = "reference" if args.reference else "batched"
     report = profile_sweep(engine, args.seeds, args.iterations, args.top)
     print(report)
-    out = Path(args.out)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(report + "\n")
+    out = persist_report(report, args.out)
     print(f"persisted to {out}")
     return 0
 

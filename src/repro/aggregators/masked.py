@@ -27,6 +27,8 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..telemetry.recorder import current_recorder
+
 __all__ = [
     "aggregator_label",
     "masked_mean_batch",
@@ -39,6 +41,17 @@ __all__ = [
     "masked_min_attendance_for_tolerance",
     "aggregate_batch_masked",
 ]
+
+
+def _count_kernel(kernel: str) -> None:
+    """Count one masked-kernel invocation on the ambient recorder.
+
+    A single attribute check when recording is off, so the kernels stay
+    on the zero-overhead contract of :mod:`repro.telemetry.recorder`.
+    """
+    recorder = current_recorder()
+    if recorder.enabled:
+        recorder.count("masked_kernel_calls", kernel=kernel)
 
 
 def _check_masked(values: np.ndarray, mask: np.ndarray):
@@ -73,6 +86,7 @@ def _take_slot(csum: np.ndarray, slot: np.ndarray) -> np.ndarray:
 
 def masked_mean_batch(values: np.ndarray, mask: np.ndarray) -> np.ndarray:
     """Mean of the valid neighborhood messages: ``(S, n, k, d) -> (S, n, d)``."""
+    _count_kernel("mean")
     values, mask, counts = _check_masked(values, mask)
     weighted = np.where(mask[None, :, :, None], values, 0.0)
     return weighted.sum(axis=2) / counts[None, :, None]
@@ -108,6 +122,7 @@ def masked_trimmed_mean_batch(
     (+inf padding pushes invalid slots past every valid order statistic) and
     a prefix-sum gather, so ragged neighborhoods cost no Python loop.
     """
+    _count_kernel("trimmed_mean")
     values, mask, counts = _check_masked(values, mask)
     trim = _per_receiver_tolerance(trim, counts, "trim")
     kept = counts - 2 * trim
@@ -129,6 +144,7 @@ def masked_trimmed_mean_batch(
 
 def masked_median_batch(values: np.ndarray, mask: np.ndarray) -> np.ndarray:
     """Neighborhood-wise coordinate median under a validity mask."""
+    _count_kernel("median")
     values, mask, counts = _check_masked(values, mask)
     padded = np.where(mask[None, :, :, None], values, np.inf)
     ordered = np.sort(padded, axis=2)
@@ -147,6 +163,7 @@ def masked_cge_batch(
     their vector sum (equation (23)), or their mean when ``average``.
     ``f`` is a scalar or a per-receiver ``(n,)`` array.
     """
+    _count_kernel("cge")
     values, mask, counts = _check_masked(values, mask)
     f = _per_receiver_tolerance(f, counts, "f")
     kept = counts - f

@@ -65,6 +65,7 @@ from ..functions.base import CostFunction
 from ..functions.batched import CostStack, stack_costs
 from ..optim.projections import ConvexSet
 from ..optim.schedules import StepSchedule
+from ..telemetry.recorder import current_recorder
 from .engine import (
     ProtocolEngine,
     ProtocolRound,
@@ -595,4 +596,7 @@ def run_asynchronous(
         omniscient_attack=omniscient_attack,
         seed=seed,
     )
-    return simulator.run(iterations)
+    # Convenience runners report to the ambient recorder: a no-op
+    # with the default NULL_RECORDER, a live stream under the CLI's
+    # --telemetry-out / the orchestrator's worker recorders.
+    return simulator.set_recorder(current_recorder()).run(iterations)

@@ -40,6 +40,7 @@ from ..functions.base import CostFunction
 from ..functions.batched import CostStack, stack_costs
 from ..optim.projections import ConvexSet
 from ..optim.schedules import StepSchedule
+from ..telemetry.recorder import Recorder, current_recorder
 from .engine import (
     ProtocolEngine,
     ProtocolRound,
@@ -174,9 +175,11 @@ class BatchSimulator(ProtocolEngine):
         schedule: StepSchedule,
         initial_estimate: Sequence[float],
         record_gradients: bool = False,
+        recorder: Optional[Recorder] = None,
     ):
         if not trials:
             raise ValueError("need at least one trial")
+        self.set_recorder(recorder)
         self.stack: CostStack = (
             costs if isinstance(costs, CostStack) else stack_costs(costs)
         )
@@ -394,8 +397,15 @@ class BatchSimulator(ProtocolEngine):
                 f"start_round; got T={iterations}, start_round={start}"
             )
         self._extend_recording(int(iterations))
-        for _ in range(int(iterations) - start):
-            self._record_step(self.step())
+        with self.telemetry.span(
+            "engine_run",
+            engine=type(self).__name__,
+            start_round=start,
+            horizon=int(iterations),
+            trials=len(self.trials),
+        ):
+            for _ in range(int(iterations) - start):
+                self._record_step(self.step())
         return self._run_result()
 
     # -- checkpoint support ------------------------------------------------
@@ -482,4 +492,7 @@ def run_dgd_batch(
         initial_estimate=initial_estimate,
         record_gradients=record_gradients,
     )
-    return simulator.run(iterations)
+    # Convenience runners report to the ambient recorder: a no-op
+    # with the default NULL_RECORDER, a live stream under the CLI's
+    # --telemetry-out / the orchestrator's worker recorders.
+    return simulator.set_recorder(current_recorder()).run(iterations)

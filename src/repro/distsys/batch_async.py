@@ -70,6 +70,7 @@ from ..functions.base import CostFunction
 from ..functions.batched import CostStack, gather_view_points, stack_costs
 from ..optim.projections import ConvexSet
 from ..optim.schedules import StepSchedule
+from ..telemetry.recorder import Recorder, current_recorder
 from .asynchronous import MISSING_POLICIES
 from .batch import _config_key, group_indices
 from .engine import (
@@ -202,9 +203,11 @@ class BatchAsynchronousSimulator(ProtocolEngine):
         constraint: ConvexSet,
         schedule: StepSchedule,
         initial_estimate: Sequence[float],
+        recorder: Optional[Recorder] = None,
     ):
         if not trials:
             raise ValueError("need at least one trial")
+        self.set_recorder(recorder)
         self.stack: CostStack = (
             costs if isinstance(costs, CostStack) else stack_costs(costs)
         )
@@ -758,9 +761,30 @@ class BatchAsynchronousSimulator(ProtocolEngine):
                 f"start_round; got T={iterations}, start_round={start}"
             )
         self._extend_horizon(int(iterations))
-        for _ in range(int(iterations) - start):
-            self.step()
+        with self.telemetry.span(
+            "engine_run",
+            engine=type(self).__name__,
+            start_round=start,
+            horizon=int(iterations),
+            trials=len(self.trials),
+        ):
+            for _ in range(int(iterations) - start):
+                self.step()
         return self._run_result()
+
+    def _record_round_metrics(
+        self, recorder: Recorder, round: ProtocolRound
+    ) -> None:
+        """Per-round asynchrony counters (recording on only)."""
+        usable = round.extras["usable"]
+        recorder.count("stalled_trials", int(round.extras["stalled"].sum()))
+        recorder.count("usable_messages", int(usable.sum()))
+        recorder.count(
+            "missing_messages", int(usable.size - usable.sum())
+        )
+        recorder.gauge(
+            "queue_depth", int((self._pending >= 0).sum())
+        )
 
     # -- checkpoint support ------------------------------------------------
     def state_dict(self) -> Dict[str, object]:
@@ -896,4 +920,7 @@ def run_asynchronous_batch(
         schedule=schedule,
         initial_estimate=initial_estimate,
     )
-    return simulator.run(iterations)
+    # Convenience runners report to the ambient recorder: a no-op
+    # with the default NULL_RECORDER, a live stream under the CLI's
+    # --telemetry-out / the orchestrator's worker recorders.
+    return simulator.set_recorder(current_recorder()).run(iterations)

@@ -73,6 +73,7 @@ from ..functions.base import CostFunction
 from ..functions.batched import CostStack, stack_costs
 from ..optim.projections import ConvexSet
 from ..optim.schedules import StepSchedule
+from ..telemetry.recorder import Recorder, current_recorder
 from .asynchronous import MISSING_POLICIES
 from .batch import _config_key, group_indices
 from .decentralized import DecentralizedTrace
@@ -186,9 +187,11 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
         initial_estimate: Sequence[float],
         mixing: bool = True,
         allow_disconnected: bool = False,
+        recorder: Optional[Recorder] = None,
     ):
         if not trials:
             raise ValueError("need at least one trial")
+        self.set_recorder(recorder)
         self.mixing = bool(mixing)
         self.stack: CostStack = (
             costs if isinstance(costs, CostStack) else stack_costs(costs)
@@ -1074,9 +1077,29 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
                 f"start_round; got T={iterations}, start_round={start}"
             )
         self._extend_horizon(int(iterations))
-        for _ in range(int(iterations) - start):
-            self.step()
+        with self.telemetry.span(
+            "engine_run",
+            engine=type(self).__name__,
+            start_round=start,
+            horizon=int(iterations),
+            trials=len(self.trials),
+        ):
+            for _ in range(int(iterations) - start):
+                self.step()
         return self._run_result()
+
+    def _record_round_metrics(
+        self, recorder: Recorder, round: ProtocolRound
+    ) -> None:
+        """Per-round delayed-gossip counters (recording on only)."""
+        usable_e = round.extras["usable_edges"]
+        recorder.count("usable_edges", int(usable_e.sum()))
+        stalled = round.extras.get("stalled_agents")
+        if stalled is not None:
+            recorder.count("stalled_agents", int(stalled.sum()))
+        recorder.gauge(
+            "queue_depth", int((self._pending >= 0).sum())
+        )
 
     # -- checkpoint support -----------------------------------------------
     def state_dict(self) -> Dict[str, object]:
@@ -1228,4 +1251,7 @@ def run_decentralized_delayed_batch(
         mixing=mixing,
         allow_disconnected=allow_disconnected,
     )
-    return simulator.run(iterations)
+    # Convenience runners report to the ambient recorder: a no-op
+    # with the default NULL_RECORDER, a live stream under the CLI's
+    # --telemetry-out / the orchestrator's worker recorders.
+    return simulator.set_recorder(current_recorder()).run(iterations)

@@ -57,6 +57,7 @@ from ..functions.base import CostFunction
 from ..functions.batched import CostStack, stack_costs
 from ..optim.projections import ConvexSet
 from ..optim.schedules import StepSchedule
+from ..telemetry.recorder import current_recorder
 from .batch import BatchTrial, _config_key, group_indices
 from .engine import (
     ProtocolEngine,
@@ -596,4 +597,7 @@ def run_decentralized(
         mixing=mixing,
         allow_disconnected=allow_disconnected,
     )
-    return simulator.run(iterations)
+    # Convenience runners report to the ambient recorder: a no-op
+    # with the default NULL_RECORDER, a live stream under the CLI's
+    # --telemetry-out / the orchestrator's worker recorders.
+    return simulator.set_recorder(current_recorder()).run(iterations)

@@ -30,6 +30,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..telemetry.recorder import NULL_RECORDER, Recorder
+
 __all__ = [
     "ProtocolRound",
     "ProtocolEngine",
@@ -185,6 +187,24 @@ class ProtocolEngine(abc.ABC):
     #: server's counter) may override this as a property.
     iteration: int = 0
 
+    #: the engine's telemetry recorder.  The class-level default is the
+    #: shared :data:`~repro.telemetry.recorder.NULL_RECORDER`, so every
+    #: engine — including ones whose constructors predate telemetry — is
+    #: born with recording off and the hot loop pays one attribute check
+    #: per round (the overhead ``BENCH_telemetry.json`` gates).
+    telemetry: Recorder = NULL_RECORDER
+
+    def set_recorder(self, recorder: Optional[Recorder]) -> "ProtocolEngine":
+        """Attach a telemetry recorder (``None`` restores the null one).
+
+        Recording is strictly observational: the engine's RNG streams,
+        estimates and traces are untouched, so trajectories are
+        bit-identical with recording on or off (the determinism
+        invariant pinned by ``tests/distsys/test_telemetry_determinism``).
+        """
+        self.telemetry = recorder if recorder is not None else NULL_RECORDER
+        return self
+
     # -- stage hooks ------------------------------------------------------
     @abc.abstractmethod
     def observe(self) -> ProtocolRound:
@@ -205,18 +225,55 @@ class ProtocolEngine(abc.ABC):
     # -- the loop ---------------------------------------------------------
     def step(self) -> Any:
         """Run one full protocol round through the four stages."""
+        if self.telemetry.enabled:
+            return self._step_recorded(self.telemetry)
         round = self.observe()
         self.fabricate(round)
         self.aggregate(round)
         return self.project(round)
+
+    def _step_recorded(self, recorder: Recorder) -> Any:
+        """One round with per-stage wall-time recording.
+
+        Only reached when a live recorder is attached; the disabled path
+        in :meth:`step` stays branch-plus-dispatch identical to the
+        pre-telemetry loop.
+        """
+        clock = recorder.clock
+        t0 = clock()
+        round = self.observe()
+        t1 = clock()
+        self.fabricate(round)
+        t2 = clock()
+        self.aggregate(round)
+        t3 = clock()
+        result = self.project(round)
+        recorder.stage_times(
+            t1 - t0, t2 - t1, t3 - t2, clock() - t3, self.iteration
+        )
+        self._record_round_metrics(recorder, round)
+        return result
+
+    def _record_round_metrics(
+        self, recorder: Recorder, round: ProtocolRound
+    ) -> None:
+        """Engine-specific per-round counters (stalls, queue depths, ...).
+
+        Called only when recording is on; the default records nothing.
+        """
 
     def run(self, iterations: int) -> Any:
         """Run ``iterations`` rounds; returns the engine's run result."""
         if iterations <= 0:
             raise ValueError("iterations must be positive")
         self._begin_run(iterations)
-        for _ in range(iterations):
-            self._record_step(self.step())
+        with self.telemetry.span(
+            "engine_run",
+            engine=type(self).__name__,
+            rounds=int(iterations),
+        ):
+            for _ in range(iterations):
+                self._record_step(self.step())
         return self._run_result()
 
     # -- per-run recording hooks (trace-producing engines override) -------

@@ -27,6 +27,7 @@ from ..aggregators.base import GradientAggregator
 from ..attacks.base import AttackContext, ByzantineAttack
 from ..optim.projections import ConvexSet
 from ..optim.schedules import StepSchedule
+from ..telemetry.recorder import current_recorder
 from .agents import Agent, ByzantineAgent, HonestAgent
 from .engine import (
     ProtocolEngine,
@@ -227,4 +228,7 @@ def run_dgd(
         omniscient_attack=omniscient_attack,
         seed=seed,
     )
-    return simulator.run(iterations)
+    # Convenience runners report to the ambient recorder: a no-op
+    # with the default NULL_RECORDER, a live stream under the CLI's
+    # --telemetry-out / the orchestrator's worker recorders.
+    return simulator.set_recorder(current_recorder()).run(iterations)

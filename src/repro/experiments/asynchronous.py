@@ -33,6 +33,7 @@ from ..distsys.batch_async import (
 )
 from ..distsys.faults import IIDDrop, LinkDelay, uniform_delay
 from ..functions.batched import stack_costs
+from ..telemetry.recorder import current_recorder
 from .checkpoint import CheckpointStore, spec_hash
 from .orchestrator import (
     EngineCheckpointer,
@@ -322,7 +323,9 @@ def _run_asynchronous_cell(payload: Dict[str, object]) -> Dict[str, object]:
                 ),
             )
         else:
-            trace = make_engine().run(iterations)
+            trace = make_engine().set_recorder(
+                current_recorder()
+            ).run(iterations)
         rows = _rows_from_batch_trace(
             problem, trace, cells, seeds, policies, attack
         )

@@ -40,6 +40,7 @@ import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from ..telemetry.recorder import current_recorder
 from .reporting import to_jsonable
 
 __all__ = ["CELL_SCHEMA", "CheckpointStore", "spec_hash"]
@@ -118,6 +119,10 @@ class CheckpointStore:
             except OSError:
                 pass
             raise
+        recorder = current_recorder()
+        if recorder.enabled:
+            recorder.emit("checkpoint_write", key=key, bytes=len(document))
+            recorder.count("checkpoint_bytes_written", len(document))
         return target
 
     def get(self, sweep_hash: str, key: str) -> Optional[object]:
@@ -130,18 +135,45 @@ class CheckpointStore:
         """
         path = self.path_for(sweep_hash, key)
         try:
-            document = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
+            self._record_read(key, "miss", 0)
             return None
-        if not isinstance(document, dict):
+        try:
+            document = json.loads(text)
+        except ValueError:
+            document = None
+        if (
+            not isinstance(document, dict)
+            or document.get("schema") != CELL_SCHEMA
+            or document.get("spec_hash") != sweep_hash
+            or document.get("key") != key
+        ):
+            self._record_read(key, "corrupt", len(text))
             return None
-        if document.get("schema") != CELL_SCHEMA:
-            return None
-        if document.get("spec_hash") != sweep_hash:
-            return None
-        if document.get("key") != key:
-            return None
+        self._record_read(key, "hit", len(text))
         return document.get("payload")
+
+    @staticmethod
+    def _record_read(key: str, status: str, size: int) -> None:
+        """Report one read on the ambient recorder (no-op when off).
+
+        ``corrupt`` covers everything readable-but-unusable — torn
+        writes predating atomic replace, tampering, schema drift, and
+        the sanitized-prefix hash collisions that alias a foreign key —
+        since all of them re-run the cell the same way.
+        """
+        recorder = current_recorder()
+        if recorder.enabled:
+            if status == "corrupt":
+                # Its own event type: the progress sink surfaces corrupt
+                # reads live, ordinary hits/misses stay JSONL-only.
+                recorder.emit("checkpoint_corrupt", key=key, bytes=size)
+                recorder.count("checkpoint_corrupt_reads")
+            else:
+                recorder.emit(
+                    "checkpoint_read", key=key, result=status, bytes=size
+                )
 
     def discard(self, sweep_hash: str, key: str) -> None:
         """Remove one cell if present (used to drop partial engine states)."""

@@ -14,9 +14,18 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import logging
+import os
 import sys
 from typing import List, Optional
 
+from ..telemetry.recorder import (
+    JsonlSink,
+    ProgressSink,
+    Recorder,
+    current_recorder,
+    use_recorder,
+)
 from .ablations import (
     adaptive_attack_sweep,
     dimension_sweep,
@@ -37,6 +46,53 @@ from .reporting import format_table
 from .table1 import generate_table1, render_table1
 
 __all__ = ["main", "build_parser"]
+
+logger = logging.getLogger("repro.experiments")
+
+#: rounds per ``round_chunk`` progress event when recording is on.
+_PROGRESS_EVERY = 100
+
+
+class _TelemetryLogHandler(logging.Handler):
+    """Mirror log records into the active telemetry stream as ``log`` events.
+
+    Checks the ambient recorder per record, so with recording off (the
+    default) every record costs one attribute check and nothing lands
+    anywhere but the console handler.
+    """
+
+    def emit(self, record: logging.LogRecord) -> None:
+        recorder = current_recorder()
+        if recorder.enabled:
+            recorder.emit(
+                "log",
+                level=record.levelname.lower(),
+                message=record.getMessage(),
+                logger=record.name,
+            )
+
+
+def _configure_logging(verbose: bool, quiet: bool) -> None:
+    """Console logging policy: INFO by default, DEBUG/-ERROR on request.
+
+    The historical behaviour was unconditional ``print(..., file=stderr)``
+    for sweep provenance lines, so the default level keeps those visible;
+    ``--quiet`` silences everything below ERROR and ``--verbose`` opens
+    the debug taps.  Idempotent — re-running ``main()`` in-process (the
+    test suite does) must not stack handlers.
+    """
+    if verbose and quiet:
+        raise SystemExit("--verbose and --quiet are mutually exclusive")
+    root = logging.getLogger("repro")
+    root.setLevel(
+        logging.DEBUG if verbose else logging.ERROR if quiet else logging.INFO
+    )
+    if not any(isinstance(h, _TelemetryLogHandler) for h in root.handlers):
+        console = logging.StreamHandler(sys.stderr)
+        console.setFormatter(logging.Formatter("%(message)s"))
+        root.addHandler(console)
+        root.addHandler(_TelemetryLogHandler())
+        root.propagate = False
 
 
 def _add_orchestration_flags(p: argparse.ArgumentParser) -> None:
@@ -89,6 +145,20 @@ def _add_orchestration_flags(p: argparse.ArgumentParser) -> None:
         default=None,
         help="write the sweep's provenance report (JSON) to this path",
     )
+    t = p.add_argument_group("telemetry (observability)")
+    t.add_argument(
+        "--telemetry-out",
+        default=None,
+        help="record the sweep's structured event stream (spans, metrics, "
+        "cell lifecycle) to this JSONL file; inspect it later with "
+        "'telemetry summarize'",
+    )
+    t.add_argument(
+        "--progress",
+        action="store_true",
+        help="render live progress lines (cell lifecycle, rounds/s) to "
+        "stderr while the sweep runs",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -96,6 +166,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables, figures and ablations.",
+    )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "--verbose",
+        action="store_true",
+        help="debug-level console logging",
+    )
+    verbosity.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress console logging below errors",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -211,6 +292,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "telemetry",
+        help="inspect recorded telemetry event streams",
+    )
+    tsub = p.add_subparsers(dest="telemetry_command", required=True)
+    ps = tsub.add_parser(
+        "summarize",
+        help="post-mortem report of a --telemetry-out JSONL stream: stage "
+        "wall-time breakdown, slowest cells, retry histogram",
+    )
+    ps.add_argument("path", help="the recorded JSONL event stream")
+    ps.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="how many slowest cells to list",
+    )
+
+    p = sub.add_parser(
         "all", help="regenerate every artifact into a directory"
     )
     p.add_argument("--out", default="results", help="output directory")
@@ -276,24 +375,40 @@ def _orchestrator_config(args: argparse.Namespace):
     )
 
 
+def _telemetry_recorder(args: argparse.Namespace) -> Optional[Recorder]:
+    """The subcommand's recorder, or ``None`` when recording is off.
+
+    ``--telemetry-out`` streams every event to a JSONL file;
+    ``--progress`` renders the noteworthy ones live on stderr.  One
+    recorder fans out to both sinks, so the file stays the complete
+    record of what the terminal showed.
+    """
+    sinks = []
+    if getattr(args, "telemetry_out", None):
+        sinks.append(JsonlSink(args.telemetry_out))
+    if getattr(args, "progress", False):
+        sinks.append(ProgressSink())
+    if not sinks:
+        return None
+    return Recorder(sinks=sinks, progress_every=_PROGRESS_EVERY)
+
+
 def _finish_report(args: argparse.Namespace, report) -> None:
     """Persist and surface a sweep report: degradation warns, never raises."""
     if getattr(args, "report_out", None):
         from .artifacts import save_sweep_report
 
         save_sweep_report(report, args.report_out)
-        print(f"[report] {args.report_out}", file=sys.stderr)
+        logger.info(f"[report] {args.report_out}")
     if report.interrupted:
-        print(
+        logger.warning(
             f"[interrupted] cell budget reached; {len(report.skipped)} cells "
-            "left — rerun with the same --checkpoint-dir to continue",
-            file=sys.stderr,
+            "left — rerun with the same --checkpoint-dir to continue"
         )
     for failed in report.failed_cells:
-        print(
+        logger.error(
             f"[failed cell] {failed['key']} after {failed['attempts']} "
-            f"attempt(s): {failed['error']}",
-            file=sys.stderr,
+            f"attempt(s): {failed['error']}"
         )
 
 
@@ -347,7 +462,7 @@ def _run_everything(args: argparse.Namespace) -> None:
 
     def write(name: str, text: str) -> None:
         (out / f"{name}.txt").write_text(text + "\n")
-        print(f"[written] {out / (name + '.txt')}")
+        logger.info(f"[written] {out / (name + '.txt')}")
 
     problem = paper_problem()
     rows = generate_table1(problem, iterations=500, seed=args.seed)
@@ -380,6 +495,28 @@ def _run_everything(args: argparse.Namespace) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    _configure_logging(args.verbose, args.quiet)
+    recorder = _telemetry_recorder(args)
+    try:
+        if recorder is None:
+            # No telemetry flags: leave the ambient recorder untouched
+            # (the determinism tests install their own around main()).
+            return _dispatch(args)
+        with use_recorder(recorder):
+            return _dispatch(args)
+    except BrokenPipeError:
+        # stdout feeds a closed pipe (`... | head`): a truncated report
+        # is what the reader asked for, not an error.  Swap in devnull so
+        # interpreter shutdown does not re-raise on the final flush.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    finally:
+        if recorder is not None:
+            recorder.close()
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Execute one parsed subcommand (the ambient recorder is installed)."""
     if args.command == "table1":
         print(_run_table1(args))
     elif args.command == "figure2":
@@ -588,6 +725,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 iterations=args.iterations, seeds=seeds, engine=engine
             )
         print(render_asynchronous_report(rows, iterations=args.iterations))
+    elif args.command == "telemetry":
+        from ..telemetry.summarize import render_summary, summarize_file
+
+        if args.telemetry_command == "summarize":
+            print(render_summary(summarize_file(args.path), top=args.top))
+        else:  # pragma: no cover - argparse enforces the choices
+            raise AssertionError(
+                f"unhandled telemetry command {args.telemetry_command!r}"
+            )
     elif args.command == "list":
         print(_render_registries())
     elif args.command == "all":

@@ -27,6 +27,7 @@ from ..distsys.batch import BatchTrial
 from ..distsys.decentralized import DecentralizedSimulator
 from ..distsys.topology import CommunicationTopology, make_topology
 from ..functions.batched import stack_costs
+from ..telemetry.recorder import current_recorder
 from .orchestrator import (
     OrchestratorConfig,
     SweepCell,
@@ -161,6 +162,7 @@ def decentralized_sweep(
             initial_estimate=problem.initial_estimate,
             allow_disconnected=allow_disconnected,
         )
+        simulator.set_recorder(current_recorder())
         trace = simulator.run(iterations)
         radii = trace.distances_to(problem.x_h)[:, -1]       # (S,)
         components = topology.connected_components()

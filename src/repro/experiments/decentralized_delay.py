@@ -46,6 +46,7 @@ from ..distsys.decentralized_delay import DelayedDecentralizedSimulator
 from ..distsys.faults import IIDDrop, LinkDelay, uniform_delay
 from ..distsys.topology import CommunicationTopology, make_topology
 from ..functions.batched import stack_costs
+from ..telemetry.recorder import current_recorder
 from .asynchronous import DEFAULT_POLICIES, SWEEP_ENGINES
 from .checkpoint import CheckpointStore, spec_hash
 from .decentralized import deserialize_topology, serialize_topology
@@ -296,6 +297,7 @@ def decentralized_delay_sweep(
             constraint=problem.constraint,
             schedule=problem.schedule,
             initial_estimate=problem.initial_estimate,
+            recorder=current_recorder(),
         ).run(iterations)
         diagnostics = _trace_diagnostics(problem, trace)
         rows: List[DecentralizedDelaySweepRow] = []
@@ -336,6 +338,7 @@ def decentralized_delay_sweep(
             staleness_bound=int(tau),
             missing_policy=policy,
         )
+        simulator.set_recorder(current_recorder())
         trace = simulator.run(iterations)
         rows.extend(
             _fold_cell_rows(
@@ -401,7 +404,9 @@ def _run_decentralized_delay_cell(
                 ),
             )
         else:
-            trace = make_engine().run(iterations)
+            trace = make_engine().set_recorder(
+                current_recorder()
+            ).run(iterations)
         rows = _fold_cell_rows(
             _trace_diagnostics(problem, trace), topology.name, tau,
             drop_rate, policy, aggregators, attack, seeds,

@@ -51,6 +51,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..telemetry.recorder import (
+    NULL_RECORDER,
+    EventSink,
+    Recorder,
+    current_recorder,
+    use_recorder,
+)
 from .checkpoint import CheckpointStore, spec_hash
 
 __all__ = [
@@ -105,8 +112,16 @@ class OrchestratorConfig:
     backoff: float = 0.25
     max_cells: Optional[int] = None
     checkpoint_every: Optional[int] = None
+    #: seconds between ``cell_heartbeat`` telemetry events per running
+    #: cell (supervised mode, recording on); liveness for long cells.
+    heartbeat_every: float = 1.0
 
     def __post_init__(self):
+        if not self.heartbeat_every > 0:
+            raise ValueError(
+                f"heartbeat_every must be positive, got "
+                f"heartbeat_every={self.heartbeat_every!r}"
+            )
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got jobs={self.jobs!r}")
         if self.cell_timeout is not None and not self.cell_timeout > 0:
@@ -244,6 +259,7 @@ def run_engine_checkpointed(
     ``make_engine().run(iterations)`` — the resumable-engine invariant
     pinned by ``tests/distsys/test_resumable_engines.py``.
     """
+    recorder = current_recorder()
     engine = make_engine()
     if checkpointer is not None:
         state = checkpointer.load()
@@ -259,11 +275,21 @@ def run_engine_checkpointed(
         # when a spec shrank its horizon under the same key — which a
         # spec-hash change normally prevents).
         engine = make_engine()
+    if recorder.enabled and hasattr(engine, "set_recorder"):
+        # One central attachment point: every checkpointed engine reports
+        # its stage timings into the ambient stream without the family
+        # workers threading a recorder through make_engine.
+        engine.set_recorder(recorder)
     chunk = checkpoint_every or iterations
     trace = None
     while engine.iteration < iterations:
         boundary = min(iterations, engine.iteration + chunk)
-        trace = engine.run(boundary, start_round=engine.iteration)
+        with recorder.span(
+            "engine_chunk",
+            start=int(engine.iteration),
+            boundary=int(boundary),
+        ):
+            trace = engine.run(boundary, start_round=engine.iteration)
         if checkpointer is not None and engine.iteration < iterations:
             checkpointer.save(engine.state_dict())
     if checkpointer is not None:
@@ -274,10 +300,56 @@ def run_engine_checkpointed(
 # -- supervised execution -----------------------------------------------------
 
 
-def _cell_entry(conn, worker, payload) -> None:
-    """Child-process entry: run the worker, report over the pipe."""
+class _PipeSink(EventSink):
+    """Stream a worker's events to the supervisor as ``("evt", ...)``.
+
+    Rides the attempt's existing result pipe; every event tuple precedes
+    the final ``("ok", ...)``/``("err", ...)`` message, and pipes are
+    FIFO, so the supervisor sees the worker's whole stream before it
+    settles the cell.  A broken pipe (supervisor killed the attempt)
+    drops the event — telemetry must never fail a worker.
+    """
+
+    def __init__(self, conn):
+        self._conn = conn
+
+    def write(self, event: Dict[str, object]) -> None:
+        try:
+            self._conn.send(("evt", event))
+        except (BrokenPipeError, OSError, ValueError):
+            pass
+
+
+def _cell_entry(conn, worker, payload, telemetry=None) -> None:
+    """Child-process entry: run the worker, report over the pipe.
+
+    ``telemetry`` is ``None`` (recording off — the historical code path)
+    or the attempt's ``(cell key, attempt number, progress_every)``: the
+    child then installs a pipe-backed recorder as the process-global
+    one, so the worker, its engines, and the checkpoint layer all stream
+    into the supervisor's merged event stream.  Span ids are prefixed
+    with ``key#a<attempt>:`` so no two attempts (or the supervisor
+    itself) can collide.
+    """
+    recorder: Recorder = NULL_RECORDER
+    if telemetry is not None:
+        key, attempt, progress_every = telemetry
+        recorder = Recorder(
+            sinks=[_PipeSink(conn)],
+            context={"cell": key, "attempt": int(attempt)},
+            span_prefix=f"{key}#a{attempt}:",
+            progress_every=progress_every,
+        )
     try:
-        result = worker(payload)
+        with use_recorder(recorder):
+            if recorder.enabled:
+                try:
+                    with recorder.span("cell"):
+                        result = worker(payload)
+                finally:
+                    recorder.flush_metrics()
+            else:
+                result = worker(payload)
     except BaseException as exc:
         transient = isinstance(exc, TRANSIENT_EXCEPTIONS)
         message = f"{type(exc).__name__}: {exc}"
@@ -338,10 +410,52 @@ def _classify_failure(
     )
 
 
+@dataclass
+class _Running:
+    """One live supervised attempt and its supervision bookkeeping."""
+
+    proc: object
+    conn: object
+    deadline: Optional[float]
+    item: _Attempt
+    started: float
+    last_beat: float
+
+
+def _settle(
+    recorder: Recorder,
+    item: _Attempt,
+    retry: Optional[_Attempt],
+    error: str,
+    seconds: float,
+) -> None:
+    """Emit the retry/failed lifecycle event for one failed attempt."""
+    if not recorder.enabled:
+        return
+    if retry is not None:
+        recorder.emit(
+            "cell_retry",
+            cell=item.cell.key,
+            attempt=item.attempt,
+            error=error,
+            seconds=seconds,
+        )
+        recorder.count("cell_retries")
+    else:
+        recorder.emit(
+            "cell_failed",
+            cell=item.cell.key,
+            attempts=item.attempt,
+            error=error,
+            seconds=seconds,
+        )
+
+
 def _run_cells_supervised(
     queue: List[_Attempt],
     worker: Callable[[Dict[str, object]], object],
     config: OrchestratorConfig,
+    recorder: Recorder = NULL_RECORDER,
 ) -> List[CellOutcome]:
     """One supervised child process per attempt; jobs-wide concurrency."""
     methods = multiprocessing.get_all_start_methods()
@@ -349,16 +463,16 @@ def _run_cells_supervised(
         "fork" if "fork" in methods else methods[0]
     )
     outcomes: List[CellOutcome] = []
-    running: Dict[str, Tuple[object, object, Optional[float], _Attempt]] = {}
+    running: Dict[str, _Running] = {}
     pending = list(queue)
 
     def finish(key: str, outcome: Optional[CellOutcome], retry) -> None:
-        proc, conn, _, _ = running.pop(key)
-        conn.close()
-        proc.join(timeout=5.0)
-        if proc.is_alive():
-            proc.kill()
-            proc.join()
+        run = running.pop(key)
+        run.conn.close()
+        run.proc.join(timeout=5.0)
+        if run.proc.is_alive():
+            run.proc.kill()
+            run.proc.join()
         if outcome is not None:
             outcomes.append(outcome)
         if retry is not None:
@@ -379,7 +493,14 @@ def _run_cells_supervised(
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             proc = ctx.Process(
                 target=_cell_entry,
-                args=(child_conn, worker, item.cell.payload),
+                args=(
+                    child_conn,
+                    worker,
+                    item.cell.payload,
+                    (item.cell.key, item.attempt, recorder.progress_every)
+                    if recorder.enabled
+                    else None,
+                ),
             )
             proc.start()
             child_conn.close()
@@ -388,23 +509,54 @@ def _run_cells_supervised(
                 if config.cell_timeout is not None
                 else None
             )
-            running[item.cell.key] = (proc, parent_conn, deadline, item)
+            running[item.cell.key] = _Running(
+                proc=proc,
+                conn=parent_conn,
+                deadline=deadline,
+                item=item,
+                started=now,
+                last_beat=now,
+            )
+            if recorder.enabled:
+                recorder.emit(
+                    "cell_started", cell=item.cell.key, attempt=item.attempt
+                )
+        if recorder.enabled:
+            recorder.gauge("cells_running", len(running))
+            recorder.gauge("cells_pending", len(pending))
 
         progressed = False
         now = time.monotonic()
         for key in list(running):
-            proc, conn, deadline, item = running[key]
+            run = running[key]
+            item = run.item
             message = None
             try:
-                if conn.poll():
-                    message = conn.recv()
+                # Drain the attempt's streamed telemetry events (if any)
+                # up to its final ok/err message — pipes are FIFO, so the
+                # final message is always last.
+                while run.conn.poll():
+                    received = run.conn.recv()
+                    if received[0] == "evt":
+                        recorder.forward(received[1])
+                        continue
+                    message = received
+                    break
             except (EOFError, OSError):
                 message = None  # writer died mid-send: treat as crash
-                if proc.is_alive():
-                    proc.join(timeout=5.0)
+                if run.proc.is_alive():
+                    run.proc.join(timeout=5.0)
             if message is not None:
                 progressed = True
+                elapsed = now - run.started
                 if message[0] == "ok":
+                    if recorder.enabled:
+                        recorder.emit(
+                            "cell_completed",
+                            cell=key,
+                            attempts=item.attempt,
+                            seconds=elapsed,
+                        )
                     finish(
                         key,
                         CellOutcome(
@@ -420,31 +572,53 @@ def _run_cells_supervised(
                     retry, outcome = _classify_failure(
                         item, transient, text, config, now
                     )
+                    _settle(recorder, item, retry, text, elapsed)
                     finish(key, outcome, retry)
-            elif not proc.is_alive():
+            elif not run.proc.is_alive():
                 progressed = True
+                text = f"worker crashed (exit code {run.proc.exitcode})"
                 retry, outcome = _classify_failure(
                     item,
                     True,  # a crash is environmental until retries exhaust
-                    f"worker crashed (exit code {proc.exitcode})",
+                    text,
                     config,
                     now,
                 )
+                _settle(recorder, item, retry, text, now - run.started)
                 finish(key, outcome, retry)
-            elif deadline is not None and now > deadline:
+            elif run.deadline is not None and now > run.deadline:
                 progressed = True
-                proc.kill()
-                proc.join()
+                run.proc.kill()
+                run.proc.join()
+                text = f"cell timed out after {config.cell_timeout:g}s"
+                if recorder.enabled:
+                    recorder.emit(
+                        "cell_timeout",
+                        cell=key,
+                        attempt=item.attempt,
+                        seconds=now - run.started,
+                    )
                 retry, outcome = _classify_failure(
-                    item,
-                    True,
-                    f"cell timed out after {config.cell_timeout:g}s",
-                    config,
-                    now,
+                    item, True, text, config, now
                 )
+                _settle(recorder, item, retry, text, now - run.started)
                 finish(key, outcome, retry)
+            elif (
+                recorder.enabled
+                and now - run.last_beat >= config.heartbeat_every
+            ):
+                run.last_beat = now
+                recorder.emit(
+                    "cell_heartbeat",
+                    cell=key,
+                    attempt=item.attempt,
+                    elapsed=now - run.started,
+                )
         if not progressed:
             time.sleep(0.01)
+    if recorder.enabled:
+        recorder.gauge("cells_running", 0)
+        recorder.gauge("cells_pending", 0)
     return outcomes
 
 
@@ -452,31 +626,70 @@ def _run_cells_in_process(
     queue: List[_Attempt],
     worker: Callable[[Dict[str, object]], object],
     config: OrchestratorConfig,
+    recorder: Recorder = NULL_RECORDER,
 ) -> List[CellOutcome]:
     """The unsupervised fast path: jobs=1, no timeout, same semantics."""
     outcomes: List[CellOutcome] = []
     for item in queue:
+        key = item.cell.key
         attempt = item.attempt
         while True:
+            started = time.monotonic()
             try:
-                result = worker(item.cell.payload)
+                if recorder.enabled:
+                    recorder.emit("cell_started", cell=key, attempt=attempt)
+                    try:
+                        with recorder.span("cell", cell=key):
+                            result = worker(item.cell.payload)
+                    finally:
+                        # Delta-flush so this cell's engine metrics land
+                        # in their own metrics event, like a worker's.
+                        recorder.flush_metrics()
+                else:
+                    result = worker(item.cell.payload)
             except Exception as exc:
                 transient = isinstance(exc, TRANSIENT_EXCEPTIONS)
+                message = f"{type(exc).__name__}: {exc}"
+                elapsed = time.monotonic() - started
                 if transient and attempt <= config.max_retries:
+                    if recorder.enabled:
+                        recorder.emit(
+                            "cell_retry",
+                            cell=key,
+                            attempt=attempt,
+                            error=message,
+                            seconds=elapsed,
+                        )
+                        recorder.count("cell_retries")
                     time.sleep(
                         _retry_delay(item.cell.key, attempt, config.backoff)
                     )
                     attempt += 1
                     continue
+                if recorder.enabled:
+                    recorder.emit(
+                        "cell_failed",
+                        cell=key,
+                        attempts=attempt,
+                        error=message,
+                        seconds=elapsed,
+                    )
                 outcomes.append(
                     CellOutcome(
                         key=item.cell.key,
                         status="failed",
-                        error=f"{type(exc).__name__}: {exc}",
+                        error=message,
                         attempts=attempt,
                     )
                 )
                 break
+            if recorder.enabled:
+                recorder.emit(
+                    "cell_completed",
+                    cell=key,
+                    attempts=attempt,
+                    seconds=time.monotonic() - started,
+                )
             outcomes.append(
                 CellOutcome(
                     key=item.cell.key,
@@ -494,6 +707,7 @@ def run_sweep_cells(
     cells: Sequence[SweepCell],
     worker: Callable[[Dict[str, object]], object],
     config: Optional[OrchestratorConfig] = None,
+    recorder: Optional[Recorder] = None,
 ) -> SweepReport:
     """Execute a sweep's cells crash-safely; returns the full report.
 
@@ -502,8 +716,17 @@ def run_sweep_cells(
     must carry unique keys; results are reported in cell order regardless
     of completion order.  ``worker`` must be a module-level picklable
     callable (it runs in child processes whenever supervision is on).
+
+    ``recorder`` (default: the ambient :func:`current_recorder`) receives
+    the sweep's full lifecycle stream — scheduled/cached/skipped cells,
+    per-attempt started/heartbeat/retry/timeout/completed/failed events
+    (worker events stream back over the attempt pipes), and the
+    checkpoint layer's read/write/corruption events.  Recording is
+    observational only: with the default :data:`NULL_RECORDER` this
+    function is behaviourally identical to the pre-telemetry one.
     """
     config = config or OrchestratorConfig()
+    rec = recorder if recorder is not None else current_recorder()
     sweep_hash = spec_hash(spec)
     seen = set()
     for cell in cells:
@@ -511,47 +734,58 @@ def run_sweep_cells(
             raise ValueError(f"duplicate cell key: {cell.key!r}")
         seen.add(cell.key)
 
-    store = (
-        CheckpointStore(config.checkpoint_dir)
-        if config.checkpoint_dir is not None
-        else None
-    )
-    by_key: Dict[str, CellOutcome] = {}
-    to_run: List[SweepCell] = []
-    for cell in cells:
-        cached = (
-            store.get(sweep_hash, cell.key)
-            if (store is not None and config.resume)
+    with use_recorder(rec), rec.span(
+        "sweep", sweep_hash=sweep_hash, cells=len(cells)
+    ):
+        store = (
+            CheckpointStore(config.checkpoint_dir)
+            if config.checkpoint_dir is not None
             else None
         )
-        if cached is not None:
-            by_key[cell.key] = CellOutcome(
-                key=cell.key, status="cached", result=cached
+        by_key: Dict[str, CellOutcome] = {}
+        to_run: List[SweepCell] = []
+        for cell in cells:
+            if rec.enabled:
+                rec.emit("cell_scheduled", cell=cell.key)
+            cached = (
+                store.get(sweep_hash, cell.key)
+                if (store is not None and config.resume)
+                else None
             )
-        else:
-            to_run.append(cell)
+            if cached is not None:
+                if rec.enabled:
+                    rec.emit("cell_cached", cell=cell.key)
+                by_key[cell.key] = CellOutcome(
+                    key=cell.key, status="cached", result=cached
+                )
+            else:
+                to_run.append(cell)
 
-    interrupted = False
-    if config.max_cells is not None and len(to_run) > config.max_cells:
-        for cell in to_run[config.max_cells:]:
-            by_key[cell.key] = CellOutcome(key=cell.key, status="skipped")
-        to_run = to_run[: config.max_cells]
-        interrupted = True
+        interrupted = False
+        if config.max_cells is not None and len(to_run) > config.max_cells:
+            for cell in to_run[config.max_cells:]:
+                if rec.enabled:
+                    rec.emit("cell_skipped", cell=cell.key)
+                by_key[cell.key] = CellOutcome(key=cell.key, status="skipped")
+            to_run = to_run[: config.max_cells]
+            interrupted = True
 
-    queue = [_Attempt(cell=cell, attempt=1) for cell in to_run]
-    supervised = config.jobs > 1 or config.cell_timeout is not None
-    executed = (
-        _run_cells_supervised(queue, worker, config)
-        if supervised
-        else _run_cells_in_process(queue, worker, config)
-    )
-    for outcome in executed:
-        if outcome.status == "completed" and store is not None:
-            store.put(sweep_hash, outcome.key, outcome.result)
-        by_key[outcome.key] = outcome
+        queue = [_Attempt(cell=cell, attempt=1) for cell in to_run]
+        supervised = config.jobs > 1 or config.cell_timeout is not None
+        executed = (
+            _run_cells_supervised(queue, worker, config, rec)
+            if supervised
+            else _run_cells_in_process(queue, worker, config, rec)
+        )
+        for outcome in executed:
+            if outcome.status == "completed" and store is not None:
+                store.put(sweep_hash, outcome.key, outcome.result)
+            by_key[outcome.key] = outcome
 
-    return SweepReport(
-        spec_hash=sweep_hash,
-        outcomes=[by_key[cell.key] for cell in cells],
-        interrupted=interrupted,
-    )
+        report = SweepReport(
+            spec_hash=sweep_hash,
+            outcomes=[by_key[cell.key] for cell in cells],
+            interrupted=interrupted,
+        )
+    rec.flush_metrics()
+    return report

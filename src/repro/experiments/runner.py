@@ -35,6 +35,7 @@ from ..distsys.simulator import run_dgd
 from ..distsys.trace import ExecutionTrace
 from ..functions.batched import stack_costs
 from ..optim.schedules import StepSchedule
+from ..telemetry.recorder import current_recorder
 from .checkpoint import CheckpointStore, spec_hash
 from .orchestrator import (
     EngineCheckpointer,
@@ -314,7 +315,7 @@ def _run_regression_cell(payload: Dict[str, object]) -> Dict[str, object]:
             ),
         )
     else:
-        trace = make_engine().run(iterations)
+        trace = make_engine().set_recorder(current_recorder()).run(iterations)
     result = _results_from_batch_trace(problem, stack, trace, [name], [spec])[0]
     return {
         "label": result.label,

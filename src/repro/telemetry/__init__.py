@@ -1,0 +1,51 @@
+"""Zero-overhead observability: spans, metrics and structured events.
+
+The package behind the ``--telemetry-out``/``--progress`` CLI flags and
+the ``telemetry summarize`` subcommand.  See
+:mod:`repro.telemetry.recorder` for the recorder protocol and the
+zero-overhead / determinism contracts, and
+:mod:`repro.telemetry.summarize` for post-mortem analysis of a recorded
+stream.
+"""
+
+from .recorder import (
+    EVENT_SCHEMA,
+    NULL_RECORDER,
+    EventSink,
+    JsonlSink,
+    MemorySink,
+    NullRecorder,
+    ProgressSink,
+    Recorder,
+    current_recorder,
+    set_current_recorder,
+    use_recorder,
+)
+from .summarize import (
+    CellTiming,
+    TelemetrySummary,
+    read_events,
+    render_summary,
+    summarize_events,
+    summarize_file,
+)
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "NULL_RECORDER",
+    "EventSink",
+    "JsonlSink",
+    "MemorySink",
+    "NullRecorder",
+    "ProgressSink",
+    "Recorder",
+    "current_recorder",
+    "set_current_recorder",
+    "use_recorder",
+    "CellTiming",
+    "TelemetrySummary",
+    "read_events",
+    "render_summary",
+    "summarize_events",
+    "summarize_file",
+]

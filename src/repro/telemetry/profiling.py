@@ -1,0 +1,56 @@
+"""Shared cProfile harness plumbing for the benchmark profile scripts.
+
+``benchmarks/profile_async.py`` and
+``benchmarks/profile_decentralized_delay.py`` run one sweep under
+cProfile and print/persist a hotspot table; the timing, formatting and
+persistence boilerplate lives here so the scripts stay one-call thin
+and future harnesses (new engines, new sweeps) get the same report
+shape for free.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from pathlib import Path
+from typing import Callable, Tuple, Union
+
+__all__ = ["profile_callable", "hotspot_report", "persist_report"]
+
+
+def profile_callable(
+    fn: Callable[[], object], top: int = 20
+) -> Tuple[object, str, float]:
+    """Run ``fn`` under cProfile; returns (result, hotspot table, seconds).
+
+    The hotspot table is ``pstats`` output sorted by cumulative time,
+    truncated to the ``top`` entries — the shape both profile scripts
+    historically printed.
+    """
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    seconds = time.perf_counter() - started
+    return result, hotspot_report(profiler, top), seconds
+
+
+def hotspot_report(profiler: cProfile.Profile, top: int = 20) -> str:
+    """The top cumulative hotspots of a finished profiler, as text."""
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    return buffer.getvalue()
+
+
+def persist_report(report: str, out: Union[str, Path]) -> Path:
+    """Write a profile report to ``out`` (creating parent directories)."""
+    path = Path(out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(report + "\n")
+    return path

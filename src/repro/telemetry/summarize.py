@@ -1,0 +1,322 @@
+"""Post-mortem analysis of a telemetry event stream.
+
+Reads the JSONL stream a :class:`~repro.telemetry.recorder.JsonlSink`
+produced (tolerating a torn final line from a killed writer), folds it
+into a :class:`TelemetrySummary`, and renders the operator-facing views:
+
+* **stage wall-time breakdown** — the observe/fabricate/aggregate/project
+  histograms summed across every ``metrics`` event (metric flushes are
+  delta-style, so summing is exact);
+* **slowest cells** — every closed ``cell`` span ranked by duration,
+  with attempts and status;
+* **retry histogram** — how many cells needed 1, 2, ... attempts, plus
+  the retry/timeout event counts;
+* **event counts** — the stream's composition by event type.
+
+The reader rejects events whose ``schema`` is not the
+:data:`~repro.telemetry.recorder.EVENT_SCHEMA` this code understands
+(counted, never silently mixed in), mirroring the checkpoint layer's
+versioning discipline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, IO, Iterable, List, Tuple, Union
+
+from .recorder import EVENT_SCHEMA, STAGES
+
+__all__ = [
+    "CellTiming",
+    "TelemetrySummary",
+    "read_events",
+    "summarize_events",
+    "summarize_file",
+    "render_summary",
+]
+
+
+@dataclass
+class CellTiming:
+    """One cell's closed span: how long it ran and how it ended."""
+
+    cell: str
+    seconds: float
+    status: str = "ok"
+    attempts: int = 1
+
+
+@dataclass
+class TelemetrySummary:
+    """The folded view of one event stream."""
+
+    events: int = 0
+    unreadable_lines: int = 0
+    foreign_schema: int = 0
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    #: summed delta-metrics: counters by name.
+    counters: Dict[str, float] = field(default_factory=dict)
+    #: merged histograms: name -> {count, total, min, max}.
+    histograms: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: last seen value per gauge name.
+    gauges: Dict[str, float] = field(default_factory=dict)
+    cells: List[CellTiming] = field(default_factory=list)
+    #: attempts -> number of cells that needed that many.
+    retry_histogram: Dict[int, int] = field(default_factory=dict)
+    retries: int = 0
+    timeouts: int = 0
+    failed_cells: List[str] = field(default_factory=list)
+
+    @property
+    def stage_seconds(self) -> Dict[str, Dict[str, float]]:
+        """The per-stage wall-time histograms, in protocol-loop order."""
+        out: Dict[str, Dict[str, float]] = {}
+        for stage in STAGES:
+            stats = self.histograms.get(f"stage_seconds{{stage={stage}}}")
+            if stats is not None:
+                out[stage] = stats
+        return out
+
+    def slowest_cells(self, top: int = 10) -> List[CellTiming]:
+        """The ``top`` longest-running cells, slowest first."""
+        return sorted(self.cells, key=lambda c: -c.seconds)[: max(0, top)]
+
+
+def read_events(
+    source: Union[str, Path, IO[str]]
+) -> Tuple[List[Dict[str, object]], int]:
+    """Parse a JSONL event stream; returns (events, unreadable lines).
+
+    A line that fails to parse — typically the torn final line of a
+    killed writer — is counted and skipped, never fatal: a crashed
+    sweep's stream is exactly when a post-mortem matters most.
+    """
+    if hasattr(source, "read"):
+        lines = source.read().splitlines()
+    else:
+        lines = Path(source).read_text().splitlines()
+    events: List[Dict[str, object]] = []
+    unreadable = 0
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError:
+            unreadable += 1
+            continue
+        if isinstance(event, dict):
+            events.append(event)
+        else:
+            unreadable += 1
+    return events, unreadable
+
+
+def _merge_metrics(summary: TelemetrySummary, event: Dict[str, object]) -> None:
+    counters = event.get("counters")
+    if isinstance(counters, dict):
+        for name, value in counters.items():
+            summary.counters[name] = summary.counters.get(name, 0) + value
+    gauges = event.get("gauges")
+    if isinstance(gauges, dict):
+        summary.gauges.update(gauges)
+    histograms = event.get("histograms")
+    if isinstance(histograms, dict):
+        for name, stats in histograms.items():
+            merged = summary.histograms.get(name)
+            if merged is None:
+                summary.histograms[name] = dict(stats)
+            else:
+                merged["count"] += stats["count"]
+                merged["total"] += stats["total"]
+                merged["min"] = min(merged["min"], stats["min"])
+                merged["max"] = max(merged["max"], stats["max"])
+
+
+def summarize_events(
+    events: Iterable[Dict[str, object]], unreadable: int = 0
+) -> TelemetrySummary:
+    """Fold an event sequence into a :class:`TelemetrySummary`."""
+    summary = TelemetrySummary(unreadable_lines=unreadable)
+    attempts_by_cell: Dict[str, int] = {}
+    #: span id -> cell name, captured at span_open: worker streams carry
+    #: the cell in every event's context, but the in-process path passes
+    #: it as a span field, which lands on the open event only.
+    cell_spans: Dict[str, str] = {}
+    for event in events:
+        if event.get("schema") != EVENT_SCHEMA:
+            summary.foreign_schema += 1
+            continue
+        summary.events += 1
+        kind = str(event.get("type"))
+        summary.event_counts[kind] = summary.event_counts.get(kind, 0) + 1
+        if kind == "metrics":
+            _merge_metrics(summary, event)
+        elif kind == "span_open" and event.get("name") == "cell":
+            if "cell" in event:
+                cell_spans[str(event.get("span"))] = str(event["cell"])
+        elif kind == "span_close" and event.get("name") == "cell":
+            cell = str(
+                event.get(
+                    "cell",
+                    event.get(
+                        "key", cell_spans.get(str(event.get("span")), "?")
+                    ),
+                )
+            )
+            summary.cells.append(
+                CellTiming(
+                    cell=cell,
+                    seconds=float(event.get("duration", 0.0)),
+                    status=str(event.get("status", "ok")),
+                    attempts=int(attempts_by_cell.get(cell, 1)),
+                )
+            )
+        elif kind == "cell_started":
+            cell = str(event.get("cell", "?"))
+            attempts_by_cell[cell] = max(
+                attempts_by_cell.get(cell, 0), int(event.get("attempt", 1))
+            )
+        elif kind == "cell_retry":
+            summary.retries += 1
+        elif kind == "cell_timeout":
+            summary.timeouts += 1
+        elif kind in ("cell_completed", "cell_failed"):
+            cell = str(event.get("cell", "?"))
+            attempts = int(
+                event.get("attempts", attempts_by_cell.get(cell, 1))
+            )
+            attempts_by_cell[cell] = attempts
+            summary.retry_histogram[attempts] = (
+                summary.retry_histogram.get(attempts, 0) + 1
+            )
+            if kind == "cell_failed":
+                summary.failed_cells.append(cell)
+    return summary
+
+
+def summarize_file(path: Union[str, Path]) -> TelemetrySummary:
+    """Read and fold one JSONL event file."""
+    events, unreadable = read_events(path)
+    return summarize_events(events, unreadable)
+
+
+def _fmt_seconds(value: float) -> str:
+    return f"{value:.6g}"
+
+
+def render_summary(summary: TelemetrySummary, top: int = 10) -> str:
+    """The operator-facing text report of one event stream."""
+    # Deferred import: repro.distsys.engine imports repro.telemetry, and
+    # repro.experiments imports repro.distsys — a module-level import
+    # here would close that cycle during package initialization.
+    from ..experiments.reporting import format_table
+
+    blocks: List[str] = []
+
+    header = (
+        f"telemetry summary — {summary.events} events"
+        + (
+            f", {summary.unreadable_lines} unreadable line(s)"
+            if summary.unreadable_lines
+            else ""
+        )
+        + (
+            f", {summary.foreign_schema} foreign-schema event(s) ignored"
+            if summary.foreign_schema
+            else ""
+        )
+    )
+    blocks.append(header)
+
+    stages = summary.stage_seconds
+    if stages:
+        rows = [
+            [
+                stage,
+                stats["count"],
+                _fmt_seconds(stats["total"]),
+                _fmt_seconds(stats["total"] / stats["count"]),
+                _fmt_seconds(stats["max"]),
+            ]
+            for stage, stats in stages.items()
+        ]
+        total = sum(stats["total"] for stats in stages.values())
+        rounds = summary.counters.get("rounds")
+        title = "Stage wall time (summed across engines)"
+        if rounds:
+            title += (
+                f" — {int(rounds)} rounds,"
+                f" {rounds / total:.1f} rounds/s"
+                if total > 0
+                else f" — {int(rounds)} rounds"
+            )
+        blocks.append(
+            format_table(
+                headers=["stage", "calls", "total s", "mean s", "max s"],
+                rows=rows,
+                title=title,
+            )
+        )
+
+    if summary.cells:
+        rows = [
+            [c.cell, _fmt_seconds(c.seconds), c.attempts, c.status]
+            for c in summary.slowest_cells(top)
+        ]
+        blocks.append(
+            format_table(
+                headers=["cell", "seconds", "attempts", "status"],
+                rows=rows,
+                title=f"Slowest cells (top {min(top, len(summary.cells))})",
+            )
+        )
+
+    if summary.retry_histogram:
+        rows = [
+            [attempts, count]
+            for attempts, count in sorted(summary.retry_histogram.items())
+        ]
+        title = (
+            f"Retry histogram — {summary.retries} retries, "
+            f"{summary.timeouts} timeouts"
+        )
+        blocks.append(
+            format_table(headers=["attempts", "cells"], rows=rows, title=title)
+        )
+
+    if summary.failed_cells:
+        blocks.append(
+            "Failed cells:\n"
+            + "\n".join(f"  - {cell}" for cell in summary.failed_cells)
+        )
+
+    interesting = {
+        name: value
+        for name, value in sorted(summary.counters.items())
+        if not name.startswith("stage_seconds")
+    }
+    if interesting:
+        blocks.append(
+            format_table(
+                headers=["counter", "value"],
+                rows=[[n, v] for n, v in interesting.items()],
+                title="Counters",
+            )
+        )
+
+    if summary.event_counts:
+        blocks.append(
+            format_table(
+                headers=["event type", "count"],
+                rows=[
+                    [kind, count]
+                    for kind, count in sorted(summary.event_counts.items())
+                ],
+                title="Event counts",
+            )
+        )
+
+    return "\n\n".join(blocks)

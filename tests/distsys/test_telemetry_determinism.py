@@ -1,0 +1,241 @@
+"""The telemetry determinism invariant, pinned for every engine.
+
+A recorder observes; it never touches an engine's RNG streams, estimates
+or traces.  Each case here runs the same configuration twice — once with
+the default null recorder, once with a live recorder attached through
+the ambient :func:`~repro.telemetry.recorder.current_recorder` — and
+requires the trajectories to be **bit-identical**, while also asserting
+the live run actually recorded (a silently-detached recorder would make
+the equality vacuous).
+
+A second property makes the event streams themselves testable: with an
+injected fake clock, two identical runs produce identical event lists,
+so telemetry output is as reproducible as the trajectories it describes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregators import make_aggregator
+from repro.attacks.registry import make_attack
+from repro.distsys import (
+    AsyncBatchTrial,
+    BatchTrial,
+    DelayBatchTrial,
+    FaultSchedule,
+    IIDDrop,
+    LinkDelay,
+    ring_topology,
+    run_asynchronous,
+    run_asynchronous_batch,
+    run_decentralized,
+    run_decentralized_delayed,
+    run_decentralized_delayed_batch,
+    run_dgd,
+    run_dgd_batch,
+    uniform_delay,
+)
+from repro.telemetry.recorder import MemorySink, Recorder, use_recorder
+
+ITERATIONS = 15
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += 0.25
+        return self.now
+
+
+def _conditions():
+    return (LinkDelay(uniform_delay(0, 2)), IIDDrop(0.2))
+
+
+def run_server(paper):
+    return run_dgd(
+        costs=paper.costs,
+        faulty_ids=list(paper.faulty_ids),
+        aggregator=make_aggregator("cge", paper.n, paper.f),
+        attack=make_attack("gradient_reverse"),
+        constraint=paper.constraint,
+        schedule=paper.schedule,
+        initial_estimate=paper.initial_estimate,
+        iterations=ITERATIONS,
+        seed=0,
+    ).estimates()
+
+
+def run_batch(paper):
+    return run_dgd_batch(
+        costs=paper.costs,
+        trials=[
+            BatchTrial(
+                aggregator=make_aggregator("cge", paper.n, paper.f),
+                attack=make_attack("gradient_reverse"),
+                faulty_ids=paper.faulty_ids,
+                seed=s,
+            )
+            for s in (0, 1)
+        ],
+        constraint=paper.constraint,
+        schedule=paper.schedule,
+        initial_estimate=paper.initial_estimate,
+        iterations=ITERATIONS,
+    ).estimates
+
+
+def run_async(paper):
+    return run_asynchronous(
+        costs=paper.costs,
+        faulty_ids=list(paper.faulty_ids),
+        aggregator="cge",
+        attack=make_attack("gradient_reverse"),
+        constraint=paper.constraint,
+        schedule=paper.schedule,
+        initial_estimate=paper.initial_estimate,
+        iterations=ITERATIONS,
+        conditions=_conditions(),
+        staleness_bound=2,
+        seed=0,
+    ).estimates()
+
+
+def run_async_batch(paper):
+    return run_asynchronous_batch(
+        costs=paper.costs,
+        trials=[
+            AsyncBatchTrial(
+                aggregator="cge",
+                attack=make_attack("gradient_reverse"),
+                faulty_ids=tuple(paper.faulty_ids),
+                conditions=_conditions(),
+                staleness_bound=2,
+                seed=s,
+            )
+            for s in (0, 1)
+        ],
+        constraint=paper.constraint,
+        schedule=paper.schedule,
+        initial_estimate=paper.initial_estimate,
+        iterations=ITERATIONS,
+    ).estimates
+
+
+def run_graph(paper):
+    return run_decentralized(
+        costs=paper.costs,
+        topology=ring_topology(paper.n, hops=2),
+        trials=[
+            BatchTrial(
+                aggregator=make_aggregator("cwtm", paper.n, paper.f),
+                attack=make_attack("gradient_reverse"),
+                faulty_ids=paper.faulty_ids,
+                seed=0,
+            )
+        ],
+        constraint=paper.constraint,
+        schedule=paper.schedule,
+        initial_estimate=paper.initial_estimate,
+        iterations=ITERATIONS,
+    ).estimates
+
+
+def run_graph_delayed(paper):
+    return run_decentralized_delayed(
+        costs=paper.costs,
+        topology=ring_topology(paper.n, hops=2),
+        trials=[
+            BatchTrial(
+                aggregator=make_aggregator("cwtm", paper.n, paper.f),
+                attack=make_attack("gradient_reverse"),
+                faulty_ids=paper.faulty_ids,
+                seed=0,
+            )
+        ],
+        constraint=paper.constraint,
+        schedule=paper.schedule,
+        initial_estimate=paper.initial_estimate,
+        iterations=ITERATIONS,
+        conditions=_conditions(),
+        fault_schedule=FaultSchedule().crash(2, at=3, recover_at=8),
+        staleness_bound=2,
+        missing_policy="shrink",
+    ).estimates
+
+
+def run_graph_delayed_batch(paper):
+    return run_decentralized_delayed_batch(
+        costs=paper.costs,
+        trials=[
+            DelayBatchTrial(
+                aggregator="cwtm",
+                topology=ring_topology(paper.n, hops=2),
+                attack=make_attack("gradient_reverse"),
+                faulty_ids=tuple(paper.faulty_ids),
+                conditions=_conditions(),
+                staleness_bound=2,
+                missing_policy="shrink",
+                seed=s,
+            )
+            for s in (0, 1)
+        ],
+        constraint=paper.constraint,
+        schedule=paper.schedule,
+        initial_estimate=paper.initial_estimate,
+        iterations=ITERATIONS,
+    ).estimates
+
+
+ENGINES = {
+    "server": run_server,
+    "batch": run_batch,
+    "async": run_async,
+    "async_batch": run_async_batch,
+    "decentralized": run_graph,
+    "decentralized_delay": run_graph_delayed,
+    "decentralized_delay_batch": run_graph_delayed_batch,
+}
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+def test_trajectories_bit_identical_with_recording_on(engine, paper):
+    run = ENGINES[engine]
+    baseline = run(paper)
+
+    sink = MemorySink()
+    recorder = Recorder(sinks=(sink,))
+    with use_recorder(recorder):
+        recorded = run(paper)
+
+    assert np.array_equal(np.asarray(baseline), np.asarray(recorded))
+    # The equality must not be vacuous: the engine really recorded.
+    spans = [e for e in sink.events if e.get("type") == "span_open"]
+    assert any(e.get("name") == "engine_run" for e in spans)
+    rounds = recorder.metrics_snapshot()["counters"]["rounds"]
+    assert rounds == ITERATIONS
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+def test_fake_clock_event_streams_are_bit_stable(engine, paper):
+    run = ENGINES[engine]
+
+    def stream():
+        sink = MemorySink()
+        recorder = Recorder(sinks=(sink,), clock=FakeClock(),
+                            progress_every=5)
+        with use_recorder(recorder):
+            run(paper)
+        recorder.flush_metrics()
+        return sink.events
+
+    assert stream() == stream()
+
+
+def test_second_recorded_run_matches_first(paper):
+    """Recording twice in a row records the same engine, not a drifted one."""
+    with use_recorder(Recorder(sinks=(MemorySink(),))):
+        first = run_batch(paper)
+        second = run_batch(paper)
+    assert np.array_equal(first, second)

@@ -1,0 +1,165 @@
+"""CLI surface of the telemetry layer.
+
+``--telemetry-out`` must capture a complete, schema-stamped JSONL stream
+of a real sweep, ``--progress`` must render the noteworthy events live
+on stderr, ``telemetry summarize`` must post-mortem the stream, and the
+``--verbose``/``--quiet`` pair governs the console log level.  These are
+end-to-end runs of real subcommands, not parser unit checks.
+"""
+
+import json
+import logging
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+from repro.telemetry.recorder import EVENT_SCHEMA
+
+
+def read_events(path):
+    with open(path) as stream:
+        return [json.loads(line) for line in stream]
+
+
+class TestFlagParsing:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["decentralized", "--telemetry-out", "t.jsonl", "--progress"],
+            ["decentralized-delay", "--telemetry-out", "t.jsonl"],
+            ["asynchronous", "--progress"],
+            ["table1", "--telemetry-out", "t.jsonl"],
+            ["--verbose", "table1"],
+            ["--quiet", "decentralized"],
+            ["telemetry", "summarize", "t.jsonl"],
+            ["telemetry", "summarize", "t.jsonl", "--top", "3"],
+        ],
+    )
+    def test_telemetry_flags_parse(self, argv):
+        build_parser().parse_args(argv)
+
+    def test_verbose_and_quiet_are_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--verbose", "--quiet", "table1"])
+
+
+class TestRecordedSweep:
+    def test_telemetry_out_captures_schema_stamped_stream(self, tmp_path):
+        out = tmp_path / "events.jsonl"
+        assert main([
+            "decentralized",
+            "--iterations", "30",
+            "--seeds", "1",
+            "--telemetry-out", str(out),
+        ]) == 0
+        events = read_events(out)
+        assert events, "recorded sweep produced an empty stream"
+        assert all(e["schema"] == EVENT_SCHEMA for e in events)
+        # The engines under the sweep attach to the CLI's recorder.
+        opens = [e for e in events if e.get("type") == "span_open"]
+        assert any(e.get("name") == "engine_run" for e in opens)
+        # The recorder is closed on exit: metrics are flushed to the file.
+        metrics = [e for e in events if e.get("type") == "metrics"]
+        assert metrics and any(
+            "rounds" in m.get("counters", {}) for m in metrics
+        )
+
+    def test_orchestrated_sweep_streams_cell_lifecycle(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "events.jsonl"
+        argv = [
+            "decentralized-delay",
+            "--iterations", "20",
+            "--seeds", "1",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--telemetry-out", str(out),
+            "--progress",
+        ]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "[completed]" in err  # --progress narrates live on stderr
+        kinds = {e.get("type") for e in read_events(out)}
+        assert {"span_open", "span_close", "cell_scheduled",
+                "cell_started", "cell_completed"} <= kinds
+
+        # A warm re-run records its cache hits instead of cell work.
+        warm_out = tmp_path / "warm.jsonl"
+        argv[argv.index(str(out))] = str(warm_out)
+        assert main(argv) == 0
+        warm_kinds = {e.get("type") for e in read_events(warm_out)}
+        assert "cell_cached" in warm_kinds
+        assert "cell_started" not in warm_kinds
+
+    def test_summarize_post_mortems_the_stream(self, tmp_path, capsys):
+        out = tmp_path / "events.jsonl"
+        assert main([
+            "decentralized-delay",
+            "--iterations", "20",
+            "--seeds", "1",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--telemetry-out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["telemetry", "summarize", str(out)]) == 0
+        report = capsys.readouterr().out
+        assert "Stage wall time" in report
+        assert "Slowest cells" in report
+        assert "Counters" in report
+
+    def test_without_flags_no_stream_is_written(self, tmp_path, capsys):
+        assert main(["decentralized", "--iterations", "30",
+                     "--seeds", "1"]) == 0
+        assert list(tmp_path.iterdir()) == []
+        assert "[completed]" not in capsys.readouterr().err
+
+
+class TestLoggingPolicy:
+    @pytest.fixture(autouse=True)
+    def fresh_handlers(self):
+        # The console handler captures sys.stderr when first installed;
+        # dropping it here makes _configure_logging rebind to the stream
+        # capsys patched in for this test.
+        root = logging.getLogger("repro")
+        saved = root.handlers[:]
+        root.handlers[:] = []
+        yield
+        root.handlers[:] = saved
+
+    def test_info_logs_reach_stderr_by_default(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        assert main([
+            "decentralized",
+            "--iterations", "30",
+            "--seeds", "1",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--report-out", str(report),
+        ]) == 0
+        assert "[report]" in capsys.readouterr().err
+
+    def test_quiet_suppresses_info_logs(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        assert main([
+            "--quiet",
+            "decentralized",
+            "--iterations", "30",
+            "--seeds", "1",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--report-out", str(report),
+        ]) == 0
+        assert "[report]" not in capsys.readouterr().err
+        assert report.exists()  # quiet only mutes narration, not work
+
+    def test_logs_mirror_into_the_recorded_stream(self, tmp_path):
+        out = tmp_path / "events.jsonl"
+        assert main([
+            "decentralized",
+            "--iterations", "30",
+            "--seeds", "1",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--report-out", str(tmp_path / "report.json"),
+            "--telemetry-out", str(out),
+        ]) == 0
+        logs = [e for e in read_events(out) if e.get("type") == "log"]
+        assert any("[report]" in e["message"] for e in logs)
+        assert all(e["level"] == "info" for e in logs)

@@ -1,0 +1,272 @@
+"""Unit tests for the recorder protocol: spans, metrics, sinks, scoping.
+
+The properties pinned here are the ones the rest of the repo leans on:
+span events reconstruct the execution tree, metric flushes are
+delta-style (summable without double counting), a fake clock makes event
+streams bit-stable, and the null recorder plus the process-global
+scoping primitives behave as the engines and orchestrator assume.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry.recorder import (
+    EVENT_SCHEMA,
+    JsonlSink,
+    MemorySink,
+    NULL_RECORDER,
+    NullRecorder,
+    ProgressSink,
+    Recorder,
+    current_recorder,
+    set_current_recorder,
+    use_recorder,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock: advances 1.0 per reading."""
+
+    def __init__(self, start: float = 0.0, tick: float = 1.0):
+        self.now = start
+        self.tick = tick
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.tick
+        return value
+
+
+def make_recorder(**kwargs):
+    sink = MemorySink()
+    kwargs.setdefault("clock", FakeClock())
+    return Recorder(sinks=(sink,), **kwargs), sink
+
+
+class TestEvents:
+    def test_emit_stamps_schema_type_and_clock(self):
+        recorder, sink = make_recorder()
+        recorder.emit("hello", answer=42)
+        (event,) = sink.events
+        assert event["schema"] == EVENT_SCHEMA
+        assert event["type"] == "hello"
+        assert event["t"] == 0.0
+        assert event["answer"] == 42
+
+    @pytest.mark.parametrize("key", ["schema", "type", "t", "span", "name"])
+    def test_reserved_field_names_rejected(self, key):
+        recorder, _ = make_recorder()
+        with pytest.raises(ValueError, match="reserved"):
+            recorder.emit("oops", **{key: "shadow"})
+
+    def test_context_merged_into_every_event(self):
+        recorder, sink = make_recorder(context={"cell": "c0", "attempt": 2})
+        recorder.emit("one")
+        with recorder.span("work"):
+            pass
+        assert all(e["cell"] == "c0" and e["attempt"] == 2 for e in sink.events)
+
+    def test_fake_clock_streams_are_bit_stable(self):
+        def stream():
+            recorder, sink = make_recorder(context={"run": "x"})
+            with recorder.span("outer", depth=1):
+                recorder.emit("tick", i=0)
+                recorder.count("things", 3)
+            recorder.flush_metrics()
+            return sink.events
+
+        assert stream() == stream()
+
+    def test_forward_passes_events_through_verbatim(self):
+        recorder, sink = make_recorder(context={"supervisor": True})
+        foreign = {"schema": EVENT_SCHEMA, "type": "x", "t": 9.0, "cell": "c"}
+        recorder.forward(dict(foreign))
+        assert sink.events == [foreign]  # no context merge, no restamp
+
+
+class TestSpans:
+    def test_span_pair_carries_duration_and_status(self):
+        recorder, sink = make_recorder()
+        with recorder.span("cell", key="c0"):
+            recorder.emit("inside")
+        opened, inside, closed = sink.events
+        assert opened["type"] == "span_open" and opened["name"] == "cell"
+        assert opened["key"] == "c0"
+        assert inside["span"] == opened["span"]
+        assert closed["type"] == "span_close"
+        assert closed["span"] == opened["span"]
+        assert closed["status"] == "ok"
+        assert closed["duration"] > 0
+
+    def test_nested_spans_record_parents(self):
+        recorder, sink = make_recorder()
+        with recorder.span("sweep"):
+            with recorder.span("cell"):
+                with recorder.span("engine_run"):
+                    pass
+        opens = {e["name"]: e for e in sink.events if e["type"] == "span_open"}
+        assert "parent" not in opens["sweep"]
+        assert opens["cell"]["parent"] == opens["sweep"]["span"]
+        assert opens["engine_run"]["parent"] == opens["cell"]["span"]
+
+    def test_span_records_exception_and_reraises(self):
+        recorder, sink = make_recorder()
+        with pytest.raises(RuntimeError, match="boom"):
+            with recorder.span("cell"):
+                raise RuntimeError("boom")
+        closed = sink.events[-1]
+        assert closed["status"] == "error"
+        assert closed["error"] == "RuntimeError: boom"
+
+    def test_span_prefix_namespaces_ids(self):
+        recorder, sink = make_recorder(span_prefix="c0#a1:")
+        with recorder.span("cell"):
+            pass
+        assert sink.events[0]["span"] == "c0#a1:1"
+
+
+class TestMetrics:
+    def test_flush_is_delta_style(self):
+        recorder, sink = make_recorder()
+        recorder.count("rounds", 5)
+        recorder.flush_metrics()
+        recorder.count("rounds", 2)
+        recorder.flush_metrics()
+        first, second = [e for e in sink.events if e["type"] == "metrics"]
+        assert first["counters"]["rounds"] == 5
+        assert second["counters"]["rounds"] == 2  # not 7: reset on flush
+
+    def test_flush_with_nothing_accrued_emits_nothing(self):
+        recorder, sink = make_recorder()
+        recorder.flush_metrics()
+        assert sink.events == []
+
+    def test_labelled_counters_and_gauges(self):
+        recorder, _ = make_recorder()
+        recorder.count("kernel_calls", kernel="cge")
+        recorder.count("kernel_calls", kernel="cge")
+        recorder.count("kernel_calls", kernel="median")
+        recorder.gauge("queue_depth", 4)
+        recorder.gauge("queue_depth", 2)
+        snapshot = recorder.metrics_snapshot()
+        assert snapshot["counters"]["kernel_calls{kernel=cge}"] == 2
+        assert snapshot["counters"]["kernel_calls{kernel=median}"] == 1
+        assert snapshot["gauges"]["queue_depth"] == 2  # last value wins
+
+    def test_histogram_tracks_count_total_min_max(self):
+        recorder, _ = make_recorder()
+        for value in (3.0, 1.0, 2.0):
+            recorder.observe_value("latency", value)
+        stats = recorder.metrics_snapshot()["histograms"]["latency"]
+        assert stats == {"count": 3, "total": 6.0, "min": 1.0, "max": 3.0}
+
+    def test_stage_times_accumulate_without_events(self):
+        recorder, sink = make_recorder()
+        recorder.stage_times(0.1, 0.2, 0.3, 0.4, iteration=0)
+        recorder.stage_times(0.1, 0.2, 0.3, 0.4, iteration=1)
+        assert sink.events == []  # hot path: accumulate only
+        snapshot = recorder.metrics_snapshot()
+        assert snapshot["counters"]["rounds"] == 2
+        agg = snapshot["histograms"]["stage_seconds{stage=aggregate}"]
+        assert agg["count"] == 2 and agg["total"] == pytest.approx(0.6)
+
+    def test_round_chunks_emitted_every_progress_every(self):
+        recorder, sink = make_recorder(progress_every=10)
+        for i in range(25):
+            recorder.stage_times(0.01, 0.01, 0.01, 0.01, iteration=i)
+        chunks = [e for e in sink.events if e["type"] == "round_chunk"]
+        assert [c["iteration"] for c in chunks] == [9, 19]
+        assert all(c["rounds"] == 10 for c in chunks)
+        assert all(c["rounds_per_s"] == pytest.approx(25.0) for c in chunks)
+
+    def test_progress_every_validated(self):
+        with pytest.raises(ValueError, match="progress_every"):
+            Recorder(progress_every=0)
+
+
+class TestSinks:
+    def test_jsonl_sink_owns_path_and_round_trips(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        recorder = Recorder(sinks=(JsonlSink(str(path)),), clock=FakeClock())
+        recorder.emit("one", i=1)
+        recorder.count("n", 2)
+        recorder.close()
+        lines = path.read_text().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert [e["type"] for e in events] == ["one", "metrics"]
+        assert events[1]["counters"]["n"] == 2
+
+    def test_jsonl_sink_borrows_open_streams(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream)
+        sink.write({"type": "x"})
+        sink.close()  # flushes, must not close the borrowed stream
+        assert not stream.closed
+        assert json.loads(stream.getvalue()) == {"type": "x"}
+
+    def test_progress_sink_renders_only_noteworthy_events(self):
+        stream = io.StringIO()
+        sink = ProgressSink(stream)
+        sink.write({"type": "span_open", "name": "cell"})
+        sink.write({"type": "metrics"})
+        sink.write({"type": "cell_completed", "cell": "c0", "seconds": 1.25,
+                    "attempts": 1})
+        sink.write({"type": "round_chunk", "iteration": 99,
+                    "rounds_per_s": 812.3})
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("[completed] c0")
+        assert "seconds=1.25" in lines[0]
+        assert "[round_chunk]" in lines[1]
+        assert "rounds_per_s=812" in lines[1]
+
+    def test_progress_sink_survives_broken_stream(self):
+        class Broken(io.StringIO):
+            def write(self, *_):
+                raise BrokenPipeError
+
+        sink = ProgressSink(Broken())
+        sink.write({"type": "cell_completed", "cell": "c0"})  # must not raise
+
+
+class TestNullRecorderAndScoping:
+    def test_null_recorder_is_disabled_and_silent(self):
+        recorder = NullRecorder()
+        assert not recorder.enabled
+        recorder.emit("x")
+        recorder.count("n")
+        recorder.gauge("g", 1)
+        recorder.observe_value("h", 1.0)
+        recorder.stage_times(0, 0, 0, 0, iteration=0)
+        with recorder.span("s"):
+            pass
+        recorder.flush_metrics()
+        recorder.close()
+        assert recorder.metrics_snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_global_default_is_the_null_recorder(self):
+        assert current_recorder() is NULL_RECORDER
+
+    def test_use_recorder_scopes_and_restores(self):
+        recorder, _ = make_recorder()
+        with use_recorder(recorder):
+            assert current_recorder() is recorder
+            inner, _ = make_recorder()
+            with use_recorder(inner):
+                assert current_recorder() is inner
+            assert current_recorder() is recorder
+        assert current_recorder() is NULL_RECORDER
+
+    def test_set_current_recorder_none_restores_null(self):
+        recorder, _ = make_recorder()
+        previous = set_current_recorder(recorder)
+        try:
+            assert current_recorder() is recorder
+        finally:
+            set_current_recorder(None)
+        assert previous is NULL_RECORDER
+        assert current_recorder() is NULL_RECORDER

@@ -1,0 +1,140 @@
+"""Tests for the post-mortem summarizer over telemetry event streams.
+
+The summarizer must round-trip what the recorder writes (the versioned
+JSONL schema), survive the streams crashed sweeps leave behind (torn
+final lines), refuse streams it does not understand (foreign schemas),
+and fold delta-metrics exactly — summing, never double counting.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry.recorder import (
+    EVENT_SCHEMA,
+    JsonlSink,
+    MemorySink,
+    Recorder,
+)
+from repro.telemetry.summarize import (
+    read_events,
+    render_summary,
+    summarize_events,
+    summarize_file,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += 0.5
+        return self.now
+
+
+def recorded_sweep_stream(tmp_path):
+    """Write a miniature sweep's stream the way the orchestrator does."""
+    path = tmp_path / "events.jsonl"
+    recorder = Recorder(sinks=(JsonlSink(path),), clock=FakeClock())
+    with recorder.span("sweep", cells=2):
+        recorder.emit("cell_started", cell="fast", attempt=1)
+        with recorder.span("cell", cell="fast"):
+            recorder.stage_times(0.1, 0.2, 0.3, 0.4, iteration=0)
+        recorder.emit("cell_completed", cell="fast", seconds=1.0, attempts=1)
+        recorder.emit("cell_started", cell="slow", attempt=1)
+        recorder.emit("cell_retry", cell="slow", attempt=1)
+        recorder.emit("cell_started", cell="slow", attempt=2)
+        with recorder.span("cell", cell="slow"):
+            recorder.stage_times(1.0, 2.0, 3.0, 4.0, iteration=0)
+            # Extra events consume fake-clock ticks, making this span
+            # measurably longer than the fast cell's.
+            recorder.emit("cell_heartbeat", cell="slow", elapsed=3.0)
+            recorder.emit("cell_heartbeat", cell="slow", elapsed=6.0)
+        recorder.emit("cell_completed", cell="slow", seconds=9.0, attempts=2)
+        recorder.emit("cell_failed", cell="broken", attempts=3,
+                      error="ValueError: unrunnable")
+    recorder.close()
+    return path
+
+
+class TestSchemaRoundTrip:
+    def test_recorder_stream_summarizes_losslessly(self, tmp_path):
+        path = recorded_sweep_stream(tmp_path)
+        summary = summarize_file(path)
+        assert summary.unreadable_lines == 0
+        assert summary.foreign_schema == 0
+        # Two closed cell spans, ranked by duration when asked.
+        assert {c.cell for c in summary.cells} == {"fast", "slow"}
+        slowest = summary.slowest_cells(1)[0]
+        assert slowest.cell == "slow" and slowest.attempts == 2
+        # Delta metrics folded exactly: one flush, two rounds.
+        assert summary.counters["rounds"] == 2
+        agg = summary.stage_seconds["aggregate"]
+        assert agg["count"] == 2 and agg["total"] == pytest.approx(3.3)
+        # Lifecycle counts.
+        assert summary.retries == 1
+        assert summary.retry_histogram == {1: 1, 2: 1, 3: 1}
+        assert summary.failed_cells == ["broken"]
+
+    def test_metrics_from_many_flushes_sum_without_double_counting(self):
+        sink = MemorySink()
+        recorder = Recorder(sinks=(sink,), clock=FakeClock())
+        for _ in range(3):
+            recorder.count("rounds", 4)
+            recorder.observe_value("chunk_seconds", 2.0)
+            recorder.flush_metrics()
+        summary = summarize_events(sink.events)
+        assert summary.counters["rounds"] == 12
+        stats = summary.histograms["chunk_seconds"]
+        assert stats["count"] == 3 and stats["total"] == 6.0
+
+
+class TestRobustReading:
+    def test_torn_final_line_is_counted_not_fatal(self, tmp_path):
+        path = recorded_sweep_stream(tmp_path)
+        whole = path.read_text()
+        path.write_text(whole[: len(whole) - 25])  # kill -9 mid-write
+        events, unreadable = read_events(path)
+        assert unreadable == 1
+        summary = summarize_events(events, unreadable)
+        assert summary.unreadable_lines == 1
+        assert summary.events == len(events)
+
+    def test_foreign_schema_events_rejected_and_counted(self):
+        events = [
+            {"schema": EVENT_SCHEMA, "type": "cell_retry", "t": 1.0},
+            {"schema": "someone-else/v9", "type": "cell_retry", "t": 2.0},
+            {"type": "cell_retry", "t": 3.0},  # no schema at all
+        ]
+        summary = summarize_events(events)
+        assert summary.events == 1
+        assert summary.foreign_schema == 2
+        assert summary.retries == 1
+
+    def test_non_object_lines_count_as_unreadable(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        path.write_text('{"schema": "%s", "type": "x", "t": 1}\n[1, 2]\n'
+                        % EVENT_SCHEMA)
+        events, unreadable = read_events(path)
+        assert len(events) == 1 and unreadable == 1
+
+
+class TestRendering:
+    def test_render_names_the_operator_facing_sections(self, tmp_path):
+        summary = summarize_file(recorded_sweep_stream(tmp_path))
+        text = render_summary(summary, top=5)
+        assert "telemetry summary" in text
+        assert "Stage wall time" in text
+        assert "Slowest cells" in text
+        assert "Retry histogram — 1 retries" in text
+        assert "Failed cells" in text and "broken" in text
+        assert "Event counts" in text
+
+    def test_render_empty_stream_degrades_gracefully(self):
+        text = render_summary(summarize_events([]))
+        assert text.startswith("telemetry summary — 0 events")
+
+    def test_render_mentions_unreadable_lines(self):
+        summary = summarize_events([], unreadable=2)
+        assert "2 unreadable line(s)" in render_summary(summary)
