@@ -30,6 +30,7 @@ from .registry import aggregator_descriptions, available_aggregators, make_aggre
 from .trimmed_mean import (
     CoordinateWiseMedian,
     CWTMAggregator,
+    nan_last_median,
     trimmed_mean,
     trimmed_mean_batch,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "CoordinateWiseMedian",
     "trimmed_mean",
     "trimmed_mean_batch",
+    "nan_last_median",
     "KrumAggregator",
     "MultiKrumAggregator",
     "krum_scores",

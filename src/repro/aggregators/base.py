@@ -7,6 +7,14 @@ per agent, Byzantine rows included) and return a single ``(d,)`` vector.
 
 Filters are deterministic and stateless; the tolerated fault count ``f`` is a
 constructor argument where the rule needs it.
+
+A Byzantine row may be *hostile*: ``NaN``, ``±Inf`` or overflow-scale.
+Filters with defined non-finite semantics (the order-statistic and
+distance-based rules) validate with ``allow_nonfinite=True`` and absorb
+such rows; *strict* filters (plain mean/sum, which cannot) declare
+``quarantines_on_nonfinite`` and refuse with a typed
+:class:`~repro.health.QuarantineError` naming the offending agent rows —
+the engines convert that refusal into a per-trial quarantine.
 """
 
 from __future__ import annotations
@@ -14,6 +22,8 @@ from __future__ import annotations
 import abc
 
 import numpy as np
+
+from ..health import nonfinite_rows, refusal
 
 __all__ = [
     "GradientAggregator",
@@ -24,7 +34,9 @@ __all__ = [
 ]
 
 
-def validate_gradients(gradients: np.ndarray) -> np.ndarray:
+def validate_gradients(
+    gradients: np.ndarray, allow_nonfinite: bool = False
+) -> np.ndarray:
     """Coerce and validate a stack of gradients to an ``(n, d)`` array."""
     arr = np.asarray(gradients, dtype=float)
     if arr.ndim != 2:
@@ -33,12 +45,14 @@ def validate_gradients(gradients: np.ndarray) -> np.ndarray:
         )
     if arr.shape[0] == 0:
         raise ValueError("cannot aggregate zero gradients")
-    if not np.all(np.isfinite(arr)):
-        raise ValueError("gradients contain non-finite entries")
+    if not allow_nonfinite and not np.all(np.isfinite(arr)):
+        raise refusal(np.nonzero(nonfinite_rows(arr))[0])
     return arr
 
 
-def validate_gradient_batch(stacks: np.ndarray) -> np.ndarray:
+def validate_gradient_batch(
+    stacks: np.ndarray, allow_nonfinite: bool = False
+) -> np.ndarray:
     """Coerce and validate a batch of gradient stacks to ``(S, n, d)``."""
     arr = np.asarray(stacks, dtype=float)
     if arr.ndim != 3:
@@ -47,8 +61,12 @@ def validate_gradient_batch(stacks: np.ndarray) -> np.ndarray:
         )
     if arr.shape[0] == 0 or arr.shape[1] == 0:
         raise ValueError("cannot aggregate an empty batch")
-    if not np.all(np.isfinite(arr)):
-        raise ValueError("gradients contain non-finite entries")
+    if not allow_nonfinite and not np.all(np.isfinite(arr)):
+        bad = nonfinite_rows(arr)  # (S, n)
+        raise refusal(
+            np.nonzero(bad.any(axis=0))[0],
+            trial_indices=np.nonzero(bad.any(axis=1))[0],
+        )
     return arr
 
 
@@ -91,6 +109,13 @@ class GradientAggregator(abc.ABC):
     #: short registry name, e.g. ``"cge"``
     name: str = "abstract"
 
+    #: True for strict filters with no defined non-finite semantics: they
+    #: raise :class:`~repro.health.QuarantineError` on NaN/±Inf rows and
+    #: the engines quarantine the affected trial (reason
+    #: ``aggregator_refused``).  Filters left at False absorb up to ``f``
+    #: hostile rows and still return a finite aggregate.
+    quarantines_on_nonfinite: bool = False
+
     @abc.abstractmethod
     def aggregate(self, gradients: np.ndarray) -> np.ndarray:
         """Aggregate an ``(n, d)`` stack into a single ``(d,)`` vector."""
@@ -104,7 +129,9 @@ class GradientAggregator(abc.ABC):
         implementation is the per-item reference fallback, so any registered
         filter works under :class:`~repro.distsys.batch.BatchSimulator`.
         """
-        arr = validate_gradient_batch(stacks)
+        arr = validate_gradient_batch(
+            stacks, allow_nonfinite=not self.quarantines_on_nonfinite
+        )
         return np.stack([self.aggregate(item) for item in arr])
 
     def __call__(self, gradients: np.ndarray) -> np.ndarray:

@@ -12,6 +12,7 @@ import numpy as np
 
 from .base import GradientAggregator, validate_gradients
 from .krum import krum_scores
+from .trimmed_mean import nan_last_median
 
 __all__ = ["BulyanAggregator"]
 
@@ -27,7 +28,7 @@ class BulyanAggregator(GradientAggregator):
         self.f = int(f)
 
     def aggregate(self, gradients: np.ndarray) -> np.ndarray:
-        arr = validate_gradients(gradients)
+        arr = validate_gradients(gradients, allow_nonfinite=True)
         n = arr.shape[0]
         if n < 4 * self.f + 3:
             raise ValueError(
@@ -37,6 +38,8 @@ class BulyanAggregator(GradientAggregator):
         remaining = list(range(n))
         selected: list = []
         while len(selected) < theta:
+            # krum_scores ranks hostile rows +Inf, so with at most f of
+            # them the n − 2f ≥ n − f selections never pick one.
             scores = krum_scores(
                 arr[remaining], self.f, allow_zero_neighbours=True
             )
@@ -45,9 +48,17 @@ class BulyanAggregator(GradientAggregator):
         chosen = arr[selected]
 
         beta = theta - 2 * self.f  # entries kept per coordinate
-        med = np.median(chosen, axis=0)
-        # Per coordinate, keep the beta entries closest to the median.
-        gaps = np.abs(chosen - med)
-        order = np.argsort(gaps, axis=0, kind="stable")[:beta]
-        kept = np.take_along_axis(chosen, order, axis=0)
-        return kept.mean(axis=0)
+        if np.isfinite(chosen).all():
+            med = np.median(chosen, axis=0)
+            gaps = np.abs(chosen - med)
+            order = np.argsort(gaps, axis=0, kind="stable")[:beta]
+            kept = np.take_along_axis(chosen, order, axis=0)
+            return kept.mean(axis=0)
+        # Only reachable past the breakdown point; keep it silent and let
+        # the engines' candidate screen quarantine a non-finite result.
+        med = nan_last_median(chosen, axis=0)
+        with np.errstate(invalid="ignore", over="ignore"):
+            gaps = np.abs(chosen - med)
+            order = np.argsort(gaps, axis=0, kind="stable")[:beta]
+            kept = np.take_along_axis(chosen, order, axis=0)
+            return kept.mean(axis=0)

@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..health import all_moderate, overflow_safe_norms
 from .base import (
     GradientAggregator,
     check_attendance,
@@ -26,17 +27,33 @@ from .base import (
 __all__ = ["CGEAggregator", "AveragedCGE", "cge_selection", "cge_selection_batch"]
 
 
+def _norm_keys(arr: np.ndarray) -> np.ndarray:
+    """Row-norm sort keys over the trailing axis, hostile-input safe.
+
+    All-finite moderate stacks take the exact ``np.linalg.norm`` path;
+    stacks containing NaN/±Inf or overflow-scale rows switch to
+    :func:`~repro.health.overflow_safe_norms`, which ranks every hostile
+    row ``+Inf`` (ties broken by agent index as usual) without squaring
+    anything that would overflow.
+    """
+    if all_moderate(arr):
+        return np.linalg.norm(arr, axis=-1)
+    return overflow_safe_norms(arr)
+
+
 def cge_selection(gradients: np.ndarray, f: int) -> np.ndarray:
     """Indices of the ``n - f`` smallest-norm gradients in sorted order.
 
     Sorting is by ``(norm, agent index)`` so the rule is deterministic — the
     paper allows arbitrary tie-breaking and determinism is required for the
-    deterministic-algorithm framework of Section 1.2.
+    deterministic-algorithm framework of Section 1.2.  Hostile rows sort
+    last (norm key ``+Inf``), so at most ``f`` of them are eliminated
+    exactly like any other largest-norm gradients.
     """
-    arr = validate_gradients(gradients)
+    arr = validate_gradients(gradients, allow_nonfinite=True)
     n = arr.shape[0]
     require_fault_capacity(n, f, minimum_honest=1)
-    norms = np.linalg.norm(arr, axis=1)
+    norms = _norm_keys(arr)
     order = np.lexsort((np.arange(n), norms))
     return order[: n - f]
 
@@ -47,10 +64,10 @@ def cge_selection_batch(stacks: np.ndarray, f: int) -> np.ndarray:
     A stable argsort on the norms reproduces the (norm, agent index)
     lexicographic order of the per-item rule for every trial at once.
     """
-    arr = validate_gradient_batch(stacks)
+    arr = validate_gradient_batch(stacks, allow_nonfinite=True)
     n = arr.shape[1]
     require_fault_capacity(n, f, minimum_honest=1)
-    norms = np.linalg.norm(arr, axis=2)
+    norms = _norm_keys(arr)
     order = np.argsort(norms, axis=1, kind="stable")
     return order[:, : n - f]
 
@@ -87,15 +104,21 @@ class CGEAggregator(GradientAggregator):
             )
 
     def aggregate(self, gradients: np.ndarray) -> np.ndarray:
-        arr = validate_gradients(gradients)
+        arr = validate_gradients(gradients, allow_nonfinite=True)
         self._check_attendance(arr.shape[0])
         selected = cge_selection(arr, self.f)
-        return arr[selected].sum(axis=0)
+        # Hostile rows beyond the f eliminated ones (past the rule's
+        # breakdown point) may survive into the sum; the errstate keeps
+        # even that case warning-free — the engines' candidate screen is
+        # what turns a non-finite aggregate into a quarantine.
+        with np.errstate(invalid="ignore", over="ignore"):
+            return arr[selected].sum(axis=0)
 
     def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
-        arr = validate_gradient_batch(stacks)
+        arr = validate_gradient_batch(stacks, allow_nonfinite=True)
         self._check_attendance(arr.shape[1])
-        return _cge_gather(arr, self.f).sum(axis=1)
+        with np.errstate(invalid="ignore", over="ignore"):
+            return _cge_gather(arr, self.f).sum(axis=1)
 
 
 class AveragedCGE(CGEAggregator):
@@ -108,12 +131,14 @@ class AveragedCGE(CGEAggregator):
     name = "cge_mean"
 
     def aggregate(self, gradients: np.ndarray) -> np.ndarray:
-        arr = validate_gradients(gradients)
+        arr = validate_gradients(gradients, allow_nonfinite=True)
         self._check_attendance(arr.shape[0])
         selected = cge_selection(arr, self.f)
-        return arr[selected].mean(axis=0)
+        with np.errstate(invalid="ignore", over="ignore"):
+            return arr[selected].mean(axis=0)
 
     def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
-        arr = validate_gradient_batch(stacks)
+        arr = validate_gradient_batch(stacks, allow_nonfinite=True)
         self._check_attendance(arr.shape[1])
-        return _cge_gather(arr, self.f).mean(axis=1)
+        with np.errstate(invalid="ignore", over="ignore"):
+            return _cge_gather(arr, self.f).mean(axis=1)

@@ -13,7 +13,9 @@ from typing import Optional
 
 import numpy as np
 
+from ..health import all_moderate, hostile_rows, overflow_safe_norms
 from .base import GradientAggregator, validate_gradient_batch, validate_gradients
+from .trimmed_mean import nan_last_median
 
 __all__ = ["CenteredClipAggregator", "NormClipAggregator"]
 
@@ -36,29 +38,64 @@ class CenteredClipAggregator(GradientAggregator):
         self.iterations = int(iterations)
 
     def aggregate(self, gradients: np.ndarray) -> np.ndarray:
-        arr = validate_gradients(gradients)
-        center = np.median(arr, axis=0)  # robust warm start
+        arr = validate_gradients(gradients, allow_nonfinite=True)
+        if all_moderate(arr):
+            center = np.median(arr, axis=0)  # robust warm start
+            for _ in range(self.iterations):
+                deltas = arr - center
+                norms = np.linalg.norm(deltas, axis=1)
+                scales = np.ones_like(norms)
+                big = norms > self.radius
+                scales[big] = self.radius / norms[big]
+                center = center + (deltas * scales[:, None]).mean(axis=0)
+            return center
+        # A hostile row sits at an (effectively) infinite distance with an
+        # undefined direction, so its clipped deviation is taken as zero;
+        # the divisor stays n, matching the exact rule's mass.
+        hostile = hostile_rows(arr)
+        safe = np.where(hostile[:, None], 0.0, arr)
+        center = nan_last_median(arr, axis=0)
+        if not np.isfinite(center).all():  # past the breakdown point
+            return center
         for _ in range(self.iterations):
-            deltas = arr - center
+            deltas = safe - center
             norms = np.linalg.norm(deltas, axis=1)
             scales = np.ones_like(norms)
             big = norms > self.radius
             scales[big] = self.radius / norms[big]
+            scales[hostile] = 0.0
             center = center + (deltas * scales[:, None]).mean(axis=0)
         return center
 
     def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
-        arr = validate_gradient_batch(stacks)
-        centers = np.median(arr, axis=1)
+        arr = validate_gradient_batch(stacks, allow_nonfinite=True)
+        if all_moderate(arr):
+            hostile = None
+            safe = arr
+            centers = np.median(arr, axis=1)
+        else:
+            hostile = hostile_rows(arr)
+            safe = np.where(hostile[:, :, None], 0.0, arr)
+            centers = nan_last_median(arr, axis=1)
+            # Trials past the breakdown point keep a non-finite center;
+            # zero it inside the loop so the arithmetic stays silent and
+            # restore it afterwards for the engines' screen to catch.
+            broken = ~np.isfinite(centers).all(axis=1)
+            broken_centers = centers[broken]
+            centers = np.where(broken[:, None], 0.0, centers)
         for _ in range(self.iterations):
-            deltas = arr - centers[:, None, :]
+            deltas = safe - centers[:, None, :]
             norms = np.linalg.norm(deltas, axis=2)
             scales = np.where(
                 norms > self.radius,
                 self.radius / np.maximum(norms, 1e-300),
                 1.0,
             )
+            if hostile is not None:
+                scales = np.where(hostile, 0.0, scales)
             centers = centers + (deltas * scales[:, :, None]).mean(axis=1)
+        if hostile is not None and broken.any():
+            centers[broken] = broken_centers
         return centers
 
 
@@ -77,24 +114,44 @@ class NormClipAggregator(GradientAggregator):
         self.radius = radius
 
     def aggregate(self, gradients: np.ndarray) -> np.ndarray:
-        arr = validate_gradients(gradients)
-        norms = np.linalg.norm(arr, axis=1)
+        arr = validate_gradients(gradients, allow_nonfinite=True)
+        if all_moderate(arr):
+            norms = np.linalg.norm(arr, axis=1)
+            hostile = None
+        else:
+            # Hostile rows rank with norm +Inf and, their direction being
+            # undefined, contribute zero instead of a radius-length step.
+            norms = overflow_safe_norms(arr)
+            hostile = np.isinf(norms)
+            arr = np.where(hostile[:, None], 0.0, arr)
         radius = self.radius if self.radius is not None else float(np.median(norms))
         if radius == 0.0:
             return np.zeros(arr.shape[1])
-        scales = np.minimum(1.0, radius / np.maximum(norms, 1e-300))
+        with np.errstate(invalid="ignore"):
+            scales = np.minimum(1.0, radius / np.maximum(norms, 1e-300))
+        if hostile is not None:
+            scales = np.where(hostile, 0.0, scales)
         return (arr * scales[:, None]).mean(axis=0)
 
     def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
-        arr = validate_gradient_batch(stacks)
-        norms = np.linalg.norm(arr, axis=2)
+        arr = validate_gradient_batch(stacks, allow_nonfinite=True)
+        if all_moderate(arr):
+            norms = np.linalg.norm(arr, axis=2)
+            hostile = None
+        else:
+            norms = overflow_safe_norms(arr)
+            hostile = np.isinf(norms)
+            arr = np.where(hostile[:, :, None], 0.0, arr)
         if self.radius is not None:
             radii = np.full(arr.shape[0], float(self.radius))
         else:
             radii = np.median(norms, axis=1)
-        scales = np.minimum(
-            1.0, radii[:, None] / np.maximum(norms, 1e-300)
-        )
+        with np.errstate(invalid="ignore"):
+            scales = np.minimum(
+                1.0, radii[:, None] / np.maximum(norms, 1e-300)
+            )
+        if hostile is not None:
+            scales = np.where(hostile, 0.0, scales)
         out = (arr * scales[:, :, None]).mean(axis=1)
         out[radii == 0.0] = 0.0
         return out

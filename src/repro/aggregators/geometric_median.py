@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..health import all_moderate, hostile_rows
 from .base import GradientAggregator, validate_gradient_batch, validate_gradients
 
 __all__ = [
@@ -70,8 +71,19 @@ def geometric_median(
     ``z' = (1 - eta/r) T(z) + (eta/r) z`` where ``eta`` is the multiplicity
     of the coincident point and ``r = ||sum_i (x_i - z)/||x_i - z||||``.
     If ``r <= eta`` the coincident point *is* the geometric median.
+
+    Hostile rows (NaN/±Inf or overflow-scale, which would poison the
+    Weiszfeld weights or overflow the snap objective's squared
+    distances) are excluded — weight zero — and the median is taken over
+    the moderate rows.  A stack with *no* moderate row returns all-NaN,
+    which the engines' candidate screen turns into a quarantine.
     """
-    arr = validate_gradients(points)
+    arr = validate_gradients(points, allow_nonfinite=True)
+    if not all_moderate(arr):
+        moderate = ~hostile_rows(arr)
+        if not moderate.any():
+            return np.full(arr.shape[1], np.nan)
+        arr = arr[moderate]
     if arr.shape[0] == 1:
         return arr[0].copy()
     return _snap_to_best_input(arr, _weiszfeld(arr, tolerance, max_iterations))
@@ -114,14 +126,30 @@ def geometric_median_batch(
     Runs the same iteration as :func:`geometric_median` on all ``S`` stacks
     in lockstep; trials that converge are frozen while the rest continue, so
     the per-trial results match the scalar routine.
+
+    Trials containing hostile rows drop to the scalar routine (which
+    excludes those rows); the remaining trials keep the lockstep path.
     """
-    arr = validate_gradient_batch(stacks)
+    arr = validate_gradient_batch(stacks, allow_nonfinite=True)
     n = arr.shape[1]
     if n == 1:
         return arr[:, 0, :].copy()
-    return _snap_to_best_input_batch(
-        arr, _weiszfeld_batch(arr, tolerance, max_iterations)
-    )
+    if all_moderate(arr):
+        return _snap_to_best_input_batch(
+            arr, _weiszfeld_batch(arr, tolerance, max_iterations)
+        )
+    bad_trials = hostile_rows(arr).any(axis=1)
+    out = np.empty((arr.shape[0], arr.shape[2]))
+    good = ~bad_trials
+    if good.any():
+        out[good] = _snap_to_best_input_batch(
+            arr[good], _weiszfeld_batch(arr[good], tolerance, max_iterations)
+        )
+    for s in np.nonzero(bad_trials)[0]:
+        out[s] = geometric_median(
+            arr[s], tolerance=tolerance, max_iterations=max_iterations
+        )
+    return out
 
 
 def _snap_to_best_input_batch(arr: np.ndarray, out: np.ndarray) -> np.ndarray:
@@ -227,21 +255,26 @@ class MedianOfMeansAggregator(GradientAggregator):
         self.groups = int(groups)
 
     def aggregate(self, gradients: np.ndarray) -> np.ndarray:
-        arr = validate_gradients(gradients)
+        arr = validate_gradients(gradients, allow_nonfinite=True)
         n = arr.shape[0]
         if self.groups > n:
             raise ValueError(f"cannot split {n} gradients into {self.groups} groups")
         buckets = np.array_split(np.arange(n), self.groups)
-        means = np.vstack([arr[idx].mean(axis=0) for idx in buckets])
+        # A hostile row poisons only its own bucket's mean; the errstate
+        # keeps the poisoned means silent (±Inf sums go NaN) and the
+        # geometric median then excludes those buckets as hostile rows.
+        with np.errstate(invalid="ignore", over="ignore"):
+            means = np.vstack([arr[idx].mean(axis=0) for idx in buckets])
         return geometric_median(means)
 
     def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
-        arr = validate_gradient_batch(stacks)
+        arr = validate_gradient_batch(stacks, allow_nonfinite=True)
         n = arr.shape[1]
         if self.groups > n:
             raise ValueError(f"cannot split {n} gradients into {self.groups} groups")
         buckets = np.array_split(np.arange(n), self.groups)
-        means = np.stack(
-            [arr[:, idx, :].mean(axis=1) for idx in buckets], axis=1
-        )
+        with np.errstate(invalid="ignore", over="ignore"):
+            means = np.stack(
+                [arr[:, idx, :].mean(axis=1) for idx in buckets], axis=1
+            )
         return geometric_median_batch(means)

@@ -27,6 +27,11 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..health import (
+    OVERFLOW_LIMIT,
+    QuarantineError,
+    current_round_context,
+)
 from ..telemetry.recorder import current_recorder
 
 __all__ = [
@@ -54,7 +59,19 @@ def _count_kernel(kernel: str) -> None:
         recorder.count("masked_kernel_calls", kernel=kernel)
 
 
-def _check_masked(values: np.ndarray, mask: np.ndarray):
+def _check_masked(
+    values: np.ndarray,
+    mask: np.ndarray,
+    allow_nonfinite: bool = False,
+    label: Optional[str] = None,
+):
+    """Validate a masked stack; returns ``(values, mask, counts, finite_ok)``.
+
+    ``finite_ok`` reports whether every *valid* slot is finite.  Strict
+    callers (``allow_nonfinite=False``) instead get a typed
+    :class:`~repro.health.QuarantineError` naming the receiving agents,
+    the affected trials, the ambient round, and the aggregator ``label``.
+    """
     values = np.asarray(values, dtype=float)
     if values.ndim != 4:
         raise ValueError(
@@ -72,9 +89,30 @@ def _check_masked(values: np.ndarray, mask: np.ndarray):
     # Finite check on the valid slots only — invalid slots may hold
     # arbitrary padding.  OR-ing the inverted mask beats the boolean
     # fancy-index gather the engines would otherwise pay per kernel call.
-    if not np.all(np.isfinite(values) | ~mask[None, :, :, None]):
-        raise ValueError("gradients contain non-finite entries")
-    return values, mask, counts
+    finite_ok = bool(np.all(np.isfinite(values) | ~mask[None, :, :, None]))
+    if not finite_ok and not allow_nonfinite:
+        bad = ~np.isfinite(values) & mask[None, :, :, None]
+        receivers = np.nonzero(bad.any(axis=(0, 2, 3)))[0]
+        trials = np.nonzero(bad.any(axis=(1, 2, 3)))[0]
+        round_index, context_label = current_round_context()
+        label = label if label is not None else context_label
+        parts = [
+            "gradients contain non-finite entries in the neighborhoods of "
+            f"agents {[int(i) for i in receivers]}",
+            f"in trials {[int(s) for s in trials]}",
+        ]
+        if round_index is not None:
+            parts.append(f"at round {round_index}")
+        if label is not None:
+            parts.append(f"(aggregator {label})")
+        raise QuarantineError(
+            " ".join(parts),
+            agent_indices=receivers,
+            trial_indices=trials,
+            round_index=round_index,
+            aggregator=label,
+        )
+    return values, mask, counts, finite_ok
 
 
 def _take_slot(csum: np.ndarray, slot: np.ndarray) -> np.ndarray:
@@ -84,10 +122,18 @@ def _take_slot(csum: np.ndarray, slot: np.ndarray) -> np.ndarray:
     return flat[:, np.arange(n) * k + slot, :]
 
 
-def masked_mean_batch(values: np.ndarray, mask: np.ndarray) -> np.ndarray:
-    """Mean of the valid neighborhood messages: ``(S, n, k, d) -> (S, n, d)``."""
+def masked_mean_batch(
+    values: np.ndarray, mask: np.ndarray, label: Optional[str] = None
+) -> np.ndarray:
+    """Mean of the valid neighborhood messages: ``(S, n, k, d) -> (S, n, d)``.
+
+    The mean has no defense against a single hostile entry, so this kernel
+    keeps the strict finite check (it ``quarantines_on_nonfinite``): a
+    hostile valid slot raises :class:`~repro.health.QuarantineError` naming
+    the receivers, trials, round, and ``label``.
+    """
     _count_kernel("mean")
-    values, mask, counts = _check_masked(values, mask)
+    values, mask, counts, _ = _check_masked(values, mask, label=label)
     weighted = np.where(mask[None, :, :, None], values, 0.0)
     return weighted.sum(axis=2) / counts[None, :, None]
 
@@ -121,9 +167,21 @@ def masked_trimmed_mean_batch(
     per agent with its round's attendance).  Implemented with one sort
     (+inf padding pushes invalid slots past every valid order statistic) and
     a prefix-sum gather, so ragged neighborhoods cost no Python loop.
+
+    Hostile valid entries (non-finite or overflow-scale) rank with the
+    extremes — NaN sorts past the +Inf padding, ±Inf sorts outermost — so
+    with at most ``trim`` of them per tail they land in the trimmed region.
+    On such inputs the trimmed slots are zeroed before the prefix sum: the
+    zeros cancel exactly in the upper−lower subtraction, so a ±Inf tail can
+    no longer poison the cumulative sum and a ±1e300 tail can no longer
+    cancel the kept entries catastrophically.  Past the breakdown point a
+    hostile entry survives inside the kept range and the output goes
+    non-finite — honestly, for the engines' screen to quarantine.
     """
     _count_kernel("trimmed_mean")
-    values, mask, counts = _check_masked(values, mask)
+    values, mask, counts, finite_ok = _check_masked(
+        values, mask, allow_nonfinite=True
+    )
     trim = _per_receiver_tolerance(trim, counts, "trim")
     kept = counts - 2 * trim
     if kept.min() < 1:
@@ -134,7 +192,27 @@ def masked_trimmed_mean_batch(
         )
     padded = np.where(mask[None, :, :, None], values, np.inf)
     ordered = np.sort(padded, axis=2)
-    csum = np.cumsum(ordered, axis=2)
+    hostile = not finite_ok
+    if not hostile:
+        # Cheap overflow screen: only the extreme order statistics of each
+        # valid region can exceed the moderate band, so two slot gathers
+        # replace a full pass over the stack.
+        smallest = _take_slot(ordered, np.zeros_like(counts))
+        largest = _take_slot(ordered, counts - 1)
+        hostile = bool(
+            (np.abs(smallest) > OVERFLOW_LIMIT).any()
+            or (np.abs(largest) > OVERFLOW_LIMIT).any()
+        )
+    if hostile:
+        slots = np.arange(ordered.shape[2])
+        keep_slot = (slots[None, :] >= trim[:, None]) & (
+            slots[None, :] <= (counts - trim - 1)[:, None]
+        )  # (n, k): the slots whose sum the subtraction actually keeps
+        ordered = np.where(keep_slot[None, :, :, None], ordered, 0.0)
+        with np.errstate(invalid="ignore", over="ignore"):
+            csum = np.cumsum(ordered, axis=2)
+    else:
+        csum = np.cumsum(ordered, axis=2)
     upper = _take_slot(csum, counts - trim - 1)
     if trim.any():
         lower = _take_slot(csum, np.maximum(trim - 1, 0))
@@ -143,14 +221,25 @@ def masked_trimmed_mean_batch(
 
 
 def masked_median_batch(values: np.ndarray, mask: np.ndarray) -> np.ndarray:
-    """Neighborhood-wise coordinate median under a validity mask."""
+    """Neighborhood-wise coordinate median under a validity mask.
+
+    Hostile valid entries rank with the extremes (NaN past the +Inf
+    padding), so with fewer than half of a neighborhood hostile the median
+    slots stay finite; past that the blend goes non-finite — silently, via
+    the errstate — for the engines' screen to quarantine.
+    """
     _count_kernel("median")
-    values, mask, counts = _check_masked(values, mask)
+    values, mask, counts, finite_ok = _check_masked(
+        values, mask, allow_nonfinite=True
+    )
     padded = np.where(mask[None, :, :, None], values, np.inf)
     ordered = np.sort(padded, axis=2)
     low = _take_slot(ordered, (counts - 1) // 2)
     high = _take_slot(ordered, counts // 2)
-    return 0.5 * (low + high)
+    if finite_ok:
+        return 0.5 * (low + high)
+    with np.errstate(invalid="ignore", over="ignore"):
+        return 0.5 * (low + high)
 
 
 def masked_cge_batch(
@@ -162,9 +251,15 @@ def masked_cge_batch(
     valid ones (ties broken by slot order — ascending sender id) and outputs
     their vector sum (equation (23)), or their mean when ``average``.
     ``f`` is a scalar or a per-receiver ``(n,)`` array.
+
+    Hostile valid messages (whose norm is NaN or overflows to +Inf) rank
+    last with norm +Inf — the overflow-safe semantics of the unmasked CGE
+    kernel — so with at most ``f`` of them per neighborhood they are always
+    eliminated; more than ``f`` drives the affected receiver rows to NaN
+    for the engines' screen to quarantine.
     """
     _count_kernel("cge")
-    values, mask, counts = _check_masked(values, mask)
+    values, mask, counts, _ = _check_masked(values, mask, allow_nonfinite=True)
     f = _per_receiver_tolerance(f, counts, "f")
     kept = counts - f
     if kept.min() < 1:
@@ -176,13 +271,30 @@ def masked_cge_batch(
     # Zero out invalid slots before the norm: they may hold arbitrary junk
     # (padding), and norming junk can overflow even though it is never kept.
     safe = np.where(mask[None, :, :, None], values, 0.0)
-    norms = np.where(
-        mask[None, :, :], np.linalg.norm(safe, axis=3), np.inf
-    )
+    with np.errstate(over="ignore", invalid="ignore"):
+        raw = np.linalg.norm(safe, axis=3)
+    norms = np.where(mask[None, :, :] & np.isfinite(raw), raw, np.inf)
+    hostile = not bool(np.all(np.isfinite(raw) | ~mask[None, :, :]))
     order = np.argsort(norms, axis=2, kind="stable")
     gathered = np.take_along_axis(values, order[:, :, :, None], axis=2)
-    csum = np.cumsum(gathered, axis=2)
+    if hostile:
+        # Every +Inf-ranked slot (invalid padding or hostile message) sits
+        # past the kept prefix when at most f messages are hostile; zeroing
+        # them keeps the prefix sums exact and warning-free.  Receivers
+        # past the breakdown point — fewer finite-norm messages than they
+        # must keep — are forced to NaN instead of a silently wrong sum.
+        dropped = np.take_along_axis(np.isinf(norms), order, axis=2)
+        gathered = np.where(dropped[:, :, :, None], 0.0, gathered)
+        with np.errstate(invalid="ignore", over="ignore"):
+            csum = np.cumsum(gathered, axis=2)
+    else:
+        csum = np.cumsum(gathered, axis=2)
     total = _take_slot(csum, kept - 1)
+    if hostile:
+        finite_counts = np.isfinite(norms).sum(axis=2)  # (S, n)
+        broken = kept[None, :] > finite_counts
+        if broken.any():
+            total = np.where(broken[:, :, None], np.nan, total)
     if average:
         return total / kept[None, :, None]
     return total
@@ -228,7 +340,9 @@ def masked_kernel_for(
     if isinstance(aggregator, CoordinateWiseMedian):
         return lambda values, mask: masked_median_batch(values, mask)
     if isinstance(aggregator, MeanAggregator):
-        return lambda values, mask: masked_mean_batch(values, mask)
+        return lambda values, mask: masked_mean_batch(
+            values, mask, label=aggregator_label(aggregator)
+        )
     return None
 
 
@@ -322,7 +436,9 @@ def masked_partial_kernel_for(
             values, mask
         )
     if isinstance(aggregator, MeanAggregator):
-        return lambda values, mask, tolerance: masked_mean_batch(values, mask)
+        return lambda values, mask, tolerance: masked_mean_batch(
+            values, mask, label=aggregator_label(aggregator)
+        )
     return None
 
 

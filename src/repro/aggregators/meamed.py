@@ -23,6 +23,7 @@ from .base import (
     validate_gradient_batch,
     validate_gradients,
 )
+from .trimmed_mean import nan_last_median
 
 __all__ = ["MeaMedAggregator", "SignMajorityAggregator"]
 
@@ -38,26 +39,42 @@ class MeaMedAggregator(GradientAggregator):
         self.f = int(f)
 
     def aggregate(self, gradients: np.ndarray) -> np.ndarray:
-        arr = validate_gradients(gradients)
+        arr = validate_gradients(gradients, allow_nonfinite=True)
         n = arr.shape[0]
         require_fault_capacity(n, self.f, minimum_honest=1)
         keep = n - self.f
-        median = np.median(arr, axis=0)
-        gaps = np.abs(arr - median)
-        order = np.argsort(gaps, axis=0, kind="stable")[:keep]
-        nearest = np.take_along_axis(arr, order, axis=0)
-        return nearest.mean(axis=0)
+        if np.isfinite(arr).all():
+            median = np.median(arr, axis=0)
+            gaps = np.abs(arr - median)
+            order = np.argsort(gaps, axis=0, kind="stable")[:keep]
+            nearest = np.take_along_axis(arr, order, axis=0)
+            return nearest.mean(axis=0)
+        # Hostile entries have gap +Inf (or NaN, which argsort places even
+        # later), so with at most f hostile rows the kept n − f entries of
+        # every coordinate are finite.
+        median = nan_last_median(arr, axis=0)
+        with np.errstate(invalid="ignore", over="ignore"):
+            gaps = np.abs(arr - median)
+            order = np.argsort(gaps, axis=0, kind="stable")[:keep]
+            nearest = np.take_along_axis(arr, order, axis=0)
+            return nearest.mean(axis=0)
 
     def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
-        arr = validate_gradient_batch(stacks)
+        arr = validate_gradient_batch(stacks, allow_nonfinite=True)
         n = arr.shape[1]
         require_fault_capacity(n, self.f, minimum_honest=1)
         keep = n - self.f
-        median = np.median(arr, axis=1)
-        gaps = np.abs(arr - median[:, None, :])
+        if np.isfinite(arr).all():
+            median = np.median(arr, axis=1)
+            gaps = np.abs(arr - median[:, None, :])
+        else:
+            median = nan_last_median(arr, axis=1)
+            with np.errstate(invalid="ignore", over="ignore"):
+                gaps = np.abs(arr - median[:, None, :])
         order = np.argsort(gaps, axis=1, kind="stable")[:, :keep, :]
         nearest = np.take_along_axis(arr, order, axis=1)
-        return nearest.mean(axis=1)
+        with np.errstate(invalid="ignore", over="ignore"):
+            return nearest.mean(axis=1)
 
 
 class SignMajorityAggregator(GradientAggregator):
@@ -75,11 +92,20 @@ class SignMajorityAggregator(GradientAggregator):
         self.scale = float(scale)
 
     def aggregate(self, gradients: np.ndarray) -> np.ndarray:
-        arr = validate_gradients(gradients)
-        votes = np.sign(arr).sum(axis=0)
+        arr = validate_gradients(gradients, allow_nonfinite=True)
+        votes = self._votes(arr).sum(axis=0)
         return self.scale * np.sign(votes)
 
     def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
-        arr = validate_gradient_batch(stacks)
-        votes = np.sign(arr).sum(axis=1)
+        arr = validate_gradient_batch(stacks, allow_nonfinite=True)
+        votes = self._votes(arr).sum(axis=1)
         return self.scale * np.sign(votes)
+
+    @staticmethod
+    def _votes(arr: np.ndarray) -> np.ndarray:
+        """Per-entry votes in {−1, 0, +1}: ``±Inf`` votes its sign, NaN abstains."""
+        if np.isfinite(arr).all():
+            return np.sign(arr)
+        with np.errstate(invalid="ignore"):
+            signs = np.sign(arr)
+        return np.where(np.isnan(signs), 0.0, signs)

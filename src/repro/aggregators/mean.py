@@ -16,9 +16,16 @@ __all__ = ["MeanAggregator", "SumAggregator"]
 
 
 class MeanAggregator(GradientAggregator):
-    """Coordinate-wise arithmetic mean of all received gradients."""
+    """Coordinate-wise arithmetic mean of all received gradients.
+
+    Strict: an average has no defined non-finite semantics (one NaN row
+    poisons it), so hostile rows raise
+    :class:`~repro.health.QuarantineError` and the engines quarantine the
+    trial instead.
+    """
 
     name = "mean"
+    quarantines_on_nonfinite = True
 
     def aggregate(self, gradients: np.ndarray) -> np.ndarray:
         arr = validate_gradients(gradients)
@@ -29,9 +36,14 @@ class MeanAggregator(GradientAggregator):
 
 
 class SumAggregator(GradientAggregator):
-    """Sum of all received gradients (the classic DGD aggregate)."""
+    """Sum of all received gradients (the classic DGD aggregate).
+
+    Strict, like :class:`MeanAggregator`: hostile rows refuse rather than
+    poison the sum.
+    """
 
     name = "sum"
+    quarantines_on_nonfinite = True
 
     def aggregate(self, gradients: np.ndarray) -> np.ndarray:
         arr = validate_gradients(gradients)

@@ -26,6 +26,7 @@ from .base import (
 __all__ = [
     "CWTMAggregator",
     "CoordinateWiseMedian",
+    "nan_last_median",
     "trimmed_mean",
     "trimmed_mean_batch",
 ]
@@ -39,8 +40,13 @@ def trimmed_mean(values: np.ndarray, trim: int) -> np.ndarray:
     A two-sided ``np.partition`` places every kept entry between the two
     pivot order statistics without fully sorting each column — the mean of
     the kept slice does not depend on its internal order.
+
+    Hostile entries trim naturally: ``np.partition`` orders ``-Inf`` first
+    and ``NaN`` past ``+Inf``, so with at most ``trim`` hostile rows every
+    non-finite (or overflow-scale) entry lands in a discarded tail and the
+    kept middle stays finite.
     """
-    arr = validate_gradients(values)
+    arr = validate_gradients(values, allow_nonfinite=True)
     n = arr.shape[0]
     if trim < 0:
         raise ValueError("trim must be non-negative")
@@ -53,7 +59,7 @@ def trimmed_mean(values: np.ndarray, trim: int) -> np.ndarray:
 
 def trimmed_mean_batch(stacks: np.ndarray, trim: int) -> np.ndarray:
     """Batched :func:`trimmed_mean`: ``(S, n, d) -> (S, d)``."""
-    arr = validate_gradient_batch(stacks)
+    arr = validate_gradient_batch(stacks, allow_nonfinite=True)
     n = arr.shape[1]
     if trim < 0:
         raise ValueError("trim must be non-negative")
@@ -89,24 +95,54 @@ class CWTMAggregator(GradientAggregator):
             )
 
     def aggregate(self, gradients: np.ndarray) -> np.ndarray:
-        arr = validate_gradients(gradients)
+        arr = validate_gradients(gradients, allow_nonfinite=True)
         self._check_attendance(arr.shape[0])
         return trimmed_mean(arr, self.f)
 
     def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
-        arr = validate_gradient_batch(stacks)
+        arr = validate_gradient_batch(stacks, allow_nonfinite=True)
         self._check_attendance(arr.shape[1])
         return trimmed_mean_batch(arr, self.f)
 
 
+def nan_last_median(arr: np.ndarray, axis: int) -> np.ndarray:
+    """Median under the sort order that places ``NaN`` past ``+Inf``.
+
+    ``np.median`` propagates any NaN; this variant instead treats NaN as
+    the largest order statistic (exactly where ``np.sort`` places it), so
+    a minority of hostile rows is pushed to the tails and the middle
+    stays finite.  The even-``n`` midpoint ``(lo + hi) / 2`` can only be
+    non-finite when half the entries are hostile — past any filter's
+    breakdown point — and the ``errstate`` keeps even that case silent.
+    """
+    ordered = np.sort(arr, axis=axis)
+    n = arr.shape[axis]
+    mid = n // 2
+    if n % 2 == 1:
+        return np.take(ordered, mid, axis=axis)
+    lo = np.take(ordered, mid - 1, axis=axis)
+    hi = np.take(ordered, mid, axis=axis)
+    with np.errstate(invalid="ignore", over="ignore"):
+        return 0.5 * (lo + hi)
+
+
 class CoordinateWiseMedian(GradientAggregator):
-    """Coordinate-wise median of the received gradients."""
+    """Coordinate-wise median of the received gradients.
+
+    All-finite stacks take the exact ``np.median`` path; stacks with
+    hostile rows fall back to the NaN-last :func:`nan_last_median`.
+    """
 
     name = "median"
 
     def aggregate(self, gradients: np.ndarray) -> np.ndarray:
-        arr = validate_gradients(gradients)
-        return np.median(arr, axis=0)
+        arr = validate_gradients(gradients, allow_nonfinite=True)
+        if np.isfinite(arr).all():
+            return np.median(arr, axis=0)
+        return nan_last_median(arr, axis=0)
 
     def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
-        return np.median(validate_gradient_batch(stacks), axis=1)
+        arr = validate_gradient_batch(stacks, allow_nonfinite=True)
+        if np.isfinite(arr).all():
+            return np.median(arr, axis=1)
+        return nan_last_median(arr, axis=1)

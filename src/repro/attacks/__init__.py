@@ -10,6 +10,7 @@ from .base import (
 from .colluding import ALIEAttack, InnerProductManipulationAttack, MimicAttack
 from .crash import CrashAttack
 from .equivocation import EdgeEquivocationAttack
+from .hostile import InfinityAttack, NaNAttack, OverflowAttack
 from .registry import attack_descriptions, available_attacks, make_attack
 from .simple import (
     ConstantVectorAttack,
@@ -37,6 +38,9 @@ __all__ = [
     "CoordinateShiftAttack",
     "AlternatingAttack",
     "CrashAttack",
+    "NaNAttack",
+    "InfinityAttack",
+    "OverflowAttack",
     "make_attack",
     "available_attacks",
     "attack_descriptions",

@@ -11,6 +11,7 @@ from .base import ByzantineAttack
 from .colluding import ALIEAttack, InnerProductManipulationAttack, MimicAttack
 from .crash import CrashAttack
 from .equivocation import EdgeEquivocationAttack
+from .hostile import InfinityAttack, NaNAttack, OverflowAttack
 from .simple import (
     ConstantVectorAttack,
     GradientReverseAttack,
@@ -77,6 +78,18 @@ _REGISTRY: Dict[str, Tuple[str, Callable[[], ByzantineAttack]]] = {
     "crash": (
         "crash fault: honest until the crash round, then silently stops sending",
         lambda: CrashAttack(),
+    ),
+    "nan": (
+        "all-NaN payload: poisons any filter without non-finite semantics",
+        lambda: NaNAttack(),
+    ),
+    "inf": (
+        "±Inf payload mixing both tails (their sum is NaN)",
+        lambda: InfinityAttack(),
+    ),
+    "overflow": (
+        "finite ±1e300 payload whose squared distances overflow",
+        lambda: OverflowAttack(),
     ),
 }
 

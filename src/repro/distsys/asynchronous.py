@@ -80,6 +80,13 @@ from .faults import (
     network_streams,
     sample_network_run,
 )
+from .health import (
+    AGGREGATOR_REFUSED,
+    DEFAULT_DIVERGENCE_THRESHOLD,
+    QuarantineError,
+    RunGuard,
+    aggregation_round,
+)
 from .server import RobustServer
 
 __all__ = [
@@ -111,6 +118,9 @@ class AsyncIterationRecord:
     missing: Tuple[int, ...] = ()
     staleness: Dict[int, int] = field(default_factory=dict)
     delivered: int = 0
+    #: True on every round at or after the run's quarantine (the estimate
+    #: is held); distinct from a stall, which is a healthy hold.
+    quarantined: bool = False
 
 
 @dataclass
@@ -118,6 +128,9 @@ class AsynchronousTrace:
     """Full history of an asynchronous execution."""
 
     records: List[AsyncIterationRecord] = field(default_factory=list)
+    #: ``{"round": int, "reason": str}`` when the run was quarantined —
+    #: the reason is one of :data:`repro.health.QUARANTINE_REASONS`.
+    quarantine: Optional[Dict[str, object]] = None
 
     def append(self, record: AsyncIterationRecord) -> None:
         """Add the record of one completed round."""
@@ -225,6 +238,7 @@ class AsynchronousSimulator(ProtocolEngine):
         missing_policy: str = "shrink",
         omniscient_attack: Optional[bool] = None,
         seed: int = 0,
+        divergence_threshold: float = DEFAULT_DIVERGENCE_THRESHOLD,
     ):
         self.stack: CostStack = (
             costs if isinstance(costs, CostStack) else stack_costs(list(costs))
@@ -323,6 +337,7 @@ class AsynchronousSimulator(ProtocolEngine):
         self._in_flight: Dict[int, List[Tuple[int, int]]] = {}
         self._shrunk_cache: Dict[Tuple[int, int], GradientAggregator] = {}
         self.trace = AsynchronousTrace()
+        self.guard = RunGuard(divergence_threshold)
 
     @property
     def iteration(self) -> int:
@@ -364,11 +379,36 @@ class AsynchronousSimulator(ProtocolEngine):
         # per-round per-link Python RNG calls disappear from the loop.
         self._ensure_network(self.server.iteration + iterations)
 
+    def _note_quarantine(self, round_index: int, reason: str) -> None:
+        """Record a fresh quarantine on the trace and the telemetry stream."""
+        self.trace.quarantine = self.guard.summary()
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "trial_quarantined",
+                round=int(round_index),
+                reason=reason,
+                engine=type(self).__name__,
+            )
+
     # -- protocol stages --------------------------------------------------
     def observe(self) -> ProtocolRound:
         """Dispatch, deliver, and evaluate this round's usable messages."""
         t = self.server.iteration
         x_t = self.server.estimate.copy()
+        if self.guard.quarantined:
+            # Frozen run: no dispatches, no deliveries, no RNG consumption
+            # — the round only appends a held record to the trace.
+            return ProtocolRound(
+                iteration=t,
+                estimate=x_t,
+                gradients={},
+                extras={
+                    "frozen": True,
+                    "missing": tuple(range(self.n)),
+                    "views": {},
+                    "delivered": 0,
+                },
+            )
 
         # Round-t dispatch conditions come from the pre-sampled tensors
         # (extended on demand when stepping past the run's horizon).
@@ -439,6 +479,8 @@ class AsynchronousSimulator(ProtocolEngine):
 
     def fabricate(self, round: ProtocolRound) -> None:
         """Rewrite the usable messages of currently-compromised agents."""
+        if round.extras.get("frozen"):
+            return
         live_byzantine: List[int] = round.extras["live_byzantine"]
         if not live_byzantine:
             return
@@ -471,7 +513,28 @@ class AsynchronousSimulator(ProtocolEngine):
             )
 
     def aggregate(self, round: ProtocolRound) -> None:
-        """Apply the filter — through the missing-value policy if short."""
+        """Apply the filter — through the missing-value policy if short.
+
+        A strict filter's typed refusal of non-finite input quarantines
+        the run (reason ``aggregator_refused``) on every policy path; the
+        estimate freezes at its pre-update value.
+        """
+        if round.extras.get("frozen"):
+            round.aggregates = None
+            return
+        try:
+            with aggregation_round(
+                round.iteration, aggregator_label(self.server.aggregator)
+            ):
+                self._aggregate_policy(round)
+        except QuarantineError:
+            self.guard.quarantine(round.iteration, AGGREGATOR_REFUSED)
+            self._note_quarantine(round.iteration, AGGREGATOR_REFUSED)
+            round.extras["frozen"] = True
+            round.aggregates = None
+
+    def _aggregate_policy(self, round: ProtocolRound) -> None:
+        """The policy dispatch of the aggregate stage (may refuse)."""
         received = round.gradients
         n_received = len(received)
         if n_received == self.n:
@@ -521,12 +584,27 @@ class AsynchronousSimulator(ProtocolEngine):
         round.aggregates = aggregator.aggregate(stacked)
 
     def project(self, round: ProtocolRound) -> AsyncIterationRecord:
-        """Equation-(21) update (or a recorded stall); append the record."""
+        """Equation-(21) update (or a recorded stall); append the record.
+
+        The pre-projection candidate is screened first: a non-finite or
+        diverged candidate quarantines the run and the estimate is held,
+        so garbage never reaches the projection.
+        """
         t = round.iteration
-        if round.aggregates is None:
-            self.server.iteration += 1  # time passes; the estimate holds
+        frozen = bool(round.extras.get("frozen"))
+        if frozen or round.aggregates is None:
+            self.server.hold()  # time passes; the estimate holds
         else:
-            self.server.descend(round.aggregates)
+            eta = self.server.schedule(t)
+            candidate = round.estimate - eta * round.aggregates
+            reason = self.guard.screen(t, candidate)
+            if reason is None:
+                self.server.descend(round.aggregates)
+            else:
+                self._note_quarantine(t, reason)
+                frozen = True
+                round.aggregates = None
+                self.server.hold()
         next_estimate = self.server.estimate.copy()
         self._history.append(next_estimate)
         record = AsyncIterationRecord(
@@ -542,6 +620,7 @@ class AsynchronousSimulator(ProtocolEngine):
                 for agent, view in round.extras["views"].items()
             },
             delivered=round.extras["delivered"],
+            quarantined=frozen,
         )
         self.trace.append(record)
         return record
@@ -570,6 +649,7 @@ def run_asynchronous(
     missing_policy: str = "shrink",
     seed: int = 0,
     omniscient_attack: Optional[bool] = None,
+    divergence_threshold: float = DEFAULT_DIVERGENCE_THRESHOLD,
 ) -> AsynchronousTrace:
     """Convenience wrapper mirroring :func:`~repro.distsys.simulator.run_dgd`.
 
@@ -595,6 +675,7 @@ def run_asynchronous(
         missing_policy=missing_policy,
         omniscient_attack=omniscient_attack,
         seed=seed,
+        divergence_threshold=divergence_threshold,
     )
     # Convenience runners report to the ambient recorder: a no-op
     # with the default NULL_RECORDER, a live stream under the CLI's

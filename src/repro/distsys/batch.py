@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..aggregators.base import GradientAggregator
+from ..aggregators.masked import aggregator_label
 from ..attacks.base import BatchAttackContext, ByzantineAttack
 from ..functions.base import CostFunction
 from ..functions.batched import CostStack, stack_costs
@@ -47,6 +48,13 @@ from .engine import (
     validate_attack_plan,
     validate_faulty_ids,
     validate_initial_estimate,
+)
+from .health import (
+    AGGREGATOR_REFUSED,
+    DEFAULT_DIVERGENCE_THRESHOLD,
+    TrialGuard,
+    aggregation_round,
+    nonfinite_rows,
 )
 
 __all__ = ["BatchTrial", "BatchTrace", "BatchSimulator", "run_dgd_batch"]
@@ -126,6 +134,10 @@ class BatchTrace:
     step_sizes: np.ndarray                     # (T, S)
     labels: List[str] = field(default_factory=list)
     gradients: Optional[np.ndarray] = None     # (T, S, n, d), opt-in
+    #: quarantine records ``{"trial", "round", "reason"}`` of frozen trials
+    #: (reasons from :data:`repro.health.QUARANTINE_REASONS`); a frozen
+    #: trial's trajectory is held at its last healthy iterate.
+    quarantined: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def iterations(self) -> int:
@@ -176,6 +188,7 @@ class BatchSimulator(ProtocolEngine):
         initial_estimate: Sequence[float],
         record_gradients: bool = False,
         recorder: Optional[Recorder] = None,
+        divergence_threshold: float = DEFAULT_DIVERGENCE_THRESHOLD,
     ):
         if not trials:
             raise ValueError("need at least one trial")
@@ -219,6 +232,7 @@ class BatchSimulator(ProtocolEngine):
 
         self.estimates = self.constraint.project_batch(np.stack(starts))
         self.iteration = 0
+        self.guard = TrialGuard(len(self.trials), divergence_threshold)
         # Recording state persists across chunked ``run`` calls so a
         # checkpointed engine resumes mid-trajectory (see ``run``).
         self._trajectory: Optional[np.ndarray] = None
@@ -262,53 +276,124 @@ class BatchSimulator(ProtocolEngine):
             )
         return groups
 
+    # -- quarantine bookkeeping -------------------------------------------
+    def _note_quarantined(
+        self, trials: Sequence[int], round_index: int, reason: str
+    ) -> None:
+        """Emit one telemetry event per freshly frozen trial."""
+        if not trials or not self.telemetry.enabled:
+            return
+        for t in trials:
+            self.telemetry.emit(
+                "trial_quarantined",
+                trial=int(t),
+                round=int(round_index),
+                reason=reason,
+                engine=type(self).__name__,
+            )
+
     # -- protocol stages --------------------------------------------------
     def observe(self) -> ProtocolRound:
-        """One einsum: all agents' gradients at every trial's estimate."""
-        return ProtocolRound(
-            iteration=self.iteration,
-            gradients=self.stack.gradients(self.estimates),  # (S, n, d)
-        )
+        """One einsum: all agents' gradients at every trial's estimate.
+
+        Quarantined trials are masked out of the einsum — their rows stay
+        zero placeholders that no later stage reads.
+        """
+        if self.guard.any_quarantined:
+            gradients = np.zeros((len(self.trials), self.n, self.d))
+            live = self.guard.active
+            gradients[live] = self.stack.gradients(self.estimates[live])
+        else:
+            gradients = self.stack.gradients(self.estimates)  # (S, n, d)
+        return ProtocolRound(iteration=self.iteration, gradients=gradients)
 
     def fabricate(self, round: ProtocolRound) -> None:
-        """Vectorized fabrication, one call per attack group."""
+        """Vectorized fabrication, one call per attack group.
+
+        Each group's index set is intersected with the guard's active
+        mask, so frozen trials neither consume their attack stream nor
+        receive fabrications.
+        """
         received = round.gradients
         for attack, faulty, honest, omniscient, idx in self._attack_groups:
+            live = self.guard.live(idx)
+            if live.size == 0:
+                continue
             context = BatchAttackContext(
                 iteration=round.iteration,
-                estimates=self.estimates[idx],
+                estimates=self.estimates[live],
                 faulty_ids=faulty.tolist(),
-                true_gradients=received[np.ix_(idx, faulty)],
+                true_gradients=received[np.ix_(live, faulty)],
                 honest_gradients=(
-                    received[np.ix_(idx, honest)] if omniscient else None
+                    received[np.ix_(live, honest)] if omniscient else None
                 ),
                 honest_ids=honest.tolist(),
-                rngs=[self.rngs[i] for i in idx],
+                rngs=[self.rngs[i] for i in live],
             )
             fabricated = np.asarray(attack.fabricate_batch(context), dtype=float)
-            expected = (idx.size, faulty.size, self.d)
+            expected = (live.size, faulty.size, self.d)
             if fabricated.shape != expected:
                 raise RuntimeError(
                     f"attack {attack.name!r} returned shape {fabricated.shape},"
                     f" expected {expected}"
                 )
-            received[np.ix_(idx, faulty)] = fabricated
+            received[np.ix_(live, faulty)] = fabricated
 
     def aggregate(self, round: ProtocolRound) -> None:
-        """One ``aggregate_batch`` kernel per filter group."""
-        aggregates = np.empty((len(self.trials), self.d))
+        """One ``aggregate_batch`` kernel per filter group.
+
+        Trials whose strict filter (``quarantines_on_nonfinite``) faces a
+        non-finite row are quarantined *before* the kernel call — reason
+        ``aggregator_refused``, frozen at the pre-update estimate — so the
+        rest of the group still aggregates in one invocation.
+        """
+        aggregates = np.zeros((len(self.trials), self.d))
+        t = round.iteration
         for rep, idx in self._aggregator_groups:
             aggregator = self.trials[rep].aggregator
-            aggregates[idx] = aggregator.aggregate_batch(round.gradients[idx])
+            live = self.guard.live(idx)
+            if live.size == 0:
+                continue
+            if aggregator.quarantines_on_nonfinite:
+                refused = nonfinite_rows(round.gradients[live]).any(axis=1)
+                if refused.any():
+                    fresh = self.guard.quarantine(
+                        live[refused], t, AGGREGATOR_REFUSED
+                    )
+                    self._note_quarantined(fresh, t, AGGREGATOR_REFUSED)
+                    live = live[~refused]
+                    if live.size == 0:
+                        continue
+            with aggregation_round(t, aggregator_label(aggregator)):
+                aggregates[live] = aggregator.aggregate_batch(
+                    round.gradients[live]
+                )
         round.aggregates = aggregates
 
     def project(self, round: ProtocolRound) -> np.ndarray:
-        """Batched projected update across every trial at once."""
+        """Batched projected update across every trial at once.
+
+        Pre-projection candidates are screened: trials with non-finite or
+        diverged candidates freeze at their pre-update estimate (reasons
+        ``nonfinite_iterate`` / ``diverged``), and every frozen trial's
+        estimate is re-held after the projection so survivors — and the
+        frozen trajectories themselves — are bit-identical to a run
+        without the frozen trials.
+        """
         etas = np.empty(len(self.trials))
         for sched, idx in self._schedule_groups:
             etas[idx] = sched(round.iteration)
         candidates = self.estimates - etas[:, None] * round.aggregates
-        self.estimates = self.constraint.project_batch(candidates)
+        previous = self.estimates
+        before = set(self.guard.records)
+        held = self.guard.screen(round.iteration, previous, candidates)
+        for t in sorted(self.guard.records.keys() - before):
+            self._note_quarantined(
+                [t], round.iteration, str(self.guard.records[t]["reason"])
+            )
+        self.estimates = self.guard.hold(
+            previous, self.constraint.project_batch(held)
+        )
         self.iteration += 1
         self._last_received = round.gradients
         self._last_etas = etas
@@ -367,6 +452,7 @@ class BatchSimulator(ProtocolEngine):
             step_sizes=self._step_sizes,
             labels=labels,
             gradients=self._snapshots,
+            quarantined=self.guard.summary(),
         )
 
     def run(
@@ -432,6 +518,7 @@ class BatchSimulator(ProtocolEngine):
             "rng_states": [rng.bit_generator.state for rng in self.rngs],
             "trajectory": trajectory.tolist(),
             "step_sizes": step_sizes.tolist(),
+            "quarantine": self.guard.state_dict(),
         }
         if self._snapshots is not None:
             state["snapshots"] = self._snapshots[:k].tolist()
@@ -466,6 +553,10 @@ class BatchSimulator(ProtocolEngine):
         self._step_sizes = np.asarray(state["step_sizes"], dtype=float)
         if self.record_gradients:
             self._snapshots = np.asarray(state["snapshots"], dtype=float)
+        # Absent in pre-quarantine snapshots: every trial stays active.
+        quarantine = state.get("quarantine")
+        if quarantine is not None:
+            self.guard.load_state(quarantine)
         self._cursor = k
 
 
@@ -477,6 +568,7 @@ def run_dgd_batch(
     initial_estimate: Sequence[float],
     iterations: int,
     record_gradients: bool = False,
+    divergence_threshold: float = DEFAULT_DIVERGENCE_THRESHOLD,
 ) -> BatchTrace:
     """Convenience wrapper mirroring :func:`repro.distsys.simulator.run_dgd`.
 
@@ -491,6 +583,7 @@ def run_dgd_batch(
         schedule=schedule,
         initial_estimate=initial_estimate,
         record_gradients=record_gradients,
+        divergence_threshold=divergence_threshold,
     )
     # Convenience runners report to the ambient recorder: a no-op
     # with the default NULL_RECORDER, a live stream under the CLI's

@@ -88,6 +88,13 @@ from .faults import (
     network_streams,
     sample_network_run,
 )
+from .health import (
+    AGGREGATOR_REFUSED,
+    DEFAULT_DIVERGENCE_THRESHOLD,
+    TrialGuard,
+    aggregation_round,
+    nonfinite_rows,
+)
 
 __all__ = [
     "AsyncBatchTrial",
@@ -143,6 +150,10 @@ class BatchAsyncTrace:
     staleness_sums: np.ndarray               # (T, S) sum of usable staleness
     n: int
     labels: List[str] = field(default_factory=list)
+    #: quarantine records ``{"trial", "round", "reason"}`` of frozen trials
+    #: (reasons from :data:`repro.health.QUARANTINE_REASONS`); a frozen
+    #: trial's trajectory is held at its last healthy iterate.
+    quarantined: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def iterations(self) -> int:
@@ -204,6 +215,7 @@ class BatchAsynchronousSimulator(ProtocolEngine):
         schedule: StepSchedule,
         initial_estimate: Sequence[float],
         recorder: Optional[Recorder] = None,
+        divergence_threshold: float = DEFAULT_DIVERGENCE_THRESHOLD,
     ):
         if not trials:
             raise ValueError("need at least one trial")
@@ -308,6 +320,7 @@ class BatchAsynchronousSimulator(ProtocolEngine):
 
         self.estimates = self.constraint.project_batch(np.stack(starts))
         self.iteration = 0
+        self.guard = TrialGuard(s, divergence_threshold)
         self._tau_max = int(self._tau.max())
 
         # The padded in-flight queue: slot k holds the newest view (send
@@ -479,9 +492,30 @@ class BatchAsynchronousSimulator(ProtocolEngine):
             setattr(self, name, grown)
         self._horizon = t_total
 
+    # -- quarantine bookkeeping -------------------------------------------
+    def _note_quarantined(
+        self, trials: Sequence[int], round_index: int, reason: str
+    ) -> None:
+        """Emit one telemetry event per freshly frozen trial."""
+        if not trials or not self.telemetry.enabled:
+            return
+        for t in trials:
+            self.telemetry.emit(
+                "trial_quarantined",
+                trial=int(t),
+                round=int(round_index),
+                reason=reason,
+                engine=type(self).__name__,
+            )
+
     # -- protocol stages --------------------------------------------------
     def observe(self) -> ProtocolRound:
-        """Enqueue, deliver, and evaluate this round's usable messages."""
+        """Enqueue, deliver, and evaluate this round's usable messages.
+
+        Quarantined trials are treated as fully missing: their usable mask
+        is cleared (so they stall, consume no attack stream, and reach no
+        kernel) and their gradients stay zero placeholders.
+        """
         if self.iteration >= self._horizon:
             raise RuntimeError(
                 "drive BatchAsynchronousSimulator through run(); stand-alone "
@@ -516,14 +550,21 @@ class BatchAsynchronousSimulator(ProtocolEngine):
         usable = (self._freshest >= 0) & (
             t - self._freshest <= self._tau[:, None]
         )
+        usable &= self.guard.active[:, None]
 
         # The stale-gradient hot path: one gather + one einsum for every
-        # agent of every trial at its own view iterate.
+        # agent of every trial at its own view iterate.  Frozen trials are
+        # masked out — their held iterates are never differentiated again.
         views = np.where(usable, self._freshest, -1)
         points = gather_view_points(
             self._trajectory[: t + 1], views, x_t
         )
-        all_gradients = self.stack.gradients_each(points)   # (S, n, d)
+        if self.guard.any_quarantined:
+            active = self.guard.active
+            all_gradients = np.zeros((len(self.trials), self.n, self.d))
+            all_gradients[active] = self.stack.gradients_each(points[active])
+        else:
+            all_gradients = self.stack.gradients_each(points)   # (S, n, d)
 
         live_byzantine = usable & (self._since <= t)        # (S, n)
         return ProtocolRound(
@@ -604,13 +645,18 @@ class BatchAsynchronousSimulator(ProtocolEngine):
         masked kernels under per-trial validity masks, or shrink-n groups
         keyed by (filter name, attendance, shrunk tolerance).  Trials whose
         attendance cannot support their policy stall.
+
+        Trials whose strict filter (``quarantines_on_nonfinite``) faces a
+        non-finite usable message are quarantined *before* any kernel call
+        — reason ``aggregator_refused`` — and then held like stalls.
         """
+        t = round.iteration
         usable = round.extras["usable"]
         gradients = round.gradients
         counts = usable.sum(axis=1)                          # (S,)
         s = len(self.trials)
         aggregates = np.zeros((s, self.d))
-        stalled = counts == 0
+        stalled = (counts == 0) | self.guard.frozen
 
         # Masked-policy trials short of their attendance floor stall too.
         masked_partial = (
@@ -618,24 +664,48 @@ class BatchAsynchronousSimulator(ProtocolEngine):
         )
         stalled |= masked_partial & (counts < self._masked_min)
 
-        full = counts == self.n
+        # Strict-filter refusal: the pre-check mirrors the kernels' own
+        # front-door validation, so no batched kernel ever raises.  A
+        # stalled trial calls no kernel, so it cannot refuse — exactly
+        # the per-trial engine's policy ordering.
+        for rep, idx in self._aggregator_groups:
+            aggregator = self._aggregators[rep]
+            if not aggregator.quarantines_on_nonfinite:
+                continue
+            live = self.guard.live(idx)
+            live = live[~stalled[live]]
+            if not live.size:
+                continue
+            refused = (
+                nonfinite_rows(gradients[live]) & usable[live]
+            ).any(axis=1)
+            if refused.any():
+                fresh = self.guard.quarantine(
+                    live[refused], t, AGGREGATOR_REFUSED
+                )
+                self._note_quarantined(fresh, t, AGGREGATOR_REFUSED)
+                stalled[live[refused]] = True
+
+        full = (counts == self.n) & self.guard.active
         for rep, idx in self._aggregator_groups:
             aggregator = self._aggregators[rep]
             full_idx = idx[full[idx]]
             if full_idx.size:
-                aggregates[full_idx] = aggregator.aggregate_batch(
-                    gradients[full_idx]
-                )
+                with aggregation_round(t, aggregator_label(aggregator)):
+                    aggregates[full_idx] = aggregator.aggregate_batch(
+                        gradients[full_idx]
+                    )
             masked_idx = idx[masked_partial[idx] & ~stalled[idx]]
             if masked_idx.size:
-                aggregates[masked_idx] = aggregate_batch_masked(
-                    aggregator, gradients[masked_idx], usable[masked_idx]
-                )
+                with aggregation_round(t, aggregator_label(aggregator)):
+                    aggregates[masked_idx] = aggregate_batch_masked(
+                        aggregator, gradients[masked_idx], usable[masked_idx]
+                    )
 
         # Shrink-n: rebuild the declared filter per (attendance, shrunk f)
         # group with step-S1's bookkeeping (missing ~ crashed).
         shrink_partial = np.flatnonzero(
-            self._shrink & (counts > 0) & (counts < self.n)
+            self._shrink & (counts > 0) & (counts < self.n) & ~stalled
         )
         if shrink_partial.size:
             if (self._name_ids[shrink_partial] < 0).any():
@@ -680,24 +750,37 @@ class BatchAsynchronousSimulator(ProtocolEngine):
                 stacks = gradients[sub][usable[sub]].reshape(
                     sub.size, key[1], self.d
                 )
-                aggregates[sub] = aggregator.aggregate_batch(stacks)
+                with aggregation_round(t, aggregator_label(aggregator)):
+                    aggregates[sub] = aggregator.aggregate_batch(stacks)
 
         round.aggregates = aggregates
         round.extras["stalled"] = stalled
 
     def project(self, round: ProtocolRound) -> np.ndarray:
-        """Batched equation-(21) update; stalled trials hold their estimate."""
+        """Batched equation-(21) update; stalled trials hold their estimate.
+
+        Pre-projection candidates are screened per trial: a non-finite or
+        diverged candidate quarantines only that trial, which the guard
+        then holds bit-exactly at its last healthy iterate.
+        """
         t = round.iteration
         stalled = round.extras["stalled"]
         etas = self._etas[t]
+        previous = self.estimates
         candidates = np.where(
             stalled[:, None],
-            self.estimates,
-            self.estimates - etas[:, None] * round.aggregates,
+            previous,
+            previous - etas[:, None] * round.aggregates,
         )
-        projected = self.constraint.project_batch(candidates)
-        self.estimates = np.where(
-            stalled[:, None], self.estimates, projected
+        before = set(self.guard.records)
+        held = self.guard.screen(t, previous, candidates)
+        for trial in sorted(self.guard.records.keys() - before):
+            self._note_quarantined(
+                [trial], t, str(self.guard.records[trial]["reason"])
+            )
+        projected = self.constraint.project_batch(held)
+        self.estimates = self.guard.hold(
+            previous, np.where(stalled[:, None], previous, projected)
         )
         self.iteration = t + 1
 
@@ -731,6 +814,7 @@ class BatchAsynchronousSimulator(ProtocolEngine):
             staleness_sums=self._staleness_sums,
             n=self.n,
             labels=labels,
+            quarantined=self.guard.summary(),
         )
 
     def run(
@@ -826,6 +910,7 @@ class BatchAsynchronousSimulator(ProtocolEngine):
             ],
             "pending": self._pending.tolist(),
             "freshest": self._freshest.tolist(),
+            "quarantine": self.guard.state_dict(),
             "trajectory": self._trajectory[: k + 1].tolist(),
             "stalled": self._stalled[:k].tolist(),
             "missing_counts": self._missing_counts[:k].tolist(),
@@ -889,6 +974,10 @@ class BatchAsynchronousSimulator(ProtocolEngine):
         self.estimates = np.asarray(state["estimates"], dtype=float)
         self._pending = np.asarray(state["pending"], dtype=int)
         self._freshest = np.asarray(state["freshest"], dtype=int)
+        # Absent in pre-quarantine snapshots: every trial stays active.
+        quarantine = state.get("quarantine")
+        if quarantine is not None:
+            self.guard.load_state(quarantine)
         # Rounds before k are already consumed: their realization is never
         # re-read, so the prefix tensors stay zero-filled placeholders.
         self._delays = np.zeros((k, s, self.n), dtype=int)
@@ -911,6 +1000,7 @@ def run_asynchronous_batch(
     schedule: StepSchedule,
     initial_estimate: Sequence[float],
     iterations: int,
+    divergence_threshold: float = DEFAULT_DIVERGENCE_THRESHOLD,
 ) -> BatchAsyncTrace:
     """Convenience wrapper mirroring :func:`~repro.distsys.batch.run_dgd_batch`."""
     simulator = BatchAsynchronousSimulator(
@@ -919,6 +1009,7 @@ def run_asynchronous_batch(
         constraint=constraint,
         schedule=schedule,
         initial_estimate=initial_estimate,
+        divergence_threshold=divergence_threshold,
     )
     # Convenience runners report to the ambient recorder: a no-op
     # with the default NULL_RECORDER, a live stream under the CLI's

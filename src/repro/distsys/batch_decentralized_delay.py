@@ -90,6 +90,13 @@ from .faults import (
     network_streams,
     sample_network_run,
 )
+from .health import (
+    AGGREGATOR_REFUSED,
+    DEFAULT_DIVERGENCE_THRESHOLD,
+    TrialGuard,
+    aggregation_round,
+    nonfinite_rows,
+)
 from .topology import CommunicationTopology
 
 __all__ = [
@@ -188,6 +195,7 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
         mixing: bool = True,
         allow_disconnected: bool = False,
         recorder: Optional[Recorder] = None,
+        divergence_threshold: float = DEFAULT_DIVERGENCE_THRESHOLD,
     ):
         if not trials:
             raise ValueError("need at least one trial")
@@ -291,6 +299,7 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
         tiled = np.repeat(np.stack(starts)[:, None, :], self.n, axis=1)
         self.estimates = self._project_all(tiled)
         self.iteration = 0
+        self.guard = TrialGuard(s, divergence_threshold)
 
         self._attack_groups = self._group_attacks()
         self._partial_groups = self._group_aggregators()
@@ -580,6 +589,22 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
             groups.append((trim, idx, group))
         return groups
 
+    # -- quarantine bookkeeping -------------------------------------------
+    def _note_quarantined(
+        self, trials: Sequence[int], round_index: int, reason: str
+    ) -> None:
+        """Emit one telemetry event per freshly frozen trial."""
+        if not trials or not self.telemetry.enabled:
+            return
+        for t in trials:
+            self.telemetry.emit(
+                "trial_quarantined",
+                trial=int(t),
+                round=int(round_index),
+                reason=reason,
+                engine=type(self).__name__,
+            )
+
     # -- helpers ----------------------------------------------------------
     def _project_all(self, estimates: np.ndarray) -> np.ndarray:
         s, n, d = estimates.shape
@@ -707,13 +732,24 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
         t = self.iteration
         s = len(self.trials)
 
-        gradients = self.stack.gradients_each(self.estimates)  # (S, n, d)
+        # Quarantined trials are masked out of the einsum — their held
+        # iterates are never differentiated again — and dispatch nothing.
+        if self.guard.any_quarantined:
+            gradients = np.zeros((s, self.n, self.d))
+            act = self.guard.active
+            gradients[act] = self.stack.gradients_each(self.estimates[act])
+        else:
+            gradients = self.stack.gradients_each(self.estimates)  # (S, n, d)
         self._grad_history[t] = gradients
 
         # Dispatch: live senders put this round's message on each out-edge
         # whose sampled delay keeps it usable; the send round t is newer
         # than every pending view, so overwrite wins.
-        sends = self._active[t] & ~self._silenced[t]            # (S, n)
+        sends = (
+            self._active[t]
+            & ~self._silenced[t]
+            & self.guard.active[:, None]
+        )  # (S, n)
         trial_rows = np.arange(s)[:, None]
         sent_e = (
             sends[trial_rows, self._edge_senders]
@@ -789,23 +825,29 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
             scatter,
             receivers,
         ) in self._attack_groups:
+            # Frozen trials fabricate nothing and consume no stream.
+            active = self.guard.live(idx)
+            if not active.size:
+                continue
             context = DecentralizedAttackContext(
                 iteration=t,
-                reference_estimates=self.estimates[np.ix_(idx, honest[:1])][:, 0],
-                agent_estimates=self.estimates[idx],
+                reference_estimates=self.estimates[
+                    np.ix_(active, honest[:1])
+                ][:, 0],
+                agent_estimates=self.estimates[active],
                 faulty_ids=faulty.tolist(),
-                true_gradients=gradients[np.ix_(idx, faulty)],
+                true_gradients=gradients[np.ix_(active, faulty)],
                 honest_gradients=(
-                    gradients[np.ix_(idx, honest)] if omniscient else None
+                    gradients[np.ix_(active, honest)] if omniscient else None
                 ),
                 honest_ids=honest.tolist(),
                 receivers=receivers,
-                rngs=[self.rngs[i] for i in idx],
+                rngs=[self.rngs[i] for i in active],
             )
             fabricated = np.asarray(
                 attack.fabricate_edges(context), dtype=float
             )
-            expected = (idx.size, faulty.size, self.n, self.d)
+            expected = (active.size, faulty.size, self.n, self.d)
             if fabricated.shape != expected:
                 raise RuntimeError(
                     f"attack {attack.name!r} returned shape "
@@ -813,11 +855,13 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
                 )
             rows, slots, columns = scatter
             keep = (
-                valid[idx][:, rows, slots]
-                & live[idx][:, faulty[columns]]
+                valid[active][:, rows, slots]
+                & live[active][:, faulty[columns]]
             )
-            current = neighborhoods[idx[:, None], rows[None, :], slots[None, :]]
-            neighborhoods[idx[:, None], rows[None, :], slots[None, :]] = (
+            current = neighborhoods[
+                active[:, None], rows[None, :], slots[None, :]
+            ]
+            neighborhoods[active[:, None], rows[None, :], slots[None, :]] = (
                 np.where(keep[:, :, None], fabricated[:, columns, rows], current)
             )
         round.views = neighborhoods
@@ -836,6 +880,8 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
         est_views = round.extras["est_views"]
         crashed = round.extras["crashed"]               # (S, n)
 
+        self._screen_strict_views(round.views, valid, round.iteration)
+
         full_trials = (
             (valid == self._neighbor_mask).all(axis=(1, 2))
             & ~crashed.any(axis=1)
@@ -844,7 +890,7 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
             # Every trial fully attended: the bit-for-bit degenerate path.
             stalled = np.zeros((s, self.n), dtype=bool)
             round.aggregates = self._aggregate_exact(
-                round.views, np.arange(s)
+                round.views, np.arange(s), round.iteration
             )
             if self.mixing:
                 round.extras["mix"] = self._mix(
@@ -908,19 +954,24 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
         if full_idx.size:
             # Fully-attended trials take the per-(aggregator, topology)
             # exact kernels, sliced to each topology's true k.
-            updates[full_idx] = self._aggregate_exact(round.views, full_idx)
+            updates[full_idx] = self._aggregate_exact(
+                round.views, full_idx, round.iteration
+            )
         for aggregator, partial_kernel, _, idx in self._partial_merged:
             sub = idx[~full_trials[idx]]
             if sub.size:
                 # One padded k_max-wide call per aggregator config covers
                 # every topology's partial trials (padding invariance).
-                updates[sub] = partial_kernel(
-                    round.views[sub].reshape(
-                        1, sub.size * self.n, self._k_max, self.d
-                    ),
-                    mask[sub].reshape(sub.size * self.n, self._k_max),
-                    tolerance[sub].reshape(sub.size * self.n),
-                )[0].reshape(sub.size, self.n, self.d)
+                with aggregation_round(
+                    round.iteration, aggregator_label(aggregator)
+                ):
+                    updates[sub] = partial_kernel(
+                        round.views[sub].reshape(
+                            1, sub.size * self.n, self._k_max, self.d
+                        ),
+                        mask[sub].reshape(sub.size * self.n, self._k_max),
+                        tolerance[sub].reshape(sub.size * self.n),
+                    )[0].reshape(sub.size, self.n, self.d)
         round.aggregates = updates
 
         if self.mixing:
@@ -933,8 +984,34 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
             )
         round.extras["stalled_agents"] = stalled
 
+    def _screen_strict_views(
+        self, views: np.ndarray, valid: np.ndarray, round_index: int
+    ) -> None:
+        """Quarantine trials whose strict filter faces non-finite views.
+
+        The pre-check mirrors the strict kernels' own front-door
+        validation (reason ``aggregator_refused``), and the refused
+        trials' views are zeroed so no batched kernel ever raises —
+        their aggregates are discarded by the guard's hold anyway.
+        """
+        for aggregator, _, _, idx in self._partial_merged:
+            if not aggregator.quarantines_on_nonfinite:
+                continue
+            live = self.guard.live(idx)
+            if not live.size:
+                continue
+            bad = (nonfinite_rows(views[live]) & valid[live]).any(
+                axis=(1, 2)
+            )
+            if bad.any():
+                fresh = self.guard.quarantine(
+                    live[bad], round_index, AGGREGATOR_REFUSED
+                )
+                self._note_quarantined(fresh, round_index, AGGREGATOR_REFUSED)
+                views[live[bad]] = 0.0
+
     def _aggregate_exact(
-        self, views: np.ndarray, subset: np.ndarray
+        self, views: np.ndarray, subset: np.ndarray, round_index: int
     ) -> np.ndarray:
         """Exact-kernel aggregation of the fully-attended ``subset``."""
         updates = np.empty((subset.size, self.n, self.d))
@@ -947,17 +1024,20 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
                 continue
             k = group["k"]
             group_views = views[members][:, :, :k]
-            if kernel is None:
-                folded = group_views.reshape(
-                    members.size * self.n, k, self.d
-                )
-                updates[position[members]] = aggregator.aggregate_batch(
-                    folded
-                ).reshape(members.size, self.n, self.d)
-            else:
-                updates[position[members]] = kernel(
-                    group_views, group["neighbor_mask"]
-                )
+            with aggregation_round(
+                round_index, aggregator_label(aggregator)
+            ):
+                if kernel is None:
+                    folded = group_views.reshape(
+                        members.size * self.n, k, self.d
+                    )
+                    updates[position[members]] = aggregator.aggregate_batch(
+                        folded
+                    ).reshape(members.size, self.n, self.d)
+                else:
+                    updates[position[members]] = kernel(
+                        group_views, group["neighbor_mask"]
+                    )
         return updates
 
     def _mix(
@@ -1005,15 +1085,29 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
         return mixed
 
     def project(self, round: ProtocolRound) -> np.ndarray:
-        """Projected update on the live agents; stalled agents hold."""
+        """Projected update on the live agents; stalled agents hold.
+
+        The *effective* candidates (stalled agents already holding) are
+        screened per trial before the projection: a non-finite or
+        diverged iterate quarantines only that trial, which the guard
+        then holds bit-exactly at its last healthy iterate batch.
+        """
         t = round.iteration
         etas = self._etas[t]
         base = round.extras["mix"] if self.mixing else self.estimates
         candidates = base - etas[:, None, None] * round.aggregates
-        projected = self._project_all(candidates)
         stalled = round.extras["stalled_agents"]
-        self.estimates = np.where(
-            stalled[:, :, None], self.estimates, projected
+        previous = self.estimates
+        effective = np.where(stalled[:, :, None], previous, candidates)
+        before = set(self.guard.records)
+        held = self.guard.screen(t, previous, effective)
+        for trial in sorted(self.guard.records.keys() - before):
+            self._note_quarantined(
+                [trial], t, str(self.guard.records[trial]["reason"])
+            )
+        projected = self._project_all(held)
+        self.estimates = self.guard.hold(
+            previous, np.where(stalled[:, :, None], previous, projected)
         )
         self.iteration = t + 1
 
@@ -1047,6 +1141,7 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
             usable_edge_counts=self._usable_edge_counts,
             staleness_sums=self._staleness_sums,
             edges=self._edge_count.copy(),
+            quarantined=self.guard.summary(),
         )
 
     def run(
@@ -1142,6 +1237,7 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
             ],
             "pending": self._pending.tolist(),
             "freshest": self._freshest.tolist(),
+            "quarantine": self.guard.state_dict(),
             "trajectory": self._trajectory[: k + 1].tolist(),
             "grad_history": self._grad_history[:k].tolist(),
             "stalled": self._stalled[:k].tolist(),
@@ -1212,6 +1308,10 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
         self.estimates = np.asarray(state["estimates"], dtype=float)
         self._pending = np.asarray(state["pending"], dtype=int)
         self._freshest = np.asarray(state["freshest"], dtype=int)
+        # Absent in pre-quarantine snapshots: every trial stays active.
+        quarantine = state.get("quarantine")
+        if quarantine is not None:
+            self.guard.load_state(quarantine)
         # Rounds before k are already consumed: their realization is never
         # re-read, so the prefix tensors stay placeholder-filled (padded
         # edge columns dropped, like a fresh pre-sample).
@@ -1240,6 +1340,7 @@ def run_decentralized_delayed_batch(
     iterations: int,
     mixing: bool = True,
     allow_disconnected: bool = False,
+    divergence_threshold: float = DEFAULT_DIVERGENCE_THRESHOLD,
 ) -> BatchDelayedDecentralizedTrace:
     """Convenience wrapper mirroring :func:`~repro.distsys.batch.run_dgd_batch`."""
     simulator = BatchDelayedDecentralizedSimulator(
@@ -1250,6 +1351,7 @@ def run_decentralized_delayed_batch(
         initial_estimate=initial_estimate,
         mixing=mixing,
         allow_disconnected=allow_disconnected,
+        divergence_threshold=divergence_threshold,
     )
     # Convenience runners report to the ambient recorder: a no-op
     # with the default NULL_RECORDER, a live stream under the CLI's

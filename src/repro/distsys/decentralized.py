@@ -50,7 +50,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..aggregators.masked import masked_kernel_for, masked_trimmed_mean_batch
+from ..aggregators.masked import (
+    aggregator_label,
+    masked_kernel_for,
+    masked_trimmed_mean_batch,
+)
 from ..aggregators.trimmed_mean import trimmed_mean_batch
 from ..attacks.base import DecentralizedAttackContext
 from ..functions.base import CostFunction
@@ -65,6 +69,13 @@ from .engine import (
     validate_attack_plan,
     validate_faulty_ids,
     validate_initial_estimate,
+)
+from .health import (
+    AGGREGATOR_REFUSED,
+    DEFAULT_DIVERGENCE_THRESHOLD,
+    TrialGuard,
+    aggregation_round,
+    nonfinite_rows,
 )
 from .topology import CommunicationTopology
 
@@ -86,6 +97,10 @@ class DecentralizedTrace:
     step_sizes: np.ndarray                  # (T, S)
     honest_ids: List[Tuple[int, ...]]       # per trial
     labels: List[str] = field(default_factory=list)
+    #: quarantine records ``{"trial", "round", "reason"}`` of frozen trials
+    #: (reasons from :data:`repro.health.QUARANTINE_REASONS`); a frozen
+    #: trial's agents all hold at their last healthy iterates.
+    quarantined: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def iterations(self) -> int:
@@ -226,6 +241,7 @@ class DecentralizedSimulator(ProtocolEngine):
         initial_estimate: Sequence[float],
         mixing: bool = True,
         allow_disconnected: bool = False,
+        divergence_threshold: float = DEFAULT_DIVERGENCE_THRESHOLD,
     ):
         if not trials:
             raise ValueError("need at least one trial")
@@ -294,6 +310,7 @@ class DecentralizedSimulator(ProtocolEngine):
         tiled = np.repeat(np.stack(starts)[:, None, :], self.n, axis=1)
         self.estimates = self._project_all(tiled)
         self.iteration = 0
+        self.guard = TrialGuard(len(self.trials), divergence_threshold)
 
         self._attack_groups = self._group_attacks()
         self._aggregator_groups = self._group_aggregators()
@@ -424,16 +441,45 @@ class DecentralizedSimulator(ProtocolEngine):
         flat = self.constraint.project_batch(estimates.reshape(s * n, d))
         return flat.reshape(s, n, d)
 
+    # -- quarantine bookkeeping -------------------------------------------
+    def _note_quarantined(
+        self, quarantined: Sequence[int], round_index: int, reason: str
+    ) -> None:
+        """Emit one telemetry event per freshly frozen trial."""
+        if not quarantined or not self.telemetry.enabled:
+            return
+        for trial in quarantined:
+            self.telemetry.emit(
+                "trial_quarantined",
+                trial=int(trial),
+                round=int(round_index),
+                reason=reason,
+                engine=type(self).__name__,
+            )
+
     # -- protocol stages --------------------------------------------------
     def observe(self) -> ProtocolRound:
-        """Every agent's local gradient at its own iterate: one einsum."""
-        return ProtocolRound(
-            iteration=self.iteration,
-            gradients=self.stack.gradients_each(self.estimates),  # (S, n, d)
-        )
+        """Every agent's local gradient at its own iterate: one einsum.
+
+        Quarantined trials are masked out of the einsum — their rows stay
+        zero placeholders that no later stage reads.
+        """
+        if self.guard.any_quarantined:
+            s = len(self.trials)
+            gradients = np.zeros((s, self.n, self.d))
+            live = self.guard.active
+            gradients[live] = self.stack.gradients_each(self.estimates[live])
+        else:
+            gradients = self.stack.gradients_each(self.estimates)  # (S, n, d)
+        return ProtocolRound(iteration=self.iteration, gradients=gradients)
 
     def fabricate(self, round: ProtocolRound) -> None:
-        """Gather neighborhoods, then let each attack rewrite its edges."""
+        """Gather neighborhoods, then let each attack rewrite its edges.
+
+        Each group's index set is intersected with the guard's active
+        mask, so frozen trials neither consume their attack stream nor
+        receive fabrications — their neighborhoods stay honest and finite.
+        """
         gradients = round.gradients
         # (S, n, k, d): slot order is ascending sender id per receiver.
         neighborhoods = gradients[:, self.neighbor_index, :]
@@ -446,54 +492,89 @@ class DecentralizedSimulator(ProtocolEngine):
             scatter,
             receivers,
         ) in self._attack_groups:
+            live = self.guard.live(idx)
+            if live.size == 0:
+                continue
             context = DecentralizedAttackContext(
                 iteration=round.iteration,
-                reference_estimates=self.estimates[np.ix_(idx, honest[:1])][:, 0],
-                agent_estimates=self.estimates[idx],
+                reference_estimates=self.estimates[np.ix_(live, honest[:1])][:, 0],
+                agent_estimates=self.estimates[live],
                 faulty_ids=faulty.tolist(),
-                true_gradients=gradients[np.ix_(idx, faulty)],
+                true_gradients=gradients[np.ix_(live, faulty)],
                 honest_gradients=(
-                    gradients[np.ix_(idx, honest)] if omniscient else None
+                    gradients[np.ix_(live, honest)] if omniscient else None
                 ),
                 honest_ids=honest.tolist(),
                 receivers=receivers,
-                rngs=[self.rngs[i] for i in idx],
+                rngs=[self.rngs[i] for i in live],
             )
             fabricated = np.asarray(attack.fabricate_edges(context), dtype=float)
-            expected = (idx.size, faulty.size, self.n, self.d)
+            expected = (live.size, faulty.size, self.n, self.d)
             if fabricated.shape != expected:
                 raise RuntimeError(
                     f"attack {attack.name!r} returned shape {fabricated.shape},"
                     f" expected {expected}"
                 )
             rows, slots, columns = scatter
-            neighborhoods[idx[:, None], rows[None, :], slots[None, :]] = (
+            neighborhoods[live[:, None], rows[None, :], slots[None, :]] = (
                 fabricated[:, columns, rows]
             )
         round.views = neighborhoods
 
     def aggregate(self, round: ProtocolRound) -> None:
         """Neighborhood-wise filtering: folded or masked batch kernels."""
-        round.aggregates = self._aggregate_views(round.views)
+        round.aggregates = self._aggregate_views(round.views, round.iteration)
         if self.mixing:
             round.extras["mix"] = self._mix_neighborhoods(
                 self.estimates[:, self.neighbor_index, :]
             )
 
-    def _aggregate_views(self, views: np.ndarray) -> np.ndarray:
+    def _screen_strict_views(
+        self, views: np.ndarray, round_index: int
+    ) -> None:
+        """Quarantine trials whose strict filter faces non-finite slots.
+
+        Mirrors the batched server engine's pre-check: a trial is refused
+        (``aggregator_refused``, frozen at its pre-update iterates) exactly
+        when any valid neighborhood slot it would aggregate is non-finite.
+        The refused trials' views are zeroed so the shared kernel call
+        stays warning-free; their outputs are discarded by the hold.
+        """
+        for aggregator, kernel, idx in self._aggregator_groups:
+            if not aggregator.quarantines_on_nonfinite:
+                continue
+            live = self.guard.live(idx)
+            if live.size == 0:
+                continue
+            bad_slots = nonfinite_rows(views[live])  # (L, n, k)
+            if kernel is not None:
+                bad_slots = bad_slots & self.neighbor_mask[None]
+            refused = bad_slots.any(axis=(1, 2))
+            if refused.any():
+                fresh = self.guard.quarantine(
+                    live[refused], round_index, AGGREGATOR_REFUSED
+                )
+                self._note_quarantined(fresh, round_index, AGGREGATOR_REFUSED)
+                views[live[refused]] = 0.0
+
+    def _aggregate_views(
+        self, views: np.ndarray, round_index: int
+    ) -> np.ndarray:
         """Run every trial's filter over its ``(S, n, k, d)`` neighborhoods."""
+        self._screen_strict_views(views, round_index)
         updates = np.empty((len(self.trials), self.n, self.d))
         for aggregator, kernel, idx in self._aggregator_groups:
             group_views = views[idx]  # (S_g, n, k, d)
-            if kernel is None:
-                folded = group_views.reshape(
-                    idx.size * self.n, self.k, self.d
-                )
-                updates[idx] = aggregator.aggregate_batch(folded).reshape(
-                    idx.size, self.n, self.d
-                )
-            else:
-                updates[idx] = kernel(group_views, self.neighbor_mask)
+            with aggregation_round(round_index, aggregator_label(aggregator)):
+                if kernel is None:
+                    folded = group_views.reshape(
+                        idx.size * self.n, self.k, self.d
+                    )
+                    updates[idx] = aggregator.aggregate_batch(folded).reshape(
+                        idx.size, self.n, self.d
+                    )
+                else:
+                    updates[idx] = kernel(group_views, self.neighbor_mask)
         return updates
 
     def _mix_neighborhoods(self, neighborhoods: np.ndarray) -> np.ndarray:
@@ -527,13 +608,27 @@ class DecentralizedSimulator(ProtocolEngine):
         return mixed
 
     def project(self, round: ProtocolRound) -> np.ndarray:
-        """Projected update on all ``S * n`` iterates at once."""
+        """Projected update on all ``S * n`` iterates at once.
+
+        Pre-projection candidates are screened per trial: a trial with a
+        non-finite or diverged candidate (any agent) freezes all its
+        agents at their pre-update iterates, and every frozen trial is
+        re-held after the projection so survivors are bit-identical to a
+        run without the frozen trials.
+        """
         etas = np.empty(len(self.trials))
         for sched, idx in self._schedule_groups:
             etas[idx] = sched(round.iteration)
         base = round.extras["mix"] if self.mixing else self.estimates
         candidates = base - etas[:, None, None] * round.aggregates
-        self.estimates = self._project_all(candidates)
+        previous = self.estimates
+        before = set(self.guard.records)
+        held = self.guard.screen(round.iteration, previous, candidates)
+        for t in sorted(self.guard.records.keys() - before):
+            self._note_quarantined(
+                [t], round.iteration, str(self.guard.records[t]["reason"])
+            )
+        self.estimates = self.guard.hold(previous, self._project_all(held))
         self.iteration += 1
         self._last_etas = etas
         return self.estimates
@@ -568,6 +663,7 @@ class DecentralizedSimulator(ProtocolEngine):
             step_sizes=self._step_sizes,
             honest_ids=honest_ids,
             labels=labels,
+            quarantined=self.guard.summary(),
         )
 
     def run(self, iterations: int) -> DecentralizedTrace:
@@ -585,6 +681,7 @@ def run_decentralized(
     iterations: int,
     mixing: bool = True,
     allow_disconnected: bool = False,
+    divergence_threshold: float = DEFAULT_DIVERGENCE_THRESHOLD,
 ) -> DecentralizedTrace:
     """Convenience wrapper mirroring :func:`repro.distsys.batch.run_dgd_batch`."""
     simulator = DecentralizedSimulator(
@@ -596,6 +693,7 @@ def run_decentralized(
         initial_estimate=initial_estimate,
         mixing=mixing,
         allow_disconnected=allow_disconnected,
+        divergence_threshold=divergence_threshold,
     )
     # Convenience runners report to the ambient recorder: a no-op
     # with the default NULL_RECORDER, a live stream under the CLI's

@@ -76,6 +76,7 @@ from ..optim.schedules import StepSchedule
 from ..telemetry.recorder import current_recorder
 from .asynchronous import MISSING_POLICIES
 from .batch import BatchTrial
+from .health import DEFAULT_DIVERGENCE_THRESHOLD
 from .decentralized import DecentralizedSimulator, DecentralizedTrace
 from .engine import ProtocolRound
 from .faults import (
@@ -188,6 +189,7 @@ class DelayedDecentralizedSimulator(DecentralizedSimulator):
         staleness_bound: int = 0,
         missing_policy: str = "masked",
         allow_disconnected: bool = False,
+        divergence_threshold: float = DEFAULT_DIVERGENCE_THRESHOLD,
     ):
         stack = costs if isinstance(costs, CostStack) else stack_costs(costs)
         self.fault_schedule = (
@@ -230,6 +232,7 @@ class DelayedDecentralizedSimulator(DecentralizedSimulator):
             initial_estimate,
             mixing=mixing,
             allow_disconnected=allow_disconnected,
+            divergence_threshold=divergence_threshold,
         )
 
         s = len(self.trials)
@@ -432,21 +435,26 @@ class DelayedDecentralizedSimulator(DecentralizedSimulator):
             scatter,
             receivers,
         ) in self._attack_groups:
+            # Quarantined trials neither consume their attack stream nor
+            # receive fabrications — their views stay honest and finite.
+            active = self.guard.live(idx)
+            if active.size == 0:
+                continue
             context = DecentralizedAttackContext(
                 iteration=t,
-                reference_estimates=self.estimates[np.ix_(idx, honest[:1])][:, 0],
-                agent_estimates=self.estimates[idx],
+                reference_estimates=self.estimates[np.ix_(active, honest[:1])][:, 0],
+                agent_estimates=self.estimates[active],
                 faulty_ids=faulty.tolist(),
-                true_gradients=gradients[np.ix_(idx, faulty)],
+                true_gradients=gradients[np.ix_(active, faulty)],
                 honest_gradients=(
-                    gradients[np.ix_(idx, honest)] if omniscient else None
+                    gradients[np.ix_(active, honest)] if omniscient else None
                 ),
                 honest_ids=honest.tolist(),
                 receivers=receivers,
-                rngs=[self.rngs[i] for i in idx],
+                rngs=[self.rngs[i] for i in active],
             )
             fabricated = np.asarray(attack.fabricate_edges(context), dtype=float)
-            expected = (idx.size, faulty.size, self.n, self.d)
+            expected = (active.size, faulty.size, self.n, self.d)
             if fabricated.shape != expected:
                 raise RuntimeError(
                     f"attack {attack.name!r} returned shape {fabricated.shape},"
@@ -454,11 +462,11 @@ class DelayedDecentralizedSimulator(DecentralizedSimulator):
                 )
             rows, slots, columns = scatter
             keep = (
-                valid[idx][:, rows, slots]
-                & live[idx][:, faulty[columns]]
+                valid[active][:, rows, slots]
+                & live[active][:, faulty[columns]]
             )
-            current = neighborhoods[idx[:, None], rows[None, :], slots[None, :]]
-            neighborhoods[idx[:, None], rows[None, :], slots[None, :]] = (
+            current = neighborhoods[active[:, None], rows[None, :], slots[None, :]]
+            neighborhoods[active[:, None], rows[None, :], slots[None, :]] = (
                 np.where(keep[:, :, None], fabricated[:, columns, rows], current)
             )
         round.views = neighborhoods
@@ -479,13 +487,18 @@ class DelayedDecentralizedSimulator(DecentralizedSimulator):
         est_views = round.extras["est_views"]
         crashed = round.extras["crashed"]               # (n,)
 
+        # Strict filters refuse non-finite valid slots per trial before any
+        # kernel runs — refused trials freeze (aggregator_refused) and
+        # their views are zeroed so the shared kernels stay warning-free.
+        self._screen_strict_views(round.views, t)
+
         full_mask = np.broadcast_to(self.neighbor_mask, valid.shape)
         full_trials = (
             (valid == full_mask).all(axis=(1, 2)) & ~crashed.any()
         )  # (S,)
         if full_trials.all():
             # Every trial fully attended: the bit-for-bit degenerate path.
-            round.aggregates = self._aggregate_views(round.views)
+            round.aggregates = self._aggregate_views(round.views, t)
             if self.mixing:
                 round.extras["mix"] = self._mix_neighborhoods(est_views)
             round.extras["stalled_agents"] = np.zeros((s, self.n), dtype=bool)
@@ -606,17 +619,32 @@ class DelayedDecentralizedSimulator(DecentralizedSimulator):
         return mixed
 
     def project(self, round: ProtocolRound) -> np.ndarray:
-        """Projected update on the live agents; stalled agents hold."""
+        """Projected update on the live agents; stalled agents hold.
+
+        The *effective* candidates (stalled agents already holding) are
+        screened per trial before the projection: a trial with a
+        non-finite or diverged candidate freezes all its agents at their
+        pre-update iterates, exactly as in the synchronous graph engine.
+        """
         t = round.iteration
         etas = np.empty(len(self.trials))
         for sched, idx in self._schedule_groups:
             etas[idx] = sched(t)
         base = round.extras["mix"] if self.mixing else self.estimates
         candidates = base - etas[:, None, None] * round.aggregates
-        projected = self._project_all(candidates)
         stalled = round.extras["stalled_agents"]
-        self.estimates = np.where(
-            stalled[:, :, None], self.estimates, projected
+        previous = self.estimates
+        effective = np.where(stalled[:, :, None], previous, candidates)
+        before = set(self.guard.records)
+        held = self.guard.screen(t, previous, effective)
+        for trial in sorted(self.guard.records.keys() - before):
+            self._note_quarantined(
+                [trial], t, str(self.guard.records[trial]["reason"])
+            )
+        projected = self._project_all(held)
+        self.estimates = self.guard.hold(
+            previous,
+            np.where(stalled[:, :, None], previous, projected),
         )
         self.iteration += 1
         self._last_etas = etas
@@ -637,6 +665,7 @@ class DelayedDecentralizedSimulator(DecentralizedSimulator):
             step_sizes=base.step_sizes,
             honest_ids=base.honest_ids,
             labels=base.labels,
+            quarantined=base.quarantined,
             stalled=self._stalled,
             usable_edge_counts=self._usable_edge_counts,
             staleness_sums=self._staleness_sums,
@@ -662,6 +691,7 @@ def run_decentralized_delayed(
     staleness_bound: int = 0,
     missing_policy: str = "masked",
     allow_disconnected: bool = False,
+    divergence_threshold: float = DEFAULT_DIVERGENCE_THRESHOLD,
 ) -> DelayedDecentralizedTrace:
     """Convenience wrapper mirroring :func:`~repro.distsys.decentralized.run_decentralized`."""
     simulator = DelayedDecentralizedSimulator(
@@ -677,6 +707,7 @@ def run_decentralized_delayed(
         staleness_bound=staleness_bound,
         missing_policy=missing_policy,
         allow_disconnected=allow_disconnected,
+        divergence_threshold=divergence_threshold,
     )
     # Convenience runners report to the ambient recorder: a no-op
     # with the default NULL_RECORDER, a live stream under the CLI's

@@ -1,0 +1,61 @@
+"""Engine-facing surface of the run-health / fault-containment layer.
+
+The implementation lives in :mod:`repro.health`, a dependency leaf that
+the aggregator front-doors can import without cycling through this
+package's ``__init__``.  Engine code — and anything post-morteming a
+quarantined sweep — should import from here: the quarantine reason
+taxonomy, the typed :class:`~repro.health.QuarantineError`, the batched
+:class:`~repro.health.TrialGuard`, and the per-trial
+:func:`~repro.health.classify_candidate` screen are one module observed
+from two package paths.
+
+See ``DESIGN.md`` invariant 13 for the containment contract: a batched
+engine's quarantine decisions (trial, round, reason) and the held
+trajectories of frozen trials are pinned at 1e-9 to the per-trial
+reference engines, and frozen trials never perturb surviving trials
+bit-wise.
+"""
+
+from __future__ import annotations
+
+from ..health import (
+    AGGREGATOR_REFUSED,
+    DEFAULT_DIVERGENCE_THRESHOLD,
+    DIVERGED,
+    NONFINITE_ITERATE,
+    OVERFLOW_LIMIT,
+    QUARANTINE_REASONS,
+    QuarantineError,
+    RunGuard,
+    TrialGuard,
+    aggregation_round,
+    all_moderate,
+    classify_candidate,
+    current_round_context,
+    hostile_rows,
+    nonfinite_rows,
+    overflow_safe_norms,
+    refusal,
+    validate_divergence_threshold,
+)
+
+__all__ = [
+    "AGGREGATOR_REFUSED",
+    "DIVERGED",
+    "NONFINITE_ITERATE",
+    "QUARANTINE_REASONS",
+    "DEFAULT_DIVERGENCE_THRESHOLD",
+    "OVERFLOW_LIMIT",
+    "QuarantineError",
+    "RunGuard",
+    "TrialGuard",
+    "refusal",
+    "aggregation_round",
+    "current_round_context",
+    "classify_candidate",
+    "all_moderate",
+    "hostile_rows",
+    "nonfinite_rows",
+    "overflow_safe_norms",
+    "validate_divergence_threshold",
+]

@@ -22,6 +22,7 @@ from ..attacks.base import AttackContext, ByzantineAttack
 from ..functions.base import CostFunction
 from ..optim.projections import ConvexSet
 from ..optim.schedules import StepSchedule
+from ..aggregators.masked import aggregator_label
 from .broadcast import BroadcastAdversary, EquivocatingAdversary, byzantine_broadcast
 from .engine import (
     ProtocolEngine,
@@ -29,6 +30,13 @@ from .engine import (
     validate_attack_plan,
     validate_faulty_ids,
     validate_initial_estimate,
+)
+from .health import (
+    AGGREGATOR_REFUSED,
+    DEFAULT_DIVERGENCE_THRESHOLD,
+    QuarantineError,
+    RunGuard,
+    aggregation_round,
 )
 
 __all__ = ["PeerToPeerSimulator"]
@@ -49,6 +57,7 @@ class PeerToPeerSimulator(ProtocolEngine):
         broadcast_adversary: Optional[BroadcastAdversary] = None,
         seed: int = 0,
         enforce_threshold: bool = True,
+        divergence_threshold: float = DEFAULT_DIVERGENCE_THRESHOLD,
     ):
         self.n = len(costs)
         self.costs = list(costs)
@@ -85,6 +94,22 @@ class PeerToPeerSimulator(ProtocolEngine):
             i: start.copy() for i in self.honest_ids
         }
         self.iteration = 0
+        self.guard = RunGuard(divergence_threshold)
+
+    @property
+    def quarantine(self) -> Optional[Dict[str, object]]:
+        """``{"round", "reason"}`` when the run is frozen, else ``None``."""
+        return self.guard.summary()
+
+    def _note_quarantine(self, round_index: int, reason: str) -> None:
+        """Announce a fresh quarantine on the telemetry stream."""
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "trial_quarantined",
+                round=int(round_index),
+                reason=reason,
+                engine=type(self).__name__,
+            )
 
     def _broadcast_gradients(
         self, outgoing: Dict[int, np.ndarray]
@@ -119,6 +144,14 @@ class PeerToPeerSimulator(ProtocolEngine):
         """Each honest agent evaluates its local gradient at its replica."""
         # Honest replicas hold identical estimates; use any as the round's x_t.
         reference = self.estimates[self.honest_ids[0]]
+        if self.guard.quarantined:
+            # Frozen run: no gradients, no broadcast, no RNG consumption.
+            return ProtocolRound(
+                iteration=self.iteration,
+                estimate=reference,
+                gradients={},
+                extras={"frozen": True},
+            )
         outgoing: Dict[int, np.ndarray] = {}
         honest_grads: Dict[int, np.ndarray] = {}
         for i in self.honest_ids:
@@ -139,6 +172,8 @@ class PeerToPeerSimulator(ProtocolEngine):
         equivocate while relaying, and it is the broadcast primitive — not
         honest bookkeeping — that forces one consistent view per sender.
         """
+        if round.extras.get("frozen"):
+            return
         outgoing = round.gradients
         if self.faulty:
             context = AttackContext(
@@ -162,20 +197,50 @@ class PeerToPeerSimulator(ProtocolEngine):
         round.views = self._broadcast_gradients(outgoing)
 
     def aggregate(self, round: ProtocolRound) -> None:
-        """Every honest replica filters its agreed (n, d) stack locally."""
-        round.aggregates = {
-            i: self.aggregator.aggregate(
-                np.vstack([round.views[i][j] for j in range(self.n)])
-            )
-            for i in self.honest_ids
-        }
+        """Every honest replica filters its agreed (n, d) stack locally.
+
+        A strict filter's refusal of non-finite input quarantines the run
+        — every replica would refuse the same agreed stack, so the whole
+        (consistent) system freezes together.
+        """
+        if round.extras.get("frozen"):
+            return
+        try:
+            with aggregation_round(
+                round.iteration, aggregator_label(self.aggregator)
+            ):
+                round.aggregates = {
+                    i: self.aggregator.aggregate(
+                        np.vstack([round.views[i][j] for j in range(self.n)])
+                    )
+                    for i in self.honest_ids
+                }
+        except QuarantineError:
+            self.guard.quarantine(round.iteration, AGGREGATOR_REFUSED)
+            self._note_quarantine(round.iteration, AGGREGATOR_REFUSED)
+            round.extras["frozen"] = True
 
     def project(self, round: ProtocolRound) -> None:
-        """Identical deterministic projected update on every replica."""
-        eta = self.schedule(round.iteration)
-        for i in self.honest_ids:
-            candidate = self.estimates[i] - eta * round.aggregates[i]
-            self.estimates[i] = self.constraint.project(candidate)
+        """Identical deterministic projected update on every replica.
+
+        Candidates are screened before the projection; a non-finite or
+        diverged candidate freezes every replica at its current estimate
+        (honest replicas are identical, so one screen decides for all).
+        """
+        if not round.extras.get("frozen"):
+            eta = self.schedule(round.iteration)
+            candidates = {
+                i: self.estimates[i] - eta * round.aggregates[i]
+                for i in self.honest_ids
+            }
+            reason = self.guard.screen(
+                round.iteration, np.stack(list(candidates.values()))
+            )
+            if reason is None:
+                for i in self.honest_ids:
+                    self.estimates[i] = self.constraint.project(candidates[i])
+            else:
+                self._note_quarantine(round.iteration, reason)
         self.iteration += 1
 
     def _run_result(self) -> Dict[int, np.ndarray]:

@@ -88,6 +88,15 @@ class RobustServer:
         self.estimate = self.constraint.project(candidate)
         self.iteration += 1
 
+    def hold(self) -> None:
+        """Advance the round counter without moving the estimate.
+
+        The quarantined-round twin of :meth:`descend`: a frozen run keeps
+        counting rounds (so traces stay rectangular across a sweep) while
+        its estimate stays bit-identical to the last healthy iterate.
+        """
+        self.iteration += 1
+
     def apply_update(self, gradients: Dict[int, np.ndarray]) -> np.ndarray:
         """Step S2: filter the received gradients and move the estimate.
 

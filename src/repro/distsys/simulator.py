@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from ..aggregators.base import GradientAggregator
+from ..aggregators.masked import aggregator_label
 from ..attacks.base import AttackContext, ByzantineAttack
 from ..optim.projections import ConvexSet
 from ..optim.schedules import StepSchedule
@@ -35,6 +36,13 @@ from .engine import (
     validate_attack_plan,
     validate_fault_count,
     validate_faulty_ids,
+)
+from .health import (
+    AGGREGATOR_REFUSED,
+    DEFAULT_DIVERGENCE_THRESHOLD,
+    QuarantineError,
+    RunGuard,
+    aggregation_round,
 )
 from .messages import GradientRequest, Silence
 from .server import RobustServer
@@ -57,6 +65,7 @@ class SynchronousSimulator(ProtocolEngine):
         attack: Optional[ByzantineAttack] = None,
         omniscient_attack: Optional[bool] = None,
         seed: int = 0,
+        divergence_threshold: float = DEFAULT_DIVERGENCE_THRESHOLD,
     ):
         ids = [a.agent_id for a in agents]
         if len(set(ids)) != len(ids):
@@ -79,17 +88,38 @@ class SynchronousSimulator(ProtocolEngine):
             f=f,
         )
         self.trace = ExecutionTrace()
+        self.guard = RunGuard(divergence_threshold)
 
     @property
     def iteration(self) -> int:
         """Current iteration index (mirrors the server's counter)."""
         return self.server.iteration
 
+    def _note_quarantine(self, round_index: int, reason: str) -> None:
+        """Record a fresh quarantine on the trace and the telemetry stream."""
+        self.trace.quarantine = self.guard.summary()
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "trial_quarantined",
+                round=int(round_index),
+                reason=reason,
+                engine=type(self).__name__,
+            )
+
     # -- protocol stages --------------------------------------------------
     def observe(self) -> ProtocolRound:
         """S1: request replies, collect honest gradients, eliminate silent."""
         t = self.server.iteration
         estimate_before = self.server.estimate.copy()
+        if self.guard.quarantined:
+            # Frozen run: no requests, no elimination, no RNG consumption —
+            # the round only appends a held record to the trace.
+            return ProtocolRound(
+                iteration=t,
+                estimate=estimate_before,
+                gradients={},
+                extras={"frozen": True},
+            )
         request = GradientRequest(iteration=t, estimate=estimate_before)
 
         honest_replies: Dict[int, np.ndarray] = {}
@@ -130,6 +160,8 @@ class SynchronousSimulator(ProtocolEngine):
 
     def fabricate(self, round: ProtocolRound) -> None:
         """Substitute the attack's gradients for the live Byzantine agents."""
+        if round.extras.get("frozen"):
+            return
         live_byzantine: List[ByzantineAgent] = round.extras["live_byzantine"]
         if not live_byzantine:
             return
@@ -159,20 +191,54 @@ class SynchronousSimulator(ProtocolEngine):
             )
 
     def aggregate(self, round: ProtocolRound) -> None:
-        """S2 (first half): apply the server's gradient-filter."""
-        round.aggregates = self.server.filter_gradients(round.gradients)
+        """S2 (first half): apply the server's gradient-filter.
+
+        A strict filter's typed refusal of non-finite input quarantines
+        the run (reason ``aggregator_refused``) instead of crashing it;
+        the estimate freezes at its pre-update value.
+        """
+        if round.extras.get("frozen"):
+            return
+        try:
+            with aggregation_round(
+                round.iteration, aggregator_label(self.server.aggregator)
+            ):
+                round.aggregates = self.server.filter_gradients(round.gradients)
+        except QuarantineError:
+            self.guard.quarantine(round.iteration, AGGREGATOR_REFUSED)
+            self._note_quarantine(round.iteration, AGGREGATOR_REFUSED)
+            round.extras["frozen"] = True
 
     def project(self, round: ProtocolRound) -> IterationRecord:
-        """S2 (second half): projected update; record the iteration."""
-        self.server.descend(round.aggregates)
+        """S2 (second half): projected update; record the iteration.
+
+        The pre-projection candidate is screened first: a non-finite or
+        diverged candidate quarantines the run and the estimate is held,
+        so garbage never reaches the projection.
+        """
+        frozen = bool(round.extras.get("frozen"))
+        if not frozen:
+            eta = self.server.schedule(round.iteration)
+            candidate = round.estimate - eta * round.aggregates
+            reason = self.guard.screen(round.iteration, candidate)
+            if reason is None:
+                self.server.descend(round.aggregates)
+            else:
+                self._note_quarantine(round.iteration, reason)
+                frozen = True
+        if frozen:
+            self.server.hold()
         record = IterationRecord(
             iteration=round.iteration,
             estimate=round.estimate,
             gradients=round.gradients,
-            aggregate=round.aggregates,
+            aggregate=(
+                np.zeros_like(round.estimate) if frozen else round.aggregates
+            ),
             step_size=self.server.schedule(round.iteration),
             next_estimate=self.server.estimate.copy(),
             eliminated=round.eliminated,
+            quarantined=frozen,
         )
         self.trace.append(record)
         return record
@@ -202,6 +268,7 @@ def run_dgd(
     iterations: int,
     seed: int = 0,
     omniscient_attack: Optional[bool] = None,
+    divergence_threshold: float = DEFAULT_DIVERGENCE_THRESHOLD,
 ) -> ExecutionTrace:
     """Convenience wrapper: build agents from costs and run the loop.
 
@@ -227,6 +294,7 @@ def run_dgd(
         attack=attack,
         omniscient_attack=omniscient_attack,
         seed=seed,
+        divergence_threshold=divergence_threshold,
     )
     # Convenience runners report to the ambient recorder: a no-op
     # with the default NULL_RECORDER, a live stream under the CLI's

@@ -26,6 +26,9 @@ class IterationRecord:
     step_size: float
     next_estimate: np.ndarray     # x_{t+1} (after projection)
     eliminated: List[int] = field(default_factory=list)
+    #: True on every round at or after the run's quarantine: the estimate
+    #: is held, the aggregate is a zero placeholder.
+    quarantined: bool = False
 
 
 @dataclass
@@ -33,6 +36,9 @@ class ExecutionTrace:
     """Full history of a simulated execution."""
 
     records: List[IterationRecord] = field(default_factory=list)
+    #: ``{"round": int, "reason": str}`` when the run was quarantined —
+    #: the reason is one of :data:`repro.health.QUARANTINE_REASONS`.
+    quarantine: Optional[Dict[str, object]] = None
 
     def append(self, record: IterationRecord) -> None:
         """Add the record of one completed iteration."""
@@ -95,7 +101,7 @@ class ExecutionTrace:
         Round-trips through :meth:`from_payload`; used by the experiment
         harness to archive runs next to the benchmark renderings.
         """
-        return {
+        payload = {
             "records": [
                 {
                     "iteration": r.iteration,
@@ -107,10 +113,14 @@ class ExecutionTrace:
                     "step_size": r.step_size,
                     "next_estimate": r.next_estimate.tolist(),
                     "eliminated": list(r.eliminated),
+                    "quarantined": bool(r.quarantined),
                 }
                 for r in self.records
             ]
         }
+        if self.quarantine is not None:
+            payload["quarantine"] = dict(self.quarantine)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "ExecutionTrace":
@@ -129,8 +139,16 @@ class ExecutionTrace:
                     step_size=float(item["step_size"]),
                     next_estimate=np.asarray(item["next_estimate"], dtype=float),
                     eliminated=list(item["eliminated"]),
+                    # Absent in pre-quarantine archives: default healthy.
+                    quarantined=bool(item.get("quarantined", False)),
                 )
             )
+        quarantine = payload.get("quarantine")
+        if quarantine is not None:
+            trace.quarantine = {
+                "round": int(quarantine["round"]),
+                "reason": str(quarantine["reason"]),
+            }
         return trace
 
     def convergence_iteration(

@@ -10,12 +10,12 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
 from ..distsys.trace import ExecutionTrace
-from .orchestrator import CellOutcome, SweepReport
+from .orchestrator import CellOutcome, SweepReport, _quarantine_records
 from .reporting import to_jsonable
 from .runner import RegressionRunResult
 
@@ -113,6 +113,9 @@ def save_sweep_report(
     the audit trail of what ran, what was cached and what degraded.
     ``include_results=True`` also inlines each cell's result payload
     (which the checkpoint store already holds when one was configured).
+    Quarantine provenance is always kept: a cell whose engine froze
+    trials writes its per-trial records even when results are elided, so
+    ``quarantined_cells`` survives the round trip.
     """
     payload = {
         "schema": "repro/sweep-report/v1",
@@ -125,6 +128,7 @@ def save_sweep_report(
                 "error": outcome.error,
                 "attempts": outcome.attempts,
                 "result": outcome.result if include_results else None,
+                "quarantined": _quarantine_records(outcome.result) or None,
             }
             for outcome in report.outcomes
         ],
@@ -133,6 +137,21 @@ def save_sweep_report(
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(json.dumps(to_jsonable(payload), indent=2))
     return target
+
+
+def _loaded_result(entry: Dict[str, object]) -> Optional[object]:
+    """A loaded outcome's result, rehydrating quarantine-only stubs.
+
+    Reports written without ``include_results`` still carry each cell's
+    quarantine records (pre-quarantine reports simply lack the key —
+    hence ``.get``); rebuilding a minimal ``{"quarantined": ...}`` result
+    keeps ``SweepReport.quarantined_cells`` truthful after a round trip.
+    """
+    result = entry.get("result")
+    records = entry.get("quarantined")
+    if result is None and records:
+        return {"quarantined": records}
+    return result
 
 
 def load_sweep_report(path: Union[str, Path]) -> SweepReport:
@@ -148,7 +167,7 @@ def load_sweep_report(path: Union[str, Path]) -> SweepReport:
             CellOutcome(
                 key=entry["key"],
                 status=entry["status"],
-                result=entry.get("result"),
+                result=_loaded_result(entry),
                 error=entry.get("error"),
                 attempts=int(entry.get("attempts", 0)),
             )

@@ -329,19 +329,28 @@ def _run_asynchronous_cell(payload: Dict[str, object]) -> Dict[str, object]:
         rows = _rows_from_batch_trace(
             problem, trace, cells, seeds, policies, attack
         )
-    else:
-        rows = asynchronous_sweep(
-            problem=problem,
-            staleness_bounds=[tau],
-            drop_rates=[drop_rate],
-            aggregators=[aggregator],
-            attack=attack,
-            policies=policies,
-            iterations=iterations,
-            seeds=seeds,
-            delay_high=delay_high,
-            engine="reference",
-        )
+        result: Dict[str, object] = {
+            "rows": [asdict(row) for row in rows]
+        }
+        quarantined = [
+            {**dict(record), "label": trace.labels[int(record["trial"])]}
+            for record in trace.quarantined
+        ]
+        if quarantined:
+            result["quarantined"] = quarantined
+        return result
+    rows = asynchronous_sweep(
+        problem=problem,
+        staleness_bounds=[tau],
+        drop_rates=[drop_rate],
+        aggregators=[aggregator],
+        attack=attack,
+        policies=policies,
+        iterations=iterations,
+        seeds=seeds,
+        delay_high=delay_high,
+        engine="reference",
+    )
     return {"rows": [asdict(row) for row in rows]}
 
 

@@ -37,6 +37,7 @@ import json
 import os
 import re
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -118,6 +119,11 @@ class CheckpointStore:
                 os.unlink(tmp)
             except OSError:
                 pass
+            # A failed write (ENOSPC, kill mid-write on a previous run)
+            # is exactly when stale temp files matter: they hold the
+            # space a retry needs.  Sweep the directory before
+            # propagating so the transient-retry path can succeed.
+            self.clean_orphans(sweep_hash)
             raise
         recorder = current_recorder()
         if recorder.enabled:
@@ -174,6 +180,41 @@ class CheckpointStore:
                 recorder.emit(
                     "checkpoint_read", key=key, result=status, bytes=size
                 )
+
+    def clean_orphans(
+        self, sweep_hash: str, max_age_seconds: float = 60.0
+    ) -> List[Path]:
+        """Remove stale ``*.tmp`` leftovers of killed or failed writers.
+
+        A worker killed between ``mkstemp`` and ``os.replace`` (or a
+        write that died on a full disk) leaves an orphaned temp file
+        that silently eats checkpoint-store space forever.  Only files
+        older than ``max_age_seconds`` go — a live concurrent writer's
+        temp file is milliseconds old — and every removal is reported on
+        the ambient recorder.  Returns the removed paths.
+        """
+        directory = self._spec_dir(sweep_hash)
+        removed: List[Path] = []
+        if not directory.is_dir():
+            return removed
+        cutoff = time.time() - max_age_seconds
+        for path in directory.glob("*.tmp"):
+            try:
+                if path.stat().st_mtime > cutoff:
+                    continue
+                path.unlink()
+            except OSError:
+                continue  # already gone, or actively being replaced
+            removed.append(path)
+        if removed:
+            recorder = current_recorder()
+            if recorder.enabled:
+                recorder.emit(
+                    "checkpoint_orphans_cleaned",
+                    count=len(removed),
+                    paths=[str(p) for p in removed],
+                )
+        return removed
 
     def discard(self, sweep_hash: str, key: str) -> None:
         """Remove one cell if present (used to drop partial engine states)."""

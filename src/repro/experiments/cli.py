@@ -410,6 +410,17 @@ def _finish_report(args: argparse.Namespace, report) -> None:
             f"[failed cell] {failed['key']} after {failed['attempts']} "
             f"attempt(s): {failed['error']}"
         )
+    for cell in report.quarantined_cells:
+        records = cell["quarantined"]
+        detail = "; ".join(
+            f"trial {r.get('label', r.get('trial'))} round {r.get('round')}"
+            f" ({r.get('reason')})"
+            for r in records
+        )
+        logger.warning(
+            f"[quarantined cell] {cell['key']}: {len(records)} trial(s) "
+            f"frozen — {detail}"
+        )
 
 
 def _run_table1(args: argparse.Namespace) -> str:

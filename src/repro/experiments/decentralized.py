@@ -108,8 +108,14 @@ def decentralized_sweep(
     iterations: int = 300,
     seeds: Sequence[int] = (0,),
     allow_disconnected: bool = False,
+    quarantined_out: Optional[List[Dict[str, object]]] = None,
 ) -> List[DecentralizedSweepRow]:
     """Run the topology × connectivity × f sweep; returns report rows.
+
+    ``quarantined_out``, when given, receives the engines' per-trial
+    quarantine records (enriched with topology and trial label) — the
+    rows themselves stay schema-stable, so existing consumers are
+    unaffected while the orchestrator can surface containment provenance.
 
     ``attacks`` containing ``None`` adds the fault-free baseline (``f = 0``,
     no Byzantine agent) for each topology × filter cell; named attacks run
@@ -164,6 +170,15 @@ def decentralized_sweep(
         )
         simulator.set_recorder(current_recorder())
         trace = simulator.run(iterations)
+        if quarantined_out is not None:
+            quarantined_out.extend(
+                {
+                    **dict(record),
+                    "topology": topology.name,
+                    "label": trace.labels[int(record["trial"])],
+                }
+                for record in trace.quarantined
+            )
         radii = trace.distances_to(problem.x_h)[:, -1]       # (S,)
         components = topology.connected_components()
         disconnected = len(components) > 1
@@ -228,6 +243,7 @@ def _run_decentralized_cell(payload: Dict[str, object]) -> Dict[str, object]:
     Rebuilds the default paper problem and the cell's topology from the
     JSON payload, so the cell reruns identically anywhere.
     """
+    quarantined: List[Dict[str, object]] = []
     rows = decentralized_sweep(
         problem=None,
         topologies=[deserialize_topology(payload["topology"])],
@@ -236,8 +252,12 @@ def _run_decentralized_cell(payload: Dict[str, object]) -> Dict[str, object]:
         iterations=int(payload["iterations"]),
         seeds=[int(s) for s in payload["seeds"]],
         allow_disconnected=bool(payload["allow_disconnected"]),
+        quarantined_out=quarantined,
     )
-    return {"rows": [asdict(row) for row in rows]}
+    result: Dict[str, object] = {"rows": [asdict(row) for row in rows]}
+    if quarantined:
+        result["quarantined"] = quarantined
+    return result
 
 
 def orchestrated_decentralized_sweep(

@@ -411,20 +411,29 @@ def _run_decentralized_delay_cell(
             _trace_diagnostics(problem, trace), topology.name, tau,
             drop_rate, policy, aggregators, attack, seeds,
         )
-    else:
-        rows = decentralized_delay_sweep(
-            problem=None,
-            topologies=[topology],
-            staleness_bounds=[tau],
-            drop_rates=[drop_rate],
-            aggregators=aggregators,
-            attack=attack,
-            policies={aggregator: policy for aggregator in aggregators},
-            iterations=iterations,
-            seeds=seeds,
-            delay_high=delay_high,
-            engine="reference",
-        )
+        result: Dict[str, object] = {
+            "rows": [asdict(row) for row in rows]
+        }
+        quarantined = [
+            {**dict(record), "label": trace.labels[int(record["trial"])]}
+            for record in trace.quarantined
+        ]
+        if quarantined:
+            result["quarantined"] = quarantined
+        return result
+    rows = decentralized_delay_sweep(
+        problem=None,
+        topologies=[topology],
+        staleness_bounds=[tau],
+        drop_rates=[drop_rate],
+        aggregators=aggregators,
+        attack=attack,
+        policies={aggregator: policy for aggregator in aggregators},
+        iterations=iterations,
+        seeds=seeds,
+        delay_high=delay_high,
+        engine="reference",
+    )
     return {"rows": [asdict(row) for row in rows]}
 
 

@@ -47,6 +47,7 @@ import multiprocessing
 import random
 import time
 import traceback
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -201,6 +202,26 @@ class SweepReport:
             if o.status == "failed"
         ]
 
+    @property
+    def quarantined_cells(self) -> List[Dict[str, object]]:
+        """Provenance of every usable cell that froze trials mid-run.
+
+        Unlike ``failed_cells`` these cells *returned* — their surviving
+        trials are real results — but some trials were quarantined by the
+        engine's health guard (non-finite iterate, divergence, aggregator
+        refusal).  Each entry carries the cell key plus the engine's
+        per-trial quarantine records, so a post-mortem can name the exact
+        trial, round, and reason without re-running anything.
+        """
+        flagged: List[Dict[str, object]] = []
+        for o in self.outcomes:
+            if o.status not in ("completed", "cached"):
+                continue
+            records = _quarantine_records(o.result)
+            if records:
+                flagged.append({"key": o.key, "quarantined": records})
+        return flagged
+
     def results(self) -> Dict[str, object]:
         """Usable cell results by key (completed plus cached)."""
         return {
@@ -208,6 +229,21 @@ class SweepReport:
             for o in self.outcomes
             if o.status in ("completed", "cached")
         }
+
+
+def _quarantine_records(result: object) -> List[Dict[str, object]]:
+    """The quarantine records a cell result carries, if any.
+
+    Cell workers attach the engine's per-trial quarantine summary under a
+    ``"quarantined"`` key; anything else (legacy results, non-dict
+    payloads) reads as clean.
+    """
+    if not isinstance(result, dict):
+        return []
+    records = result.get("quarantined")
+    if not isinstance(records, list):
+        return []
+    return [r for r in records if isinstance(r, dict)]
 
 
 # -- mid-trajectory engine checkpointing --------------------------------------
@@ -456,6 +492,7 @@ def _run_cells_supervised(
     worker: Callable[[Dict[str, object]], object],
     config: OrchestratorConfig,
     recorder: Recorder = NULL_RECORDER,
+    on_complete: Optional[Callable[[CellOutcome], None]] = None,
 ) -> List[CellOutcome]:
     """One supervised child process per attempt; jobs-wide concurrency."""
     methods = multiprocessing.get_all_start_methods()
@@ -475,6 +512,8 @@ def _run_cells_supervised(
             run.proc.join()
         if outcome is not None:
             outcomes.append(outcome)
+            if on_complete is not None:
+                on_complete(outcome)
         if retry is not None:
             pending.append(retry)
 
@@ -627,9 +666,16 @@ def _run_cells_in_process(
     worker: Callable[[Dict[str, object]], object],
     config: OrchestratorConfig,
     recorder: Recorder = NULL_RECORDER,
+    on_complete: Optional[Callable[[CellOutcome], None]] = None,
 ) -> List[CellOutcome]:
     """The unsupervised fast path: jobs=1, no timeout, same semantics."""
     outcomes: List[CellOutcome] = []
+
+    def settle(outcome: CellOutcome) -> None:
+        outcomes.append(outcome)
+        if on_complete is not None:
+            on_complete(outcome)
+
     for item in queue:
         key = item.cell.key
         attempt = item.attempt
@@ -674,7 +720,7 @@ def _run_cells_in_process(
                         error=message,
                         seconds=elapsed,
                     )
-                outcomes.append(
+                settle(
                     CellOutcome(
                         key=item.cell.key,
                         status="failed",
@@ -690,7 +736,7 @@ def _run_cells_in_process(
                     attempts=attempt,
                     seconds=time.monotonic() - started,
                 )
-            outcomes.append(
+            settle(
                 CellOutcome(
                     key=item.cell.key,
                     status="completed",
@@ -770,17 +816,55 @@ def run_sweep_cells(
             to_run = to_run[: config.max_cells]
             interrupted = True
 
+        def persist(outcome: CellOutcome) -> None:
+            # Checkpoints land the moment each cell completes, not at
+            # sweep end: a sweep killed -9 mid-run resumes from every
+            # cell that finished before the kill.
+            if outcome.status != "completed" or store is None:
+                return
+            try:
+                store.put(sweep_hash, outcome.key, outcome.result)
+            except OSError as exc:
+                # Disk full (or any filesystem trouble) on the
+                # parent-side checkpoint write must not discard a
+                # finished cell: the result stays in this report,
+                # only the on-disk copy is missing, so the cell
+                # simply re-runs on a future resume.
+                warnings.warn(
+                    f"checkpoint write failed for cell "
+                    f"{outcome.key!r} at "
+                    f"{store.path_for(sweep_hash, outcome.key)}: "
+                    f"{exc}; result kept in memory, cell will "
+                    f"re-run on resume",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                if rec.enabled:
+                    rec.emit(
+                        "checkpoint_write_failed",
+                        cell=outcome.key,
+                        error=str(exc),
+                    )
+
         queue = [_Attempt(cell=cell, attempt=1) for cell in to_run]
         supervised = config.jobs > 1 or config.cell_timeout is not None
         executed = (
-            _run_cells_supervised(queue, worker, config, rec)
+            _run_cells_supervised(queue, worker, config, rec, persist)
             if supervised
-            else _run_cells_in_process(queue, worker, config, rec)
+            else _run_cells_in_process(queue, worker, config, rec, persist)
         )
         for outcome in executed:
-            if outcome.status == "completed" and store is not None:
-                store.put(sweep_hash, outcome.key, outcome.result)
             by_key[outcome.key] = outcome
+        if rec.enabled:
+            for outcome in executed:
+                records = _quarantine_records(outcome.result)
+                if records:
+                    rec.emit(
+                        "cell_quarantined",
+                        cell=outcome.key,
+                        trials=len(records),
+                        records=records,
+                    )
 
         report = SweepReport(
             spec_hash=sweep_hash,

@@ -317,7 +317,7 @@ def _run_regression_cell(payload: Dict[str, object]) -> Dict[str, object]:
     else:
         trace = make_engine().set_recorder(current_recorder()).run(iterations)
     result = _results_from_batch_trace(problem, stack, trace, [name], [spec])[0]
-    return {
+    payload_out: Dict[str, object] = {
         "label": result.label,
         "aggregator": result.aggregator,
         "attack": result.attack,
@@ -329,6 +329,13 @@ def _run_regression_cell(payload: Dict[str, object]) -> Dict[str, object]:
         "distances": result.distances.tolist(),
         "estimates": result.estimates.tolist(),
     }
+    quarantined = [
+        {**dict(record), "label": trace.labels[int(record["trial"])]}
+        for record in trace.quarantined
+    ]
+    if quarantined:
+        payload_out["quarantined"] = quarantined
+    return payload_out
 
 
 def orchestrated_regression_sweep(

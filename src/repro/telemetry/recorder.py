@@ -151,8 +151,10 @@ class ProgressSink(EventSink):
             "cell_completed",
             "cell_failed",
             "cell_heartbeat",
+            "cell_quarantined",
             "round_chunk",
             "checkpoint_corrupt",
+            "trial_quarantined",
         }
     )
 
@@ -166,7 +168,8 @@ class ProgressSink(EventSink):
         cell = event.get("cell")
         detail: List[str] = []
         for key in ("attempt", "attempts", "error", "elapsed", "seconds",
-                    "iteration", "rounds_per_s", "delay", "key"):
+                    "iteration", "rounds_per_s", "delay", "key",
+                    "trial", "round", "reason"):
             if key in event:
                 value = event[key]
                 if isinstance(value, float):

@@ -61,11 +61,13 @@ class TestCGEAggregator:
         with pytest.raises(ValueError):
             CGEAggregator(f=-1)
 
-    def test_rejects_nonfinite(self):
+    def test_hostile_row_ranks_last_and_is_eliminated(self):
+        # Non-finite rows rank with norm +Inf, so CGE's elimination drops
+        # them instead of refusing the whole stack.
         grads = np.ones((3, 2))
         grads[0, 0] = np.nan
-        with pytest.raises(ValueError):
-            CGEAggregator(f=1).aggregate(grads)
+        out = CGEAggregator(f=1).aggregate(grads)
+        np.testing.assert_array_equal(out, np.array([2.0, 2.0]))
 
     def test_rejects_wrong_ndim(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,127 @@
+"""Hostile-payload property suite: every registered filter vs NaN/Inf/1e300.
+
+The Byzantine adversary of the paper may send **arbitrary** vectors —
+including non-finite and overflow-scale payloads.  The containment
+contract (DESIGN invariant 13) for every registered gradient-filter fed
+at most ``f`` hostile rows is:
+
+* return a **finite** aggregate (the tolerant filters absorb the rows), or
+* raise the typed :class:`~repro.health.QuarantineError` (the strict
+  filters refuse, and only on genuinely non-finite input),
+
+and in neither case emit a ``RuntimeWarning`` (no overflow/invalid-value
+storms: hostile rows must be excluded *before* any arithmetic that could
+warn).
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.aggregators import available_aggregators, make_aggregator
+from repro.health import QuarantineError
+
+# Bulyan is the binding capacity constraint: n >= 4f + 3.
+N = 11
+F = 2
+D = 3
+
+#: The adversary's palette: non-finite plus finite-but-overflow-scale.
+HOSTILE_VALUES = (
+    float("nan"),
+    float("inf"),
+    float("-inf"),
+    1e300,
+    -1e300,
+)
+
+honest_stacks = arrays(
+    dtype=np.float64,
+    shape=(N, D),
+    elements=st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False),
+)
+
+hostile_rows_strategy = st.lists(
+    st.integers(min_value=0, max_value=N - 1),
+    max_size=F,
+    unique=True,
+)
+
+hostile_row_values = st.lists(
+    st.sampled_from(HOSTILE_VALUES), min_size=D, max_size=D
+)
+
+
+@st.composite
+def hostile_case(draw):
+    """An (n, d) stack with at most f per-coordinate hostile rows."""
+    stack = draw(honest_stacks).copy()
+    rows = draw(hostile_rows_strategy)
+    for row in rows:
+        stack[row] = draw(hostile_row_values)
+    return stack, tuple(sorted(rows))
+
+
+@pytest.mark.parametrize("name", available_aggregators())
+@settings(max_examples=25, deadline=None)
+@given(case=hostile_case())
+def test_filter_is_finite_or_refuses_typed(name, case):
+    stack, hostile = case
+    aggregator = make_aggregator(name, N, F)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        try:
+            output = aggregator.aggregate(stack)
+        except QuarantineError:
+            # Refusal is reserved for the strict filters, and only for
+            # input that is genuinely non-finite: finite 1e300 payloads
+            # must flow through (the engine's divergence screen owns
+            # those).
+            assert aggregator.quarantines_on_nonfinite
+            assert not np.isfinite(stack).all()
+            return
+    assert output.shape == (D,)
+    assert np.isfinite(output).all(), (
+        f"{name} leaked non-finite output from hostile rows {hostile}"
+    )
+
+
+@pytest.mark.parametrize("name", available_aggregators())
+@settings(max_examples=10, deadline=None)
+@given(case=hostile_case())
+def test_batch_kernel_matches_hostile_contract(name, case):
+    """The batched front door keeps the same finite-or-refuse contract."""
+    stack, hostile = case
+    aggregator = make_aggregator(name, N, F)
+    batch = np.stack([stack, np.zeros((N, D))])
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        try:
+            output = aggregator.aggregate_batch(batch)
+        except QuarantineError:
+            assert aggregator.quarantines_on_nonfinite
+            assert not np.isfinite(stack).all()
+            return
+    assert output.shape == (2, D)
+    assert np.isfinite(output).all(), (
+        f"{name} batch kernel leaked non-finite output from rows {hostile}"
+    )
+
+
+@pytest.mark.parametrize("name", available_aggregators())
+def test_strict_refusal_names_rows_and_round(name):
+    """A strict refusal carries structured provenance, not free text only."""
+    aggregator = make_aggregator(name, N, F)
+    if not aggregator.quarantines_on_nonfinite:
+        pytest.skip(f"{name} tolerates non-finite rows")
+    stack = np.zeros((N, D))
+    stack[3, 1] = float("nan")
+    with pytest.raises(QuarantineError) as excinfo:
+        aggregator.aggregate(stack)
+    error = excinfo.value
+    assert error.agent_indices == (3,)
+    assert "3" in str(error)

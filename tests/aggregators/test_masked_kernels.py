@@ -17,6 +17,7 @@ from repro.aggregators import (
     masked_median_batch,
     masked_trimmed_mean_batch,
 )
+from repro.health import QuarantineError
 
 S, N, K, D = 3, 5, 6, 2
 
@@ -253,11 +254,30 @@ class TestValidation:
             masked_cge_batch(values, mask, 1), masked_cge_batch(junk, mask, 1)
         )
 
-    def test_non_finite_valid_entries_rejected(self):
+    def test_strict_mean_kernel_names_receivers_and_aggregator(self):
         values = np.zeros((S, N, K, D))
-        values[0, 0, 0, 0] = np.nan
-        with pytest.raises(ValueError, match="non-finite"):
-            masked_median_batch(values, np.ones((N, K), dtype=bool))
+        values[1, 2, 0, 0] = np.nan
+        with pytest.raises(QuarantineError) as excinfo:
+            masked_mean_batch(
+                values, np.ones((N, K), dtype=bool), label="'mean' (MeanAggregator)"
+            )
+        message = str(excinfo.value)
+        assert "non-finite" in message
+        assert "agents [2]" in message
+        assert "trials [1]" in message
+        assert "'mean' (MeanAggregator)" in message
+        assert excinfo.value.agent_indices == (2,)
+        assert excinfo.value.trial_indices == (1,)
+
+    def test_order_statistic_kernels_tolerate_hostile_valid_entries(self):
+        # The tolerant kernels rank NaN/±Inf with the extremes instead of
+        # refusing, so one hostile message per neighborhood is trimmed away.
+        values = np.zeros((S, N, K, D))
+        values[:, :, 0, :] = np.nan
+        mask = np.ones((N, K), dtype=bool)
+        assert np.isfinite(masked_median_batch(values, mask)).all()
+        assert np.isfinite(masked_trimmed_mean_batch(values, mask, 1)).all()
+        assert np.isfinite(masked_cge_batch(values, mask, 1)).all()
 
 
 class TestDispatch:

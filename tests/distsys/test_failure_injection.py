@@ -61,10 +61,27 @@ def build(faulty_ids=(3,), attack=None, silent_after=None, n=4):
 
 
 class TestMalformedGradients:
-    def test_nan_gradients_rejected_loudly(self):
+    def test_nan_gradients_contained_by_robust_filter(self):
+        # CGE ranks the NaN row last and eliminates it: with <= f hostile
+        # agents the run completes, never quarantines, and stays finite.
         sim = build(attack=NaNAttack())
-        with pytest.raises(ValueError, match="non-finite"):
-            sim.step()
+        trace = sim.run(20)
+        assert trace.quarantine is None
+        assert np.isfinite(sim.estimate).all()
+        assert not any(r.quarantined for r in trace)
+
+    def test_nan_gradients_quarantine_strict_filter(self):
+        # The mean filter declares quarantines_on_nonfinite: the run is
+        # frozen (reason aggregator_refused) instead of crashing.
+        sim = build(attack=NaNAttack())
+        sim.server.aggregator = MeanAggregator()
+        trace = sim.run(5)
+        assert trace.quarantine == {
+            "round": 0,
+            "reason": "aggregator_refused",
+        }
+        assert np.isfinite(sim.estimate).all()
+        assert all(r.quarantined for r in trace)
 
     def test_incomplete_attack_detected(self):
         sim = build(attack=IncompleteAttack())
@@ -137,8 +154,17 @@ class TestAggregatorInputGuards:
         with pytest.raises(ValueError):
             MeanAggregator().aggregate(np.empty((0, 3)))
 
-    def test_inf_rejected(self):
+    def test_inf_row_ranked_last_and_eliminated(self):
         grads = np.ones((4, 2))
         grads[1, 0] = np.inf
-        with pytest.raises(ValueError):
-            CGEAggregator(f=1).aggregate(grads)
+        out = CGEAggregator(f=1).aggregate(grads)
+        # CGE sums the n - f smallest-norm rows: the three finite ones.
+        np.testing.assert_array_equal(out, np.array([3.0, 3.0]))
+
+    def test_strict_mean_refuses_inf_with_typed_error(self):
+        from repro.health import QuarantineError
+
+        grads = np.ones((4, 2))
+        grads[1, 0] = np.inf
+        with pytest.raises(QuarantineError, match="non-finite"):
+            MeanAggregator().aggregate(grads)
