@@ -19,6 +19,13 @@ Three gates run over every freshly-regenerated ``BENCH_*.json``:
   telemetry layer's contract is that the default null recorder costs the
   engine hot loop at most one attribute check per round, and a growing
   fraction means instrumentation leaked into the disabled path.
+* **scaling curve** — files reporting a ``throughput`` table
+  (``BENCH_scale.json``) fail when any per-point fresh throughput drops
+  more than ``--throughput-threshold`` (default 50%, looser than the
+  speedup gate because raw agent-rounds/s varies across CI machines)
+  below its baseline, or when ``max_abs_error_vs_reference`` exceeds
+  ``--error-tolerance`` (default 0.0: a windowed trace *selects* rounds,
+  it never perturbs them, so the small-n reference pin is exact).
 
 Files reporting none of these fields are listed but never gate; a baseline file
 whose fresh counterpart is *missing* fails loudly (a deleted bench is a
@@ -45,12 +52,23 @@ def load_field(path: Path, field: str):
     return None if value is None else float(value)
 
 
+def load_table(path: Path, field: str):
+    """The file's ``field`` dict of floats, or None when absent."""
+    payload = json.loads(path.read_text())
+    value = payload.get(field)
+    if value is None:
+        return None
+    return {key: float(entry) for key, entry in value.items()}
+
+
 def check(
     baseline_dir: Path,
     fresh_dir: Path,
     threshold: float,
     gap_tolerance: float,
     overhead_tolerance: float,
+    throughput_threshold: float,
+    error_tolerance: float,
 ) -> int:
     baselines = sorted(baseline_dir.glob("BENCH_*.json"))
     if not baselines:
@@ -64,7 +82,23 @@ def check(
         gated_overhead = load_field(
             baseline_path, "disabled_overhead_fraction"
         )
-        if baseline is None and gated_gap is None and gated_overhead is None:
+        gated_throughput = load_table(baseline_path, "throughput")
+        # Exact-zero reference pinning only applies to scaling-curve
+        # artifacts (the windowed trace selects rounds, it never perturbs
+        # them); other benches report a max_abs_error_vs_reference with a
+        # float-tolerance meaning and are covered by their own gates.
+        gated_error = (
+            load_field(baseline_path, "max_abs_error_vs_reference")
+            if gated_throughput is not None
+            else None
+        )
+        if (
+            baseline is None
+            and gated_gap is None
+            and gated_overhead is None
+            and gated_throughput is None
+            and gated_error is None
+        ):
             print(f"  {name}: no gated fields in baseline (not gated)")
             continue
         fresh_path = fresh_dir / name
@@ -140,6 +174,63 @@ def check(
                         f"{overhead_tolerance:.0%} — instrumentation "
                         "leaked into the disabled engine hot loop"
                     )
+        if gated_throughput is not None:
+            fresh_table = load_table(fresh_path, "throughput")
+            if fresh_table is None:
+                failures.append(
+                    f"{name}: fresh artifact dropped its throughput table"
+                )
+            else:
+                for point, base_rate in sorted(gated_throughput.items()):
+                    fresh_rate = fresh_table.get(point)
+                    if fresh_rate is None:
+                        failures.append(
+                            f"{name}: fresh throughput table dropped "
+                            f"point {point!r}"
+                        )
+                        continue
+                    floor = (1.0 - throughput_threshold) * base_rate
+                    # ``not (>= floor)`` so a NaN rate fails instead of
+                    # slipping through both comparisons.
+                    regressed = not fresh_rate >= floor
+                    verdict = "REGRESSION" if regressed else "ok"
+                    print(
+                        f"  {name}: {point} throughput {fresh_rate:,.0f}/s "
+                        f"vs baseline {base_rate:,.0f}/s "
+                        f"(floor {floor:,.0f}/s) — {verdict}"
+                    )
+                    if regressed:
+                        failures.append(
+                            f"{name}: {point} throughput "
+                            f"{fresh_rate:,.0f}/s fell more than "
+                            f"{throughput_threshold:.0%} below the "
+                            f"committed {base_rate:,.0f}/s"
+                        )
+        if gated_error is not None:
+            fresh_error = load_field(
+                fresh_path, "max_abs_error_vs_reference"
+            )
+            if fresh_error is None:
+                failures.append(
+                    f"{name}: fresh artifact dropped its "
+                    "max_abs_error_vs_reference field"
+                )
+            else:
+                # ``not (<= tolerance)`` so a NaN error (diverged
+                # engines) fails instead of slipping through.
+                drifted = not fresh_error <= error_tolerance
+                verdict = "CONTRACT BROKEN" if drifted else "ok"
+                print(
+                    f"  {name}: max abs error vs reference "
+                    f"{fresh_error:.3g} (tolerance {error_tolerance:.3g}) "
+                    f"— {verdict}"
+                )
+                if drifted:
+                    failures.append(
+                        f"{name}: max abs error vs reference "
+                        f"{fresh_error:.3g} exceeds {error_tolerance:.3g} "
+                        "— the windowed trace perturbed the dynamics"
+                    )
     if failures:
         print("bench-regression gate FAILED:")
         for failure in failures:
@@ -180,6 +271,20 @@ def main(argv=None) -> int:
         help="maximum tolerated disabled-telemetry overhead fraction "
         "(default 0.03)",
     )
+    parser.add_argument(
+        "--throughput-threshold",
+        type=float,
+        default=0.50,
+        help="maximum tolerated fractional per-point throughput drop in "
+        "scaling-curve tables (default 0.50)",
+    )
+    parser.add_argument(
+        "--error-tolerance",
+        type=float,
+        default=0.0,
+        help="maximum tolerated max_abs_error_vs_reference (default 0.0: "
+        "the windowed-trace reference pin is exact)",
+    )
     args = parser.parse_args(argv)
     if not 0.0 <= args.threshold < 1.0:
         parser.error("threshold must be in [0, 1)")
@@ -187,12 +292,18 @@ def main(argv=None) -> int:
         parser.error("gap tolerance must be non-negative")
     if args.overhead_tolerance < 0.0:
         parser.error("overhead tolerance must be non-negative")
+    if not 0.0 <= args.throughput_threshold < 1.0:
+        parser.error("throughput threshold must be in [0, 1)")
+    if args.error_tolerance < 0.0:
+        parser.error("error tolerance must be non-negative")
     return check(
         Path(args.baseline),
         Path(args.fresh),
         args.threshold,
         args.gap_tolerance,
         args.overhead_tolerance,
+        args.throughput_threshold,
+        args.error_tolerance,
     )
 
 

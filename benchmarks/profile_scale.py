@@ -1,0 +1,83 @@
+"""cProfile harness for the large-n decentralized scaling path.
+
+Future scaling PRs should start from data: this script runs the
+``BENCH_scale.json`` workload's headline cell — the decentralized CWTM
+engine under ``gradient_reverse`` on a sparse graph with a windowed
+trace — under cProfile and prints the top cumulative hotspots (also
+persisted to ``benchmarks/results/profile_scale.txt``).  The ring and
+random-regular topologies exercise the CSR neighbor gathers and the
+degree-grouped masked kernels respectively.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_scale.py
+        [--n 1024] [--topology ring|random_regular]
+        [--iterations 60] [--trace-stride 15] [--top 20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.telemetry.profiling import persist_report, profile_callable
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from test_bench_scale import run_scale_cell  # noqa: E402
+
+
+def profile_cell(
+    topology: str, n: int, iterations: int, stride: int, top: int
+) -> str:
+    """Profile one scaling cell; returns the formatted hotspot table."""
+    import test_bench_scale
+
+    # The bench module pins its workload constants; override them so the
+    # harness can sweep sizes without editing the bench.
+    test_bench_scale.ITERATIONS = iterations
+    _, hotspots, _ = profile_callable(
+        lambda: run_scale_cell(topology, n, trace_rounds=stride),
+        top=top,
+    )
+    header = (
+        f"decentralized scale profile — topology={topology}, n={n}, "
+        f"iterations={iterations}, trace stride={stride}\n"
+    )
+    return header + hotspots
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=1024)
+    parser.add_argument(
+        "--topology",
+        choices=("ring", "random_regular"),
+        default="ring",
+    )
+    parser.add_argument("--iterations", type=int, default=60)
+    parser.add_argument("--trace-stride", type=int, default=15)
+    parser.add_argument(
+        "--top", type=int, default=20, help="hotspots to print"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).parent / "results" / "profile_scale.txt"
+        ),
+        help="where to persist the hotspot table",
+    )
+    args = parser.parse_args(argv)
+
+    report = profile_cell(
+        args.topology, args.n, args.iterations, args.trace_stride, args.top
+    )
+    print(report)
+    out = persist_report(report, args.out)
+    print(f"persisted to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,8 @@ from .geometric_median import (
 from .krum import KrumAggregator, MultiKrumAggregator, krum_scores, krum_scores_batch
 from .masked import (
     aggregator_label,
+    degree_grouped_kernel_for,
+    front_packed_counts,
     masked_cge_batch,
     masked_kernel_for,
     masked_mean_batch,
@@ -72,5 +74,7 @@ __all__ = [
     "masked_cge_batch",
     "masked_kernel_for",
     "masked_partial_kernel_for",
+    "degree_grouped_kernel_for",
+    "front_packed_counts",
     "aggregator_label",
 ]

@@ -27,6 +27,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..backend import xp
 from ..health import (
     OVERFLOW_LIMIT,
     QuarantineError,
@@ -42,6 +43,8 @@ __all__ = [
     "masked_cge_batch",
     "masked_kernel_for",
     "masked_partial_kernel_for",
+    "front_packed_counts",
+    "degree_grouped_kernel_for",
     "masked_min_attendance",
     "masked_min_attendance_for_tolerance",
     "aggregate_batch_masked",
@@ -72,12 +75,12 @@ def _check_masked(
     :class:`~repro.health.QuarantineError` naming the receiving agents,
     the affected trials, the ambient round, and the aggregator ``label``.
     """
-    values = np.asarray(values, dtype=float)
+    values = xp.asarray(values, dtype=float)
     if values.ndim != 4:
         raise ValueError(
             f"expected (S, n, k, d) neighborhood stacks, got shape {values.shape}"
         )
-    mask = np.asarray(mask, dtype=bool)
+    mask = xp.asarray(mask, dtype=bool)
     if mask.shape != values.shape[1:3]:
         raise ValueError(
             f"mask shape {mask.shape} does not match neighborhoods "
@@ -89,11 +92,11 @@ def _check_masked(
     # Finite check on the valid slots only — invalid slots may hold
     # arbitrary padding.  OR-ing the inverted mask beats the boolean
     # fancy-index gather the engines would otherwise pay per kernel call.
-    finite_ok = bool(np.all(np.isfinite(values) | ~mask[None, :, :, None]))
+    finite_ok = bool((np.isfinite(values) | ~mask[None, :, :, None]).all())
     if not finite_ok and not allow_nonfinite:
         bad = ~np.isfinite(values) & mask[None, :, :, None]
-        receivers = np.nonzero(bad.any(axis=(0, 2, 3)))[0]
-        trials = np.nonzero(bad.any(axis=(1, 2, 3)))[0]
+        receivers = xp.to_numpy(xp.nonzero(bad.any(axis=(0, 2, 3)))[0])
+        trials = xp.to_numpy(xp.nonzero(bad.any(axis=(1, 2, 3)))[0])
         round_index, context_label = current_round_context()
         label = label if label is not None else context_label
         parts = [
@@ -118,8 +121,8 @@ def _check_masked(
 def _take_slot(csum: np.ndarray, slot: np.ndarray) -> np.ndarray:
     """Per-agent gather along the slot axis: ``csum[s, i, slot[i], :]``."""
     s, n, k, d = csum.shape
-    flat = np.ascontiguousarray(csum).reshape(s, n * k, d)
-    return flat[:, np.arange(n) * k + slot, :]
+    flat = xp.ascontiguousarray(csum).reshape(s, n * k, d)
+    return flat[:, xp.arange(n) * k + slot, :]
 
 
 def masked_mean_batch(
@@ -134,7 +137,7 @@ def masked_mean_batch(
     """
     _count_kernel("mean")
     values, mask, counts, _ = _check_masked(values, mask, label=label)
-    weighted = np.where(mask[None, :, :, None], values, 0.0)
+    weighted = xp.where(mask[None, :, :, None], values, 0.0)
     return weighted.sum(axis=2) / counts[None, :, None]
 
 
@@ -142,9 +145,9 @@ def _per_receiver_tolerance(
     tolerance, counts: np.ndarray, name: str
 ) -> np.ndarray:
     """Broadcast a scalar or per-receiver tolerance to ``counts``' shape."""
-    arr = np.asarray(tolerance, dtype=int)
+    arr = xp.asarray(tolerance, dtype=int)
     if arr.ndim == 0:
-        arr = np.broadcast_to(arr, counts.shape)
+        arr = xp.broadcast_to(arr, counts.shape)
     elif arr.shape != counts.shape:
         raise ValueError(
             f"per-receiver {name} has shape {arr.shape}, expected scalar "
@@ -185,38 +188,38 @@ def masked_trimmed_mean_batch(
     trim = _per_receiver_tolerance(trim, counts, "trim")
     kept = counts - 2 * trim
     if kept.min() < 1:
-        worst = int(np.argmin(kept))
+        worst = int(kept.argmin())
         raise ValueError(
             f"agent {worst} has {int(counts[worst])} messages, cannot trim "
             f"{int(trim[worst])} from both sides"
         )
-    padded = np.where(mask[None, :, :, None], values, np.inf)
-    ordered = np.sort(padded, axis=2)
+    padded = xp.where(mask[None, :, :, None], values, np.inf)
+    ordered = xp.sort(padded, axis=2)
     hostile = not finite_ok
     if not hostile:
         # Cheap overflow screen: only the extreme order statistics of each
         # valid region can exceed the moderate band, so two slot gathers
         # replace a full pass over the stack.
-        smallest = _take_slot(ordered, np.zeros_like(counts))
+        smallest = _take_slot(ordered, xp.zeros_like(counts))
         largest = _take_slot(ordered, counts - 1)
         hostile = bool(
             (np.abs(smallest) > OVERFLOW_LIMIT).any()
             or (np.abs(largest) > OVERFLOW_LIMIT).any()
         )
     if hostile:
-        slots = np.arange(ordered.shape[2])
+        slots = xp.arange(ordered.shape[2])
         keep_slot = (slots[None, :] >= trim[:, None]) & (
             slots[None, :] <= (counts - trim - 1)[:, None]
         )  # (n, k): the slots whose sum the subtraction actually keeps
-        ordered = np.where(keep_slot[None, :, :, None], ordered, 0.0)
+        ordered = xp.where(keep_slot[None, :, :, None], ordered, 0.0)
         with np.errstate(invalid="ignore", over="ignore"):
-            csum = np.cumsum(ordered, axis=2)
+            csum = xp.cumsum(ordered, axis=2)
     else:
-        csum = np.cumsum(ordered, axis=2)
+        csum = xp.cumsum(ordered, axis=2)
     upper = _take_slot(csum, counts - trim - 1)
     if trim.any():
         lower = _take_slot(csum, np.maximum(trim - 1, 0))
-        upper = upper - np.where((trim > 0)[None, :, None], lower, 0.0)
+        upper = upper - xp.where((trim > 0)[None, :, None], lower, 0.0)
     return upper / kept[None, :, None]
 
 
@@ -232,8 +235,8 @@ def masked_median_batch(values: np.ndarray, mask: np.ndarray) -> np.ndarray:
     values, mask, counts, finite_ok = _check_masked(
         values, mask, allow_nonfinite=True
     )
-    padded = np.where(mask[None, :, :, None], values, np.inf)
-    ordered = np.sort(padded, axis=2)
+    padded = xp.where(mask[None, :, :, None], values, np.inf)
+    ordered = xp.sort(padded, axis=2)
     low = _take_slot(ordered, (counts - 1) // 2)
     high = _take_slot(ordered, counts // 2)
     if finite_ok:
@@ -263,38 +266,38 @@ def masked_cge_batch(
     f = _per_receiver_tolerance(f, counts, "f")
     kept = counts - f
     if kept.min() < 1:
-        worst = int(np.argmin(kept))
+        worst = int(kept.argmin())
         raise ValueError(
             f"agent {worst} has {int(counts[worst])} messages, cannot "
             f"eliminate f={int(f[worst])}"
         )
     # Zero out invalid slots before the norm: they may hold arbitrary junk
     # (padding), and norming junk can overflow even though it is never kept.
-    safe = np.where(mask[None, :, :, None], values, 0.0)
+    safe = xp.where(mask[None, :, :, None], values, 0.0)
     with np.errstate(over="ignore", invalid="ignore"):
-        raw = np.linalg.norm(safe, axis=3)
-    norms = np.where(mask[None, :, :] & np.isfinite(raw), raw, np.inf)
-    hostile = not bool(np.all(np.isfinite(raw) | ~mask[None, :, :]))
-    order = np.argsort(norms, axis=2, kind="stable")
-    gathered = np.take_along_axis(values, order[:, :, :, None], axis=2)
+        raw = xp.norm(safe, axis=3)
+    norms = xp.where(mask[None, :, :] & np.isfinite(raw), raw, np.inf)
+    hostile = not bool((np.isfinite(raw) | ~mask[None, :, :]).all())
+    order = xp.argsort(norms, axis=2, kind="stable")
+    gathered = xp.take_along_axis(values, order[:, :, :, None], axis=2)
     if hostile:
         # Every +Inf-ranked slot (invalid padding or hostile message) sits
         # past the kept prefix when at most f messages are hostile; zeroing
         # them keeps the prefix sums exact and warning-free.  Receivers
         # past the breakdown point — fewer finite-norm messages than they
         # must keep — are forced to NaN instead of a silently wrong sum.
-        dropped = np.take_along_axis(np.isinf(norms), order, axis=2)
-        gathered = np.where(dropped[:, :, :, None], 0.0, gathered)
+        dropped = xp.take_along_axis(np.isinf(norms), order, axis=2)
+        gathered = xp.where(dropped[:, :, :, None], 0.0, gathered)
         with np.errstate(invalid="ignore", over="ignore"):
-            csum = np.cumsum(gathered, axis=2)
+            csum = xp.cumsum(gathered, axis=2)
     else:
-        csum = np.cumsum(gathered, axis=2)
+        csum = xp.cumsum(gathered, axis=2)
     total = _take_slot(csum, kept - 1)
     if hostile:
         finite_counts = np.isfinite(norms).sum(axis=2)  # (S, n)
         broken = kept[None, :] > finite_counts
         if broken.any():
-            total = np.where(broken[:, :, None], np.nan, total)
+            total = xp.where(broken[:, :, None], np.nan, total)
     if average:
         return total / kept[None, :, None]
     return total
@@ -346,6 +349,81 @@ def masked_kernel_for(
     return None
 
 
+def front_packed_counts(mask: np.ndarray) -> Optional[np.ndarray]:
+    """Per-row valid counts when ``mask`` rows are front-packed, else ``None``.
+
+    A mask is *front-packed* when every row lists its valid slots as a
+    contiguous prefix — the layout
+    :meth:`repro.distsys.topology.CommunicationTopology.neighborhoods`
+    produces (ascending sender id, padding at the tail).  Degree-grouped
+    dispatch requires it: slicing a bucket's prefix then yields a dense
+    stack with no invalid slots.
+    """
+    mask = xp.asarray(mask, dtype=bool)
+    if mask.ndim != 2:
+        raise ValueError(f"expected an (n, k) mask, got shape {mask.shape}")
+    counts = mask.sum(axis=1)
+    slots = xp.arange(mask.shape[1])
+    if bool((mask == (slots[None, :] < counts[:, None])).all()):
+        return counts
+    return None
+
+
+def degree_grouped_kernel_for(
+    aggregator, mask: np.ndarray
+) -> Optional[Callable[[np.ndarray], np.ndarray]]:
+    """Degree-bucketed dense dispatch over a *static* validity mask.
+
+    The masked kernels pad every neighborhood to the widest degree ``k``
+    and drag that padding through every sort and prefix sum.  When the
+    mask is static (a topology's closed in-neighborhoods) and
+    front-packed, receivers can instead be bucketed by valid count: each
+    bucket's prefix slice ``values[:, ids, :degree, :]`` is dense, so the
+    plain ``aggregate_batch`` kernel applies per bucket — no mask
+    machinery, no widest-pad work, and on a mostly-regular graph the
+    ragged cost is paid only by the odd-degree buckets.  Agrees with the
+    one-shot masked kernel to float rounding (the masked kernels reduce
+    the same valid slots in the same order).
+
+    Returns a ``(S, n, k, d) -> (S, n, d)`` callable closed over the
+    bucket plan, or ``None`` when the aggregator has no masked kernel or
+    the mask is not front-packed — callers fall back to the masked
+    kernel.
+    """
+    if masked_kernel_for(aggregator) is None:
+        return None
+    counts = front_packed_counts(mask)
+    if counts is None:
+        return None
+    counts = xp.to_numpy(counts)
+    buckets = [
+        (int(degree), np.flatnonzero(counts == degree))
+        for degree in np.unique(counts)
+    ]
+    n = int(counts.shape[0])
+
+    def dispatch(values: np.ndarray) -> np.ndarray:
+        _count_kernel("degree_grouped")
+        values = xp.asarray(values, dtype=float)
+        if values.ndim != 4 or values.shape[1] != n:
+            raise ValueError(
+                f"expected (S, {n}, k, d) neighborhood stacks, got shape "
+                f"{values.shape}"
+            )
+        s, d = values.shape[0], values.shape[3]
+        out = xp.empty((s, n, d))
+        for degree, ids in buckets:
+            dense = values[:, ids, :degree, :].reshape(
+                s * ids.size, degree, d
+            )
+            out[:, ids] = aggregator.aggregate_batch(dense).reshape(
+                s, ids.size, d
+            )
+        return out
+
+    return dispatch
+
+
 def aggregate_batch_masked(
     aggregator, values: np.ndarray, mask: np.ndarray
 ) -> np.ndarray:
@@ -366,12 +444,12 @@ def aggregate_batch_masked(
         raise ValueError(
             f"aggregator {aggregator_label(aggregator)} has no masked kernel"
         )
-    values = np.asarray(values, dtype=float)
+    values = xp.asarray(values, dtype=float)
     if values.ndim != 3:
         raise ValueError(
             f"expected (S, n, d) gradient stacks, got shape {values.shape}"
         )
-    mask = np.asarray(mask, dtype=bool)
+    mask = xp.asarray(mask, dtype=bool)
     if mask.shape != values.shape[:2]:
         raise ValueError(
             f"mask shape {mask.shape} does not match stacks "
@@ -453,13 +531,13 @@ def masked_min_attendance_for_tolerance(aggregator, tolerance) -> np.ndarray:
     from .cge import CGEAggregator
     from .trimmed_mean import CWTMAggregator
 
-    tolerance = np.asarray(tolerance, dtype=int)
+    tolerance = xp.asarray(tolerance, dtype=int)
     if isinstance(aggregator, CGEAggregator):  # includes AveragedCGE
         return tolerance + 1
     if isinstance(aggregator, CWTMAggregator):
         return 2 * tolerance + 1
     if masked_kernel_for(aggregator) is not None:
-        return np.ones_like(tolerance)
+        return xp.ones_like(tolerance)
     raise ValueError(
         f"aggregator {aggregator_label(aggregator)} has no masked kernel"
     )

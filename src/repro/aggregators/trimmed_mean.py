@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..backend import xp
 from .base import (
     GradientAggregator,
     check_attendance,
@@ -66,7 +67,7 @@ def trimmed_mean_batch(stacks: np.ndarray, trim: int) -> np.ndarray:
     require_fault_capacity(n, 2 * trim, minimum_honest=1)
     if trim == 0:
         return arr.mean(axis=1)
-    partitioned = np.partition(arr, (trim, n - trim - 1), axis=1)
+    partitioned = xp.partition(arr, (trim, n - trim - 1), axis=1)
     return partitioned[:, trim : n - trim].mean(axis=1)
 
 
@@ -115,14 +116,14 @@ def nan_last_median(arr: np.ndarray, axis: int) -> np.ndarray:
     non-finite when half the entries are hostile — past any filter's
     breakdown point — and the ``errstate`` keeps even that case silent.
     """
-    ordered = np.sort(arr, axis=axis)
+    ordered = xp.sort(arr, axis=axis)
     n = arr.shape[axis]
     mid = n // 2
     if n % 2 == 1:
-        return np.take(ordered, mid, axis=axis)
-    lo = np.take(ordered, mid - 1, axis=axis)
-    hi = np.take(ordered, mid, axis=axis)
-    with np.errstate(invalid="ignore", over="ignore"):
+        return xp.take(ordered, mid, axis=axis)
+    lo = xp.take(ordered, mid - 1, axis=axis)
+    hi = xp.take(ordered, mid, axis=axis)
+    with xp.errstate(invalid="ignore", over="ignore"):
         return 0.5 * (lo + hi)
 
 
@@ -144,5 +145,5 @@ class CoordinateWiseMedian(GradientAggregator):
     def aggregate_batch(self, stacks: np.ndarray) -> np.ndarray:
         arr = validate_gradient_batch(stacks, allow_nonfinite=True)
         if np.isfinite(arr).all():
-            return np.median(arr, axis=1)
+            return xp.median(arr, axis=1)
         return nan_last_median(arr, axis=1)

@@ -1,0 +1,374 @@
+"""Pluggable array backend for the tensor programs — the ``xp`` shim.
+
+Every batched engine in this repository is a lockstep tensor program: one
+einsum per observation, one sort/cumsum kernel per aggregation, one fused
+update per projection.  Those programs used to be hard-wired to NumPy; this
+package puts a thin, explicit seam between them and the array library so
+the same einsum programs can run on NumPy today and CuPy/torch tomorrow.
+
+The seam is the module-level :data:`xp` proxy::
+
+    from repro.backend import xp
+
+    ordered = xp.sort(padded, axis=2)       # resolved on the active backend
+    total = xp.einsum("snm,nmd->snd", r, d)
+
+``xp`` forwards every attribute access to the *active*
+:class:`ArrayBackend` — by default the NumPy backend, whose ops **are** the
+``numpy`` functions themselves, so routing through the shim changes no
+float anywhere and costs one attribute indirection per call.
+
+Contract (DESIGN.md, "Array backend" / invariant 14):
+
+* **Backend choice never perturbs results.**  All backends must produce
+  results within 1e-9 of the NumPy backend on the pinned engine suites;
+  the NumPy and strict backends are bit-identical by construction.
+* **float64 everywhere.**  The engines' dtype rule is double precision;
+  a backend whose default dtype differs must still return float64 results
+  (``ArrayBackend.float_dtype`` names the expected dtype).
+* **RNG stays NumPy.**  Every seeded stream (trial attack streams, network
+  pre-sampling, topology generators) is a ``numpy.random.Generator`` on
+  every backend, so seeds mean the same thing everywhere; draws cross into
+  backend-land through ordinary arithmetic or :meth:`ArrayBackend.asarray`.
+* **``to_numpy`` is the boundary.**  Public traces, attack contexts,
+  projection sets and schedules are NumPy-facing; engines convert with
+  ``xp.to_numpy(...)`` (a zero-copy view on the NumPy backend) before
+  crossing, and re-enter with ``xp.asarray(...)``.
+
+Backends are registered by name (:func:`register_backend`) and selected by
+the ``REPRO_BACKEND`` environment variable (read once, lazily) or the
+:func:`use_backend` context manager (which wins while active).  Built-ins:
+
+* ``numpy`` — the default; ops are the NumPy functions themselves.
+* ``strict`` — NumPy semantics on a guarded ``ndarray`` subclass whose
+  ``__array_function__`` raises :class:`~repro.backend.strict.BackendBypassError`
+  for any dispatched ``np.*`` call that did not come through the shim.
+  The backend-contract test suite runs the engines under it to prove the
+  hot paths have no stray ``np.`` calls.
+* ``cupy`` / ``torch`` — entry-point stubs: registered so tooling can name
+  them, raising a clear ``ImportError`` when the library is absent (this
+  container ships neither); the CuPy mapping is NumPy-API shaped, the
+  torch mapping renames the divergent ops and is marked experimental.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "BackendBypassError",
+    "xp",
+    "active_backend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "use_backend",
+]
+
+
+#: NumPy-named ops every backend must expose.  These are exactly the
+#: dispatched / creation calls the hot tensor paths make; element-wise
+#: arithmetic goes through operators (ufuncs), which every array type
+#: implements natively and the shim deliberately does not wrap.
+ARRAY_OPS = (
+    # creation / coercion
+    "asarray",
+    "ascontiguousarray",
+    "array",
+    "zeros",
+    "zeros_like",
+    "empty",
+    "empty_like",
+    "ones",
+    "ones_like",
+    "full",
+    "full_like",
+    "arange",
+    "eye",
+    # structure
+    "where",
+    "stack",
+    "concatenate",
+    "broadcast_to",
+    "repeat",
+    "tile",
+    "reshape",
+    "moveaxis",
+    "expand_dims",
+    "atleast_1d",
+    "squeeze",
+    # selection / ordering
+    "sort",
+    "argsort",
+    "lexsort",
+    "partition",
+    "argpartition",
+    "median",
+    "take",
+    "take_along_axis",
+    "nonzero",
+    "flatnonzero",
+    "isin",
+    "unique",
+    "searchsorted",
+    # accumulation / reduction
+    "cumsum",
+    "sum",
+    "prod",
+    "mean",
+    "max",
+    "min",
+    "argmax",
+    "argmin",
+    "all",
+    "any",
+    # element-wise (function-call form; also available as ufuncs)
+    "abs",
+    "sqrt",
+    "sign",
+    "maximum",
+    "minimum",
+    "clip",
+    "isfinite",
+    "isinf",
+    "isnan",
+    "diff",
+    "linspace",
+    "einsum",
+)
+
+
+class ArrayBackend:
+    """A named namespace of array operations (NumPy-compatible signatures).
+
+    Instances are built by registered factories and cached; ops are plain
+    attributes, so ``backend.sort`` on the NumPy backend *is* ``np.sort``.
+    Beyond :data:`ARRAY_OPS`, every backend carries:
+
+    * ``norm`` — ``linalg.norm`` equivalent;
+    * ``errstate`` — floating-point error-state context manager;
+    * ``to_numpy(a)`` — materialize as a plain ``numpy.ndarray`` (the
+      engine↔plugin boundary; zero-copy where possible);
+    * ``from_numpy(a)`` / ``asarray(a)`` — enter backend-land;
+    * ``default_rng(seed)`` — always a ``numpy.random.Generator`` (the
+      repo-wide RNG rule: seeds mean the same thing on every backend);
+    * ``float_dtype`` / ``int_dtype`` / ``bool_dtype`` — the dtype rule.
+    """
+
+    def __init__(self, name: str):
+        self.name = str(name)
+        self.float_dtype = np.float64
+        self.int_dtype = np.int64
+        self.bool_dtype = np.bool_
+        self.default_rng = np.random.default_rng
+        self.errstate = np.errstate
+
+    def __repr__(self) -> str:
+        return f"ArrayBackend({self.name!r})"
+
+
+# -- built-in backend factories ------------------------------------------------
+
+
+def _numpy_backend() -> ArrayBackend:
+    """The default backend: ops are the NumPy functions themselves."""
+    backend = ArrayBackend("numpy")
+    for op in ARRAY_OPS:
+        setattr(backend, op, getattr(np, op))
+    backend.norm = np.linalg.norm
+    backend.to_numpy = np.asarray
+    backend.from_numpy = np.asarray
+    return backend
+
+
+def _strict_backend() -> ArrayBackend:
+    from .strict import build_strict_backend
+
+    return build_strict_backend(ArrayBackend, ARRAY_OPS)
+
+
+def _cupy_backend() -> ArrayBackend:
+    try:
+        import cupy as cp  # noqa: F401
+    except ImportError as error:
+        raise ImportError(
+            "repro backend 'cupy' requires the cupy package, which is not "
+            "installed in this environment; install cupy matching your CUDA "
+            "toolkit (e.g. cupy-cuda12x) or select REPRO_BACKEND=numpy"
+        ) from error
+    backend = ArrayBackend("cupy")
+    for op in ARRAY_OPS:
+        fn = getattr(cp, op, None)
+        if fn is None:
+            fn = _missing_op("cupy", op)
+        setattr(backend, op, fn)
+    backend.norm = cp.linalg.norm
+    backend.errstate = np.errstate  # cupy computes without FP traps
+    backend.to_numpy = cp.asnumpy
+    backend.from_numpy = cp.asarray
+    return backend
+
+
+def _torch_backend() -> ArrayBackend:
+    try:
+        import torch
+    except ImportError as error:
+        raise ImportError(
+            "repro backend 'torch' requires the torch package, which is not "
+            "installed in this environment; pip install torch or select "
+            "REPRO_BACKEND=numpy"
+        ) from error
+    # Experimental: torch's API diverges from NumPy in places (method
+    # names, argument spellings); this mapping covers the ops the tensor
+    # programs use and raises clearly for the rest.
+    backend = ArrayBackend("torch")
+    renames = {
+        "asarray": torch.as_tensor,
+        "take_along_axis": torch.take_along_dim,
+        "concatenate": torch.concatenate,
+        "nonzero": lambda a: tuple(torch.nonzero(a, as_tuple=True)),
+        "flatnonzero": lambda a: torch.nonzero(torch.reshape(a, (-1,)), as_tuple=True)[0],
+    }
+    for op in ARRAY_OPS:
+        fn = renames.get(op) or getattr(torch, op, None)
+        if fn is None:
+            fn = _missing_op("torch", op)
+        setattr(backend, op, fn)
+    backend.norm = torch.linalg.norm
+    backend.errstate = np.errstate
+    backend.to_numpy = lambda a: (
+        a.detach().cpu().numpy() if isinstance(a, torch.Tensor) else np.asarray(a)
+    )
+    backend.from_numpy = torch.as_tensor
+    backend.float_dtype = torch.float64
+    return backend
+
+
+def _missing_op(backend_name: str, op: str) -> Callable:
+    def _raise(*args, **kwargs):
+        raise NotImplementedError(
+            f"backend {backend_name!r} does not provide op {op!r}; "
+            "extend the backend mapping in repro.backend"
+        )
+
+    return _raise
+
+
+# -- registry ------------------------------------------------------------------
+
+_FACTORIES: Dict[str, Callable[[], ArrayBackend]] = {}
+_INSTANCES: Dict[str, ArrayBackend] = {}
+#: explicit activation stack (``use_backend``); top wins over the default.
+_ACTIVE: List[ArrayBackend] = []
+#: lazily resolved REPRO_BACKEND default (``None`` = not yet resolved).
+_DEFAULT: Optional[ArrayBackend] = None
+
+#: environment variable naming the default backend (read once, lazily).
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+def register_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
+    """Register (or replace) a backend factory under ``name``.
+
+    The factory is called at most once — the instance is cached.  This is
+    the entry point for out-of-tree backends (a JAX shim, a sharded
+    backend, ...): register before first use and select via
+    ``REPRO_BACKEND`` or :func:`use_backend`.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"backend name must be a non-empty string, got {name!r}")
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def available_backends() -> List[str]:
+    """Sorted names of every registered backend (installed or not)."""
+    return sorted(_FACTORIES)
+
+
+def get_backend(name: Optional[str] = None) -> ArrayBackend:
+    """The cached backend instance for ``name`` (default: the active one)."""
+    if name is None:
+        return active_backend()
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown array backend {name!r}; registered: "
+            f"{', '.join(available_backends())}"
+        ) from None
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        instance = factory()
+        _INSTANCES[name] = instance
+    return instance
+
+
+def active_backend() -> ArrayBackend:
+    """The backend ``xp`` currently resolves to.
+
+    Precedence: the innermost :func:`use_backend` scope, else the
+    ``REPRO_BACKEND`` environment default (resolved once on first use,
+    ``numpy`` when unset).
+    """
+    if _ACTIVE:
+        return _ACTIVE[-1]
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = get_backend(os.environ.get(BACKEND_ENV_VAR, "numpy"))
+    return _DEFAULT
+
+
+def _reset_default_backend() -> None:
+    """Forget the resolved ``REPRO_BACKEND`` default (test hook)."""
+    global _DEFAULT
+    _DEFAULT = None
+
+
+@contextmanager
+def use_backend(backend: Union[str, ArrayBackend]) -> Iterator[ArrayBackend]:
+    """Scope ``xp`` to ``backend`` for the duration of the ``with`` block.
+
+    Nests: the innermost scope wins; leaving restores the previous one.
+    Engines resolve ops per call through :data:`xp`, so a backend switch
+    between runs (never mid-run) is safe.
+    """
+    instance = backend if isinstance(backend, ArrayBackend) else get_backend(backend)
+    _ACTIVE.append(instance)
+    try:
+        yield instance
+    finally:
+        _ACTIVE.pop()
+
+
+class _ActiveBackendProxy:
+    """Forwards attribute access to the active backend — the ``xp`` object."""
+
+    __slots__ = ()
+
+    def __getattr__(self, item: str):
+        return getattr(active_backend(), item)
+
+    def __repr__(self) -> str:
+        return f"<xp -> {active_backend()!r}>"
+
+
+#: the array namespace the tensor programs resolve every dispatched op
+#: through; forwards to :func:`active_backend` per access.
+xp = _ActiveBackendProxy()
+
+
+register_backend("numpy", _numpy_backend)
+register_backend("strict", _strict_backend)
+register_backend("cupy", _cupy_backend)
+register_backend("torch", _torch_backend)
+
+
+# Re-exported for isinstance checks / except clauses without importing the
+# submodule (the strict backend itself is only built on first use).
+from .strict import BackendBypassError  # noqa: E402

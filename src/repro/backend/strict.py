@@ -1,0 +1,123 @@
+"""The ``strict`` test backend: NumPy semantics, stray-``np.``-call alarms.
+
+Routing the tensor programs through :data:`repro.backend.xp` is only worth
+anything if they *actually* route everything — a single leftover
+``np.sort(...)`` on a hot path would silently pin that path to NumPy and
+break any future CuPy/torch backend.  The strict backend turns that silent
+drift into a loud test failure:
+
+* Engine inputs enter through ``xp.asarray`` and come back as
+  :class:`StrictArray` — an ``ndarray`` subclass that computes exactly
+  like its base (ufuncs, methods, slicing all inherited, bit-identical
+  floats) but whose ``__array_function__`` raises
+  :class:`BackendBypassError`.
+* Any *dispatched* NumPy API call (``np.einsum``, ``np.sort``,
+  ``np.where``, ``np.take_along_axis``, ...) made directly on such an
+  array — i.e. not through the shim — trips the alarm with the offending
+  function's name.
+* The shim's own ops unwrap their arguments to base ``ndarray`` views,
+  call NumPy, and rewrap the result, so code that does go through ``xp``
+  runs normally and stays strict for its downstream consumers.
+
+What strictness deliberately does NOT catch:
+
+* Ufunc arithmetic (``a + b``, ``np.isfinite(a)``, ``np.maximum(a, b)``)
+  and ndarray methods (``a.sum()``, ``a.copy()``) — every real backend
+  implements these natively on its own array type, so using them on hot
+  paths is fine and the default subclass-preserving ``__array_ufunc__``
+  lets them through.
+* ``np.asarray(strict_array)`` — NumPy coercion is not dispatched through
+  ``__array_function__``; it silently returns a base-class view.  That is
+  exactly the sanctioned ``to_numpy`` boundary behaviour, so the gap is
+  acceptable: a stray ``np.asarray`` hands downstream code a plain array
+  whose *next* dispatched op would also be plain, but the engines' pinning
+  suites run whole algorithms under strictness, so any bypassed region
+  that later feeds a shim-routed op is still exercised.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+__all__ = ["BackendBypassError", "StrictArray", "build_strict_backend"]
+
+
+class BackendBypassError(AssertionError):
+    """A NumPy API function was called directly on a strict-backend array.
+
+    Raised (as an ``AssertionError`` subclass, so pytest reports it as a
+    failure rather than an error) when a hot path bypasses the ``xp`` shim.
+    """
+
+
+class StrictArray(np.ndarray):
+    """An ``ndarray`` that refuses dispatched ``np.*`` calls.
+
+    Computes bit-identically to a plain ``ndarray`` — only the
+    ``__array_function__`` protocol hook is overridden.  Ufuncs go through
+    the inherited default, which preserves the subclass on outputs, so
+    strictness is sticky across arithmetic.
+    """
+
+    def __array_function__(self, func, types, args, kwargs):
+        raise BackendBypassError(
+            f"np.{getattr(func, '__name__', func)!s} called directly on a "
+            "strict-backend array — route this op through repro.backend.xp"
+        )
+
+
+def _unwrap(value):
+    """Recursively replace StrictArray views with base ``ndarray`` views."""
+    if isinstance(value, StrictArray):
+        return value.view(np.ndarray)
+    if isinstance(value, tuple):
+        return tuple(_unwrap(v) for v in value)
+    if isinstance(value, list):
+        return [_unwrap(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _unwrap(v) for k, v in value.items()}
+    return value
+
+
+def _rewrap(value):
+    """Re-enter strictness: view ndarray results as StrictArray."""
+    if isinstance(value, np.ndarray):
+        return value.view(StrictArray)
+    if isinstance(value, tuple):
+        return tuple(_rewrap(v) for v in value)
+    if isinstance(value, list):
+        return [_rewrap(v) for v in value]
+    return value
+
+
+def _strict_op(fn):
+    """Wrap a NumPy function so it unwraps strict inputs and rewraps outputs."""
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        return _rewrap(fn(*_unwrap(args), **_unwrap(kwargs)))
+
+    return wrapper
+
+
+def build_strict_backend(backend_cls, array_ops):
+    """Build the strict backend instance (called once by the registry)."""
+    backend = backend_cls("strict")
+    for op in array_ops:
+        setattr(backend, op, _strict_op(getattr(np, op)))
+    backend.norm = _strict_op(np.linalg.norm)
+
+    def to_numpy(a):
+        # The sanctioned exit: a plain base-class view (zero-copy).
+        return np.asarray(a).view(np.ndarray) if isinstance(a, np.ndarray) else np.asarray(a)
+
+    def asarray(a, dtype=None, **kwargs):
+        out = np.asarray(_unwrap(a), dtype=dtype, **kwargs)
+        return out.view(StrictArray)
+
+    backend.to_numpy = to_numpy
+    backend.asarray = asarray
+    backend.from_numpy = asarray
+    return backend

@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..aggregators.base import GradientAggregator
+from ..backend import xp
 from ..aggregators.masked import aggregator_label
 from ..attacks.base import BatchAttackContext, ByzantineAttack
 from ..functions.base import CostFunction
@@ -57,7 +58,57 @@ from .health import (
     nonfinite_rows,
 )
 
-__all__ = ["BatchTrial", "BatchTrace", "BatchSimulator", "run_dgd_batch"]
+__all__ = [
+    "BatchTrial",
+    "BatchTrace",
+    "BatchSimulator",
+    "run_dgd_batch",
+    "normalize_trace_rounds",
+    "select_trace_rounds",
+]
+
+
+def normalize_trace_rounds(trace_rounds):
+    """Validate a ``trace_rounds=`` plan: ``None``, a stride, or a sequence.
+
+    ``None`` keeps every round (the historical full trace).  An int ``k``
+    keeps rounds ``{0, k, 2k, ...}`` plus the final round; a sequence keeps
+    exactly those rounds (0 and the final round are always added).  Shared
+    by every engine with a windowed-trace mode.
+    """
+    if trace_rounds is None:
+        return None
+    if isinstance(trace_rounds, (int, np.integer)):
+        stride = int(trace_rounds)
+        if stride < 1:
+            raise ValueError(
+                f"trace_rounds stride must be a positive int, got {stride}"
+            )
+        return stride
+    rounds = sorted({int(r) for r in trace_rounds})
+    if rounds and rounds[0] < 0:
+        raise ValueError(f"trace_rounds must be non-negative, got {rounds[0]}")
+    return tuple(rounds)
+
+
+def select_trace_rounds(stored: np.ndarray, rounds) -> np.ndarray:
+    """Positions of ``rounds`` inside a trace's ``stored`` round axis.
+
+    ``stored`` is the ascending array of absolute rounds a trace actually
+    holds; ``rounds`` is a ``rounds=`` selector (int or sequence).  Raises
+    when a requested round was not recorded — a windowed trace cannot
+    recompute what it never stored.
+    """
+    want = np.atleast_1d(np.asarray(rounds, dtype=int))
+    pos = np.searchsorted(stored, want)
+    missing = (pos >= stored.size) | (stored[np.minimum(pos, stored.size - 1)] != want)
+    if missing.any():
+        absent = want[missing].tolist()
+        raise ValueError(
+            f"rounds {absent} are not stored in this trace "
+            f"(stored rounds: {stored.tolist() if stored.size <= 20 else '...'})"
+        )
+    return pos
 
 
 def _value_key(value) -> object:
@@ -130,18 +181,23 @@ class BatchTrace:
     only when the simulator ran with ``record_gradients=True``.
     """
 
-    estimates: np.ndarray                      # (T + 1, S, d)
+    estimates: np.ndarray                      # (K, S, d); K = T+1 when full
     step_sizes: np.ndarray                     # (T, S)
     labels: List[str] = field(default_factory=list)
-    gradients: Optional[np.ndarray] = None     # (T, S, n, d), opt-in
+    gradients: Optional[np.ndarray] = None     # (K-1, S, n, d), opt-in
     #: quarantine records ``{"trial", "round", "reason"}`` of frozen trials
     #: (reasons from :data:`repro.health.QUARANTINE_REASONS`); a frozen
     #: trial's trajectory is held at its last healthy iterate.
     quarantined: List[Dict[str, object]] = field(default_factory=list)
+    #: absolute round index of each stored slot under a windowed run
+    #: (``trace_rounds=``); ``None`` means every round ``0..T`` is stored.
+    rounds: Optional[np.ndarray] = None
 
     @property
     def iterations(self) -> int:
         """Number of completed iterations ``T``."""
+        if self.rounds is not None:
+            return int(self.rounds[-1])
         return self.estimates.shape[0] - 1
 
     @property
@@ -150,30 +206,59 @@ class BatchTrace:
         return self.estimates.shape[1]
 
     @property
+    def stored_rounds(self) -> np.ndarray:
+        """Absolute rounds the trace holds (``0..T`` for a full trace)."""
+        if self.rounds is not None:
+            return np.asarray(self.rounds)
+        return np.arange(self.estimates.shape[0])
+
+    @property
     def final_estimates(self) -> np.ndarray:
         """Last iterate of every trial, shape ``(S, d)``."""
         return self.estimates[-1].copy()
 
     def trial_estimates(self, s: int) -> np.ndarray:
-        """Trajectory ``x_0 .. x_T`` of trial ``s``, shape ``(T + 1, d)``."""
+        """Stored trajectory of trial ``s``, shape ``(K, d)``."""
         return self.estimates[:, s, :].copy()
 
-    def distances_to(self, target: Sequence[float]) -> np.ndarray:
-        """Per-trial distance series ``||x_t - target||``, shape ``(S, T+1)``."""
-        tgt = np.asarray(target, dtype=float)
-        return np.linalg.norm(self.estimates - tgt, axis=2).T
+    def _slots(self, rounds) -> np.ndarray:
+        if rounds is None:
+            return np.arange(self.estimates.shape[0])
+        return select_trace_rounds(self.stored_rounds, rounds)
 
-    def losses(self, loss_batch: Callable[[np.ndarray], np.ndarray]) -> np.ndarray:
-        """Per-trial loss series, shape ``(S, T + 1)``.
+    def distances_to(self, target: Sequence[float], rounds=None) -> np.ndarray:
+        """Per-trial distance series ``||x_t - target||``, shape ``(S, K)``.
+
+        ``rounds=`` restricts the computation to a subset of the stored
+        rounds (and is required knowledge for windowed traces — asking for
+        an unstored round raises instead of silently interpolating).
+        """
+        tgt = np.asarray(target, dtype=float)
+        est = (
+            self.estimates
+            if rounds is None
+            else self.estimates[self._slots(rounds)]
+        )
+        return np.linalg.norm(est - tgt, axis=2).T
+
+    def losses(
+        self, loss_batch: Callable[[np.ndarray], np.ndarray], rounds=None
+    ) -> np.ndarray:
+        """Per-trial loss series over the selected rounds, shape ``(S, K)``.
 
         ``loss_batch`` maps a ``(P, d)`` stack of points to ``(P,)`` losses
         (e.g. the honest aggregate loss evaluated through a
         :class:`~repro.functions.batched.CostStack`).
         """
-        t_plus_1, s, d = self.estimates.shape
-        flat = self.estimates.reshape(t_plus_1 * s, d)
+        selected = (
+            self.estimates
+            if rounds is None
+            else self.estimates[self._slots(rounds)]
+        )
+        k, s, d = selected.shape
+        flat = selected.reshape(k * s, d)
         values = np.asarray(loss_batch(flat), dtype=float)
-        return values.reshape(t_plus_1, s).T
+        return values.reshape(k, s).T
 
 
 class BatchSimulator(ProtocolEngine):
@@ -189,6 +274,7 @@ class BatchSimulator(ProtocolEngine):
         record_gradients: bool = False,
         recorder: Optional[Recorder] = None,
         divergence_threshold: float = DEFAULT_DIVERGENCE_THRESHOLD,
+        trace_rounds=None,
     ):
         if not trials:
             raise ValueError("need at least one trial")
@@ -230,11 +316,19 @@ class BatchSimulator(ProtocolEngine):
             self.rngs.append(np.random.default_rng(trial.seed))
             self._schedules.append(trial.schedule or schedule)
 
-        self.estimates = self.constraint.project_batch(np.stack(starts))
+        self.estimates = xp.asarray(
+            self.constraint.project_batch(np.stack(starts))
+        )
         self.iteration = 0
         self.guard = TrialGuard(len(self.trials), divergence_threshold)
         # Recording state persists across chunked ``run`` calls so a
         # checkpointed engine resumes mid-trajectory (see ``run``).
+        # ``trace_rounds`` switches to the windowed mode: only the planned
+        # rounds are stored (plus 0 and the horizon), so a large-n run
+        # never materializes the full iterate history.
+        self._trace_plan = normalize_trace_rounds(trace_rounds)
+        self._kept: Optional[np.ndarray] = None  # stored rounds, windowed
+        self._slot: Dict[int, int] = {}          # round -> trajectory slot
         self._trajectory: Optional[np.ndarray] = None
         self._step_sizes: Optional[np.ndarray] = None
         self._snapshots: Optional[np.ndarray] = None
@@ -300,7 +394,7 @@ class BatchSimulator(ProtocolEngine):
         zero placeholders that no later stage reads.
         """
         if self.guard.any_quarantined:
-            gradients = np.zeros((len(self.trials), self.n, self.d))
+            gradients = xp.zeros((len(self.trials), self.n, self.d))
             live = self.guard.active
             gradients[live] = self.stack.gradients(self.estimates[live])
         else:
@@ -319,13 +413,18 @@ class BatchSimulator(ProtocolEngine):
             live = self.guard.live(idx)
             if live.size == 0:
                 continue
+            # Attacks are plain-NumPy plugin code: observables cross the
+            # backend boundary as base arrays and fabrications re-enter
+            # through the received stack's setitem.
             context = BatchAttackContext(
                 iteration=round.iteration,
-                estimates=self.estimates[live],
+                estimates=xp.to_numpy(self.estimates[live]),
                 faulty_ids=faulty.tolist(),
-                true_gradients=received[np.ix_(live, faulty)],
+                true_gradients=xp.to_numpy(received[np.ix_(live, faulty)]),
                 honest_gradients=(
-                    received[np.ix_(live, honest)] if omniscient else None
+                    xp.to_numpy(received[np.ix_(live, honest)])
+                    if omniscient
+                    else None
                 ),
                 honest_ids=honest.tolist(),
                 rngs=[self.rngs[i] for i in live],
@@ -347,7 +446,7 @@ class BatchSimulator(ProtocolEngine):
         ``aggregator_refused``, frozen at the pre-update estimate — so the
         rest of the group still aggregates in one invocation.
         """
-        aggregates = np.zeros((len(self.trials), self.d))
+        aggregates = xp.zeros((len(self.trials), self.d))
         t = round.iteration
         for rep, idx in self._aggregator_groups:
             aggregator = self.trials[rep].aggregator
@@ -391,27 +490,70 @@ class BatchSimulator(ProtocolEngine):
             self._note_quarantined(
                 [t], round.iteration, str(self.guard.records[t]["reason"])
             )
-        self.estimates = self.guard.hold(
-            previous, self.constraint.project_batch(held)
+        # The constraint set is plain-NumPy plugin code — same boundary
+        # convention as attacks: exit via to_numpy, re-enter via asarray.
+        projected = xp.asarray(
+            self.constraint.project_batch(xp.to_numpy(held))
         )
+        self.estimates = self.guard.hold(previous, projected)
         self.iteration += 1
         self._last_received = round.gradients
         self._last_etas = etas
         return self.estimates
 
     # -- run recording ----------------------------------------------------
+    def _planned_rounds(self, horizon: int) -> np.ndarray:
+        """Rounds the windowed trace keeps for ``horizon``: plan ∪ already
+        kept ∪ {0, horizon}, ascending."""
+        plan = self._trace_plan
+        if isinstance(plan, int):
+            kept = set(range(0, horizon + 1, plan))
+        else:
+            kept = {r for r in plan if r <= horizon}
+        kept.add(0)
+        kept.add(int(horizon))
+        if self._kept is not None:
+            kept.update(int(r) for r in self._kept)
+        return np.array(sorted(kept), dtype=int)
+
     def _extend_recording(self, horizon: int) -> None:
         """Grow the persistent recording arrays to cover ``horizon`` rounds.
 
         First call allocates; later calls (a resumed engine extending its
         horizon) reallocate and copy the recorded prefix, so the final
         trace spans the whole ``0..T`` trajectory regardless of how many
-        chunks produced it.
+        chunks produced it.  Under a ``trace_rounds`` plan only the kept
+        rounds get trajectory slots — extending never drops an
+        already-kept round, so resumed windowed traces stay consistent.
         """
         s, d = self.estimates.shape
+        if self._trace_plan is not None:
+            kept = self._planned_rounds(horizon)
+            slots = kept.size
+            trajectory = np.empty((slots, s, d))
+            snapshots = (
+                np.empty((slots - 1, s, self.n, d))
+                if self.record_gradients
+                else None
+            )
+            step_sizes = np.empty((horizon, s))
+            if self._trajectory is None:
+                trajectory[0] = xp.to_numpy(self.estimates)
+            else:
+                recorded = self._trajectory.shape[0]
+                trajectory[:recorded] = self._trajectory
+                step_sizes[: self._step_sizes.shape[0]] = self._step_sizes
+                if snapshots is not None and self._snapshots is not None:
+                    snapshots[: self._snapshots.shape[0]] = self._snapshots
+            self._kept = kept
+            self._slot = {int(r): i for i, r in enumerate(kept)}
+            self._trajectory = trajectory
+            self._step_sizes = step_sizes
+            self._snapshots = snapshots
+            return
         if self._trajectory is None:
             self._trajectory = np.empty((horizon + 1, s, d))
-            self._trajectory[0] = self.estimates
+            self._trajectory[0] = xp.to_numpy(self.estimates)
             self._step_sizes = np.empty((horizon, s))
             self._snapshots = (
                 np.empty((horizon, s, self.n, d))
@@ -434,11 +576,21 @@ class BatchSimulator(ProtocolEngine):
             self._snapshots = snapshots
 
     def _record_step(self, estimates: np.ndarray) -> None:
+        if self._trace_plan is not None:
+            t = self.iteration  # round just completed (project incremented)
+            self._step_sizes[t - 1] = self._last_etas
+            slot = self._slot.get(t)
+            if slot is not None:
+                self._trajectory[slot] = xp.to_numpy(estimates)
+                if self._snapshots is not None:
+                    self._snapshots[slot - 1] = xp.to_numpy(self._last_received)
+                self._cursor = slot
+            return
         k = self._cursor
-        self._trajectory[k + 1] = estimates
+        self._trajectory[k + 1] = xp.to_numpy(estimates)
         self._step_sizes[k] = self._last_etas
         if self._snapshots is not None:
-            self._snapshots[k] = self._last_received
+            self._snapshots[k] = xp.to_numpy(self._last_received)
         self._cursor = k + 1
 
     def _run_result(self) -> BatchTrace:
@@ -453,6 +605,7 @@ class BatchSimulator(ProtocolEngine):
             labels=labels,
             gradients=self._snapshots,
             quarantined=self.guard.summary(),
+            rounds=None if self._kept is None else self._kept.copy(),
         )
 
     def run(
@@ -505,23 +658,35 @@ class BatchSimulator(ProtocolEngine):
         engine's final trace still spans the whole run).
         """
         k = int(self.iteration)
+        kept_prefix: Optional[np.ndarray] = None
         if self._trajectory is None:
-            trajectory = self.estimates[None, :, :]
+            trajectory = xp.to_numpy(self.estimates)[None, :, :]
             step_sizes = np.empty((0, len(self.trials)))
+        elif self._kept is not None:
+            # Windowed trace: the stored slots whose round is already
+            # reached form a prefix of the kept-rounds plan.
+            kept_prefix = self._kept[self._kept <= k]
+            trajectory = self._trajectory[: kept_prefix.size]
+            step_sizes = self._step_sizes[:k]
         else:
             trajectory = self._trajectory[: k + 1]
             step_sizes = self._step_sizes[:k]
         state: Dict[str, object] = {
             "schema": "repro/batch-sim-state/v1",
             "iteration": k,
-            "estimates": self.estimates.tolist(),
+            "estimates": xp.to_numpy(self.estimates).tolist(),
             "rng_states": [rng.bit_generator.state for rng in self.rngs],
             "trajectory": trajectory.tolist(),
             "step_sizes": step_sizes.tolist(),
             "quarantine": self.guard.state_dict(),
         }
+        if kept_prefix is not None:
+            state["trace_rounds_kept"] = [int(r) for r in kept_prefix]
         if self._snapshots is not None:
-            state["snapshots"] = self._snapshots[:k].tolist()
+            stored = (
+                k if kept_prefix is None else max(kept_prefix.size - 1, 0)
+            )
+            state["snapshots"] = self._snapshots[:stored].tolist()
         return state
 
     def load_state(self, state: Dict[str, object]) -> None:
@@ -545,19 +710,28 @@ class BatchSimulator(ProtocolEngine):
                 f"engine has {len(self.rngs)} trials"
             )
         k = int(state["iteration"])
+        kept = state.get("trace_rounds_kept")
+        if (kept is not None) != (self._trace_plan is not None):
+            raise ValueError(
+                "trace_rounds mismatch: the snapshot and the fresh engine "
+                "must agree on whether the trace is windowed"
+            )
         self.iteration = k
-        self.estimates = np.asarray(state["estimates"], dtype=float)
+        self.estimates = xp.asarray(np.asarray(state["estimates"], dtype=float))
         for rng, rng_state in zip(self.rngs, rng_states):
             rng.bit_generator.state = rng_state
         self._trajectory = np.asarray(state["trajectory"], dtype=float)
         self._step_sizes = np.asarray(state["step_sizes"], dtype=float)
         if self.record_gradients:
             self._snapshots = np.asarray(state["snapshots"], dtype=float)
+        if kept is not None:
+            self._kept = np.asarray(kept, dtype=int)
+            self._slot = {int(r): i for i, r in enumerate(self._kept)}
         # Absent in pre-quarantine snapshots: every trial stays active.
         quarantine = state.get("quarantine")
         if quarantine is not None:
             self.guard.load_state(quarantine)
-        self._cursor = k
+        self._cursor = self._trajectory.shape[0] - 1
 
 
 def run_dgd_batch(
@@ -569,6 +743,7 @@ def run_dgd_batch(
     iterations: int,
     record_gradients: bool = False,
     divergence_threshold: float = DEFAULT_DIVERGENCE_THRESHOLD,
+    trace_rounds=None,
 ) -> BatchTrace:
     """Convenience wrapper mirroring :func:`repro.distsys.simulator.run_dgd`.
 
@@ -584,6 +759,7 @@ def run_dgd_batch(
         initial_estimate=initial_estimate,
         record_gradients=record_gradients,
         divergence_threshold=divergence_threshold,
+        trace_rounds=trace_rounds,
     )
     # Convenience runners report to the ambient recorder: a no-op
     # with the default NULL_RECORDER, a live stream under the CLI's

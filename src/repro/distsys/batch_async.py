@@ -66,6 +66,7 @@ from ..aggregators.masked import (
 )
 from ..aggregators.registry import make_aggregator
 from ..attacks.base import BatchAttackContext, ByzantineAttack
+from ..backend import xp
 from ..functions.base import CostFunction
 from ..functions.batched import CostStack, gather_view_points, stack_costs
 from ..optim.projections import ConvexSet
@@ -174,10 +175,22 @@ class BatchAsyncTrace:
         """Trajectory ``x_0 .. x_T`` of trial ``s``, shape ``(T + 1, d)``."""
         return self.estimates[:, s, :].copy()
 
-    def distances_to(self, target: Sequence[float]) -> np.ndarray:
-        """Per-trial distance series ``||x_t - target||``, shape ``(S, T+1)``."""
+    def distances_to(
+        self, target: Sequence[float], rounds: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Per-trial distance series ``||x_t - target||``, shape ``(S, K)``.
+
+        ``rounds`` selects a subset of rounds (default: all ``T + 1``), so
+        a large-``T`` sweep can compute just the diagnostics it plots
+        without materializing the full ``(S, T + 1)`` distance matrix.
+        """
         tgt = np.asarray(target, dtype=float)
-        return np.linalg.norm(self.estimates - tgt, axis=2).T
+        selected = (
+            self.estimates
+            if rounds is None
+            else self.estimates[np.asarray(rounds, dtype=int)]
+        )
+        return np.linalg.norm(selected - tgt, axis=2).T
 
     def missing_fraction(self) -> np.ndarray:
         """Per-trial per-round fraction of agents with no usable message.
@@ -318,7 +331,9 @@ class BatchAsynchronousSimulator(ProtocolEngine):
             self.rngs.append(np.random.default_rng(trial.seed))
             self._schedules.append(trial.schedule or schedule)
 
-        self.estimates = self.constraint.project_batch(np.stack(starts))
+        self.estimates = xp.asarray(
+            self.constraint.project_batch(np.stack(starts))
+        )
         self.iteration = 0
         self.guard = TrialGuard(s, divergence_threshold)
         self._tau_max = int(self._tau.max())
@@ -561,7 +576,7 @@ class BatchAsynchronousSimulator(ProtocolEngine):
         )
         if self.guard.any_quarantined:
             active = self.guard.active
-            all_gradients = np.zeros((len(self.trials), self.n, self.d))
+            all_gradients = xp.zeros((len(self.trials), self.n, self.d))
             all_gradients[active] = self.stack.gradients_each(points[active])
         else:
             all_gradients = self.stack.gradients_each(points)   # (S, n, d)
@@ -611,13 +626,17 @@ class BatchAsynchronousSimulator(ProtocolEngine):
                     if omniscient
                     else None
                 )
+                # Attacks are plain-NumPy plugin code: context observables
+                # cross the backend boundary as base arrays.
                 context = BatchAttackContext(
                     iteration=t,
-                    estimates=self.estimates[sub],
+                    estimates=xp.to_numpy(self.estimates[sub]),
                     faulty_ids=faulty.tolist(),
-                    true_gradients=gradients[np.ix_(sub, faulty)],
+                    true_gradients=xp.to_numpy(gradients[np.ix_(sub, faulty)]),
                     honest_gradients=(
-                        gradients[np.ix_(sub, honest)] if omniscient else None
+                        xp.to_numpy(gradients[np.ix_(sub, honest)])
+                        if omniscient
+                        else None
                     ),
                     honest_ids=(
                         honest.tolist() if omniscient else None
@@ -655,7 +674,7 @@ class BatchAsynchronousSimulator(ProtocolEngine):
         gradients = round.gradients
         counts = usable.sum(axis=1)                          # (S,)
         s = len(self.trials)
-        aggregates = np.zeros((s, self.d))
+        aggregates = xp.zeros((s, self.d))
         stalled = (counts == 0) | self.guard.frozen
 
         # Masked-policy trials short of their attendance floor stall too.
@@ -767,7 +786,7 @@ class BatchAsynchronousSimulator(ProtocolEngine):
         stalled = round.extras["stalled"]
         etas = self._etas[t]
         previous = self.estimates
-        candidates = np.where(
+        candidates = xp.where(
             stalled[:, None],
             previous,
             previous - etas[:, None] * round.aggregates,
@@ -778,9 +797,13 @@ class BatchAsynchronousSimulator(ProtocolEngine):
             self._note_quarantined(
                 [trial], t, str(self.guard.records[trial]["reason"])
             )
-        projected = self.constraint.project_batch(held)
+        # Constraint sets are plain-NumPy plugin code: cross the backend
+        # boundary both ways around the projection.
+        projected = xp.asarray(
+            self.constraint.project_batch(xp.to_numpy(held))
+        )
         self.estimates = self.guard.hold(
-            previous, np.where(stalled[:, None], previous, projected)
+            previous, xp.where(stalled[:, None], previous, projected)
         )
         self.iteration = t + 1
 
@@ -971,7 +994,9 @@ class BatchAsynchronousSimulator(ProtocolEngine):
 
         self.iteration = k
         self._horizon = k
-        self.estimates = np.asarray(state["estimates"], dtype=float)
+        self.estimates = xp.asarray(
+            np.asarray(state["estimates"], dtype=float)
+        )
         self._pending = np.asarray(state["pending"], dtype=int)
         self._freshest = np.asarray(state["freshest"], dtype=int)
         # Absent in pre-quarantine snapshots: every trial stays active.

@@ -61,6 +61,7 @@ import numpy as np
 from ..aggregators.base import GradientAggregator
 from ..aggregators.masked import (
     aggregator_label,
+    degree_grouped_kernel_for,
     masked_kernel_for,
     masked_min_attendance_for_tolerance,
     masked_partial_kernel_for,
@@ -69,6 +70,7 @@ from ..aggregators.masked import (
 from ..aggregators.registry import make_aggregator
 from ..aggregators.trimmed_mean import trimmed_mean_batch
 from ..attacks.base import ByzantineAttack, DecentralizedAttackContext
+from ..backend import xp
 from ..functions.base import CostFunction
 from ..functions.batched import CostStack, stack_costs
 from ..optim.projections import ConvexSet
@@ -476,7 +478,8 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
         """(aggregator, topology) groups with exact + partial kernels.
 
         The exact kernel (folded ``aggregate_batch`` on regular graphs,
-        masked kernel on irregular ones) serves fully-attended trials —
+        degree-grouped dense dispatch — masked kernel as the fallback —
+        on irregular ones) serves fully-attended trials —
         sliced to the topology's true ``k``, the bit-for-bit path of the
         per-trial engine.  Partial rounds always run the
         tolerance-parameterized masked kernel; filters without one are
@@ -493,6 +496,7 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
             aggregator = self._aggregators[rep]
             group = self._topo_groups[self._topo_of[rep]]
             kernel = None
+            grouped = None
             if not group["uniform"]:
                 kernel = masked_kernel_for(aggregator)
                 if kernel is None:
@@ -501,11 +505,18 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
                         "neighborhood kernel; irregular topologies support "
                         "mean, cwtm, median, cge and cge_mean"
                     )
+                grouped = degree_grouped_kernel_for(
+                    aggregator, group["neighbor_mask"]
+                )
                 try:
-                    kernel(
-                        np.zeros((1, self.n, group["k"], self.d)),
-                        group["neighbor_mask"],
-                    )
+                    # Probe the path _aggregate_exact will actually run.
+                    if grouped is not None:
+                        grouped(np.zeros((1, self.n, group["k"], self.d)))
+                    else:
+                        kernel(
+                            np.zeros((1, self.n, group["k"], self.d)),
+                            group["neighbor_mask"],
+                        )
                 except ValueError as error:
                     raise ValueError(
                         f"aggregator {aggregator.name!r} cannot aggregate "
@@ -536,6 +547,7 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
                 (
                     aggregator,
                     kernel,
+                    grouped,
                     partial,
                     declared,
                     idx,
@@ -557,7 +569,7 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
         aggregator config.
         """
         merged: Dict[object, Tuple] = {}
-        for aggregator, _, partial, declared, idx, _ in self._partial_groups:
+        for aggregator, _, _, partial, declared, idx, _ in self._partial_groups:
             key = _config_key(aggregator)
             entry = merged.setdefault(key, (aggregator, partial, declared, []))
             entry[3].append(idx)
@@ -608,8 +620,12 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
     # -- helpers ----------------------------------------------------------
     def _project_all(self, estimates: np.ndarray) -> np.ndarray:
         s, n, d = estimates.shape
-        flat = self.constraint.project_batch(estimates.reshape(s * n, d))
-        return flat.reshape(s, n, d)
+        # Constraint sets are plain-NumPy plugin code: cross the backend
+        # boundary both ways around the projection.
+        flat = self.constraint.project_batch(
+            xp.to_numpy(estimates).reshape(s * n, d)
+        )
+        return xp.asarray(flat).reshape(s, n, d)
 
     # -- whole-run pre-sampling (chunked) ---------------------------------
     def _extend_horizon(self, t_total: int) -> None:
@@ -735,7 +751,7 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
         # Quarantined trials are masked out of the einsum — their held
         # iterates are never differentiated again — and dispatch nothing.
         if self.guard.any_quarantined:
-            gradients = np.zeros((s, self.n, self.d))
+            gradients = xp.zeros((s, self.n, self.d))
             act = self.guard.active
             gradients[act] = self.stack.gradients_each(self.estimates[act])
         else:
@@ -829,16 +845,22 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
             active = self.guard.live(idx)
             if not active.size:
                 continue
+            # Attacks are plain-NumPy plugin code: context observables
+            # cross the backend boundary as base arrays.
             context = DecentralizedAttackContext(
                 iteration=t,
-                reference_estimates=self.estimates[
-                    np.ix_(active, honest[:1])
-                ][:, 0],
-                agent_estimates=self.estimates[active],
+                reference_estimates=xp.to_numpy(
+                    self.estimates[np.ix_(active, honest[:1])][:, 0]
+                ),
+                agent_estimates=xp.to_numpy(self.estimates[active]),
                 faulty_ids=faulty.tolist(),
-                true_gradients=gradients[np.ix_(active, faulty)],
+                true_gradients=xp.to_numpy(
+                    gradients[np.ix_(active, faulty)]
+                ),
                 honest_gradients=(
-                    gradients[np.ix_(active, honest)] if omniscient else None
+                    xp.to_numpy(gradients[np.ix_(active, honest)])
+                    if omniscient
+                    else None
                 ),
                 honest_ids=honest.tolist(),
                 receivers=receivers,
@@ -949,7 +971,7 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
         tolerance[stalled] = 0
         trim = np.where(stalled, 0, trim)
 
-        updates = np.empty((s, self.n, self.d))
+        updates = xp.empty((s, self.n, self.d))
         full_idx = np.flatnonzero(full_trials)
         if full_idx.size:
             # Fully-attended trials take the per-(aggregator, topology)
@@ -1014,11 +1036,11 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
         self, views: np.ndarray, subset: np.ndarray, round_index: int
     ) -> np.ndarray:
         """Exact-kernel aggregation of the fully-attended ``subset``."""
-        updates = np.empty((subset.size, self.n, self.d))
+        updates = xp.empty((subset.size, self.n, self.d))
         in_subset = np.zeros(len(self.trials), dtype=bool)
         in_subset[subset] = True
         position = np.cumsum(in_subset) - 1
-        for aggregator, kernel, _, _, idx, group in self._partial_groups:
+        for aggregator, kernel, grouped, _, _, idx, group in self._partial_groups:
             members = idx[in_subset[idx]]
             if not members.size:
                 continue
@@ -1034,6 +1056,8 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
                     updates[position[members]] = aggregator.aggregate_batch(
                         folded
                     ).reshape(members.size, self.n, self.d)
+                elif grouped is not None:
+                    updates[position[members]] = grouped(group_views)
                 else:
                     updates[position[members]] = kernel(
                         group_views, group["neighbor_mask"]
@@ -1049,7 +1073,7 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
         full_only: bool,
     ) -> np.ndarray:
         """Stale trimmed-mean consensus mix, exact + masked-partial paths."""
-        mixed = np.empty((len(self.trials), self.n, self.d))
+        mixed = xp.empty((len(self.trials), self.n, self.d))
         in_exact = np.zeros(len(self.trials), dtype=bool)
         in_exact[exact_trials] = True
         for trim_count, gidx, group in self._mixing_groups:
@@ -1066,9 +1090,16 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
                     folded, trim_count
                 ).reshape(members.size, self.n, self.d)
             else:
-                mixed[members] = masked_trimmed_mean_batch(
-                    group_views, group["neighbor_mask"], trim_count
-                )
+                # Degree-bucketed dense dispatch, matching the synchronous
+                # engine's _mix_neighborhoods so every exact mixing path
+                # agrees bit-for-bit across the engine family.
+                for degree, ids in group["topology"].degree_groups():
+                    dense = group_views[:, ids, :degree, :].reshape(
+                        members.size * ids.size, degree, self.d
+                    )
+                    mixed[np.ix_(members, ids)] = trimmed_mean_batch(
+                        dense, trim_count
+                    ).reshape(members.size, ids.size, self.d)
         if not full_only and partial_trials is not None and partial_trials.size:
             mask, trim = partial_state
             sub = partial_trials
@@ -1098,7 +1129,7 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
         candidates = base - etas[:, None, None] * round.aggregates
         stalled = round.extras["stalled_agents"]
         previous = self.estimates
-        effective = np.where(stalled[:, :, None], previous, candidates)
+        effective = xp.where(stalled[:, :, None], previous, candidates)
         before = set(self.guard.records)
         held = self.guard.screen(t, previous, effective)
         for trial in sorted(self.guard.records.keys() - before):
@@ -1107,7 +1138,7 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
             )
         projected = self._project_all(held)
         self.estimates = self.guard.hold(
-            previous, np.where(stalled[:, :, None], previous, projected)
+            previous, xp.where(stalled[:, :, None], previous, projected)
         )
         self.iteration = t + 1
 
@@ -1305,7 +1336,9 @@ class BatchDelayedDecentralizedSimulator(ProtocolEngine):
 
         self.iteration = k
         self._horizon = k
-        self.estimates = np.asarray(state["estimates"], dtype=float)
+        self.estimates = xp.asarray(
+            np.asarray(state["estimates"], dtype=float)
+        )
         self._pending = np.asarray(state["pending"], dtype=int)
         self._freshest = np.asarray(state["freshest"], dtype=int)
         # Absent in pre-quarantine snapshots: every trial stays active.

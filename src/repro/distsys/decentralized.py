@@ -52,17 +52,23 @@ import numpy as np
 
 from ..aggregators.masked import (
     aggregator_label,
+    degree_grouped_kernel_for,
     masked_kernel_for,
-    masked_trimmed_mean_batch,
 )
 from ..aggregators.trimmed_mean import trimmed_mean_batch
 from ..attacks.base import DecentralizedAttackContext
+from ..backend import xp
 from ..functions.base import CostFunction
 from ..functions.batched import CostStack, stack_costs
 from ..optim.projections import ConvexSet
 from ..optim.schedules import StepSchedule
 from ..telemetry.recorder import current_recorder
-from .batch import BatchTrial, _config_key, group_indices
+from .batch import (
+    BatchTrial,
+    _config_key,
+    group_indices,
+    normalize_trace_rounds,
+)
 from .engine import (
     ProtocolEngine,
     ProtocolRound,
@@ -93,7 +99,7 @@ class DecentralizedTrace:
     ``estimates`` stacks every agent's trajectory: shape ``(T + 1, S, n, d)``.
     """
 
-    estimates: np.ndarray                   # (T + 1, S, n, d)
+    estimates: np.ndarray                   # (K, S, n, d); K = T + 1 dense
     step_sizes: np.ndarray                  # (T, S)
     honest_ids: List[Tuple[int, ...]]       # per trial
     labels: List[str] = field(default_factory=list)
@@ -101,11 +107,23 @@ class DecentralizedTrace:
     #: (reasons from :data:`repro.health.QUARANTINE_REASONS`); a frozen
     #: trial's agents all hold at their last healthy iterates.
     quarantined: List[Dict[str, object]] = field(default_factory=list)
+    #: absolute round of each stored snapshot under a windowed
+    #: ``trace_rounds`` run; ``None`` = every round ``0..T`` is stored.
+    rounds: Optional[np.ndarray] = None
 
     @property
     def iterations(self) -> int:
         """Number of completed iterations ``T``."""
+        if self.rounds is not None:
+            return int(self.rounds[-1])
         return self.estimates.shape[0] - 1
+
+    @property
+    def stored_rounds(self) -> np.ndarray:
+        """Absolute round of each stored snapshot, shape ``(K,)``."""
+        if self.rounds is not None:
+            return self.rounds
+        return np.arange(self.estimates.shape[0])
 
     @property
     def trials(self) -> int:
@@ -152,19 +170,31 @@ class DecentralizedTrace:
         measures how far the honest agents are from agreement.  ``rounds``
         restricts the reduction to those snapshot indices (``(S,
         len(rounds))``) — reports that only need the final iterate pass
-        ``rounds=[-1]`` instead of reducing the whole trajectory.
+        ``rounds=[-1]`` instead of reducing the whole trajectory.  Under a
+        windowed ``trace_rounds`` run the indices address the *stored*
+        snapshots; map absolute rounds through :attr:`stored_rounds`.
         """
         estimates = (
             self.estimates
             if rounds is None
             else self.estimates[np.asarray(rounds, dtype=int)]
         )
-        t_sel, s, _, _ = estimates.shape
+        t_sel, s, _, d = estimates.shape
         gaps = np.empty((s, t_sel))
         for honest, trials in self._honest_groups():
             points = estimates[:, trials][:, :, honest, :]
-            diffs = points[:, :, :, None, :] - points[:, :, None, :, :]
-            gaps[trials] = np.linalg.norm(diffs, axis=4).max(axis=(2, 3)).T
+            h = len(honest)
+            # Blockwise over the time axis: the pairwise difference tensor
+            # is (B, G, h, h, d), so a long large-n trajectory never
+            # materializes the full (T, G, h, h, d) temporary at once.
+            per_round = max(1, trials.size * h * h * d)
+            block = max(1, (1 << 24) // per_round)
+            for start in range(0, t_sel, block):
+                chunk = points[start : start + block]
+                diffs = chunk[:, :, :, None, :] - chunk[:, :, None, :, :]
+                gaps[trials, start : start + block] = (
+                    np.linalg.norm(diffs, axis=4).max(axis=(2, 3)).T
+                )
         return gaps
 
     def component_consensus_gaps(
@@ -242,6 +272,7 @@ class DecentralizedSimulator(ProtocolEngine):
         mixing: bool = True,
         allow_disconnected: bool = False,
         divergence_threshold: float = DEFAULT_DIVERGENCE_THRESHOLD,
+        trace_rounds=None,
     ):
         if not trials:
             raise ValueError("need at least one trial")
@@ -278,6 +309,10 @@ class DecentralizedSimulator(ProtocolEngine):
         self.neighbor_index, self.neighbor_mask = topology.neighborhoods()
         self.k = int(self.neighbor_index.shape[1])
         self.uniform = topology.is_regular
+        # Irregular graphs dispatch per closed-in-degree bucket: each
+        # bucket's prefix slice of the padded gather is dense, so the
+        # folded kernels apply and only odd-degree buckets pay extra.
+        self._degree_buckets = topology.degree_groups()
 
         default_initial = validate_initial_estimate(initial_estimate, self.d)
         starts = []
@@ -311,6 +346,13 @@ class DecentralizedSimulator(ProtocolEngine):
         self.estimates = self._project_all(tiled)
         self.iteration = 0
         self.guard = TrialGuard(len(self.trials), divergence_threshold)
+        # ``trace_rounds`` switches the (T + 1, S, n, d) trajectory to the
+        # windowed mode: only the planned rounds (plus 0 and the horizon)
+        # are stored — essential at large n, where the dense trajectory
+        # dominates the run's memory.
+        self._trace_plan = normalize_trace_rounds(trace_rounds)
+        self._kept: Optional[np.ndarray] = None
+        self._slot: Dict[int, int] = {}
 
         self._attack_groups = self._group_attacks()
         self._aggregator_groups = self._group_aggregators()
@@ -401,6 +443,7 @@ class DecentralizedSimulator(ProtocolEngine):
         ):
             aggregator = self.trials[rep].aggregator
             kernel: Optional[Callable] = None
+            grouped: Optional[Callable] = None
             if not self.uniform:
                 kernel = masked_kernel_for(aggregator)
                 if kernel is None:
@@ -409,11 +452,18 @@ class DecentralizedSimulator(ProtocolEngine):
                         "neighborhood kernel; irregular topologies support "
                         "mean, cwtm, median, cge and cge_mean"
                     )
+                grouped = degree_grouped_kernel_for(
+                    aggregator, self.neighbor_mask
+                )
                 try:
-                    kernel(
-                        np.zeros((1, self.n, self.k, self.d)),
-                        self.neighbor_mask,
-                    )
+                    # Probe the path aggregate() will actually run.
+                    if grouped is not None:
+                        grouped(np.zeros((1, self.n, self.k, self.d)))
+                    else:
+                        kernel(
+                            np.zeros((1, self.n, self.k, self.d)),
+                            self.neighbor_mask,
+                        )
                 except ValueError as error:
                     raise ValueError(
                         f"aggregator {aggregator.name!r} cannot aggregate "
@@ -432,14 +482,18 @@ class DecentralizedSimulator(ProtocolEngine):
                         f"the size-{self.k} closed neighborhoods of "
                         f"topology {self.topology.name!r}: {error}"
                     ) from error
-            groups.append((aggregator, kernel, idx))
+            groups.append((aggregator, kernel, grouped, idx))
         return groups
 
     # -- helpers ----------------------------------------------------------
     def _project_all(self, estimates: np.ndarray) -> np.ndarray:
         s, n, d = estimates.shape
-        flat = self.constraint.project_batch(estimates.reshape(s * n, d))
-        return flat.reshape(s, n, d)
+        # Constraint sets are plain-NumPy plugin code: cross the backend
+        # boundary both ways around the projection.
+        flat = self.constraint.project_batch(
+            xp.to_numpy(estimates).reshape(s * n, d)
+        )
+        return xp.asarray(flat).reshape(s, n, d)
 
     # -- quarantine bookkeeping -------------------------------------------
     def _note_quarantined(
@@ -466,7 +520,7 @@ class DecentralizedSimulator(ProtocolEngine):
         """
         if self.guard.any_quarantined:
             s = len(self.trials)
-            gradients = np.zeros((s, self.n, self.d))
+            gradients = xp.zeros((s, self.n, self.d))
             live = self.guard.active
             gradients[live] = self.stack.gradients_each(self.estimates[live])
         else:
@@ -495,14 +549,20 @@ class DecentralizedSimulator(ProtocolEngine):
             live = self.guard.live(idx)
             if live.size == 0:
                 continue
+            # Attacks are plain-NumPy plugin code: context observables
+            # cross the backend boundary as base arrays.
             context = DecentralizedAttackContext(
                 iteration=round.iteration,
-                reference_estimates=self.estimates[np.ix_(live, honest[:1])][:, 0],
-                agent_estimates=self.estimates[live],
+                reference_estimates=xp.to_numpy(
+                    self.estimates[np.ix_(live, honest[:1])][:, 0]
+                ),
+                agent_estimates=xp.to_numpy(self.estimates[live]),
                 faulty_ids=faulty.tolist(),
-                true_gradients=gradients[np.ix_(live, faulty)],
+                true_gradients=xp.to_numpy(gradients[np.ix_(live, faulty)]),
                 honest_gradients=(
-                    gradients[np.ix_(live, honest)] if omniscient else None
+                    xp.to_numpy(gradients[np.ix_(live, honest)])
+                    if omniscient
+                    else None
                 ),
                 honest_ids=honest.tolist(),
                 receivers=receivers,
@@ -540,7 +600,7 @@ class DecentralizedSimulator(ProtocolEngine):
         The refused trials' views are zeroed so the shared kernel call
         stays warning-free; their outputs are discarded by the hold.
         """
-        for aggregator, kernel, idx in self._aggregator_groups:
+        for aggregator, kernel, _grouped, idx in self._aggregator_groups:
             if not aggregator.quarantines_on_nonfinite:
                 continue
             live = self.guard.live(idx)
@@ -562,8 +622,8 @@ class DecentralizedSimulator(ProtocolEngine):
     ) -> np.ndarray:
         """Run every trial's filter over its ``(S, n, k, d)`` neighborhoods."""
         self._screen_strict_views(views, round_index)
-        updates = np.empty((len(self.trials), self.n, self.d))
-        for aggregator, kernel, idx in self._aggregator_groups:
+        updates = xp.empty((len(self.trials), self.n, self.d))
+        for aggregator, kernel, grouped, idx in self._aggregator_groups:
             group_views = views[idx]  # (S_g, n, k, d)
             with aggregation_round(round_index, aggregator_label(aggregator)):
                 if kernel is None:
@@ -573,6 +633,8 @@ class DecentralizedSimulator(ProtocolEngine):
                     updates[idx] = aggregator.aggregate_batch(folded).reshape(
                         idx.size, self.n, self.d
                     )
+                elif grouped is not None:
+                    updates[idx] = grouped(group_views)
                 else:
                     updates[idx] = kernel(group_views, self.neighbor_mask)
         return updates
@@ -592,7 +654,7 @@ class DecentralizedSimulator(ProtocolEngine):
         delay-tolerant subclass passes the *delivered* (possibly stale)
         neighborhood views instead.
         """
-        mixed = np.empty_like(self.estimates)
+        mixed = xp.empty_like(self.estimates)
         for rep, idx in self._mixing_groups:
             trim = len(self._faulty[rep])
             views = neighborhoods[idx]
@@ -602,9 +664,16 @@ class DecentralizedSimulator(ProtocolEngine):
                     idx.size, self.n, self.d
                 )
             else:
-                mixed[idx] = masked_trimmed_mean_batch(
-                    views, self.neighbor_mask, trim
-                )
+                # Same degree-bucketed dispatch as _aggregate_views: each
+                # bucket's prefix slice is dense, so the folded trimmed
+                # mean applies without the widest-pad masked kernel.
+                for degree, ids in self._degree_buckets:
+                    dense = views[:, ids, :degree, :].reshape(
+                        idx.size * ids.size, degree, self.d
+                    )
+                    mixed[np.ix_(idx, ids)] = trimmed_mean_batch(
+                        dense, trim
+                    ).reshape(idx.size, ids.size, self.d)
         return mixed
 
     def project(self, round: ProtocolRound) -> np.ndarray:
@@ -636,15 +705,39 @@ class DecentralizedSimulator(ProtocolEngine):
     # -- run recording ----------------------------------------------------
     def _begin_run(self, iterations: int) -> None:
         s = len(self.trials)
-        self._trajectory = np.empty((iterations + 1, s, self.n, self.d))
         self._step_sizes = np.empty((iterations, s))
-        self._trajectory[0] = self.estimates
+        if self._trace_plan is not None:
+            # Windowed trace: only the planned rounds of this run get a
+            # (S, n, d) snapshot slot — the dense trajectory is the memory
+            # hot spot at large n.
+            plan = self._trace_plan
+            if isinstance(plan, int):
+                kept = set(range(0, iterations + 1, plan))
+            else:
+                kept = {r for r in plan if r <= iterations}
+            kept.add(0)
+            kept.add(int(iterations))
+            self._kept = np.array(sorted(kept), dtype=int)
+            self._slot = {int(r): i for i, r in enumerate(self._kept)}
+            self._trajectory = np.empty(
+                (self._kept.size, s, self.n, self.d)
+            )
+        else:
+            self._kept = None
+            self._slot = {}
+            self._trajectory = np.empty((iterations + 1, s, self.n, self.d))
+        self._trajectory[0] = xp.to_numpy(self.estimates)
         self._cursor = 0
 
     def _record_step(self, estimates: np.ndarray) -> None:
         k = self._cursor
-        self._trajectory[k + 1] = estimates
         self._step_sizes[k] = self._last_etas
+        if self._kept is not None:
+            slot = self._slot.get(k + 1)
+            if slot is not None:
+                self._trajectory[slot] = xp.to_numpy(estimates)
+        else:
+            self._trajectory[k + 1] = xp.to_numpy(estimates)
         self._cursor = k + 1
 
     def _run_result(self) -> DecentralizedTrace:
@@ -664,6 +757,7 @@ class DecentralizedSimulator(ProtocolEngine):
             honest_ids=honest_ids,
             labels=labels,
             quarantined=self.guard.summary(),
+            rounds=None if self._kept is None else self._kept.copy(),
         )
 
     def run(self, iterations: int) -> DecentralizedTrace:
@@ -682,6 +776,7 @@ def run_decentralized(
     mixing: bool = True,
     allow_disconnected: bool = False,
     divergence_threshold: float = DEFAULT_DIVERGENCE_THRESHOLD,
+    trace_rounds=None,
 ) -> DecentralizedTrace:
     """Convenience wrapper mirroring :func:`repro.distsys.batch.run_dgd_batch`."""
     simulator = DecentralizedSimulator(
@@ -694,6 +789,7 @@ def run_decentralized(
         mixing=mixing,
         allow_disconnected=allow_disconnected,
         divergence_threshold=divergence_threshold,
+        trace_rounds=trace_rounds,
     )
     # Convenience runners report to the ambient recorder: a no-op
     # with the default NULL_RECORDER, a live stream under the CLI's

@@ -257,7 +257,7 @@ class DelayedDecentralizedSimulator(DecentralizedSimulator):
         # kernels regardless of topology regularity — reject filters
         # without one at construction, naming the offender.
         self._partial_groups = []
-        for aggregator, kernel, idx in self._aggregator_groups:
+        for aggregator, kernel, grouped, idx in self._aggregator_groups:
             partial = masked_partial_kernel_for(aggregator)
             if partial is None:
                 raise ValueError(
@@ -268,7 +268,7 @@ class DelayedDecentralizedSimulator(DecentralizedSimulator):
                 )
             declared = int(getattr(aggregator, "f", 0))
             self._partial_groups.append(
-                (aggregator, kernel, partial, declared, idx)
+                (aggregator, kernel, grouped, partial, declared, idx)
             )
 
         # Per-edge structure: the canonical (sender, receiver) enumeration.
@@ -528,7 +528,7 @@ class DelayedDecentralizedSimulator(DecentralizedSimulator):
 
         # Per-group filter tolerance and its kernel floor.
         tolerance = np.zeros((s, self.n), dtype=int)
-        for aggregator, _, _, declared_f, idx in self._partial_groups:
+        for aggregator, _, _, _, declared_f, idx in self._partial_groups:
             tol = np.full((idx.size, self.n), declared_f, dtype=int)
             if shrink:
                 tol = np.maximum(0, tol - missing[idx])
@@ -545,7 +545,14 @@ class DelayedDecentralizedSimulator(DecentralizedSimulator):
         trim = np.where(stalled, 0, trim)
 
         updates = np.empty((s, self.n, self.d))
-        for aggregator, kernel, partial_kernel, _, idx in self._partial_groups:
+        for (
+            aggregator,
+            kernel,
+            grouped,
+            partial_kernel,
+            _,
+            idx,
+        ) in self._partial_groups:
             exact = idx[full_trials[idx]]
             if exact.size:
                 # This group's fully-attended trials: the exact kernels.
@@ -556,6 +563,8 @@ class DelayedDecentralizedSimulator(DecentralizedSimulator):
                     updates[exact] = aggregator.aggregate_batch(
                         folded
                     ).reshape(exact.size, self.n, self.d)
+                elif grouped is not None:
+                    updates[exact] = grouped(round.views[exact])
                 else:
                     updates[exact] = kernel(
                         round.views[exact], self.neighbor_mask
@@ -613,9 +622,18 @@ class DelayedDecentralizedSimulator(DecentralizedSimulator):
                     folded, trim
                 ).reshape(members.size, self.n, self.d)
             else:
-                mixed[position[members]] = masked_trimmed_mean_batch(
-                    views, self.neighbor_mask, trim
-                )
+                # Degree-bucketed dense dispatch, matching the parent's
+                # _mix_neighborhoods so every exact mixing path agrees
+                # bit-for-bit across the engine family.
+                for degree, ids in self._degree_buckets:
+                    dense = views[:, ids, :degree, :].reshape(
+                        members.size * ids.size, degree, self.d
+                    )
+                    mixed[np.ix_(position[members], ids)] = (
+                        trimmed_mean_batch(dense, trim).reshape(
+                            members.size, ids.size, self.d
+                        )
+                    )
         return mixed
 
     def project(self, round: ProtocolRound) -> np.ndarray:

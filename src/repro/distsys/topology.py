@@ -112,6 +112,55 @@ class CommunicationTopology:
     # once on first use and cache on the frozen instance.  Cached arrays are
     # marked read-only; callers needing a mutable copy must copy explicitly.
 
+    def neighbor_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Compressed (CSR) closed in-neighborhood storage.
+
+        Returns ``(indptr, indices)``: agent ``i``'s closed
+        in-neighborhood, ascending, is
+        ``indices[indptr[i] : indptr[i + 1]]``.  O(n + E) memory — the
+        scalable companion of the padded :meth:`neighborhoods` gather at
+        large ``n``, where the dense ``(n, k)`` padding wastes
+        ``k - deg(i)`` slots per row on irregular graphs.  Computed once
+        and cached; the returned arrays are read-only.
+        """
+        cached = self.__dict__.get("_neighbor_csr_cache")
+        if cached is None:
+            closed = self.adjacency.copy()
+            np.fill_diagonal(closed, True)
+            # np.nonzero is row-major, so the per-row column runs are
+            # already ascending — exactly closed_in_neighbors(i) per row.
+            rows, cols = np.nonzero(closed)
+            indptr = np.zeros(self.n + 1, dtype=np.int64)
+            np.cumsum(closed.sum(axis=1), out=indptr[1:])
+            indices = cols.astype(np.int64)
+            indptr.setflags(write=False)
+            indices.setflags(write=False)
+            cached = (indptr, indices)
+            object.__setattr__(self, "_neighbor_csr_cache", cached)
+        return cached
+
+    def degree_groups(self) -> List[Tuple[int, np.ndarray]]:
+        """Agents grouped by closed in-degree, ascending degree.
+
+        Returns ``[(degree, agent_ids), ...]`` with ``agent_ids``
+        ascending.  The decentralized engines dispatch their
+        neighborhood kernels per group, so a mostly-regular graph with a
+        few irregular nodes pays the ragged (masked) path only for those
+        nodes.  Computed once and cached; the id arrays are read-only.
+        """
+        cached = self.__dict__.get("_degree_groups_cache")
+        if cached is None:
+            degrees = self.closed_in_degrees
+            values, inverse = np.unique(degrees, return_inverse=True)
+            groups: List[Tuple[int, np.ndarray]] = []
+            for g, degree in enumerate(values):
+                ids = np.flatnonzero(inverse == g)
+                ids.setflags(write=False)
+                groups.append((int(degree), ids))
+            cached = groups
+            object.__setattr__(self, "_degree_groups_cache", cached)
+        return cached
+
     def neighborhoods(self) -> Tuple[np.ndarray, np.ndarray]:
         """Padded closed-neighborhood gather indices for the batch engines.
 
@@ -120,18 +169,21 @@ class CommunicationTopology:
         in-neighborhood ascending, padded with ``0`` where ``mask`` is
         ``False``.  Gathering a message tensor ``(S, n, d)`` through
         ``index`` yields the ``(S, n, k, d)`` neighborhood stacks consumed
-        by the neighborhood-wise gradient filters.  Computed once and
-        cached; the returned arrays are read-only.
+        by the neighborhood-wise gradient filters.  Built from the CSR
+        storage in one scatter (no per-agent Python loop).  Computed once
+        and cached; the returned arrays are read-only.
         """
         cached = self.__dict__.get("_neighborhoods_cache")
         if cached is None:
-            k = int(self.closed_in_degrees.max())
+            indptr, indices = self.neighbor_csr()
+            counts = np.diff(indptr)
+            k = int(counts.max())
             index = np.zeros((self.n, k), dtype=int)
             mask = np.zeros((self.n, k), dtype=bool)
-            for i in range(self.n):
-                neighborhood = self.closed_in_neighbors(i)
-                index[i, : neighborhood.size] = neighborhood
-                mask[i, : neighborhood.size] = True
+            rows = np.repeat(np.arange(self.n), counts)
+            slots = np.arange(indices.size) - np.repeat(indptr[:-1], counts)
+            index[rows, slots] = indices
+            mask[rows, slots] = True
             index.setflags(write=False)
             mask.setflags(write=False)
             cached = (index, mask)
@@ -276,14 +328,14 @@ def ring_topology(n: int, hops: int = 1) -> CommunicationTopology:
         raise ValueError("topology needs at least one agent")
     if hops < 1:
         raise ValueError("hops must be positive")
-    adjacency = np.zeros((n, n), dtype=bool)
     # Offsets beyond the ring diameter add no edges; name the topology by
     # the *effective* hop count so identical graphs never carry two labels.
     effective_hops = min(hops, (n - 1) // 2 + (n - 1) % 2)
-    for offset in range(1, effective_hops + 1):
-        for i in range(n):
-            adjacency[i, (i + offset) % n] = True
-            adjacency[i, (i - offset) % n] = True
+    # Circulant: i hears j iff the ring distance |i - j| mod n is within
+    # the hop radius (in either direction).
+    ids = np.arange(n)
+    dist = (ids[None, :] - ids[:, None]) % n
+    adjacency = (dist <= effective_hops) | (dist >= n - effective_hops)
     np.fill_diagonal(adjacency, False)
     name = "ring" if effective_hops <= 1 else f"ring{effective_hops}"
     return CommunicationTopology(name, adjacency)
@@ -319,12 +371,10 @@ def torus_topology(
     else:
         rows, cols = _near_square_factors(n)
     adjacency = np.zeros((n, n), dtype=bool)
-    for r in range(rows):
-        for c in range(cols):
-            i = r * cols + c
-            for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1)):
-                j = ((r + dr) % rows) * cols + (c + dc) % cols
-                adjacency[i, j] = True
+    ids = np.arange(n)
+    r, c = ids // cols, ids % cols
+    for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+        adjacency[ids, ((r + dr) % rows) * cols + (c + dc) % cols] = True
     np.fill_diagonal(adjacency, False)
     return CommunicationTopology(f"torus{rows}x{cols}", adjacency)
 
@@ -350,15 +400,17 @@ def random_regular_topology(
         left, right = shuffled[0::2], shuffled[1::2]
         if np.any(left == right):
             continue
+        # A matching is simple iff no undirected edge repeats.  The
+        # accept/reject decision per draw is unchanged from the old
+        # incremental check, so the rng stream — and hence the sampled
+        # graph for a given seed — is bit-for-bit stable.
+        keys = np.minimum(left, right) * n + np.maximum(left, right)
+        if np.unique(keys).size != keys.size:
+            continue
         adjacency = np.zeros((n, n), dtype=bool)
-        simple = True
-        for a, b in zip(left, right):
-            if adjacency[a, b]:
-                simple = False
-                break
-            adjacency[a, b] = adjacency[b, a] = True
-        if simple:
-            return CommunicationTopology(f"regular{degree}", adjacency)
+        adjacency[left, right] = True
+        adjacency[right, left] = True
+        return CommunicationTopology(f"regular{degree}", adjacency)
     raise RuntimeError(
         f"failed to sample a simple {degree}-regular graph on {n} nodes "
         f"in {max_attempts} attempts"
@@ -382,6 +434,8 @@ def erdos_renyi_topology(
         raise ValueError("p must lie in [0, 1]")
     rng = np.random.default_rng(seed)
     for _ in range(max_attempts):
+        # The full (n, n) draw wastes half the variates but keeps the rng
+        # stream — and hence the sampled graph per seed — stable.
         upper = rng.random((n, n)) < p
         adjacency = np.triu(upper, k=1)
         adjacency = adjacency | adjacency.T

@@ -10,6 +10,8 @@ from repro.aggregators import (
     CWTMAggregator,
     GeometricMedianAggregator,
     MeanAggregator,
+    degree_grouped_kernel_for,
+    front_packed_counts,
     make_aggregator,
     masked_cge_batch,
     masked_kernel_for,
@@ -95,6 +97,49 @@ class TestFullMaskEqualsUnmasked:
         folded = values.reshape(S * N, K, D)
         expected = aggregator.aggregate_batch(folded).reshape(S, N, D)
         np.testing.assert_allclose(kernel(values, mask), expected, atol=1e-12)
+
+
+class TestDegreeGroupedDispatch:
+    """Degree-bucketed dense dispatch agrees with the one-shot masked kernel."""
+
+    @pytest.mark.parametrize("name", ["mean", "cwtm", "median", "cge", "cge_mean"])
+    def test_matches_masked_kernel_on_ragged_stacks(self, rng, name):
+        values = rng.normal(size=(S, N, K, D))
+        mask = np.zeros((N, K), dtype=bool)
+        counts = rng.integers(4, K + 1, size=N)
+        for i, c in enumerate(counts):
+            mask[i, :c] = True
+        aggregator = make_aggregator(name, K, 1)
+        grouped = degree_grouped_kernel_for(aggregator, mask)
+        assert grouped is not None
+        expected = masked_kernel_for(aggregator)(values, mask)
+        np.testing.assert_allclose(grouped(values), expected, atol=1e-12)
+
+    def test_requires_front_packed_mask(self, rng):
+        mask = np.ones((N, K), dtype=bool)
+        mask[0, 0] = False  # valid slots no longer a contiguous prefix
+        assert front_packed_counts(mask) is None
+        aggregator = make_aggregator("cwtm", K, 1)
+        assert degree_grouped_kernel_for(aggregator, mask) is None
+
+    def test_front_packed_counts(self):
+        mask = np.array([[True, True, False], [True, False, False]])
+        counts = front_packed_counts(mask)
+        assert counts is not None and counts.tolist() == [2, 1]
+
+    def test_no_masked_kernel_means_no_dispatch(self):
+        mask = np.ones((N, K), dtype=bool)
+        assert degree_grouped_kernel_for(GeometricMedianAggregator(), mask) is None
+
+    def test_undersized_bucket_raises(self):
+        # One receiver with 2 messages cannot trim 1 from both sides; the
+        # probe the engine runs at construction must surface that.
+        mask = np.zeros((2, K), dtype=bool)
+        mask[0, :K] = True
+        mask[1, :2] = True
+        grouped = degree_grouped_kernel_for(CWTMAggregator(1), mask)
+        with pytest.raises(ValueError):
+            grouped(np.zeros((1, 2, K, D)))
 
 
 class TestPerReceiverTolerance:

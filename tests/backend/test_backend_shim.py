@@ -1,0 +1,124 @@
+"""Unit contract of the ``repro.backend`` shim and its registry."""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    ARRAY_OPS,
+    ArrayBackend,
+    BACKEND_ENV_VAR,
+    active_backend,
+    available_backends,
+    get_backend,
+    register_backend,
+    use_backend,
+    xp,
+    _reset_default_backend,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_default():
+    """Each test resolves the env default afresh and leaves none behind."""
+    _reset_default_backend()
+    yield
+    _reset_default_backend()
+
+
+class TestNumpyBackend:
+    def test_ops_are_the_numpy_functions(self):
+        backend = get_backend("numpy")
+        # Zero-overhead contract: no wrappers, the attributes ARE np.*,
+        # so routing through the shim cannot perturb a single float.
+        assert backend.sort is np.sort
+        assert backend.einsum is np.einsum
+        assert backend.where is np.where
+        assert backend.norm is np.linalg.norm
+
+    def test_every_declared_op_is_present(self):
+        backend = get_backend("numpy")
+        for op in ARRAY_OPS:
+            assert callable(getattr(backend, op)), op
+
+    def test_rng_and_dtype_rules(self):
+        backend = get_backend("numpy")
+        assert backend.default_rng is np.random.default_rng
+        assert backend.float_dtype is np.float64
+        assert backend.errstate is np.errstate
+
+    def test_to_numpy_is_zero_copy(self):
+        backend = get_backend("numpy")
+        a = np.arange(3.0)
+        assert backend.to_numpy(a) is a
+
+
+class TestProxyAndScoping:
+    def test_default_is_numpy(self):
+        assert active_backend().name == "numpy"
+        assert xp.sort is np.sort
+
+    def test_use_backend_scopes_and_nests(self):
+        with use_backend("strict"):
+            assert active_backend().name == "strict"
+            with use_backend("numpy"):
+                assert active_backend().name == "numpy"
+            assert active_backend().name == "strict"
+        assert active_backend().name == "numpy"
+
+    def test_use_backend_accepts_instances(self):
+        instance = get_backend("strict")
+        with use_backend(instance) as scoped:
+            assert scoped is instance
+            assert active_backend() is instance
+
+    def test_env_variable_selects_the_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "strict")
+        _reset_default_backend()
+        assert active_backend().name == "strict"
+
+    def test_env_numpy_is_bit_identical_to_unset(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        _reset_default_backend()
+        assert active_backend() is get_backend("numpy")
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"numpy", "strict", "cupy", "torch"} <= set(
+            available_backends()
+        )
+
+    def test_unknown_backend_names_the_registered_ones(self):
+        with pytest.raises(KeyError, match="unknown array backend"):
+            get_backend("jax")
+
+    def test_register_rejects_bad_names(self):
+        with pytest.raises(ValueError, match="non-empty string"):
+            register_backend("", lambda: ArrayBackend("x"))
+
+    def test_register_and_use_out_of_tree_backend(self):
+        def factory():
+            backend = ArrayBackend("custom-test")
+            backend.sort = np.sort
+            return backend
+
+        register_backend("custom-test", factory)
+        try:
+            with use_backend("custom-test"):
+                assert active_backend().name == "custom-test"
+        finally:
+            # Leave the registry as the other tests expect it.
+            from repro.backend import _FACTORIES, _INSTANCES
+
+            _FACTORIES.pop("custom-test", None)
+            _INSTANCES.pop("custom-test", None)
+
+    @pytest.mark.parametrize("name", ["cupy", "torch"])
+    def test_accelerator_stubs_raise_cleanly_when_absent(self, name):
+        try:
+            __import__(name)
+        except ImportError:
+            with pytest.raises(ImportError, match=name):
+                get_backend(name)
+        else:  # pragma: no cover - container ships neither library
+            pytest.skip(f"{name} is installed; stub path not exercised")

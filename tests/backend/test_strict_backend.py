@@ -1,0 +1,66 @@
+"""The strict backend: bit-identical math, loud stray-``np.`` alarms."""
+
+import numpy as np
+import pytest
+
+from repro.backend import BackendBypassError, get_backend, use_backend, xp
+from repro.backend.strict import StrictArray
+
+
+@pytest.fixture()
+def strict():
+    with use_backend("strict") as backend:
+        yield backend
+
+
+class TestStrictArray:
+    def test_dispatched_numpy_call_trips_the_alarm(self, strict):
+        a = xp.asarray([[3.0, 1.0], [2.0, 4.0]])
+        assert isinstance(a, StrictArray)
+        with pytest.raises(BackendBypassError, match="np.sort"):
+            np.sort(a, axis=1)
+
+    def test_alarm_is_an_assertion_error(self):
+        # pytest reports bypasses as failures, not errors.
+        assert issubclass(BackendBypassError, AssertionError)
+
+    def test_shim_ops_compute_and_stay_strict(self, strict):
+        a = xp.asarray([[3.0, 1.0], [2.0, 4.0]])
+        ordered = xp.sort(a, axis=1)
+        assert isinstance(ordered, StrictArray)
+        assert ordered.view(np.ndarray).tolist() == [[1.0, 3.0], [2.0, 4.0]]
+
+    def test_ufuncs_and_methods_preserve_strictness(self, strict):
+        a = xp.asarray([1.0, -2.0, 3.0])
+        assert isinstance(a + a, StrictArray)
+        assert isinstance(np.abs(a), StrictArray)  # ufunc: allowed
+        assert float(a.sum()) == 2.0  # method: allowed
+
+    def test_results_match_numpy_bit_for_bit(self, strict):
+        rng = np.random.default_rng(7)
+        values = rng.normal(size=(4, 6, 3))
+        expected = np.sort(values, axis=1)
+        got = xp.sort(xp.asarray(values), axis=1)
+        assert np.array_equal(got.view(np.ndarray), expected)
+
+    def test_to_numpy_exits_strictness(self, strict):
+        a = xp.asarray([1.0, 2.0])
+        out = xp.to_numpy(a)
+        assert type(out) is np.ndarray
+        np.sort(out)  # no alarm on the base view
+
+    def test_norm_routed(self, strict):
+        a = xp.asarray([[3.0, 4.0]])
+        assert float(xp.norm(a, axis=1)[0]) == 5.0
+
+    def test_nested_containers_unwrap(self, strict):
+        parts = [xp.asarray([1.0]), xp.asarray([2.0])]
+        stacked = xp.concatenate(parts)
+        assert isinstance(stacked, StrictArray)
+        assert stacked.view(np.ndarray).tolist() == [1.0, 2.0]
+
+
+class TestBackendInstance:
+    def test_registered_and_cached(self):
+        assert get_backend("strict") is get_backend("strict")
+        assert get_backend("strict").name == "strict"
